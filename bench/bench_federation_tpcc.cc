@@ -1,0 +1,76 @@
+// Experiment E8 — federated TPC-C scale-out ([17], §4.1.5): new-order-style
+// transactions over a coordinator + N member engines with distributed
+// partitioned views and 2PC commits. The paper's claim is that the
+// partitioned-view machinery lets a federation scale across members; the
+// series here is throughput vs member count, plus the pruning counters that
+// make it work (each transaction touches exactly one member's data).
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/workloads/tpcc.h"
+
+namespace dhqp {
+
+using workloads::BuildTpccFederation;
+using workloads::TpccFederation;
+using workloads::TpccOptions;
+
+std::unique_ptr<TpccFederation> BuildFed(const std::string& key) {
+  TpccOptions options;
+  options.num_members = std::stoi(key);
+  options.warehouses_per_member = 2;
+  options.customers_per_warehouse = 200;
+  options.link_latency_us = 20;
+  auto fed = BuildTpccFederation(options);
+  if (!fed.ok()) std::abort();
+  return std::move(fed).value();
+}
+
+void BM_Tpcc_NewOrder(benchmark::State& state) {
+  int members = static_cast<int>(state.range(0));
+  auto* fed = bench::CachedFixture<TpccFederation>(std::to_string(members),
+                                                   BuildFed);
+  TransactionCoordinator dtc;
+  Rng rng(1234);
+  int64_t order_id = 1000000;
+  int64_t failures = 0;
+  for (auto _ : state) {
+    int64_t warehouse = rng.Uniform(1, members * 2);
+    int64_t customer = rng.Uniform(1, 200);
+    auto result = fed->NewOrder(&dtc, warehouse, customer, order_id++);
+    if (!result.ok()) ++failures;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["txn_failures"] = static_cast<double>(failures);
+  state.counters["members"] = members;
+}
+BENCHMARK(BM_Tpcc_NewOrder)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+// The read half in isolation: partitioned-view customer lookup latency as
+// the federation grows — near-flat thanks to startup-filter pruning.
+void BM_Tpcc_CustomerLookup(benchmark::State& state) {
+  int members = static_cast<int>(state.range(0));
+  auto* fed = bench::CachedFixture<TpccFederation>(std::to_string(members),
+                                                   BuildFed);
+  Rng rng(99);
+  int64_t skips = 0;
+  for (auto _ : state) {
+    int64_t warehouse = rng.Uniform(1, members * 2);
+    int64_t customer = rng.Uniform(1, 200);
+    auto r = fed->coordinator->Execute(
+        "SELECT c_name, c_balance FROM customers_all WHERE w_id = @w AND "
+        "c_id = @c",
+        {{"@w", Value::Int64(warehouse)}, {"@c", Value::Int64(customer)}});
+    if (!r.ok()) std::abort();
+    skips = r->exec_stats.startup_skips;
+    benchmark::DoNotOptimize(*r);
+  }
+  state.counters["members_skipped"] = static_cast<double>(skips);
+}
+BENCHMARK(BM_Tpcc_CustomerLookup)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace dhqp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Experiment F3 — the object hierarchy of Figure 3: DataSource ->
+// CreateSession -> CreateCommand -> Execute -> Rowset. Times each step of
+// the lifecycle over local and linked providers so the per-object costs of
+// the component model are visible.
+
+#include "bench/bench_util.h"
+
+namespace dhqp {
+
+using bench::HostWithRemote;
+using bench::MakeHostWithRemote;
+using bench::MustRun;
+
+std::unique_ptr<HostWithRemote> BuildPair(const std::string&) {
+  auto pair = MakeHostWithRemote();
+  MustRun(pair->remote.get(), "CREATE TABLE t (a INT PRIMARY KEY, b INT)");
+  MustRun(pair->remote.get(), "INSERT INTO t VALUES (1,2),(3,4),(5,6)");
+  return pair;
+}
+
+// Full lifecycle: session + command + execute + drain (Fig 3's arrows,
+// CoCreateInstance through IRowset).
+void BM_Fig3_FullLifecycle(benchmark::State& state) {
+  auto* pair = bench::CachedFixture<HostWithRemote>("pair", BuildPair);
+  DataSource* source = pair->host->catalog()->ServerSource(0);
+  for (auto _ : state) {
+    auto session = source->CreateSession();
+    auto command = (*session)->CreateCommand();
+    (void)(*command)->SetText("SELECT a, b FROM t");
+    auto rowset = (*command)->Execute();
+    auto rows = DrainRowset(rowset->get());
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_Fig3_FullLifecycle);
+
+// IOpenRowset path: no command object, straight to the base rowset (what
+// simple providers offer).
+void BM_Fig3_OpenRowset(benchmark::State& state) {
+  auto* pair = bench::CachedFixture<HostWithRemote>("pair", BuildPair);
+  DataSource* source = pair->host->catalog()->ServerSource(0);
+  auto session = source->CreateSession();
+  for (auto _ : state) {
+    auto rowset = (*session)->OpenRowset("t");
+    auto rows = DrainRowset(rowset->get());
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_Fig3_OpenRowset);
+
+// Reusing a cached session (what the catalog does) vs creating per query.
+void BM_Fig3_SessionReuse(benchmark::State& state) {
+  auto* pair = bench::CachedFixture<HostWithRemote>("pair", BuildPair);
+  for (auto _ : state) {
+    QueryResult r = MustRun(pair->host.get(), "SELECT COUNT(*) FROM rsrv.d.s.t");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Fig3_SessionReuse);
+
+}  // namespace dhqp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// Experiment E6 — full-text integration (§2.2/§2.3, Fig 2): CONTAINS
+// answered through the search service's (key, rank) rowset joined back to
+// the base table, vs the naive scan that evaluates the full-text predicate
+// per row. Query mix: single word, phrase, OR, proximity, inflectional.
+
+#include <functional>
+
+#include "bench/bench_util.h"
+#include "src/workloads/documents.h"
+
+namespace dhqp {
+
+using bench::MustRun;
+
+struct FtFixture {
+  std::unique_ptr<Engine> engine;
+};
+
+constexpr const char* kQueries[] = {
+    "database",                                       // Single word.
+    "\"parallel database\"",                          // Phrase.
+    "\"parallel database\" OR \"heterogeneous query\"",  // OR (paper §2.2).
+    "parallel NEAR optimizer",                        // Proximity.
+    "running",                                        // Inflectional.
+};
+
+std::unique_ptr<FtFixture> BuildFt(const std::string&) {
+  auto fixture = std::make_unique<FtFixture>();
+  fixture->engine = std::make_unique<Engine>();
+  MustRun(fixture->engine.get(),
+          "CREATE TABLE docs (id INT PRIMARY KEY, body TEXT)");
+  workloads::CorpusOptions options;
+  options.num_documents = 4000;
+  options.words_per_document = 80;
+  auto corpus = workloads::GenerateCorpus(options);
+  fulltext::IFilterRegistry filters;
+  int id = 0;
+  for (const auto& doc : corpus) {
+    auto text = filters.Extract(doc);
+    if (!text.ok()) continue;
+    Status st = fixture->engine->storage()
+                    ->InsertRow(-1, "docs",
+                                {Value::Int64(id++), Value::String(*text)})
+                    .status();
+    if (!st.ok()) std::abort();
+  }
+  Status st = fixture->engine->CreateFullTextIndex("ft", "docs", "id", "body");
+  if (!st.ok()) std::abort();
+  return fixture;
+}
+
+void RunContains(benchmark::State& state, bool use_index) {
+  auto* fixture = bench::CachedFixture<FtFixture>("ft", BuildFt);
+  fixture->engine->options()->optimizer.enable_fulltext_index = use_index;
+  const char* ft_query = kQueries[state.range(0)];
+  std::string sql = std::string("SELECT COUNT(*) FROM docs WHERE "
+                                "CONTAINS(body, '") +
+                    ft_query + "')";
+  int64_t matches = 0;
+  bool used_lookup = false;
+  for (auto _ : state) {
+    QueryResult r = MustRun(fixture->engine.get(), sql);
+    matches = r.rowset->rows()[0][0].int64_value();
+    std::function<bool(const PhysicalOpPtr&)> has_lookup =
+        [&](const PhysicalOpPtr& plan) {
+          if (plan->kind == PhysicalOpKind::kFullTextLookup) return true;
+          for (const auto& c : plan->children) {
+            if (has_lookup(c)) return true;
+          }
+          return false;
+        };
+    used_lookup = has_lookup(r.plan);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["matches"] = static_cast<double>(matches);
+  state.SetLabel(std::string(ft_query) +
+                 (used_lookup ? " [index]" : " [naive scan]"));
+  fixture->engine->options()->optimizer = OptimizerOptions{};
+}
+
+void BM_Contains_IndexPlan(benchmark::State& state) {
+  RunContains(state, true);
+}
+void BM_Contains_NaiveScan(benchmark::State& state) {
+  RunContains(state, false);
+}
+
+BENCHMARK(BM_Contains_IndexPlan)->DenseRange(0, 4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Contains_NaiveScan)->DenseRange(0, 4)
+    ->Unit(benchmark::kMillisecond);
+
+// Raw search-service throughput (Fig 2's "query support" half) without the
+// relational join-back.
+void BM_SearchService_Query(benchmark::State& state) {
+  auto* fixture = bench::CachedFixture<FtFixture>("ft", BuildFt);
+  const char* ft_query = kQueries[state.range(0)];
+  for (auto _ : state) {
+    auto matches = fixture->engine->fulltext()->Query("docs", ft_query);
+    if (!matches.ok()) std::abort();
+    benchmark::DoNotOptimize(*matches);
+  }
+  state.SetLabel(ft_query);
+}
+BENCHMARK(BM_SearchService_Query)->DenseRange(0, 4)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace dhqp
+
+BENCHMARK_MAIN();

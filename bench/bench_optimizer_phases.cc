@@ -1,0 +1,107 @@
+// Experiment E7 — multi-phase optimization (§4.1.1): "the optimizer will not
+// spend too much time on optimizing easy queries, while for complex queries
+// it will spend longer time in order to find the optimal plan". Measures
+// pure optimization time (Prepare, no execution) for star joins of rising
+// width, with the phase ladder on vs a single full-optimization pass, and
+// reports memo sizes and which phase the search stopped in.
+
+#include "bench/bench_util.h"
+
+namespace dhqp {
+
+using bench::MustRun;
+
+struct StarFixture {
+  std::unique_ptr<Engine> engine;
+};
+
+std::unique_ptr<StarFixture> BuildStar(const std::string&) {
+  auto fixture = std::make_unique<StarFixture>();
+  fixture->engine = std::make_unique<Engine>();
+  Engine* engine = fixture->engine.get();
+  // A fact table plus 8 dimension tables.
+  MustRun(engine,
+          "CREATE TABLE fact (id INT PRIMARY KEY, d0 INT, d1 INT, d2 INT, "
+          "d3 INT, d4 INT, d5 INT, d6 INT, d7 INT)");
+  std::string sql = "INSERT INTO fact VALUES ";
+  for (int i = 0; i < 500; ++i) {
+    if (i) sql += ",";
+    sql += "(" + std::to_string(i);
+    for (int d = 0; d < 8; ++d) sql += "," + std::to_string(i % (10 + d));
+    sql += ")";
+  }
+  MustRun(engine, sql);
+  for (int d = 0; d < 8; ++d) {
+    std::string dim = "dim" + std::to_string(d);
+    MustRun(engine, "CREATE TABLE " + dim +
+                        " (k INT PRIMARY KEY, label VARCHAR(10))");
+    std::string ins = "INSERT INTO " + dim + " VALUES ";
+    for (int i = 0; i < 10 + d; ++i) {
+      if (i) ins += ",";
+      ins += "(" + std::to_string(i) + ",'v" + std::to_string(i) + "')";
+    }
+    MustRun(engine, ins);
+  }
+  return fixture;
+}
+
+std::string StarQuery(int joins) {
+  std::string sql = "SELECT COUNT(*) FROM fact f";
+  for (int d = 0; d < joins; ++d) {
+    std::string dim = "dim" + std::to_string(d);
+    sql += " JOIN " + dim + " ON f.d" + std::to_string(d) + " = " + dim + ".k";
+  }
+  return sql + " WHERE f.id < 100";
+}
+
+void RunPhases(benchmark::State& state, bool multi_phase) {
+  auto* fixture = bench::CachedFixture<StarFixture>("star", BuildStar);
+  fixture->engine->options()->optimizer.multi_phase = multi_phase;
+  int joins = static_cast<int>(state.range(0));
+  std::string sql = StarQuery(joins);
+  OptimizerRunStats stats;
+  for (auto _ : state) {
+    auto prepared = fixture->engine->Prepare(sql);
+    if (!prepared.ok()) std::abort();
+    stats = prepared->opt_stats;
+    benchmark::DoNotOptimize(prepared->plan);
+  }
+  state.counters["memo_groups"] = stats.groups;
+  state.counters["memo_exprs"] = stats.group_exprs;
+  state.counters["rules_applied"] = stats.rules_applied;
+  state.counters["plan_cost"] = stats.best_cost;
+  state.SetLabel("stopped: " + stats.phase_name);
+  fixture->engine->options()->optimizer = OptimizerOptions{};
+}
+
+void BM_Phases_Ladder(benchmark::State& state) { RunPhases(state, true); }
+void BM_Phases_FullOnly(benchmark::State& state) { RunPhases(state, false); }
+
+BENCHMARK(BM_Phases_Ladder)->DenseRange(1, 7)
+    ->Unit(benchmark::kMicrosecond);
+// The full-only pass grows combinatorially with join width (that is the
+// point of the experiment); keep the ablation to widths that finish in
+// seconds. Beyond width 5 the memo cap (OptimizerOptions::max_memo_exprs)
+// bounds the search.
+BENCHMARK(BM_Phases_FullOnly)->DenseRange(1, 5)
+    ->Unit(benchmark::kMicrosecond);
+
+// An OLTP point query: the transaction-processing phase must answer it
+// without ever exploring (the "good plan quickly" claim).
+void BM_Phases_PointQuery(benchmark::State& state) {
+  auto* fixture = bench::CachedFixture<StarFixture>("star", BuildStar);
+  std::string phase;
+  for (auto _ : state) {
+    auto prepared =
+        fixture->engine->Prepare("SELECT d0 FROM fact WHERE id = 123");
+    if (!prepared.ok()) std::abort();
+    phase = prepared->opt_stats.phase_name;
+    benchmark::DoNotOptimize(prepared->plan);
+  }
+  state.SetLabel("stopped: " + phase);
+}
+BENCHMARK(BM_Phases_PointQuery)->Unit(benchmark::kMicrosecond);
+
+}  // namespace dhqp
+
+BENCHMARK_MAIN();

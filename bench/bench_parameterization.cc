@@ -1,0 +1,75 @@
+// Experiment E9 — the remote parameterization rule (§4.1.2):
+// "parameterization enables pushing parameters into the remote sources and
+// opens up a large variety of alternative plans". A selective join drives
+// one parameterized remote query per outer row; the ablation ships the
+// whole remote table instead. Sweeps the outer cardinality to expose the
+// crossover: per-row round trips win while the outer side is small, bulk
+// shipping wins once the outer side grows.
+
+#include "bench/bench_util.h"
+
+namespace dhqp {
+
+using bench::HostWithRemote;
+using bench::MustRun;
+
+constexpr int kRemoteRows = 30000;
+constexpr int kMaxOuter = 512;
+
+std::unique_ptr<HostWithRemote> BuildParam(const std::string&) {
+  auto pair = bench::MakeHostWithRemote("rsrv", /*latency_us=*/40);
+  MustRun(pair->remote.get(),
+          "CREATE TABLE big (k INT PRIMARY KEY, pay VARCHAR(30))");
+  for (int base = 0; base < kRemoteRows; base += 1000) {
+    std::string sql = "INSERT INTO big VALUES ";
+    for (int i = 0; i < 1000; ++i) {
+      int k = base + i;
+      if (i) sql += ",";
+      sql += "(" + std::to_string(k) + ",'pay-" + std::to_string(k) + "')";
+    }
+    MustRun(pair->remote.get(), sql);
+  }
+  MustRun(pair->host.get(), "CREATE TABLE probe (k INT PRIMARY KEY)");
+  std::string sql = "INSERT INTO probe VALUES ";
+  for (int i = 0; i < kMaxOuter; ++i) {
+    if (i) sql += ",";
+    sql += "(" + std::to_string(i * 53) + ")";
+  }
+  MustRun(pair->host.get(), sql);
+  return pair;
+}
+
+void RunParam(benchmark::State& state, bool parameterization) {
+  auto* pair = bench::CachedFixture<HostWithRemote>("param", BuildParam);
+  pair->host->options()->optimizer.enable_parameterization = parameterization;
+  int64_t outer = state.range(0);
+  std::string query =
+      "SELECT COUNT(*) FROM probe p JOIN rsrv.d.s.big b ON p.k = b.k "
+      "WHERE p.k < " + std::to_string(outer * 53);
+  int64_t rows_shipped = 0, commands = 0;
+  for (auto _ : state) {
+    QueryResult r = MustRun(pair->host.get(), query);
+    rows_shipped = r.exec_stats.rows_from_remote;
+    commands = r.exec_stats.remote_commands + r.exec_stats.remote_opens;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rows_shipped"] = static_cast<double>(rows_shipped);
+  state.counters["remote_requests"] = static_cast<double>(commands);
+  pair->host->options()->optimizer = OptimizerOptions{};
+}
+
+void BM_Parameterization_On(benchmark::State& state) { RunParam(state, true); }
+void BM_Parameterization_Off(benchmark::State& state) {
+  RunParam(state, false);
+}
+
+BENCHMARK(BM_Parameterization_On)
+    ->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Parameterization_Off)
+    ->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace dhqp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,137 @@
+// Experiment E5 — (distributed) partitioned views (§4.1.5): TPC-H lineitem
+// partitioned by commit-date year over 7 member servers. Measures, per
+// pruning regime:
+//   no pruning (constraints ignored) / static pruning (constant predicates)
+//   / startup filters (parameterized predicates)
+// with partitions-touched and link traffic as the primary series.
+
+#include "bench/bench_util.h"
+#include "src/workloads/tpch.h"
+
+namespace dhqp {
+
+using bench::MustRun;
+
+struct Federation {
+  std::unique_ptr<Engine> host;
+  std::vector<std::unique_ptr<Engine>> members;
+  std::vector<std::unique_ptr<net::Link>> links;
+
+  int64_t MembersTouched() const {
+    int64_t n = 0;
+    for (const auto& link : links) n += link->stats().messages > 0 ? 1 : 0;
+    return n;
+  }
+  void ResetLinks() {
+    for (auto& link : links) link->ResetStats();
+  }
+};
+
+std::unique_ptr<Federation> BuildFederation(const std::string&) {
+  auto fed = std::make_unique<Federation>();
+  fed->host = std::make_unique<Engine>();
+  workloads::TpchOptions options;
+  options.scale_factor = 0.002;
+  std::string view = "CREATE VIEW lineitem AS ";
+  for (int year = 1992; year <= 1998; ++year) {
+    auto member = std::make_unique<Engine>();
+    std::string table = "lineitem_" + std::to_string(year);
+    Status st = workloads::PopulateLineitemPartition(member.get(), options,
+                                                     table, year, year);
+    if (!st.ok()) std::abort();
+    std::string server = "srv" + std::to_string(year);
+    auto link = std::make_unique<net::Link>(server, /*latency_us=*/40,
+                                            /*us_per_kb=*/1.0, true);
+    auto provider = std::make_shared<LinkedDataSource>(
+        std::make_shared<EngineDataSource>(member.get()), link.get());
+    if (!fed->host->AddLinkedServer(server, provider).ok()) std::abort();
+    if (year > 1992) view += " UNION ALL ";
+    view += "SELECT * FROM " + server + ".tpch.dbo." + table;
+    fed->members.push_back(std::move(member));
+    fed->links.push_back(std::move(link));
+  }
+  MustRun(fed->host.get(), view);
+  // Warm metadata/statistics caches so measured traffic is execution-only.
+  MustRun(fed->host.get(), "SELECT COUNT(*) FROM lineitem");
+  MustRun(fed->host.get(), "SELECT COUNT(*) FROM lineitem WHERE "
+                           "l_commitdate = @d",
+          {{"@d", Value::Date(CivilToDays(1995, 6, 1))}});
+  return fed;
+}
+
+// Static pruning: constant single-year range.
+void BM_Dpv_StaticPruning(benchmark::State& state) {
+  auto* fed = bench::CachedFixture<Federation>("fed", BuildFederation);
+  fed->host->options()->optimizer.enable_static_pruning = state.range(0) != 0;
+  int64_t touched = 0;
+  for (auto _ : state) {
+    fed->ResetLinks();
+    QueryResult r = MustRun(
+        fed->host.get(),
+        "SELECT COUNT(*), SUM(l_extendedprice) FROM lineitem "
+        "WHERE l_commitdate BETWEEN '1995-01-01' AND '1995-12-31'");
+    touched = fed->MembersTouched();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["members_touched"] = static_cast<double>(touched);
+  state.SetLabel(state.range(0) != 0 ? "static-pruning" : "no-pruning");
+  fed->host->options()->optimizer = OptimizerOptions{};
+}
+BENCHMARK(BM_Dpv_StaticPruning)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+// Runtime pruning: the same query parameterized; startup filters decide at
+// execution time.
+void BM_Dpv_StartupFilters(benchmark::State& state) {
+  auto* fed = bench::CachedFixture<Federation>("fed", BuildFederation);
+  fed->host->options()->optimizer.enable_startup_filters = state.range(0) != 0;
+  int64_t touched = 0, skips = 0;
+  int64_t day = CivilToDays(1996, 3, 15);
+  for (auto _ : state) {
+    fed->ResetLinks();
+    QueryResult r = MustRun(
+        fed->host.get(),
+        "SELECT COUNT(*) FROM lineitem WHERE l_commitdate = @d",
+        {{"@d", Value::Date(day)}});
+    touched = fed->MembersTouched();
+    skips = r.exec_stats.startup_skips;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["members_touched"] = static_cast<double>(touched);
+  state.counters["startup_skips"] = static_cast<double>(skips);
+  state.SetLabel(state.range(0) != 0 ? "startup-filters" : "no-runtime-pruning");
+  fed->host->options()->optimizer = OptimizerOptions{};
+}
+BENCHMARK(BM_Dpv_StartupFilters)->Arg(1)->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+// Fan-out query with no pruning opportunity (whole-view aggregate): the
+// baseline all-members cost.
+void BM_Dpv_FullViewAggregate(benchmark::State& state) {
+  auto* fed = bench::CachedFixture<Federation>("fed", BuildFederation);
+  for (auto _ : state) {
+    QueryResult r = MustRun(fed->host.get(),
+                            "SELECT COUNT(*), MAX(l_extendedprice) "
+                            "FROM lineitem");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Dpv_FullViewAggregate)->Unit(benchmark::kMillisecond);
+
+// INSERT routing throughput through the view.
+void BM_Dpv_InsertRouting(benchmark::State& state) {
+  auto* fed = bench::CachedFixture<Federation>("fed", BuildFederation);
+  int64_t key = 5000000;
+  for (auto _ : state) {
+    int year = 1992 + static_cast<int>(key % 7);
+    MustRun(fed->host.get(),
+            "INSERT INTO lineitem VALUES (" + std::to_string(key++) +
+                ", 1, 1, 2, 42.0, '" + std::to_string(year) +
+                "-06-15', '" + std::to_string(year) + "-06-20')");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Dpv_InsertRouting)->Unit(benchmark::kMicrosecond);
+
+}  // namespace dhqp
+
+BENCHMARK_MAIN();

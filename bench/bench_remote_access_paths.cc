@@ -1,0 +1,101 @@
+// Experiment E2 — remote access paths (§3.3 index provider, §4.1.2's
+// "remote scan / remote range / remote fetch"). Sweeps predicate selectivity
+// over an indexed remote table under three provider configurations:
+//   query provider   -> pushed RemoteQuery,
+//   index provider   -> RemoteRange / RemoteFetch (no ICommand),
+//   simple provider  -> RemoteScan + local filter.
+// Expected shape: index paths win at low selectivity; the scan price is flat;
+// all converge as selectivity -> 1.
+
+#include "bench/bench_util.h"
+
+namespace dhqp {
+
+using bench::HostWithRemote;
+using bench::MustRun;
+
+constexpr int kRows = 20000;
+
+std::unique_ptr<HostWithRemote> BuildPaths(const std::string& kind) {
+  ProviderCapabilities caps = SqlServerCapabilities();
+  if (kind == "index") {
+    caps.supports_command = false;
+    caps.sql_support = SqlSupportLevel::kNone;
+    caps.provider_name = "DHQP.IndexProvider";
+  } else if (kind == "simple") {
+    caps.supports_command = false;
+    caps.sql_support = SqlSupportLevel::kNone;
+    caps.supports_indexes = false;
+    caps.supports_bookmarks = false;
+    caps.provider_name = "DHQP.SimpleProvider";
+  }
+  auto pair = bench::MakeHostWithRemote("rsrv", /*latency_us=*/30, caps);
+  MustRun(pair->remote.get(), "CREATE TABLE t (k INT PRIMARY KEY, pay VARCHAR(40))");
+  for (int base = 0; base < kRows; base += 1000) {
+    std::string sql = "INSERT INTO t VALUES ";
+    for (int i = 0; i < 1000; ++i) {
+      int k = base + i;
+      if (i) sql += ",";
+      sql += "(" + std::to_string(k) + ",'payload-" + std::to_string(k) + "')";
+    }
+    MustRun(pair->remote.get(), sql);
+  }
+  return pair;
+}
+
+void RunPath(benchmark::State& state, const std::string& kind) {
+  auto* pair = bench::CachedFixture<HostWithRemote>(kind, BuildPaths);
+  int64_t cut = state.range(0);  // Rows selected by k < cut.
+  std::string query =
+      "SELECT COUNT(*) FROM rsrv.d.s.t WHERE k < " + std::to_string(cut);
+  int64_t rows_shipped = 0, msgs = 0, fetches = 0;
+  for (auto _ : state) {
+    pair->link->ResetStats();
+    QueryResult r = MustRun(pair->host.get(), query);
+    rows_shipped = r.exec_stats.rows_from_remote;
+    fetches = r.exec_stats.remote_fetches;
+    msgs = pair->link->stats().messages;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rows_shipped"] = static_cast<double>(rows_shipped);
+  state.counters["link_messages"] = static_cast<double>(msgs);
+  state.counters["bookmark_fetches"] = static_cast<double>(fetches);
+}
+
+void BM_Path_QueryProvider(benchmark::State& state) { RunPath(state, "query"); }
+void BM_Path_IndexProvider(benchmark::State& state) { RunPath(state, "index"); }
+void BM_Path_SimpleProvider(benchmark::State& state) { RunPath(state, "simple"); }
+
+BENCHMARK(BM_Path_QueryProvider)
+    ->Arg(10)->Arg(200)->Arg(2000)->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Path_IndexProvider)
+    ->Arg(10)->Arg(200)->Arg(2000)->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Path_SimpleProvider)
+    ->Arg(10)->Arg(200)->Arg(2000)->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+
+// Point lookups, where "remote fetch" style access shines: one indexed row
+// vs shipping anything else.
+void BM_Path_PointLookup(benchmark::State& state) {
+  std::string kind = state.range(0) == 0   ? "query"
+                     : state.range(0) == 1 ? "index"
+                                           : "simple";
+  auto* pair = bench::CachedFixture<HostWithRemote>(kind, BuildPaths);
+  int64_t k = 0;
+  for (auto _ : state) {
+    QueryResult r = MustRun(
+        pair->host.get(),
+        "SELECT pay FROM rsrv.d.s.t WHERE k = " + std::to_string(k % kRows));
+    k += 7919;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(kind);
+}
+BENCHMARK(BM_Path_PointLookup)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace dhqp
+
+BENCHMARK_MAIN();

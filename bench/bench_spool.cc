@@ -1,0 +1,65 @@
+// Experiment E4 — the remote spool enforcer (§4.1.4): "it is often
+// beneficial to spool results from a remote source if multiple scans of the
+// data are expected". A nested-loops join rescans its remote inner once per
+// outer row; with the spool the remote executes once, without it every
+// rescan re-fetches. Sweeps the number of outer rows (rescans).
+
+#include "bench/bench_util.h"
+
+namespace dhqp {
+
+using bench::HostWithRemote;
+using bench::MustRun;
+
+std::unique_ptr<HostWithRemote> BuildSpool(const std::string&) {
+  auto pair = bench::MakeHostWithRemote("rsrv", /*latency_us=*/40);
+  MustRun(pair->remote.get(), "CREATE TABLE inner_t (k INT PRIMARY KEY, v INT)");
+  std::string sql = "INSERT INTO inner_t VALUES ";
+  for (int i = 0; i < 2000; ++i) {
+    if (i) sql += ",";
+    sql += "(" + std::to_string(i) + "," + std::to_string(i * 3) + ")";
+  }
+  MustRun(pair->remote.get(), sql);
+  MustRun(pair->host.get(), "CREATE TABLE outer_t (k INT PRIMARY KEY)");
+  for (int i = 0; i < 64; ++i) {
+    MustRun(pair->host.get(),
+            "INSERT INTO outer_t VALUES (" + std::to_string(i * 31) + ")");
+  }
+  return pair;
+}
+
+void RunSpool(benchmark::State& state, bool spool_enabled) {
+  auto* pair = bench::CachedFixture<HostWithRemote>("spool", BuildSpool);
+  pair->host->options()->optimizer.enable_spool_enforcer = spool_enabled;
+  int64_t outer_rows = state.range(0);
+  // A non-equi join predicate forbids hash/merge, forcing nested loops with
+  // remote-inner rescans.
+  std::string query =
+      "SELECT COUNT(*) FROM outer_t o JOIN rsrv.d.s.inner_t i "
+      "ON i.k < o.k AND i.v > o.k WHERE o.k < " +
+      std::to_string(outer_rows * 31);
+  int64_t remote_work = 0, rows_shipped = 0, rescans = 0;
+  for (auto _ : state) {
+    QueryResult r = MustRun(pair->host.get(), query);
+    remote_work = r.exec_stats.remote_commands + r.exec_stats.remote_opens;
+    rows_shipped = r.exec_stats.rows_from_remote;
+    rescans = r.exec_stats.spool_rescans;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["remote_executions"] = static_cast<double>(remote_work);
+  state.counters["rows_shipped"] = static_cast<double>(rows_shipped);
+  state.counters["spool_rescans"] = static_cast<double>(rescans);
+  pair->host->options()->optimizer = OptimizerOptions{};
+}
+
+void BM_Spool_Enabled(benchmark::State& state) { RunSpool(state, true); }
+void BM_Spool_Disabled(benchmark::State& state) { RunSpool(state, false); }
+
+BENCHMARK(BM_Spool_Enabled)->Arg(2)->Arg(8)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Spool_Disabled)->Arg(2)->Arg(8)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace dhqp
+
+BENCHMARK_MAIN();

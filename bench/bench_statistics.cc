@@ -1,0 +1,104 @@
+// Experiment E3 — remote statistics (§3.2.4): "commonly provides order of
+// magnitude improvements on cardinality estimates". A Zipf-skewed remote
+// column is queried for hot and cold keys with histogram shipping enabled vs
+// disabled; the bench reports estimation error (est/actual) and the runtime
+// consequence (rows shipped under the chosen plan).
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+
+namespace dhqp {
+
+using bench::HostWithRemote;
+using bench::MustRun;
+
+constexpr int kRows = 30000;
+constexpr int kDistinct = 500;
+
+std::unique_ptr<HostWithRemote> BuildSkewed(const std::string&) {
+  auto pair = bench::MakeHostWithRemote("rsrv");
+  MustRun(pair->remote.get(),
+          "CREATE TABLE skewed (id INT PRIMARY KEY, z INT, pay INT)");
+  ZipfGenerator zipf(kDistinct, 1.1, 99);
+  for (int base = 0; base < kRows; base += 1000) {
+    std::string sql = "INSERT INTO skewed VALUES ";
+    for (int i = 0; i < 1000; ++i) {
+      int id = base + i;
+      if (i) sql += ",";
+      sql += "(" + std::to_string(id) + "," + std::to_string(zipf.Next()) +
+             "," + std::to_string(id % 97) + ")";
+    }
+    MustRun(pair->remote.get(), sql);
+  }
+  MustRun(pair->remote.get(), "CREATE INDEX idx_z ON skewed (z)");
+  return pair;
+}
+
+void RunEstimate(benchmark::State& state, bool use_stats) {
+  auto* pair = bench::CachedFixture<HostWithRemote>("skewed", BuildSkewed);
+  pair->host->options()->optimizer.enable_remote_statistics = use_stats;
+  int64_t key = state.range(0);  // Zipf rank: 1 = hottest.
+  std::string query =
+      "SELECT pay FROM rsrv.d.s.skewed WHERE z = " + std::to_string(key);
+  double est = 0, actual = 0, shipped = 0;
+  for (auto _ : state) {
+    QueryResult r = MustRun(pair->host.get(), query);
+    est = r.plan->estimated_rows;
+    actual = static_cast<double>(r.rowset->rows().size());
+    shipped = static_cast<double>(r.exec_stats.rows_from_remote);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["estimated_rows"] = est;
+  state.counters["actual_rows"] = actual;
+  state.counters["error_factor"] =
+      actual > 0 ? std::max(est, actual) / std::max(std::min(est, actual), 1.0)
+                 : 0;
+  state.counters["rows_shipped"] = shipped;
+  pair->host->options()->optimizer = OptimizerOptions{};
+  pair->host->catalog()->InvalidateCaches();
+}
+
+void BM_Stats_WithHistograms(benchmark::State& state) {
+  RunEstimate(state, true);
+}
+void BM_Stats_WithoutHistograms(benchmark::State& state) {
+  RunEstimate(state, false);
+}
+
+// Rank 1 = heavy hitter (~thousands of rows); rank 400 = tail (handful).
+BENCHMARK(BM_Stats_WithHistograms)->Arg(1)->Arg(10)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Stats_WithoutHistograms)->Arg(1)->Arg(10)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+// Join-order consequence: joining the skewed table against a local probe on
+// the hot key — bad estimates push the optimizer toward shipping the wrong
+// side.
+void BM_Stats_JoinPlanQuality(benchmark::State& state) {
+  auto* pair = bench::CachedFixture<HostWithRemote>("skewed", BuildSkewed);
+  pair->host->options()->optimizer.enable_remote_statistics =
+      state.range(0) != 0;
+  if (!pair->host->storage()->HasTable("probe")) {
+    MustRun(pair->host.get(), "CREATE TABLE probe (z INT PRIMARY KEY)");
+    MustRun(pair->host.get(), "INSERT INTO probe VALUES (1),(2),(3)");
+  }
+  int64_t shipped = 0;
+  for (auto _ : state) {
+    QueryResult r = MustRun(pair->host.get(),
+                            "SELECT COUNT(*) FROM probe p JOIN "
+                            "rsrv.d.s.skewed s ON p.z = s.z");
+    shipped = r.exec_stats.rows_from_remote;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rows_shipped"] = static_cast<double>(shipped);
+  pair->host->options()->optimizer = OptimizerOptions{};
+  pair->host->catalog()->InvalidateCaches();
+}
+BENCHMARK(BM_Stats_JoinPlanQuality)->Arg(1)->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace dhqp
+
+BENCHMARK_MAIN();

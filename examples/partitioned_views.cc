@@ -1,0 +1,75 @@
+// Distributed partitioned views (§4.1.5): TPC-H lineitem partitioned by
+// commit-date year across member servers, with static pruning, startup
+// filters for parameterized queries, and INSERT routing.
+
+#include <cstdio>
+
+#include "src/connectors/engine_provider.h"
+#include "src/connectors/linked_provider.h"
+#include "src/core/engine.h"
+#include "src/workloads/tpch.h"
+
+using namespace dhqp;  // NOLINT — example brevity.
+
+int main() {
+  Engine host;
+  std::vector<std::unique_ptr<Engine>> members;
+  std::vector<std::unique_ptr<net::Link>> links;
+
+  workloads::TpchOptions options;
+  options.scale_factor = 0.005;
+  std::string view_sql = "CREATE VIEW lineitem AS ";
+  for (int year = 1992; year <= 1995; ++year) {
+    auto member = std::make_unique<Engine>();
+    std::string table = "lineitem_" + std::to_string(year);
+    if (!workloads::PopulateLineitemPartition(member.get(), options, table,
+                                              year, year)
+             .ok()) {
+      return 1;
+    }
+    std::string server = "srv" + std::to_string(year);
+    auto link = std::make_unique<net::Link>(server);
+    (void)host.AddLinkedServer(
+        server, std::make_shared<LinkedDataSource>(
+                    std::make_shared<EngineDataSource>(member.get()),
+                    link.get()));
+    if (year > 1992) view_sql += " UNION ALL ";
+    view_sql += "SELECT * FROM " + server + ".tpch.dbo." + table;
+    members.push_back(std::move(member));
+    links.push_back(std::move(link));
+  }
+  (void)host.Execute(view_sql);
+
+  auto total = host.Execute("SELECT COUNT(*) FROM lineitem");
+  std::printf("total lineitem rows across 4 servers: %s\n",
+              total->rowset->rows()[0][0].ToString().c_str());
+
+  // Static pruning: a constant date predicate eliminates 3 of 4 members at
+  // compile time.
+  auto pruned = host.Execute(
+      "SELECT COUNT(*) FROM lineitem "
+      "WHERE l_commitdate BETWEEN '1993-03-01' AND '1993-04-30'");
+  std::printf("\n== static pruning (constant range) ==\n%s",
+              pruned->plan->ToString().c_str());
+
+  // Runtime pruning: with a parameter the plan carries startup filters.
+  auto runtime = host.Execute(
+      "SELECT COUNT(*) FROM lineitem WHERE l_commitdate = @d",
+      {{"@d", Value::Date(CivilToDays(1994, 7, 14))}});
+  std::printf("\n== runtime pruning (parameter) ==\n%s",
+              runtime->plan->ToString().c_str());
+  std::printf("startup filters skipped %lld of 4 member subtrees\n",
+              static_cast<long long>(runtime->exec_stats.startup_skips));
+
+  // INSERT routing: the row lands on the member whose CHECK admits it.
+  auto inserted = host.Execute(
+      "INSERT INTO lineitem VALUES "
+      "(424242, 1, 1, 3, 55.0, '1995-05-05', '1995-05-20')");
+  if (inserted.ok()) {
+    auto check = members[3]->Execute(
+        "SELECT COUNT(*) FROM lineitem_1995 WHERE l_orderkey = 424242");
+    std::printf("\nINSERT through the view routed to srv1995: %s row(s)\n",
+                check->rowset->rows()[0][0].ToString().c_str());
+  }
+  return 0;
+}

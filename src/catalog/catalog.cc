@@ -1,0 +1,146 @@
+#include "src/catalog/catalog.h"
+
+namespace dhqp {
+
+std::string ObjectName::ToString() const {
+  std::string out;
+  if (!server.empty()) out += server + ".";
+  if (!catalog.empty()) out += catalog + ".";
+  if (!schema.empty()) out += schema + ".";
+  out += table;
+  return out;
+}
+
+Catalog::Catalog(StorageEngine* storage) : storage_(storage) {
+  local_source_ = std::make_unique<StorageDataSource>(storage);
+}
+
+Status Catalog::AddLinkedServer(const std::string& name,
+                                std::shared_ptr<DataSource> source) {
+  std::string key = ToLowerCopy(name);
+  if (server_ids_.count(key) > 0) {
+    return Status::AlreadyExists("linked server '" + name +
+                                 "' already exists");
+  }
+  server_ids_[key] = static_cast<int>(servers_.size());
+  servers_.push_back(ServerEntry{name, std::move(source), nullptr});
+  return Status::OK();
+}
+
+Result<DataSource*> Catalog::GetLinkedServer(const std::string& name) const {
+  DHQP_ASSIGN_OR_RETURN(int id, GetLinkedServerId(name));
+  return servers_[static_cast<size_t>(id)].source.get();
+}
+
+Result<int> Catalog::GetLinkedServerId(const std::string& name) const {
+  auto it = server_ids_.find(ToLowerCopy(name));
+  if (it == server_ids_.end()) {
+    return Status::NotFound("linked server '" + name + "' not defined");
+  }
+  return it->second;
+}
+
+const std::string& Catalog::ServerName(int source_id) const {
+  return servers_[static_cast<size_t>(source_id)].name;
+}
+
+DataSource* Catalog::ServerSource(int source_id) const {
+  return servers_[static_cast<size_t>(source_id)].source.get();
+}
+
+std::vector<std::string> Catalog::LinkedServerNames() const {
+  std::vector<std::string> names;
+  names.reserve(servers_.size());
+  for (const ServerEntry& s : servers_) names.push_back(s.name);
+  return names;
+}
+
+Result<Session*> Catalog::GetSession(int source_id) {
+  if (source_id == kLocalSource) {
+    if (local_session_ == nullptr) {
+      DHQP_ASSIGN_OR_RETURN(local_session_, local_source_->CreateSession());
+    }
+    return local_session_.get();
+  }
+  if (source_id < 0 || static_cast<size_t>(source_id) >= servers_.size()) {
+    return Status::InvalidArgument("bad source id " +
+                                   std::to_string(source_id));
+  }
+  ServerEntry& entry = servers_[static_cast<size_t>(source_id)];
+  if (entry.session == nullptr) {
+    DHQP_ASSIGN_OR_RETURN(entry.session, entry.source->CreateSession());
+  }
+  return entry.session.get();
+}
+
+Status Catalog::CreateView(const std::string& name, const std::string& sql) {
+  std::string key = ToLowerCopy(name);
+  if (views_.count(key) > 0 || storage_->HasTable(name)) {
+    return Status::AlreadyExists("object '" + name + "' already exists");
+  }
+  views_[key] = ViewDef{name, sql};
+  return Status::OK();
+}
+
+const ViewDef* Catalog::FindView(const std::string& name) const {
+  auto it = views_.find(ToLowerCopy(name));
+  return it == views_.end() ? nullptr : &it->second;
+}
+
+Status Catalog::DropView(const std::string& name) {
+  if (views_.erase(ToLowerCopy(name)) == 0) {
+    return Status::NotFound("view '" + name + "' not found");
+  }
+  return Status::OK();
+}
+
+Result<ResolvedTable> Catalog::ResolveTable(const ObjectName& name,
+                                            bool refresh) {
+  ResolvedTable out;
+  if (!name.has_server()) {
+    DHQP_ASSIGN_OR_RETURN(Table * t, storage_->GetTable(name.table));
+    out.source_id = kLocalSource;
+    out.metadata = t->Metadata();
+    out.caps = local_source_->capabilities();
+    out.checks = out.metadata.checks;
+    return out;
+  }
+  DHQP_ASSIGN_OR_RETURN(int id, GetLinkedServerId(name.server));
+  out.source_id = id;
+  out.server_name = ServerName(id);
+  out.caps = ServerSource(id)->capabilities();
+
+  std::string cache_key = std::to_string(id) + '\0' + ToLowerCopy(name.table);
+  auto it = table_cache_.find(cache_key);
+  if (!refresh && it != table_cache_.end()) {
+    out.metadata = it->second.metadata;
+    out.checks = out.metadata.checks;
+    return out;
+  }
+  DHQP_ASSIGN_OR_RETURN(Session * session, GetSession(id));
+  DHQP_ASSIGN_OR_RETURN(out.metadata, session->GetTableMetadata(name.table));
+  table_cache_[cache_key] = TableCacheEntry{out.metadata};
+  out.checks = out.metadata.checks;
+  return out;
+}
+
+Result<ColumnStatistics> Catalog::GetStatistics(int source_id,
+                                                const std::string& table,
+                                                const std::string& column) {
+  std::string key = std::to_string(source_id) + '\0' + ToLowerCopy(table) +
+                    '\0' + ToLowerCopy(column);
+  auto it = stats_cache_.find(key);
+  if (it != stats_cache_.end()) return it->second;
+  DHQP_ASSIGN_OR_RETURN(Session * session, GetSession(source_id));
+  DHQP_ASSIGN_OR_RETURN(ColumnStatistics stats,
+                        session->GetStatistics(table, column));
+  stats_cache_[key] = stats;
+  return stats;
+}
+
+void Catalog::InvalidateCaches() {
+  table_cache_.clear();
+  stats_cache_.clear();
+}
+
+}  // namespace dhqp

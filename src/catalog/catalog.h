@@ -1,0 +1,128 @@
+#ifndef DHQP_CATALOG_CATALOG_H_
+#define DHQP_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/provider/provider.h"
+#include "src/storage/storage_engine.h"
+
+namespace dhqp {
+
+/// A possibly-qualified object name from SQL. The paper's four-part
+/// convention (§2.1): server.catalog.schema.table — shorter forms omit the
+/// leading parts. Catalog/schema parts are carried for display and remoting
+/// but resolution keys on (server, table).
+struct ObjectName {
+  std::string server;
+  std::string catalog;
+  std::string schema;
+  std::string table;
+
+  bool has_server() const { return !server.empty(); }
+  std::string ToString() const;
+};
+
+/// A named view: its definition is kept as SQL text and re-bound on
+/// reference, like deferred name resolution in SQL Server. Partitioned views
+/// are ordinary views whose body is a UNION ALL over member tables (§4.1.5).
+struct ViewDef {
+  std::string name;
+  std::string sql;
+};
+
+/// Identifies where a table lives: kLocalSource for the local storage
+/// engine, otherwise the linked-server ordinal.
+constexpr int kLocalSource = -1;
+
+/// Everything the binder/optimizer need to know about a resolved table:
+/// where it lives, its shape/cardinality/indexes, CHECK-constraint domains,
+/// and the owning provider's capabilities.
+struct ResolvedTable {
+  int source_id = kLocalSource;
+  std::string server_name;  ///< Empty for local tables.
+  TableMetadata metadata;
+  ProviderCapabilities caps;
+  /// Column-domain constraints (from CHECK constraints); the constraint
+  /// property framework seeds per-column domains from these.
+  std::vector<CheckConstraint> checks;
+};
+
+/// Metadata hub of one engine instance (Fig 1's "Metadata: Stats, Linked
+/// Servers" box): the local storage engine, the linked-server registry
+/// binding names to providers, views, and cached remote metadata and
+/// statistics.
+class Catalog {
+ public:
+  explicit Catalog(StorageEngine* storage);
+
+  StorageEngine* storage() const { return storage_; }
+
+  /// @name Linked servers (§2.1).
+  ///@{
+  Status AddLinkedServer(const std::string& name,
+                         std::shared_ptr<DataSource> source);
+  Result<DataSource*> GetLinkedServer(const std::string& name) const;
+  Result<int> GetLinkedServerId(const std::string& name) const;
+  /// Server name for a source id; precondition: valid remote id.
+  const std::string& ServerName(int source_id) const;
+  DataSource* ServerSource(int source_id) const;
+  std::vector<std::string> LinkedServerNames() const;
+  ///@}
+
+  /// A reusable session on the given source (lazily created, cached).
+  Result<Session*> GetSession(int source_id);
+
+  /// @name Views.
+  ///@{
+  Status CreateView(const std::string& name, const std::string& sql);
+  const ViewDef* FindView(const std::string& name) const;
+  Status DropView(const std::string& name);
+  ///@}
+
+  /// Resolves a (possibly four-part) table name to its source + metadata.
+  /// Remote metadata is fetched through the provider's schema rowset and
+  /// cached; `refresh` forces re-fetch (used by delayed schema validation).
+  Result<ResolvedTable> ResolveTable(const ObjectName& name,
+                                     bool refresh = false);
+
+  /// Column statistics for cardinality estimation. For remote sources this
+  /// goes through the provider's histogram rowsets (§3.2.4) when supported;
+  /// returns NotSupported otherwise. `allow_remote_fetch=false` simulates an
+  /// optimizer configured to ignore remote statistics (ablation E3).
+  Result<ColumnStatistics> GetStatistics(int source_id,
+                                         const std::string& table,
+                                         const std::string& column);
+
+  /// Drops all cached remote metadata/statistics (tests & delayed schema
+  /// validation scenarios).
+  void InvalidateCaches();
+
+ private:
+  StorageEngine* storage_;
+  std::unique_ptr<StorageDataSource> local_source_;
+  std::unique_ptr<Session> local_session_;
+
+  struct ServerEntry {
+    std::string name;
+    std::shared_ptr<DataSource> source;
+    std::unique_ptr<Session> session;  // Lazily created.
+  };
+  std::vector<ServerEntry> servers_;
+  std::map<std::string, int> server_ids_;  // Lower-cased name -> ordinal.
+
+  std::map<std::string, ViewDef> views_;  // Lower-cased name.
+
+  struct TableCacheEntry {
+    TableMetadata metadata;
+  };
+  std::map<std::string, TableCacheEntry> table_cache_;  // "id\0table".
+  std::map<std::string, ColumnStatistics> stats_cache_;  // "id\0table\0col".
+};
+
+}  // namespace dhqp
+
+#endif  // DHQP_CATALOG_CATALOG_H_

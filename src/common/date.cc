@@ -1,0 +1,53 @@
+#include "src/common/date.h"
+
+#include <cstdio>
+
+namespace dhqp {
+
+// Howard Hinnant's days_from_civil algorithm.
+int64_t CivilToDays(int year, int month, int day) {
+  int y = year;
+  const int m = month;
+  const int d = day;
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);           // [0, 399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0, 146096]
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void DaysToCivil(int64_t days, int* year, int* month, int* day) {
+  int64_t z = days + 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);  // [0, 146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;  // [0, 399]
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                        // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;                // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                     // [1, 12]
+  *year = static_cast<int>(y + (m <= 2));
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+Result<int64_t> ParseIsoDate(const std::string& text) {
+  int y = 0, m = 0, d = 0;
+  if (std::sscanf(text.c_str(), "%d-%d-%d", &y, &m, &d) != 3 || m < 1 ||
+      m > 12 || d < 1 || d > 31) {
+    return Status::InvalidArgument("invalid date literal: '" + text + "'");
+  }
+  return CivilToDays(y, m, d);
+}
+
+std::string DaysToIsoDate(int64_t days) {
+  int y, m, d;
+  DaysToCivil(days, &y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+}  // namespace dhqp

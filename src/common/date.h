@@ -1,0 +1,26 @@
+#ifndef DHQP_COMMON_DATE_H_
+#define DHQP_COMMON_DATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace dhqp {
+
+/// Converts a proleptic Gregorian calendar date to days since 1970-01-01.
+/// Months are 1-12, days 1-31; no validation beyond arithmetic.
+int64_t CivilToDays(int year, int month, int day);
+
+/// Inverse of CivilToDays.
+void DaysToCivil(int64_t days, int* year, int* month, int* day);
+
+/// Parses 'YYYY-MM-DD' (also accepts 'YYYY-M-D') into days since epoch.
+Result<int64_t> ParseIsoDate(const std::string& text);
+
+/// Renders days since epoch as 'YYYY-MM-DD'.
+std::string DaysToIsoDate(int64_t days);
+
+}  // namespace dhqp
+
+#endif  // DHQP_COMMON_DATE_H_

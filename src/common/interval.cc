@@ -1,0 +1,188 @@
+#include "src/common/interval.h"
+
+#include <algorithm>
+
+namespace dhqp {
+
+namespace {
+
+// Compares two lower bounds: which one admits smaller values first.
+// -inf < any finite; at equal values, inclusive starts earlier.
+int CompareLower(const Bound& a, const Bound& b) {
+  if (!a.value && !b.value) return 0;
+  if (!a.value) return -1;
+  if (!b.value) return 1;
+  int c = a.value->Compare(*b.value);
+  if (c != 0) return c;
+  if (a.inclusive == b.inclusive) return 0;
+  return a.inclusive ? -1 : 1;
+}
+
+// Compares two upper bounds: which one admits larger values.
+// +inf > any finite; at equal values, exclusive ends earlier.
+int CompareUpper(const Bound& a, const Bound& b) {
+  if (!a.value && !b.value) return 0;
+  if (!a.value) return 1;
+  if (!b.value) return -1;
+  int c = a.value->Compare(*b.value);
+  if (c != 0) return c;
+  if (a.inclusive == b.inclusive) return 0;
+  return a.inclusive ? 1 : -1;
+}
+
+// True if an interval with lower bound `lo` and upper bound `hi` is empty.
+bool BoundsEmpty(const Bound& lo, const Bound& hi) {
+  if (!lo.value || !hi.value) return false;
+  int c = lo.value->Compare(*hi.value);
+  if (c > 0) return true;
+  if (c == 0) return !(lo.inclusive && hi.inclusive);
+  return false;
+}
+
+// True if interval a's upper touches or overlaps interval b's lower so the
+// two can be merged into one contiguous interval.
+bool TouchesOrOverlaps(const Interval& a, const Interval& b) {
+  // b starts after a ends?
+  if (!a.hi.value || !b.lo.value) return true;  // infinite sides always meet
+  int c = b.lo.value->Compare(*a.hi.value);
+  if (c < 0) return true;
+  if (c > 0) return false;
+  // Equal boundary value: they connect if at least one side includes it.
+  return a.hi.inclusive || b.lo.inclusive;
+}
+
+}  // namespace
+
+bool Interval::Empty() const { return BoundsEmpty(lo, hi); }
+
+bool Interval::Contains(const Value& v) const {
+  if (lo.value) {
+    int c = v.Compare(*lo.value);
+    if (c < 0 || (c == 0 && !lo.inclusive)) return false;
+  }
+  if (hi.value) {
+    int c = v.Compare(*hi.value);
+    if (c > 0 || (c == 0 && !hi.inclusive)) return false;
+  }
+  return true;
+}
+
+std::string Interval::ToString() const {
+  std::string out = lo.inclusive && lo.value ? "[" : "(";
+  out += lo.value ? lo.value->ToString() : "-inf";
+  out += ", ";
+  out += hi.value ? hi.value->ToString() : "+inf";
+  out += hi.inclusive && hi.value ? "]" : ")";
+  return out;
+}
+
+IntervalSet IntervalSet::All() {
+  IntervalSet s;
+  s.intervals_.push_back(Interval{});
+  return s;
+}
+
+IntervalSet IntervalSet::None() { return IntervalSet(); }
+
+IntervalSet IntervalSet::Point(const Value& v) {
+  return Range(Bound{v, true}, Bound{v, true});
+}
+
+IntervalSet IntervalSet::Range(Bound lo, Bound hi) {
+  IntervalSet s;
+  Interval iv{std::move(lo), std::move(hi)};
+  if (!iv.Empty()) s.intervals_.push_back(std::move(iv));
+  return s;
+}
+
+IntervalSet IntervalSet::FromComparison(const std::string& op,
+                                        const Value& v) {
+  if (op == "=") return Point(v);
+  if (op == "<") return Range(Bound{}, Bound{v, false});
+  if (op == "<=") return Range(Bound{}, Bound{v, true});
+  if (op == ">") return Range(Bound{v, false}, Bound{});
+  if (op == ">=") return Range(Bound{v, true}, Bound{});
+  if (op == "<>" || op == "!=") {
+    IntervalSet s = Range(Bound{}, Bound{v, false});
+    s.Add(Interval{Bound{v, false}, Bound{}});
+    return s;
+  }
+  return All();
+}
+
+bool IntervalSet::IsAll() const {
+  return intervals_.size() == 1 && !intervals_[0].lo.value &&
+         !intervals_[0].hi.value;
+}
+
+bool IntervalSet::Contains(const Value& v) const {
+  for (const Interval& iv : intervals_) {
+    if (iv.Contains(v)) return true;
+  }
+  return false;
+}
+
+void IntervalSet::Add(Interval iv) {
+  if (iv.Empty()) return;
+  intervals_.push_back(std::move(iv));
+  Normalize();
+}
+
+void IntervalSet::Normalize() {
+  if (intervals_.empty()) return;
+  std::sort(intervals_.begin(), intervals_.end(),
+            [](const Interval& a, const Interval& b) {
+              int c = CompareLower(a.lo, b.lo);
+              if (c != 0) return c < 0;
+              return CompareUpper(a.hi, b.hi) < 0;
+            });
+  std::vector<Interval> merged;
+  merged.push_back(intervals_[0]);
+  for (size_t i = 1; i < intervals_.size(); ++i) {
+    Interval& last = merged.back();
+    const Interval& cur = intervals_[i];
+    if (TouchesOrOverlaps(last, cur)) {
+      if (CompareUpper(cur.hi, last.hi) > 0) last.hi = cur.hi;
+    } else {
+      merged.push_back(cur);
+    }
+  }
+  intervals_ = std::move(merged);
+}
+
+IntervalSet IntervalSet::Intersect(const IntervalSet& other) const {
+  IntervalSet out;
+  for (const Interval& a : intervals_) {
+    for (const Interval& b : other.intervals_) {
+      Interval iv;
+      iv.lo = CompareLower(a.lo, b.lo) >= 0 ? a.lo : b.lo;
+      iv.hi = CompareUpper(a.hi, b.hi) <= 0 ? a.hi : b.hi;
+      if (!iv.Empty()) out.intervals_.push_back(iv);
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+IntervalSet IntervalSet::Union(const IntervalSet& other) const {
+  IntervalSet out = *this;
+  for (const Interval& b : other.intervals_) out.intervals_.push_back(b);
+  out.Normalize();
+  return out;
+}
+
+bool IntervalSet::Intersects(const IntervalSet& other) const {
+  return !Intersect(other).IsEmpty();
+}
+
+std::string IntervalSet::ToString() const {
+  if (intervals_.empty()) return "{}";
+  std::string out;
+  for (size_t i = 0; i < intervals_.size(); ++i) {
+    if (i) out += " U ";
+    out += intervals_[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace dhqp

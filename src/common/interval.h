@@ -1,0 +1,77 @@
+#ifndef DHQP_COMMON_INTERVAL_H_
+#define DHQP_COMMON_INTERVAL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+
+namespace dhqp {
+
+/// One endpoint of an interval: a value plus whether it is included.
+/// An absent value means the corresponding infinity.
+struct Bound {
+  std::optional<Value> value;  ///< nullopt == -inf (lower) / +inf (upper).
+  bool inclusive = false;
+};
+
+/// A contiguous range [lo, hi] / (lo, hi) / etc. over the Value ordering.
+struct Interval {
+  Bound lo;  ///< lo.value == nullopt means -infinity.
+  Bound hi;  ///< hi.value == nullopt means +infinity.
+
+  /// True if no value can satisfy the interval (e.g. (5,5)).
+  bool Empty() const;
+  bool Contains(const Value& v) const;
+  std::string ToString() const;
+};
+
+/// The domain of a scalar expression as a set of disjoint, sorted intervals.
+/// This is the representation behind the paper's constraint property
+/// framework (§4.1.5): filters like "CustomerId > 50" narrow a column's
+/// domain from (-inf,+inf) to (50,+inf); "IN (1,5) OR BETWEEN 50 AND 100"
+/// yields [1,1] ∪ [5,5] ∪ [50,100]. The optimizer intersects domains to do
+/// static pruning, and the executor's startup filters reuse the same math at
+/// run time.
+class IntervalSet {
+ public:
+  /// The full domain (-inf, +inf).
+  static IntervalSet All();
+  /// The empty domain.
+  static IntervalSet None();
+  /// A single point [v, v].
+  static IntervalSet Point(const Value& v);
+  /// A single range with the given bounds.
+  static IntervalSet Range(Bound lo, Bound hi);
+  /// Domain implied by a comparison `col <op> v`, where op is one of
+  /// "=", "<", "<=", ">", ">=", "<>".
+  static IntervalSet FromComparison(const std::string& op, const Value& v);
+
+  bool IsEmpty() const { return intervals_.empty(); }
+  bool IsAll() const;
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  bool Contains(const Value& v) const;
+
+  /// Set intersection; result is normalized (disjoint, sorted).
+  IntervalSet Intersect(const IntervalSet& other) const;
+  /// Set union; result is normalized.
+  IntervalSet Union(const IntervalSet& other) const;
+  /// True if the two sets share at least one value. Cheaper than
+  /// !Intersect(other).IsEmpty() in spirit, implemented via intersect.
+  bool Intersects(const IntervalSet& other) const;
+
+  /// Adds an interval and re-normalizes.
+  void Add(Interval iv);
+
+  std::string ToString() const;
+
+ private:
+  void Normalize();
+  std::vector<Interval> intervals_;  // Disjoint, sorted by lower bound.
+};
+
+}  // namespace dhqp
+
+#endif  // DHQP_COMMON_INTERVAL_H_

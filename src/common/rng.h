@@ -1,0 +1,82 @@
+#ifndef DHQP_COMMON_RNG_H_
+#define DHQP_COMMON_RNG_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dhqp {
+
+/// Deterministic 64-bit PRNG (splitmix64 core). All workload generators in
+/// this repo draw from this so benches and tests are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ? seed : 0x853c49e6748fea9bULL) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    if (hi <= lo) return lo;
+    return lo + static_cast<int64_t>(Next() %
+                                     static_cast<uint64_t>(hi - lo + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Random lowercase word of the given length.
+  std::string Word(int len) {
+    std::string w(static_cast<size_t>(len), 'a');
+    for (char& c : w) c = static_cast<char>('a' + Uniform(0, 25));
+    return w;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Zipf-distributed generator over {1..n} with exponent `theta`. Used to
+/// build the skewed remote columns for the statistics experiment (E3): a
+/// uniform assumption misestimates these by orders of magnitude, which is
+/// exactly the effect §3.2.4 claims histograms fix.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(int64_t n, double theta, uint64_t seed)
+      : n_(n), theta_(theta), rng_(seed) {
+    cdf_.reserve(static_cast<size_t>(n));
+    double sum = 0;
+    for (int64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(i, theta_);
+    double acc = 0;
+    for (int64_t i = 1; i <= n; ++i) {
+      acc += 1.0 / std::pow(i, theta_) / sum;
+      cdf_.push_back(acc);
+    }
+  }
+
+  /// Draws the next rank in [1, n]; rank 1 is the most frequent.
+  int64_t Next() {
+    double u = rng_.NextDouble();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<int64_t>(it - cdf_.begin()) + 1;
+  }
+
+ private:
+  int64_t n_;
+  double theta_;
+  Rng rng_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace dhqp
+
+#endif  // DHQP_COMMON_RNG_H_

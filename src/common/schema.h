@@ -1,0 +1,59 @@
+#ifndef DHQP_COMMON_SCHEMA_H_
+#define DHQP_COMMON_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+
+namespace dhqp {
+
+/// Definition of one column in a rowset or table schema.
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kNull;
+  bool nullable = true;
+};
+
+/// An ordered list of columns describing the shape of a rowset. This is the
+/// schema half of the paper's Rowset abstraction: every provider — base
+/// table, query result, full-text rank rowset — describes its output this
+/// way.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+
+  /// Case-insensitive lookup; returns -1 if absent.
+  int FindColumn(const std::string& name) const;
+
+  /// Appends a column and returns its ordinal.
+  int AddColumn(ColumnDef col) {
+    columns_.push_back(std::move(col));
+    return static_cast<int>(columns_.size()) - 1;
+  }
+
+  /// "name:type, name:type, ..." for diagnostics.
+  std::string ToString() const;
+
+  bool Equals(const Schema& other) const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+/// Case-insensitive ASCII string equality, the identifier-matching rule used
+/// throughout catalogs and binders.
+bool EqualsIgnoreCase(const std::string& a, const std::string& b);
+
+/// Lowercases ASCII, for canonical catalog keys.
+std::string ToLowerCopy(const std::string& s);
+
+}  // namespace dhqp
+
+#endif  // DHQP_COMMON_SCHEMA_H_

@@ -1,0 +1,145 @@
+#ifndef DHQP_COMMON_STATUS_H_
+#define DHQP_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dhqp {
+
+/// Error category for a failed operation. Mirrors the classes of failure the
+/// DHQP system distinguishes: user errors (syntax, binding), capability
+/// errors (a provider cannot do what was asked), runtime execution errors,
+/// and internal invariant violations.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Bad input from the caller (e.g. malformed SQL).
+  kNotFound,          ///< Named object (table, server, column) missing.
+  kAlreadyExists,     ///< Attempt to create a duplicate object.
+  kNotSupported,      ///< Provider/engine lacks the requested capability.
+  kConstraintViolation,  ///< CHECK / key constraint rejected a row.
+  kTransactionAborted,   ///< Distributed transaction rolled back.
+  kNetworkError,      ///< Simulated link failure.
+  kExecutionError,    ///< Runtime failure while evaluating a plan.
+  kInternal,          ///< Invariant violation: a bug in this library.
+};
+
+/// Returns a stable human-readable name for a status code ("NotFound" etc.).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail. Cheap to copy when OK (no message
+/// allocation); carries a code plus message otherwise. This library does not
+/// throw exceptions across API boundaries; every fallible public function
+/// returns Status or Result<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status TransactionAborted(std::string msg) {
+    return Status(StatusCode::kTransactionAborted, std::move(msg));
+  }
+  static Status NetworkError(std::string msg) {
+    return Status(StatusCode::kNetworkError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Analogous to
+/// arrow::Result / absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` in Result-returning code.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: allows `return Status::NotFound(...);`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access the contained value; precondition: ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace dhqp
+
+/// Propagates a non-OK Status from an expression. Use inside functions that
+/// return Status.
+#define DHQP_RETURN_NOT_OK(expr)            \
+  do {                                      \
+    ::dhqp::Status _st = (expr);            \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+/// Evaluates a Result<T> expression, propagating errors, else binding the
+/// value into `lhs`. Use inside functions returning Status or Result<U>.
+#define DHQP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value();
+
+#define DHQP_ASSIGN_OR_RETURN_CONCAT_(x, y) x##y
+#define DHQP_ASSIGN_OR_RETURN_CONCAT(x, y) DHQP_ASSIGN_OR_RETURN_CONCAT_(x, y)
+#define DHQP_ASSIGN_OR_RETURN(lhs, expr) \
+  DHQP_ASSIGN_OR_RETURN_IMPL(            \
+      DHQP_ASSIGN_OR_RETURN_CONCAT(_dhqp_result_, __LINE__), lhs, expr)
+
+#endif  // DHQP_COMMON_STATUS_H_

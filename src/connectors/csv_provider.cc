@@ -1,0 +1,167 @@
+#include "src/connectors/csv_provider.h"
+
+#include <charconv>
+
+#include "src/common/date.h"
+
+namespace dhqp {
+
+namespace {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+// Sniffs the type of one field value.
+DataType SniffType(const std::string& field) {
+  if (field.empty()) return DataType::kString;
+  int64_t i;
+  auto [pi, eci] = std::from_chars(field.data(), field.data() + field.size(), i);
+  if (eci == std::errc() && pi == field.data() + field.size()) {
+    return DataType::kInt64;
+  }
+  try {
+    size_t pos = 0;
+    (void)std::stod(field, &pos);
+    if (pos == field.size()) return DataType::kDouble;
+  } catch (...) {
+  }
+  if (field.size() >= 8 && field[4] == '-' && ParseIsoDate(field).ok()) {
+    return DataType::kDate;
+  }
+  return DataType::kString;
+}
+
+Result<Value> ParseField(const std::string& field, DataType type) {
+  if (field.empty()) return Value::Null(type);
+  return Value::String(field).CastTo(type);
+}
+
+}  // namespace
+
+/// Session over an in-memory CSV source: scans and metadata only.
+class CsvSession : public Session {
+ public:
+  explicit CsvSession(CsvDataSource* source) : source_(source) {}
+
+  Result<std::unique_ptr<Rowset>> OpenRowset(const std::string& table) override {
+    auto it = source_->tables_.find(ToLowerCopy(table));
+    if (it == source_->tables_.end()) {
+      return Status::NotFound("csv table '" + table + "' not found");
+    }
+    return std::unique_ptr<Rowset>(
+        new VectorRowset(it->second.metadata.schema, it->second.rows));
+  }
+
+  Result<std::vector<TableMetadata>> ListTables() override {
+    std::vector<TableMetadata> out;
+    for (const auto& [key, table] : source_->tables_) {
+      out.push_back(table.metadata);
+    }
+    return out;
+  }
+
+ private:
+  CsvDataSource* source_;
+};
+
+CsvDataSource::CsvDataSource() {
+  caps_.provider_name = "DHQP.CSV";
+  caps_.source_type = "Text files";
+  caps_.query_language = "none";
+  caps_.sql_support = SqlSupportLevel::kNone;
+  caps_.supports_command = false;
+  caps_.supports_indexes = false;
+  caps_.supports_bookmarks = false;
+  caps_.supports_histograms = false;
+  caps_.supports_schema_rowset = true;
+  caps_.supports_transactions = false;
+}
+
+Status CsvDataSource::AddTable(const std::string& name,
+                               const std::string& csv_text) {
+  std::string key = ToLowerCopy(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("csv table '" + name + "' already exists");
+  }
+  // Split lines.
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : csv_text) {
+    if (c == '\n') {
+      if (!current.empty() && current.back() == '\r') current.pop_back();
+      lines.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) lines.push_back(std::move(current));
+  if (lines.empty()) {
+    return Status::InvalidArgument("csv table '" + name + "' has no header");
+  }
+  std::vector<std::string> header = SplitCsvLine(lines[0]);
+
+  // Sniff column types from the first data row (string when absent).
+  std::vector<DataType> types(header.size(), DataType::kString);
+  if (lines.size() > 1) {
+    std::vector<std::string> first = SplitCsvLine(lines[1]);
+    for (size_t i = 0; i < header.size() && i < first.size(); ++i) {
+      types[i] = SniffType(first[i]);
+    }
+  }
+  CsvTable table;
+  for (size_t i = 0; i < header.size(); ++i) {
+    table.metadata.schema.AddColumn(ColumnDef{header[i], types[i], true});
+  }
+  table.metadata.name = name;
+  for (size_t l = 1; l < lines.size(); ++l) {
+    if (lines[l].empty()) continue;
+    std::vector<std::string> fields = SplitCsvLine(lines[l]);
+    if (fields.size() != header.size()) {
+      return Status::InvalidArgument("csv row " + std::to_string(l) +
+                                     " has wrong field count");
+    }
+    Row row;
+    for (size_t i = 0; i < fields.size(); ++i) {
+      DHQP_ASSIGN_OR_RETURN(Value v, ParseField(fields[i], types[i]));
+      row.push_back(std::move(v));
+    }
+    table.rows.push_back(std::move(row));
+  }
+  table.metadata.cardinality = static_cast<double>(table.rows.size());
+  tables_[key] = std::move(table);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Session>> CsvDataSource::CreateSession() {
+  return std::unique_ptr<Session>(new CsvSession(this));
+}
+
+}  // namespace dhqp

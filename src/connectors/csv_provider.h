@@ -1,0 +1,39 @@
+#ifndef DHQP_CONNECTORS_CSV_PROVIDER_H_
+#define DHQP_CONNECTORS_CSV_PROVIDER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/provider/provider.h"
+
+namespace dhqp {
+
+/// A "simple provider" in the paper's taxonomy (§3.3): "supports only the
+/// mandatory OLE DB interfaces of being able to connect and retrieve named
+/// rowsets. In this case, DHQP provides all of the querying functionality on
+/// top of this base provider." Tables are in-memory CSV files; column types
+/// are sniffed from the first data row (int, float, date, string).
+class CsvDataSource : public DataSource {
+ public:
+  CsvDataSource();
+
+  /// Registers a table from CSV text: first line is the header.
+  Status AddTable(const std::string& name, const std::string& csv_text);
+
+  const ProviderCapabilities& capabilities() const override { return caps_; }
+  Result<std::unique_ptr<Session>> CreateSession() override;
+
+ private:
+  friend class CsvSession;
+  struct CsvTable {
+    TableMetadata metadata;
+    std::vector<Row> rows;
+  };
+  std::map<std::string, CsvTable> tables_;  ///< Keyed lower-case.
+  ProviderCapabilities caps_;
+};
+
+}  // namespace dhqp
+
+#endif  // DHQP_CONNECTORS_CSV_PROVIDER_H_

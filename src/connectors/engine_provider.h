@@ -1,0 +1,49 @@
+#ifndef DHQP_CONNECTORS_ENGINE_PROVIDER_H_
+#define DHQP_CONNECTORS_ENGINE_PROVIDER_H_
+
+#include <memory>
+
+#include "src/core/engine.h"
+#include "src/provider/provider.h"
+
+namespace dhqp {
+
+/// @name Capability presets for common remote systems: what SQL the DHQP may
+/// generate for them and how their dialect spells things (Table 1, §3.3,
+/// §4.1.3). The backing store is always a dhqp::Engine; the preset controls
+/// how much of it the DHQP is allowed to use.
+///@{
+ProviderCapabilities SqlServerCapabilities();   ///< SQL-92 Full, params, stats.
+ProviderCapabilities OracleCapabilities();      ///< SQL-92 Full, DATE 'x' literals.
+ProviderCapabilities Db2Capabilities();         ///< SQL-92 Entry.
+ProviderCapabilities AccessCapabilities();      ///< ODBC Core, #date# literals,
+                                                ///< no histograms.
+///@}
+
+/// Provider exposing a full dhqp::Engine as a linked server — the "OLE DB
+/// Provider for SQL Server" of Fig 1 (or, with a clamped capability preset,
+/// an Oracle/DB2/Access stand-in). Query-capable (ICommand), with schema
+/// rowsets, histograms, index navigation, bookmarks and 2PC enlistment as
+/// the preset allows.
+class EngineDataSource : public DataSource {
+ public:
+  EngineDataSource(Engine* engine, ProviderCapabilities caps)
+      : engine_(engine), caps_(std::move(caps)) {}
+
+  /// Convenience: full SQL Server preset.
+  explicit EngineDataSource(Engine* engine)
+      : EngineDataSource(engine, SqlServerCapabilities()) {}
+
+  const ProviderCapabilities& capabilities() const override { return caps_; }
+  Result<std::unique_ptr<Session>> CreateSession() override;
+
+  Engine* engine() const { return engine_; }
+
+ private:
+  Engine* engine_;
+  ProviderCapabilities caps_;
+};
+
+}  // namespace dhqp
+
+#endif  // DHQP_CONNECTORS_ENGINE_PROVIDER_H_

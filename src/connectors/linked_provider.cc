@@ -1,0 +1,138 @@
+#include "src/connectors/linked_provider.h"
+
+namespace dhqp {
+
+namespace {
+
+class LinkedCommand : public Command {
+ public:
+  LinkedCommand(std::unique_ptr<Command> inner, net::Link* link)
+      : inner_(std::move(inner)), link_(link) {}
+
+  Status SetText(std::string text) override {
+    text_size_ = text.size();
+    return inner_->SetText(std::move(text));
+  }
+
+  Status BindParameter(const std::string& name, const Value& value) override {
+    return inner_->BindParameter(name, value);
+  }
+
+  Result<std::unique_ptr<Rowset>> Execute() override {
+    link_->ChargeMessage(64 + text_size_);
+    DHQP_ASSIGN_OR_RETURN(auto rowset, inner_->Execute());
+    return std::unique_ptr<Rowset>(
+        new net::LinkedRowset(std::move(rowset), link_));
+  }
+
+  Result<int64_t> ExecuteNonQuery() override {
+    link_->ChargeMessage(64 + text_size_);
+    return inner_->ExecuteNonQuery();
+  }
+
+ private:
+  std::unique_ptr<Command> inner_;
+  net::Link* link_;
+  size_t text_size_ = 0;
+};
+
+class LinkedSession : public Session {
+ public:
+  LinkedSession(std::unique_ptr<Session> inner, net::Link* link)
+      : inner_(std::move(inner)), link_(link) {}
+
+  Result<std::unique_ptr<Rowset>> OpenRowset(const std::string& table) override {
+    link_->ChargeMessage(64 + table.size());
+    DHQP_ASSIGN_OR_RETURN(auto rowset, inner_->OpenRowset(table));
+    return std::unique_ptr<Rowset>(
+        new net::LinkedRowset(std::move(rowset), link_));
+  }
+
+  Result<std::unique_ptr<Command>> CreateCommand() override {
+    DHQP_ASSIGN_OR_RETURN(auto command, inner_->CreateCommand());
+    return std::unique_ptr<Command>(
+        new LinkedCommand(std::move(command), link_));
+  }
+
+  Result<std::vector<TableMetadata>> ListTables() override {
+    link_->ChargeMessage(64);
+    return inner_->ListTables();
+  }
+
+  Result<ColumnStatistics> GetStatistics(const std::string& table,
+                                         const std::string& column) override {
+    // Histogram rowsets are small; one round trip.
+    link_->ChargeMessage(256);
+    return inner_->GetStatistics(table, column);
+  }
+
+  Result<std::unique_ptr<Rowset>> OpenIndexRange(
+      const std::string& table, const std::string& index,
+      const IndexRange& range) override {
+    link_->ChargeMessage(96 + table.size() + index.size());
+    DHQP_ASSIGN_OR_RETURN(auto rowset,
+                          inner_->OpenIndexRange(table, index, range));
+    return std::unique_ptr<Rowset>(
+        new net::LinkedRowset(std::move(rowset), link_));
+  }
+
+  Result<std::unique_ptr<Rowset>> OpenIndexKeys(
+      const std::string& table, const std::string& index,
+      const IndexRange& range) override {
+    link_->ChargeMessage(96 + table.size() + index.size());
+    DHQP_ASSIGN_OR_RETURN(auto rowset,
+                          inner_->OpenIndexKeys(table, index, range));
+    return std::unique_ptr<Rowset>(
+        new net::LinkedRowset(std::move(rowset), link_));
+  }
+
+  Result<std::optional<Row>> FetchByBookmark(const std::string& table,
+                                             const Value& bookmark) override {
+    // Each bookmark fetch is its own round trip — what makes "remote fetch"
+    // expensive per row and only worthwhile at high selectivity.
+    link_->ChargeMessage(48);
+    DHQP_ASSIGN_OR_RETURN(auto row, inner_->FetchByBookmark(table, bookmark));
+    if (row.has_value()) link_->ChargeRows(1, RowWireSize(*row));
+    return row;
+  }
+
+  Result<int64_t> InsertRows(const std::string& table,
+                             const std::vector<Row>& rows) override {
+    size_t bytes = 64;
+    for (const Row& row : rows) bytes += RowWireSize(row);
+    link_->ChargeMessage(bytes);
+    return inner_->InsertRows(table, rows);
+  }
+
+  Status BeginTransaction(int64_t txn_id) override {
+    link_->ChargeMessage(32);
+    return inner_->BeginTransaction(txn_id);
+  }
+  Status PrepareTransaction(int64_t txn_id) override {
+    link_->ChargeMessage(32);
+    return inner_->PrepareTransaction(txn_id);
+  }
+  Status CommitTransaction(int64_t txn_id) override {
+    link_->ChargeMessage(32);
+    return inner_->CommitTransaction(txn_id);
+  }
+  Status AbortTransaction(int64_t txn_id) override {
+    link_->ChargeMessage(32);
+    return inner_->AbortTransaction(txn_id);
+  }
+
+ private:
+  std::unique_ptr<Session> inner_;
+  net::Link* link_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Session>> LinkedDataSource::CreateSession() {
+  link_->ChargeMessage(48);
+  DHQP_ASSIGN_OR_RETURN(auto session, inner_->CreateSession());
+  return std::unique_ptr<Session>(
+      new LinkedSession(std::move(session), link_));
+}
+
+}  // namespace dhqp

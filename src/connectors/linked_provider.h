@@ -1,0 +1,43 @@
+#ifndef DHQP_CONNECTORS_LINKED_PROVIDER_H_
+#define DHQP_CONNECTORS_LINKED_PROVIDER_H_
+
+#include <memory>
+
+#include "src/net/network.h"
+#include "src/provider/provider.h"
+
+namespace dhqp {
+
+/// Decorator placing a provider "across the network": every session call is
+/// charged to a net::Link (round trips, rows, bytes), and result rowsets are
+/// wrapped so streamed rows are charged in batches. Wrap any DataSource with
+/// this to make it a linked server with measurable traffic.
+class LinkedDataSource : public DataSource {
+ public:
+  /// `link` must outlive this object; `inner` is shared with the caller
+  /// (e.g. the same engine provider can be linked from several hosts).
+  LinkedDataSource(std::shared_ptr<DataSource> inner, net::Link* link)
+      : inner_(std::move(inner)), link_(link) {}
+
+  Status Initialize(
+      const std::map<std::string, std::string>& properties) override {
+    link_->ChargeMessage(64);  // Connection handshake.
+    return inner_->Initialize(properties);
+  }
+
+  const ProviderCapabilities& capabilities() const override {
+    return inner_->capabilities();
+  }
+
+  Result<std::unique_ptr<Session>> CreateSession() override;
+
+  net::Link* link() const { return link_; }
+
+ private:
+  std::shared_ptr<DataSource> inner_;
+  net::Link* link_;
+};
+
+}  // namespace dhqp
+
+#endif  // DHQP_CONNECTORS_LINKED_PROVIDER_H_

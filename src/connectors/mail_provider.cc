@@ -1,0 +1,69 @@
+#include "src/connectors/mail_provider.h"
+
+namespace dhqp {
+
+Schema MailDataSource::MailSchema() {
+  Schema schema;
+  schema.AddColumn(ColumnDef{"MsgId", DataType::kInt64, false});
+  schema.AddColumn(ColumnDef{"FromAddr", DataType::kString, true});
+  schema.AddColumn(ColumnDef{"ToAddr", DataType::kString, true});
+  schema.AddColumn(ColumnDef{"Subject", DataType::kString, true});
+  schema.AddColumn(ColumnDef{"Body", DataType::kString, true});
+  schema.AddColumn(ColumnDef{"MsgDate", DataType::kDate, true});
+  schema.AddColumn(ColumnDef{"InReplyTo", DataType::kInt64, true});
+  return schema;
+}
+
+/// Scans/metadata over the mailbox.
+class MailSession : public Session {
+ public:
+  explicit MailSession(MailDataSource* source) : source_(source) {}
+
+  Result<std::unique_ptr<Rowset>> OpenRowset(const std::string& table) override {
+    if (!EqualsIgnoreCase(table, "inbox")) {
+      return Status::NotFound("mail store exposes only table 'inbox'");
+    }
+    std::vector<Row> rows;
+    rows.reserve(source_->messages_.size());
+    for (const MailMessage& m : source_->messages_) {
+      Row row;
+      row.push_back(Value::Int64(m.msg_id));
+      row.push_back(Value::String(m.from));
+      row.push_back(Value::String(m.to));
+      row.push_back(Value::String(m.subject));
+      row.push_back(Value::String(m.body));
+      row.push_back(Value::Date(m.date_days));
+      row.push_back(m.in_reply_to < 0 ? Value::Null(DataType::kInt64)
+                                      : Value::Int64(m.in_reply_to));
+      rows.push_back(std::move(row));
+    }
+    return std::unique_ptr<Rowset>(
+        new VectorRowset(MailDataSource::MailSchema(), std::move(rows)));
+  }
+
+  Result<std::vector<TableMetadata>> ListTables() override {
+    TableMetadata meta;
+    meta.name = "inbox";
+    meta.schema = MailDataSource::MailSchema();
+    meta.cardinality = static_cast<double>(source_->messages_.size());
+    return std::vector<TableMetadata>{meta};
+  }
+
+ private:
+  MailDataSource* source_;
+};
+
+MailDataSource::MailDataSource(std::vector<MailMessage> messages)
+    : messages_(std::move(messages)) {
+  caps_.provider_name = "DHQP.Mail";
+  caps_.source_type = "Email";
+  caps_.query_language = "none";
+  caps_.sql_support = SqlSupportLevel::kNone;
+  caps_.supports_schema_rowset = true;
+}
+
+Result<std::unique_ptr<Session>> MailDataSource::CreateSession() {
+  return std::unique_ptr<Session>(new MailSession(this));
+}
+
+}  // namespace dhqp

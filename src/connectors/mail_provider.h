@@ -1,0 +1,43 @@
+#ifndef DHQP_CONNECTORS_MAIL_PROVIDER_H_
+#define DHQP_CONNECTORS_MAIL_PROVIDER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/provider/provider.h"
+
+namespace dhqp {
+
+/// One message in a simulated mailbox file (the .mmf of §2.4).
+struct MailMessage {
+  int64_t msg_id = 0;
+  std::string from;
+  std::string to;
+  std::string subject;
+  std::string body;
+  int64_t date_days = 0;      ///< Received date, days since epoch.
+  int64_t in_reply_to = -1;   ///< msg_id this replies to, -1 = none.
+};
+
+/// Provider over a mailbox store — the paper's MakeTable(Mail, ...) source
+/// (§2.4): each message becomes a row of table "inbox" with columns
+/// (MsgId, FromAddr, ToAddr, Subject, Body, MsgDate, InReplyTo). A simple
+/// provider: scans and schema only; the DHQP supplies all query capability.
+class MailDataSource : public DataSource {
+ public:
+  explicit MailDataSource(std::vector<MailMessage> messages);
+
+  const ProviderCapabilities& capabilities() const override { return caps_; }
+  Result<std::unique_ptr<Session>> CreateSession() override;
+
+  static Schema MailSchema();
+
+ private:
+  friend class MailSession;
+  std::vector<MailMessage> messages_;
+  ProviderCapabilities caps_;
+};
+
+}  // namespace dhqp
+
+#endif  // DHQP_CONNECTORS_MAIL_PROVIDER_H_

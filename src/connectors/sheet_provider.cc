@@ -1,0 +1,58 @@
+#include "src/connectors/sheet_provider.h"
+
+namespace dhqp {
+
+/// Scans/metadata over registered sheets.
+class SheetSession : public Session {
+ public:
+  explicit SheetSession(SheetDataSource* source) : source_(source) {}
+
+  Result<std::unique_ptr<Rowset>> OpenRowset(const std::string& table) override {
+    auto it = source_->sheets_.find(ToLowerCopy(table));
+    if (it == source_->sheets_.end()) {
+      return Status::NotFound("sheet '" + table + "' not found");
+    }
+    return std::unique_ptr<Rowset>(
+        new VectorRowset(it->second.metadata.schema, it->second.rows));
+  }
+
+  Result<std::vector<TableMetadata>> ListTables() override {
+    std::vector<TableMetadata> out;
+    for (const auto& [key, sheet] : source_->sheets_) {
+      out.push_back(sheet.metadata);
+    }
+    return out;
+  }
+
+ private:
+  SheetDataSource* source_;
+};
+
+SheetDataSource::SheetDataSource() {
+  caps_.provider_name = "Microsoft.Jet.OLEDB (Excel)";
+  caps_.source_type = "Spreadsheet";
+  caps_.query_language = "none";
+  caps_.sql_support = SqlSupportLevel::kNone;
+  caps_.supports_schema_rowset = true;
+}
+
+Status SheetDataSource::AddSheet(const std::string& name, Schema schema,
+                                 std::vector<Row> rows) {
+  std::string key = ToLowerCopy(name);
+  if (sheets_.count(key) > 0) {
+    return Status::AlreadyExists("sheet '" + name + "' already exists");
+  }
+  Sheet sheet;
+  sheet.metadata.name = name;
+  sheet.metadata.schema = std::move(schema);
+  sheet.metadata.cardinality = static_cast<double>(rows.size());
+  sheet.rows = std::move(rows);
+  sheets_[key] = std::move(sheet);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Session>> SheetDataSource::CreateSession() {
+  return std::unique_ptr<Session>(new SheetSession(this));
+}
+
+}  // namespace dhqp

@@ -1,0 +1,38 @@
+#ifndef DHQP_CONNECTORS_SHEET_PROVIDER_H_
+#define DHQP_CONNECTORS_SHEET_PROVIDER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/provider/provider.h"
+
+namespace dhqp {
+
+/// Spreadsheet ("Excel") provider: named sheets exposed as tables — one of
+/// the paper's motivating personal-productivity sources (§1, §2.1). A simple
+/// provider; sheets are registered programmatically with explicit schemas.
+class SheetDataSource : public DataSource {
+ public:
+  SheetDataSource();
+
+  /// Registers a sheet as a table.
+  Status AddSheet(const std::string& name, Schema schema,
+                  std::vector<Row> rows);
+
+  const ProviderCapabilities& capabilities() const override { return caps_; }
+  Result<std::unique_ptr<Session>> CreateSession() override;
+
+ private:
+  friend class SheetSession;
+  struct Sheet {
+    TableMetadata metadata;
+    std::vector<Row> rows;
+  };
+  std::map<std::string, Sheet> sheets_;
+  ProviderCapabilities caps_;
+};
+
+}  // namespace dhqp
+
+#endif  // DHQP_CONNECTORS_SHEET_PROVIDER_H_

@@ -1,0 +1,635 @@
+#include "src/core/engine.h"
+
+#include <algorithm>
+
+#include "src/optimizer/normalize.h"
+#include "src/optimizer/optimizer.h"
+#include "src/sql/binder.h"
+#include "src/sql/parser.h"
+
+namespace dhqp {
+
+namespace {
+
+// Evaluates one VALUES expression (constants, @params, scalar functions).
+Result<Value> EvalInsertExpr(const Expr& expr, Catalog* catalog,
+                             const EvalEnv& env) {
+  Binder binder(catalog);
+  DHQP_ASSIGN_OR_RETURN(ScalarExprPtr bound, binder.BindValueExpr(expr));
+  return EvalExpr(*bound, env);
+}
+
+// Expands (column-list, rows) into full schema-ordered rows; unlisted
+// columns become NULL. An empty column list means positional assignment.
+Result<std::vector<Row>> ShapeRows(const Schema& schema,
+                                   const std::vector<std::string>& columns,
+                                   const std::vector<Row>& rows) {
+  std::vector<int> ordinals;
+  if (columns.empty()) {
+    for (size_t i = 0; i < schema.num_columns(); ++i) {
+      ordinals.push_back(static_cast<int>(i));
+    }
+  } else {
+    for (const std::string& name : columns) {
+      int ord = schema.FindColumn(name);
+      if (ord < 0) {
+        return Status::NotFound("INSERT column '" + name + "' not found");
+      }
+      ordinals.push_back(ord);
+    }
+  }
+  std::vector<Row> out;
+  out.reserve(rows.size());
+  for (const Row& row : rows) {
+    if (row.size() != ordinals.size()) {
+      return Status::InvalidArgument(
+          "INSERT row has " + std::to_string(row.size()) + " values, " +
+          std::to_string(ordinals.size()) + " expected");
+    }
+    Row shaped(schema.num_columns());
+    for (size_t i = 0; i < schema.num_columns(); ++i) {
+      shaped[i] = Value::Null(schema.column(i).type);
+    }
+    for (size_t i = 0; i < ordinals.size(); ++i) {
+      size_t ord = static_cast<size_t>(ordinals[i]);
+      DHQP_ASSIGN_OR_RETURN(shaped[ord],
+                            row[i].CastTo(schema.column(ord).type));
+    }
+    out.push_back(std::move(shaped));
+  }
+  return out;
+}
+
+}  // namespace
+
+int64_t DefaultCurrentDate() { return CivilToDays(2004, 11, 15); }
+
+Engine::Engine(EngineOptions options) : options_(std::move(options)) {
+  if (options_.current_date == 0) {
+    options_.current_date = DefaultCurrentDate();
+  }
+  catalog_ = std::make_unique<Catalog>(&storage_);
+}
+
+Status Engine::AddLinkedServer(const std::string& server_name,
+                               std::shared_ptr<DataSource> source) {
+  DHQP_RETURN_NOT_OK(source->Initialize({{"linked_server", server_name}}));
+  ++schema_version_;
+  return catalog_->AddLinkedServer(server_name, std::move(source));
+}
+
+Status Engine::CreateFullTextIndex(const std::string& catalog_name,
+                                   const std::string& table,
+                                   const std::string& key_column,
+                                   const std::string& text_column) {
+  DHQP_ASSIGN_OR_RETURN(Table * t, storage_.GetTable(table));
+  int key_ord = t->schema().FindColumn(key_column);
+  int text_ord = t->schema().FindColumn(text_column);
+  if (key_ord < 0 || text_ord < 0) {
+    return Status::NotFound("full-text key/text column not found on " + table);
+  }
+  DHQP_RETURN_NOT_OK(
+      fulltext_.CreateCatalog(catalog_name, table, key_column, text_column));
+  std::vector<std::pair<int64_t, Row>> rows;
+  t->ScanLive(&rows);
+  for (const auto& [id, row] : rows) {
+    const Value& text = row[static_cast<size_t>(text_ord)];
+    if (text.is_null()) continue;
+    DHQP_RETURN_NOT_OK(fulltext_.IndexEntry(
+        catalog_name, row[static_cast<size_t>(key_ord)], text.string_value()));
+  }
+  fulltext_catalogs_.push_back(
+      FullTextCatalogInfo{table, key_column, text_column, catalog_name});
+  ++schema_version_;
+  return Status::OK();
+}
+
+OptimizerContext Engine::MakeOptimizerContext(ColumnRegistry* registry) {
+  OptimizerContext ctx(catalog_.get(), registry, options_.optimizer);
+  for (const FullTextCatalogInfo& info : fulltext_catalogs_) {
+    ctx.AddFullTextCatalog(info);
+  }
+  return ctx;
+}
+
+Result<QueryResult> Engine::Execute(
+    const std::string& sql, const std::map<std::string, Value>& params) {
+  DHQP_ASSIGN_OR_RETURN(auto stmt, Parser::Parse(sql));
+  switch (stmt->kind) {
+    case Statement::Kind::kSelect: {
+      if (stmt->explain) {
+        // EXPLAIN SELECT ...: compile only; the plan renders as text rows.
+        DHQP_ASSIGN_OR_RETURN(
+            QueryResult prepared,
+            ExecuteSelect(*stmt->select, params, /*execute=*/false, ""));
+        Schema schema;
+        schema.AddColumn(ColumnDef{"plan", DataType::kString, false});
+        std::vector<Row> rows;
+        std::string text = prepared.plan->ToString();
+        size_t start = 0;
+        while (start < text.size()) {
+          size_t end = text.find('\n', start);
+          if (end == std::string::npos) end = text.size();
+          rows.push_back({Value::String(text.substr(start, end - start))});
+          start = end + 1;
+        }
+        prepared.rowset = std::make_unique<VectorRowset>(std::move(schema),
+                                                         std::move(rows));
+        return std::move(prepared);
+      }
+      return ExecuteSelect(*stmt->select, params, /*execute=*/true, sql);
+    }
+    case Statement::Kind::kCreateTable:
+      return ExecuteCreateTable(*stmt->create_table);
+    case Statement::Kind::kCreateIndex:
+      return ExecuteCreateIndex(*stmt->create_index);
+    case Statement::Kind::kCreateView:
+      return ExecuteCreateView(*stmt->create_view);
+    case Statement::Kind::kInsert:
+      return ExecuteInsert(*stmt->insert, params);
+    case Statement::Kind::kDelete:
+      return ExecuteDelete(*stmt->delete_stmt, params);
+    case Statement::Kind::kUpdate:
+      return ExecuteUpdate(*stmt->update, params);
+    case Statement::Kind::kDrop: {
+      ++schema_version_;
+      if (stmt->drop->target == DropStatement::Target::kTable) {
+        DHQP_RETURN_NOT_OK(storage_.DropTable(stmt->drop->name));
+      } else {
+        DHQP_RETURN_NOT_OK(catalog_->DropView(stmt->drop->name));
+      }
+      return QueryResult{};
+    }
+  }
+  return Status::Internal("unknown statement kind");
+}
+
+Result<std::vector<std::pair<int64_t, Row>>> Engine::MatchDmlRows(
+    Table* table, const ExprPtr& where,
+    const std::map<std::string, Value>& params,
+    std::vector<int>* column_ids) {
+  std::vector<std::pair<int64_t, Row>> live;
+  table->ScanLive(&live);
+  if (where == nullptr) return live;
+
+  Binder binder(catalog_.get());
+  DHQP_ASSIGN_OR_RETURN(
+      ScalarExprPtr pred,
+      binder.BindSingleTableExpr(*where, table->schema(), table->name(),
+                                 column_ids));
+  std::map<int, int> positions;
+  for (size_t i = 0; i < column_ids->size(); ++i) {
+    positions[(*column_ids)[i]] = static_cast<int>(i);
+  }
+  EvalEnv env;
+  env.col_pos = &positions;
+  env.params = &params;
+  env.current_date = options_.current_date;
+  std::vector<std::pair<int64_t, Row>> matched;
+  for (auto& [id, row] : live) {
+    env.row = &row;
+    DHQP_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*pred, env));
+    if (pass) matched.emplace_back(id, std::move(row));
+  }
+  return matched;
+}
+
+Result<QueryResult> Engine::ExecuteDelete(
+    const DeleteStatement& stmt, const std::map<std::string, Value>& params) {
+  if (stmt.table.has_server()) {
+    return Status::NotSupported(
+        "DELETE against linked servers is not supported; run it on the "
+        "remote engine or via pass-through");
+  }
+  DHQP_ASSIGN_OR_RETURN(Table * table, storage_.GetTable(stmt.table.table));
+  std::vector<int> column_ids;
+  DHQP_ASSIGN_OR_RETURN(auto matched,
+                        MatchDmlRows(table, stmt.where, params, &column_ids));
+  QueryResult result;
+  for (const auto& [id, row] : matched) {
+    DHQP_RETURN_NOT_OK(storage_.DeleteRow(-1, stmt.table.table, id));
+    ++result.rows_affected;
+  }
+  return std::move(result);
+}
+
+Result<QueryResult> Engine::ExecuteUpdate(
+    const UpdateStatement& stmt, const std::map<std::string, Value>& params) {
+  if (stmt.table.has_server()) {
+    return Status::NotSupported(
+        "UPDATE against linked servers is not supported; run it on the "
+        "remote engine or via pass-through");
+  }
+  DHQP_ASSIGN_OR_RETURN(Table * table, storage_.GetTable(stmt.table.table));
+  const Schema& schema = table->schema();
+
+  // Bind assignment targets and value expressions (old row values visible).
+  std::vector<int> column_ids;
+  Binder binder(catalog_.get());
+  std::vector<std::pair<int, ScalarExprPtr>> assignments;
+  for (const auto& [column, expr] : stmt.assignments) {
+    int ord = schema.FindColumn(column);
+    if (ord < 0) {
+      return Status::NotFound("UPDATE column '" + column + "' not found");
+    }
+    DHQP_ASSIGN_OR_RETURN(
+        ScalarExprPtr bound,
+        binder.BindSingleTableExpr(*expr, schema, table->name(), &column_ids));
+    assignments.emplace_back(ord, std::move(bound));
+  }
+  DHQP_ASSIGN_OR_RETURN(auto matched,
+                        MatchDmlRows(table, stmt.where, params, &column_ids));
+
+  std::map<int, int> positions;
+  for (size_t i = 0; i < column_ids.size(); ++i) {
+    positions[column_ids[i]] = static_cast<int>(i);
+  }
+  EvalEnv env;
+  env.col_pos = &positions;
+  env.params = &params;
+  env.current_date = options_.current_date;
+
+  // Update as delete + reinsert (constraints and indexes re-validated); on
+  // a constraint violation the original row is restored.
+  QueryResult result;
+  for (auto& [id, row] : matched) {
+    env.row = &row;
+    Row updated = row;
+    for (const auto& [ord, expr] : assignments) {
+      DHQP_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr, env));
+      DHQP_ASSIGN_OR_RETURN(updated[static_cast<size_t>(ord)],
+                            v.CastTo(schema.column(static_cast<size_t>(ord)).type));
+    }
+    DHQP_RETURN_NOT_OK(storage_.DeleteRow(-1, stmt.table.table, id));
+    auto inserted = storage_.InsertRow(-1, stmt.table.table, updated);
+    if (!inserted.ok()) {
+      // Restore the original row, then surface the error.
+      (void)storage_.InsertRow(-1, stmt.table.table, row);
+      return inserted.status();
+    }
+    ++result.rows_affected;
+  }
+  return std::move(result);
+}
+
+Result<QueryResult> Engine::Prepare(
+    const std::string& sql, const std::map<std::string, Value>& params) {
+  DHQP_ASSIGN_OR_RETURN(auto stmt, Parser::Parse(sql));
+  if (stmt->kind != Statement::Kind::kSelect) {
+    return Status::InvalidArgument("Prepare supports SELECT statements");
+  }
+  return ExecuteSelect(*stmt->select, params, /*execute=*/false, "");
+}
+
+Result<std::string> Engine::Explain(const std::string& sql) {
+  DHQP_ASSIGN_OR_RETURN(QueryResult prepared, Prepare(sql));
+  std::string out = prepared.plan->ToString();
+  out += "phases: " + std::to_string(prepared.opt_stats.phases_run) +
+         " (stopped after " + prepared.opt_stats.phase_name + ")";
+  out += ", groups: " + std::to_string(prepared.opt_stats.groups);
+  out += ", exprs: " + std::to_string(prepared.opt_stats.group_exprs);
+  out += ", rules applied: " + std::to_string(prepared.opt_stats.rules_applied);
+  out += ", est cost: " + std::to_string(prepared.opt_stats.best_cost) + "\n";
+  return out;
+}
+
+Result<QueryResult> Engine::RunCachedPlan(
+    const CachedPlan& cached, const std::map<std::string, Value>& params) {
+  ExecContext ectx;
+  ectx.catalog = catalog_.get();
+  ectx.fulltext = &fulltext_;
+  ectx.params = params;
+  ectx.current_date = options_.current_date;
+  DHQP_ASSIGN_OR_RETURN(auto rowset, ExecutePlan(cached.plan, &ectx));
+
+  // Align output columns with the statement's select-list order/names (the
+  // plan may carry extra hidden columns or a different physical order).
+  QueryResult result;
+  result.plan = cached.plan;
+  result.opt_stats = cached.opt_stats;
+  Schema schema;
+  for (size_t i = 0; i < cached.output_cols.size(); ++i) {
+    schema.AddColumn(ColumnDef{cached.output_names[i],
+                               cached.registry->TypeOf(cached.output_cols[i]),
+                               true});
+  }
+  const std::vector<int>& plan_cols = cached.plan->output_cols;
+  if (plan_cols == cached.output_cols) {
+    result.rowset =
+        std::make_unique<VectorRowset>(std::move(schema), rowset->rows());
+  } else {
+    std::vector<int> positions;
+    for (int col : cached.output_cols) {
+      auto it = std::find(plan_cols.begin(), plan_cols.end(), col);
+      if (it == plan_cols.end()) {
+        return Status::Internal("plan lost output column #" +
+                                std::to_string(col));
+      }
+      positions.push_back(static_cast<int>(it - plan_cols.begin()));
+    }
+    std::vector<Row> rows;
+    rows.reserve(rowset->rows().size());
+    for (const Row& in : rowset->rows()) {
+      Row out;
+      out.reserve(positions.size());
+      for (int p : positions) out.push_back(in[static_cast<size_t>(p)]);
+      rows.push_back(std::move(out));
+    }
+    result.rowset =
+        std::make_unique<VectorRowset>(std::move(schema), std::move(rows));
+  }
+  result.exec_stats = ectx.stats;
+  return std::move(result);
+}
+
+Result<QueryResult> Engine::ExecuteSelect(
+    const SelectStatement& stmt, const std::map<std::string, Value>& params,
+    bool execute, const std::string& cache_key) {
+  // Plan-cache hit: re-execute the compiled plan with fresh parameters.
+  // Startup filters keep parameterized plans correct for any value (§4.1.5).
+  // Optimizer toggles are part of the key: a plan compiled under different
+  // options (the ablation benches flip them) must not be reused.
+  bool use_cache = execute && options_.enable_plan_cache && !cache_key.empty();
+  std::string full_key;
+  if (use_cache) {
+    const OptimizerOptions& oo = options_.optimizer;
+    char opts_fp[16];
+    std::snprintf(opts_fp, sizeof(opts_fp), "%d%d%d%d%d%d%d%d%d%d|",
+                  oo.enable_join_reorder, oo.enable_remote_pushdown,
+                  oo.enable_parameterization, oo.enable_spool_enforcer,
+                  oo.enable_remote_statistics, oo.enable_startup_filters,
+                  oo.enable_static_pruning, oo.enable_index_paths,
+                  oo.enable_fulltext_index, oo.multi_phase);
+    full_key = std::string(opts_fp) + cache_key;
+  }
+  if (use_cache) {
+    auto it = plan_cache_.find(full_key);
+    if (it != plan_cache_.end()) {
+      if (it->second.schema_version == schema_version_) {
+        auto result = RunCachedPlan(it->second, params);
+        if (result.ok()) return result;
+        // A cached plan can go stale in ways version bumps don't cover
+        // (e.g. a remote server changed behind its provider): drop it and
+        // recompile below.
+      }
+      plan_cache_.erase(it);
+    }
+  }
+
+  for (int attempt = 0;; ++attempt) {
+    Binder binder(catalog_.get());
+    DHQP_ASSIGN_OR_RETURN(BoundStatement bound, binder.BindSelect(stmt));
+    OptimizerContext octx = MakeOptimizerContext(bound.registry.get());
+    LogicalOpPtr normalized = Normalize(bound.root, &octx);
+    Optimizer optimizer(&octx);
+    DHQP_ASSIGN_OR_RETURN(OptimizeResult optimized,
+                          optimizer.Optimize(normalized, bound.order_by));
+
+    if (!execute) {
+      QueryResult result;
+      result.plan = optimized.plan;
+      result.opt_stats = optimized.stats;
+      return std::move(result);
+    }
+
+    // Delayed schema validation (§4.1.5): check cached remote metadata at
+    // execution time; on drift, recompile once against fresh metadata.
+    if (options_.delayed_schema_validation && attempt == 0) {
+      DHQP_ASSIGN_OR_RETURN(bool valid, ValidateRemoteSchemas(optimized.plan));
+      if (!valid) {
+        catalog_->InvalidateCaches();
+        continue;
+      }
+    }
+
+    CachedPlan compiled;
+    compiled.plan = optimized.plan;
+    compiled.output_cols = bound.output_cols;
+    compiled.output_names = bound.output_names;
+    compiled.registry = bound.registry;
+    compiled.opt_stats = optimized.stats;
+    compiled.schema_version = schema_version_;
+    DHQP_ASSIGN_OR_RETURN(QueryResult result,
+                          RunCachedPlan(compiled, params));
+    if (use_cache) {
+      if (plan_cache_.size() >= options_.plan_cache_capacity) {
+        plan_cache_.clear();  // Crude but bounded; capacity is generous.
+      }
+      plan_cache_.emplace(full_key, std::move(compiled));
+    }
+    return std::move(result);
+  }
+}
+
+Result<bool> Engine::ValidateRemoteSchemas(const PhysicalOpPtr& plan) {
+  switch (plan->kind) {
+    case PhysicalOpKind::kRemoteScan:
+    case PhysicalOpKind::kRemoteRange:
+    case PhysicalOpKind::kRemoteFetch: {
+      ObjectName name;
+      name.server = plan->table.server_name;
+      name.table = plan->table.metadata.name;
+      DHQP_ASSIGN_OR_RETURN(ResolvedTable fresh,
+                            catalog_->ResolveTable(name, /*refresh=*/true));
+      if (!fresh.metadata.schema.Equals(plan->table.metadata.schema)) {
+        return false;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  for (const PhysicalOpPtr& child : plan->children) {
+    DHQP_ASSIGN_OR_RETURN(bool ok, ValidateRemoteSchemas(child));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Result<QueryResult> Engine::ExecuteCreateTable(
+    const CreateTableStatement& stmt) {
+  Schema schema;
+  std::string pk_column;
+  for (const ColumnDefAst& col : stmt.columns) {
+    schema.AddColumn(ColumnDef{col.name, col.type, !col.not_null});
+    if (col.primary_key) {
+      if (!pk_column.empty()) {
+        return Status::NotSupported("composite PRIMARY KEY via column syntax");
+      }
+      pk_column = col.name;
+    }
+  }
+  ++schema_version_;
+  DHQP_ASSIGN_OR_RETURN(Table * table, storage_.CreateTable(stmt.name, schema));
+  for (const ExprPtr& check : stmt.checks) {
+    DHQP_ASSIGN_OR_RETURN(CheckConstraint bound,
+                          Binder::BindCheckConstraint(*check, schema));
+    DHQP_RETURN_NOT_OK(table->AddCheckConstraint(std::move(bound)));
+  }
+  if (!pk_column.empty()) {
+    DHQP_RETURN_NOT_OK(
+        table->CreateIndex("pk_" + stmt.name, {pk_column}, /*unique=*/true));
+  }
+  return QueryResult{};
+}
+
+Result<QueryResult> Engine::ExecuteCreateIndex(
+    const CreateIndexStatement& stmt) {
+  ++schema_version_;
+  DHQP_ASSIGN_OR_RETURN(Table * table, storage_.GetTable(stmt.table));
+  DHQP_RETURN_NOT_OK(table->CreateIndex(stmt.name, stmt.columns, stmt.unique));
+  return QueryResult{};
+}
+
+Result<QueryResult> Engine::ExecuteCreateView(
+    const CreateViewStatement& stmt) {
+  ++schema_version_;
+  DHQP_RETURN_NOT_OK(catalog_->CreateView(stmt.name, stmt.body_sql));
+  return QueryResult{};
+}
+
+Result<QueryResult> Engine::ExecuteInsert(
+    const InsertStatement& stmt, const std::map<std::string, Value>& params) {
+  // Evaluate the VALUES rows (constants, parameters, scalar functions).
+  EvalEnv env;
+  env.params = &params;
+  env.current_date = options_.current_date;
+  std::vector<Row> rows;
+  for (const auto& exprs : stmt.rows) {
+    Row row;
+    for (const ExprPtr& e : exprs) {
+      DHQP_ASSIGN_OR_RETURN(Value v, EvalInsertExpr(*e, catalog_.get(), env));
+      row.push_back(std::move(v));
+    }
+    rows.push_back(std::move(row));
+  }
+
+  QueryResult result;
+  // Remote table?
+  if (stmt.table.has_server()) {
+    DHQP_ASSIGN_OR_RETURN(ResolvedTable resolved,
+                          catalog_->ResolveTable(stmt.table));
+    DHQP_ASSIGN_OR_RETURN(std::vector<Row> shaped,
+                          ShapeRows(resolved.metadata.schema, stmt.columns,
+                                    rows));
+    DHQP_ASSIGN_OR_RETURN(Session * session,
+                          catalog_->GetSession(resolved.source_id));
+    DHQP_ASSIGN_OR_RETURN(result.rows_affected,
+                          session->InsertRows(stmt.table.table, shaped));
+    return std::move(result);
+  }
+  // Partitioned view?
+  const ViewDef* view = catalog_->FindView(stmt.table.table);
+  if (view != nullptr) {
+    DHQP_ASSIGN_OR_RETURN(result.rows_affected,
+                          InsertIntoPartitionedView(*view, stmt.columns, rows));
+    return std::move(result);
+  }
+  // Local table.
+  DHQP_ASSIGN_OR_RETURN(Table * table, storage_.GetTable(stmt.table.table));
+  DHQP_ASSIGN_OR_RETURN(std::vector<Row> shaped,
+                        ShapeRows(table->schema(), stmt.columns, rows));
+  for (const Row& row : shaped) {
+    DHQP_ASSIGN_OR_RETURN(int64_t id,
+                          storage_.InsertRow(-1, stmt.table.table, row));
+    (void)id;
+    ++result.rows_affected;
+  }
+  return std::move(result);
+}
+
+Result<int64_t> Engine::InsertIntoPartitionedView(
+    const ViewDef& view, const std::vector<std::string>& columns,
+    const std::vector<Row>& rows) {
+  DHQP_ASSIGN_OR_RETURN(auto parsed, Parser::ParseSelect(view.sql));
+  // Each branch must be a single-table SELECT; gather member tables.
+  struct Member {
+    ResolvedTable table;
+    ObjectName name;
+  };
+  std::vector<Member> members;
+  for (const auto& core : parsed->cores) {
+    if (core->from == nullptr || core->from->kind != TableRef::Kind::kNamed) {
+      return Status::NotSupported(
+          "INSERT through views requires single-table UNION ALL branches");
+    }
+    Member member;
+    member.name = core->from->name;
+    DHQP_ASSIGN_OR_RETURN(member.table, catalog_->ResolveTable(member.name));
+    members.push_back(std::move(member));
+  }
+  if (members.empty()) {
+    return Status::NotSupported("view has no members");
+  }
+  // The partitioning column: constrained by a CHECK in every member.
+  std::string part_column;
+  for (const CheckConstraint& check : members[0].table.checks) {
+    bool in_all = true;
+    for (const Member& m : members) {
+      bool found = false;
+      for (const CheckConstraint& c : m.table.checks) {
+        if (EqualsIgnoreCase(c.column, check.column)) found = true;
+      }
+      in_all &= found;
+    }
+    if (in_all) {
+      part_column = check.column;
+      break;
+    }
+  }
+  if (part_column.empty()) {
+    return Status::NotSupported(
+        "view members carry no common partitioning CHECK constraint");
+  }
+
+  int64_t inserted = 0;
+  for (const Row& row : rows) {
+    DHQP_ASSIGN_OR_RETURN(
+        std::vector<Row> shaped,
+        ShapeRows(members[0].table.metadata.schema, columns, {row}));
+    int part_ord = members[0].table.metadata.schema.FindColumn(part_column);
+    const Value& key = shaped[0][static_cast<size_t>(part_ord)];
+    const Member* target = nullptr;
+    for (const Member& m : members) {
+      for (const CheckConstraint& c : m.table.checks) {
+        if (EqualsIgnoreCase(c.column, part_column) &&
+            !key.is_null() && c.domain.Contains(key)) {
+          target = &m;
+          break;
+        }
+      }
+      if (target != nullptr) break;
+    }
+    if (target == nullptr) {
+      return Status::ConstraintViolation(
+          "value " + key.ToString() +
+          " fits no member partition of view " + view.name);
+    }
+    if (target->table.source_id == kLocalSource) {
+      DHQP_ASSIGN_OR_RETURN(
+          int64_t id,
+          storage_.InsertRow(-1, target->table.metadata.name, shaped[0]));
+      (void)id;
+    } else {
+      DHQP_ASSIGN_OR_RETURN(Session * session,
+                            catalog_->GetSession(target->table.source_id));
+      DHQP_ASSIGN_OR_RETURN(
+          int64_t n,
+          session->InsertRows(target->table.metadata.name, {shaped[0]}));
+      (void)n;
+    }
+    ++inserted;
+  }
+  return inserted;
+}
+
+Result<std::unique_ptr<Rowset>> Engine::ExecutePassThrough(
+    const std::string& server, const std::string& query) {
+  DHQP_ASSIGN_OR_RETURN(int source_id, catalog_->GetLinkedServerId(server));
+  DHQP_ASSIGN_OR_RETURN(Session * session, catalog_->GetSession(source_id));
+  DHQP_ASSIGN_OR_RETURN(auto command, session->CreateCommand());
+  DHQP_RETURN_NOT_OK(command->SetText(query));
+  return command->Execute();
+}
+
+}  // namespace dhqp

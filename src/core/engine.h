@@ -1,0 +1,155 @@
+#ifndef DHQP_CORE_ENGINE_H_
+#define DHQP_CORE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/catalog/catalog.h"
+#include "src/common/date.h"
+#include "src/executor/exec.h"
+#include "src/fulltext/service.h"
+#include "src/optimizer/context.h"
+#include "src/optimizer/physical.h"
+#include "src/sql/ast.h"
+#include "src/storage/storage_engine.h"
+
+namespace dhqp {
+
+/// Per-instance configuration.
+struct EngineOptions {
+  std::string name = "local";
+  /// Deterministic TODAY(): the paper's era by default.
+  int64_t current_date = 0;  ///< 0 = use kDefaultCurrentDate.
+  OptimizerOptions optimizer;
+  /// Delayed schema validation (§4.1.5): remote schemas are checked at
+  /// execution, not at bind time; on mismatch the statement is recompiled
+  /// once against fresh metadata.
+  bool delayed_schema_validation = true;
+  /// Plan cache: compiled SELECT plans are reused across executions of the
+  /// same statement text. Startup filters (§4.1.5) are what make cached
+  /// parameterized plans correct for every parameter value.
+  bool enable_plan_cache = true;
+  size_t plan_cache_capacity = 256;
+};
+
+/// Result of one query execution.
+struct QueryResult {
+  std::unique_ptr<VectorRowset> rowset;  ///< Null for DDL/DML.
+  int64_t rows_affected = 0;             ///< For INSERT.
+  PhysicalOpPtr plan;                    ///< Null for DDL/DML.
+  ExecStats exec_stats;
+  OptimizerRunStats opt_stats;
+};
+
+/// One engine instance: "SQL Server" in miniature — local storage engine,
+/// catalog with linked servers, the DHQP optimizer + executor, full-text
+/// integration, and the SQL surface. Multiple Engine instances wired
+/// together through providers form the distributed topologies the paper
+/// describes (Fig 1) and the federations of §4.1.5.
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+
+  const std::string& name() const { return options_.name; }
+  StorageEngine* storage() { return &storage_; }
+  Catalog* catalog() { return catalog_.get(); }
+  fulltext::FullTextService* fulltext() { return &fulltext_; }
+  EngineOptions* options() { return &options_; }
+
+  /// Registers a linked server (§2.1): `source` becomes addressable in
+  /// four-part names as server.catalog.schema.table.
+  Status AddLinkedServer(const std::string& server_name,
+                         std::shared_ptr<DataSource> source);
+
+  /// Creates a full-text catalog over a table's text column and indexes its
+  /// current rows (§2.3). The optimizer will use it for CONTAINS.
+  Status CreateFullTextIndex(const std::string& catalog_name,
+                             const std::string& table,
+                             const std::string& key_column,
+                             const std::string& text_column);
+
+  /// Executes one SQL statement (SELECT / CREATE TABLE / CREATE INDEX /
+  /// CREATE VIEW / INSERT). INSERT into a (distributed) partitioned view is
+  /// routed to the owning member by the partitioning column's CHECK domain.
+  Result<QueryResult> Execute(const std::string& sql,
+                              const std::map<std::string, Value>& params = {});
+
+  /// Compiles a SELECT and returns the chosen plan without running it.
+  Result<QueryResult> Prepare(const std::string& sql,
+                              const std::map<std::string, Value>& params = {});
+
+  /// EXPLAIN-style rendering: physical plan tree + optimizer statistics.
+  Result<std::string> Explain(const std::string& sql);
+
+  /// Pass-through execution on a linked server (the OPENQUERY path, §3.3).
+  Result<std::unique_ptr<Rowset>> ExecutePassThrough(const std::string& server,
+                                                     const std::string& query);
+
+ private:
+  /// Compiles (and optionally executes) a SELECT. `cache_key` is the raw
+  /// statement text for plan-cache lookup; empty disables caching.
+  Result<QueryResult> ExecuteSelect(const SelectStatement& stmt,
+                                    const std::map<std::string, Value>& params,
+                                    bool execute,
+                                    const std::string& cache_key);
+  Result<QueryResult> ExecuteCreateTable(const CreateTableStatement& stmt);
+  Result<QueryResult> ExecuteCreateIndex(const CreateIndexStatement& stmt);
+  Result<QueryResult> ExecuteCreateView(const CreateViewStatement& stmt);
+  Result<QueryResult> ExecuteInsert(const InsertStatement& stmt,
+                                    const std::map<std::string, Value>& params);
+  Result<QueryResult> ExecuteDelete(const DeleteStatement& stmt,
+                                    const std::map<std::string, Value>& params);
+  Result<QueryResult> ExecuteUpdate(const UpdateStatement& stmt,
+                                    const std::map<std::string, Value>& params);
+
+  /// Rows of a local table matching a DML WHERE clause (with their ids).
+  Result<std::vector<std::pair<int64_t, Row>>> MatchDmlRows(
+      Table* table, const ExprPtr& where,
+      const std::map<std::string, Value>& params,
+      std::vector<int>* column_ids);
+
+  /// Routes rows into a partitioned view's member tables (§4.1.5).
+  Result<int64_t> InsertIntoPartitionedView(
+      const ViewDef& view, const std::vector<std::string>& columns,
+      const std::vector<Row>& rows);
+
+  /// Delayed schema validation: verifies cached remote schemas used by the
+  /// plan still match; returns true if everything checked out.
+  Result<bool> ValidateRemoteSchemas(const PhysicalOpPtr& plan);
+
+  /// Builds the per-query optimizer context (options, full-text catalogs).
+  OptimizerContext MakeOptimizerContext(ColumnRegistry* registry);
+
+  /// A compiled SELECT ready for repeated execution.
+  struct CachedPlan {
+    PhysicalOpPtr plan;
+    std::vector<int> output_cols;
+    std::vector<std::string> output_names;
+    std::shared_ptr<ColumnRegistry> registry;
+    OptimizerRunStats opt_stats;
+    uint64_t schema_version = 0;
+  };
+
+  /// Runs a compiled plan and shapes the result rowset.
+  Result<QueryResult> RunCachedPlan(const CachedPlan& cached,
+                                    const std::map<std::string, Value>& params);
+
+  EngineOptions options_;
+  StorageEngine storage_;
+  std::unique_ptr<Catalog> catalog_;
+  fulltext::FullTextService fulltext_;
+  std::vector<FullTextCatalogInfo> fulltext_catalogs_;
+  /// Bumped by any DDL / linked-server / full-text change; cached plans
+  /// compiled under an older version are discarded.
+  uint64_t schema_version_ = 0;
+  std::map<std::string, CachedPlan> plan_cache_;
+};
+
+/// Default deterministic "today" (2004-11-15, the paper's era).
+int64_t DefaultCurrentDate();
+
+}  // namespace dhqp
+
+#endif  // DHQP_CORE_ENGINE_H_

@@ -1,0 +1,286 @@
+#include "src/executor/eval.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "src/common/date.h"
+#include "src/fulltext/contains_query.h"
+
+namespace dhqp {
+
+namespace {
+
+Result<Value> LookupColumn(int col_id, const EvalEnv& env) {
+  if (env.col_pos != nullptr && env.row != nullptr) {
+    auto it = env.col_pos->find(col_id);
+    if (it != env.col_pos->end()) {
+      return (*env.row)[static_cast<size_t>(it->second)];
+    }
+  }
+  if (env.col_pos2 != nullptr && env.row2 != nullptr) {
+    auto it = env.col_pos2->find(col_id);
+    if (it != env.col_pos2->end()) {
+      return (*env.row2)[static_cast<size_t>(it->second)];
+    }
+  }
+  return Status::ExecutionError("column #" + std::to_string(col_id) +
+                                " not available at runtime");
+}
+
+Result<Value> EvalArithmetic(const std::string& op, const Value& a,
+                             const Value& b, DataType result_type) {
+  if (a.is_null() || b.is_null()) return Value::Null(result_type);
+  // Date arithmetic.
+  if (a.type() == DataType::kDate && b.type() == DataType::kInt64) {
+    if (op == "+") return Value::Date(a.date_value() + b.int64_value());
+    if (op == "-") return Value::Date(a.date_value() - b.int64_value());
+  }
+  if (a.type() == DataType::kDate && b.type() == DataType::kDate &&
+      op == "-") {
+    return Value::Int64(a.date_value() - b.date_value());
+  }
+  if (a.type() == DataType::kString && b.type() == DataType::kString &&
+      op == "+") {
+    return Value::String(a.string_value() + b.string_value());
+  }
+  bool use_double =
+      a.type() == DataType::kDouble || b.type() == DataType::kDouble ||
+      result_type == DataType::kDouble;
+  if (use_double) {
+    double x = a.AsDouble(), y = b.AsDouble();
+    if (op == "+") return Value::Double(x + y);
+    if (op == "-") return Value::Double(x - y);
+    if (op == "*") return Value::Double(x * y);
+    if (op == "/") {
+      if (y == 0) return Status::ExecutionError("division by zero");
+      return Value::Double(x / y);
+    }
+    if (op == "%") {
+      if (y == 0) return Status::ExecutionError("division by zero");
+      return Value::Double(std::fmod(x, y));
+    }
+  } else {
+    DHQP_ASSIGN_OR_RETURN(Value ai, a.CastTo(DataType::kInt64));
+    DHQP_ASSIGN_OR_RETURN(Value bi, b.CastTo(DataType::kInt64));
+    int64_t x = ai.int64_value(), y = bi.int64_value();
+    if (op == "+") return Value::Int64(x + y);
+    if (op == "-") return Value::Int64(x - y);
+    if (op == "*") return Value::Int64(x * y);
+    if (op == "/") {
+      if (y == 0) return Status::ExecutionError("division by zero");
+      return Value::Int64(x / y);
+    }
+    if (op == "%") {
+      if (y == 0) return Status::ExecutionError("division by zero");
+      return Value::Int64(x % y);
+    }
+  }
+  return Status::ExecutionError("unknown arithmetic operator '" + op + "'");
+}
+
+Result<Value> EvalComparison(const std::string& op, const Value& a,
+                             const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null(DataType::kBool);
+  int c = a.Compare(b);
+  bool result;
+  if (op == "=") {
+    result = c == 0;
+  } else if (op == "<>") {
+    result = c != 0;
+  } else if (op == "<") {
+    result = c < 0;
+  } else if (op == "<=") {
+    result = c <= 0;
+  } else if (op == ">") {
+    result = c > 0;
+  } else {
+    result = c >= 0;  // >=
+  }
+  return Value::Bool(result);
+}
+
+Result<Value> EvalFunc(const ScalarExpr& expr, const EvalEnv& env,
+                       const std::vector<Value>& args) {
+  const std::string& fn = expr.op;
+  auto null_if = [&](size_t i) { return args[i].is_null(); };
+  if (fn == "UPPER" || fn == "LOWER") {
+    if (null_if(0)) return Value::Null(DataType::kString);
+    std::string s = args[0].ToString();
+    for (char& c : s) {
+      c = fn == "UPPER"
+              ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
+              : static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    return Value::String(std::move(s));
+  }
+  if (fn == "LEN" || fn == "LENGTH") {
+    if (null_if(0)) return Value::Null(DataType::kInt64);
+    return Value::Int64(static_cast<int64_t>(args[0].ToString().size()));
+  }
+  if (fn == "ABS") {
+    if (null_if(0)) return Value::Null(expr.type);
+    if (args[0].type() == DataType::kDouble) {
+      return Value::Double(std::fabs(args[0].double_value()));
+    }
+    return Value::Int64(std::llabs(args[0].int64_value()));
+  }
+  if (fn == "YEAR" || fn == "MONTH" || fn == "DAY") {
+    if (null_if(0)) return Value::Null(DataType::kInt64);
+    DHQP_ASSIGN_OR_RETURN(Value d, args[0].CastTo(DataType::kDate));
+    int y, m, dd;
+    DaysToCivil(d.date_value(), &y, &m, &dd);
+    if (fn == "YEAR") return Value::Int64(y);
+    if (fn == "MONTH") return Value::Int64(m);
+    return Value::Int64(dd);
+  }
+  if (fn == "TODAY") {
+    return Value::Date(env.current_date);
+  }
+  if (fn == "DATE" || fn == "DATEADD") {
+    if (null_if(0) || null_if(1)) return Value::Null(DataType::kDate);
+    DHQP_ASSIGN_OR_RETURN(Value d, args[0].CastTo(DataType::kDate));
+    DHQP_ASSIGN_OR_RETURN(Value n, args[1].CastTo(DataType::kInt64));
+    return Value::Date(d.date_value() + n.int64_value());
+  }
+  if (fn == "CONTAINS") {
+    // Direct text evaluation — the naive path when no full-text index plan
+    // was chosen.
+    if (null_if(0)) return Value::Bool(false);
+    const std::string& query = args[1].string_value();
+    return Value::Bool(
+        fulltext::MatchesTextQuery(args[0].ToString(), query));
+  }
+  return Status::ExecutionError("unknown function '" + fn + "'");
+}
+
+}  // namespace
+
+Result<Value> EvalExpr(const ScalarExpr& expr, const EvalEnv& env) {
+  switch (expr.kind) {
+    case ScalarKind::kColumn:
+      return LookupColumn(expr.column_id, env);
+    case ScalarKind::kLiteral:
+      return expr.literal;
+    case ScalarKind::kParam: {
+      if (env.params != nullptr) {
+        auto it = env.params->find(expr.op);
+        if (it != env.params->end()) {
+          if (expr.type != DataType::kNull && !it->second.is_null() &&
+              it->second.type() != expr.type) {
+            return it->second.CastTo(expr.type);
+          }
+          return it->second;
+        }
+      }
+      return Status::ExecutionError("parameter '" + expr.op + "' not bound");
+    }
+    case ScalarKind::kUnary: {
+      DHQP_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.args[0], env));
+      if (expr.op == "NOT") {
+        if (v.is_null()) return Value::Null(DataType::kBool);
+        return Value::Bool(!v.bool_value());
+      }
+      if (expr.op == "-") {
+        if (v.is_null()) return Value::Null(v.type());
+        if (v.type() == DataType::kDouble) {
+          return Value::Double(-v.double_value());
+        }
+        return Value::Int64(-v.int64_value());
+      }
+      return Status::ExecutionError("unknown unary operator '" + expr.op + "'");
+    }
+    case ScalarKind::kBinary: {
+      const std::string& op = expr.op;
+      if (op == "AND" || op == "OR") {
+        DHQP_ASSIGN_OR_RETURN(Value a, EvalExpr(*expr.args[0], env));
+        // Short-circuit.
+        if (op == "AND" && !a.is_null() && !a.bool_value()) {
+          return Value::Bool(false);
+        }
+        if (op == "OR" && !a.is_null() && a.bool_value()) {
+          return Value::Bool(true);
+        }
+        DHQP_ASSIGN_OR_RETURN(Value b, EvalExpr(*expr.args[1], env));
+        if (op == "AND") {
+          if (!b.is_null() && !b.bool_value()) return Value::Bool(false);
+          if (a.is_null() || b.is_null()) return Value::Null(DataType::kBool);
+          return Value::Bool(true);
+        }
+        if (!b.is_null() && b.bool_value()) return Value::Bool(true);
+        if (a.is_null() || b.is_null()) return Value::Null(DataType::kBool);
+        return Value::Bool(false);
+      }
+      DHQP_ASSIGN_OR_RETURN(Value a, EvalExpr(*expr.args[0], env));
+      DHQP_ASSIGN_OR_RETURN(Value b, EvalExpr(*expr.args[1], env));
+      if (op == "=" || op == "<>" || op == "<" || op == "<=" || op == ">" ||
+          op == ">=") {
+        return EvalComparison(op, a, b);
+      }
+      return EvalArithmetic(op, a, b, expr.type);
+    }
+    case ScalarKind::kFunc: {
+      std::vector<Value> args;
+      args.reserve(expr.args.size());
+      for (const ScalarExprPtr& arg : expr.args) {
+        DHQP_ASSIGN_OR_RETURN(Value v, EvalExpr(*arg, env));
+        args.push_back(std::move(v));
+      }
+      return EvalFunc(expr, env, args);
+    }
+    case ScalarKind::kIsNull: {
+      DHQP_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.args[0], env));
+      return Value::Bool(expr.negated ? !v.is_null() : v.is_null());
+    }
+    case ScalarKind::kLike: {
+      DHQP_ASSIGN_OR_RETURN(Value text, EvalExpr(*expr.args[0], env));
+      DHQP_ASSIGN_OR_RETURN(Value pattern, EvalExpr(*expr.args[1], env));
+      if (text.is_null() || pattern.is_null()) {
+        return Value::Null(DataType::kBool);
+      }
+      bool m = LikeMatch(text.ToString(), pattern.ToString());
+      return Value::Bool(expr.negated ? !m : m);
+    }
+    case ScalarKind::kInList: {
+      DHQP_ASSIGN_OR_RETURN(Value probe, EvalExpr(*expr.args[0], env));
+      if (probe.is_null()) return Value::Null(DataType::kBool);
+      bool found = false, saw_null = false;
+      for (size_t i = 1; i < expr.args.size(); ++i) {
+        DHQP_ASSIGN_OR_RETURN(Value item, EvalExpr(*expr.args[i], env));
+        if (item.is_null()) {
+          saw_null = true;
+          continue;
+        }
+        if (probe.Compare(item) == 0) {
+          found = true;
+          break;
+        }
+      }
+      if (!found && saw_null) return Value::Null(DataType::kBool);
+      return Value::Bool(expr.negated ? !found : found);
+    }
+    case ScalarKind::kCase: {
+      size_t i = 0;
+      for (; i + 1 < expr.args.size(); i += 2) {
+        DHQP_ASSIGN_OR_RETURN(Value cond, EvalExpr(*expr.args[i], env));
+        if (!cond.is_null() && cond.bool_value()) {
+          return EvalExpr(*expr.args[i + 1], env);
+        }
+      }
+      if (i < expr.args.size()) return EvalExpr(*expr.args[i], env);
+      return Value::Null(expr.type);
+    }
+    case ScalarKind::kCast: {
+      DHQP_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr.args[0], env));
+      return v.CastTo(expr.cast_type);
+    }
+  }
+  return Status::Internal("unknown scalar expression kind");
+}
+
+Result<bool> EvalPredicate(const ScalarExpr& expr, const EvalEnv& env) {
+  DHQP_ASSIGN_OR_RETURN(Value v, EvalExpr(expr, env));
+  return !v.is_null() && v.type() == DataType::kBool && v.bool_value();
+}
+
+}  // namespace dhqp

@@ -1,0 +1,38 @@
+#ifndef DHQP_EXECUTOR_EVAL_H_
+#define DHQP_EXECUTOR_EVAL_H_
+
+#include <map>
+#include <string>
+
+#include "src/common/row.h"
+#include "src/sql/bound_expr.h"
+
+namespace dhqp {
+
+namespace fulltext {
+class FullTextService;
+}  // namespace fulltext
+
+/// Evaluation environment: up to two input rows (join operands) with their
+/// column-id -> position maps, the query's parameter bindings, the engine's
+/// notion of "today" (deterministic TODAY()), and the full-text matcher used
+/// when CONTAINS is evaluated directly against text.
+struct EvalEnv {
+  const std::map<int, int>* col_pos = nullptr;
+  const Row* row = nullptr;
+  const std::map<int, int>* col_pos2 = nullptr;
+  const Row* row2 = nullptr;
+  const std::map<std::string, Value>* params = nullptr;
+  int64_t current_date = 0;
+};
+
+/// Evaluates a bound scalar expression; SQL three-valued semantics for
+/// comparisons and AND/OR/NOT (NULL-yielding operands propagate).
+Result<Value> EvalExpr(const ScalarExpr& expr, const EvalEnv& env);
+
+/// Predicate truth: non-NULL boolean true.
+Result<bool> EvalPredicate(const ScalarExpr& expr, const EvalEnv& env);
+
+}  // namespace dhqp
+
+#endif  // DHQP_EXECUTOR_EVAL_H_

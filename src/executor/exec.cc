@@ -1,0 +1,1257 @@
+#include "src/executor/exec.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/storage/btree.h"
+
+namespace dhqp {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Helpers.
+// ---------------------------------------------------------------------------
+
+// Evaluates a RangeSpec's bound expressions against the current parameters.
+Result<IndexRange> EvalRangeSpec(const RangeSpec& spec, ExecContext* ctx) {
+  EvalEnv env;
+  env.params = &ctx->params;
+  env.current_date = ctx->current_date;
+  IndexRange range;
+  for (const ScalarExprPtr& e : spec.eq_prefix) {
+    DHQP_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, env));
+    range.eq_prefix.push_back(std::move(v));
+  }
+  if (spec.lo != nullptr) {
+    DHQP_ASSIGN_OR_RETURN(Value v, EvalExpr(*spec.lo, env));
+    range.lo = std::move(v);
+    range.lo_inclusive = spec.lo_inclusive;
+  }
+  if (spec.hi != nullptr) {
+    DHQP_ASSIGN_OR_RETURN(Value v, EvalExpr(*spec.hi, env));
+    range.hi = std::move(v);
+    range.hi_inclusive = spec.hi_inclusive;
+  }
+  return range;
+}
+
+// ---------------------------------------------------------------------------
+// Scans (local + remote) and leaves.
+// ---------------------------------------------------------------------------
+
+class ScanNode : public ExecNode {
+ public:
+  ScanNode(PhysicalOpPtr op, ExecContext* ctx)
+      : ExecNode(std::move(op)), ctx_(ctx) {}
+
+  Status Open() override {
+    DHQP_ASSIGN_OR_RETURN(Session * session,
+                          ctx_->catalog->GetSession(op_->table.source_id));
+    DHQP_ASSIGN_OR_RETURN(rowset_,
+                          session->OpenRowset(op_->table.metadata.name));
+    if (op_->kind == PhysicalOpKind::kRemoteScan) ctx_->stats.remote_opens++;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* out) override {
+    DHQP_ASSIGN_OR_RETURN(bool has, rowset_->Next(out));
+    if (has && op_->kind == PhysicalOpKind::kRemoteScan) {
+      ctx_->stats.rows_from_remote++;
+    }
+    return has;
+  }
+
+  Status Restart() override {
+    // Rewinding a remote cursor is another round trip's worth of work on
+    // the provider; account for it (the spool ablation measures this).
+    if (op_->kind == PhysicalOpKind::kRemoteScan) ctx_->stats.remote_opens++;
+    Status st = rowset_->Restart();
+    if (st.ok()) return st;
+    return Open();
+  }
+
+ private:
+  ExecContext* ctx_;
+  std::unique_ptr<Rowset> rowset_;
+};
+
+class IndexRangeNode : public ExecNode {
+ public:
+  IndexRangeNode(PhysicalOpPtr op, ExecContext* ctx)
+      : ExecNode(std::move(op)), ctx_(ctx) {}
+
+  Status Open() override {
+    DHQP_ASSIGN_OR_RETURN(Session * session,
+                          ctx_->catalog->GetSession(op_->table.source_id));
+    DHQP_ASSIGN_OR_RETURN(IndexRange range, EvalRangeSpec(op_->range, ctx_));
+    DHQP_ASSIGN_OR_RETURN(
+        rowset_, session->OpenIndexRange(op_->table.metadata.name,
+                                         op_->index_name, range));
+    if (op_->kind == PhysicalOpKind::kRemoteRange) ctx_->stats.remote_opens++;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* out) override {
+    DHQP_ASSIGN_OR_RETURN(bool has, rowset_->Next(out));
+    if (has && op_->kind == PhysicalOpKind::kRemoteRange) {
+      ctx_->stats.rows_from_remote++;
+    }
+    return has;
+  }
+
+  Status Restart() override { return Open(); }  // Bounds may be parameters.
+
+ private:
+  ExecContext* ctx_;
+  std::unique_ptr<Rowset> rowset_;
+};
+
+// Remote fetch (§4.1.2 "remote fetch accesses a remote table via
+// 'bookmark'"): streams (key, bookmark) pairs from the remote index, then
+// fetches each base row by bookmark — one round trip per row.
+class RemoteFetchNode : public ExecNode {
+ public:
+  RemoteFetchNode(PhysicalOpPtr op, ExecContext* ctx)
+      : ExecNode(std::move(op)), ctx_(ctx) {}
+
+  Status Open() override {
+    DHQP_ASSIGN_OR_RETURN(session_,
+                          ctx_->catalog->GetSession(op_->table.source_id));
+    DHQP_ASSIGN_OR_RETURN(IndexRange range, EvalRangeSpec(op_->range, ctx_));
+    DHQP_ASSIGN_OR_RETURN(
+        keys_, session_->OpenIndexKeys(op_->table.metadata.name,
+                                       op_->index_name, range));
+    ctx_->stats.remote_opens++;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* out) override {
+    Row key_row;
+    while (true) {
+      DHQP_ASSIGN_OR_RETURN(bool has, keys_->Next(&key_row));
+      if (!has) return false;
+      const Value& bookmark = key_row.back();
+      DHQP_ASSIGN_OR_RETURN(
+          std::optional<Row> row,
+          session_->FetchByBookmark(op_->table.metadata.name, bookmark));
+      ctx_->stats.remote_fetches++;
+      if (row.has_value()) {
+        ctx_->stats.rows_from_remote++;
+        *out = std::move(*row);
+        return true;
+      }
+    }
+  }
+
+  Status Restart() override { return Open(); }
+
+ private:
+  ExecContext* ctx_;
+  Session* session_ = nullptr;
+  std::unique_ptr<Rowset> keys_;
+};
+
+class ConstTableNode : public ExecNode {
+ public:
+  explicit ConstTableNode(PhysicalOpPtr op) : ExecNode(std::move(op)) {}
+  Status Open() override {
+    pos_ = 0;
+    return Status::OK();
+  }
+  Result<bool> Next(Row* out) override {
+    if (pos_ >= op_->const_rows.size()) return false;
+    *out = op_->const_rows[pos_++];
+    return true;
+  }
+  Status Restart() override {
+    pos_ = 0;
+    return Status::OK();
+  }
+
+ private:
+  size_t pos_ = 0;
+};
+
+class EmptyNode : public ExecNode {
+ public:
+  explicit EmptyNode(PhysicalOpPtr op) : ExecNode(std::move(op)) {}
+  Status Open() override { return Status::OK(); }
+  Result<bool> Next(Row* out) override {
+    (void)out;
+    return false;
+  }
+  Status Restart() override { return Status::OK(); }
+};
+
+class FullTextLookupNode : public ExecNode {
+ public:
+  FullTextLookupNode(PhysicalOpPtr op, ExecContext* ctx)
+      : ExecNode(std::move(op)), ctx_(ctx) {}
+
+  Status Open() override {
+    if (ctx_->fulltext == nullptr) {
+      return Status::ExecutionError("no full-text service available");
+    }
+    DHQP_ASSIGN_OR_RETURN(matches_,
+                          ctx_->fulltext->Query(op_->ft_table, op_->ft_query));
+    pos_ = 0;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* out) override {
+    if (pos_ >= matches_.size()) return false;
+    out->clear();
+    out->push_back(matches_[pos_].first);
+    out->push_back(Value::Double(matches_[pos_].second));
+    ++pos_;
+    return true;
+  }
+
+  Status Restart() override {
+    pos_ = 0;
+    return Status::OK();
+  }
+
+ private:
+  ExecContext* ctx_;
+  std::vector<std::pair<Value, double>> matches_;
+  size_t pos_ = 0;
+};
+
+// Remote query dispatch ("build remote query" at run time): creates a
+// command on the provider session, binds parameters, executes, streams.
+class RemoteQueryNode : public ExecNode {
+ public:
+  RemoteQueryNode(PhysicalOpPtr op, ExecContext* ctx)
+      : ExecNode(std::move(op)), ctx_(ctx) {}
+
+  Status Open() override {
+    DHQP_ASSIGN_OR_RETURN(Session * session,
+                          ctx_->catalog->GetSession(op_->source_id));
+    DHQP_ASSIGN_OR_RETURN(auto command, session->CreateCommand());
+    DHQP_RETURN_NOT_OK(command->SetText(op_->remote_sql));
+    for (const std::string& name : op_->remote_param_names) {
+      auto it = ctx_->params.find(name);
+      if (it == ctx_->params.end()) {
+        return Status::ExecutionError("remote parameter '" + name +
+                                      "' not bound");
+      }
+      DHQP_RETURN_NOT_OK(command->BindParameter(name, it->second));
+    }
+    DHQP_ASSIGN_OR_RETURN(rowset_, command->Execute());
+    ctx_->stats.remote_commands++;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* out) override {
+    DHQP_ASSIGN_OR_RETURN(bool has, rowset_->Next(out));
+    if (has) ctx_->stats.rows_from_remote++;
+    return has;
+  }
+
+  Status Restart() override { return Open(); }  // Re-binds current params.
+
+ private:
+  ExecContext* ctx_;
+  std::unique_ptr<Rowset> rowset_;
+};
+
+// ---------------------------------------------------------------------------
+// Filters / projection / top.
+// ---------------------------------------------------------------------------
+
+class FilterNode : public ExecNode {
+ public:
+  FilterNode(PhysicalOpPtr op, std::unique_ptr<ExecNode> child,
+             ExecContext* ctx)
+      : ExecNode(std::move(op)), child_(std::move(child)), ctx_(ctx) {}
+
+  Status Open() override { return child_->Open(); }
+
+  Result<bool> Next(Row* out) override {
+    EvalEnv env;
+    env.col_pos = &child_->col_pos();
+    env.params = &ctx_->params;
+    env.current_date = ctx_->current_date;
+    while (true) {
+      DHQP_ASSIGN_OR_RETURN(bool has, child_->Next(out));
+      if (!has) return false;
+      env.row = out;
+      DHQP_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*op_->predicate, env));
+      if (pass) return true;
+    }
+  }
+
+  Status Restart() override { return child_->Restart(); }
+
+ private:
+  std::unique_ptr<ExecNode> child_;
+  ExecContext* ctx_;
+};
+
+// Startup filter (§4.1.5): evaluates its parameter-only predicate before
+// opening the child; a false guard skips the entire subtree (runtime
+// partition pruning).
+class StartupFilterNode : public ExecNode {
+ public:
+  StartupFilterNode(PhysicalOpPtr op, std::unique_ptr<ExecNode> child,
+                    ExecContext* ctx)
+      : ExecNode(std::move(op)), child_(std::move(child)), ctx_(ctx) {}
+
+  Status Open() override {
+    EvalEnv env;
+    env.params = &ctx_->params;
+    env.current_date = ctx_->current_date;
+    DHQP_ASSIGN_OR_RETURN(active_, EvalPredicate(*op_->predicate, env));
+    if (!active_) {
+      ctx_->stats.startup_skips++;
+      return Status::OK();
+    }
+    if (!child_opened_) {
+      child_opened_ = true;
+      return child_->Open();
+    }
+    return child_->Restart();
+  }
+
+  Result<bool> Next(Row* out) override {
+    if (!active_) return false;
+    return child_->Next(out);
+  }
+
+  Status Restart() override { return Open(); }
+
+ private:
+  std::unique_ptr<ExecNode> child_;
+  ExecContext* ctx_;
+  bool active_ = false;
+  bool child_opened_ = false;
+};
+
+class ProjectNode : public ExecNode {
+ public:
+  ProjectNode(PhysicalOpPtr op, std::unique_ptr<ExecNode> child,
+              ExecContext* ctx)
+      : ExecNode(std::move(op)), child_(std::move(child)), ctx_(ctx) {}
+
+  Status Open() override { return child_->Open(); }
+
+  Result<bool> Next(Row* out) override {
+    Row in;
+    DHQP_ASSIGN_OR_RETURN(bool has, child_->Next(&in));
+    if (!has) return false;
+    EvalEnv env;
+    env.col_pos = &child_->col_pos();
+    env.row = &in;
+    env.params = &ctx_->params;
+    env.current_date = ctx_->current_date;
+    out->clear();
+    out->reserve(op_->exprs.size());
+    for (const ScalarExprPtr& e : op_->exprs) {
+      DHQP_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, env));
+      out->push_back(std::move(v));
+    }
+    return true;
+  }
+
+  Status Restart() override { return child_->Restart(); }
+
+ private:
+  std::unique_ptr<ExecNode> child_;
+  ExecContext* ctx_;
+};
+
+class TopNode : public ExecNode {
+ public:
+  TopNode(PhysicalOpPtr op, std::unique_ptr<ExecNode> child)
+      : ExecNode(std::move(op)), child_(std::move(child)) {}
+
+  Status Open() override {
+    emitted_ = 0;
+    return child_->Open();
+  }
+
+  Result<bool> Next(Row* out) override {
+    if (emitted_ >= op_->limit) return false;
+    DHQP_ASSIGN_OR_RETURN(bool has, child_->Next(out));
+    if (!has) return false;
+    ++emitted_;
+    return true;
+  }
+
+  Status Restart() override {
+    emitted_ = 0;
+    return child_->Restart();
+  }
+
+ private:
+  std::unique_ptr<ExecNode> child_;
+  int64_t emitted_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Sort / spool / concat.
+// ---------------------------------------------------------------------------
+
+class SortNode : public ExecNode {
+ public:
+  SortNode(PhysicalOpPtr op, std::unique_ptr<ExecNode> child)
+      : ExecNode(std::move(op)), child_(std::move(child)) {}
+
+  Status Open() override {
+    DHQP_RETURN_NOT_OK(child_->Open());
+    return Materialize();
+  }
+
+  Result<bool> Next(Row* out) override {
+    if (pos_ >= rows_.size()) return false;
+    *out = rows_[pos_++];
+    return true;
+  }
+
+  Status Restart() override {
+    DHQP_RETURN_NOT_OK(child_->Restart());
+    return Materialize();
+  }
+
+ private:
+  Status Materialize() {
+    rows_.clear();
+    pos_ = 0;
+    Row row;
+    while (true) {
+      DHQP_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+      if (!has) break;
+      rows_.push_back(row);
+    }
+    const auto& positions = child_->col_pos();
+    std::vector<std::pair<int, bool>> keys;
+    for (const auto& [col, asc] : op_->sort_keys) {
+      auto it = positions.find(col);
+      if (it == positions.end()) {
+        return Status::Internal("sort key column not in input");
+      }
+      keys.emplace_back(it->second, asc);
+    }
+    std::stable_sort(rows_.begin(), rows_.end(),
+                     [&keys](const Row& a, const Row& b) {
+                       for (const auto& [pos, asc] : keys) {
+                         int c = a[static_cast<size_t>(pos)].Compare(
+                             b[static_cast<size_t>(pos)]);
+                         if (c != 0) return asc ? c < 0 : c > 0;
+                       }
+                       return false;
+                     });
+    return Status::OK();
+  }
+
+  std::unique_ptr<ExecNode> child_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+// Spool (§4.1.4): materializes the child once; rescans are served from the
+// copy "without having to request the data from the remote sources again".
+class SpoolNode : public ExecNode {
+ public:
+  SpoolNode(PhysicalOpPtr op, std::unique_ptr<ExecNode> child,
+            ExecContext* ctx)
+      : ExecNode(std::move(op)), child_(std::move(child)), ctx_(ctx) {}
+
+  Status Open() override {
+    DHQP_RETURN_NOT_OK(child_->Open());
+    rows_.clear();
+    filled_ = false;
+    pos_ = 0;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* out) override {
+    if (!filled_) {
+      Row row;
+      while (true) {
+        DHQP_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+        if (!has) break;
+        rows_.push_back(row);
+      }
+      filled_ = true;
+    }
+    if (pos_ >= rows_.size()) return false;
+    *out = rows_[pos_++];
+    return true;
+  }
+
+  Status Restart() override {
+    if (filled_) {
+      ctx_->stats.spool_rescans++;
+      pos_ = 0;
+      return Status::OK();
+    }
+    return Open();
+  }
+
+ private:
+  std::unique_ptr<ExecNode> child_;
+  ExecContext* ctx_;
+  std::vector<Row> rows_;
+  bool filled_ = false;
+  size_t pos_ = 0;
+};
+
+class ConcatNode : public ExecNode {
+ public:
+  ConcatNode(PhysicalOpPtr op, std::vector<std::unique_ptr<ExecNode>> children,
+             ExecContext* ctx)
+      : ExecNode(std::move(op)), children_(std::move(children)), ctx_(ctx) {}
+
+  Status Open() override {
+    current_ = 0;
+    opened_current_ = false;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* out) override {
+    while (current_ < children_.size()) {
+      if (!opened_current_) {
+        if (children_[current_]->op().kind != PhysicalOpKind::kEmptyTable) {
+          ctx_->stats.partitions_opened++;
+        }
+        DHQP_RETURN_NOT_OK(children_[current_]->Open());
+        opened_current_ = true;
+      }
+      Row in;
+      DHQP_ASSIGN_OR_RETURN(bool has, children_[current_]->Next(&in));
+      if (has) {
+        // Align branch columns to the concat's output positionally.
+        *out = std::move(in);
+        return true;
+      }
+      ++current_;
+      opened_current_ = false;
+    }
+    return false;
+  }
+
+  Status Restart() override { return Open(); }
+
+ private:
+  std::vector<std::unique_ptr<ExecNode>> children_;
+  ExecContext* ctx_;
+  size_t current_ = 0;
+  bool opened_current_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Joins.
+// ---------------------------------------------------------------------------
+
+class HashJoinNode : public ExecNode {
+ public:
+  HashJoinNode(PhysicalOpPtr op, std::unique_ptr<ExecNode> left,
+               std::unique_ptr<ExecNode> right, ExecContext* ctx)
+      : ExecNode(std::move(op)),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        ctx_(ctx) {}
+
+  Status Open() override {
+    DHQP_RETURN_NOT_OK(left_->Open());
+    DHQP_RETURN_NOT_OK(right_->Open());
+    return Build();
+  }
+
+  Result<bool> Next(Row* out) override {
+    EvalEnv env;
+    env.col_pos = &left_->col_pos();
+    env.col_pos2 = &right_->col_pos();
+    env.params = &ctx_->params;
+    env.current_date = ctx_->current_date;
+    while (true) {
+      if (have_probe_) {
+        env.row = &probe_;
+        if (op_->join_type == JoinType::kSemi ||
+            op_->join_type == JoinType::kAnti) {
+          bool any = false;
+          for (const Row& build_row : *matches_) {
+            env.row2 = &build_row;
+            bool pass = true;
+            if (op_->predicate != nullptr) {
+              DHQP_ASSIGN_OR_RETURN(pass, EvalPredicate(*op_->predicate, env));
+            }
+            if (pass) {
+              any = true;
+              break;
+            }
+          }
+          have_probe_ = false;
+          if (any == (op_->join_type == JoinType::kSemi)) {
+            *out = probe_;
+            return true;
+          }
+          continue;
+        }
+        // Inner / left outer: emit every passing combination.
+        while (match_pos_ < matches_->size()) {
+          const Row& build_row = (*matches_)[match_pos_++];
+          env.row2 = &build_row;
+          bool pass = true;
+          if (op_->predicate != nullptr) {
+            DHQP_ASSIGN_OR_RETURN(pass, EvalPredicate(*op_->predicate, env));
+          }
+          if (!pass) continue;
+          any_emitted_ = true;
+          *out = probe_;
+          out->insert(out->end(), build_row.begin(), build_row.end());
+          return true;
+        }
+        have_probe_ = false;
+        if (op_->join_type == JoinType::kLeftOuter && !any_emitted_) {
+          *out = probe_;
+          for (size_t i = 0; i < right_->op().output_cols.size(); ++i) {
+            out->push_back(Value::Null(right_->op().output_types[i]));
+          }
+          return true;
+        }
+        continue;
+      }
+      // Advance to the next probe row.
+      DHQP_ASSIGN_OR_RETURN(bool has, left_->Next(&probe_));
+      if (!has) return false;
+      have_probe_ = true;
+      any_emitted_ = false;
+      match_pos_ = 0;
+      IndexKey key;
+      bool null_key = false;
+      env.row = &probe_;
+      env.row2 = nullptr;
+      for (const auto& [l, r] : op_->key_pairs) {
+        DHQP_ASSIGN_OR_RETURN(Value v, EvalExpr(*l, env));
+        if (v.is_null()) {
+          null_key = true;
+          break;
+        }
+        key.push_back(std::move(v));
+      }
+      static const std::vector<Row>& kNoMatches = *new std::vector<Row>();
+      if (null_key) {
+        matches_ = &kNoMatches;
+      } else {
+        auto it = table_.find(key);
+        matches_ = it == table_.end() ? &kNoMatches : &it->second;
+      }
+    }
+  }
+
+  Status Restart() override {
+    DHQP_RETURN_NOT_OK(left_->Restart());
+    DHQP_RETURN_NOT_OK(right_->Restart());
+    return Build();
+  }
+
+ private:
+  Status Build() {
+    table_.clear();
+    match_pos_ = 0;
+    static const std::vector<Row>& kNone = *new std::vector<Row>();
+    matches_ = &kNone;
+    have_probe_ = false;
+    any_emitted_ = false;
+    EvalEnv env;
+    env.col_pos = &right_->col_pos();
+    env.params = &ctx_->params;
+    env.current_date = ctx_->current_date;
+    Row row;
+    while (true) {
+      DHQP_ASSIGN_OR_RETURN(bool has, right_->Next(&row));
+      if (!has) break;
+      env.row = &row;
+      IndexKey key;
+      bool null_key = false;
+      for (const auto& [l, r] : op_->key_pairs) {
+        DHQP_ASSIGN_OR_RETURN(Value v, EvalExpr(*r, env));
+        if (v.is_null()) {
+          null_key = true;
+          break;
+        }
+        key.push_back(std::move(v));
+      }
+      if (!null_key) table_[key].push_back(row);
+    }
+    return Status::OK();
+  }
+
+  struct KeyLess {
+    bool operator()(const IndexKey& a, const IndexKey& b) const {
+      return CompareKeys(a, b) < 0;
+    }
+  };
+
+  std::unique_ptr<ExecNode> left_, right_;
+  ExecContext* ctx_;
+  std::map<IndexKey, std::vector<Row>, KeyLess> table_;
+  Row probe_;
+  const std::vector<Row>* matches_ = nullptr;
+  size_t match_pos_ = 0;
+  bool have_probe_ = false;
+  bool any_emitted_ = false;
+};
+
+class NestedLoopsJoinNode : public ExecNode {
+ public:
+  NestedLoopsJoinNode(PhysicalOpPtr op, std::unique_ptr<ExecNode> outer,
+                      std::unique_ptr<ExecNode> inner, ExecContext* ctx)
+      : ExecNode(std::move(op)),
+        outer_(std::move(outer)),
+        inner_(std::move(inner)),
+        ctx_(ctx) {}
+
+  Status Open() override {
+    DHQP_RETURN_NOT_OK(outer_->Open());
+    inner_opened_ = false;
+    have_outer_ = false;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* out) override {
+    EvalEnv env;
+    env.col_pos = &outer_->col_pos();
+    env.col_pos2 = &inner_->col_pos();
+    env.params = &ctx_->params;
+    env.current_date = ctx_->current_date;
+    while (true) {
+      if (!have_outer_) {
+        DHQP_ASSIGN_OR_RETURN(bool has, outer_->Next(&outer_row_));
+        if (!has) return false;
+        have_outer_ = true;
+        matched_ = false;
+        // Correlation bindings (parameterized remote queries, §4.1.2):
+        // evaluate outer-row expressions into the parameter map before
+        // (re)starting the inner side.
+        env.row = &outer_row_;
+        for (const auto& [name, expr] : op_->remote_params) {
+          DHQP_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr, env));
+          ctx_->params[name] = std::move(v);
+        }
+        if (!inner_opened_) {
+          DHQP_RETURN_NOT_OK(inner_->Open());
+          inner_opened_ = true;
+        } else {
+          DHQP_RETURN_NOT_OK(inner_->Restart());
+        }
+      }
+      Row inner_row;
+      DHQP_ASSIGN_OR_RETURN(bool has_inner, inner_->Next(&inner_row));
+      if (!has_inner) {
+        bool was_matched = matched_;
+        have_outer_ = false;
+        if (op_->join_type == JoinType::kAnti && !was_matched) {
+          *out = outer_row_;
+          return true;
+        }
+        if (op_->join_type == JoinType::kLeftOuter && !was_matched) {
+          *out = outer_row_;
+          for (size_t i = 0; i < inner_->op().output_cols.size(); ++i) {
+            out->push_back(Value::Null(inner_->op().output_types[i]));
+          }
+          return true;
+        }
+        continue;
+      }
+      env.row = &outer_row_;
+      env.row2 = &inner_row;
+      bool pass = true;
+      if (op_->predicate != nullptr) {
+        DHQP_ASSIGN_OR_RETURN(pass, EvalPredicate(*op_->predicate, env));
+      }
+      if (!pass) continue;
+      matched_ = true;
+      switch (op_->join_type) {
+        case JoinType::kSemi:
+          have_outer_ = false;  // One match suffices.
+          *out = outer_row_;
+          return true;
+        case JoinType::kAnti:
+          have_outer_ = false;  // Outer row disqualified.
+          continue;
+        default:
+          *out = outer_row_;
+          out->insert(out->end(), inner_row.begin(), inner_row.end());
+          return true;
+      }
+    }
+  }
+
+  Status Restart() override {
+    DHQP_RETURN_NOT_OK(outer_->Restart());
+    have_outer_ = false;
+    return Status::OK();
+  }
+
+ private:
+  std::unique_ptr<ExecNode> outer_, inner_;
+  ExecContext* ctx_;
+  Row outer_row_;
+  bool have_outer_ = false;
+  bool matched_ = false;
+  bool inner_opened_ = false;
+};
+
+// Merge join over sorted inputs (inner equi-join).
+class MergeJoinNode : public ExecNode {
+ public:
+  MergeJoinNode(PhysicalOpPtr op, std::unique_ptr<ExecNode> left,
+                std::unique_ptr<ExecNode> right, ExecContext* ctx)
+      : ExecNode(std::move(op)),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        ctx_(ctx) {}
+
+  Status Open() override {
+    DHQP_RETURN_NOT_OK(left_->Open());
+    DHQP_RETURN_NOT_OK(right_->Open());
+    left_done_ = right_done_ = false;
+    have_left_ = false;
+    group_.clear();
+    group_pos_ = 0;
+    right_ahead_ = false;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* out) override {
+    EvalEnv env;
+    env.col_pos = &left_->col_pos();
+    env.col_pos2 = &right_->col_pos();
+    env.params = &ctx_->params;
+    env.current_date = ctx_->current_date;
+    while (true) {
+      // Emit pending (left row x buffered right group) combinations.
+      while (have_left_ && group_pos_ < group_.size()) {
+        const Row& r = group_[group_pos_++];
+        env.row = &left_row_;
+        env.row2 = &r;
+        bool pass = true;
+        if (op_->predicate != nullptr) {
+          DHQP_ASSIGN_OR_RETURN(pass, EvalPredicate(*op_->predicate, env));
+        }
+        if (!pass) continue;
+        *out = left_row_;
+        out->insert(out->end(), r.begin(), r.end());
+        return true;
+      }
+      // Advance left.
+      DHQP_ASSIGN_OR_RETURN(bool has, left_->Next(&left_row_));
+      if (!has) return false;
+      have_left_ = true;
+      group_pos_ = 0;
+      DHQP_ASSIGN_OR_RETURN(IndexKey lkey, KeyOf(left_row_, true, env));
+      // If the buffered group matches, reuse it (duplicate left keys).
+      if (!group_.empty() && CompareKeys(lkey, group_key_) == 0) continue;
+      // Otherwise advance right until its key >= left key, buffering the
+      // equal-key run.
+      group_.clear();
+      group_pos_ = 0;
+      while (true) {
+        if (!right_ahead_) {
+          DHQP_ASSIGN_OR_RETURN(bool rhas, right_->Next(&right_row_));
+          if (!rhas) {
+            right_done_ = true;
+            break;
+          }
+          right_ahead_ = true;
+        }
+        DHQP_ASSIGN_OR_RETURN(IndexKey rkey, KeyOf(right_row_, false, env));
+        int c = CompareKeys(rkey, lkey);
+        if (c < 0) {
+          right_ahead_ = false;  // Skip this right row.
+          continue;
+        }
+        if (c == 0) {
+          group_.push_back(right_row_);
+          group_key_ = rkey;
+          right_ahead_ = false;
+          continue;
+        }
+        break;  // Right is ahead; left must advance.
+      }
+      if (group_.empty()) {
+        have_left_ = false;  // No right match for this left key.
+        if (right_done_ && !right_ahead_) {
+          // Right exhausted: remaining left rows cannot match.
+          return false;
+        }
+        have_left_ = false;
+        continue;
+      }
+      group_key_ = lkey;
+    }
+  }
+
+  Status Restart() override {
+    DHQP_RETURN_NOT_OK(left_->Restart());
+    DHQP_RETURN_NOT_OK(right_->Restart());
+    left_done_ = right_done_ = false;
+    have_left_ = false;
+    group_.clear();
+    group_pos_ = 0;
+    right_ahead_ = false;
+    return Status::OK();
+  }
+
+ private:
+  Result<IndexKey> KeyOf(const Row& row, bool left, EvalEnv env) {
+    env.row = left ? &row : nullptr;
+    env.row2 = left ? nullptr : &row;
+    IndexKey key;
+    for (const auto& [l, r] : op_->key_pairs) {
+      DHQP_ASSIGN_OR_RETURN(Value v, EvalExpr(left ? *l : *r, env));
+      key.push_back(std::move(v));
+    }
+    return key;
+  }
+
+  std::unique_ptr<ExecNode> left_, right_;
+  ExecContext* ctx_;
+  Row left_row_, right_row_;
+  bool have_left_ = false, right_ahead_ = false;
+  bool left_done_ = false, right_done_ = false;
+  std::vector<Row> group_;
+  IndexKey group_key_;
+  size_t group_pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Aggregation.
+// ---------------------------------------------------------------------------
+
+struct Accumulator {
+  int64_t count = 0;
+  double sum_d = 0;
+  int64_t sum_i = 0;
+  bool any = false;
+  Value min, max;
+  std::set<std::string> distinct;  ///< Fingerprints for DISTINCT.
+};
+
+Status Accumulate(const AggregateItem& item, const Value& v,
+                  Accumulator* acc) {
+  if (item.func != "COUNT*" && v.is_null()) return Status::OK();
+  if (item.distinct) {
+    std::string fp = DataTypeName(v.type()) + v.ToString();
+    if (!acc->distinct.insert(fp).second) return Status::OK();
+  }
+  acc->count++;
+  if (item.func == "SUM" || item.func == "AVG") {
+    if (v.type() == DataType::kDouble) {
+      acc->sum_d += v.double_value();
+    } else {
+      acc->sum_i += v.int64_value();
+      acc->sum_d += static_cast<double>(v.int64_value());
+    }
+  } else if (item.func == "MIN") {
+    if (!acc->any || v.Compare(acc->min) < 0) acc->min = v;
+  } else if (item.func == "MAX") {
+    if (!acc->any || v.Compare(acc->max) > 0) acc->max = v;
+  }
+  acc->any = true;
+  return Status::OK();
+}
+
+Value Finalize(const AggregateItem& item, const Accumulator& acc) {
+  if (item.func == "COUNT" || item.func == "COUNT*") {
+    return Value::Int64(acc.count);
+  }
+  if (!acc.any) return Value::Null(item.type);
+  if (item.func == "SUM") {
+    return item.type == DataType::kDouble ? Value::Double(acc.sum_d)
+                                          : Value::Int64(acc.sum_i);
+  }
+  if (item.func == "AVG") {
+    return Value::Double(acc.sum_d / static_cast<double>(acc.count));
+  }
+  if (item.func == "MIN") return acc.min;
+  return acc.max;  // MAX
+}
+
+class HashAggregateNode : public ExecNode {
+ public:
+  HashAggregateNode(PhysicalOpPtr op, std::unique_ptr<ExecNode> child,
+                    ExecContext* ctx)
+      : ExecNode(std::move(op)), child_(std::move(child)), ctx_(ctx) {}
+
+  Status Open() override {
+    DHQP_RETURN_NOT_OK(child_->Open());
+    return Aggregate();
+  }
+
+  Result<bool> Next(Row* out) override {
+    if (pos_ >= results_.size()) return false;
+    *out = results_[pos_++];
+    return true;
+  }
+
+  Status Restart() override {
+    DHQP_RETURN_NOT_OK(child_->Restart());
+    return Aggregate();
+  }
+
+ private:
+  struct KeyLess {
+    bool operator()(const IndexKey& a, const IndexKey& b) const {
+      return CompareKeys(a, b) < 0;
+    }
+  };
+
+  Status Aggregate() {
+    results_.clear();
+    pos_ = 0;
+    std::map<IndexKey, std::vector<Accumulator>, KeyLess> groups;
+    EvalEnv env;
+    env.col_pos = &child_->col_pos();
+    env.params = &ctx_->params;
+    env.current_date = ctx_->current_date;
+    Row row;
+    while (true) {
+      DHQP_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+      if (!has) break;
+      env.row = &row;
+      IndexKey key;
+      for (int g : op_->group_by) {
+        key.push_back(row[static_cast<size_t>(child_->col_pos().at(g))]);
+      }
+      auto [it, inserted] = groups.try_emplace(std::move(key));
+      if (inserted) it->second.resize(op_->aggregates.size());
+      for (size_t i = 0; i < op_->aggregates.size(); ++i) {
+        const AggregateItem& item = op_->aggregates[i];
+        Value v = Value::Int64(1);  // Placeholder for COUNT(*).
+        if (item.arg != nullptr) {
+          DHQP_ASSIGN_OR_RETURN(v, EvalExpr(*item.arg, env));
+        }
+        DHQP_RETURN_NOT_OK(Accumulate(item, v, &it->second[i]));
+      }
+    }
+    // Scalar aggregate over an empty input still yields one row.
+    if (groups.empty() && op_->group_by.empty()) {
+      groups.try_emplace(IndexKey{});
+      groups.begin()->second.resize(op_->aggregates.size());
+    }
+    for (auto& [key, accs] : groups) {
+      Row out = key;
+      for (size_t i = 0; i < op_->aggregates.size(); ++i) {
+        out.push_back(Finalize(op_->aggregates[i], accs[i]));
+      }
+      results_.push_back(std::move(out));
+    }
+    return Status::OK();
+  }
+
+  std::unique_ptr<ExecNode> child_;
+  ExecContext* ctx_;
+  std::vector<Row> results_;
+  size_t pos_ = 0;
+};
+
+// Stream aggregation over input sorted by the group columns.
+class StreamAggregateNode : public ExecNode {
+ public:
+  StreamAggregateNode(PhysicalOpPtr op, std::unique_ptr<ExecNode> child,
+                      ExecContext* ctx)
+      : ExecNode(std::move(op)), child_(std::move(child)), ctx_(ctx) {}
+
+  Status Open() override {
+    DHQP_RETURN_NOT_OK(child_->Open());
+    done_ = false;
+    have_pending_ = false;
+    emitted_scalar_ = false;
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* out) override {
+    if (done_) return false;
+    EvalEnv env;
+    env.col_pos = &child_->col_pos();
+    env.params = &ctx_->params;
+    env.current_date = ctx_->current_date;
+
+    IndexKey current_key;
+    std::vector<Accumulator> accs(op_->aggregates.size());
+    bool have_group = false;
+
+    auto accumulate_row = [&](const Row& row) -> Status {
+      env.row = &row;
+      for (size_t i = 0; i < op_->aggregates.size(); ++i) {
+        const AggregateItem& item = op_->aggregates[i];
+        Value v = Value::Int64(1);
+        if (item.arg != nullptr) {
+          DHQP_ASSIGN_OR_RETURN(Value ev, EvalExpr(*item.arg, env));
+          v = std::move(ev);
+        }
+        DHQP_RETURN_NOT_OK(Accumulate(item, v, &accs[i]));
+      }
+      return Status::OK();
+    };
+
+    if (have_pending_) {
+      current_key = KeyOf(pending_);
+      DHQP_RETURN_NOT_OK(accumulate_row(pending_));
+      have_pending_ = false;
+      have_group = true;
+    }
+    Row row;
+    while (true) {
+      DHQP_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+      if (!has) {
+        done_ = true;
+        break;
+      }
+      IndexKey key = KeyOf(row);
+      if (!have_group) {
+        current_key = key;
+        have_group = true;
+        DHQP_RETURN_NOT_OK(accumulate_row(row));
+        continue;
+      }
+      if (CompareKeys(key, current_key) == 0) {
+        DHQP_RETURN_NOT_OK(accumulate_row(row));
+        continue;
+      }
+      pending_ = row;
+      have_pending_ = true;
+      break;
+    }
+    if (!have_group) {
+      // Empty input: scalar aggregates still produce one row.
+      if (op_->group_by.empty() && !emitted_scalar_) {
+        emitted_scalar_ = true;
+        out->clear();
+        for (size_t i = 0; i < op_->aggregates.size(); ++i) {
+          out->push_back(Finalize(op_->aggregates[i], Accumulator{}));
+        }
+        return true;
+      }
+      return false;
+    }
+    emitted_scalar_ = true;
+    *out = current_key;
+    for (size_t i = 0; i < op_->aggregates.size(); ++i) {
+      out->push_back(Finalize(op_->aggregates[i], accs[i]));
+    }
+    return true;
+  }
+
+  Status Restart() override {
+    DHQP_RETURN_NOT_OK(child_->Restart());
+    done_ = false;
+    have_pending_ = false;
+    emitted_scalar_ = false;
+    return Status::OK();
+  }
+
+ private:
+  IndexKey KeyOf(const Row& row) const {
+    IndexKey key;
+    for (int g : op_->group_by) {
+      key.push_back(row[static_cast<size_t>(child_->col_pos().at(g))]);
+    }
+    return key;
+  }
+
+  std::unique_ptr<ExecNode> child_;
+  ExecContext* ctx_;
+  Row pending_;
+  bool have_pending_ = false;
+  bool done_ = false;
+  bool emitted_scalar_ = false;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Tree construction.
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<ExecNode>> BuildExecTree(const PhysicalOpPtr& plan,
+                                                ExecContext* ctx) {
+  std::vector<std::unique_ptr<ExecNode>> children;
+  for (const PhysicalOpPtr& child : plan->children) {
+    DHQP_ASSIGN_OR_RETURN(auto node, BuildExecTree(child, ctx));
+    children.push_back(std::move(node));
+  }
+  switch (plan->kind) {
+    case PhysicalOpKind::kTableScan:
+    case PhysicalOpKind::kRemoteScan:
+      return std::unique_ptr<ExecNode>(new ScanNode(plan, ctx));
+    case PhysicalOpKind::kIndexRange:
+    case PhysicalOpKind::kRemoteRange:
+      return std::unique_ptr<ExecNode>(new IndexRangeNode(plan, ctx));
+    case PhysicalOpKind::kRemoteFetch:
+      return std::unique_ptr<ExecNode>(new RemoteFetchNode(plan, ctx));
+    case PhysicalOpKind::kConstTable:
+      return std::unique_ptr<ExecNode>(new ConstTableNode(plan));
+    case PhysicalOpKind::kEmptyTable:
+      return std::unique_ptr<ExecNode>(new EmptyNode(plan));
+    case PhysicalOpKind::kFullTextLookup:
+      return std::unique_ptr<ExecNode>(new FullTextLookupNode(plan, ctx));
+    case PhysicalOpKind::kRemoteQuery:
+      return std::unique_ptr<ExecNode>(new RemoteQueryNode(plan, ctx));
+    case PhysicalOpKind::kFilter:
+      return std::unique_ptr<ExecNode>(
+          new FilterNode(plan, std::move(children[0]), ctx));
+    case PhysicalOpKind::kStartupFilter:
+      return std::unique_ptr<ExecNode>(
+          new StartupFilterNode(plan, std::move(children[0]), ctx));
+    case PhysicalOpKind::kProject:
+      return std::unique_ptr<ExecNode>(
+          new ProjectNode(plan, std::move(children[0]), ctx));
+    case PhysicalOpKind::kTop:
+      return std::unique_ptr<ExecNode>(
+          new TopNode(plan, std::move(children[0])));
+    case PhysicalOpKind::kSort:
+      return std::unique_ptr<ExecNode>(
+          new SortNode(plan, std::move(children[0])));
+    case PhysicalOpKind::kSpool:
+      return std::unique_ptr<ExecNode>(
+          new SpoolNode(plan, std::move(children[0]), ctx));
+    case PhysicalOpKind::kConcat:
+      return std::unique_ptr<ExecNode>(
+          new ConcatNode(plan, std::move(children), ctx));
+    case PhysicalOpKind::kHashJoin:
+      return std::unique_ptr<ExecNode>(new HashJoinNode(
+          plan, std::move(children[0]), std::move(children[1]), ctx));
+    case PhysicalOpKind::kNestedLoopsJoin:
+      return std::unique_ptr<ExecNode>(new NestedLoopsJoinNode(
+          plan, std::move(children[0]), std::move(children[1]), ctx));
+    case PhysicalOpKind::kMergeJoin:
+      return std::unique_ptr<ExecNode>(new MergeJoinNode(
+          plan, std::move(children[0]), std::move(children[1]), ctx));
+    case PhysicalOpKind::kHashAggregate:
+      return std::unique_ptr<ExecNode>(
+          new HashAggregateNode(plan, std::move(children[0]), ctx));
+    case PhysicalOpKind::kStreamAggregate:
+      return std::unique_ptr<ExecNode>(
+          new StreamAggregateNode(plan, std::move(children[0]), ctx));
+  }
+  return Status::Internal("unknown physical operator");
+}
+
+Result<std::unique_ptr<VectorRowset>> ExecutePlan(const PhysicalOpPtr& plan,
+                                                  ExecContext* ctx) {
+  DHQP_ASSIGN_OR_RETURN(auto root, BuildExecTree(plan, ctx));
+  DHQP_RETURN_NOT_OK(root->Open());
+  Schema schema;
+  for (size_t i = 0; i < plan->output_cols.size(); ++i) {
+    schema.AddColumn(ColumnDef{plan->output_names[i], plan->output_types[i],
+                               true});
+  }
+  std::vector<Row> rows;
+  Row row;
+  while (true) {
+    DHQP_ASSIGN_OR_RETURN(bool has, root->Next(&row));
+    if (!has) break;
+    rows.push_back(row);
+    ctx->stats.rows_output++;
+  }
+  return std::make_unique<VectorRowset>(std::move(schema), std::move(rows));
+}
+
+}  // namespace dhqp

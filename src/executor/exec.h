@@ -1,0 +1,72 @@
+#ifndef DHQP_EXECUTOR_EXEC_H_
+#define DHQP_EXECUTOR_EXEC_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/catalog/catalog.h"
+#include "src/executor/eval.h"
+#include "src/fulltext/service.h"
+#include "src/optimizer/physical.h"
+
+namespace dhqp {
+
+/// Runtime counters surfaced to benches and EXPLAIN ANALYZE-style output.
+struct ExecStats {
+  int64_t remote_commands = 0;    ///< Remote ICommand executions.
+  int64_t remote_opens = 0;       ///< Remote rowset/index opens.
+  int64_t remote_fetches = 0;     ///< Remote bookmark fetches.
+  int64_t rows_from_remote = 0;   ///< Rows received from linked servers.
+  int64_t startup_skips = 0;      ///< Subtrees skipped by startup filters.
+  int64_t partitions_opened = 0;  ///< Concat branches actually executed.
+  int64_t spool_rescans = 0;      ///< Rescans served from spools.
+  int64_t rows_output = 0;
+};
+
+/// Shared execution state for one query.
+struct ExecContext {
+  Catalog* catalog = nullptr;
+  fulltext::FullTextService* fulltext = nullptr;
+  std::map<std::string, Value> params;  ///< User + correlation parameters.
+  int64_t current_date = 0;
+  ExecStats stats;
+};
+
+/// A Volcano-style executor node: Open() prepares, Next() streams rows,
+/// Restart() rewinds (re-evaluating correlation parameters — the mechanism
+/// behind parameterized remote queries).
+class ExecNode {
+ public:
+  explicit ExecNode(PhysicalOpPtr op) : op_(std::move(op)) {
+    for (size_t i = 0; i < op_->output_cols.size(); ++i) {
+      col_pos_[op_->output_cols[i]] = static_cast<int>(i);
+    }
+  }
+  virtual ~ExecNode() = default;
+
+  virtual Status Open() = 0;
+  virtual Result<bool> Next(Row* out) = 0;
+  virtual Status Restart() = 0;
+
+  const PhysicalOp& op() const { return *op_; }
+  /// Column-id -> output position.
+  const std::map<int, int>& col_pos() const { return col_pos_; }
+
+ protected:
+  PhysicalOpPtr op_;
+  std::map<int, int> col_pos_;
+};
+
+/// Builds an executable tree from a physical plan.
+Result<std::unique_ptr<ExecNode>> BuildExecTree(const PhysicalOpPtr& plan,
+                                                ExecContext* ctx);
+
+/// Runs a plan to completion, returning the materialized result with a
+/// schema derived from the plan's output names/types.
+Result<std::unique_ptr<VectorRowset>> ExecutePlan(const PhysicalOpPtr& plan,
+                                                  ExecContext* ctx);
+
+}  // namespace dhqp
+
+#endif  // DHQP_EXECUTOR_EXEC_H_

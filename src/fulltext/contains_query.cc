@@ -1,0 +1,322 @@
+#include "src/fulltext/contains_query.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "src/fulltext/stemmer.h"
+
+namespace dhqp {
+namespace fulltext {
+
+namespace {
+
+struct QueryToken {
+  enum class Kind { kWord, kPhrase, kAnd, kOr, kNot, kNear, kLParen, kRParen,
+                    kComma, kEnd };
+  Kind kind;
+  std::string text;
+};
+
+Result<std::vector<QueryToken>> TokenizeQuery(const std::string& query) {
+  std::vector<QueryToken> tokens;
+  size_t i = 0;
+  while (i < query.size()) {
+    char c = query[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      size_t end = query.find('"', i + 1);
+      if (end == std::string::npos) {
+        return Status::InvalidArgument("unterminated phrase in CONTAINS");
+      }
+      tokens.push_back(
+          {QueryToken::Kind::kPhrase, query.substr(i + 1, end - i - 1)});
+      i = end + 1;
+      continue;
+    }
+    if (c == '(') {
+      tokens.push_back({QueryToken::Kind::kLParen, "("});
+      ++i;
+      continue;
+    }
+    if (c == ')') {
+      tokens.push_back({QueryToken::Kind::kRParen, ")"});
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      tokens.push_back({QueryToken::Kind::kComma, ","});
+      ++i;
+      continue;
+    }
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < query.size() &&
+             std::isalnum(static_cast<unsigned char>(query[i]))) {
+        ++i;
+      }
+      std::string word = query.substr(start, i - start);
+      std::string upper = word;
+      for (char& ch : upper) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+      if (upper == "AND") {
+        tokens.push_back({QueryToken::Kind::kAnd, upper});
+      } else if (upper == "OR") {
+        tokens.push_back({QueryToken::Kind::kOr, upper});
+      } else if (upper == "NOT") {
+        tokens.push_back({QueryToken::Kind::kNot, upper});
+      } else if (upper == "NEAR") {
+        tokens.push_back({QueryToken::Kind::kNear, upper});
+      } else {
+        tokens.push_back({QueryToken::Kind::kWord, word});
+      }
+      continue;
+    }
+    return Status::InvalidArgument(std::string("bad character '") + c +
+                                   "' in CONTAINS query");
+  }
+  tokens.push_back({QueryToken::Kind::kEnd, ""});
+  return tokens;
+}
+
+class QueryParser {
+ public:
+  explicit QueryParser(std::vector<QueryToken> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<ContainsNode>> Parse() {
+    DHQP_ASSIGN_OR_RETURN(auto node, ParseOr());
+    if (Peek().kind != QueryToken::Kind::kEnd) {
+      return Status::InvalidArgument("trailing tokens in CONTAINS query");
+    }
+    return std::move(node);
+  }
+
+ private:
+  const QueryToken& Peek() const { return tokens_[pos_]; }
+  const QueryToken& Advance() { return tokens_[pos_++]; }
+  bool Match(QueryToken::Kind kind) {
+    if (Peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::unique_ptr<ContainsNode>> ParseOr() {
+    DHQP_ASSIGN_OR_RETURN(auto lhs, ParseAnd());
+    while (Match(QueryToken::Kind::kOr)) {
+      DHQP_ASSIGN_OR_RETURN(auto rhs, ParseAnd());
+      auto node = std::make_unique<ContainsNode>();
+      node->kind = ContainsNode::Kind::kOr;
+      node->left = std::move(lhs);
+      node->right = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return std::move(lhs);
+  }
+
+  Result<std::unique_ptr<ContainsNode>> ParseAnd() {
+    DHQP_ASSIGN_OR_RETURN(auto lhs, ParseNear());
+    while (true) {
+      bool is_not = false;
+      if (Peek().kind == QueryToken::Kind::kAnd) {
+        Advance();
+        is_not = Match(QueryToken::Kind::kNot);
+      } else if (Peek().kind == QueryToken::Kind::kWord ||
+                 Peek().kind == QueryToken::Kind::kPhrase ||
+                 Peek().kind == QueryToken::Kind::kLParen) {
+        // Implicit AND between adjacent items.
+      } else {
+        break;
+      }
+      DHQP_ASSIGN_OR_RETURN(auto rhs, ParseNear());
+      auto node = std::make_unique<ContainsNode>();
+      node->kind = ContainsNode::Kind::kAnd;
+      node->left = std::move(lhs);
+      if (is_not) {
+        auto neg = std::make_unique<ContainsNode>();
+        neg->kind = ContainsNode::Kind::kNot;
+        neg->left = std::move(rhs);
+        node->right = std::move(neg);
+      } else {
+        node->right = std::move(rhs);
+      }
+      lhs = std::move(node);
+    }
+    return std::move(lhs);
+  }
+
+  Result<std::unique_ptr<ContainsNode>> ParseNear() {
+    DHQP_ASSIGN_OR_RETURN(auto lhs, ParsePrimary());
+    while (Match(QueryToken::Kind::kNear)) {
+      DHQP_ASSIGN_OR_RETURN(auto rhs, ParsePrimary());
+      auto node = std::make_unique<ContainsNode>();
+      node->kind = ContainsNode::Kind::kNear;
+      node->left = std::move(lhs);
+      node->right = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return std::move(lhs);
+  }
+
+  Result<std::unique_ptr<ContainsNode>> ParsePrimary() {
+    if (Match(QueryToken::Kind::kLParen)) {
+      DHQP_ASSIGN_OR_RETURN(auto inner, ParseOr());
+      if (!Match(QueryToken::Kind::kRParen)) {
+        return Status::InvalidArgument("missing ')' in CONTAINS query");
+      }
+      return std::move(inner);
+    }
+    if (Peek().kind == QueryToken::Kind::kPhrase) {
+      auto node = std::make_unique<ContainsNode>();
+      std::vector<std::string> words = TokenizeText(Advance().text);
+      if (words.size() == 1) {
+        node->kind = ContainsNode::Kind::kTerm;
+        node->term = Stem(words[0]);
+        return std::move(node);
+      }
+      node->kind = ContainsNode::Kind::kPhrase;
+      for (const std::string& w : words) node->phrase.push_back(Stem(w));
+      return std::move(node);
+    }
+    if (Peek().kind == QueryToken::Kind::kWord) {
+      std::string word = Advance().text;
+      // FORMSOF(INFLECTIONAL, word): matching is stem-based anyway, so this
+      // resolves to a plain (stemmed) term.
+      std::string upper = word;
+      for (char& c : upper) {
+        c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      }
+      if (upper == "FORMSOF" && Peek().kind == QueryToken::Kind::kLParen) {
+        Advance();                            // (
+        if (Peek().kind == QueryToken::Kind::kWord) Advance();  // INFLECTIONAL
+        Match(QueryToken::Kind::kComma);
+        if (Peek().kind != QueryToken::Kind::kWord) {
+          return Status::InvalidArgument("FORMSOF requires a word");
+        }
+        word = Advance().text;
+        if (!Match(QueryToken::Kind::kRParen)) {
+          return Status::InvalidArgument("missing ')' after FORMSOF");
+        }
+      }
+      auto node = std::make_unique<ContainsNode>();
+      node->kind = ContainsNode::Kind::kTerm;
+      node->term = Stem(word);
+      return std::move(node);
+    }
+    return Status::InvalidArgument("expected term in CONTAINS query");
+  }
+
+  std::vector<QueryToken> tokens_;
+  size_t pos_ = 0;
+};
+
+// Positions of `stem` in a tokenized+stemmed document.
+std::vector<int> StemPositions(const std::vector<std::string>& stems,
+                               const std::string& stem) {
+  std::vector<int> out;
+  for (size_t i = 0; i < stems.size(); ++i) {
+    if (stems[i] == stem) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+bool MatchesStems(const std::vector<std::string>& stems,
+                  const ContainsNode& q) {
+  switch (q.kind) {
+    case ContainsNode::Kind::kTerm:
+      return !StemPositions(stems, q.term).empty();
+    case ContainsNode::Kind::kPhrase: {
+      if (q.phrase.empty()) return false;
+      std::vector<int> starts = StemPositions(stems, q.phrase[0]);
+      for (int s : starts) {
+        bool all = true;
+        for (size_t k = 1; k < q.phrase.size(); ++k) {
+          size_t pos = static_cast<size_t>(s) + k;
+          if (pos >= stems.size() || stems[pos] != q.phrase[k]) {
+            all = false;
+            break;
+          }
+        }
+        if (all) return true;
+      }
+      return false;
+    }
+    case ContainsNode::Kind::kAnd:
+      return MatchesStems(stems, *q.left) && MatchesStems(stems, *q.right);
+    case ContainsNode::Kind::kOr:
+      return MatchesStems(stems, *q.left) || MatchesStems(stems, *q.right);
+    case ContainsNode::Kind::kNot:
+      return !MatchesStems(stems, *q.left);
+    case ContainsNode::Kind::kNear: {
+      // Both sides must be terms within a 10-token window.
+      if (q.left->kind != ContainsNode::Kind::kTerm ||
+          q.right->kind != ContainsNode::Kind::kTerm) {
+        return MatchesStems(stems, *q.left) && MatchesStems(stems, *q.right);
+      }
+      std::vector<int> a = StemPositions(stems, q.left->term);
+      std::vector<int> b = StemPositions(stems, q.right->term);
+      for (int pa : a) {
+        for (int pb : b) {
+          if (std::abs(pa - pb) <= 10) return true;
+        }
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string ContainsNode::ToString() const {
+  switch (kind) {
+    case Kind::kTerm:
+      return term;
+    case Kind::kPhrase: {
+      std::string out = "\"";
+      for (size_t i = 0; i < phrase.size(); ++i) {
+        if (i) out += " ";
+        out += phrase[i];
+      }
+      return out + "\"";
+    }
+    case Kind::kAnd:
+      return "(" + left->ToString() + " AND " + right->ToString() + ")";
+    case Kind::kOr:
+      return "(" + left->ToString() + " OR " + right->ToString() + ")";
+    case Kind::kNot:
+      return "NOT " + left->ToString();
+    case Kind::kNear:
+      return "(" + left->ToString() + " NEAR " + right->ToString() + ")";
+  }
+  return "?";
+}
+
+Result<std::unique_ptr<ContainsNode>> ParseContainsQuery(
+    const std::string& query) {
+  DHQP_ASSIGN_OR_RETURN(auto tokens, TokenizeQuery(query));
+  QueryParser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+bool MatchesText(const std::string& text, const ContainsNode& query) {
+  std::vector<std::string> tokens = TokenizeText(text);
+  std::vector<std::string> stems;
+  stems.reserve(tokens.size());
+  for (const std::string& t : tokens) stems.push_back(Stem(t));
+  return MatchesStems(stems, query);
+}
+
+bool MatchesTextQuery(const std::string& text, const std::string& query) {
+  auto parsed = ParseContainsQuery(query);
+  if (!parsed.ok()) return false;
+  return MatchesText(text, **parsed);
+}
+
+}  // namespace fulltext
+}  // namespace dhqp

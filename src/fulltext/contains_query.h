@@ -1,0 +1,42 @@
+#ifndef DHQP_FULLTEXT_CONTAINS_QUERY_H_
+#define DHQP_FULLTEXT_CONTAINS_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace dhqp {
+namespace fulltext {
+
+/// Parsed CONTAINS query tree. The supported language covers the paper's
+/// §2.3 examples: words, "phrases", AND / OR / AND NOT combinations, NEAR
+/// proximity, and FORMSOF(INFLECTIONAL, word) — plain terms also match
+/// inflectional forms via stemming.
+struct ContainsNode {
+  enum class Kind { kTerm, kPhrase, kAnd, kOr, kNot, kNear };
+  Kind kind;
+  std::string term;                     ///< kTerm (already stemmed).
+  std::vector<std::string> phrase;      ///< kPhrase (stemmed words).
+  std::unique_ptr<ContainsNode> left;   ///< kAnd/kOr/kNot/kNear.
+  std::unique_ptr<ContainsNode> right;
+
+  std::string ToString() const;
+};
+
+/// Parses the text of a CONTAINS(...) search condition.
+Result<std::unique_ptr<ContainsNode>> ParseContainsQuery(
+    const std::string& query);
+
+/// Evaluates a query directly against a single document's text — the
+/// executor's fallback when no full-text index is available (naive scan).
+bool MatchesText(const std::string& text, const ContainsNode& query);
+
+/// Convenience: parse + match; returns false on parse error.
+bool MatchesTextQuery(const std::string& text, const std::string& query);
+
+}  // namespace fulltext
+}  // namespace dhqp
+
+#endif  // DHQP_FULLTEXT_CONTAINS_QUERY_H_

@@ -1,0 +1,125 @@
+#include "src/fulltext/ifilter.h"
+
+namespace dhqp {
+namespace fulltext {
+
+namespace {
+
+class TxtFilter : public IFilter {
+ public:
+  const char* extension() const override { return "txt"; }
+  Result<std::string> ExtractText(const std::string& raw) const override {
+    return raw;
+  }
+};
+
+// HTML: strip <tags> and decode nothing else.
+class HtmlFilter : public IFilter {
+ public:
+  const char* extension() const override { return "html"; }
+  Result<std::string> ExtractText(const std::string& raw) const override {
+    std::string out;
+    bool in_tag = false;
+    for (char c : raw) {
+      if (c == '<') {
+        in_tag = true;
+      } else if (c == '>') {
+        in_tag = false;
+        out += ' ';
+      } else if (!in_tag) {
+        out += c;
+      }
+    }
+    return out;
+  }
+};
+
+// Simulated binary container: "MAGIC|len|text" runs separated by \x01.
+Result<std::string> ExtractRuns(const std::string& raw,
+                                const std::string& magic) {
+  if (raw.compare(0, magic.size(), magic) != 0) {
+    return Status::InvalidArgument("corrupt container: bad magic");
+  }
+  std::string out;
+  size_t i = magic.size();
+  while (i < raw.size()) {
+    if (raw[i] == '\x01') {
+      ++i;
+      size_t end = raw.find('\x01', i);
+      if (end == std::string::npos) end = raw.size();
+      out += raw.substr(i, end - i);
+      out += ' ';
+      i = end;
+    } else {
+      ++i;  // Skip "binary" filler.
+    }
+  }
+  return out;
+}
+
+class DocFilter : public IFilter {
+ public:
+  const char* extension() const override { return "doc"; }
+  Result<std::string> ExtractText(const std::string& raw) const override {
+    return ExtractRuns(raw, "DOCBIN1");
+  }
+};
+
+class PdfFilter : public IFilter {
+ public:
+  const char* extension() const override { return "pdf"; }
+  Result<std::string> ExtractText(const std::string& raw) const override {
+    return ExtractRuns(raw, "%PDF-1.4");
+  }
+};
+
+std::string EncodeRuns(const std::string& text, const std::string& magic) {
+  std::string out = magic;
+  out += "\x02\x03\x04";  // Binary filler.
+  out += '\x01';
+  out += text;
+  out += '\x01';
+  out += "\x05\x06";
+  return out;
+}
+
+}  // namespace
+
+std::string EncodeHtml(const std::string& text) {
+  return "<html><body><p>" + text + "</p></body></html>";
+}
+
+std::string EncodeDoc(const std::string& text) {
+  return EncodeRuns(text, "DOCBIN1");
+}
+
+std::string EncodePdf(const std::string& text) {
+  return EncodeRuns(text, "%PDF-1.4");
+}
+
+IFilterRegistry::IFilterRegistry() {
+  Register(std::make_unique<TxtFilter>());
+  Register(std::make_unique<HtmlFilter>());
+  Register(std::make_unique<DocFilter>());
+  Register(std::make_unique<PdfFilter>());
+}
+
+void IFilterRegistry::Register(std::unique_ptr<IFilter> filter) {
+  filters_[filter->extension()] = std::move(filter);
+}
+
+const IFilter* IFilterRegistry::Find(const std::string& extension) const {
+  auto it = filters_.find(extension);
+  return it == filters_.end() ? nullptr : it->second.get();
+}
+
+Result<std::string> IFilterRegistry::Extract(const Document& doc) const {
+  const IFilter* filter = Find(doc.extension);
+  if (filter == nullptr) {
+    return Status::NotSupported("no IFilter installed for ." + doc.extension);
+  }
+  return filter->ExtractText(doc.raw);
+}
+
+}  // namespace fulltext
+}  // namespace dhqp

@@ -1,0 +1,67 @@
+#ifndef DHQP_FULLTEXT_IFILTER_H_
+#define DHQP_FULLTEXT_IFILTER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace dhqp {
+namespace fulltext {
+
+/// A stored "file" in the simulated file system: path, format extension,
+/// and raw content in that format. Stands in for the NTFS documents the
+/// paper's Index Server crawls (§2.2).
+struct Document {
+  std::string path;
+  std::string extension;  ///< "txt", "doc", "html", "pdf", ...
+  std::string raw;        ///< Format-specific encoding of the text.
+  int64_t size = 0;
+  int64_t create_days = 0;  ///< Creation date (days since epoch).
+};
+
+/// The IFilter interface (§2.2): "an interface for retrieving text and
+/// properties out of documents ... the foundation for building higher-level
+/// applications such as document indexers". One filter per document format.
+class IFilter {
+ public:
+  virtual ~IFilter() = default;
+  virtual const char* extension() const = 0;
+  /// Extracts the plain text from `raw` content of this format.
+  virtual Result<std::string> ExtractText(const std::string& raw) const = 0;
+};
+
+/// Registry dispatching documents to the IFilter for their format. Ships
+/// with filters for txt (identity), html (tag stripping), doc and pdf
+/// (simulated binary containers with embedded text runs).
+class IFilterRegistry {
+ public:
+  IFilterRegistry();  ///< Registers the built-in filters.
+
+  void Register(std::unique_ptr<IFilter> filter);
+  const IFilter* Find(const std::string& extension) const;
+
+  /// Extracts text from a document; NotSupported if no filter handles its
+  /// format (such documents are skipped by indexers, as in the paper:
+  /// "one needs to install necessary IFilters").
+  Result<std::string> Extract(const Document& doc) const;
+
+ private:
+  std::map<std::string, std::unique_ptr<IFilter>> filters_;
+};
+
+/// @name Format encoders used by the synthetic corpus generator: they wrap
+/// plain text into the corresponding fake format so the filters have real
+/// work to do.
+///@{
+std::string EncodeHtml(const std::string& text);
+std::string EncodeDoc(const std::string& text);
+std::string EncodePdf(const std::string& text);
+///@}
+
+}  // namespace fulltext
+}  // namespace dhqp
+
+#endif  // DHQP_FULLTEXT_IFILTER_H_

@@ -1,0 +1,155 @@
+#include "src/fulltext/inverted_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "src/fulltext/stemmer.h"
+
+namespace dhqp {
+namespace fulltext {
+
+void InvertedIndex::AddDocument(int64_t doc_id, const std::string& text) {
+  std::vector<std::string> tokens = TokenizeText(text);
+  int pos = 0;
+  for (const std::string& token : tokens) {
+    postings_[Stem(token)][doc_id].push_back(pos++);
+  }
+  doc_lengths_[doc_id] = pos;
+}
+
+double InvertedIndex::Idf(const Postings& postings) const {
+  double n = static_cast<double>(doc_lengths_.size());
+  double df = static_cast<double>(postings.size());
+  return std::log(1.0 + n / std::max(df, 1.0));
+}
+
+std::map<int64_t, double> InvertedIndex::Eval(const ContainsNode& q) const {
+  std::map<int64_t, double> out;
+  switch (q.kind) {
+    case ContainsNode::Kind::kTerm: {
+      auto it = postings_.find(q.term);
+      if (it == postings_.end()) return out;
+      double idf = Idf(it->second);
+      for (const auto& [doc, positions] : it->second) {
+        double tf = static_cast<double>(positions.size());
+        double len = std::max(1.0, static_cast<double>(doc_lengths_.at(doc)));
+        out[doc] = idf * tf / std::sqrt(len);
+      }
+      return out;
+    }
+    case ContainsNode::Kind::kPhrase: {
+      if (q.phrase.empty()) return out;
+      auto first = postings_.find(q.phrase[0]);
+      if (first == postings_.end()) return out;
+      for (const auto& [doc, starts] : first->second) {
+        int hits = 0;
+        for (int s : starts) {
+          bool all = true;
+          for (size_t k = 1; k < q.phrase.size(); ++k) {
+            auto pk = postings_.find(q.phrase[k]);
+            if (pk == postings_.end()) {
+              all = false;
+              break;
+            }
+            auto dk = pk->second.find(doc);
+            if (dk == pk->second.end() ||
+                !std::binary_search(dk->second.begin(), dk->second.end(),
+                                    s + static_cast<int>(k))) {
+              all = false;
+              break;
+            }
+          }
+          if (all) ++hits;
+        }
+        if (hits > 0) {
+          double len = std::max(1.0, static_cast<double>(doc_lengths_.at(doc)));
+          out[doc] = 2.0 * Idf(first->second) * hits / std::sqrt(len);
+        }
+      }
+      return out;
+    }
+    case ContainsNode::Kind::kAnd: {
+      // AND NOT: subtract the right side's matches.
+      if (q.right->kind == ContainsNode::Kind::kNot) {
+        std::map<int64_t, double> left = Eval(*q.left);
+        std::map<int64_t, double> neg = Eval(*q.right->left);
+        for (const auto& [doc, score] : left) {
+          if (neg.count(doc) == 0) out[doc] = score;
+        }
+        return out;
+      }
+      std::map<int64_t, double> left = Eval(*q.left);
+      std::map<int64_t, double> right = Eval(*q.right);
+      for (const auto& [doc, score] : left) {
+        auto it = right.find(doc);
+        if (it != right.end()) out[doc] = score + it->second;
+      }
+      return out;
+    }
+    case ContainsNode::Kind::kOr: {
+      out = Eval(*q.left);
+      for (const auto& [doc, score] : Eval(*q.right)) {
+        out[doc] += score;
+      }
+      return out;
+    }
+    case ContainsNode::Kind::kNot: {
+      // Bare NOT: all documents minus matches (rank 1.0 — no tf signal).
+      std::map<int64_t, double> matches = Eval(*q.left);
+      for (const auto& [doc, len] : doc_lengths_) {
+        if (matches.count(doc) == 0) out[doc] = 1.0;
+      }
+      return out;
+    }
+    case ContainsNode::Kind::kNear: {
+      if (q.left->kind != ContainsNode::Kind::kTerm ||
+          q.right->kind != ContainsNode::Kind::kTerm) {
+        // Fall back to AND semantics for non-term operands.
+        std::map<int64_t, double> left = Eval(*q.left);
+        std::map<int64_t, double> right = Eval(*q.right);
+        for (const auto& [doc, score] : left) {
+          auto it = right.find(doc);
+          if (it != right.end()) out[doc] = score + it->second;
+        }
+        return out;
+      }
+      auto pa = postings_.find(q.left->term);
+      auto pb = postings_.find(q.right->term);
+      if (pa == postings_.end() || pb == postings_.end()) return out;
+      for (const auto& [doc, a_positions] : pa->second) {
+        auto it = pb->second.find(doc);
+        if (it == pb->second.end()) continue;
+        int best = 1 << 30;
+        for (int a : a_positions) {
+          for (int b : it->second) {
+            best = std::min(best, std::abs(a - b));
+          }
+        }
+        if (best <= 10) {
+          out[doc] = (Idf(pa->second) + Idf(pb->second)) /
+                     (1.0 + static_cast<double>(best));
+        }
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+std::vector<FtMatch> InvertedIndex::Query(const ContainsNode& query) const {
+  std::map<int64_t, double> scores = Eval(query);
+  std::vector<FtMatch> out;
+  out.reserve(scores.size());
+  for (const auto& [doc, score] : scores) {
+    out.push_back(FtMatch{doc, score});
+  }
+  std::sort(out.begin(), out.end(), [](const FtMatch& a, const FtMatch& b) {
+    if (a.rank != b.rank) return a.rank > b.rank;
+    return a.doc_id < b.doc_id;
+  });
+  return out;
+}
+
+}  // namespace fulltext
+}  // namespace dhqp

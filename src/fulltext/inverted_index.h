@@ -1,0 +1,52 @@
+#ifndef DHQP_FULLTEXT_INVERTED_INDEX_H_
+#define DHQP_FULLTEXT_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/fulltext/contains_query.h"
+
+namespace dhqp {
+namespace fulltext {
+
+/// A scored full-text match.
+struct FtMatch {
+  int64_t doc_id;
+  double rank;
+};
+
+/// Positional inverted index over stemmed terms — the "index engine" half of
+/// the search service (Fig 2). Supports term, phrase, proximity and boolean
+/// evaluation with tf-idf ranking.
+class InvertedIndex {
+ public:
+  /// Indexes a document's text under `doc_id` (ids must be unique).
+  void AddDocument(int64_t doc_id, const std::string& text);
+
+  size_t num_documents() const { return doc_lengths_.size(); }
+  size_t num_terms() const { return postings_.size(); }
+
+  /// Evaluates a parsed CONTAINS query; returns matches sorted by
+  /// descending rank.
+  std::vector<FtMatch> Query(const ContainsNode& query) const;
+
+ private:
+  /// doc -> positions of a term in that doc.
+  using Postings = std::map<int64_t, std::vector<int>>;
+
+  /// Evaluates to (doc -> score); NOT is handled by the caller via
+  /// AND NOT / NOT semantics against the full document set.
+  std::map<int64_t, double> Eval(const ContainsNode& q) const;
+
+  double Idf(const Postings& postings) const;
+
+  std::map<std::string, Postings> postings_;
+  std::map<int64_t, int> doc_lengths_;
+};
+
+}  // namespace fulltext
+}  // namespace dhqp
+
+#endif  // DHQP_FULLTEXT_INVERTED_INDEX_H_

@@ -1,0 +1,97 @@
+#include "src/fulltext/service.h"
+
+#include "src/common/schema.h"
+
+namespace dhqp {
+namespace fulltext {
+
+Status FullTextService::CreateCatalog(const std::string& catalog_name,
+                                      const std::string& table,
+                                      const std::string& key_column,
+                                      const std::string& text_column) {
+  std::string key = ToLowerCopy(catalog_name);
+  if (catalogs_.count(key) > 0) {
+    return Status::AlreadyExists("full-text catalog '" + catalog_name +
+                                 "' already exists");
+  }
+  auto entry = std::make_unique<CatalogEntry>();
+  entry->name = catalog_name;
+  entry->table = table;
+  entry->key_column = key_column;
+  entry->text_column = text_column;
+  catalogs_[key] = std::move(entry);
+  table_to_catalog_[ToLowerCopy(table)] = key;
+  return Status::OK();
+}
+
+Status FullTextService::IndexEntry(const std::string& catalog_name,
+                                   const Value& key, const std::string& text) {
+  auto it = catalogs_.find(ToLowerCopy(catalog_name));
+  if (it == catalogs_.end()) {
+    return Status::NotFound("full-text catalog '" + catalog_name +
+                            "' not found");
+  }
+  CatalogEntry& cat = *it->second;
+  int64_t doc_id = static_cast<int64_t>(cat.keys.size());
+  cat.keys.push_back(key);
+  cat.index.AddDocument(doc_id, text);
+  return Status::OK();
+}
+
+Status FullTextService::IndexDocuments(const std::string& catalog_name,
+                                       const std::vector<Document>& docs,
+                                       int* skipped) {
+  if (skipped != nullptr) *skipped = 0;
+  for (const Document& doc : docs) {
+    Result<std::string> text = filters_.Extract(doc);
+    if (!text.ok()) {
+      if (skipped != nullptr) ++*skipped;
+      continue;  // No IFilter installed for this format.
+    }
+    DHQP_RETURN_NOT_OK(
+        IndexEntry(catalog_name, Value::String(doc.path), *text));
+  }
+  return Status::OK();
+}
+
+Result<const FullTextService::CatalogEntry*> FullTextService::FindByTable(
+    const std::string& table) const {
+  auto it = table_to_catalog_.find(ToLowerCopy(table));
+  if (it == table_to_catalog_.end()) {
+    return Status::NotFound("no full-text catalog for table '" + table + "'");
+  }
+  return catalogs_.at(it->second).get();
+}
+
+bool FullTextService::HasCatalogForTable(const std::string& table) const {
+  return table_to_catalog_.count(ToLowerCopy(table)) > 0;
+}
+
+Result<std::vector<std::pair<Value, double>>> FullTextService::Query(
+    const std::string& table, const std::string& query) const {
+  DHQP_ASSIGN_OR_RETURN(const CatalogEntry* cat, FindByTable(table));
+  DHQP_ASSIGN_OR_RETURN(auto parsed, ParseContainsQuery(query));
+  std::vector<std::pair<Value, double>> out;
+  for (const FtMatch& m : cat->index.Query(*parsed)) {
+    out.emplace_back(cat->keys[static_cast<size_t>(m.doc_id)], m.rank);
+  }
+  return out;
+}
+
+Result<std::vector<std::pair<Value, double>>> FullTextService::QueryCatalog(
+    const std::string& catalog_name, const std::string& query) const {
+  auto it = catalogs_.find(ToLowerCopy(catalog_name));
+  if (it == catalogs_.end()) {
+    return Status::NotFound("full-text catalog '" + catalog_name +
+                            "' not found");
+  }
+  DHQP_ASSIGN_OR_RETURN(auto parsed, ParseContainsQuery(query));
+  std::vector<std::pair<Value, double>> out;
+  for (const FtMatch& m : it->second->index.Query(*parsed)) {
+    out.emplace_back(it->second->keys[static_cast<size_t>(m.doc_id)], m.rank);
+  }
+  return out;
+}
+
+}  // namespace fulltext
+}  // namespace dhqp

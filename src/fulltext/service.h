@@ -1,0 +1,74 @@
+#ifndef DHQP_FULLTEXT_SERVICE_H_
+#define DHQP_FULLTEXT_SERVICE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+#include "src/fulltext/ifilter.h"
+#include "src/fulltext/inverted_index.h"
+
+namespace dhqp {
+namespace fulltext {
+
+/// The Microsoft-Search-Service stand-in (Fig 2): maintains full-text
+/// catalogs — each an inverted index over either the text column of a
+/// relational table (§2.3) or a document directory crawled through IFilters
+/// (§2.2) — and answers CONTAINS queries with (key, rank) results that the
+/// relational engine consumes as rowsets.
+class FullTextService {
+ public:
+  /// Creates an empty catalog. `table` names the owning object (a table
+  /// name, or a virtual name like "SCOPE()" for file-system catalogs).
+  Status CreateCatalog(const std::string& catalog_name,
+                       const std::string& table,
+                       const std::string& key_column,
+                       const std::string& text_column);
+
+  /// Adds one entry (row or document) to a catalog.
+  Status IndexEntry(const std::string& catalog_name, const Value& key,
+                    const std::string& text);
+
+  /// Crawls a document collection through the IFilter registry into a
+  /// catalog keyed by document path; documents with no installed IFilter
+  /// are skipped and counted in `skipped`.
+  Status IndexDocuments(const std::string& catalog_name,
+                        const std::vector<Document>& docs, int* skipped);
+
+  /// Answers a CONTAINS query against the catalog covering `table`;
+  /// results are (key, rank), rank-descending — the rowset of Fig 2.
+  Result<std::vector<std::pair<Value, double>>> Query(
+      const std::string& table, const std::string& query) const;
+
+  /// Same, addressed by catalog name (the OpenRowset('MSIDXS', ...) path of
+  /// §2.2).
+  Result<std::vector<std::pair<Value, double>>> QueryCatalog(
+      const std::string& catalog_name, const std::string& query) const;
+
+  bool HasCatalogForTable(const std::string& table) const;
+
+  const IFilterRegistry& filters() const { return filters_; }
+
+ private:
+  struct CatalogEntry {
+    std::string name;
+    std::string table;
+    std::string key_column;
+    std::string text_column;
+    InvertedIndex index;
+    std::vector<Value> keys;  ///< doc id -> key value.
+  };
+
+  Result<const CatalogEntry*> FindByTable(const std::string& table) const;
+
+  std::map<std::string, std::unique_ptr<CatalogEntry>> catalogs_;
+  std::map<std::string, std::string> table_to_catalog_;  ///< Lower-cased.
+  IFilterRegistry filters_;
+};
+
+}  // namespace fulltext
+}  // namespace dhqp
+
+#endif  // DHQP_FULLTEXT_SERVICE_H_

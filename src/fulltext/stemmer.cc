@@ -1,0 +1,97 @@
+#include "src/fulltext/stemmer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace dhqp {
+namespace fulltext {
+
+namespace {
+
+// Irregular inflections mapped to their stems.
+const std::unordered_map<std::string, std::string>& Irregulars() {
+  static const auto* kMap = new std::unordered_map<std::string, std::string>{
+      {"ran", "run"},       {"went", "go"},     {"gone", "go"},
+      {"made", "make"},     {"wrote", "write"}, {"written", "write"},
+      {"sent", "send"},     {"bought", "buy"},  {"sold", "sell"},
+      {"found", "find"},    {"better", "good"}, {"best", "good"},
+      {"children", "child"}, {"men", "man"},    {"women", "woman"},
+      {"mice", "mouse"},    {"feet", "foot"},   {"databases", "database"},
+  };
+  return *kMap;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+std::string Stem(const std::string& word) {
+  std::string w;
+  w.reserve(word.size());
+  for (char c : word) {
+    w += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  auto it = Irregulars().find(w);
+  if (it != Irregulars().end()) return it->second;
+  if (w.size() <= 3) return w;
+
+  // Order matters: longest suffixes first.
+  if (EndsWith(w, "iveness") || EndsWith(w, "fulness")) {
+    return w.substr(0, w.size() - 4);
+  }
+  if (EndsWith(w, "ational")) return w.substr(0, w.size() - 5) + "e";
+  if (EndsWith(w, "ization")) return w.substr(0, w.size() - 5) + "e";
+  if (EndsWith(w, "ingly") && w.size() > 6) return w.substr(0, w.size() - 5);
+  if (EndsWith(w, "edly") && w.size() > 5) return w.substr(0, w.size() - 4);
+  if (EndsWith(w, "ies")) return w.substr(0, w.size() - 3) + "y";
+  if (EndsWith(w, "sses")) return w.substr(0, w.size() - 2);
+  if (EndsWith(w, "ing") && w.size() > 5) {
+    std::string stem = w.substr(0, w.size() - 3);
+    // Doubled consonant: "running" -> "run".
+    if (stem.size() >= 2 && stem[stem.size() - 1] == stem[stem.size() - 2]) {
+      stem.pop_back();
+    }
+    return stem;
+  }
+  if (EndsWith(w, "ed") && w.size() > 4) {
+    std::string stem = w.substr(0, w.size() - 2);
+    if (stem.size() >= 2 && stem[stem.size() - 1] == stem[stem.size() - 2]) {
+      stem.pop_back();
+    }
+    return stem;
+  }
+  if (EndsWith(w, "er") && w.size() > 4) {
+    std::string stem = w.substr(0, w.size() - 2);
+    // "runner" -> "run".
+    if (stem.size() >= 2 && stem[stem.size() - 1] == stem[stem.size() - 2]) {
+      stem.pop_back();
+    }
+    return stem;
+  }
+  if (EndsWith(w, "ly") && w.size() > 4) return w.substr(0, w.size() - 2);
+  if (EndsWith(w, "s") && !EndsWith(w, "ss") && !EndsWith(w, "us")) {
+    return w.substr(0, w.size() - 1);
+  }
+  return w;
+}
+
+std::vector<std::string> TokenizeText(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+}  // namespace fulltext
+}  // namespace dhqp

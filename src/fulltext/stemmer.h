@@ -1,0 +1,23 @@
+#ifndef DHQP_FULLTEXT_STEMMER_H_
+#define DHQP_FULLTEXT_STEMMER_H_
+
+#include <string>
+#include <vector>
+
+namespace dhqp {
+namespace fulltext {
+
+/// Reduces an English word to a crude stem (suffix stripping in the spirit
+/// of Porter's algorithm, much simplified). This powers the paper's
+/// inflectional matching: "'runner', 'run', and 'ran' can all be equivalent
+/// in full-text searches" (§2.3) — irregular forms are handled by a small
+/// exception table.
+std::string Stem(const std::string& word);
+
+/// Lower-cases and splits text into word tokens (letters/digits runs).
+std::vector<std::string> TokenizeText(const std::string& text);
+
+}  // namespace fulltext
+}  // namespace dhqp
+
+#endif  // DHQP_FULLTEXT_STEMMER_H_

@@ -1,0 +1,50 @@
+#include "src/net/network.h"
+
+namespace dhqp {
+namespace net {
+
+void Link::Delay(double microseconds) {
+  if (!enforce_ || microseconds <= 0) return;
+  auto until = std::chrono::steady_clock::now() +
+               std::chrono::nanoseconds(static_cast<int64_t>(microseconds * 1e3));
+  // Spin-wait: sleep_for cannot hit microsecond targets reliably and the
+  // benches need stable per-message costs.
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+void Link::ChargeMessage(size_t bytes) {
+  stats_.messages += 1;
+  stats_.bytes += static_cast<int64_t>(bytes);
+  Delay(latency_us_ + us_per_kb_ * static_cast<double>(bytes) / 1024.0);
+}
+
+void Link::ChargeRows(int64_t n, size_t bytes) {
+  stats_.rows += n;
+  stats_.bytes += static_cast<int64_t>(bytes);
+  Delay(us_per_kb_ * static_cast<double>(bytes) / 1024.0);
+}
+
+Result<bool> LinkedRowset::Next(Row* out) {
+  DHQP_ASSIGN_OR_RETURN(bool has, inner_->Next(out));
+  if (!has) {
+    if (in_batch_ > 0) {
+      link_->ChargeMessage(batch_bytes_);
+      link_->ChargeRows(in_batch_, 0);
+      in_batch_ = 0;
+      batch_bytes_ = 0;
+    }
+    return false;
+  }
+  batch_bytes_ += RowWireSize(*out);
+  if (++in_batch_ >= batch_rows_) {
+    link_->ChargeMessage(batch_bytes_);
+    link_->ChargeRows(in_batch_, 0);
+    in_batch_ = 0;
+    batch_bytes_ = 0;
+  }
+  return true;
+}
+
+}  // namespace net
+}  // namespace dhqp

@@ -1,0 +1,89 @@
+#ifndef DHQP_NET_NETWORK_H_
+#define DHQP_NET_NETWORK_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/provider/provider.h"
+
+namespace dhqp {
+namespace net {
+
+/// Accumulated traffic counters for one link. The benches report these
+/// alongside wall time: the paper's remote cost model is about minimizing
+/// exactly this (§4.1.3: "finding plans with minimal network traffic").
+struct LinkStats {
+  int64_t messages = 0;  ///< Round trips (commands, fetches, batches).
+  int64_t rows = 0;      ///< Rows shipped to the consumer.
+  int64_t bytes = 0;     ///< Approximate payload bytes.
+};
+
+/// A simulated network link between the DHQP host and one linked server.
+/// Counts traffic, and optionally enforces real delays (spin-wait with
+/// microsecond resolution) so wall-clock benchmarks reflect network shape at
+/// laptop scale.
+class Link {
+ public:
+  /// `latency_us` — per-message round-trip cost; `us_per_kb` — serialization
+  /// cost per kilobyte; `enforce_delays` — when false the link only counts.
+  Link(std::string name, double latency_us = 0, double us_per_kb = 0,
+       bool enforce_delays = false)
+      : name_(std::move(name)),
+        latency_us_(latency_us),
+        us_per_kb_(us_per_kb),
+        enforce_(enforce_delays) {}
+
+  const std::string& name() const { return name_; }
+  const LinkStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = LinkStats{}; }
+
+  double latency_us() const { return latency_us_; }
+  void set_enforce_delays(bool enforce) { enforce_ = enforce; }
+
+  /// Records one request/response round trip carrying `bytes` of payload.
+  void ChargeMessage(size_t bytes);
+
+  /// Records `n` result rows of `bytes` total shipped (as part of the
+  /// current message stream; adds bandwidth delay but no latency).
+  void ChargeRows(int64_t n, size_t bytes);
+
+ private:
+  void Delay(double microseconds);
+
+  std::string name_;
+  double latency_us_;
+  double us_per_kb_;
+  bool enforce_;
+  LinkStats stats_;
+};
+
+/// Wraps a rowset so that rows streaming through it are charged to a link
+/// in batches. Used by remote providers to account (and pace) result
+/// shipping.
+class LinkedRowset : public Rowset {
+ public:
+  /// `batch_rows` models the provider's fetch batch size: every batch costs
+  /// one message plus bandwidth.
+  LinkedRowset(std::unique_ptr<Rowset> inner, Link* link, int batch_rows = 64)
+      : inner_(std::move(inner)), link_(link), batch_rows_(batch_rows) {}
+
+  const Schema& schema() const override { return inner_->schema(); }
+
+  Result<bool> Next(Row* out) override;
+
+  Status Restart() override { return inner_->Restart(); }
+
+ private:
+  std::unique_ptr<Rowset> inner_;
+  Link* link_;
+  int batch_rows_;
+  int in_batch_ = 0;
+  size_t batch_bytes_ = 0;
+};
+
+}  // namespace net
+}  // namespace dhqp
+
+#endif  // DHQP_NET_NETWORK_H_

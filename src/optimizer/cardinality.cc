@@ -1,0 +1,222 @@
+#include "src/optimizer/cardinality.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dhqp {
+
+namespace {
+
+// Textbook default selectivities when no statistics apply.
+constexpr double kDefaultEqualitySel = 0.01;
+constexpr double kDefaultRangeSel = 0.33;
+constexpr double kDefaultLikeSel = 0.1;
+constexpr double kDefaultContainsSel = 0.02;
+constexpr double kDefaultSemiJoinSel = 0.5;
+
+double Clamp01(double x) { return std::min(1.0, std::max(0.0, x)); }
+
+// Selectivity of a single (non-AND) conjunct.
+double ConjunctSelectivity(const ScalarExprPtr& pred, const LogicalProps& child,
+                           OptimizerContext* ctx) {
+  double rows = std::max(child.cardinality, 1.0);
+  if (pred->kind == ScalarKind::kLiteral) {
+    if (pred->literal.is_null()) return 0.0;
+    if (pred->literal.type() == DataType::kBool) {
+      return pred->literal.bool_value() ? 1.0 : 0.0;
+    }
+    return 1.0;
+  }
+  if (pred->kind == ScalarKind::kBinary && pred->op == "OR") {
+    double a = ConjunctSelectivity(pred->args[0], child, ctx);
+    double b = ConjunctSelectivity(pred->args[1], child, ctx);
+    return Clamp01(a + b - a * b);
+  }
+  if (pred->kind == ScalarKind::kUnary && pred->op == "NOT") {
+    return Clamp01(1.0 - ConjunctSelectivity(pred->args[0], child, ctx));
+  }
+  if (pred->kind == ScalarKind::kLike) {
+    return kDefaultLikeSel;
+  }
+  if (pred->kind == ScalarKind::kIsNull) {
+    if (pred->args[0]->kind == ScalarKind::kColumn) {
+      const ColumnStatistics* stats = ctx->StatsFor(pred->args[0]->column_id);
+      if (stats != nullptr && stats->row_count > 0) {
+        double frac = stats->null_count / stats->row_count;
+        return pred->negated ? Clamp01(1 - frac) : Clamp01(frac);
+      }
+    }
+    return pred->negated ? 0.9 : 0.1;
+  }
+  if (pred->kind == ScalarKind::kFunc && pred->op == "CONTAINS") {
+    return kDefaultContainsSel;
+  }
+  if (pred->kind == ScalarKind::kInList &&
+      pred->args[0]->kind == ScalarKind::kColumn) {
+    const ColumnStatistics* stats = ctx->StatsFor(pred->args[0]->column_id);
+    double total = 0;
+    for (size_t i = 1; i < pred->args.size(); ++i) {
+      if (stats != nullptr && pred->args[i]->kind == ScalarKind::kLiteral) {
+        total += stats->EstimateEquals(pred->args[i]->literal) /
+                 std::max(stats->row_count, 1.0);
+      } else {
+        total += kDefaultEqualitySel;
+      }
+    }
+    double sel = Clamp01(total);
+    return pred->negated ? Clamp01(1 - sel) : sel;
+  }
+  if (pred->kind == ScalarKind::kBinary) {
+    const std::string& op = pred->op;
+    bool is_cmp = op == "=" || op == "<>" || op == "<" || op == "<=" ||
+                  op == ">" || op == ">=";
+    if (!is_cmp) return 1.0;
+    // Normalize to column-on-left.
+    ScalarExprPtr col = pred->args[0];
+    ScalarExprPtr other = pred->args[1];
+    std::string norm_op = op;
+    if (col->kind != ScalarKind::kColumn &&
+        other->kind == ScalarKind::kColumn) {
+      std::swap(col, other);
+      if (norm_op == "<") norm_op = ">";
+      else if (norm_op == "<=") norm_op = ">=";
+      else if (norm_op == ">") norm_op = "<";
+      else if (norm_op == ">=") norm_op = "<=";
+    }
+    if (col->kind != ScalarKind::kColumn) return kDefaultRangeSel;
+
+    // Column vs column within one relation.
+    if (other->kind == ScalarKind::kColumn) {
+      return norm_op == "=" ? kDefaultEqualitySel : kDefaultRangeSel;
+    }
+
+    const ColumnStatistics* stats = ctx->StatsFor(col->column_id);
+    if (other->kind == ScalarKind::kLiteral && !other->literal.is_null() &&
+        stats != nullptr && stats->row_count > 0) {
+      const Value& v = other->literal;
+      double est;
+      if (norm_op == "=") {
+        est = stats->EstimateEquals(v);
+      } else if (norm_op == "<>") {
+        est = stats->row_count - stats->EstimateEquals(v);
+      } else if (norm_op == "<") {
+        est = stats->EstimateRange(nullptr, false, &v, false);
+      } else if (norm_op == "<=") {
+        est = stats->EstimateRange(nullptr, false, &v, true);
+      } else if (norm_op == ">") {
+        est = stats->EstimateRange(&v, false, nullptr, false);
+      } else {  // >=
+        est = stats->EstimateRange(&v, true, nullptr, false);
+      }
+      return Clamp01(est / stats->row_count);
+    }
+    // No usable histogram: distinct-count model for equality, defaults
+    // otherwise.
+    if (norm_op == "=") {
+      if (stats != nullptr && stats->distinct_count > 0) {
+        return Clamp01(1.0 / stats->distinct_count);
+      }
+      return std::min(kDefaultEqualitySel, 10.0 / rows);
+    }
+    if (norm_op == "<>") return 0.9;
+    return kDefaultRangeSel;
+  }
+  return 1.0;
+}
+
+// Distinct count of a column, from statistics or a fallback guess.
+double DistinctOf(int col_id, double default_rows, OptimizerContext* ctx) {
+  const ColumnStatistics* stats = ctx->StatsFor(col_id);
+  if (stats != nullptr && stats->distinct_count > 0) {
+    return stats->distinct_count;
+  }
+  return std::max(1.0, default_rows * 0.1);
+}
+
+}  // namespace
+
+double EstimateSelectivity(const ScalarExprPtr& pred,
+                           const LogicalProps& child, OptimizerContext* ctx) {
+  if (pred == nullptr) return 1.0;
+  std::vector<ScalarExprPtr> conjuncts;
+  SplitConjuncts(pred, &conjuncts);
+  double sel = 1.0;
+  for (const ScalarExprPtr& c : conjuncts) {
+    sel *= ConjunctSelectivity(c, child, ctx);
+  }
+  return Clamp01(sel);
+}
+
+double EstimateCardinality(const LogicalOp& op,
+                           const std::vector<const LogicalProps*>& children,
+                           OptimizerContext* ctx) {
+  switch (op.kind) {
+    case LogicalOpKind::kGet:
+      return std::max(op.table.metadata.cardinality, 0.0);
+    case LogicalOpKind::kFilter:
+      return children[0]->cardinality *
+             EstimateSelectivity(op.predicate, *children[0], ctx);
+    case LogicalOpKind::kProject:
+      return children[0]->cardinality;
+    case LogicalOpKind::kTop:
+      return std::min(static_cast<double>(op.limit),
+                      children[0]->cardinality);
+    case LogicalOpKind::kJoin: {
+      double left = std::max(children[0]->cardinality, 0.0);
+      double right = std::max(children[1]->cardinality, 0.0);
+      if (op.join_type == JoinType::kSemi || op.join_type == JoinType::kAnti) {
+        return left * kDefaultSemiJoinSel;
+      }
+      if (op.join_type == JoinType::kCross || op.predicate == nullptr) {
+        return left * right;
+      }
+      // Equi-join selectivity 1/max(ndv_l, ndv_r) per equi key pair;
+      // other conjuncts use generic selectivities against the cross product.
+      std::vector<ScalarExprPtr> conjuncts;
+      SplitConjuncts(op.predicate, &conjuncts);
+      double card = left * right;
+      LogicalProps cross;
+      cross.cardinality = card;
+      for (const ScalarExprPtr& c : conjuncts) {
+        if (c->kind == ScalarKind::kBinary && c->op == "=" &&
+            c->args[0]->kind == ScalarKind::kColumn &&
+            c->args[1]->kind == ScalarKind::kColumn) {
+          double ndv_l = DistinctOf(c->args[0]->column_id, left, ctx);
+          double ndv_r = DistinctOf(c->args[1]->column_id, right, ctx);
+          card /= std::max(1.0, std::max(ndv_l, ndv_r));
+        } else {
+          card *= ConjunctSelectivity(c, cross, ctx);
+        }
+      }
+      double floor = op.join_type == JoinType::kLeftOuter ? left : 0.0;
+      return std::max(card, floor);
+    }
+    case LogicalOpKind::kAggregate: {
+      double in = std::max(children[0]->cardinality, 0.0);
+      if (op.group_by.empty()) return 1.0;
+      double groups = 1.0;
+      for (int g : op.group_by) {
+        groups *= DistinctOf(g, in, ctx);
+        if (groups > in) break;
+      }
+      return std::max(1.0, std::min(groups, in));
+    }
+    case LogicalOpKind::kUnionAll: {
+      double total = 0;
+      for (const LogicalProps* c : children) total += c->cardinality;
+      return total;
+    }
+    case LogicalOpKind::kConstTable:
+      return static_cast<double>(op.const_rows.size());
+    case LogicalOpKind::kEmpty:
+      return 0.0;
+    case LogicalOpKind::kFullTextGet: {
+      // The search service returns the matching keys; rough guess scaled by
+      // the base table size when known.
+      return 100.0;
+    }
+  }
+  return 1.0;
+}
+
+}  // namespace dhqp

@@ -1,0 +1,27 @@
+#ifndef DHQP_OPTIMIZER_CARDINALITY_H_
+#define DHQP_OPTIMIZER_CARDINALITY_H_
+
+#include <vector>
+
+#include "src/optimizer/context.h"
+#include "src/optimizer/logical.h"
+#include "src/optimizer/properties.h"
+
+namespace dhqp {
+
+/// Estimates the output cardinality of one logical operator given its
+/// children's group properties. Uses histograms (local or shipped from
+/// remote providers, §3.2.4) when available, falling back to textbook
+/// selectivity guesses otherwise — the gap between the two is what the
+/// statistics experiment (E3) measures.
+double EstimateCardinality(const LogicalOp& op,
+                           const std::vector<const LogicalProps*>& children,
+                           OptimizerContext* ctx);
+
+/// Estimated selectivity in [0, 1] of a predicate against a child relation.
+double EstimateSelectivity(const ScalarExprPtr& pred,
+                           const LogicalProps& child, OptimizerContext* ctx);
+
+}  // namespace dhqp
+
+#endif  // DHQP_OPTIMIZER_CARDINALITY_H_

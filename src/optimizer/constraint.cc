@@ -1,0 +1,193 @@
+#include "src/optimizer/constraint.h"
+
+namespace dhqp {
+
+namespace {
+
+// Mirrors a comparison operator when operands swap sides.
+std::string MirrorOp(const std::string& op) {
+  if (op == "<") return ">";
+  if (op == "<=") return ">=";
+  if (op == ">") return "<";
+  if (op == ">=") return "<=";
+  return op;  // = and <> are symmetric.
+}
+
+// Recognizes `col op literal` (either order); fills col id, op as if the
+// column were on the left, and the literal value.
+bool MatchColumnComparison(const ScalarExprPtr& e, int* col, std::string* op,
+                           Value* literal) {
+  if (e->kind != ScalarKind::kBinary) return false;
+  const std::string& o = e->op;
+  if (o != "=" && o != "<>" && o != "<" && o != "<=" && o != ">" && o != ">=") {
+    return false;
+  }
+  const ScalarExprPtr& lhs = e->args[0];
+  const ScalarExprPtr& rhs = e->args[1];
+  if (lhs->kind == ScalarKind::kColumn && rhs->kind == ScalarKind::kLiteral &&
+      !rhs->literal.is_null()) {
+    *col = lhs->column_id;
+    *op = o;
+    *literal = rhs->literal;
+    return true;
+  }
+  if (rhs->kind == ScalarKind::kColumn && lhs->kind == ScalarKind::kLiteral &&
+      !lhs->literal.is_null()) {
+    *col = rhs->column_id;
+    *op = MirrorOp(o);
+    *literal = lhs->literal;
+    return true;
+  }
+  return false;
+}
+
+// Recognizes `col op @param` (either order), normalizing the operator as if
+// the column were on the left.
+bool MatchParamComparison(const ScalarExprPtr& e, int* col, std::string* op,
+                          ScalarExprPtr* param) {
+  if (e->kind != ScalarKind::kBinary) return false;
+  const std::string& o = e->op;
+  if (o != "=" && o != "<" && o != "<=" && o != ">" && o != ">=") return false;
+  const ScalarExprPtr& lhs = e->args[0];
+  const ScalarExprPtr& rhs = e->args[1];
+  if (lhs->kind == ScalarKind::kColumn && rhs->kind == ScalarKind::kParam) {
+    *col = lhs->column_id;
+    *op = o;
+    *param = rhs;
+    return true;
+  }
+  if (rhs->kind == ScalarKind::kColumn && lhs->kind == ScalarKind::kParam) {
+    *col = rhs->column_id;
+    *op = MirrorOp(o);
+    *param = lhs;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::map<int, IntervalSet> ExtractPredicateDomains(const ScalarExprPtr& pred) {
+  std::map<int, IntervalSet> out;
+  if (pred == nullptr) return out;
+
+  if (pred->kind == ScalarKind::kBinary && pred->op == "AND") {
+    out = ExtractPredicateDomains(pred->args[0]);
+    IntersectDomains(&out, ExtractPredicateDomains(pred->args[1]));
+    return out;
+  }
+  if (pred->kind == ScalarKind::kBinary && pred->op == "OR") {
+    // A column is restricted by an OR only if both branches restrict it;
+    // the result is the union of the branch domains.
+    std::map<int, IntervalSet> lhs = ExtractPredicateDomains(pred->args[0]);
+    std::map<int, IntervalSet> rhs = ExtractPredicateDomains(pred->args[1]);
+    for (const auto& [col, ldom] : lhs) {
+      auto it = rhs.find(col);
+      if (it != rhs.end()) out[col] = ldom.Union(it->second);
+    }
+    return out;
+  }
+  int col;
+  std::string op;
+  Value literal;
+  if (MatchColumnComparison(pred, &col, &op, &literal)) {
+    out[col] = IntervalSet::FromComparison(op, literal);
+    return out;
+  }
+  if (pred->kind == ScalarKind::kInList && !pred->negated &&
+      pred->args[0]->kind == ScalarKind::kColumn) {
+    IntervalSet set = IntervalSet::None();
+    for (size_t i = 1; i < pred->args.size(); ++i) {
+      if (pred->args[i]->kind != ScalarKind::kLiteral ||
+          pred->args[i]->literal.is_null()) {
+        return out;  // Non-literal member: no restriction derivable.
+      }
+      set = set.Union(IntervalSet::Point(pred->args[i]->literal));
+    }
+    out[pred->args[0]->column_id] = std::move(set);
+    return out;
+  }
+  return out;
+}
+
+void IntersectDomains(std::map<int, IntervalSet>* domains,
+                      const std::map<int, IntervalSet>& update) {
+  for (const auto& [col, dom] : update) {
+    auto it = domains->find(col);
+    if (it == domains->end()) {
+      (*domains)[col] = dom;
+    } else {
+      it->second = it->second.Intersect(dom);
+    }
+  }
+}
+
+bool HasContradiction(const std::map<int, IntervalSet>& domains) {
+  for (const auto& [col, dom] : domains) {
+    if (dom.IsEmpty()) return true;
+  }
+  return false;
+}
+
+ScalarExprPtr IntervalSetToPredicate(const ScalarExprPtr& value_expr,
+                                     const IntervalSet& set) {
+  if (set.IsAll()) return nullptr;
+  if (set.IsEmpty()) return MakeLiteral(Value::Bool(false));
+  ScalarExprPtr result;
+  for (const Interval& iv : set.intervals()) {
+    ScalarExprPtr term;
+    // Point interval -> equality.
+    if (iv.lo.value && iv.hi.value && iv.lo.inclusive && iv.hi.inclusive &&
+        iv.lo.value->Compare(*iv.hi.value) == 0) {
+      term = MakeComparison("=", value_expr, MakeLiteral(*iv.lo.value));
+    } else {
+      if (iv.lo.value) {
+        term = MakeComparison(iv.lo.inclusive ? ">=" : ">", value_expr,
+                              MakeLiteral(*iv.lo.value));
+      }
+      if (iv.hi.value) {
+        ScalarExprPtr hi_term = MakeComparison(
+            iv.hi.inclusive ? "<=" : "<", value_expr, MakeLiteral(*iv.hi.value));
+        term = term ? MakeAnd(std::move(term), std::move(hi_term))
+                    : std::move(hi_term);
+      }
+      if (term == nullptr) return nullptr;  // (-inf, +inf): no predicate.
+    }
+    result = result ? MakeOr(std::move(result), std::move(term))
+                    : std::move(term);
+  }
+  return result;
+}
+
+ScalarExprPtr BuildStartupPredicate(
+    const ScalarExprPtr& conjunct, const std::map<int, IntervalSet>& domains) {
+  int col;
+  std::string op;
+  ScalarExprPtr param;
+  if (!MatchParamComparison(conjunct, &col, &op, &param)) return nullptr;
+  auto it = domains.find(col);
+  if (it == domains.end() || it->second.IsAll()) return nullptr;
+  const IntervalSet& dom = it->second;
+
+  if (op == "=") {
+    // Member has matching rows only if the parameter lies in the domain.
+    return IntervalSetToPredicate(param, dom);
+  }
+  // For inequalities, compare against the domain's overall extremes.
+  const Interval& first = dom.intervals().front();
+  const Interval& last = dom.intervals().back();
+  if (op == "<" || op == "<=") {
+    // col < @p matches iff @p exceeds the domain's minimum.
+    if (!first.lo.value) return nullptr;  // Unbounded below: always possible.
+    return MakeComparison(op == "<" ? ">" : ">=", param,
+                          MakeLiteral(*first.lo.value));
+  }
+  if (op == ">" || op == ">=") {
+    if (!last.hi.value) return nullptr;
+    return MakeComparison(op == ">" ? "<" : "<=", param,
+                          MakeLiteral(*last.hi.value));
+  }
+  return nullptr;
+}
+
+}  // namespace dhqp

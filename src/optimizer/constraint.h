@@ -1,0 +1,48 @@
+#ifndef DHQP_OPTIMIZER_CONSTRAINT_H_
+#define DHQP_OPTIMIZER_CONSTRAINT_H_
+
+#include <map>
+
+#include "src/common/interval.h"
+#include "src/sql/bound_expr.h"
+
+namespace dhqp {
+
+/// The constraint property framework (§4.1.5): derives column-domain
+/// restrictions from predicates and CHECK constraints, powering static
+/// pruning ("infer if a plan sub-tree could produce any results") and
+/// startup-filter synthesis for parameterized queries.
+
+/// Extracts the domain restrictions a predicate imposes on columns it
+/// compares against literals. Handles comparisons (either operand order),
+/// IN lists, IS NULL (no restriction), AND (intersection) and OR (union
+/// when both sides restrict; otherwise no restriction). Parameterized
+/// comparisons impose nothing (their pruning happens at startup time).
+/// Domains for unrestricted columns are absent from the result.
+std::map<int, IntervalSet> ExtractPredicateDomains(const ScalarExprPtr& pred);
+
+/// Intersects `update` into `domains` in place.
+void IntersectDomains(std::map<int, IntervalSet>* domains,
+                      const std::map<int, IntervalSet>& update);
+
+/// True if any domain is empty — the subtree provably yields no rows and
+/// can be reduced to a logical empty table (static pruning).
+bool HasContradiction(const std::map<int, IntervalSet>& domains);
+
+/// Builds a column-free startup predicate from one parameterized conjunct
+/// (`col op @param` in either operand order) against the known domain of
+/// `col`. Returns null when the conjunct cannot prune (not of that shape, or
+/// the domain is unbounded on the relevant side). Example (§4.1.5): column
+/// domain (50, +inf] and predicate `CustomerId = @customerId` yield
+/// `STARTUP(@customerId > 50)`.
+ScalarExprPtr BuildStartupPredicate(const ScalarExprPtr& conjunct,
+                                    const std::map<int, IntervalSet>& domains);
+
+/// Renders `value_expr ∈ set` as a boolean expression (OR over intervals).
+/// Returns null for the full domain (always true has no useful predicate).
+ScalarExprPtr IntervalSetToPredicate(const ScalarExprPtr& value_expr,
+                                     const IntervalSet& set);
+
+}  // namespace dhqp
+
+#endif  // DHQP_OPTIMIZER_CONSTRAINT_H_

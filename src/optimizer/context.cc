@@ -1,0 +1,42 @@
+#include "src/optimizer/context.h"
+
+namespace dhqp {
+
+const ColumnStatistics* OptimizerContext::StatsFor(int col_id) {
+  auto cached = stats_cache_.find(col_id);
+  if (cached != stats_cache_.end()) {
+    return cached->second.has_value() ? &*cached->second : nullptr;
+  }
+  const ColumnOrigin* origin = FindOrigin(col_id);
+  if (origin == nullptr) {
+    stats_cache_[col_id] = std::nullopt;
+    return nullptr;
+  }
+  if (origin->source_id != kLocalSource && !options_.enable_remote_statistics) {
+    // Ablation E3: pretend the provider exposes no histogram rowsets.
+    stats_cache_[col_id] = std::nullopt;
+    return nullptr;
+  }
+  auto stats =
+      catalog_->GetStatistics(origin->source_id, origin->table, origin->column);
+  if (!stats.ok()) {
+    stats_cache_[col_id] = std::nullopt;
+    return nullptr;
+  }
+  stats_cache_[col_id] = std::move(stats).value();
+  return &*stats_cache_[col_id];
+}
+
+void OptimizerContext::AddFullTextCatalog(FullTextCatalogInfo info) {
+  std::string key =
+      ToLowerCopy(info.table) + "." + ToLowerCopy(info.text_column);
+  fulltext_[key] = std::move(info);
+}
+
+const FullTextCatalogInfo* OptimizerContext::FindFullTextCatalog(
+    const std::string& table, const std::string& column) const {
+  auto it = fulltext_.find(ToLowerCopy(table) + "." + ToLowerCopy(column));
+  return it == fulltext_.end() ? nullptr : &it->second;
+}
+
+}  // namespace dhqp

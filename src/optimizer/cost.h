@@ -1,0 +1,40 @@
+#ifndef DHQP_OPTIMIZER_COST_H_
+#define DHQP_OPTIMIZER_COST_H_
+
+#include "src/optimizer/physical.h"
+
+namespace dhqp {
+
+/// Cost-model constants, in abstract "row units". The remote constants
+/// implement the paper's model (§4.1.3): a remote operator is costed by its
+/// output cardinality, with per-row network cost dominating local per-row
+/// work, so minimizing cost minimizes network traffic. Remote execution work
+/// is deliberately *not* modeled — "in heterogeneous, autonomous
+/// environments, it is sometimes impossible to reason about the detailed
+/// implementation of the remote operator".
+struct CostParams {
+  double seq_row = 1.0;            ///< Sequential scan, per row.
+  double index_row = 1.5;          ///< Index traversal, per qualifying row.
+  double index_seek = 8.0;         ///< Per seek (log factor flattened).
+  double filter_row = 0.2;
+  double project_row = 0.1;
+  double hash_build_row = 2.0;
+  double hash_probe_row = 1.2;
+  double nl_rescan = 1.0;          ///< Inner rescan multiplier baseline.
+  double sort_row_log = 0.3;       ///< n * log2(n) coefficient.
+  double agg_row = 1.5;
+  double spool_write_row = 0.6;
+  double spool_read_row = 0.2;
+
+  double remote_request = 1000.0;  ///< Per remote command / open (latency).
+  double remote_row = 8.0;         ///< Per row shipped over the network.
+  double remote_fetch = 60.0;      ///< Per bookmark fetch round trip.
+};
+
+/// Local (non-cumulative) cost of `op`, given children already annotated
+/// with estimated_rows/estimated_cost. `op.estimated_rows` must be set.
+double LocalCost(const PhysicalOp& op, const CostParams& params);
+
+}  // namespace dhqp
+
+#endif  // DHQP_OPTIMIZER_COST_H_

@@ -1,0 +1,460 @@
+#include "src/optimizer/decoder.h"
+
+#include "src/common/date.h"
+
+namespace dhqp {
+
+namespace {
+
+bool LevelAtLeast(const ProviderCapabilities& caps, SqlSupportLevel level) {
+  return caps.SupportsSqlLevel(level);
+}
+
+}  // namespace
+
+std::string Decoder::QuoteIdentifier(const std::string& name,
+                                     const ProviderCapabilities& caps) const {
+  std::string out;
+  out += caps.identifier_quote_open;
+  out += name;
+  out += caps.identifier_quote_close;
+  return out;
+}
+
+Result<std::string> Decoder::RenderLiteral(
+    const Value& v, const ProviderCapabilities& caps) const {
+  if (v.is_null()) return std::string("NULL");
+  switch (v.type()) {
+    case DataType::kBool:
+      return std::string(v.bool_value() ? "(1=1)" : "(1=0)");
+    case DataType::kInt64:
+    case DataType::kDouble:
+      return v.ToString();
+    case DataType::kString: {
+      std::string out = "'";
+      for (char c : v.string_value()) {
+        out += c;
+        if (c == '\'') out += '\'';  // Double the quote.
+      }
+      out += "'";
+      return out;
+    }
+    case DataType::kDate: {
+      std::string iso = DaysToIsoDate(v.date_value());
+      switch (caps.date_literal_style) {
+        case DateLiteralStyle::kIsoQuoted:
+          return "'" + iso + "'";
+        case DateLiteralStyle::kDateKeyword:
+          return "DATE '" + iso + "'";
+        case DateLiteralStyle::kHashDelimited:
+          return "#" + iso + "#";
+      }
+      return "'" + iso + "'";
+    }
+    default:
+      return Status::NotSupported("cannot render literal of type " +
+                                  std::string(DataTypeName(v.type())));
+  }
+}
+
+bool Decoder::ExprRemotable(const ScalarExprPtr& expr,
+                            const ProviderCapabilities& caps) const {
+  switch (expr->kind) {
+    case ScalarKind::kColumn:
+    case ScalarKind::kLiteral:
+      break;
+    case ScalarKind::kParam:
+      if (!caps.supports_parameters) return false;
+      break;
+    case ScalarKind::kBinary: {
+      const std::string& op = expr->op;
+      bool comparison = op == "=" || op == "<>" || op == "<" || op == "<=" ||
+                        op == ">" || op == ">=";
+      if (op == "OR" && !LevelAtLeast(caps, SqlSupportLevel::kOdbcCore)) {
+        return false;
+      }
+      bool arithmetic = op == "+" || op == "-" || op == "*" || op == "/" ||
+                        op == "%";
+      if (arithmetic && !LevelAtLeast(caps, SqlSupportLevel::kOdbcCore)) {
+        return false;
+      }
+      if (!comparison && !arithmetic && op != "AND" && op != "OR") {
+        return false;
+      }
+      break;
+    }
+    case ScalarKind::kUnary:
+      if (expr->op == "NOT" &&
+          !LevelAtLeast(caps, SqlSupportLevel::kOdbcCore)) {
+        return false;
+      }
+      break;
+    case ScalarKind::kInList:
+    case ScalarKind::kLike:
+      if (!LevelAtLeast(caps, SqlSupportLevel::kOdbcCore)) return false;
+      break;
+    case ScalarKind::kIsNull:
+      break;
+    case ScalarKind::kFunc:
+      // CONTAINS is SQL Server-specific full-text syntax; never remoted to
+      // generic SQL providers.
+      if (expr->op == "CONTAINS") return false;
+      if (!LevelAtLeast(caps, SqlSupportLevel::kSql92Entry)) return false;
+      break;
+    case ScalarKind::kCast:
+    case ScalarKind::kCase:
+      if (!LevelAtLeast(caps, SqlSupportLevel::kSql92Full)) return false;
+      break;
+  }
+  for (const ScalarExprPtr& arg : expr->args) {
+    if (!ExprRemotable(arg, caps)) return false;
+  }
+  return true;
+}
+
+bool Decoder::IsRemotable(const LogicalOpPtr& tree,
+                          const ProviderCapabilities& caps) const {
+  if (!caps.supports_command ||
+      !LevelAtLeast(caps, SqlSupportLevel::kMinimum)) {
+    return false;
+  }
+  switch (tree->kind) {
+    case LogicalOpKind::kGet:
+      return tree->table.source_id != kLocalSource;
+    case LogicalOpKind::kFilter:
+      if (tree->predicate && !ExprRemotable(tree->predicate, caps)) {
+        return false;
+      }
+      // A column-free (startup) guard exists precisely to skip dispatching
+      // the remote work; shipping it inside the remote statement would
+      // defeat runtime pruning (§4.1.5).
+      if (tree->predicate && tree->predicate->IsColumnFree()) return false;
+      // Filter above an aggregate needs HAVING (SQL-92 Entry).
+      return IsRemotable(tree->children[0], caps);
+    case LogicalOpKind::kProject:
+      for (const ScalarExprPtr& e : tree->exprs) {
+        if (!ExprRemotable(e, caps)) return false;
+      }
+      return IsRemotable(tree->children[0], caps);
+    case LogicalOpKind::kJoin:
+      if (tree->join_type != JoinType::kInner &&
+          tree->join_type != JoinType::kCross) {
+        // Semi/anti joins have "no direct SQL corollary" (§4.1.4); outer
+        // joins are not decoded by this implementation.
+        return false;
+      }
+      if (!LevelAtLeast(caps, SqlSupportLevel::kOdbcCore)) return false;
+      if (tree->predicate && !ExprRemotable(tree->predicate, caps)) {
+        return false;
+      }
+      return IsRemotable(tree->children[0], caps) &&
+             IsRemotable(tree->children[1], caps);
+    case LogicalOpKind::kAggregate:
+      if (!LevelAtLeast(caps, SqlSupportLevel::kSql92Entry)) return false;
+      if (!tree->aggregates.empty()) {
+        for (const AggregateItem& a : tree->aggregates) {
+          if (a.arg && !ExprRemotable(a.arg, caps)) return false;
+        }
+      }
+      return IsRemotable(tree->children[0], caps);
+    default:
+      return false;
+  }
+}
+
+Result<std::string> Decoder::DecodeExpr(
+    const ScalarExprPtr& expr, const std::map<int, std::string>& col_sql,
+    const ProviderCapabilities& caps, std::vector<std::string>* params) const {
+  switch (expr->kind) {
+    case ScalarKind::kColumn: {
+      auto it = col_sql.find(expr->column_id);
+      if (it == col_sql.end()) {
+        return Status::Internal("decoder: column #" +
+                                std::to_string(expr->column_id) +
+                                " not in scope");
+      }
+      return it->second;
+    }
+    case ScalarKind::kLiteral:
+      return RenderLiteral(expr->literal, caps);
+    case ScalarKind::kParam:
+      params->push_back(expr->op);
+      return expr->op;
+    case ScalarKind::kUnary: {
+      DHQP_ASSIGN_OR_RETURN(std::string arg,
+                            DecodeExpr(expr->args[0], col_sql, caps, params));
+      if (expr->op == "NOT") return "NOT (" + arg + ")";
+      return "(" + expr->op + arg + ")";
+    }
+    case ScalarKind::kBinary: {
+      DHQP_ASSIGN_OR_RETURN(std::string lhs,
+                            DecodeExpr(expr->args[0], col_sql, caps, params));
+      DHQP_ASSIGN_OR_RETURN(std::string rhs,
+                            DecodeExpr(expr->args[1], col_sql, caps, params));
+      return "(" + lhs + " " + expr->op + " " + rhs + ")";
+    }
+    case ScalarKind::kFunc: {
+      std::string out = expr->op + "(";
+      for (size_t i = 0; i < expr->args.size(); ++i) {
+        if (i) out += ", ";
+        DHQP_ASSIGN_OR_RETURN(std::string a,
+                              DecodeExpr(expr->args[i], col_sql, caps, params));
+        out += a;
+      }
+      return out + ")";
+    }
+    case ScalarKind::kIsNull: {
+      DHQP_ASSIGN_OR_RETURN(std::string arg,
+                            DecodeExpr(expr->args[0], col_sql, caps, params));
+      return arg + (expr->negated ? " IS NOT NULL" : " IS NULL");
+    }
+    case ScalarKind::kLike: {
+      DHQP_ASSIGN_OR_RETURN(std::string lhs,
+                            DecodeExpr(expr->args[0], col_sql, caps, params));
+      DHQP_ASSIGN_OR_RETURN(std::string rhs,
+                            DecodeExpr(expr->args[1], col_sql, caps, params));
+      return lhs + (expr->negated ? " NOT LIKE " : " LIKE ") + rhs;
+    }
+    case ScalarKind::kInList: {
+      DHQP_ASSIGN_OR_RETURN(std::string probe,
+                            DecodeExpr(expr->args[0], col_sql, caps, params));
+      std::string out = probe + (expr->negated ? " NOT IN (" : " IN (");
+      for (size_t i = 1; i < expr->args.size(); ++i) {
+        if (i > 1) out += ", ";
+        DHQP_ASSIGN_OR_RETURN(std::string item,
+                              DecodeExpr(expr->args[i], col_sql, caps, params));
+        out += item;
+      }
+      return out + ")";
+    }
+    case ScalarKind::kCast: {
+      DHQP_ASSIGN_OR_RETURN(std::string arg,
+                            DecodeExpr(expr->args[0], col_sql, caps, params));
+      std::string type_name;
+      switch (expr->cast_type) {
+        case DataType::kInt64:
+          type_name = "BIGINT";
+          break;
+        case DataType::kDouble:
+          type_name = "FLOAT";
+          break;
+        case DataType::kString:
+          type_name = "VARCHAR";
+          break;
+        case DataType::kDate:
+          type_name = "DATE";
+          break;
+        case DataType::kBool:
+          type_name = "BIT";
+          break;
+        default:
+          return Status::NotSupported("cannot decode CAST target");
+      }
+      return "CAST(" + arg + " AS " + type_name + ")";
+    }
+    case ScalarKind::kCase: {
+      std::string out = "CASE";
+      size_t i = 0;
+      for (; i + 1 < expr->args.size(); i += 2) {
+        DHQP_ASSIGN_OR_RETURN(std::string c,
+                              DecodeExpr(expr->args[i], col_sql, caps, params));
+        DHQP_ASSIGN_OR_RETURN(
+            std::string v, DecodeExpr(expr->args[i + 1], col_sql, caps, params));
+        out += " WHEN " + c + " THEN " + v;
+      }
+      if (i < expr->args.size()) {
+        DHQP_ASSIGN_OR_RETURN(std::string e,
+                              DecodeExpr(expr->args[i], col_sql, caps, params));
+        out += " ELSE " + e;
+      }
+      return out + " END";
+    }
+  }
+  return Status::NotSupported("cannot decode expression " + expr->ToString());
+}
+
+Result<Decoder::Shape> Decoder::DecodeNode(
+    const LogicalOpPtr& tree, const ProviderCapabilities& caps) const {
+  switch (tree->kind) {
+    case LogicalOpKind::kGet: {
+      Shape shape;
+      std::string alias = QuoteIdentifier(tree->alias, caps);
+      shape.from_items.push_back(
+          QuoteIdentifier(tree->table.metadata.name, caps) + " AS " + alias);
+      const Schema& schema = tree->table.metadata.schema;
+      for (size_t i = 0; i < schema.num_columns(); ++i) {
+        std::string sql =
+            alias + "." + QuoteIdentifier(schema.column(i).name, caps);
+        shape.col_sql[tree->columns[i]] = sql;
+        shape.select_items.push_back(sql);
+        shape.select_cols.push_back(tree->columns[i]);
+      }
+      return shape;
+    }
+    case LogicalOpKind::kFilter: {
+      DHQP_ASSIGN_OR_RETURN(Shape shape, DecodeNode(tree->children[0], caps));
+      std::vector<ScalarExprPtr> conjuncts;
+      SplitConjuncts(tree->predicate, &conjuncts);
+      for (const ScalarExprPtr& c : conjuncts) {
+        DHQP_ASSIGN_OR_RETURN(std::string sql,
+                              DecodeExpr(c, shape.col_sql, caps, &shape.params));
+        if (shape.has_aggregate) {
+          shape.having.push_back(std::move(sql));
+        } else {
+          shape.where.push_back(std::move(sql));
+        }
+      }
+      return shape;
+    }
+    case LogicalOpKind::kJoin: {
+      DHQP_ASSIGN_OR_RETURN(Shape left, DecodeNode(tree->children[0], caps));
+      DHQP_ASSIGN_OR_RETURN(Shape right, DecodeNode(tree->children[1], caps));
+      if (left.has_aggregate || right.has_aggregate) {
+        return Status::NotSupported(
+            "decoder: join over aggregate requires nested selects");
+      }
+      Shape shape = std::move(left);
+      for (auto& f : right.from_items) shape.from_items.push_back(std::move(f));
+      for (auto& w : right.where) shape.where.push_back(std::move(w));
+      shape.col_sql.insert(right.col_sql.begin(), right.col_sql.end());
+      shape.select_items.insert(shape.select_items.end(),
+                                right.select_items.begin(),
+                                right.select_items.end());
+      shape.select_cols.insert(shape.select_cols.end(),
+                               right.select_cols.begin(),
+                               right.select_cols.end());
+      for (auto& p : right.params) shape.params.push_back(std::move(p));
+      if (tree->predicate != nullptr) {
+        std::vector<ScalarExprPtr> conjuncts;
+        SplitConjuncts(tree->predicate, &conjuncts);
+        for (const ScalarExprPtr& c : conjuncts) {
+          DHQP_ASSIGN_OR_RETURN(
+              std::string sql, DecodeExpr(c, shape.col_sql, caps, &shape.params));
+          shape.where.push_back(std::move(sql));
+        }
+      }
+      return shape;
+    }
+    case LogicalOpKind::kProject: {
+      DHQP_ASSIGN_OR_RETURN(Shape shape, DecodeNode(tree->children[0], caps));
+      std::vector<std::string> items;
+      std::map<int, std::string> new_cols;
+      for (size_t i = 0; i < tree->exprs.size(); ++i) {
+        DHQP_ASSIGN_OR_RETURN(
+            std::string sql,
+            DecodeExpr(tree->exprs[i], shape.col_sql, caps, &shape.params));
+        items.push_back(sql);
+        new_cols[tree->project_cols[i]] = sql;
+      }
+      shape.select_items = std::move(items);
+      shape.select_cols = tree->project_cols;
+      // Keep old columns visible for enclosing filters plus the new ones.
+      for (auto& [id, sql] : new_cols) shape.col_sql[id] = sql;
+      return shape;
+    }
+    case LogicalOpKind::kAggregate: {
+      DHQP_ASSIGN_OR_RETURN(Shape shape, DecodeNode(tree->children[0], caps));
+      if (shape.has_aggregate) {
+        return Status::NotSupported("decoder: nested aggregation");
+      }
+      shape.has_aggregate = true;
+      std::vector<std::string> items;
+      std::vector<int> cols;
+      for (int g : tree->group_by) {
+        auto it = shape.col_sql.find(g);
+        if (it == shape.col_sql.end()) {
+          return Status::Internal("decoder: group column not in scope");
+        }
+        shape.group_by.push_back(it->second);
+        items.push_back(it->second);
+        cols.push_back(g);
+      }
+      for (const AggregateItem& a : tree->aggregates) {
+        std::string inner = "*";
+        if (a.arg != nullptr) {
+          DHQP_ASSIGN_OR_RETURN(inner,
+                                DecodeExpr(a.arg, shape.col_sql, caps,
+                                           &shape.params));
+        }
+        std::string fn = a.func == "COUNT*" ? "COUNT" : a.func;
+        std::string sql =
+            fn + "(" + (a.distinct ? "DISTINCT " : "") + inner + ")";
+        items.push_back(sql);
+        cols.push_back(a.output_col);
+        shape.col_sql[a.output_col] = sql;
+      }
+      shape.select_items = std::move(items);
+      shape.select_cols = std::move(cols);
+      return shape;
+    }
+    default:
+      return Status::NotSupported(std::string("decoder: cannot decode ") +
+                                  LogicalOpKindName(tree->kind));
+  }
+}
+
+Result<DecodedQuery> Decoder::Decode(
+    const LogicalOpPtr& tree, const ProviderCapabilities& caps,
+    const std::vector<std::pair<int, bool>>& order_by) const {
+  if (!IsRemotable(tree, caps)) {
+    return Status::NotSupported("tree is not remotable for provider " +
+                                caps.provider_name);
+  }
+  // ORDER BY needs at least ODBC Core.
+  if (!order_by.empty() && !LevelAtLeast(caps, SqlSupportLevel::kOdbcCore)) {
+    return Status::NotSupported("provider cannot remote ORDER BY");
+  }
+  DHQP_ASSIGN_OR_RETURN(Shape shape, DecodeNode(tree, caps));
+  std::string sql = "SELECT ";
+  for (size_t i = 0; i < shape.select_items.size(); ++i) {
+    if (i) sql += ", ";
+    sql += shape.select_items[i] + " AS " +
+           QuoteIdentifier("c" + std::to_string(i), caps);
+  }
+  sql += " FROM ";
+  for (size_t i = 0; i < shape.from_items.size(); ++i) {
+    if (i) sql += ", ";
+    sql += shape.from_items[i];
+  }
+  if (!shape.where.empty()) {
+    sql += " WHERE ";
+    for (size_t i = 0; i < shape.where.size(); ++i) {
+      if (i) sql += " AND ";
+      sql += shape.where[i];
+    }
+  }
+  if (!shape.group_by.empty()) {
+    sql += " GROUP BY ";
+    for (size_t i = 0; i < shape.group_by.size(); ++i) {
+      if (i) sql += ", ";
+      sql += shape.group_by[i];
+    }
+  }
+  if (!shape.having.empty()) {
+    sql += " HAVING ";
+    for (size_t i = 0; i < shape.having.size(); ++i) {
+      if (i) sql += " AND ";
+      sql += shape.having[i];
+    }
+  }
+  if (!order_by.empty()) {
+    sql += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      auto it = shape.col_sql.find(order_by[i].first);
+      if (it == shape.col_sql.end()) {
+        return Status::NotSupported(
+            "ORDER BY column not visible in the remote statement");
+      }
+      if (i) sql += ", ";
+      sql += it->second;
+      if (!order_by[i].second) sql += " DESC";
+    }
+  }
+  DecodedQuery out;
+  out.sql = std::move(sql);
+  out.output_cols = std::move(shape.select_cols);
+  out.params = std::move(shape.params);
+  return out;
+}
+
+}  // namespace dhqp

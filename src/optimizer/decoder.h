@@ -1,0 +1,83 @@
+#ifndef DHQP_OPTIMIZER_DECODER_H_
+#define DHQP_OPTIMIZER_DECODER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/optimizer/context.h"
+#include "src/optimizer/logical.h"
+#include "src/provider/capabilities.h"
+
+namespace dhqp {
+
+/// Result of decoding a logical tree into remote SQL.
+struct DecodedQuery {
+  std::string sql;
+  /// Column ids corresponding positionally to the SELECT list.
+  std::vector<int> output_cols;
+  /// Parameters referenced by the statement (to be bound at dispatch).
+  std::vector<std::string> params;
+};
+
+/// The decoder (§4.1.3): "takes a logical query tree as its input and
+/// decodes it into an equivalent SQL statement", responding to the
+/// provider's dialect — SQL support level, identifier quoting, date literal
+/// syntax, parameter support, nested-select support. Part of the "build
+/// remote query" implementation rule.
+class Decoder {
+ public:
+  explicit Decoder(OptimizerContext* ctx) : ctx_(ctx) {}
+
+  /// True if `tree` (a logical tree with real children, e.g. extracted from
+  /// a memo group) can be rendered as a single SQL statement the provider
+  /// accepts. Cheap pre-check used as the rule's guidance.
+  bool IsRemotable(const LogicalOpPtr& tree,
+                   const ProviderCapabilities& caps) const;
+
+  /// Decodes `tree` into SQL for a provider with `caps`. Fails with
+  /// NotSupported when the tree needs capabilities the provider lacks — the
+  /// caller (the build-remote-query rule) then tries another alternative
+  /// from the memo group (§4.1.4). A non-empty `order_by` (column id,
+  /// ascending) appends an ORDER BY clause so sorts are remoted too (§2.1);
+  /// the columns must be visible in the decoded SELECT list.
+  Result<DecodedQuery> Decode(
+      const LogicalOpPtr& tree, const ProviderCapabilities& caps,
+      const std::vector<std::pair<int, bool>>& order_by = {}) const;
+
+ private:
+  /// Flat SELECT block under assembly.
+  struct Shape {
+    std::vector<std::string> select_items;
+    std::vector<int> select_cols;
+    std::vector<std::string> from_items;
+    std::vector<std::string> where;
+    std::vector<std::string> group_by;
+    std::vector<std::string> having;
+    bool has_aggregate = false;
+    std::map<int, std::string> col_sql;  ///< Column id -> SQL text.
+    std::vector<std::string> params;
+  };
+
+  Result<Shape> DecodeNode(const LogicalOpPtr& tree,
+                           const ProviderCapabilities& caps) const;
+  Result<std::string> DecodeExpr(const ScalarExprPtr& expr,
+                                 const std::map<int, std::string>& col_sql,
+                                 const ProviderCapabilities& caps,
+                                 std::vector<std::string>* params) const;
+  std::string QuoteIdentifier(const std::string& name,
+                              const ProviderCapabilities& caps) const;
+  Result<std::string> RenderLiteral(const Value& v,
+                                    const ProviderCapabilities& caps) const;
+
+  /// True if the expression only uses features available at the provider's
+  /// SQL level (§3.3: "fully used while not overshooting its limitations").
+  bool ExprRemotable(const ScalarExprPtr& expr,
+                     const ProviderCapabilities& caps) const;
+
+  OptimizerContext* ctx_;
+};
+
+}  // namespace dhqp
+
+#endif  // DHQP_OPTIMIZER_DECODER_H_

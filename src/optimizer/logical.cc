@@ -1,0 +1,235 @@
+#include "src/optimizer/logical.h"
+
+namespace dhqp {
+
+const char* JoinTypeName(JoinType type) {
+  switch (type) {
+    case JoinType::kInner:
+      return "Inner";
+    case JoinType::kLeftOuter:
+      return "LeftOuter";
+    case JoinType::kSemi:
+      return "Semi";
+    case JoinType::kAnti:
+      return "Anti";
+    case JoinType::kCross:
+      return "Cross";
+  }
+  return "?";
+}
+
+const char* LogicalOpKindName(LogicalOpKind kind) {
+  switch (kind) {
+    case LogicalOpKind::kGet:
+      return "Get";
+    case LogicalOpKind::kFilter:
+      return "Filter";
+    case LogicalOpKind::kProject:
+      return "Project";
+    case LogicalOpKind::kJoin:
+      return "Join";
+    case LogicalOpKind::kAggregate:
+      return "Aggregate";
+    case LogicalOpKind::kUnionAll:
+      return "UnionAll";
+    case LogicalOpKind::kTop:
+      return "Top";
+    case LogicalOpKind::kConstTable:
+      return "ConstTable";
+    case LogicalOpKind::kEmpty:
+      return "Empty";
+    case LogicalOpKind::kFullTextGet:
+      return "FullTextGet";
+  }
+  return "?";
+}
+
+std::vector<int> LogicalOp::OutputColumns() const {
+  switch (kind) {
+    case LogicalOpKind::kGet:
+      return columns;
+    case LogicalOpKind::kFilter:
+    case LogicalOpKind::kTop:
+      return children[0]->OutputColumns();
+    case LogicalOpKind::kProject:
+      return project_cols;
+    case LogicalOpKind::kJoin: {
+      if (join_type == JoinType::kSemi || join_type == JoinType::kAnti) {
+        return children[0]->OutputColumns();
+      }
+      std::vector<int> out = children[0]->OutputColumns();
+      std::vector<int> right = children[1]->OutputColumns();
+      out.insert(out.end(), right.begin(), right.end());
+      return out;
+    }
+    case LogicalOpKind::kAggregate: {
+      std::vector<int> out = group_by;
+      for (const AggregateItem& agg : aggregates) {
+        out.push_back(agg.output_col);
+      }
+      return out;
+    }
+    case LogicalOpKind::kUnionAll:
+      // All branches are aligned to the first branch's column ids.
+      return children[0]->OutputColumns();
+    case LogicalOpKind::kConstTable:
+    case LogicalOpKind::kEmpty:
+      return const_cols;
+    case LogicalOpKind::kFullTextGet:
+      return {ft_key_col, ft_rank_col};
+  }
+  return {};
+}
+
+std::string LogicalOp::LocalFingerprint() const {
+  std::string fp = LogicalOpKindName(kind);
+  switch (kind) {
+    case LogicalOpKind::kGet:
+      // Column ids identify the table *instance*: two references to the same
+      // table (self-join, UNION ALL branches) must not share a group.
+      fp += ":" + std::to_string(table.source_id) + ":" + table.metadata.name +
+            ":" + alias;
+      for (int c : columns) fp += "," + std::to_string(c);
+      break;
+    case LogicalOpKind::kFilter:
+      fp += ":" + (predicate ? predicate->ToString() : "");
+      break;
+    case LogicalOpKind::kProject:
+      for (size_t i = 0; i < exprs.size(); ++i) {
+        fp += ":" + std::to_string(project_cols[i]) + "=" +
+              exprs[i]->ToString();
+      }
+      break;
+    case LogicalOpKind::kJoin:
+      fp += std::string(":") + JoinTypeName(join_type) + ":" +
+            (predicate ? predicate->ToString() : "true");
+      break;
+    case LogicalOpKind::kAggregate:
+      fp += ":g";
+      for (int g : group_by) fp += "," + std::to_string(g);
+      for (const AggregateItem& a : aggregates) {
+        fp += ":" + a.func + (a.distinct ? "D" : "") + "(" +
+              (a.arg ? a.arg->ToString() : "*") + ")->" +
+              std::to_string(a.output_col);
+      }
+      break;
+    case LogicalOpKind::kTop:
+      fp += ":" + std::to_string(limit);
+      break;
+    case LogicalOpKind::kConstTable:
+    case LogicalOpKind::kEmpty:
+      fp += ":" + std::to_string(const_rows.size()) + "rows";
+      for (int c : const_cols) fp += "," + std::to_string(c);
+      break;
+    case LogicalOpKind::kUnionAll:
+      break;
+    case LogicalOpKind::kFullTextGet:
+      fp += ":" + ft_table + ":" + ft_query;
+      break;
+  }
+  return fp;
+}
+
+std::string LogicalOp::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = pad + LocalFingerprint() + "\n";
+  for (const LogicalOpPtr& child : children) {
+    out += child->ToString(indent + 1);
+  }
+  return out;
+}
+
+namespace {
+
+std::shared_ptr<LogicalOp> NewOp(LogicalOpKind kind) {
+  auto op = std::make_shared<LogicalOp>();
+  op->kind = kind;
+  return op;
+}
+
+}  // namespace
+
+LogicalOpPtr MakeGet(ResolvedTable table, std::string alias,
+                     std::vector<int> columns) {
+  auto op = NewOp(LogicalOpKind::kGet);
+  op->table = std::move(table);
+  op->alias = std::move(alias);
+  op->columns = std::move(columns);
+  return op;
+}
+
+LogicalOpPtr MakeFilter(LogicalOpPtr child, ScalarExprPtr predicate) {
+  auto op = NewOp(LogicalOpKind::kFilter);
+  op->children.push_back(std::move(child));
+  op->predicate = std::move(predicate);
+  return op;
+}
+
+LogicalOpPtr MakeProject(LogicalOpPtr child, std::vector<ScalarExprPtr> exprs,
+                         std::vector<int> out_cols) {
+  auto op = NewOp(LogicalOpKind::kProject);
+  op->children.push_back(std::move(child));
+  op->exprs = std::move(exprs);
+  op->project_cols = std::move(out_cols);
+  return op;
+}
+
+LogicalOpPtr MakeJoin(JoinType type, LogicalOpPtr left, LogicalOpPtr right,
+                      ScalarExprPtr predicate) {
+  auto op = NewOp(LogicalOpKind::kJoin);
+  op->join_type = type;
+  op->children.push_back(std::move(left));
+  op->children.push_back(std::move(right));
+  op->predicate = std::move(predicate);
+  return op;
+}
+
+LogicalOpPtr MakeAggregate(LogicalOpPtr child, std::vector<int> group_by,
+                           std::vector<AggregateItem> aggregates) {
+  auto op = NewOp(LogicalOpKind::kAggregate);
+  op->children.push_back(std::move(child));
+  op->group_by = std::move(group_by);
+  op->aggregates = std::move(aggregates);
+  return op;
+}
+
+LogicalOpPtr MakeUnionAll(std::vector<LogicalOpPtr> children) {
+  auto op = NewOp(LogicalOpKind::kUnionAll);
+  op->children = std::move(children);
+  return op;
+}
+
+LogicalOpPtr MakeTop(LogicalOpPtr child, int64_t limit) {
+  auto op = NewOp(LogicalOpKind::kTop);
+  op->children.push_back(std::move(child));
+  op->limit = limit;
+  return op;
+}
+
+LogicalOpPtr MakeConstTable(std::vector<Row> rows, std::vector<int> cols,
+                            std::vector<DataType> types) {
+  auto op = NewOp(LogicalOpKind::kConstTable);
+  op->const_rows = std::move(rows);
+  op->const_cols = std::move(cols);
+  op->const_types = std::move(types);
+  return op;
+}
+
+LogicalOpPtr MakeEmpty(std::vector<int> cols, std::vector<DataType> types) {
+  auto op = NewOp(LogicalOpKind::kEmpty);
+  op->const_cols = std::move(cols);
+  op->const_types = std::move(types);
+  return op;
+}
+
+LogicalOpPtr MakeFullTextGet(std::string table, std::string query,
+                             int key_col, int rank_col) {
+  auto op = NewOp(LogicalOpKind::kFullTextGet);
+  op->ft_table = std::move(table);
+  op->ft_query = std::move(query);
+  op->ft_key_col = key_col;
+  op->ft_rank_col = rank_col;
+  return op;
+}
+
+}  // namespace dhqp

@@ -1,0 +1,124 @@
+#ifndef DHQP_OPTIMIZER_LOGICAL_H_
+#define DHQP_OPTIMIZER_LOGICAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/catalog/catalog.h"
+#include "src/common/row.h"
+#include "src/sql/bound_expr.h"
+
+namespace dhqp {
+
+/// Logical join variants. Semi/anti joins come from EXISTS / NOT EXISTS /
+/// IN-subquery unrolling (§4.1.4 notes semi-join is "an abstract operator
+/// with no direct SQL corollary", which matters to the decoder).
+enum class JoinType { kInner, kLeftOuter, kSemi, kAnti, kCross };
+
+const char* JoinTypeName(JoinType type);
+
+/// Logical (declarative) operators. Each operator is "a unique node in a
+/// query tree" (§4.1.1): joins are binary, n-way joins are nested.
+enum class LogicalOpKind {
+  kGet,         ///< Base table access (local or remote; §4.1.3: same logical
+                ///< operator either way, tagged with its source).
+  kFilter,      ///< Relational selection.
+  kProject,     ///< Scalar projection.
+  kJoin,        ///< Binary join with predicate.
+  kAggregate,   ///< GROUP BY + aggregate functions.
+  kUnionAll,    ///< N-ary bag union (partitioned views).
+  kTop,         ///< TOP n.
+  kConstTable,  ///< Literal rows (VALUES / FROM-less SELECT).
+  kEmpty,       ///< Provably-empty relation (static pruning result).
+  kFullTextGet, ///< (key, rank) rowset from the full-text search service
+                ///< for a CONTAINS query (§2.3, Fig 2).
+};
+
+const char* LogicalOpKindName(LogicalOpKind kind);
+
+/// One aggregate computation in a kAggregate operator.
+struct AggregateItem {
+  std::string func;        ///< COUNT / SUM / AVG / MIN / MAX ("COUNT*" for *).
+  ScalarExprPtr arg;       ///< Null for COUNT(*).
+  bool distinct = false;
+  int output_col = -1;     ///< Column id of the aggregate's result.
+  DataType type = DataType::kNull;
+};
+
+struct LogicalOp;
+using LogicalOpPtr = std::shared_ptr<const LogicalOp>;
+
+/// A logical operator node. Immutable once built; plan alternatives share
+/// subtrees freely.
+struct LogicalOp {
+  LogicalOpKind kind;
+  std::vector<LogicalOpPtr> children;
+
+  // kGet.
+  ResolvedTable table;
+  std::string alias;
+  std::vector<int> columns;  ///< Output column ids, one per schema column.
+
+  // kFilter predicate / kJoin condition.
+  ScalarExprPtr predicate;
+
+  // kProject.
+  std::vector<ScalarExprPtr> exprs;
+  std::vector<int> project_cols;  ///< Output column id per expression.
+
+  // kJoin.
+  JoinType join_type = JoinType::kInner;
+
+  // kAggregate.
+  std::vector<int> group_by;  ///< Input column ids to group on.
+  std::vector<AggregateItem> aggregates;
+
+  // kTop.
+  int64_t limit = 0;
+
+  // kConstTable / kEmpty.
+  std::vector<Row> const_rows;
+  std::vector<int> const_cols;           ///< Output column ids.
+  std::vector<DataType> const_types;
+
+  // kFullTextGet.
+  std::string ft_table;   ///< Base table whose full-text catalog is used.
+  std::string ft_query;   ///< The CONTAINS query string.
+  int ft_key_col = -1;    ///< Output column id: matched row's key.
+  int ft_rank_col = -1;   ///< Output column id: relevance rank.
+
+  /// Output column ids of this operator (depends on children for most ops).
+  std::vector<int> OutputColumns() const;
+
+  /// Structural fingerprint of this node *excluding children* — memo
+  /// deduplication keys on (fingerprint, child group ids).
+  std::string LocalFingerprint() const;
+
+  /// Multi-line indented tree rendering for EXPLAIN/tests.
+  std::string ToString(int indent = 0) const;
+};
+
+/// @name Construction helpers.
+///@{
+LogicalOpPtr MakeGet(ResolvedTable table, std::string alias,
+                     std::vector<int> columns);
+LogicalOpPtr MakeFilter(LogicalOpPtr child, ScalarExprPtr predicate);
+LogicalOpPtr MakeProject(LogicalOpPtr child, std::vector<ScalarExprPtr> exprs,
+                         std::vector<int> out_cols);
+LogicalOpPtr MakeJoin(JoinType type, LogicalOpPtr left, LogicalOpPtr right,
+                      ScalarExprPtr predicate);
+LogicalOpPtr MakeAggregate(LogicalOpPtr child, std::vector<int> group_by,
+                           std::vector<AggregateItem> aggregates);
+LogicalOpPtr MakeUnionAll(std::vector<LogicalOpPtr> children);
+LogicalOpPtr MakeTop(LogicalOpPtr child, int64_t limit);
+LogicalOpPtr MakeConstTable(std::vector<Row> rows, std::vector<int> cols,
+                            std::vector<DataType> types);
+LogicalOpPtr MakeEmpty(std::vector<int> cols, std::vector<DataType> types);
+LogicalOpPtr MakeFullTextGet(std::string table, std::string query,
+                             int key_col, int rank_col);
+///@}
+
+}  // namespace dhqp
+
+#endif  // DHQP_OPTIMIZER_LOGICAL_H_

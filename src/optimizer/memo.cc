@@ -1,0 +1,277 @@
+#include "src/optimizer/memo.h"
+
+#include "src/optimizer/cardinality.h"
+#include "src/optimizer/constraint.h"
+
+namespace dhqp {
+
+namespace {
+
+/// Locality lattice: kAnyLocality joins with anything (constant tables),
+/// two different concrete sources combine to kMixedLocality.
+constexpr int kAnyLocality = -3;
+
+int CombineLocality(int a, int b) {
+  if (a == kAnyLocality) return b;
+  if (b == kAnyLocality) return a;
+  if (a == b) return a;
+  return kMixedLocality;
+}
+
+}  // namespace
+
+int Memo::InsertTree(const LogicalOpPtr& tree) {
+  std::vector<int> children;
+  children.reserve(tree->children.size());
+  for (const LogicalOpPtr& child : tree->children) {
+    children.push_back(InsertTree(child));
+  }
+  bool added = false;
+  return InsertExpr(tree, std::move(children), -1, &added);
+}
+
+int Memo::InsertExpr(const LogicalOpPtr& payload, std::vector<int> children,
+                     int target_group, bool* added) {
+  std::string fp = payload->LocalFingerprint();
+  for (int c : children) fp += "|" + std::to_string(c);
+  auto it = index_.find(fp);
+  if (it != index_.end()) {
+    *added = false;
+    return it->second;
+  }
+  int gid;
+  if (target_group >= 0) {
+    gid = target_group;
+  } else {
+    groups_.push_back(std::make_unique<Group>());
+    gid = static_cast<int>(groups_.size()) - 1;
+    groups_.back()->props = ComputeProps(*payload, children);
+  }
+  index_[fp] = gid;
+  group(gid).exprs.push_back(GroupExpr{payload, std::move(children), 0});
+  ++num_exprs_;
+  *added = true;
+  return gid;
+}
+
+LogicalProps Memo::ComputeProps(const LogicalOp& payload,
+                                const std::vector<int>& children) const {
+  LogicalProps props;
+  std::vector<const LogicalProps*> child_props;
+  child_props.reserve(children.size());
+  for (int c : children) child_props.push_back(&group(c).props);
+
+  // Output columns.
+  switch (payload.kind) {
+    case LogicalOpKind::kGet:
+      props.output_cols = payload.columns;
+      break;
+    case LogicalOpKind::kFilter:
+    case LogicalOpKind::kTop:
+      props.output_cols = child_props[0]->output_cols;
+      break;
+    case LogicalOpKind::kProject:
+      props.output_cols = payload.project_cols;
+      break;
+    case LogicalOpKind::kJoin:
+      if (payload.join_type == JoinType::kSemi ||
+          payload.join_type == JoinType::kAnti) {
+        props.output_cols = child_props[0]->output_cols;
+      } else {
+        props.output_cols = child_props[0]->output_cols;
+        props.output_cols.insert(props.output_cols.end(),
+                                 child_props[1]->output_cols.begin(),
+                                 child_props[1]->output_cols.end());
+      }
+      break;
+    case LogicalOpKind::kAggregate:
+      props.output_cols = payload.group_by;
+      for (const AggregateItem& a : payload.aggregates) {
+        props.output_cols.push_back(a.output_col);
+      }
+      break;
+    case LogicalOpKind::kUnionAll:
+      props.output_cols = child_props[0]->output_cols;
+      break;
+    case LogicalOpKind::kConstTable:
+    case LogicalOpKind::kEmpty:
+      props.output_cols = payload.const_cols;
+      break;
+    case LogicalOpKind::kFullTextGet:
+      props.output_cols = {payload.ft_key_col, payload.ft_rank_col};
+      break;
+  }
+
+  // Locality (§4.1.2): the basis of the join-locality grouping and the
+  // build-remote-query rule.
+  switch (payload.kind) {
+    case LogicalOpKind::kGet:
+      props.locality = payload.table.source_id;
+      break;
+    case LogicalOpKind::kConstTable:
+    case LogicalOpKind::kEmpty:
+      props.locality = kAnyLocality;
+      break;
+    case LogicalOpKind::kFullTextGet:
+      props.locality = kMixedLocality;  // Never decoded into remote SQL.
+      break;
+    default: {
+      int loc = kAnyLocality;
+      for (const LogicalProps* c : child_props) {
+        loc = CombineLocality(loc, c->locality);
+      }
+      props.locality = loc == kAnyLocality ? kLocalSource : loc;
+      break;
+    }
+  }
+
+  // Constraint property framework (§4.1.5).
+  switch (payload.kind) {
+    case LogicalOpKind::kGet: {
+      for (const CheckConstraint& check : payload.table.checks) {
+        int ord = payload.table.metadata.schema.FindColumn(check.column);
+        if (ord >= 0) {
+          int col = payload.columns[static_cast<size_t>(ord)];
+          auto it = props.domains.find(col);
+          if (it == props.domains.end()) {
+            props.domains[col] = check.domain;
+          } else {
+            it->second = it->second.Intersect(check.domain);
+          }
+        }
+      }
+      break;
+    }
+    case LogicalOpKind::kFilter: {
+      props.domains = child_props[0]->domains;
+      IntersectDomains(&props.domains,
+                       ExtractPredicateDomains(payload.predicate));
+      break;
+    }
+    case LogicalOpKind::kProject: {
+      for (size_t i = 0; i < payload.exprs.size(); ++i) {
+        if (payload.exprs[i]->kind == ScalarKind::kColumn) {
+          auto it =
+              child_props[0]->domains.find(payload.exprs[i]->column_id);
+          if (it != child_props[0]->domains.end()) {
+            props.domains[payload.project_cols[i]] = it->second;
+          }
+        }
+      }
+      break;
+    }
+    case LogicalOpKind::kJoin: {
+      props.domains = child_props[0]->domains;
+      if (payload.join_type != JoinType::kSemi &&
+          payload.join_type != JoinType::kAnti) {
+        for (const auto& [col, dom] : child_props[1]->domains) {
+          props.domains[col] = dom;
+        }
+      }
+      if (payload.join_type == JoinType::kInner ||
+          payload.join_type == JoinType::kSemi) {
+        IntersectDomains(&props.domains,
+                         ExtractPredicateDomains(payload.predicate));
+      }
+      break;
+    }
+    case LogicalOpKind::kAggregate: {
+      for (int g : payload.group_by) {
+        auto it = child_props[0]->domains.find(g);
+        if (it != child_props[0]->domains.end()) props.domains[g] = it->second;
+      }
+      break;
+    }
+    case LogicalOpKind::kUnionAll: {
+      // Positional union across branches; a column is restricted only if
+      // every branch restricts its positional counterpart.
+      const std::vector<int>& out = child_props[0]->output_cols;
+      for (size_t i = 0; i < out.size(); ++i) {
+        IntervalSet merged = IntervalSet::None();
+        bool all_known = true;
+        for (size_t k = 0; k < child_props.size(); ++k) {
+          const std::vector<int>& cols = child_props[k]->output_cols;
+          if (i >= cols.size()) {
+            all_known = false;
+            break;
+          }
+          auto it = child_props[k]->domains.find(cols[i]);
+          if (it == child_props[k]->domains.end()) {
+            all_known = false;
+            break;
+          }
+          merged = merged.Union(it->second);
+        }
+        if (all_known) props.domains[out[i]] = std::move(merged);
+      }
+      break;
+    }
+    case LogicalOpKind::kTop:
+      props.domains = child_props[0]->domains;
+      break;
+    default:
+      break;
+  }
+
+  // Contradictions: empty domain, the Empty operator, or a contradicted
+  // input (except UnionAll, which only dies when all branches do).
+  props.contradiction =
+      payload.kind == LogicalOpKind::kEmpty || HasContradiction(props.domains);
+  if (payload.kind == LogicalOpKind::kAggregate && payload.group_by.empty()) {
+    // A scalar aggregate over an empty input still produces one row
+    // (COUNT(*) = 0), so contradictions do not propagate through it.
+    props.contradiction = false;
+    props.cardinality = 1.0;
+    return props;
+  }
+  if (!props.contradiction && !child_props.empty()) {
+    if (payload.kind == LogicalOpKind::kUnionAll) {
+      bool all = true;
+      for (const LogicalProps* c : child_props) all &= c->contradiction;
+      props.contradiction = all;
+    } else if (payload.kind == LogicalOpKind::kJoin &&
+               (payload.join_type == JoinType::kLeftOuter ||
+                payload.join_type == JoinType::kAnti)) {
+      // Outer/anti joins survive an empty right side.
+      props.contradiction = child_props[0]->contradiction;
+    } else {
+      for (const LogicalProps* c : child_props) {
+        props.contradiction |= c->contradiction;
+      }
+    }
+  }
+
+  props.cardinality =
+      props.contradiction
+          ? 0.0
+          : EstimateCardinality(payload, child_props, ctx_);
+  return props;
+}
+
+LogicalOpPtr Memo::ExtractTree(int group_id) const {
+  const GroupExpr& expr = group(group_id).exprs.front();
+  auto copy = std::make_shared<LogicalOp>(*expr.op);
+  copy->children.clear();
+  for (int c : expr.children) copy->children.push_back(ExtractTree(c));
+  return copy;
+}
+
+std::string Memo::ToString() const {
+  std::string out;
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    out += "group " + std::to_string(g) +
+           " (card=" + std::to_string(groups_[g]->props.cardinality) +
+           ", loc=" + std::to_string(groups_[g]->props.locality) + ")\n";
+    for (const GroupExpr& e : groups_[g]->exprs) {
+      out += "  " + e.op->LocalFingerprint() + " [";
+      for (size_t i = 0; i < e.children.size(); ++i) {
+        if (i) out += ",";
+        out += std::to_string(e.children[i]);
+      }
+      out += "]\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace dhqp

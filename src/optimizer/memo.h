@@ -1,0 +1,84 @@
+#ifndef DHQP_OPTIMIZER_MEMO_H_
+#define DHQP_OPTIMIZER_MEMO_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/optimizer/context.h"
+#include "src/optimizer/logical.h"
+#include "src/optimizer/physical.h"
+#include "src/optimizer/properties.h"
+
+namespace dhqp {
+
+/// One logical alternative inside a group: an operator payload plus child
+/// *group* references ("a query tree is represented using connections
+/// between groups instead of operators", §4.1.1).
+struct GroupExpr {
+  LogicalOpPtr op;            ///< Payload; its own children are ignored.
+  std::vector<int> children;  ///< Child group ids.
+  /// Exploration rules already fired on this expr (bitmask by rule index),
+  /// so fixpoint iteration does not re-apply.
+  uint64_t rules_fired = 0;
+};
+
+/// The best known physical plan of a group for one required-property set.
+struct Winner {
+  PhysicalOpPtr plan;
+  double cost = 0;
+  bool valid = false;
+};
+
+/// A memo group: the set of logically equivalent alternatives, their shared
+/// group properties, and per-required-property winners.
+struct Group {
+  std::vector<GroupExpr> exprs;
+  LogicalProps props;
+  std::map<std::string, Winner> winners;  ///< Keyed by props fingerprint.
+  int explored_in_phase = -1;  ///< Last phase whose exploration completed.
+};
+
+/// The Memo (§4.1.1): stores equivalent alternatives in groups, dedupes
+/// structurally identical expressions ("no extra work is required to
+/// re-search this portion of the possible query space").
+class Memo {
+ public:
+  explicit Memo(OptimizerContext* ctx) : ctx_(ctx) {}
+
+  /// Recursively inserts a logical tree; returns its group id.
+  int InsertTree(const LogicalOpPtr& tree);
+
+  /// Inserts one expression (payload + child groups). If an identical
+  /// expression already exists, returns its group. Otherwise adds it to
+  /// `target_group` (or a fresh group when -1). `added` reports whether a
+  /// new expression was created.
+  int InsertExpr(const LogicalOpPtr& payload, std::vector<int> children,
+                 int target_group, bool* added);
+
+  Group& group(int id) { return *groups_[static_cast<size_t>(id)]; }
+  const Group& group(int id) const { return *groups_[static_cast<size_t>(id)]; }
+  int num_groups() const { return static_cast<int>(groups_.size()); }
+  int num_exprs() const { return num_exprs_; }
+
+  /// Extracts one representative logical tree from a group (first
+  /// expression, recursively).
+  LogicalOpPtr ExtractTree(int group_id) const;
+
+  /// Renders the memo contents for debugging.
+  std::string ToString() const;
+
+ private:
+  LogicalProps ComputeProps(const LogicalOp& payload,
+                            const std::vector<int>& children) const;
+
+  OptimizerContext* ctx_;
+  std::vector<std::unique_ptr<Group>> groups_;
+  std::map<std::string, int> index_;  ///< Expr fingerprint -> group id.
+  int num_exprs_ = 0;
+};
+
+}  // namespace dhqp
+
+#endif  // DHQP_OPTIMIZER_MEMO_H_

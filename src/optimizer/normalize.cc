@@ -1,0 +1,455 @@
+#include "src/optimizer/normalize.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/optimizer/constraint.h"
+#include "src/optimizer/properties.h"
+
+namespace dhqp {
+
+namespace {
+
+bool ExprCoveredBy(const ScalarExprPtr& expr, const std::vector<int>& cols) {
+  std::set<int> used;
+  expr->CollectColumns(&used);
+  for (int c : used) {
+    if (std::find(cols.begin(), cols.end(), c) == cols.end()) return false;
+  }
+  return true;
+}
+
+bool ExprHasParams(const ScalarExprPtr& expr) {
+  std::set<std::string> params;
+  expr->CollectParams(&params);
+  return !params.empty();
+}
+
+// Clones an expression substituting column ids (used when pushing a
+// predicate through UNION ALL into a branch with different column ids).
+ScalarExprPtr RewriteColumns(const ScalarExprPtr& expr,
+                             const std::map<int, int>& mapping) {
+  if (expr->kind == ScalarKind::kColumn) {
+    auto it = mapping.find(expr->column_id);
+    if (it == mapping.end()) return expr;
+    return MakeColumn(it->second, expr->type, expr->column_name);
+  }
+  if (expr->args.empty()) return expr;
+  auto copy = std::make_shared<ScalarExpr>(*expr);
+  copy->args.clear();
+  for (const ScalarExprPtr& arg : expr->args) {
+    copy->args.push_back(RewriteColumns(arg, mapping));
+  }
+  return copy;
+}
+
+// Lightweight domain derivation over a real tree (Get/Filter/Project
+// shapes — the forms partitioned-view members take). Mirrors the memo's
+// constraint property computation.
+std::map<int, IntervalSet> DeriveTreeDomains(const LogicalOpPtr& tree) {
+  std::map<int, IntervalSet> domains;
+  switch (tree->kind) {
+    case LogicalOpKind::kGet:
+      for (const CheckConstraint& check : tree->table.checks) {
+        int ord = tree->table.metadata.schema.FindColumn(check.column);
+        if (ord >= 0) {
+          domains[tree->columns[static_cast<size_t>(ord)]] = check.domain;
+        }
+      }
+      return domains;
+    case LogicalOpKind::kFilter: {
+      domains = DeriveTreeDomains(tree->children[0]);
+      IntersectDomains(&domains, ExtractPredicateDomains(tree->predicate));
+      return domains;
+    }
+    case LogicalOpKind::kProject: {
+      std::map<int, IntervalSet> child = DeriveTreeDomains(tree->children[0]);
+      for (size_t i = 0; i < tree->exprs.size(); ++i) {
+        if (tree->exprs[i]->kind == ScalarKind::kColumn) {
+          auto it = child.find(tree->exprs[i]->column_id);
+          if (it != child.end()) {
+            domains[tree->project_cols[i]] = it->second;
+          }
+        }
+      }
+      return domains;
+    }
+    case LogicalOpKind::kJoin: {
+      domains = DeriveTreeDomains(tree->children[0]);
+      if (tree->join_type != JoinType::kSemi &&
+          tree->join_type != JoinType::kAnti) {
+        auto right = DeriveTreeDomains(tree->children[1]);
+        for (auto& [col, dom] : right) domains[col] = dom;
+      }
+      return domains;
+    }
+    default:
+      return domains;
+  }
+}
+
+// Locality of a whole subtree (kLocalSource / server id / kMixedLocality).
+int TreeLocality(const LogicalOpPtr& tree) {
+  if (tree->kind == LogicalOpKind::kGet) return tree->table.source_id;
+  if (tree->kind == LogicalOpKind::kConstTable ||
+      tree->kind == LogicalOpKind::kEmpty) {
+    return kLocalSource;
+  }
+  if (tree->kind == LogicalOpKind::kFullTextGet) return kMixedLocality;
+  int loc = -100;  // Sentinel "unset".
+  for (const LogicalOpPtr& c : tree->children) {
+    int l = TreeLocality(c);
+    if (loc == -100) {
+      loc = l;
+    } else if (loc != l) {
+      return kMixedLocality;
+    }
+  }
+  return loc == -100 ? kLocalSource : loc;
+}
+
+class Normalizer {
+ public:
+  explicit Normalizer(OptimizerContext* ctx) : ctx_(ctx) {}
+
+  LogicalOpPtr Run(const LogicalOpPtr& root) {
+    LogicalOpPtr tree = NormalizeNode(root);
+    if (!ctx_->options().enable_locality_grouping) return tree;
+    return GroupByLocality(tree, /*parent_is_join=*/false);
+  }
+
+ private:
+  // Bottom-up: recurse, then collapse/push filters at this node.
+  LogicalOpPtr NormalizeNode(const LogicalOpPtr& op) {
+    auto copy = std::make_shared<LogicalOp>(*op);
+    copy->children.clear();
+    for (const LogicalOpPtr& c : op->children) {
+      copy->children.push_back(NormalizeNode(c));
+    }
+    LogicalOpPtr node = copy;
+    if (node->kind == LogicalOpKind::kFilter) {
+      std::vector<ScalarExprPtr> conjuncts;
+      SplitConjuncts(node->predicate, &conjuncts);
+      LogicalOpPtr child = node->children[0];
+      // Collapse stacked filters.
+      while (child->kind == LogicalOpKind::kFilter) {
+        SplitConjuncts(child->predicate, &conjuncts);
+        child = child->children[0];
+      }
+      return PushConjuncts(child, std::move(conjuncts));
+    }
+    return node;
+  }
+
+  // Pushes conjuncts as deep as possible over `tree`; returns the rewritten
+  // tree with any unconsumed conjuncts in a Filter on top.
+  LogicalOpPtr PushConjuncts(LogicalOpPtr tree,
+                             std::vector<ScalarExprPtr> conjuncts) {
+    if (conjuncts.empty()) return tree;
+    switch (tree->kind) {
+      case LogicalOpKind::kJoin: {
+        const LogicalOpPtr& left = tree->children[0];
+        const LogicalOpPtr& right = tree->children[1];
+        std::vector<int> lcols = left->OutputColumns();
+        std::vector<int> rcols = right->OutputColumns();
+        std::vector<ScalarExprPtr> to_left, to_right, to_join, keep;
+        bool can_push_right = tree->join_type == JoinType::kInner ||
+                              tree->join_type == JoinType::kCross ||
+                              tree->join_type == JoinType::kSemi ||
+                              tree->join_type == JoinType::kAnti;
+        // (For semi/anti the right side is not visible above, so no
+        // conjunct will target it; inner/cross may.)
+        bool can_merge_pred = tree->join_type == JoinType::kInner ||
+                              tree->join_type == JoinType::kCross;
+        for (ScalarExprPtr& c : conjuncts) {
+          if (ExprCoveredBy(c, lcols)) {
+            to_left.push_back(std::move(c));
+          } else if (can_push_right && ExprCoveredBy(c, rcols)) {
+            to_right.push_back(std::move(c));
+          } else if (can_merge_pred) {
+            to_join.push_back(std::move(c));
+          } else {
+            keep.push_back(std::move(c));
+          }
+        }
+        auto join = std::make_shared<LogicalOp>(*tree);
+        join->children.clear();
+        join->children.push_back(PushConjuncts(left, std::move(to_left)));
+        join->children.push_back(PushConjuncts(right, std::move(to_right)));
+        if (!to_join.empty()) {
+          if (join->predicate != nullptr) to_join.push_back(join->predicate);
+          join->predicate = MergeConjuncts(to_join);
+          if (join->join_type == JoinType::kCross) {
+            join->join_type = JoinType::kInner;
+          }
+        }
+        // Also sink the join's own single-side predicate conjuncts.
+        if (join->predicate != nullptr &&
+            (join->join_type == JoinType::kInner ||
+             join->join_type == JoinType::kSemi ||
+             join->join_type == JoinType::kAnti)) {
+          std::vector<ScalarExprPtr> jc;
+          SplitConjuncts(join->predicate, &jc);
+          std::vector<ScalarExprPtr> stay;
+          std::vector<int> lc = join->children[0]->OutputColumns();
+          std::vector<int> rc = join->children[1]->OutputColumns();
+          std::vector<ScalarExprPtr> sink_l, sink_r;
+          for (ScalarExprPtr& c : jc) {
+            if (ExprCoveredBy(c, lc) && join->join_type == JoinType::kInner) {
+              sink_l.push_back(std::move(c));
+            } else if (ExprCoveredBy(c, rc) &&
+                       (join->join_type == JoinType::kInner ||
+                        join->join_type == JoinType::kSemi ||
+                        join->join_type == JoinType::kAnti)) {
+              sink_r.push_back(std::move(c));
+            } else {
+              stay.push_back(std::move(c));
+            }
+          }
+          if (!sink_l.empty() || !sink_r.empty()) {
+            auto j2 = std::make_shared<LogicalOp>(*join);
+            j2->children[0] =
+                PushConjuncts(join->children[0], std::move(sink_l));
+            j2->children[1] =
+                PushConjuncts(join->children[1], std::move(sink_r));
+            j2->predicate = MergeConjuncts(stay);
+            if (j2->predicate == nullptr &&
+                j2->join_type == JoinType::kInner) {
+              j2->join_type = JoinType::kCross;
+            }
+            join = j2;
+          }
+        }
+        return WrapFilter(join, std::move(keep));
+      }
+      case LogicalOpKind::kUnionAll: {
+        // Push every conjunct into every branch, remapping columns. Branch
+        // CHECK domains then prune statically (contradiction -> Empty in the
+        // memo) or at startup (parameterized conjuncts).
+        std::vector<int> out_cols = tree->OutputColumns();
+        std::vector<LogicalOpPtr> new_children;
+        for (const LogicalOpPtr& branch : tree->children) {
+          std::vector<int> branch_cols = branch->OutputColumns();
+          std::map<int, int> mapping;
+          for (size_t i = 0; i < out_cols.size() && i < branch_cols.size();
+               ++i) {
+            mapping[out_cols[i]] = branch_cols[i];
+          }
+          std::vector<ScalarExprPtr> remapped;
+          LogicalOpPtr new_branch = branch;
+          std::map<int, IntervalSet> branch_domains =
+              DeriveTreeDomains(branch);
+          std::vector<ScalarExprPtr> startup_preds;
+          for (const ScalarExprPtr& c : conjuncts) {
+            ScalarExprPtr rc = RewriteColumns(c, mapping);
+            remapped.push_back(rc);
+            if (ctx_->options().enable_startup_filters && ExprHasParams(rc)) {
+              ScalarExprPtr sp = BuildStartupPredicate(rc, branch_domains);
+              if (sp != nullptr) startup_preds.push_back(std::move(sp));
+            }
+          }
+          new_branch = PushConjuncts(new_branch, std::move(remapped));
+          if (!startup_preds.empty()) {
+            // Column-free filters become physical startup filters.
+            new_branch =
+                MakeFilter(new_branch, MergeConjuncts(startup_preds));
+          }
+          new_children.push_back(std::move(new_branch));
+        }
+        return MakeUnionAll(std::move(new_children));
+      }
+      case LogicalOpKind::kAggregate: {
+        std::vector<ScalarExprPtr> below, keep;
+        for (ScalarExprPtr& c : conjuncts) {
+          if (ExprCoveredBy(c, tree->group_by)) {
+            below.push_back(std::move(c));
+          } else {
+            keep.push_back(std::move(c));
+          }
+        }
+        if (!below.empty()) {
+          auto agg = std::make_shared<LogicalOp>(*tree);
+          agg->children[0] =
+              PushConjuncts(tree->children[0], std::move(below));
+          return WrapFilter(agg, std::move(keep));
+        }
+        return WrapFilter(tree, std::move(keep));
+      }
+      case LogicalOpKind::kProject: {
+        // Substitute the projected expressions into the conjuncts and push
+        // below when the result only references child columns.
+        std::map<int, ScalarExprPtr> subst;
+        for (size_t i = 0; i < tree->exprs.size(); ++i) {
+          subst[tree->project_cols[i]] = tree->exprs[i];
+        }
+        std::vector<int> child_cols = tree->children[0]->OutputColumns();
+        std::vector<ScalarExprPtr> below, keep;
+        for (ScalarExprPtr& c : conjuncts) {
+          ScalarExprPtr rewritten = SubstituteColumns(c, subst);
+          if (ExprCoveredBy(rewritten, child_cols)) {
+            below.push_back(std::move(rewritten));
+          } else {
+            keep.push_back(std::move(c));
+          }
+        }
+        if (!below.empty()) {
+          auto proj = std::make_shared<LogicalOp>(*tree);
+          proj->children[0] =
+              PushConjuncts(tree->children[0], std::move(below));
+          return WrapFilter(proj, std::move(keep));
+        }
+        return WrapFilter(tree, std::move(keep));
+      }
+      case LogicalOpKind::kFilter: {
+        SplitConjuncts(tree->predicate, &conjuncts);
+        return PushConjuncts(tree->children[0], std::move(conjuncts));
+      }
+      default:
+        return WrapFilter(tree, std::move(conjuncts));
+    }
+  }
+
+  static ScalarExprPtr SubstituteColumns(
+      const ScalarExprPtr& expr, const std::map<int, ScalarExprPtr>& subst) {
+    if (expr->kind == ScalarKind::kColumn) {
+      auto it = subst.find(expr->column_id);
+      return it == subst.end() ? expr : it->second;
+    }
+    if (expr->args.empty()) return expr;
+    auto copy = std::make_shared<ScalarExpr>(*expr);
+    copy->args.clear();
+    for (const ScalarExprPtr& arg : expr->args) {
+      copy->args.push_back(SubstituteColumns(arg, subst));
+    }
+    return copy;
+  }
+
+  static LogicalOpPtr WrapFilter(LogicalOpPtr tree,
+                                 std::vector<ScalarExprPtr> conjuncts) {
+    if (conjuncts.empty()) return tree;
+    return MakeFilter(std::move(tree), MergeConjuncts(conjuncts));
+  }
+
+  // ---------------------------------------------------------------------
+  // Locality join grouping (§4.1.2): flattens a maximal inner-join region
+  // and rebuilds it with same-source leaves adjacent, so the largest
+  // possible subtree per source is exposed to the build-remote-query rule.
+  // ---------------------------------------------------------------------
+  LogicalOpPtr GroupByLocality(const LogicalOpPtr& tree, bool parent_is_join) {
+    bool is_inner_join =
+        tree->kind == LogicalOpKind::kJoin &&
+        (tree->join_type == JoinType::kInner ||
+         tree->join_type == JoinType::kCross);
+    if (!is_inner_join) {
+      auto copy = std::make_shared<LogicalOp>(*tree);
+      copy->children.clear();
+      for (const LogicalOpPtr& c : tree->children) {
+        copy->children.push_back(GroupByLocality(c, false));
+      }
+      return copy;
+    }
+    if (parent_is_join) {
+      // Handled by the topmost join of this region.
+      return tree;
+    }
+    // Flatten the region.
+    std::vector<LogicalOpPtr> leaves;
+    std::vector<ScalarExprPtr> conjuncts;
+    Flatten(tree, &leaves, &conjuncts);
+    for (LogicalOpPtr& leaf : leaves) {
+      leaf = GroupByLocality(leaf, false);
+    }
+    if (leaves.size() <= 2) {
+      return Rebuild(std::move(leaves), std::move(conjuncts));
+    }
+    // Stable-partition leaves into locality buckets, remote sources first
+    // (largest pushable subtrees at the bottom-left).
+    std::map<int, std::vector<LogicalOpPtr>> buckets;
+    std::vector<int> order;
+    for (LogicalOpPtr& leaf : leaves) {
+      int loc = TreeLocality(leaf);
+      if (buckets.count(loc) == 0) order.push_back(loc);
+      buckets[loc].push_back(std::move(leaf));
+    }
+    std::stable_sort(order.begin(), order.end(), [](int a, int b) {
+      // Remote ids (>=0) before local/mixed, so remote groups form subtrees.
+      auto rank = [](int loc) { return loc >= 0 ? 0 : 1; };
+      return rank(a) < rank(b);
+    });
+    std::vector<LogicalOpPtr> grouped;
+    for (int loc : order) {
+      for (LogicalOpPtr& leaf : buckets[loc]) {
+        grouped.push_back(std::move(leaf));
+      }
+    }
+    return Rebuild(std::move(grouped), std::move(conjuncts));
+  }
+
+  static void Flatten(const LogicalOpPtr& tree,
+                      std::vector<LogicalOpPtr>* leaves,
+                      std::vector<ScalarExprPtr>* conjuncts) {
+    if (tree->kind == LogicalOpKind::kJoin &&
+        (tree->join_type == JoinType::kInner ||
+         tree->join_type == JoinType::kCross)) {
+      SplitConjuncts(tree->predicate, conjuncts);
+      Flatten(tree->children[0], leaves, conjuncts);
+      Flatten(tree->children[1], leaves, conjuncts);
+      return;
+    }
+    leaves->push_back(tree);
+  }
+
+  // Left-deep rebuild attaching each conjunct at the first join that covers
+  // its columns.
+  static LogicalOpPtr Rebuild(std::vector<LogicalOpPtr> leaves,
+                              std::vector<ScalarExprPtr> conjuncts) {
+    LogicalOpPtr acc = leaves[0];
+    std::vector<int> acc_cols = acc->OutputColumns();
+    std::vector<bool> used(conjuncts.size(), false);
+    // A leaf-level conjunct may already be fully covered by the first leaf.
+    std::vector<ScalarExprPtr> first_filter;
+    for (size_t ci = 0; ci < conjuncts.size(); ++ci) {
+      if (ExprCoveredBy(conjuncts[ci], acc_cols)) {
+        first_filter.push_back(conjuncts[ci]);
+        used[ci] = true;
+      }
+    }
+    if (!first_filter.empty()) {
+      acc = MakeFilter(acc, MergeConjuncts(first_filter));
+    }
+    for (size_t i = 1; i < leaves.size(); ++i) {
+      std::vector<int> leaf_cols = leaves[i]->OutputColumns();
+      std::vector<int> joined = acc_cols;
+      joined.insert(joined.end(), leaf_cols.begin(), leaf_cols.end());
+      std::vector<ScalarExprPtr> preds;
+      for (size_t ci = 0; ci < conjuncts.size(); ++ci) {
+        if (!used[ci] && ExprCoveredBy(conjuncts[ci], joined)) {
+          preds.push_back(conjuncts[ci]);
+          used[ci] = true;
+        }
+      }
+      JoinType type = preds.empty() ? JoinType::kCross : JoinType::kInner;
+      acc = MakeJoin(type, acc, leaves[i], MergeConjuncts(preds));
+      acc_cols = std::move(joined);
+    }
+    // Any leftover conjuncts (shouldn't happen) stay on top.
+    std::vector<ScalarExprPtr> rest;
+    for (size_t ci = 0; ci < conjuncts.size(); ++ci) {
+      if (!used[ci]) rest.push_back(conjuncts[ci]);
+    }
+    if (!rest.empty()) acc = MakeFilter(acc, MergeConjuncts(rest));
+    return acc;
+  }
+
+  OptimizerContext* ctx_;
+};
+
+}  // namespace
+
+LogicalOpPtr Normalize(const LogicalOpPtr& root, OptimizerContext* ctx) {
+  Normalizer normalizer(ctx);
+  return normalizer.Run(root);
+}
+
+}  // namespace dhqp

@@ -1,0 +1,28 @@
+#ifndef DHQP_OPTIMIZER_NORMALIZE_H_
+#define DHQP_OPTIMIZER_NORMALIZE_H_
+
+#include "src/optimizer/context.h"
+#include "src/optimizer/logical.h"
+
+namespace dhqp {
+
+/// Normalization: the Simplification-rule phase (§4.1.1 — "heuristic tree
+/// rewrites, generally early in the optimization process"). Rewrites applied
+/// here run once on the algebrized tree before memo insertion:
+///
+///  - filter collapse and conjunct pushdown (predicates move to the lowest
+///    covering operator; conjuncts spanning a join become join predicates);
+///  - predicate pushdown into UNION ALL branches (partitioned views), with
+///    column re-mapping per branch;
+///  - startup-filter synthesis: parameterized conjuncts pushed into a branch
+///    whose CHECK-constraint domain can contradict them gain a column-free
+///    guard filter, which the implementation phase turns into a physical
+///    startup filter (§4.1.5 runtime pruning);
+///  - locality join grouping (§4.1.2): inner-join components are reordered
+///    so same-source tables are adjacent, exposing maximal remote subtrees
+///    without full join reordering (important for the cheap phases).
+LogicalOpPtr Normalize(const LogicalOpPtr& root, OptimizerContext* ctx);
+
+}  // namespace dhqp
+
+#endif  // DHQP_OPTIMIZER_NORMALIZE_H_

@@ -1,0 +1,68 @@
+#ifndef DHQP_OPTIMIZER_PROPERTIES_H_
+#define DHQP_OPTIMIZER_PROPERTIES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/catalog/catalog.h"
+#include "src/common/interval.h"
+
+namespace dhqp {
+
+/// Locality value meaning "inputs from more than one source" — such a group
+/// can never be pushed whole to a remote server.
+constexpr int kMixedLocality = -2;
+
+/// Group (logical) properties (§4.1.1): facts true of *every* alternative in
+/// a memo group — output columns, cardinality estimate, constraint-derived
+/// column domains (§4.1.5), and source locality (§4.1.2's "grouping ...
+/// based on the locality of the operand tables").
+struct LogicalProps {
+  std::vector<int> output_cols;
+  double cardinality = 0;
+
+  /// kLocalSource, a linked-server id, or kMixedLocality.
+  int locality = kLocalSource;
+
+  /// Constraint property framework: known domain of each output column.
+  /// Absent entries mean the full domain.
+  std::map<int, IntervalSet> domains;
+
+  /// True when the domains prove the relation is empty (static pruning).
+  bool contradiction = false;
+};
+
+/// Physical plan properties (§4.1.1): delivered/required characteristics of
+/// a particular physical plan. Sort order is the classic example; this
+/// system adds rescannability, which the nested-loops join requires of its
+/// inner side and the Spool enforcer delivers over remote streams (§4.1.4).
+struct PhysicalProps {
+  std::vector<std::pair<int, bool>> sort;  ///< (column id, ascending).
+  bool rescannable = false;
+
+  bool HasSort() const { return !sort.empty(); }
+
+  /// True if a plan delivering `*this` satisfies `required`.
+  bool Satisfies(const PhysicalProps& required) const {
+    if (required.rescannable && !rescannable) return false;
+    if (required.sort.size() > sort.size()) return false;
+    for (size_t i = 0; i < required.sort.size(); ++i) {
+      if (sort[i] != required.sort[i]) return false;
+    }
+    return true;
+  }
+
+  /// Stable key for winner lookup in a memo group.
+  std::string Fingerprint() const {
+    std::string fp = rescannable ? "R" : "-";
+    for (const auto& [col, asc] : sort) {
+      fp += ":" + std::to_string(col) + (asc ? "a" : "d");
+    }
+    return fp;
+  }
+};
+
+}  // namespace dhqp
+
+#endif  // DHQP_OPTIMIZER_PROPERTIES_H_

@@ -1,0 +1,211 @@
+#include "src/optimizer/rules.h"
+
+#include <algorithm>
+#include <set>
+
+namespace dhqp {
+
+const char* OptPhaseName(OptPhase phase) {
+  switch (phase) {
+    case OptPhase::kTransactionProcessing:
+      return "transaction-processing";
+    case OptPhase::kQuickPlan:
+      return "quick-plan";
+    case OptPhase::kFull:
+      return "full-optimization";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsReorderableJoin(const LogicalOp& op) {
+  return op.kind == LogicalOpKind::kJoin &&
+         (op.join_type == JoinType::kInner ||
+          op.join_type == JoinType::kCross);
+}
+
+bool CoveredByCols(const ScalarExprPtr& expr, const std::set<int>& cols) {
+  std::set<int> used;
+  expr->CollectColumns(&used);
+  for (int c : used) {
+    if (cols.count(c) == 0) return false;
+  }
+  return true;
+}
+
+/// Join commutativity: A ⋈ B ≡ B ⋈ A (§4.1.1's example exploration rule).
+/// Memo deduplication guarantees applying it twice costs nothing.
+class JoinCommuteRule : public Rule {
+ public:
+  const char* name() const override { return "JoinCommute"; }
+  int promise() const override { return 2; }
+  OptPhase min_phase() const override { return OptPhase::kFull; }
+  bool Matches(const LogicalOp& op) const override {
+    return IsReorderableJoin(op);
+  }
+  int Apply(Memo* memo, int gid, const GroupExpr& expr,
+            OptimizerContext* ctx) const override {
+    if (!ctx->options().enable_join_reorder) return 0;
+    bool added = false;
+    memo->InsertExpr(expr.op, {expr.children[1], expr.children[0]}, gid,
+                     &added);
+    return added ? 1 : 0;
+  }
+};
+
+/// Left associativity: (A ⋈ B) ⋈ C  ≡  A ⋈ (B ⋈ C), redistributing the
+/// combined conjuncts to the lowest covering join. Together with commute
+/// this spans the bushy join space.
+class JoinAssocRule : public Rule {
+ public:
+  const char* name() const override { return "JoinAssociate"; }
+  int promise() const override { return 1; }
+  OptPhase min_phase() const override { return OptPhase::kFull; }
+  bool Matches(const LogicalOp& op) const override {
+    return IsReorderableJoin(op);
+  }
+  int Apply(Memo* memo, int gid, const GroupExpr& expr,
+            OptimizerContext* ctx) const override {
+    if (!ctx->options().enable_join_reorder) return 0;
+    int added_count = 0;
+    int left_gid = expr.children[0];
+    int c_gid = expr.children[1];
+    // Enumerate join alternatives in the left group (memo pattern binding).
+    // Copy the expr list shallowly: Apply may append to the group.
+    size_t n = memo->group(left_gid).exprs.size();
+    for (size_t i = 0; i < n; ++i) {
+      GroupExpr left = memo->group(left_gid).exprs[i];
+      if (!IsReorderableJoin(*left.op)) continue;
+      int a_gid = left.children[0];
+      int b_gid = left.children[1];
+
+      std::vector<ScalarExprPtr> conjuncts;
+      SplitConjuncts(left.op->predicate, &conjuncts);
+      SplitConjuncts(expr.op->predicate, &conjuncts);
+
+      std::set<int> bc_cols;
+      for (int c : memo->group(b_gid).props.output_cols) bc_cols.insert(c);
+      for (int c : memo->group(c_gid).props.output_cols) bc_cols.insert(c);
+
+      std::vector<ScalarExprPtr> inner_preds, outer_preds;
+      for (const ScalarExprPtr& c : conjuncts) {
+        if (CoveredByCols(c, bc_cols)) {
+          inner_preds.push_back(c);
+        } else {
+          outer_preds.push_back(c);
+        }
+      }
+      LogicalOpPtr bc = MakeJoin(
+          inner_preds.empty() ? JoinType::kCross : JoinType::kInner, nullptr,
+          nullptr, MergeConjuncts(inner_preds));
+      bool added = false;
+      int bc_gid = memo->InsertExpr(bc, {b_gid, c_gid}, -1, &added);
+      LogicalOpPtr outer = MakeJoin(
+          outer_preds.empty() ? JoinType::kCross : JoinType::kInner, nullptr,
+          nullptr, MergeConjuncts(outer_preds));
+      bool added2 = false;
+      memo->InsertExpr(outer, {a_gid, bc_gid}, gid, &added2);
+      added_count += (added ? 1 : 0) + (added2 ? 1 : 0);
+    }
+    return added_count;
+  }
+};
+
+/// CONTAINS-to-full-text-index rewrite (§2.3, Fig 2): a filter whose
+/// predicate includes CONTAINS(col, 'q') over a column with a full-text
+/// catalog becomes a semi join against the search service's (key, rank)
+/// rowset, joined back to the base table on the key column.
+class ContainsToFullTextRule : public Rule {
+ public:
+  const char* name() const override { return "ContainsToFullTextJoin"; }
+  int promise() const override { return 3; }
+  OptPhase min_phase() const override { return OptPhase::kQuickPlan; }
+  bool Matches(const LogicalOp& op) const override {
+    return op.kind == LogicalOpKind::kFilter && op.predicate != nullptr;
+  }
+  int Apply(Memo* memo, int gid, const GroupExpr& expr,
+            OptimizerContext* ctx) const override {
+    if (!ctx->options().enable_fulltext_index) return 0;
+    std::vector<ScalarExprPtr> conjuncts;
+    SplitConjuncts(expr.op->predicate, &conjuncts);
+    for (size_t i = 0; i < conjuncts.size(); ++i) {
+      const ScalarExprPtr& c = conjuncts[i];
+      if (c->kind != ScalarKind::kFunc || c->op != "CONTAINS") continue;
+      int text_col = c->args[0]->column_id;
+      const ColumnOrigin* origin = ctx->FindOrigin(text_col);
+      if (origin == nullptr) continue;
+      const FullTextCatalogInfo* ft =
+          ctx->FindFullTextCatalog(origin->table, origin->column);
+      if (ft == nullptr) continue;
+      // The base table's key column must flow out of the child.
+      int key_col = -1;
+      for (int col : memo->group(expr.children[0]).props.output_cols) {
+        const ColumnOrigin* o = ctx->FindOrigin(col);
+        if (o != nullptr && o->source_id == origin->source_id &&
+            EqualsIgnoreCase(o->table, origin->table) &&
+            EqualsIgnoreCase(o->column, ft->key_column)) {
+          key_col = col;
+          break;
+        }
+      }
+      if (key_col < 0) continue;
+      DataType key_type = ctx->registry()->TypeOf(key_col);
+      int ft_key = ctx->registry()->Add("", "ft_key", key_type);
+      int ft_rank = ctx->registry()->Add("", "ft_rank", DataType::kDouble);
+      const std::string& query = c->args[1]->literal.string_value();
+
+      LogicalOpPtr ft_get =
+          MakeFullTextGet(ft->table, query, ft_key, ft_rank);
+      bool added = false;
+      int ft_gid = memo->InsertExpr(ft_get, {}, -1, &added);
+
+      ScalarExprPtr join_pred = MakeComparison(
+          "=", MakeColumn(key_col, key_type, "key"),
+          MakeColumn(ft_key, key_type, "ft_key"));
+      LogicalOpPtr semi =
+          MakeJoin(JoinType::kSemi, nullptr, nullptr, std::move(join_pred));
+
+      // Remaining conjuncts stay as a filter above the semi join.
+      std::vector<ScalarExprPtr> rest;
+      for (size_t k = 0; k < conjuncts.size(); ++k) {
+        if (k != i) rest.push_back(conjuncts[k]);
+      }
+      int count = added ? 1 : 0;
+      if (rest.empty()) {
+        bool a2 = false;
+        memo->InsertExpr(semi, {expr.children[0], ft_gid}, gid, &a2);
+        count += a2 ? 1 : 0;
+      } else {
+        bool a2 = false;
+        int semi_gid =
+            memo->InsertExpr(semi, {expr.children[0], ft_gid}, -1, &a2);
+        LogicalOpPtr filter = MakeFilter(nullptr, MergeConjuncts(rest));
+        bool a3 = false;
+        memo->InsertExpr(filter, {semi_gid}, gid, &a3);
+        count += (a2 ? 1 : 0) + (a3 ? 1 : 0);
+      }
+      return count;  // One CONTAINS conjunct per application is enough.
+    }
+    return 0;
+  }
+};
+
+}  // namespace
+
+const std::vector<std::unique_ptr<Rule>>& ExplorationRules() {
+  static const auto* kRules = [] {
+    auto* rules = new std::vector<std::unique_ptr<Rule>>();
+    rules->push_back(std::make_unique<ContainsToFullTextRule>());
+    rules->push_back(std::make_unique<JoinCommuteRule>());
+    rules->push_back(std::make_unique<JoinAssocRule>());
+    std::stable_sort(rules->begin(), rules->end(),
+                     [](const auto& a, const auto& b) {
+                       return a->promise() > b->promise();
+                     });
+    return rules;
+  }();
+  return *kRules;
+}
+
+}  // namespace dhqp

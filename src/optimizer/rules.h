@@ -1,0 +1,51 @@
+#ifndef DHQP_OPTIMIZER_RULES_H_
+#define DHQP_OPTIMIZER_RULES_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/optimizer/memo.h"
+
+namespace dhqp {
+
+/// Optimization phases (§4.1.1): "transaction processing, quick plan and
+/// full optimization. ... Early phases have a restricted set of rules
+/// enabled to attempt to find a good plan quickly."
+enum class OptPhase { kTransactionProcessing = 0, kQuickPlan = 1, kFull = 2 };
+
+const char* OptPhaseName(OptPhase phase);
+
+/// An exploration rule: matches a logical pattern and inserts equivalent
+/// logical alternatives into the memo (§4.1.1). Implementation rules are
+/// realized in the optimizer's implementation step; enforcers (sort, spool)
+/// in its property machinery.
+class Rule {
+ public:
+  virtual ~Rule() = default;
+
+  virtual const char* name() const = 0;
+
+  /// The Promise mechanism: rules are applied in descending promise order;
+  /// cheap, high-value rewrites come first.
+  virtual int promise() const { return 1; }
+
+  /// Earliest phase in which this rule runs.
+  virtual OptPhase min_phase() const { return OptPhase::kTransactionProcessing; }
+
+  /// The Guidance mechanism: a cheap payload test that avoids running rules
+  /// that can never match this operator.
+  virtual bool Matches(const LogicalOp& op) const = 0;
+
+  /// Applies the rule to `expr` (payload + child groups) living in group
+  /// `gid`; inserts alternatives into the memo. Returns the number of new
+  /// expressions created.
+  virtual int Apply(Memo* memo, int gid, const GroupExpr& expr,
+                    OptimizerContext* ctx) const = 0;
+};
+
+/// All exploration rules in promise order.
+const std::vector<std::unique_ptr<Rule>>& ExplorationRules();
+
+}  // namespace dhqp
+
+#endif  // DHQP_OPTIMIZER_RULES_H_

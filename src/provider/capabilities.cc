@@ -1,0 +1,36 @@
+#include "src/provider/capabilities.h"
+
+namespace dhqp {
+
+const char* SqlSupportLevelName(SqlSupportLevel level) {
+  switch (level) {
+    case SqlSupportLevel::kNone:
+      return "None";
+    case SqlSupportLevel::kMinimum:
+      return "SQL Minimum";
+    case SqlSupportLevel::kOdbcCore:
+      return "ODBC Core";
+    case SqlSupportLevel::kSql92Entry:
+      return "SQL-92 Entry";
+    case SqlSupportLevel::kSql92Full:
+      return "SQL-92 Full";
+  }
+  return "Unknown";
+}
+
+std::vector<std::string> ProviderCapabilities::SupportedInterfaces() const {
+  // The mandatory DSO/session interfaces of Table 2 are implemented by every
+  // provider in this system; optional ones depend on capability flags.
+  std::vector<std::string> ifaces = {"IDBInitialize", "IDBCreateSession",
+                                     "IDBProperties", "IOpenRowset"};
+  if (supports_schema_rowset) ifaces.push_back("IDBSchemaRowset");
+  if (supports_command) ifaces.push_back("IDBCreateCommand");
+  if (supports_command) ifaces.push_back("ICommand");
+  if (supports_indexes) ifaces.push_back("IRowsetIndex");
+  if (supports_bookmarks) ifaces.push_back("IRowsetLocate");
+  if (supports_transactions) ifaces.push_back("ITransactionJoin");
+  ifaces.push_back("IRowset");
+  return ifaces;
+}
+
+}  // namespace dhqp

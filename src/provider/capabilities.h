@@ -1,0 +1,69 @@
+#ifndef DHQP_PROVIDER_CAPABILITIES_H_
+#define DHQP_PROVIDER_CAPABILITIES_H_
+
+#include <string>
+#include <vector>
+
+namespace dhqp {
+
+/// Level of SQL understood by a query provider, mirroring the paper's
+/// DBPROP_SQLSUPPORT property (§3.3): "SQL Minimum, ODBC Core or SQL-92
+/// Entry/Intermediate/Full". The DHQP constructs remote statements "such
+/// that the provider's capabilities are fully used while not overshooting
+/// its limitations".
+enum class SqlSupportLevel {
+  kNone = 0,      ///< Not query-capable (simple provider) or proprietary syntax.
+  kMinimum,       ///< Single-table SELECT + conjunctive comparisons only.
+  kOdbcCore,      ///< Adds joins and ORDER BY; no subqueries or GROUP BY.
+  kSql92Entry,    ///< Adds GROUP BY/aggregates; no nested selects.
+  kSql92Full,     ///< Full dialect incl. nested selects and EXISTS.
+};
+
+const char* SqlSupportLevelName(SqlSupportLevel level);
+
+/// How the provider's dialect spells a date literal; used by the decoder
+/// (§4.1.3: "specific syntactical details about date literals beyond what is
+/// defined in SQL").
+enum class DateLiteralStyle {
+  kIsoQuoted,     ///< '1995-03-15'
+  kDateKeyword,   ///< DATE '1995-03-15'
+  kHashDelimited, ///< #1995-03-15#  (Access style)
+};
+
+/// Everything a data source tells the DHQP about itself at connection time.
+/// The optimizer reads these to decide what can be remoted; the decoder
+/// reads them to phrase the generated SQL (§3.1.1, §4.1.3).
+struct ProviderCapabilities {
+  std::string provider_name;    ///< e.g. "SQLOLEDB", "MSIDXS", "CSV".
+  std::string source_type;      ///< e.g. "Relational", "Full-text Indexing".
+  std::string query_language;   ///< e.g. "Transact-SQL", "none" (Table 1).
+
+  SqlSupportLevel sql_support = SqlSupportLevel::kNone;
+  bool supports_command = false;        ///< ICommand present (query provider).
+  bool supports_indexes = false;        ///< IRowsetIndex: remote seek/range.
+  bool supports_bookmarks = false;      ///< IRowsetLocate: fetch by bookmark.
+  bool supports_histograms = false;     ///< Histogram rowsets (§3.2.4).
+  bool supports_schema_rowset = false;  ///< IDBSchemaRowset metadata.
+  bool supports_transactions = false;   ///< Can enlist in 2PC.
+  bool supports_parameters = false;     ///< Parameterized remote queries.
+  bool supports_nested_selects = false; ///< Extra property beyond SQL level.
+
+  /// Dialect details for the decoder.
+  char identifier_quote_open = '"';
+  char identifier_quote_close = '"';
+  DateLiteralStyle date_literal_style = DateLiteralStyle::kIsoQuoted;
+
+  /// The "interface" names this provider implements, in OLE DB terms. This
+  /// reproduces Table 2's support matrix and is derived from the flags
+  /// above.
+  std::vector<std::string> SupportedInterfaces() const;
+
+  /// True if a statement needing the given SQL level can be remoted.
+  bool SupportsSqlLevel(SqlSupportLevel needed) const {
+    return static_cast<int>(sql_support) >= static_cast<int>(needed);
+  }
+};
+
+}  // namespace dhqp
+
+#endif  // DHQP_PROVIDER_CAPABILITIES_H_

@@ -1,0 +1,94 @@
+#include "src/provider/metadata.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dhqp {
+
+namespace {
+
+bool IsNumericType(DataType t) {
+  return t == DataType::kInt64 || t == DataType::kDouble ||
+         t == DataType::kDate || t == DataType::kBool;
+}
+
+// Fraction of the bucket (lo_bound, upper] that falls inside [range_lo,
+// range_hi] (either side may be null = unbounded). Numeric buckets use
+// linear interpolation; non-numeric partial overlaps are estimated at 1/2.
+double BucketOverlapFraction(const Value* lo_bound, const Value& upper,
+                             const Value* range_lo, bool lo_inc,
+                             const Value* range_hi, bool hi_inc) {
+  // Fully below or above the range?
+  if (range_lo != nullptr) {
+    int c = upper.Compare(*range_lo);
+    if (c < 0 || (c == 0 && !lo_inc)) return 0.0;
+  }
+  if (range_hi != nullptr && lo_bound != nullptr) {
+    int c = lo_bound->Compare(*range_hi);
+    if (c > 0 || (c == 0 && !hi_inc)) return 0.0;
+  }
+  // Fully inside?
+  bool lo_inside = range_lo == nullptr ||
+                   (lo_bound != nullptr && lo_bound->Compare(*range_lo) >= 0);
+  bool hi_inside = range_hi == nullptr || upper.Compare(*range_hi) <= 0;
+  if (lo_inside && hi_inside) return 1.0;
+
+  if (!IsNumericType(upper.type()) || lo_bound == nullptr ||
+      !IsNumericType(lo_bound->type())) {
+    return 0.5;  // Partial overlap of a non-interpolatable bucket.
+  }
+  double b_lo = lo_bound->AsDouble();
+  double b_hi = upper.AsDouble();
+  if (b_hi <= b_lo) return 1.0;
+  double lo = range_lo != nullptr ? std::max(b_lo, range_lo->AsDouble()) : b_lo;
+  double hi = range_hi != nullptr ? std::min(b_hi, range_hi->AsDouble()) : b_hi;
+  if (hi <= lo) return 0.0;
+  return (hi - lo) / (b_hi - b_lo);
+}
+
+}  // namespace
+
+double ColumnStatistics::EstimateEquals(const Value& v) const {
+  if (buckets.empty()) {
+    // No histogram: fall back to the uniform-distinct model.
+    if (distinct_count > 0) return row_count / distinct_count;
+    return row_count > 0 ? 1.0 : 0.0;
+  }
+  const Value* prev_upper = nullptr;
+  for (const HistogramBucket& b : buckets) {
+    int c = v.Compare(b.upper);
+    if (c == 0) return std::max(b.upper_row_count, 1.0);
+    if (c < 0) {
+      bool above_lower =
+          prev_upper == nullptr || v.Compare(*prev_upper) > 0;
+      if (above_lower) {
+        double in_bucket = b.row_count - b.upper_row_count;
+        double distinct = std::max(b.distinct_count - 1.0, 1.0);
+        return std::max(in_bucket / distinct, 0.0);
+      }
+      return 0.0;
+    }
+    prev_upper = &b.upper;
+  }
+  return 0.0;  // Above the highest bucket boundary.
+}
+
+double ColumnStatistics::EstimateRange(const Value* lo, bool lo_inclusive,
+                                       const Value* hi,
+                                       bool hi_inclusive) const {
+  if (buckets.empty()) {
+    // Uniform fallback: standard 1/3 selectivity guess for open ranges.
+    return row_count / 3.0;
+  }
+  double total = 0;
+  const Value* prev_upper = nullptr;
+  for (const HistogramBucket& b : buckets) {
+    total += b.row_count * BucketOverlapFraction(prev_upper, b.upper, lo,
+                                                 lo_inclusive, hi,
+                                                 hi_inclusive);
+    prev_upper = &b.upper;
+  }
+  return total;
+}
+
+}  // namespace dhqp

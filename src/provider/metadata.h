@@ -1,0 +1,71 @@
+#ifndef DHQP_PROVIDER_METADATA_H_
+#define DHQP_PROVIDER_METADATA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/interval.h"
+#include "src/common/schema.h"
+
+namespace dhqp {
+
+/// A single-column range CHECK constraint: `column`'s value must lie in
+/// `domain`. This is the constraint form partitioned views are built on
+/// (§4.1.5: "The range of values in each member table is enforced by a CHECK
+/// constraint on a column designated as the partitioning column"). Providers
+/// expose member constraints through their schema rowsets so the host's
+/// constraint property framework can prune partitions.
+struct CheckConstraint {
+  std::string column;
+  IntervalSet domain;
+  std::string definition;  ///< Original SQL text, for error messages/EXPLAIN.
+};
+
+/// Metadata about one index exposed by a provider's schema rowset
+/// (IDBSchemaRowset, §3.3: "Index support requires reporting metadata on the
+/// indexes").
+struct IndexMetadata {
+  std::string name;
+  std::vector<std::string> key_columns;  ///< In key order.
+  bool unique = false;
+};
+
+/// One bucket of an equi-depth histogram shipped from a remote source
+/// (§3.2.4). `upper` is the inclusive upper boundary of the bucket.
+struct HistogramBucket {
+  Value upper;
+  double row_count = 0;       ///< Rows with value in (prev.upper, upper].
+  double distinct_count = 0;  ///< Distinct values in the bucket.
+  double upper_row_count = 0; ///< Rows exactly equal to `upper`.
+};
+
+/// Column statistics: histogram plus summary counts. Providers that support
+/// histograms expose these per column; the optimizer folds them into its
+/// cardinality estimates exactly like local statistics.
+struct ColumnStatistics {
+  std::string column;
+  double row_count = 0;
+  double distinct_count = 0;
+  double null_count = 0;
+  std::vector<HistogramBucket> buckets;  ///< Sorted ascending by `upper`.
+
+  /// Estimated number of rows equal to `v`.
+  double EstimateEquals(const Value& v) const;
+  /// Estimated number of rows in the given (optionally open) range.
+  double EstimateRange(const Value* lo, bool lo_inclusive, const Value* hi,
+                       bool hi_inclusive) const;
+};
+
+/// Metadata about one table/rowset a provider exposes: schema, cardinality
+/// (TABLES_INFO in the paper) and any indexes.
+struct TableMetadata {
+  std::string name;
+  Schema schema;
+  double cardinality = 0;
+  std::vector<IndexMetadata> indexes;
+  std::vector<CheckConstraint> checks;
+};
+
+}  // namespace dhqp
+
+#endif  // DHQP_PROVIDER_METADATA_H_

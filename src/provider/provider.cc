@@ -1,0 +1,47 @@
+#include "src/provider/provider.h"
+
+namespace dhqp {
+
+Result<std::vector<Row>> DrainRowset(Rowset* rowset) {
+  std::vector<Row> rows;
+  Row row;
+  while (true) {
+    DHQP_ASSIGN_OR_RETURN(bool has, rowset->Next(&row));
+    if (!has) break;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::string IndexRange::ToString() const {
+  std::string out = "prefix=(";
+  for (size_t i = 0; i < eq_prefix.size(); ++i) {
+    if (i) out += ",";
+    out += eq_prefix[i].ToString();
+  }
+  out += ")";
+  if (lo) {
+    out += lo_inclusive ? " [" : " (";
+    out += lo->ToString();
+  } else {
+    out += " (-inf";
+  }
+  out += ", ";
+  if (hi) {
+    out += hi->ToString();
+    out += hi_inclusive ? "]" : ")";
+  } else {
+    out += "+inf)";
+  }
+  return out;
+}
+
+Result<TableMetadata> Session::GetTableMetadata(const std::string& table) {
+  DHQP_ASSIGN_OR_RETURN(std::vector<TableMetadata> tables, ListTables());
+  for (TableMetadata& t : tables) {
+    if (EqualsIgnoreCase(t.name, table)) return std::move(t);
+  }
+  return Status::NotFound("table '" + table + "' not found in provider");
+}
+
+}  // namespace dhqp

@@ -1,0 +1,79 @@
+#include "src/sql/ast.h"
+
+namespace dhqp {
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      if (literal.type() == DataType::kString) {
+        return "'" + literal.ToString() + "'";
+      }
+      return literal.ToString();
+    case ExprKind::kColumnRef: {
+      std::string out;
+      for (size_t i = 0; i < column_path.size(); ++i) {
+        if (i) out += ".";
+        out += column_path[i];
+      }
+      return out;
+    }
+    case ExprKind::kParameter:
+      return name;
+    case ExprKind::kStar:
+      return "*";
+    case ExprKind::kUnary:
+      return name + "(" + args[0]->ToString() + ")";
+    case ExprKind::kBinary:
+      return "(" + args[0]->ToString() + " " + name + " " +
+             args[1]->ToString() + ")";
+    case ExprKind::kFunctionCall: {
+      std::string out = name + "(";
+      if (distinct) out += "DISTINCT ";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i) out += ", ";
+        out += args[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kInList: {
+      std::string out = args[0]->ToString();
+      out += negated ? " NOT IN (" : " IN (";
+      for (size_t i = 1; i < args.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += args[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kInSubquery:
+      return args[0]->ToString() + (negated ? " NOT IN (<subquery>)"
+                                            : " IN (<subquery>)");
+    case ExprKind::kExists:
+      return negated ? "NOT EXISTS(<subquery>)" : "EXISTS(<subquery>)";
+    case ExprKind::kBetween:
+      return args[0]->ToString() + (negated ? " NOT BETWEEN " : " BETWEEN ") +
+             args[1]->ToString() + " AND " + args[2]->ToString();
+    case ExprKind::kLike:
+      return args[0]->ToString() + (negated ? " NOT LIKE " : " LIKE ") +
+             args[1]->ToString();
+    case ExprKind::kIsNull:
+      return args[0]->ToString() + (negated ? " IS NOT NULL" : " IS NULL");
+    case ExprKind::kCast:
+      return "CAST(" + args[0]->ToString() + " AS " +
+             DataTypeName(cast_type) + ")";
+    case ExprKind::kCase: {
+      std::string out = "CASE";
+      size_t i = 0;
+      for (; i + 1 < args.size(); i += 2) {
+        out += " WHEN " + args[i]->ToString() + " THEN " +
+               args[i + 1]->ToString();
+      }
+      if (i < args.size()) out += " ELSE " + args[i]->ToString();
+      return out + " END";
+    }
+    case ExprKind::kContains:
+      return "CONTAINS(" + args[0]->ToString() + ", '" + name + "')";
+  }
+  return "?";
+}
+
+}  // namespace dhqp

@@ -1,0 +1,186 @@
+#ifndef DHQP_SQL_AST_H_
+#define DHQP_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/catalog/catalog.h"
+#include "src/common/value.h"
+
+namespace dhqp {
+
+struct SelectStatement;
+
+/// Kinds of parsed scalar expressions.
+enum class ExprKind {
+  kLiteral,      ///< Constant Value.
+  kColumnRef,    ///< Possibly-qualified column path (a.b.c).
+  kParameter,    ///< @name.
+  kStar,         ///< `*` or `alias.*` (select list / COUNT(*) only).
+  kUnary,        ///< NOT x, -x.
+  kBinary,       ///< x op y (arithmetic, comparison, AND/OR).
+  kFunctionCall, ///< fn(args...) incl. aggregates.
+  kInList,       ///< x [NOT] IN (e1, e2, ...).
+  kInSubquery,   ///< x [NOT] IN (SELECT ...).
+  kExists,       ///< [NOT] EXISTS (SELECT ...).
+  kBetween,      ///< x BETWEEN lo AND hi  (args: x, lo, hi).
+  kLike,         ///< x [NOT] LIKE pattern.
+  kIsNull,       ///< x IS [NOT] NULL.
+  kCast,         ///< CAST(x AS type).
+  kCase,         ///< CASE WHEN c THEN v ... [ELSE e] END.
+  kContains,     ///< CONTAINS(column, 'full-text query') (§2.3).
+};
+
+/// A parsed (unbound) scalar expression node.
+struct Expr {
+  ExprKind kind;
+  Value literal;                        ///< kLiteral.
+  std::vector<std::string> column_path; ///< kColumnRef / kStar qualifier.
+  std::string name;                     ///< Operator text, function or @param.
+  bool negated = false;                 ///< NOT IN/EXISTS/LIKE, IS NOT NULL.
+  bool distinct = false;                ///< COUNT(DISTINCT x) etc.
+  DataType cast_type = DataType::kNull; ///< kCast target.
+  std::vector<std::unique_ptr<Expr>> args;
+  std::unique_ptr<SelectStatement> subquery;  ///< kInSubquery / kExists.
+
+  /// Debug rendering (not dialect-aware; the decoder handles remoting).
+  std::string ToString() const;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Join variants in the FROM clause. Semi/anti never appear in source text;
+/// they exist for completeness of the algebra.
+enum class JoinKind { kInner, kLeftOuter, kCross };
+
+/// A FROM-clause item: either a named table (with optional alias) or a join
+/// of two items, or an OPENQUERY pass-through (§3.3).
+struct TableRef {
+  enum class Kind { kNamed, kJoin, kOpenQuery } kind = Kind::kNamed;
+
+  // kNamed.
+  ObjectName name;
+  std::string alias;
+
+  // kJoin.
+  std::unique_ptr<TableRef> left;
+  std::unique_ptr<TableRef> right;
+  JoinKind join_kind = JoinKind::kInner;
+  ExprPtr on;
+
+  // kOpenQuery: pass-through text sent verbatim to the linked server.
+  std::string server;
+  std::string pass_through_query;
+};
+
+/// One item of the SELECT list.
+struct SelectItem {
+  ExprPtr expr;          ///< Null when this item is `*` / `alias.*`.
+  std::string alias;
+  bool star = false;
+  std::vector<std::string> star_qualifier;  ///< Alias path before `.*`.
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+/// One SELECT core (no set operations): the unit UNION ALL combines.
+struct SelectCore {
+  bool distinct = false;
+  std::optional<int64_t> top;
+  std::vector<SelectItem> items;
+  std::unique_ptr<TableRef> from;  ///< Null for FROM-less SELECT.
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+};
+
+/// A full query: one or more cores combined with UNION ALL, plus an optional
+/// global ORDER BY.
+struct SelectStatement {
+  std::vector<std::unique_ptr<SelectCore>> cores;
+  std::vector<OrderItem> order_by;
+};
+
+/// Column definition inside CREATE TABLE.
+struct ColumnDefAst {
+  std::string name;
+  DataType type = DataType::kNull;
+  bool not_null = false;
+  bool primary_key = false;
+};
+
+struct CreateTableStatement {
+  std::string name;
+  std::vector<ColumnDefAst> columns;
+  /// CHECK (...) expressions (table-level or column-level).
+  std::vector<ExprPtr> checks;
+};
+
+struct CreateIndexStatement {
+  bool unique = false;
+  std::string name;
+  std::string table;
+  std::vector<std::string> columns;
+};
+
+struct CreateViewStatement {
+  std::string name;
+  std::string body_sql;  ///< The SELECT text, stored for deferred binding.
+};
+
+struct InsertStatement {
+  ObjectName table;
+  std::vector<std::string> columns;  ///< Empty = positional.
+  std::vector<std::vector<ExprPtr>> rows;  ///< VALUES rows (const exprs).
+};
+
+struct DropStatement {
+  enum class Target { kTable, kView };
+  Target target = Target::kTable;
+  std::string name;
+};
+
+struct DeleteStatement {
+  ObjectName table;
+  ExprPtr where;  ///< Null = delete all rows.
+};
+
+struct UpdateStatement {
+  ObjectName table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;  ///< Null = update all rows.
+};
+
+/// Any parsed statement.
+struct Statement {
+  enum class Kind {
+    kSelect,
+    kCreateTable,
+    kCreateIndex,
+    kCreateView,
+    kInsert,
+    kDelete,
+    kUpdate,
+    kDrop,
+  };
+  Kind kind;
+  std::unique_ptr<SelectStatement> select;
+  std::unique_ptr<CreateTableStatement> create_table;
+  std::unique_ptr<CreateIndexStatement> create_index;
+  std::unique_ptr<CreateViewStatement> create_view;
+  std::unique_ptr<InsertStatement> insert;
+  std::unique_ptr<DeleteStatement> delete_stmt;
+  std::unique_ptr<UpdateStatement> update;
+  std::unique_ptr<DropStatement> drop;
+  /// EXPLAIN prefix: compile the SELECT and return its plan as text.
+  bool explain = false;
+};
+
+}  // namespace dhqp
+
+#endif  // DHQP_SQL_AST_H_

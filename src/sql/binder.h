@@ -1,0 +1,144 @@
+#ifndef DHQP_SQL_BINDER_H_
+#define DHQP_SQL_BINDER_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/catalog/catalog.h"
+#include "src/optimizer/logical.h"
+#include "src/sql/ast.h"
+#include "src/sql/bound_expr.h"
+
+namespace dhqp {
+
+/// Metadata for one globally-numbered column produced during binding.
+struct ColumnInfo {
+  std::string table_alias;  ///< Alias of the producing table ("" = computed).
+  std::string name;
+  DataType type = DataType::kNull;
+};
+
+/// Issues global column ids; every bound expression and logical operator
+/// references columns through these ids, which is what lets transformation
+/// rules move operators freely without positional re-mapping.
+class ColumnRegistry {
+ public:
+  int Add(std::string alias, std::string name, DataType type) {
+    cols_.push_back(ColumnInfo{std::move(alias), std::move(name), type});
+    return static_cast<int>(cols_.size()) - 1;
+  }
+  const ColumnInfo& Get(int id) const { return cols_[static_cast<size_t>(id)]; }
+  DataType TypeOf(int id) const { return cols_[static_cast<size_t>(id)].type; }
+  size_t size() const { return cols_.size(); }
+
+ private:
+  std::vector<ColumnInfo> cols_;
+};
+
+/// Result of binding a SELECT: an executable logical tree plus the output
+/// shape and any required ordering (ORDER BY becomes a required physical
+/// property handed to the optimizer, not a logical operator).
+struct BoundStatement {
+  LogicalOpPtr root;
+  std::vector<int> output_cols;
+  std::vector<std::string> output_names;
+  std::vector<std::pair<int, bool>> order_by;  ///< (column id, ascending).
+  std::set<std::string> parameters;            ///< Referenced @params.
+  std::shared_ptr<ColumnRegistry> registry;
+};
+
+/// The algebrizer (§4.1.3: "both local and distributed queries are
+/// algebrized in the same way"): resolves names against the catalog (local
+/// tables, linked servers, views — including partitioned views), types every
+/// expression, unrolls EXISTS/IN subqueries into semi/anti joins, extracts
+/// aggregates, and emits a logical operator tree over global column ids.
+class Binder {
+ public:
+  explicit Binder(Catalog* catalog);
+
+  /// Binds a full SELECT statement (UNION ALL chains + ORDER BY).
+  Result<BoundStatement> BindSelect(const SelectStatement& stmt);
+
+  /// Binds a scalar expression with no tables in scope (VALUES rows:
+  /// literals, parameters, scalar functions).
+  Result<ScalarExprPtr> BindValueExpr(const Expr& expr);
+
+  /// Binds a scalar expression with exactly one table visible (DML WHERE /
+  /// SET clauses). On first use, fresh column ids are issued for the table's
+  /// columns and returned through `column_ids` (aligned with the schema).
+  Result<ScalarExprPtr> BindSingleTableExpr(const Expr& expr,
+                                            const Schema& schema,
+                                            const std::string& alias,
+                                            std::vector<int>* column_ids);
+
+  /// Converts a parsed CHECK expression into a column-domain constraint;
+  /// used by CREATE TABLE handling. Supports comparisons, BETWEEN, IN
+  /// lists, AND/OR over a single column.
+  static Result<CheckConstraint> BindCheckConstraint(const Expr& expr,
+                                                     const Schema& schema);
+
+ private:
+  /// One visible table (or view expansion) in a FROM scope.
+  struct TableScope {
+    std::string alias;
+    Schema schema;                ///< Column names/types, for lookup.
+    std::vector<int> column_ids;  ///< Global ids aligned with schema.
+  };
+  struct Scope {
+    std::vector<TableScope> tables;
+    const Scope* outer = nullptr;  ///< For correlated subqueries.
+  };
+
+  /// Binding one SELECT core yields a tree plus its select-list outputs.
+  struct CoreResult {
+    LogicalOpPtr root;
+    std::vector<int> output_cols;
+    std::vector<std::string> output_names;
+    /// Scope of the core's FROM clause, kept for ORDER BY binding.
+    Scope scope;
+  };
+
+  /// Binds one core. When `order_items` is non-null (single-core statement),
+  /// ORDER BY expressions are resolved here so columns absent from the
+  /// select list can be carried as hidden projection outputs; resolved sort
+  /// keys are appended to `order_cols`.
+  Result<CoreResult> BindCore(const SelectCore& core, const Scope* outer,
+                              const std::vector<OrderItem>* order_items,
+                              std::vector<std::pair<int, bool>>* order_cols);
+  Result<LogicalOpPtr> BindTableRef(const TableRef& ref, Scope* scope);
+  Result<LogicalOpPtr> BindNamedTable(const ObjectName& name,
+                                      const std::string& alias, Scope* scope);
+
+  /// Binds a scalar AST expression in `scope`. Subquery predicates
+  /// (EXISTS / IN (SELECT ...)) are not allowed here; they are peeled off
+  /// the WHERE conjunction by BindCore first.
+  Result<ScalarExprPtr> BindExpr(const Expr& expr, const Scope& scope);
+
+  /// Resolves a (possibly qualified) column path. Searches the local scope
+  /// first, then outer scopes (correlation).
+  Result<ScalarExprPtr> BindColumnRef(const Expr& expr, const Scope& scope);
+
+  /// Applies one EXISTS / IN-subquery conjunct as a semi or anti join on
+  /// top of `tree`.
+  Result<LogicalOpPtr> ApplySubqueryPredicate(LogicalOpPtr tree,
+                                              const Expr& pred,
+                                              const Scope& scope);
+
+  /// True if every column referenced by `expr` is produced by `tree`.
+  static bool CoveredBy(const ScalarExprPtr& expr, const LogicalOpPtr& tree);
+
+  Result<DataType> InferBinaryType(const std::string& op, DataType lhs,
+                                   DataType rhs) const;
+
+  Catalog* catalog_;
+  std::shared_ptr<ColumnRegistry> registry_;
+  std::set<std::string> parameters_;
+  int view_depth_ = 0;  ///< Guards against recursive view definitions.
+};
+
+}  // namespace dhqp
+
+#endif  // DHQP_SQL_BINDER_H_

@@ -1,0 +1,262 @@
+#include "src/sql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace dhqp {
+
+namespace {
+
+// Reserved words of the supported Transact-SQL subset. Anything else
+// alphanumeric is an identifier.
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "SELECT", "FROM",     "WHERE",    "GROUP",    "BY",       "HAVING",
+      "ORDER",  "ASC",      "DESC",     "TOP",      "DISTINCT", "AS",
+      "JOIN",   "INNER",    "LEFT",     "RIGHT",    "OUTER",    "ON",
+      "AND",    "OR",       "NOT",      "IN",       "EXISTS",   "BETWEEN",
+      "LIKE",   "IS",       "NULL",     "TRUE",     "FALSE",    "UNION",
+      "ALL",    "CREATE",   "TABLE",    "VIEW",     "INDEX",    "UNIQUE",
+      "INSERT", "INTO",     "VALUES",   "CHECK",    "PRIMARY",  "KEY",
+      "INT",    "INTEGER",  "BIGINT",   "FLOAT",    "DOUBLE",   "VARCHAR",
+      "TEXT",   "DATE",     "DATETIME", "BOOLEAN",  "BIT",      "CONTAINS",
+      "COUNT",  "SUM",      "AVG",      "MIN",      "MAX",      "CASE",
+      "WHEN",   "THEN",     "ELSE",     "END",      "CAST",     "CROSS",
+      "OPENQUERY", "DELETE", "UPDATE",  "SET",      "DROP",     "SEMI",
+      "EXPLAIN",
+      "ANTI",
+  };
+  return *kKeywords;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = i;
+    // Identifier or keyword.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      std::string word = sql.substr(start, i - start);
+      std::string upper = word;
+      for (char& ch : upper) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+      if (Keywords().count(upper) > 0) {
+        tok.type = TokenType::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.type = TokenType::kIdentifier;
+        tok.text = word;
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Bracketed identifier [name].
+    if (c == '[') {
+      size_t end = sql.find(']', i + 1);
+      if (end == std::string::npos) {
+        return Status::InvalidArgument("unterminated [identifier] at offset " +
+                                       std::to_string(i));
+      }
+      tok.type = TokenType::kIdentifier;
+      tok.text = sql.substr(i + 1, end - i - 1);
+      i = end + 1;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Double-quoted identifier.
+    if (c == '"') {
+      size_t end = sql.find('"', i + 1);
+      if (end == std::string::npos) {
+        return Status::InvalidArgument("unterminated \"identifier\"");
+      }
+      tok.type = TokenType::kIdentifier;
+      tok.text = sql.substr(i + 1, end - i - 1);
+      i = end + 1;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Access-style #date# literal: lexed as a string; comparisons against
+    // date columns coerce it (the decoder emits this form for providers
+    // with DateLiteralStyle::kHashDelimited).
+    if (c == '#') {
+      size_t end = sql.find('#', i + 1);
+      if (end == std::string::npos) {
+        return Status::InvalidArgument("unterminated #date# literal");
+      }
+      tok.type = TokenType::kString;
+      tok.text = sql.substr(i + 1, end - i - 1);
+      i = end + 1;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // String literal with '' escaping.
+    if (c == '\'') {
+      std::string text;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            text += '\'';
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        text += sql[i++];
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal");
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(text);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Number.
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(sql[i + 1]))) {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        size_t j = i + 1;
+        if (j < n && (sql[j] == '+' || sql[j] == '-')) ++j;
+        if (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) {
+          is_float = true;
+          i = j;
+          while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+        }
+      }
+      tok.type = is_float ? TokenType::kFloat : TokenType::kInteger;
+      tok.text = sql.substr(start, i - start);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Parameter.
+    if (c == '@') {
+      size_t start = i++;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      if (i == start + 1) {
+        return Status::InvalidArgument("bare '@' at offset " +
+                                       std::to_string(start));
+      }
+      tok.type = TokenType::kParameter;
+      tok.text = sql.substr(start, i - start);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Operators and punctuation.
+    switch (c) {
+      case ',':
+        tok.type = TokenType::kComma;
+        tok.text = ",";
+        ++i;
+        break;
+      case '.':
+        tok.type = TokenType::kDot;
+        tok.text = ".";
+        ++i;
+        break;
+      case '(':
+        tok.type = TokenType::kLParen;
+        tok.text = "(";
+        ++i;
+        break;
+      case ')':
+        tok.type = TokenType::kRParen;
+        tok.text = ")";
+        ++i;
+        break;
+      case ';':
+        tok.type = TokenType::kSemicolon;
+        tok.text = ";";
+        ++i;
+        break;
+      case '<':
+        tok.type = TokenType::kOperator;
+        if (i + 1 < n && sql[i + 1] == '=') {
+          tok.text = "<=";
+          i += 2;
+        } else if (i + 1 < n && sql[i + 1] == '>') {
+          tok.text = "<>";
+          i += 2;
+        } else {
+          tok.text = "<";
+          ++i;
+        }
+        break;
+      case '>':
+        tok.type = TokenType::kOperator;
+        if (i + 1 < n && sql[i + 1] == '=') {
+          tok.text = ">=";
+          i += 2;
+        } else {
+          tok.text = ">";
+          ++i;
+        }
+        break;
+      case '!':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          tok.type = TokenType::kOperator;
+          tok.text = "<>";
+          i += 2;
+        } else {
+          return Status::InvalidArgument("unexpected '!' at offset " +
+                                         std::to_string(i));
+        }
+        break;
+      case '=':
+      case '+':
+      case '-':
+      case '*':
+      case '/':
+      case '%':
+        tok.type = TokenType::kOperator;
+        tok.text = std::string(1, c);
+        ++i;
+        break;
+      default:
+        return Status::InvalidArgument(std::string("unexpected character '") +
+                                       c + "' at offset " + std::to_string(i));
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace dhqp

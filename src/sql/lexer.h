@@ -1,0 +1,45 @@
+#ifndef DHQP_SQL_LEXER_H_
+#define DHQP_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace dhqp {
+
+/// Kinds of lexical tokens in the Transact-SQL subset.
+enum class TokenType {
+  kEnd = 0,
+  kIdentifier,   ///< Bare, "quoted" or [bracketed] identifier.
+  kKeyword,      ///< Reserved word; text is upper-cased.
+  kInteger,
+  kFloat,
+  kString,       ///< 'single-quoted', quotes stripped, '' unescaped.
+  kParameter,    ///< @name (text includes the '@').
+  kOperator,     ///< = <> != < <= > >= + - * / %
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kSemicolon,
+};
+
+/// A lexical token with source position for error messages.
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  size_t position = 0;
+
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+};
+
+/// Splits SQL text into tokens. Comments (`-- ...`) are skipped. Keywords
+/// are recognized case-insensitively and normalized to upper case.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace dhqp
+
+#endif  // DHQP_SQL_LEXER_H_

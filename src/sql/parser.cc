@@ -1,0 +1,901 @@
+#include "src/sql/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "src/common/date.h"
+
+namespace dhqp {
+
+namespace {
+
+ExprPtr MakeExpr(ExprKind kind) {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  return e;
+}
+
+ExprPtr MakeBinary(std::string op, ExprPtr lhs, ExprPtr rhs) {
+  ExprPtr e = MakeExpr(ExprKind::kBinary);
+  e->name = std::move(op);
+  e->args.push_back(std::move(lhs));
+  e->args.push_back(std::move(rhs));
+  return e;
+}
+
+bool IsAggregateKeyword(const Token& tok) {
+  return tok.type == TokenType::kKeyword &&
+         (tok.text == "COUNT" || tok.text == "SUM" || tok.text == "AVG" ||
+          tok.text == "MIN" || tok.text == "MAX");
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Statement>> Parser::Parse(const std::string& sql) {
+  Parser parser(sql);
+  DHQP_ASSIGN_OR_RETURN(parser.tokens_, Tokenize(parser.sql_));
+  DHQP_ASSIGN_OR_RETURN(auto stmt, parser.ParseStatement());
+  parser.Match(TokenType::kSemicolon);
+  if (parser.Peek().type != TokenType::kEnd) {
+    return parser.ErrorHere("unexpected trailing input");
+  }
+  return std::move(stmt);
+}
+
+Result<std::unique_ptr<SelectStatement>> Parser::ParseSelect(
+    const std::string& sql) {
+  Parser parser(sql);
+  DHQP_ASSIGN_OR_RETURN(parser.tokens_, Tokenize(parser.sql_));
+  DHQP_ASSIGN_OR_RETURN(auto stmt, parser.ParseSelectStatement());
+  parser.Match(TokenType::kSemicolon);
+  if (parser.Peek().type != TokenType::kEnd) {
+    return parser.ErrorHere("unexpected trailing input in SELECT");
+  }
+  return std::move(stmt);
+}
+
+const Token& Parser::Peek(int ahead) const {
+  size_t i = pos_ + static_cast<size_t>(ahead);
+  if (i >= tokens_.size()) return tokens_.back();
+  return tokens_[i];
+}
+
+const Token& Parser::Advance() {
+  const Token& tok = Peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return tok;
+}
+
+bool Parser::MatchKeyword(const char* kw) {
+  if (Peek().IsKeyword(kw)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+bool Parser::MatchOperator(const char* op) {
+  if (Peek().type == TokenType::kOperator && Peek().text == op) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+bool Parser::Match(TokenType type) {
+  if (Peek().type == type) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+Status Parser::Expect(TokenType type, const char* what) {
+  if (Peek().type != type) {
+    return ErrorHere(std::string("expected ") + what);
+  }
+  Advance();
+  return Status::OK();
+}
+
+Status Parser::ExpectKeyword(const char* kw) {
+  if (!Peek().IsKeyword(kw)) {
+    return ErrorHere(std::string("expected ") + kw);
+  }
+  Advance();
+  return Status::OK();
+}
+
+Status Parser::ErrorHere(const std::string& message) const {
+  const Token& tok = Peek();
+  std::string near = tok.type == TokenType::kEnd ? "end of input"
+                                                 : "'" + tok.text + "'";
+  return Status::InvalidArgument(message + " near " + near + " (offset " +
+                                 std::to_string(tok.position) + ")");
+}
+
+Result<std::unique_ptr<Statement>> Parser::ParseStatement() {
+  if (Peek().IsKeyword("EXPLAIN")) {
+    Advance();
+    if (!Peek().IsKeyword("SELECT")) {
+      return ErrorHere("EXPLAIN supports SELECT statements");
+    }
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = Statement::Kind::kSelect;
+    stmt->explain = true;
+    DHQP_ASSIGN_OR_RETURN(stmt->select, ParseSelectStatement());
+    return std::move(stmt);
+  }
+  if (Peek().IsKeyword("DROP")) {
+    Advance();
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = Statement::Kind::kDrop;
+    stmt->drop = std::make_unique<DropStatement>();
+    if (MatchKeyword("TABLE")) {
+      stmt->drop->target = DropStatement::Target::kTable;
+    } else if (MatchKeyword("VIEW")) {
+      stmt->drop->target = DropStatement::Target::kView;
+    } else {
+      return ErrorHere("expected TABLE or VIEW after DROP");
+    }
+    if (Peek().type != TokenType::kIdentifier) {
+      return ErrorHere("expected object name");
+    }
+    stmt->drop->name = Advance().text;
+    return std::move(stmt);
+  }
+  if (Peek().IsKeyword("SELECT")) {
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = Statement::Kind::kSelect;
+    DHQP_ASSIGN_OR_RETURN(stmt->select, ParseSelectStatement());
+    return std::move(stmt);
+  }
+  if (Peek().IsKeyword("CREATE")) return ParseCreate();
+  if (Peek().IsKeyword("INSERT")) return ParseInsert();
+  if (Peek().IsKeyword("DELETE")) return ParseDelete();
+  if (Peek().IsKeyword("UPDATE")) return ParseUpdate();
+  return ErrorHere("expected SELECT, CREATE, INSERT, DELETE or UPDATE");
+}
+
+Result<std::unique_ptr<SelectStatement>> Parser::ParseSelectStatement() {
+  auto stmt = std::make_unique<SelectStatement>();
+  DHQP_ASSIGN_OR_RETURN(auto core, ParseSelectCore());
+  stmt->cores.push_back(std::move(core));
+  while (Peek().IsKeyword("UNION")) {
+    Advance();
+    DHQP_RETURN_NOT_OK(ExpectKeyword("ALL"));
+    DHQP_ASSIGN_OR_RETURN(auto next, ParseSelectCore());
+    stmt->cores.push_back(std::move(next));
+  }
+  if (MatchKeyword("ORDER")) {
+    DHQP_RETURN_NOT_OK(ExpectKeyword("BY"));
+    while (true) {
+      OrderItem item;
+      DHQP_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("DESC")) {
+        item.ascending = false;
+      } else {
+        MatchKeyword("ASC");
+      }
+      stmt->order_by.push_back(std::move(item));
+      if (!Match(TokenType::kComma)) break;
+    }
+  }
+  return std::move(stmt);
+}
+
+Result<std::unique_ptr<SelectCore>> Parser::ParseSelectCore() {
+  DHQP_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+  auto core = std::make_unique<SelectCore>();
+  if (MatchKeyword("DISTINCT")) core->distinct = true;
+  if (MatchKeyword("TOP")) {
+    if (Peek().type != TokenType::kInteger) {
+      return ErrorHere("expected integer after TOP");
+    }
+    core->top = std::strtoll(Advance().text.c_str(), nullptr, 10);
+  }
+  // Select list.
+  while (true) {
+    SelectItem item;
+    if (Peek().type == TokenType::kOperator && Peek().text == "*") {
+      Advance();
+      item.star = true;
+    } else if (Peek().type == TokenType::kIdentifier) {
+      // Lookahead for `alias(.part)*.*`.
+      size_t save = pos_;
+      std::vector<std::string> path;
+      path.push_back(Advance().text);
+      bool star = false;
+      while (Peek().type == TokenType::kDot) {
+        Advance();
+        if (Peek().type == TokenType::kOperator && Peek().text == "*") {
+          Advance();
+          star = true;
+          break;
+        }
+        if (Peek().type != TokenType::kIdentifier) break;
+        path.push_back(Advance().text);
+      }
+      if (star) {
+        item.star = true;
+        item.star_qualifier = std::move(path);
+      } else {
+        pos_ = save;
+        DHQP_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      }
+    } else {
+      DHQP_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+    }
+    if (!item.star) {
+      if (MatchKeyword("AS")) {
+        if (Peek().type != TokenType::kIdentifier) {
+          return ErrorHere("expected alias after AS");
+        }
+        item.alias = Advance().text;
+      } else if (Peek().type == TokenType::kIdentifier) {
+        item.alias = Advance().text;
+      }
+    }
+    core->items.push_back(std::move(item));
+    if (!Match(TokenType::kComma)) break;
+  }
+  if (MatchKeyword("FROM")) {
+    DHQP_ASSIGN_OR_RETURN(core->from, ParseTableRef());
+  }
+  if (MatchKeyword("WHERE")) {
+    DHQP_ASSIGN_OR_RETURN(core->where, ParseExpr());
+  }
+  if (MatchKeyword("GROUP")) {
+    DHQP_RETURN_NOT_OK(ExpectKeyword("BY"));
+    while (true) {
+      DHQP_ASSIGN_OR_RETURN(auto g, ParseExpr());
+      core->group_by.push_back(std::move(g));
+      if (!Match(TokenType::kComma)) break;
+    }
+  }
+  if (MatchKeyword("HAVING")) {
+    DHQP_ASSIGN_OR_RETURN(core->having, ParseExpr());
+  }
+  return std::move(core);
+}
+
+Result<std::unique_ptr<TableRef>> Parser::ParseTableRef() {
+  DHQP_ASSIGN_OR_RETURN(auto left, ParseTablePrimary());
+  while (true) {
+    JoinKind kind = JoinKind::kInner;
+    bool has_on = true;
+    if (Match(TokenType::kComma)) {
+      kind = JoinKind::kCross;
+      has_on = false;
+    } else if (Peek().IsKeyword("JOIN") || Peek().IsKeyword("INNER")) {
+      MatchKeyword("INNER");
+      DHQP_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+    } else if (Peek().IsKeyword("LEFT")) {
+      Advance();
+      MatchKeyword("OUTER");
+      DHQP_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+      kind = JoinKind::kLeftOuter;
+    } else if (Peek().IsKeyword("RIGHT")) {
+      // RIGHT [OUTER] JOIN parses as a LEFT join with swapped operands.
+      Advance();
+      MatchKeyword("OUTER");
+      DHQP_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+      DHQP_ASSIGN_OR_RETURN(auto preserved, ParseTablePrimary());
+      DHQP_RETURN_NOT_OK(ExpectKeyword("ON"));
+      auto join = std::make_unique<TableRef>();
+      join->kind = TableRef::Kind::kJoin;
+      join->join_kind = JoinKind::kLeftOuter;
+      join->left = std::move(preserved);
+      join->right = std::move(left);
+      DHQP_ASSIGN_OR_RETURN(join->on, ParseExpr());
+      left = std::move(join);
+      continue;
+    } else if (Peek().IsKeyword("CROSS")) {
+      Advance();
+      DHQP_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+      kind = JoinKind::kCross;
+      has_on = false;
+    } else {
+      break;
+    }
+    DHQP_ASSIGN_OR_RETURN(auto right, ParseTablePrimary());
+    auto join = std::make_unique<TableRef>();
+    join->kind = TableRef::Kind::kJoin;
+    join->join_kind = kind;
+    join->left = std::move(left);
+    join->right = std::move(right);
+    if (has_on && kind != JoinKind::kCross) {
+      DHQP_RETURN_NOT_OK(ExpectKeyword("ON"));
+      DHQP_ASSIGN_OR_RETURN(join->on, ParseExpr());
+    }
+    left = std::move(join);
+  }
+  return std::move(left);
+}
+
+Result<std::unique_ptr<TableRef>> Parser::ParseTablePrimary() {
+  if (Match(TokenType::kLParen)) {
+    DHQP_ASSIGN_OR_RETURN(auto inner, ParseTableRef());
+    DHQP_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+    return std::move(inner);
+  }
+  if (MatchKeyword("OPENQUERY")) {
+    DHQP_RETURN_NOT_OK(Expect(TokenType::kLParen, "'(' after OPENQUERY"));
+    if (Peek().type != TokenType::kIdentifier) {
+      return ErrorHere("expected linked server name in OPENQUERY");
+    }
+    auto ref = std::make_unique<TableRef>();
+    ref->kind = TableRef::Kind::kOpenQuery;
+    ref->server = Advance().text;
+    DHQP_RETURN_NOT_OK(Expect(TokenType::kComma, "','"));
+    if (Peek().type != TokenType::kString) {
+      return ErrorHere("expected query string in OPENQUERY");
+    }
+    ref->pass_through_query = Advance().text;
+    DHQP_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+    if (MatchKeyword("AS")) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return ErrorHere("expected alias after AS");
+      }
+      ref->alias = Advance().text;
+    } else if (Peek().type == TokenType::kIdentifier) {
+      ref->alias = Advance().text;
+    }
+    return std::move(ref);
+  }
+  auto ref = std::make_unique<TableRef>();
+  ref->kind = TableRef::Kind::kNamed;
+  DHQP_ASSIGN_OR_RETURN(ref->name, ParseObjectName());
+  if (MatchKeyword("AS")) {
+    if (Peek().type != TokenType::kIdentifier) {
+      return ErrorHere("expected alias after AS");
+    }
+    ref->alias = Advance().text;
+  } else if (Peek().type == TokenType::kIdentifier) {
+    ref->alias = Advance().text;
+  }
+  return std::move(ref);
+}
+
+Result<ObjectName> Parser::ParseObjectName() {
+  if (Peek().type != TokenType::kIdentifier) {
+    return ErrorHere("expected table name");
+  }
+  std::vector<std::string> parts;
+  parts.push_back(Advance().text);
+  while (Peek().type == TokenType::kDot) {
+    Advance();
+    if (Peek().type != TokenType::kIdentifier) {
+      return ErrorHere("expected identifier after '.'");
+    }
+    parts.push_back(Advance().text);
+    if (parts.size() > 4) return ErrorHere("too many name parts (max 4)");
+  }
+  ObjectName name;
+  // Right-align: table is always last; four-part = server.catalog.schema.table.
+  name.table = parts.back();
+  if (parts.size() == 2) {
+    name.schema = parts[0];
+  } else if (parts.size() == 3) {
+    name.catalog = parts[0];
+    name.schema = parts[1];
+  } else if (parts.size() == 4) {
+    name.server = parts[0];
+    name.catalog = parts[1];
+    name.schema = parts[2];
+  }
+  return name;
+}
+
+Result<ExprPtr> Parser::ParseExpr() { return ParseOr(); }
+
+Result<ExprPtr> Parser::ParseOr() {
+  DHQP_ASSIGN_OR_RETURN(auto lhs, ParseAnd());
+  while (MatchKeyword("OR")) {
+    DHQP_ASSIGN_OR_RETURN(auto rhs, ParseAnd());
+    lhs = MakeBinary("OR", std::move(lhs), std::move(rhs));
+  }
+  return std::move(lhs);
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  DHQP_ASSIGN_OR_RETURN(auto lhs, ParseNot());
+  while (MatchKeyword("AND")) {
+    DHQP_ASSIGN_OR_RETURN(auto rhs, ParseNot());
+    lhs = MakeBinary("AND", std::move(lhs), std::move(rhs));
+  }
+  return std::move(lhs);
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (MatchKeyword("NOT")) {
+    // NOT EXISTS folds into the exists node itself.
+    if (Peek().IsKeyword("EXISTS")) {
+      DHQP_ASSIGN_OR_RETURN(auto e, ParsePredicate());
+      e->negated = !e->negated;
+      return std::move(e);
+    }
+    DHQP_ASSIGN_OR_RETURN(auto inner, ParseNot());
+    ExprPtr e = MakeExpr(ExprKind::kUnary);
+    e->name = "NOT";
+    e->args.push_back(std::move(inner));
+    return std::move(e);
+  }
+  return ParsePredicate();
+}
+
+Result<ExprPtr> Parser::ParsePredicate() {
+  if (MatchKeyword("EXISTS")) {
+    DHQP_RETURN_NOT_OK(Expect(TokenType::kLParen, "'(' after EXISTS"));
+    ExprPtr e = MakeExpr(ExprKind::kExists);
+    DHQP_ASSIGN_OR_RETURN(e->subquery, ParseSelectStatement());
+    DHQP_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+    return std::move(e);
+  }
+  DHQP_ASSIGN_OR_RETURN(auto lhs, ParseAdditive());
+  // Comparison.
+  if (Peek().type == TokenType::kOperator &&
+      (Peek().text == "=" || Peek().text == "<>" || Peek().text == "<" ||
+       Peek().text == "<=" || Peek().text == ">" || Peek().text == ">=")) {
+    std::string op = Advance().text;
+    DHQP_ASSIGN_OR_RETURN(auto rhs, ParseAdditive());
+    return MakeBinary(std::move(op), std::move(lhs), std::move(rhs));
+  }
+  if (Peek().IsKeyword("IS")) {
+    Advance();
+    bool negated = MatchKeyword("NOT");
+    DHQP_RETURN_NOT_OK(ExpectKeyword("NULL"));
+    ExprPtr e = MakeExpr(ExprKind::kIsNull);
+    e->negated = negated;
+    e->args.push_back(std::move(lhs));
+    return std::move(e);
+  }
+  bool negated = false;
+  if (Peek().IsKeyword("NOT") &&
+      (Peek(1).IsKeyword("IN") || Peek(1).IsKeyword("BETWEEN") ||
+       Peek(1).IsKeyword("LIKE"))) {
+    Advance();
+    negated = true;
+  }
+  if (MatchKeyword("BETWEEN")) {
+    DHQP_ASSIGN_OR_RETURN(auto lo, ParseAdditive());
+    DHQP_RETURN_NOT_OK(ExpectKeyword("AND"));
+    DHQP_ASSIGN_OR_RETURN(auto hi, ParseAdditive());
+    ExprPtr e = MakeExpr(ExprKind::kBetween);
+    e->negated = negated;
+    e->args.push_back(std::move(lhs));
+    e->args.push_back(std::move(lo));
+    e->args.push_back(std::move(hi));
+    return std::move(e);
+  }
+  if (MatchKeyword("LIKE")) {
+    DHQP_ASSIGN_OR_RETURN(auto pattern, ParseAdditive());
+    ExprPtr e = MakeExpr(ExprKind::kLike);
+    e->negated = negated;
+    e->args.push_back(std::move(lhs));
+    e->args.push_back(std::move(pattern));
+    return std::move(e);
+  }
+  if (MatchKeyword("IN")) {
+    DHQP_RETURN_NOT_OK(Expect(TokenType::kLParen, "'(' after IN"));
+    if (Peek().IsKeyword("SELECT")) {
+      ExprPtr e = MakeExpr(ExprKind::kInSubquery);
+      e->negated = negated;
+      e->args.push_back(std::move(lhs));
+      DHQP_ASSIGN_OR_RETURN(e->subquery, ParseSelectStatement());
+      DHQP_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+      return std::move(e);
+    }
+    ExprPtr e = MakeExpr(ExprKind::kInList);
+    e->negated = negated;
+    e->args.push_back(std::move(lhs));
+    while (true) {
+      DHQP_ASSIGN_OR_RETURN(auto item, ParseExpr());
+      e->args.push_back(std::move(item));
+      if (!Match(TokenType::kComma)) break;
+    }
+    DHQP_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+    return std::move(e);
+  }
+  return std::move(lhs);
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  DHQP_ASSIGN_OR_RETURN(auto lhs, ParseMultiplicative());
+  while (Peek().type == TokenType::kOperator &&
+         (Peek().text == "+" || Peek().text == "-")) {
+    std::string op = Advance().text;
+    DHQP_ASSIGN_OR_RETURN(auto rhs, ParseMultiplicative());
+    lhs = MakeBinary(std::move(op), std::move(lhs), std::move(rhs));
+  }
+  return std::move(lhs);
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  DHQP_ASSIGN_OR_RETURN(auto lhs, ParseUnary());
+  while (Peek().type == TokenType::kOperator &&
+         (Peek().text == "*" || Peek().text == "/" || Peek().text == "%")) {
+    std::string op = Advance().text;
+    DHQP_ASSIGN_OR_RETURN(auto rhs, ParseUnary());
+    lhs = MakeBinary(std::move(op), std::move(lhs), std::move(rhs));
+  }
+  return std::move(lhs);
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  if (Peek().type == TokenType::kOperator && Peek().text == "-") {
+    Advance();
+    DHQP_ASSIGN_OR_RETURN(auto inner, ParseUnary());
+    // Fold negative literals immediately.
+    if (inner->kind == ExprKind::kLiteral &&
+        inner->literal.type() == DataType::kInt64) {
+      inner->literal = Value::Int64(-inner->literal.int64_value());
+      return std::move(inner);
+    }
+    if (inner->kind == ExprKind::kLiteral &&
+        inner->literal.type() == DataType::kDouble) {
+      inner->literal = Value::Double(-inner->literal.double_value());
+      return std::move(inner);
+    }
+    ExprPtr e = MakeExpr(ExprKind::kUnary);
+    e->name = "-";
+    e->args.push_back(std::move(inner));
+    return std::move(e);
+  }
+  return ParsePrimary();
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& tok = Peek();
+  switch (tok.type) {
+    case TokenType::kInteger: {
+      ExprPtr e = MakeExpr(ExprKind::kLiteral);
+      e->literal = Value::Int64(std::strtoll(Advance().text.c_str(), nullptr, 10));
+      return std::move(e);
+    }
+    case TokenType::kFloat: {
+      ExprPtr e = MakeExpr(ExprKind::kLiteral);
+      e->literal = Value::Double(std::strtod(Advance().text.c_str(), nullptr));
+      return std::move(e);
+    }
+    case TokenType::kString: {
+      ExprPtr e = MakeExpr(ExprKind::kLiteral);
+      e->literal = Value::String(Advance().text);
+      return std::move(e);
+    }
+    case TokenType::kParameter: {
+      ExprPtr e = MakeExpr(ExprKind::kParameter);
+      e->name = Advance().text;
+      return std::move(e);
+    }
+    case TokenType::kLParen: {
+      Advance();
+      DHQP_ASSIGN_OR_RETURN(auto inner, ParseExpr());
+      DHQP_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+      return std::move(inner);
+    }
+    case TokenType::kKeyword: {
+      if (tok.text == "NULL") {
+        Advance();
+        return MakeExpr(ExprKind::kLiteral);  // Literal defaults to NULL.
+      }
+      if (tok.text == "TRUE" || tok.text == "FALSE") {
+        ExprPtr e = MakeExpr(ExprKind::kLiteral);
+        e->literal = Value::Bool(Advance().text == "TRUE");
+        return std::move(e);
+      }
+      if (tok.text == "DATE" && Peek(1).type == TokenType::kLParen) {
+        // DATE(d, n): date arithmetic function (§2.4's date()).
+        Advance();
+        return ParseFunctionCall("DATE");
+      }
+      if (tok.text == "DATE" && Peek(1).type == TokenType::kString) {
+        Advance();
+        DHQP_ASSIGN_OR_RETURN(int64_t days, ParseIsoDate(Advance().text));
+        ExprPtr e = MakeExpr(ExprKind::kLiteral);
+        e->literal = Value::Date(days);
+        return std::move(e);
+      }
+      if (tok.text == "CAST") {
+        Advance();
+        DHQP_RETURN_NOT_OK(Expect(TokenType::kLParen, "'(' after CAST"));
+        ExprPtr e = MakeExpr(ExprKind::kCast);
+        DHQP_ASSIGN_OR_RETURN(auto inner, ParseExpr());
+        e->args.push_back(std::move(inner));
+        DHQP_RETURN_NOT_OK(ExpectKeyword("AS"));
+        DHQP_ASSIGN_OR_RETURN(e->cast_type, ParseTypeName());
+        DHQP_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+        return std::move(e);
+      }
+      if (tok.text == "CASE") {
+        Advance();
+        // Searched CASE only: CASE WHEN c THEN v [WHEN..]* [ELSE e] END.
+        // args laid out as [c1, v1, c2, v2, ..., (else)].
+        ExprPtr e = MakeExpr(ExprKind::kCase);
+        while (MatchKeyword("WHEN")) {
+          DHQP_ASSIGN_OR_RETURN(auto cond, ParseExpr());
+          DHQP_RETURN_NOT_OK(ExpectKeyword("THEN"));
+          DHQP_ASSIGN_OR_RETURN(auto val, ParseExpr());
+          e->args.push_back(std::move(cond));
+          e->args.push_back(std::move(val));
+        }
+        if (e->args.empty()) return ErrorHere("CASE requires WHEN");
+        if (MatchKeyword("ELSE")) {
+          DHQP_ASSIGN_OR_RETURN(auto val, ParseExpr());
+          e->args.push_back(std::move(val));
+        }
+        DHQP_RETURN_NOT_OK(ExpectKeyword("END"));
+        return std::move(e);
+      }
+      if (tok.text == "CONTAINS") {
+        Advance();
+        DHQP_RETURN_NOT_OK(Expect(TokenType::kLParen, "'(' after CONTAINS"));
+        ExprPtr e = MakeExpr(ExprKind::kContains);
+        DHQP_ASSIGN_OR_RETURN(auto col, ParseExpr());
+        e->args.push_back(std::move(col));
+        DHQP_RETURN_NOT_OK(Expect(TokenType::kComma, "','"));
+        if (Peek().type != TokenType::kString) {
+          return ErrorHere("expected full-text query string in CONTAINS");
+        }
+        e->name = Advance().text;  // The full-text query.
+        DHQP_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+        return std::move(e);
+      }
+      if (IsAggregateKeyword(tok)) {
+        std::string name = Advance().text;
+        return ParseFunctionCall(name);
+      }
+      return ErrorHere("unexpected keyword in expression");
+    }
+    case TokenType::kIdentifier: {
+      // Function call?
+      if (Peek(1).type == TokenType::kLParen) {
+        std::string name = Advance().text;
+        return ParseFunctionCall(name);
+      }
+      // Column reference path.
+      ExprPtr e = MakeExpr(ExprKind::kColumnRef);
+      e->column_path.push_back(Advance().text);
+      while (Peek().type == TokenType::kDot &&
+             Peek(1).type == TokenType::kIdentifier) {
+        Advance();
+        e->column_path.push_back(Advance().text);
+      }
+      return std::move(e);
+    }
+    default:
+      return ErrorHere("expected expression");
+  }
+}
+
+Result<ExprPtr> Parser::ParseFunctionCall(const std::string& name) {
+  DHQP_RETURN_NOT_OK(Expect(TokenType::kLParen, "'(' in function call"));
+  ExprPtr e = MakeExpr(ExprKind::kFunctionCall);
+  e->name = name;
+  for (char& c : e->name) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  if (MatchKeyword("DISTINCT")) e->distinct = true;
+  if (Peek().type == TokenType::kOperator && Peek().text == "*") {
+    Advance();
+    ExprPtr star = MakeExpr(ExprKind::kStar);
+    e->args.push_back(std::move(star));
+  } else if (Peek().type != TokenType::kRParen) {
+    while (true) {
+      DHQP_ASSIGN_OR_RETURN(auto arg, ParseExpr());
+      e->args.push_back(std::move(arg));
+      if (!Match(TokenType::kComma)) break;
+    }
+  }
+  DHQP_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+  return std::move(e);
+}
+
+Result<DataType> Parser::ParseTypeName() {
+  const Token& tok = Peek();
+  if (tok.type != TokenType::kKeyword && tok.type != TokenType::kIdentifier) {
+    return ErrorHere("expected type name");
+  }
+  std::string name = Advance().text;
+  for (char& c : name) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  DataType type;
+  if (name == "INT" || name == "INTEGER" || name == "BIGINT") {
+    type = DataType::kInt64;
+  } else if (name == "FLOAT" || name == "DOUBLE" || name == "REAL") {
+    type = DataType::kDouble;
+  } else if (name == "VARCHAR" || name == "TEXT" || name == "CHAR" ||
+             name == "NVARCHAR") {
+    type = DataType::kString;
+  } else if (name == "DATE" || name == "DATETIME") {
+    type = DataType::kDate;
+  } else if (name == "BOOLEAN" || name == "BIT" || name == "BOOL") {
+    type = DataType::kBool;
+  } else {
+    return ErrorHere("unknown type '" + name + "'");
+  }
+  // Optional length, e.g. VARCHAR(40): parsed and ignored.
+  if (Match(TokenType::kLParen)) {
+    if (Peek().type != TokenType::kInteger) {
+      return ErrorHere("expected length in type");
+    }
+    Advance();
+    DHQP_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+  }
+  return type;
+}
+
+Result<std::unique_ptr<Statement>> Parser::ParseCreate() {
+  DHQP_RETURN_NOT_OK(ExpectKeyword("CREATE"));
+  bool unique = MatchKeyword("UNIQUE");
+  if (MatchKeyword("TABLE")) {
+    if (unique) return ErrorHere("UNIQUE not valid on CREATE TABLE");
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = Statement::Kind::kCreateTable;
+    stmt->create_table = std::make_unique<CreateTableStatement>();
+    if (Peek().type != TokenType::kIdentifier) {
+      return ErrorHere("expected table name");
+    }
+    stmt->create_table->name = Advance().text;
+    DHQP_RETURN_NOT_OK(Expect(TokenType::kLParen, "'('"));
+    while (true) {
+      if (MatchKeyword("CHECK")) {
+        DHQP_RETURN_NOT_OK(Expect(TokenType::kLParen, "'(' after CHECK"));
+        DHQP_ASSIGN_OR_RETURN(auto check, ParseExpr());
+        stmt->create_table->checks.push_back(std::move(check));
+        DHQP_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+      } else {
+        if (Peek().type != TokenType::kIdentifier) {
+          return ErrorHere("expected column name");
+        }
+        ColumnDefAst col;
+        col.name = Advance().text;
+        DHQP_ASSIGN_OR_RETURN(col.type, ParseTypeName());
+        while (true) {
+          if (Peek().IsKeyword("NOT") && Peek(1).IsKeyword("NULL")) {
+            Advance();
+            Advance();
+            col.not_null = true;
+          } else if (Peek().IsKeyword("PRIMARY")) {
+            Advance();
+            DHQP_RETURN_NOT_OK(ExpectKeyword("KEY"));
+            col.primary_key = true;
+            col.not_null = true;
+          } else if (Peek().IsKeyword("CHECK")) {
+            Advance();
+            DHQP_RETURN_NOT_OK(Expect(TokenType::kLParen, "'(' after CHECK"));
+            DHQP_ASSIGN_OR_RETURN(auto check, ParseExpr());
+            stmt->create_table->checks.push_back(std::move(check));
+            DHQP_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+          } else {
+            break;
+          }
+        }
+        stmt->create_table->columns.push_back(std::move(col));
+      }
+      if (!Match(TokenType::kComma)) break;
+    }
+    DHQP_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+    return std::move(stmt);
+  }
+  if (MatchKeyword("INDEX")) {
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = Statement::Kind::kCreateIndex;
+    stmt->create_index = std::make_unique<CreateIndexStatement>();
+    stmt->create_index->unique = unique;
+    if (Peek().type != TokenType::kIdentifier) {
+      return ErrorHere("expected index name");
+    }
+    stmt->create_index->name = Advance().text;
+    if (!MatchKeyword("ON")) {
+      // 'ON' is not a dedicated keyword path here; accept it via keyword set.
+      return ErrorHere("expected ON");
+    }
+    if (Peek().type != TokenType::kIdentifier) {
+      return ErrorHere("expected table name");
+    }
+    stmt->create_index->table = Advance().text;
+    DHQP_RETURN_NOT_OK(Expect(TokenType::kLParen, "'('"));
+    while (true) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return ErrorHere("expected column name");
+      }
+      stmt->create_index->columns.push_back(Advance().text);
+      if (!Match(TokenType::kComma)) break;
+    }
+    DHQP_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+    return std::move(stmt);
+  }
+  if (MatchKeyword("VIEW")) {
+    if (unique) return ErrorHere("UNIQUE not valid on CREATE VIEW");
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = Statement::Kind::kCreateView;
+    stmt->create_view = std::make_unique<CreateViewStatement>();
+    if (Peek().type != TokenType::kIdentifier) {
+      return ErrorHere("expected view name");
+    }
+    stmt->create_view->name = Advance().text;
+    DHQP_RETURN_NOT_OK(ExpectKeyword("AS"));
+    // Capture the remaining source text as the view body and validate that
+    // it parses as a SELECT.
+    size_t body_start = Peek().position;
+    stmt->create_view->body_sql = sql_.substr(body_start);
+    DHQP_ASSIGN_OR_RETURN(auto body, ParseSelectStatement());
+    (void)body;
+    return std::move(stmt);
+  }
+  return ErrorHere("expected TABLE, INDEX or VIEW after CREATE");
+}
+
+Result<std::unique_ptr<Statement>> Parser::ParseInsert() {
+  DHQP_RETURN_NOT_OK(ExpectKeyword("INSERT"));
+  DHQP_RETURN_NOT_OK(ExpectKeyword("INTO"));
+  auto stmt = std::make_unique<Statement>();
+  stmt->kind = Statement::Kind::kInsert;
+  stmt->insert = std::make_unique<InsertStatement>();
+  DHQP_ASSIGN_OR_RETURN(stmt->insert->table, ParseObjectName());
+  if (Match(TokenType::kLParen)) {
+    while (true) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return ErrorHere("expected column name");
+      }
+      stmt->insert->columns.push_back(Advance().text);
+      if (!Match(TokenType::kComma)) break;
+    }
+    DHQP_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+  }
+  DHQP_RETURN_NOT_OK(ExpectKeyword("VALUES"));
+  while (true) {
+    DHQP_RETURN_NOT_OK(Expect(TokenType::kLParen, "'('"));
+    std::vector<ExprPtr> row;
+    while (true) {
+      DHQP_ASSIGN_OR_RETURN(auto e, ParseExpr());
+      row.push_back(std::move(e));
+      if (!Match(TokenType::kComma)) break;
+    }
+    DHQP_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+    stmt->insert->rows.push_back(std::move(row));
+    if (!Match(TokenType::kComma)) break;
+  }
+  return std::move(stmt);
+}
+
+Result<std::unique_ptr<Statement>> Parser::ParseDelete() {
+  DHQP_RETURN_NOT_OK(ExpectKeyword("DELETE"));
+  DHQP_RETURN_NOT_OK(ExpectKeyword("FROM"));
+  auto stmt = std::make_unique<Statement>();
+  stmt->kind = Statement::Kind::kDelete;
+  stmt->delete_stmt = std::make_unique<DeleteStatement>();
+  DHQP_ASSIGN_OR_RETURN(stmt->delete_stmt->table, ParseObjectName());
+  if (MatchKeyword("WHERE")) {
+    DHQP_ASSIGN_OR_RETURN(stmt->delete_stmt->where, ParseExpr());
+  }
+  return std::move(stmt);
+}
+
+Result<std::unique_ptr<Statement>> Parser::ParseUpdate() {
+  DHQP_RETURN_NOT_OK(ExpectKeyword("UPDATE"));
+  auto stmt = std::make_unique<Statement>();
+  stmt->kind = Statement::Kind::kUpdate;
+  stmt->update = std::make_unique<UpdateStatement>();
+  DHQP_ASSIGN_OR_RETURN(stmt->update->table, ParseObjectName());
+  DHQP_RETURN_NOT_OK(ExpectKeyword("SET"));
+  while (true) {
+    if (Peek().type != TokenType::kIdentifier) {
+      return ErrorHere("expected column name in SET");
+    }
+    std::string column = Advance().text;
+    if (!MatchOperator("=")) return ErrorHere("expected '=' in SET");
+    DHQP_ASSIGN_OR_RETURN(auto value, ParseExpr());
+    stmt->update->assignments.emplace_back(std::move(column),
+                                           std::move(value));
+    if (!Match(TokenType::kComma)) break;
+  }
+  if (MatchKeyword("WHERE")) {
+    DHQP_ASSIGN_OR_RETURN(stmt->update->where, ParseExpr());
+  }
+  return std::move(stmt);
+}
+
+}  // namespace dhqp

@@ -1,0 +1,67 @@
+#ifndef DHQP_SQL_PARSER_H_
+#define DHQP_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "src/sql/ast.h"
+#include "src/sql/lexer.h"
+
+namespace dhqp {
+
+/// Recursive-descent parser for the supported Transact-SQL subset: SELECT
+/// (joins, WHERE, GROUP BY/HAVING, ORDER BY, TOP, DISTINCT, UNION ALL,
+/// EXISTS/IN subqueries, CONTAINS, OPENQUERY, four-part names, @parameters),
+/// CREATE TABLE (with CHECK constraints), CREATE [UNIQUE] INDEX, CREATE
+/// VIEW, and INSERT ... VALUES.
+class Parser {
+ public:
+  /// Parses exactly one statement (a trailing ';' is allowed).
+  static Result<std::unique_ptr<Statement>> Parse(const std::string& sql);
+
+  /// Parses a SELECT statement only (used when expanding view definitions).
+  static Result<std::unique_ptr<SelectStatement>> ParseSelect(
+      const std::string& sql);
+
+ private:
+  explicit Parser(std::string sql) : sql_(std::move(sql)) {}
+
+  const Token& Peek(int ahead = 0) const;
+  const Token& Advance();
+  bool MatchKeyword(const char* kw);
+  bool MatchOperator(const char* op);
+  bool Match(TokenType type);
+  Status Expect(TokenType type, const char* what);
+  Status ExpectKeyword(const char* kw);
+  Status ErrorHere(const std::string& message) const;
+
+  Result<std::unique_ptr<Statement>> ParseStatement();
+  Result<std::unique_ptr<SelectStatement>> ParseSelectStatement();
+  Result<std::unique_ptr<SelectCore>> ParseSelectCore();
+  Result<std::unique_ptr<TableRef>> ParseTableRef();
+  Result<std::unique_ptr<TableRef>> ParseTablePrimary();
+  Result<ObjectName> ParseObjectName();
+  Result<ExprPtr> ParseExpr();
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParsePredicate();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePrimary();
+  Result<ExprPtr> ParseFunctionCall(const std::string& name);
+  Result<DataType> ParseTypeName();
+  Result<std::unique_ptr<Statement>> ParseCreate();
+  Result<std::unique_ptr<Statement>> ParseInsert();
+  Result<std::unique_ptr<Statement>> ParseDelete();
+  Result<std::unique_ptr<Statement>> ParseUpdate();
+
+  std::string sql_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace dhqp
+
+#endif  // DHQP_SQL_PARSER_H_

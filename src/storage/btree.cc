@@ -1,0 +1,256 @@
+#include "src/storage/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dhqp {
+
+int CompareKeys(const IndexKey& a, const IndexKey& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+namespace {
+
+// Compares `key` against a (possibly shorter) bound, looking only at the
+// bound's components. Equal prefix counts as equal, which is what gives
+// IndexRange its prefix-match semantics.
+int ComparePrefix(const IndexKey& key, const IndexKey& bound) {
+  size_t n = std::min(key.size(), bound.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = key[i].Compare(bound[i]);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+}  // namespace
+
+struct BTree::Node {
+  bool leaf = true;
+  Node* parent = nullptr;
+  // Internal nodes: keys are separators, children.size() == keys.size()+1.
+  // Leaves: keys/row_ids are parallel entry arrays.
+  std::vector<IndexKey> keys;
+  std::vector<Node*> children;
+  std::vector<int64_t> row_ids;
+  Node* next = nullptr;  // Leaf chain for range scans.
+};
+
+BTree::BTree(int order) : order_(std::max(order, 4)), root_(new Node()) {}
+
+BTree::~BTree() { FreeTree(root_); }
+
+void BTree::FreeTree(Node* node) {
+  if (!node->leaf) {
+    for (Node* c : node->children) FreeTree(c);
+  }
+  delete node;
+}
+
+BTree::Node* BTree::FindLeaf(const IndexKey& key, bool leftmost) const {
+  Node* node = root_;
+  while (!node->leaf) {
+    size_t i = 0;
+    if (leftmost) {
+      // Duplicates of `key` may span leaves; branch left of an equal
+      // separator so scans start at the first occurrence.
+      while (i < node->keys.size() && CompareKeys(key, node->keys[i]) > 0) ++i;
+    } else {
+      // Insertion goes after existing duplicates: right of equal separators.
+      while (i < node->keys.size() && CompareKeys(key, node->keys[i]) >= 0) {
+        ++i;
+      }
+    }
+    node = node->children[i];
+  }
+  return node;
+}
+
+void BTree::Insert(const IndexKey& key, int64_t row_id) {
+  Node* leaf = FindLeaf(key, /*leftmost=*/false);
+  InsertIntoLeaf(leaf, key, row_id);
+  ++size_;
+  if (static_cast<int>(leaf->keys.size()) >= order_) SplitLeaf(leaf);
+}
+
+void BTree::InsertIntoLeaf(Node* leaf, const IndexKey& key, int64_t row_id) {
+  // upper_bound keeps duplicates in insertion order.
+  auto it = std::upper_bound(
+      leaf->keys.begin(), leaf->keys.end(), key,
+      [](const IndexKey& a, const IndexKey& b) { return CompareKeys(a, b) < 0; });
+  size_t pos = static_cast<size_t>(it - leaf->keys.begin());
+  leaf->keys.insert(it, key);
+  leaf->row_ids.insert(leaf->row_ids.begin() + static_cast<long>(pos), row_id);
+}
+
+void BTree::SplitLeaf(Node* leaf) {
+  size_t mid = leaf->keys.size() / 2;
+  Node* right = new Node();
+  right->leaf = true;
+  right->keys.assign(leaf->keys.begin() + static_cast<long>(mid), leaf->keys.end());
+  right->row_ids.assign(leaf->row_ids.begin() + static_cast<long>(mid),
+                        leaf->row_ids.end());
+  leaf->keys.resize(mid);
+  leaf->row_ids.resize(mid);
+  right->next = leaf->next;
+  leaf->next = right;
+  InsertIntoParent(leaf, right->keys.front(), right);
+}
+
+void BTree::SplitInternal(Node* node) {
+  size_t mid = node->keys.size() / 2;
+  IndexKey sep = node->keys[mid];
+  Node* right = new Node();
+  right->leaf = false;
+  right->keys.assign(node->keys.begin() + static_cast<long>(mid) + 1,
+                     node->keys.end());
+  right->children.assign(node->children.begin() + static_cast<long>(mid) + 1,
+                         node->children.end());
+  for (Node* c : right->children) c->parent = right;
+  node->keys.resize(mid);
+  node->children.resize(mid + 1);
+  InsertIntoParent(node, std::move(sep), right);
+}
+
+void BTree::InsertIntoParent(Node* left, IndexKey sep, Node* right) {
+  Node* parent = left->parent;
+  if (parent == nullptr) {
+    Node* new_root = new Node();
+    new_root->leaf = false;
+    new_root->keys.push_back(std::move(sep));
+    new_root->children = {left, right};
+    left->parent = new_root;
+    right->parent = new_root;
+    root_ = new_root;
+    return;
+  }
+  right->parent = parent;
+  // Find left's position among the children.
+  size_t pos = 0;
+  while (pos < parent->children.size() && parent->children[pos] != left) ++pos;
+  assert(pos < parent->children.size());
+  parent->keys.insert(parent->keys.begin() + static_cast<long>(pos),
+                      std::move(sep));
+  parent->children.insert(parent->children.begin() + static_cast<long>(pos) + 1,
+                          right);
+  if (static_cast<int>(parent->keys.size()) >= order_) SplitInternal(parent);
+}
+
+bool BTree::Erase(const IndexKey& key, int64_t row_id) {
+  // Duplicates of a key may span leaves; walk the chain from the first
+  // candidate. Deletion does not rebalance (acceptable for this workload:
+  // ordering and leaf-chain invariants are preserved; nodes may be
+  // under-filled after heavy deletes).
+  Node* leaf = FindLeaf(key, /*leftmost=*/true);
+  while (leaf != nullptr) {
+    bool past = false;
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      int c = CompareKeys(leaf->keys[i], key);
+      if (c > 0) {
+        past = true;
+        break;
+      }
+      if (c == 0 && leaf->row_ids[i] == row_id) {
+        leaf->keys.erase(leaf->keys.begin() + static_cast<long>(i));
+        leaf->row_ids.erase(leaf->row_ids.begin() + static_cast<long>(i));
+        --size_;
+        return true;
+      }
+    }
+    if (past) break;
+    leaf = leaf->next;
+  }
+  return false;
+}
+
+bool BTree::Contains(const IndexKey& key) const {
+  Node* leaf = FindLeaf(key, /*leftmost=*/true);
+  while (leaf != nullptr) {
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      int c = CompareKeys(leaf->keys[i], key);
+      if (c == 0) return true;
+      if (c > 0) return false;
+    }
+    leaf = leaf->next;
+  }
+  return false;
+}
+
+void BTree::Scan(const IndexKey* lo, bool lo_inclusive, const IndexKey* hi,
+                 bool hi_inclusive, std::vector<int64_t>* out) const {
+  std::vector<std::pair<IndexKey, int64_t>> entries;
+  ScanEntries(lo, lo_inclusive, hi, hi_inclusive, &entries);
+  out->reserve(out->size() + entries.size());
+  for (auto& e : entries) out->push_back(e.second);
+}
+
+void BTree::ScanEntries(
+    const IndexKey* lo, bool lo_inclusive, const IndexKey* hi,
+    bool hi_inclusive,
+    std::vector<std::pair<IndexKey, int64_t>>* out) const {
+  Node* leaf;
+  if (lo != nullptr) {
+    leaf = FindLeaf(*lo, /*leftmost=*/true);
+  } else {
+    leaf = root_;
+    while (!leaf->leaf) leaf = leaf->children.front();
+  }
+  for (; leaf != nullptr; leaf = leaf->next) {
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      if (lo != nullptr) {
+        int c = ComparePrefix(leaf->keys[i], *lo);
+        if (c < 0 || (c == 0 && !lo_inclusive)) continue;
+      }
+      if (hi != nullptr) {
+        int c = ComparePrefix(leaf->keys[i], *hi);
+        if (c > 0 || (c == 0 && !hi_inclusive)) return;
+      }
+      out->emplace_back(leaf->keys[i], leaf->row_ids[i]);
+    }
+  }
+}
+
+bool BTree::CheckInvariants() const {
+  // 1. Leaf chain is globally sorted.
+  Node* leaf = root_;
+  while (!leaf->leaf) leaf = leaf->children.front();
+  const IndexKey* prev = nullptr;
+  size_t counted = 0;
+  for (; leaf != nullptr; leaf = leaf->next) {
+    for (const IndexKey& k : leaf->keys) {
+      if (prev != nullptr && CompareKeys(*prev, k) > 0) return false;
+      prev = &k;
+      ++counted;
+    }
+  }
+  if (counted != size_) return false;
+  // 2. Internal separators bracket their children (checked recursively).
+  struct Checker {
+    const BTree* tree;
+    bool Check(Node* node, const IndexKey* lo, const IndexKey* hi) {
+      for (const IndexKey& k : node->keys) {
+        if (lo != nullptr && CompareKeys(k, *lo) < 0) return false;
+        if (hi != nullptr && CompareKeys(k, *hi) > 0) return false;
+      }
+      if (node->leaf) return true;
+      if (node->children.size() != node->keys.size() + 1) return false;
+      for (size_t i = 0; i < node->children.size(); ++i) {
+        const IndexKey* clo = i == 0 ? lo : &node->keys[i - 1];
+        const IndexKey* chi = i == node->keys.size() ? hi : &node->keys[i];
+        if (node->children[i]->parent != node) return false;
+        if (!Check(node->children[i], clo, chi)) return false;
+      }
+      return true;
+    }
+  };
+  Checker checker{this};
+  return checker.Check(root_, nullptr, nullptr);
+}
+
+}  // namespace dhqp

@@ -1,0 +1,87 @@
+#ifndef DHQP_STORAGE_BTREE_H_
+#define DHQP_STORAGE_BTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/value.h"
+
+namespace dhqp {
+
+/// Composite index key: values of the key columns in index order.
+using IndexKey = std::vector<Value>;
+
+/// Lexicographic comparison of composite keys. A shorter key that is a
+/// prefix of a longer one compares equal-on-prefix then shorter-first; this
+/// is what makes prefix seeks work.
+int CompareKeys(const IndexKey& a, const IndexKey& b);
+
+/// In-memory B+-tree mapping composite keys to row ids (bookmarks).
+/// Non-unique by default: duplicate keys are allowed and returned in
+/// insertion order. This is the index structure behind both local indexes
+/// and index-provider remote sources ("ISAM navigation", §3.2.2).
+class BTree {
+ public:
+  /// `order` = max children per internal node (fan-out).
+  explicit BTree(int order = 64);
+  ~BTree();
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  /// Inserts a (key, row id) pair. If `unique` was requested by the caller,
+  /// uniqueness must be checked with Contains() first; the tree itself is a
+  /// multimap.
+  void Insert(const IndexKey& key, int64_t row_id);
+
+  /// Removes one (key, row_id) pair; returns true if found.
+  bool Erase(const IndexKey& key, int64_t row_id);
+
+  /// True if at least one entry has exactly this key.
+  bool Contains(const IndexKey& key) const;
+
+  size_t size() const { return size_; }
+
+  /// Collects row ids for all entries with keys in [lo, hi] under the given
+  /// inclusivity, in key order. Null lo/hi mean unbounded. Prefix semantics:
+  /// pass a shorter key to match all keys starting with it (with
+  /// lo_inclusive/hi_inclusive=true).
+  void Scan(const IndexKey* lo, bool lo_inclusive, const IndexKey* hi,
+            bool hi_inclusive, std::vector<int64_t>* out) const;
+
+  /// Scans full entries (key + row id) in order, for index-only access.
+  void ScanEntries(const IndexKey* lo, bool lo_inclusive, const IndexKey* hi,
+                   bool hi_inclusive,
+                   std::vector<std::pair<IndexKey, int64_t>>* out) const;
+
+  /// Validates B+-tree structural invariants (ordering, fill, linked
+  /// leaves); used by property tests. Returns false on violation.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct LeafEntry {
+    IndexKey key;
+    int64_t row_id;
+  };
+
+  /// `leftmost` selects the leaf holding the first occurrence of `key`
+  /// (scans/lookups); otherwise the leaf where a new duplicate belongs
+  /// (insertion).
+  Node* FindLeaf(const IndexKey& key, bool leftmost) const;
+  void InsertIntoLeaf(Node* leaf, const IndexKey& key, int64_t row_id);
+  void SplitLeaf(Node* leaf);
+  void SplitInternal(Node* node);
+  void InsertIntoParent(Node* left, IndexKey sep, Node* right);
+  void FreeTree(Node* node);
+
+  int order_;
+  size_t size_ = 0;
+  Node* root_;
+};
+
+}  // namespace dhqp
+
+#endif  // DHQP_STORAGE_BTREE_H_

@@ -1,0 +1,22 @@
+#ifndef DHQP_STORAGE_HISTOGRAM_H_
+#define DHQP_STORAGE_HISTOGRAM_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/provider/metadata.h"
+#include "src/storage/table.h"
+
+namespace dhqp {
+
+/// Builds equi-depth column statistics (histogram + summary counts) from a
+/// table's live rows. This is what a provider exposes through its histogram
+/// rowset extension (§3.2.4) and what the local optimizer uses for
+/// cardinality estimation. `max_buckets` bounds the histogram resolution.
+Result<ColumnStatistics> BuildColumnStatistics(const Table& table,
+                                               const std::string& column,
+                                               int max_buckets = 64);
+
+}  // namespace dhqp
+
+#endif  // DHQP_STORAGE_HISTOGRAM_H_

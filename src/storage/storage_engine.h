@@ -1,0 +1,137 @@
+#ifndef DHQP_STORAGE_STORAGE_ENGINE_H_
+#define DHQP_STORAGE_STORAGE_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/provider/provider.h"
+#include "src/storage/table.h"
+
+namespace dhqp {
+
+/// Injectable failure points for distributed-transaction testing: a
+/// participant can be made to vote "no" at prepare or to fail at commit,
+/// exercising the DTC's abort and retry paths.
+struct FailureInjection {
+  bool fail_on_prepare = false;
+  bool fail_on_commit = false;
+};
+
+/// The local storage engine (Fig 1): a collection of heap tables with
+/// B+-tree indexes, CHECK constraints and statistics. SQL Server accesses
+/// its own storage engine "through OLE DB" — here, through the same
+/// provider interfaces every external source implements (see
+/// StorageDataSource below), so "the code patterns to access data from
+/// local and external sources are almost identical" (§2).
+class StorageEngine {
+ public:
+  StorageEngine() = default;
+  StorageEngine(const StorageEngine&) = delete;
+  StorageEngine& operator=(const StorageEngine&) = delete;
+
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+  Result<Table*> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+  Status DropTable(const std::string& name);
+  std::vector<std::string> TableNames() const;
+
+  /// Transactional write surface used by sessions. Writes performed under a
+  /// transaction id are undone if the transaction aborts.
+  Result<int64_t> InsertRow(int64_t txn_id, const std::string& table,
+                            const Row& row);
+  Status DeleteRow(int64_t txn_id, const std::string& table, int64_t row_id);
+
+  /// @name Two-phase commit participant protocol.
+  ///@{
+  Status Begin(int64_t txn_id);
+  Status Prepare(int64_t txn_id);
+  Status Commit(int64_t txn_id);
+  Status Abort(int64_t txn_id);
+  ///@}
+
+  FailureInjection& failure_injection() { return failure_; }
+
+  /// Column statistics with a simple freshness cache (rebuilt when the
+  /// table's live row count changes).
+  Result<ColumnStatistics> GetStatistics(const std::string& table,
+                                         const std::string& column);
+
+ private:
+  struct UndoAction {
+    enum Kind { kUndoInsert, kUndoDelete } kind;
+    std::string table;
+    int64_t row_id;
+    Row row;  ///< Saved image for kUndoDelete.
+  };
+  struct TxnState {
+    bool prepared = false;
+    std::vector<UndoAction> undo;
+  };
+  struct StatsCacheEntry {
+    size_t live_count = 0;
+    ColumnStatistics stats;
+  };
+
+  Result<TxnState*> GetTxn(int64_t txn_id);
+
+  std::map<std::string, std::unique_ptr<Table>> tables_;  // Keyed lower-case.
+  std::map<int64_t, TxnState> txns_;
+  std::map<std::string, StatsCacheEntry> stats_cache_;  // "table\0column".
+  FailureInjection failure_;
+};
+
+/// Provider (Data Source Object) over a StorageEngine. This is the
+/// "index provider" category of §3.3: no ICommand, but scans, index
+/// seek/range, bookmarks, schema rowsets, histograms, and transaction
+/// enlistment. The full SQL-capable provider (wrapping a complete engine
+/// with optimizer) lives in src/connectors/engine_provider.h.
+class StorageDataSource : public DataSource {
+ public:
+  explicit StorageDataSource(StorageEngine* engine);
+
+  const ProviderCapabilities& capabilities() const override { return caps_; }
+  Result<std::unique_ptr<Session>> CreateSession() override;
+
+  StorageEngine* engine() const { return engine_; }
+
+ private:
+  StorageEngine* engine_;
+  ProviderCapabilities caps_;
+};
+
+/// Session over the local storage engine.
+class StorageSession : public Session {
+ public:
+  explicit StorageSession(StorageEngine* engine) : engine_(engine) {}
+
+  Result<std::unique_ptr<Rowset>> OpenRowset(const std::string& table) override;
+  Result<std::vector<TableMetadata>> ListTables() override;
+  Result<ColumnStatistics> GetStatistics(const std::string& table,
+                                         const std::string& column) override;
+  Result<std::unique_ptr<Rowset>> OpenIndexRange(const std::string& table,
+                                                 const std::string& index,
+                                                 const IndexRange& range) override;
+  Result<std::unique_ptr<Rowset>> OpenIndexKeys(const std::string& table,
+                                                const std::string& index,
+                                                const IndexRange& range) override;
+  Result<std::optional<Row>> FetchByBookmark(const std::string& table,
+                                             const Value& bookmark) override;
+  Result<int64_t> InsertRows(const std::string& table,
+                             const std::vector<Row>& rows) override;
+
+  Status BeginTransaction(int64_t txn_id) override;
+  Status PrepareTransaction(int64_t txn_id) override;
+  Status CommitTransaction(int64_t txn_id) override;
+  Status AbortTransaction(int64_t txn_id) override;
+
+ private:
+  StorageEngine* engine_;
+  int64_t active_txn_ = -1;  ///< -1 == autocommit.
+};
+
+}  // namespace dhqp
+
+#endif  // DHQP_STORAGE_STORAGE_ENGINE_H_

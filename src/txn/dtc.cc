@@ -1,0 +1,91 @@
+#include "src/txn/dtc.h"
+
+namespace dhqp {
+
+int64_t TransactionCoordinator::Begin() {
+  int64_t id = next_id_++;
+  txns_[id] = Txn{};
+  return id;
+}
+
+Result<TransactionCoordinator::Txn*> TransactionCoordinator::Find(
+    int64_t txn_id) {
+  auto it = txns_.find(txn_id);
+  if (it == txns_.end()) {
+    return Status::NotFound("distributed transaction " +
+                            std::to_string(txn_id) + " unknown");
+  }
+  return &it->second;
+}
+
+Status TransactionCoordinator::Enlist(int64_t txn_id, Session* session,
+                                      const std::string& name) {
+  DHQP_ASSIGN_OR_RETURN(Txn * txn, Find(txn_id));
+  if (txn->outcome != TxnOutcome::kActive) {
+    return Status::TransactionAborted("transaction already decided");
+  }
+  DHQP_RETURN_NOT_OK(session->BeginTransaction(txn_id));
+  txn->participants.push_back(Participant{session, name});
+  return Status::OK();
+}
+
+Status TransactionCoordinator::Commit(int64_t txn_id) {
+  DHQP_ASSIGN_OR_RETURN(Txn * txn, Find(txn_id));
+  if (txn->outcome != TxnOutcome::kActive) {
+    return Status::TransactionAborted("transaction already decided");
+  }
+  // Phase 1: prepare — collect votes.
+  for (const Participant& p : txn->participants) {
+    Status vote = p.session->PrepareTransaction(txn_id);
+    if (!vote.ok()) {
+      // Unilateral abort: roll back everyone (including the naysayer).
+      txn->outcome = TxnOutcome::kAborted;
+      for (const Participant& q : txn->participants) {
+        (void)q.session->AbortTransaction(txn_id);
+      }
+      return Status::TransactionAborted("participant '" + p.name +
+                                        "' voted no: " + vote.message());
+    }
+  }
+  // Decision point: the outcome is now logged as committed; phase-2
+  // failures are retried, never reversed.
+  txn->outcome = TxnOutcome::kCommitted;
+  for (const Participant& p : txn->participants) {
+    Status st = p.session->CommitTransaction(txn_id);
+    int attempts = 0;
+    while (!st.ok() && attempts++ < 3) {
+      ++commit_retries_;
+      st = p.session->CommitTransaction(txn_id);
+    }
+    if (!st.ok()) {
+      // In a real system the commit record stays queued for recovery; here
+      // we surface the inconsistency to the caller.
+      return Status::NetworkError("participant '" + p.name +
+                                  "' unreachable in commit phase (decision "
+                                  "logged as committed): " +
+                                  st.message());
+    }
+  }
+  return Status::OK();
+}
+
+Status TransactionCoordinator::Abort(int64_t txn_id) {
+  DHQP_ASSIGN_OR_RETURN(Txn * txn, Find(txn_id));
+  if (txn->outcome == TxnOutcome::kCommitted) {
+    return Status::TransactionAborted("cannot abort a committed transaction");
+  }
+  txn->outcome = TxnOutcome::kAborted;
+  Status first_error;
+  for (const Participant& p : txn->participants) {
+    Status st = p.session->AbortTransaction(txn_id);
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  return first_error;
+}
+
+TxnOutcome TransactionCoordinator::Outcome(int64_t txn_id) const {
+  auto it = txns_.find(txn_id);
+  return it == txns_.end() ? TxnOutcome::kAborted : it->second.outcome;
+}
+
+}  // namespace dhqp

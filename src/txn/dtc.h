@@ -1,0 +1,67 @@
+#ifndef DHQP_TXN_DTC_H_
+#define DHQP_TXN_DTC_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/provider/provider.h"
+
+namespace dhqp {
+
+/// Final decision recorded for a distributed transaction.
+enum class TxnOutcome { kActive, kCommitted, kAborted };
+
+/// The Microsoft-DTC stand-in (§2): a two-phase-commit coordinator that
+/// "ensures atomicity of transactions across data sources". Participants are
+/// provider sessions that implement the transaction enlistment surface
+/// (ITransactionJoin in OLE DB terms).
+///
+/// Protocol: Begin -> Enlist* -> Commit (prepare all, then commit all) or
+/// Abort. A 'no' vote or failure during prepare aborts every participant; a
+/// failure during the commit phase after a unanimous 'yes' is retried
+/// against that participant (presumed-commit: the decision is durable in the
+/// coordinator's log).
+class TransactionCoordinator {
+ public:
+  /// Starts a new distributed transaction and returns its id.
+  int64_t Begin();
+
+  /// Enlists a participant; calls BeginTransaction on the session.
+  Status Enlist(int64_t txn_id, Session* session, const std::string& name);
+
+  /// Runs two-phase commit. On any prepare failure the transaction is
+  /// aborted everywhere and TransactionAborted is returned.
+  Status Commit(int64_t txn_id);
+
+  /// Aborts everywhere.
+  Status Abort(int64_t txn_id);
+
+  /// Recorded outcome (the coordinator's log).
+  TxnOutcome Outcome(int64_t txn_id) const;
+
+  /// Commit-phase retries performed (observability for failure-injection
+  /// tests).
+  int64_t commit_retries() const { return commit_retries_; }
+
+ private:
+  struct Participant {
+    Session* session;
+    std::string name;
+  };
+  struct Txn {
+    std::vector<Participant> participants;
+    TxnOutcome outcome = TxnOutcome::kActive;
+  };
+
+  Result<Txn*> Find(int64_t txn_id);
+
+  int64_t next_id_ = 1;
+  std::map<int64_t, Txn> txns_;
+  int64_t commit_retries_ = 0;
+};
+
+}  // namespace dhqp
+
+#endif  // DHQP_TXN_DTC_H_

@@ -1,0 +1,111 @@
+#include "src/workloads/documents.h"
+
+#include "src/common/date.h"
+#include "src/common/rng.h"
+
+namespace dhqp {
+namespace workloads {
+
+namespace {
+
+const char* kDatabaseWords[] = {
+    "parallel",  "database", "heterogeneous", "query",     "optimizer",
+    "transaction", "index",  "distributed",   "rowset",    "provider",
+    "join",      "histogram", "partition",    "federated", "replication"};
+
+const char* kGeneralWords[] = {
+    "meeting",  "project", "budget",  "report",   "launch",  "schedule",
+    "customer", "invoice", "running", "quarterly", "travel", "office",
+    "planning", "review",  "deadline", "holiday",  "training", "coffee",
+    "summary",  "forecast", "revenue", "contract", "design",  "testing"};
+
+const char* kExtensions[] = {"txt", "html", "doc", "pdf", "zip"};
+
+std::string MakeText(Rng* rng, int words, bool database_topic) {
+  std::string text;
+  for (int w = 0; w < words; ++w) {
+    if (!text.empty()) text += ' ';
+    bool db_word = database_topic ? rng->Uniform(0, 9) < 4
+                                  : rng->Uniform(0, 99) < 2;
+    if (db_word) {
+      text += kDatabaseWords[rng->Uniform(
+          0, static_cast<int64_t>(std::size(kDatabaseWords)) - 1)];
+    } else {
+      text += kGeneralWords[rng->Uniform(
+          0, static_cast<int64_t>(std::size(kGeneralWords)) - 1)];
+    }
+  }
+  return text;
+}
+
+}  // namespace
+
+std::vector<fulltext::Document> GenerateCorpus(const CorpusOptions& options) {
+  Rng rng(options.seed);
+  std::vector<fulltext::Document> docs;
+  docs.reserve(static_cast<size_t>(options.num_documents));
+  for (int i = 0; i < options.num_documents; ++i) {
+    bool db_topic =
+        rng.NextDouble() < options.database_topic_fraction;
+    std::string text = MakeText(&rng, options.words_per_document, db_topic);
+    fulltext::Document doc;
+    doc.extension = kExtensions[rng.Uniform(
+        0, static_cast<int64_t>(std::size(kExtensions)) - 1)];
+    doc.path = "d:\\docs\\file" + std::to_string(i) + "." + doc.extension;
+    doc.create_days = CivilToDays(2003, 1, 1) + rng.Uniform(0, 600);
+    if (doc.extension == "txt") {
+      doc.raw = text;
+    } else if (doc.extension == "html") {
+      doc.raw = fulltext::EncodeHtml(text);
+    } else if (doc.extension == "doc") {
+      doc.raw = fulltext::EncodeDoc(text);
+    } else if (doc.extension == "pdf") {
+      doc.raw = fulltext::EncodePdf(text);
+    } else {
+      doc.raw = "PK\x03\x04 compressed " + text;  // No IFilter for zip.
+    }
+    doc.size = static_cast<int64_t>(doc.raw.size());
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+std::vector<MailMessage> GenerateMailbox(int num_messages, int64_t today,
+                                         int days, uint64_t seed) {
+  Rng rng(seed);
+  const char* kSenders[] = {"ann@contoso.com",   "li@fabrikam.com",
+                            "omar@northwind.com", "kate@adventure.com",
+                            "raj@tailspin.com",   "sue@wingtip.com"};
+  std::vector<MailMessage> messages;
+  for (int i = 0; i < num_messages; ++i) {
+    MailMessage m;
+    m.msg_id = i + 1;
+    m.from = kSenders[rng.Uniform(
+        0, static_cast<int64_t>(std::size(kSenders)) - 1)];
+    m.to = "smith@example.com";
+    m.subject = "subject " + rng.Word(6);
+    m.body = MakeText(&rng, 40, false);
+    m.date_days = today - rng.Uniform(0, days);
+    m.in_reply_to = -1;
+    messages.push_back(std::move(m));
+  }
+  // The salesman replies to roughly half the messages: a reply is a message
+  // whose InReplyTo names the original.
+  int replies = num_messages / 2;
+  for (int i = 0; i < replies; ++i) {
+    MailMessage reply;
+    reply.msg_id = num_messages + i + 1;
+    reply.from = "smith@example.com";
+    int64_t target = rng.Uniform(1, num_messages);
+    reply.to = messages[static_cast<size_t>(target - 1)].from;
+    reply.subject = "re: " + messages[static_cast<size_t>(target - 1)].subject;
+    reply.body = MakeText(&rng, 20, false);
+    reply.date_days = messages[static_cast<size_t>(target - 1)].date_days;
+    reply.in_reply_to = target;
+    messages.push_back(std::move(reply));
+  }
+  return messages;
+}
+
+}  // namespace workloads
+}  // namespace dhqp

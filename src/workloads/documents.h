@@ -1,0 +1,39 @@
+#ifndef DHQP_WORKLOADS_DOCUMENTS_H_
+#define DHQP_WORKLOADS_DOCUMENTS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/connectors/mail_provider.h"
+#include "src/fulltext/ifilter.h"
+
+namespace dhqp {
+namespace workloads {
+
+/// Options for the synthetic document corpus (substitute for the paper's
+/// NTFS document repository, §2.2). Documents mix formats (txt/html/doc/pdf
+/// plus an un-filterable "zip") and draw words from topic vocabularies so
+/// full-text queries have meaningful selectivity.
+struct CorpusOptions {
+  int num_documents = 1000;
+  int words_per_document = 120;
+  uint64_t seed = 7;
+  /// Fraction of documents about "database systems" topics — these match
+  /// the paper's example query ("parallel database" OR "heterogeneous
+  /// query").
+  double database_topic_fraction = 0.15;
+};
+
+/// Generates the corpus.
+std::vector<fulltext::Document> GenerateCorpus(const CorpusOptions& options);
+
+/// Generates a synthetic mailbox for the §2.4 salesman scenario: customers
+/// from `cities` write in; some threads get replies. Message dates fall in
+/// the `days` days before `today`.
+std::vector<MailMessage> GenerateMailbox(int num_messages, int64_t today,
+                                         int days, uint64_t seed);
+
+}  // namespace workloads
+}  // namespace dhqp
+
+#endif  // DHQP_WORKLOADS_DOCUMENTS_H_

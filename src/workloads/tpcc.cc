@@ -1,0 +1,124 @@
+#include "src/workloads/tpcc.h"
+
+#include "src/common/rng.h"
+#include "src/connectors/engine_provider.h"
+#include "src/connectors/linked_provider.h"
+
+namespace dhqp {
+namespace workloads {
+
+Result<std::unique_ptr<TpccFederation>> BuildTpccFederation(
+    const TpccOptions& options) {
+  auto fed = std::make_unique<TpccFederation>();
+  fed->warehouses_per_member = options.warehouses_per_member;
+  EngineOptions copt;
+  copt.name = "coordinator";
+  fed->coordinator = std::make_unique<Engine>(copt);
+
+  Rng rng(options.seed);
+  std::string customers_view = "CREATE VIEW customers_all AS ";
+  std::string orders_view = "CREATE VIEW orders_all AS ";
+  for (int m = 0; m < options.num_members; ++m) {
+    EngineOptions mopt;
+    mopt.name = "member" + std::to_string(m);
+    auto member = std::make_unique<Engine>(mopt);
+    int64_t w_lo = static_cast<int64_t>(m) * options.warehouses_per_member + 1;
+    int64_t w_hi = w_lo + options.warehouses_per_member - 1;
+
+    DHQP_RETURN_NOT_OK(
+        member
+            ->Execute("CREATE TABLE customers (w_id INT NOT NULL CHECK "
+                      "(w_id BETWEEN " +
+                      std::to_string(w_lo) + " AND " + std::to_string(w_hi) +
+                      "), c_id INT NOT NULL, c_name VARCHAR(24), "
+                      "c_balance FLOAT)")
+            .status());
+    DHQP_RETURN_NOT_OK(
+        member
+            ->Execute("CREATE INDEX idx_cust ON customers (w_id, c_id)")
+            .status());
+    DHQP_RETURN_NOT_OK(
+        member
+            ->Execute("CREATE TABLE orders (o_id INT NOT NULL, w_id INT NOT "
+                      "NULL CHECK (w_id BETWEEN " +
+                      std::to_string(w_lo) + " AND " + std::to_string(w_hi) +
+                      "), c_id INT, amount FLOAT)")
+            .status());
+    for (int64_t w = w_lo; w <= w_hi; ++w) {
+      for (int c = 1; c <= options.customers_per_warehouse; ++c) {
+        DHQP_ASSIGN_OR_RETURN(
+            int64_t id,
+            member->storage()->InsertRow(
+                -1, "customers",
+                {Value::Int64(w), Value::Int64(c),
+                 Value::String("cust-" + rng.Word(8)),
+                 Value::Double(static_cast<double>(rng.Uniform(0, 100000)) /
+                               100.0)}));
+        (void)id;
+      }
+    }
+
+    std::string server = "member" + std::to_string(m);
+    auto link = std::make_unique<net::Link>(server, options.link_latency_us,
+                                            0.5, options.link_latency_us > 0);
+    auto provider = std::make_shared<LinkedDataSource>(
+        std::make_shared<EngineDataSource>(member.get()), link.get());
+    DHQP_RETURN_NOT_OK(fed->coordinator->AddLinkedServer(server, provider));
+
+    if (m > 0) {
+      customers_view += " UNION ALL ";
+      orders_view += " UNION ALL ";
+    }
+    customers_view += "SELECT * FROM " + server + ".tpcc.dbo.customers";
+    orders_view += "SELECT * FROM " + server + ".tpcc.dbo.orders";
+
+    fed->members.push_back(std::move(member));
+    fed->links.push_back(std::move(link));
+  }
+  DHQP_RETURN_NOT_OK(fed->coordinator->Execute(customers_view).status());
+  DHQP_RETURN_NOT_OK(fed->coordinator->Execute(orders_view).status());
+  return std::move(fed);
+}
+
+Result<int64_t> TpccFederation::NewOrder(TransactionCoordinator* dtc,
+                                         int64_t warehouse,
+                                         int64_t customer_id,
+                                         int64_t order_id) {
+  // Read the customer through the partitioned view: startup filters prune
+  // all but the owning member.
+  DHQP_ASSIGN_OR_RETURN(
+      QueryResult lookup,
+      coordinator->Execute(
+          "SELECT c_balance FROM customers_all WHERE w_id = @w AND c_id = @c",
+          {{"@w", Value::Int64(warehouse)}, {"@c", Value::Int64(customer_id)}}));
+  if (lookup.rowset->rows().empty()) {
+    return Status::NotFound("customer not found");
+  }
+  double balance = lookup.rowset->rows()[0][0].AsDouble();
+
+  // Insert the order on the owning member under a distributed transaction.
+  int member_idx =
+      static_cast<int>((warehouse - 1) / warehouses_per_member);
+  DHQP_ASSIGN_OR_RETURN(int source_id, coordinator->catalog()->GetLinkedServerId(
+                                           "member" + std::to_string(member_idx)));
+  DHQP_ASSIGN_OR_RETURN(Session * session,
+                        coordinator->catalog()->GetSession(source_id));
+  int64_t txn = dtc->Begin();
+  DHQP_RETURN_NOT_OK(dtc->Enlist(txn, session, "member" +
+                                                   std::to_string(member_idx)));
+  Status insert = session
+                      ->InsertRows("orders", {{Value::Int64(order_id),
+                                               Value::Int64(warehouse),
+                                               Value::Int64(customer_id),
+                                               Value::Double(balance / 10)}})
+                      .status();
+  if (!insert.ok()) {
+    (void)dtc->Abort(txn);
+    return insert;
+  }
+  DHQP_RETURN_NOT_OK(dtc->Commit(txn));
+  return order_id;
+}
+
+}  // namespace workloads
+}  // namespace dhqp

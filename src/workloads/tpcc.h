@@ -1,0 +1,49 @@
+#ifndef DHQP_WORKLOADS_TPCC_H_
+#define DHQP_WORKLOADS_TPCC_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/net/network.h"
+#include "src/txn/dtc.h"
+
+namespace dhqp {
+namespace workloads {
+
+/// A TPC-C-style federation (the world-record configuration of [17],
+/// §4.1.5, at miniature scale): `num_members` engines, customers hash-
+/// partitioned by warehouse across members via CHECK constraints, fronted by
+/// a coordinator engine with a distributed partitioned view.
+struct TpccFederation {
+  std::unique_ptr<Engine> coordinator;
+  std::vector<std::unique_ptr<Engine>> members;
+  std::vector<std::unique_ptr<net::Link>> links;  // One per member.
+  int warehouses_per_member = 0;
+
+  /// Runs one new-order-style transaction for (warehouse, customer): reads
+  /// the customer through the partitioned view, then inserts an order row
+  /// into the owning member under a 2PC transaction.
+  Result<int64_t> NewOrder(TransactionCoordinator* dtc, int64_t warehouse,
+                           int64_t customer_id, int64_t order_id);
+};
+
+struct TpccOptions {
+  int num_members = 4;
+  int warehouses_per_member = 2;
+  int customers_per_warehouse = 100;
+  uint64_t seed = 11;
+  /// Per-member link latency in microseconds (0 = counting only).
+  double link_latency_us = 0;
+};
+
+/// Builds the federation: member tables with warehouse-range CHECKs, the
+/// coordinator's linked servers and the distributed partitioned views
+/// `customers_all` and `orders_all`.
+Result<std::unique_ptr<TpccFederation>> BuildTpccFederation(
+    const TpccOptions& options);
+
+}  // namespace workloads
+}  // namespace dhqp
+
+#endif  // DHQP_WORKLOADS_TPCC_H_

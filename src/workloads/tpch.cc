@@ -1,0 +1,196 @@
+#include "src/workloads/tpch.h"
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+
+namespace dhqp {
+namespace workloads {
+
+namespace {
+
+const char* kNations[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN",
+    "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                          "MIDDLE EAST"};
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY",
+                           "HOUSEHOLD"};
+
+int64_t Count(double base, double sf) {
+  return std::max<int64_t>(1, static_cast<int64_t>(base * sf));
+}
+
+Status InsertDirect(Engine* engine, const std::string& table, Row row) {
+  DHQP_ASSIGN_OR_RETURN(int64_t id,
+                        engine->storage()->InsertRow(-1, table, row));
+  (void)id;
+  return Status::OK();
+}
+
+Status FillLineitem(Engine* engine, const std::string& table, int64_t orders,
+                    int64_t suppliers, uint64_t seed, int year_lo,
+                    int year_hi) {
+  Rng rng(seed);
+  int64_t lo_days = CivilToDays(year_lo, 1, 1);
+  int64_t hi_days = CivilToDays(year_hi, 12, 31);
+  for (int64_t o = 1; o <= orders; ++o) {
+    int lines = static_cast<int>(rng.Uniform(1, 7));
+    for (int l = 1; l <= lines; ++l) {
+      int64_t commit = rng.Uniform(lo_days, hi_days);
+      Row row{Value::Int64(o),
+              Value::Int64(l),
+              Value::Int64(rng.Uniform(1, std::max<int64_t>(suppliers, 1))),
+              Value::Int64(rng.Uniform(1, 50)),
+              Value::Double(static_cast<double>(rng.Uniform(1000, 100000)) /
+                            100.0),
+              Value::Date(commit),
+              Value::Date(commit + rng.Uniform(-30, 30))};
+      DHQP_RETURN_NOT_OK(InsertDirect(engine, table, std::move(row)));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status PopulateTpch(Engine* engine, const TpchOptions& options) {
+  Rng rng(options.seed);
+  const double sf = options.scale_factor;
+  int64_t customers = Count(150000, sf);
+  int64_t suppliers = Count(10000, sf);
+  int64_t orders = Count(150000, sf) * 10;
+
+  DHQP_RETURN_NOT_OK(
+      engine
+          ->Execute("CREATE TABLE region (r_regionkey INT PRIMARY KEY, "
+                    "r_name VARCHAR(25))")
+          .status());
+  DHQP_RETURN_NOT_OK(
+      engine
+          ->Execute("CREATE TABLE nation (n_nationkey INT PRIMARY KEY, "
+                    "n_name VARCHAR(25), n_regionkey INT)")
+          .status());
+  DHQP_RETURN_NOT_OK(
+      engine
+          ->Execute("CREATE TABLE supplier (s_suppkey INT PRIMARY KEY, "
+                    "s_name VARCHAR(25), s_nationkey INT, s_acctbal FLOAT)")
+          .status());
+  DHQP_RETURN_NOT_OK(
+      engine
+          ->Execute(
+              "CREATE TABLE customer (c_custkey INT PRIMARY KEY, "
+              "c_name VARCHAR(25), c_address VARCHAR(40), "
+              "c_phone VARCHAR(15), c_nationkey INT, c_acctbal FLOAT, "
+              "c_mktsegment VARCHAR(10))")
+          .status());
+
+  for (int r = 0; r < 5; ++r) {
+    DHQP_RETURN_NOT_OK(InsertDirect(
+        engine, "region", {Value::Int64(r), Value::String(kRegions[r])}));
+  }
+  for (int n = 0; n < 25; ++n) {
+    DHQP_RETURN_NOT_OK(InsertDirect(engine, "nation",
+                                    {Value::Int64(n), Value::String(kNations[n]),
+                                     Value::Int64(n % 5)}));
+  }
+  for (int64_t s = 1; s <= suppliers; ++s) {
+    DHQP_RETURN_NOT_OK(InsertDirect(
+        engine, "supplier",
+        {Value::Int64(s), Value::String("Supplier#" + std::to_string(s)),
+         Value::Int64(rng.Uniform(0, 24)),
+         Value::Double(static_cast<double>(rng.Uniform(-99999, 999999)) /
+                       100.0)}));
+  }
+  for (int64_t c = 1; c <= customers; ++c) {
+    int64_t nation = rng.Uniform(0, 24);
+    DHQP_RETURN_NOT_OK(InsertDirect(
+        engine, "customer",
+        {Value::Int64(c), Value::String("Customer#" + std::to_string(c)),
+         Value::String("addr-" + rng.Word(12)),
+         Value::String("phone-" + std::to_string(rng.Uniform(1000000, 9999999))),
+         Value::Int64(nation),
+         Value::Double(static_cast<double>(rng.Uniform(-99999, 999999)) /
+                       100.0),
+         Value::String(kSegments[rng.Uniform(0, 4)])}));
+  }
+  if (options.with_indexes) {
+    DHQP_RETURN_NOT_OK(
+        engine->Execute("CREATE INDEX idx_customer_nation ON customer "
+                        "(c_nationkey)")
+            .status());
+    DHQP_RETURN_NOT_OK(
+        engine->Execute("CREATE INDEX idx_supplier_nation ON supplier "
+                        "(s_nationkey)")
+            .status());
+  }
+
+  if (options.include_orders) {
+    DHQP_RETURN_NOT_OK(
+        engine
+            ->Execute("CREATE TABLE orders (o_orderkey INT PRIMARY KEY, "
+                      "o_custkey INT, o_orderdate DATE, o_totalprice FLOAT)")
+            .status());
+    DHQP_RETURN_NOT_OK(
+        engine
+            ->Execute("CREATE TABLE lineitem (l_orderkey INT, "
+                      "l_linenumber INT, l_suppkey INT, l_quantity INT, "
+                      "l_extendedprice FLOAT, l_commitdate DATE, "
+                      "l_shipdate DATE)")
+            .status());
+    int64_t date_lo = CivilToDays(1992, 1, 1);
+    int64_t date_hi = CivilToDays(1998, 12, 31);
+    for (int64_t o = 1; o <= orders; ++o) {
+      DHQP_RETURN_NOT_OK(InsertDirect(
+          engine, "orders",
+          {Value::Int64(o), Value::Int64(rng.Uniform(1, customers)),
+           Value::Date(rng.Uniform(date_lo, date_hi)),
+           Value::Double(static_cast<double>(rng.Uniform(10000, 50000000)) /
+                         100.0)}));
+    }
+    DHQP_RETURN_NOT_OK(FillLineitem(engine, "lineitem", orders, suppliers,
+                                    options.seed + 1, 1992, 1998));
+    if (options.with_indexes) {
+      DHQP_RETURN_NOT_OK(
+          engine->Execute("CREATE INDEX idx_orders_cust ON orders (o_custkey)")
+              .status());
+      DHQP_RETURN_NOT_OK(
+          engine
+              ->Execute(
+                  "CREATE INDEX idx_lineitem_order ON lineitem (l_orderkey)")
+              .status());
+    }
+  }
+  return Status::OK();
+}
+
+Status PopulateLineitemPartition(Engine* engine, const TpchOptions& options,
+                                 const std::string& table_name, int year_lo,
+                                 int year_hi) {
+  std::string ddl =
+      "CREATE TABLE " + table_name +
+      " (l_orderkey INT, l_linenumber INT, l_suppkey INT, l_quantity INT, "
+      "l_extendedprice FLOAT, l_commitdate DATE NOT NULL CHECK "
+      "(l_commitdate BETWEEN '" +
+      std::to_string(year_lo) + "-01-01' AND '" + std::to_string(year_hi) +
+      "-12-31'), l_shipdate DATE)";
+  DHQP_RETURN_NOT_OK(engine->Execute(ddl).status());
+  int64_t orders = Count(150000, options.scale_factor);
+  int64_t suppliers = Count(10000, options.scale_factor);
+  DHQP_RETURN_NOT_OK(FillLineitem(engine, table_name, orders, suppliers,
+                                  options.seed + static_cast<uint64_t>(year_lo),
+                                  year_lo, year_hi));
+  if (options.with_indexes) {
+    DHQP_RETURN_NOT_OK(engine
+                           ->Execute("CREATE INDEX idx_" + table_name +
+                                     "_date ON " + table_name +
+                                     " (l_commitdate)")
+                           .status());
+  }
+  return Status::OK();
+}
+
+}  // namespace workloads
+}  // namespace dhqp

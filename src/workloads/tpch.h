@@ -1,0 +1,37 @@
+#ifndef DHQP_WORKLOADS_TPCH_H_
+#define DHQP_WORKLOADS_TPCH_H_
+
+#include "src/core/engine.h"
+
+namespace dhqp {
+namespace workloads {
+
+/// Options for the TPC-H-style generator. Scale factor 1.0 corresponds to
+/// the classic row counts (customer 150k, supplier 10k, orders 1.5M); the
+/// benches run at 0.001-0.1. Distributions (keys, dates, nations) follow the
+/// spec shapes closely enough that the paper's Example 1 plan choice (Fig 4)
+/// reproduces: |customer ⋈ supplier on nationkey| is enormous relative to
+/// |supplier ⋈ nation|.
+struct TpchOptions {
+  double scale_factor = 0.01;
+  uint64_t seed = 42;
+  bool with_indexes = true;      ///< Primary-key and FK indexes.
+  bool include_orders = true;    ///< orders + lineitem tables.
+};
+
+/// Creates and fills nation/region/customer/supplier (+ orders/lineitem)
+/// on `engine`'s local storage.
+Status PopulateTpch(Engine* engine, const TpchOptions& options);
+
+/// Creates and fills only the `lineitem` table, with rows restricted to
+/// commit dates within [year_lo, year_hi] (for partitioned-view members per
+/// §4.1.5's lineitem-by-year example). Adds the CHECK constraint on
+/// l_commitdate.
+Status PopulateLineitemPartition(Engine* engine, const TpchOptions& options,
+                                 const std::string& table_name, int year_lo,
+                                 int year_hi);
+
+}  // namespace workloads
+}  // namespace dhqp
+
+#endif  // DHQP_WORKLOADS_TPCH_H_

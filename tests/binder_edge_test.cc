@@ -1,0 +1,135 @@
+// Binder edge cases: ambiguity, scoping, aggregate misuse, type errors,
+// view recursion, ORDER BY forms.
+
+#include "tests/test_util.h"
+
+namespace dhqp {
+namespace {
+
+class BinderEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MustExecute(&engine_, "CREATE TABLE t1 (id INT PRIMARY KEY, v INT)");
+    MustExecute(&engine_, "CREATE TABLE t2 (id INT PRIMARY KEY, w INT)");
+    MustExecute(&engine_, "INSERT INTO t1 VALUES (1, 10), (2, 20)");
+    MustExecute(&engine_, "INSERT INTO t2 VALUES (1, 100), (3, 300)");
+  }
+
+  StatusCode CodeOf(const std::string& sql) {
+    auto r = engine_.Execute(sql);
+    return r.ok() ? StatusCode::kOk : r.status().code();
+  }
+
+  Engine engine_;
+};
+
+TEST_F(BinderEdgeTest, AmbiguousColumnRejected) {
+  EXPECT_EQ(CodeOf("SELECT id FROM t1, t2"), StatusCode::kInvalidArgument);
+  // Qualification resolves it.
+  EXPECT_EQ(CodeOf("SELECT t1.id FROM t1, t2"), StatusCode::kOk);
+}
+
+TEST_F(BinderEdgeTest, DuplicateAliasRejected) {
+  EXPECT_EQ(CodeOf("SELECT * FROM t1 a, t2 a"), StatusCode::kInvalidArgument);
+  EXPECT_EQ(CodeOf("SELECT * FROM t1, t1"), StatusCode::kInvalidArgument);
+  // Self-join with distinct aliases works.
+  QueryResult r = MustExecute(
+      &engine_, "SELECT a.id, b.id FROM t1 a JOIN t1 b ON a.id = b.id "
+                "ORDER BY a.id");
+  EXPECT_EQ(RowsToString(r), "(1, 1)(2, 2)");
+}
+
+TEST_F(BinderEdgeTest, UnknownObjects) {
+  EXPECT_EQ(CodeOf("SELECT * FROM missing"), StatusCode::kNotFound);
+  EXPECT_EQ(CodeOf("SELECT nope FROM t1"), StatusCode::kNotFound);
+  EXPECT_EQ(CodeOf("SELECT * FROM nosrv.a.b.c"), StatusCode::kNotFound);
+  EXPECT_EQ(CodeOf("SELECT UNKNOWNFN(v) FROM t1"), StatusCode::kNotFound);
+}
+
+TEST_F(BinderEdgeTest, AggregateMisuse) {
+  // Aggregate in WHERE is rejected.
+  EXPECT_NE(CodeOf("SELECT v FROM t1 WHERE SUM(v) > 5"), StatusCode::kOk);
+  // Non-grouped column in aggregate query fails to bind.
+  EXPECT_NE(CodeOf("SELECT v, COUNT(*) FROM t1 GROUP BY id"),
+            StatusCode::kOk);
+  // '*' only valid in COUNT.
+  EXPECT_NE(CodeOf("SELECT SUM(*) FROM t1"), StatusCode::kOk);
+}
+
+TEST_F(BinderEdgeTest, GroupByExpression) {
+  MustExecute(&engine_, "INSERT INTO t1 VALUES (3, 10)");
+  QueryResult r = MustExecute(
+      &engine_, "SELECT v * 2, COUNT(*) FROM t1 GROUP BY v * 2 ORDER BY 1");
+  EXPECT_EQ(RowsToString(r), "(20, 2)(40, 1)");
+}
+
+TEST_F(BinderEdgeTest, OrderByForms) {
+  // Ordinal, alias, hidden column, expression.
+  EXPECT_EQ(RowsToString(MustExecute(
+                &engine_, "SELECT id, v FROM t1 ORDER BY 2 DESC")),
+            "(2, 20)(1, 10)");
+  EXPECT_EQ(RowsToString(MustExecute(
+                &engine_, "SELECT v AS pay FROM t1 ORDER BY pay DESC")),
+            "(20)(10)");
+  EXPECT_EQ(RowsToString(MustExecute(
+                &engine_, "SELECT id FROM t1 ORDER BY v DESC")),
+            "(2)(1)");
+  EXPECT_EQ(RowsToString(MustExecute(
+                &engine_, "SELECT id FROM t1 ORDER BY v * -1")),
+            "(2)(1)");
+  // Out-of-range ordinal.
+  EXPECT_EQ(CodeOf("SELECT id FROM t1 ORDER BY 9"),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(BinderEdgeTest, UnionAllShapeChecks) {
+  EXPECT_EQ(CodeOf("SELECT id, v FROM t1 UNION ALL SELECT id FROM t2"),
+            StatusCode::kInvalidArgument);
+  // ORDER BY over a union resolves names/ordinals.
+  QueryResult r = MustExecute(
+      &engine_,
+      "SELECT id FROM t1 UNION ALL SELECT id FROM t2 ORDER BY id DESC");
+  EXPECT_EQ(RowsToString(r), "(3)(2)(1)(1)");
+}
+
+TEST_F(BinderEdgeTest, RecursiveViewRejected) {
+  MustExecute(&engine_, "CREATE VIEW v1 AS SELECT * FROM t1");
+  // A view cannot shadow an existing object, and a self-referencing chain
+  // must terminate with an error rather than loop.
+  EXPECT_EQ(CodeOf("CREATE VIEW v1 AS SELECT * FROM t2"),
+            StatusCode::kAlreadyExists);
+  // A dangling reference inside a view surfaces as NotFound at use.
+  MustExecute(&engine_, "CREATE VIEW v2 AS SELECT * FROM v3x");
+  EXPECT_EQ(CodeOf("SELECT * FROM v2"), StatusCode::kNotFound);
+  // A mutual-recursion cycle trips the nesting-depth guard.
+  MustExecute(&engine_, "CREATE VIEW va AS SELECT * FROM vb");
+  MustExecute(&engine_, "CREATE VIEW vb AS SELECT * FROM va");
+  EXPECT_EQ(CodeOf("SELECT * FROM va"), StatusCode::kInvalidArgument);
+}
+
+TEST_F(BinderEdgeTest, CorrelatedSubqueryDepth) {
+  // Nested EXISTS two levels deep with correlation to the outermost scope.
+  QueryResult r = MustExecute(
+      &engine_,
+      "SELECT id FROM t1 WHERE EXISTS (SELECT * FROM t2 WHERE t2.id = t1.id "
+      "AND EXISTS (SELECT * FROM t1 x WHERE x.id = t2.id))");
+  EXPECT_EQ(RowsToString(r), "(1)");
+}
+
+TEST_F(BinderEdgeTest, ParameterTypeInference) {
+  // Params adopt the column type: a date column compared to @d accepts a
+  // string-typed value at execution via the inferred cast.
+  MustExecute(&engine_, "CREATE TABLE ev (d DATE)");
+  MustExecute(&engine_, "INSERT INTO ev VALUES ('2004-01-02')");
+  QueryResult r = MustExecute(&engine_, "SELECT COUNT(*) FROM ev WHERE d = @d",
+                              {{"@d", Value::String("2004-01-02")}});
+  EXPECT_EQ(RowsToString(r), "(1)");
+}
+
+TEST_F(BinderEdgeTest, TypeErrorsSurface) {
+  EXPECT_NE(CodeOf("SELECT v + 'abc' FROM t1"), StatusCode::kOk);
+  EXPECT_NE(CodeOf("SELECT UPPER(v, v) FROM t1"), StatusCode::kOk);
+}
+
+}  // namespace
+}  // namespace dhqp

@@ -1,0 +1,160 @@
+// B+-tree unit and property tests: ordering, duplicates, range scans,
+// prefix matching, deletion, structural invariants.
+
+#include <algorithm>
+#include <gtest/gtest.h>
+#include <map>
+
+#include "src/common/rng.h"
+#include "src/storage/btree.h"
+
+namespace dhqp {
+namespace {
+
+IndexKey K(int64_t a) { return {Value::Int64(a)}; }
+IndexKey K2(int64_t a, int64_t b) { return {Value::Int64(a), Value::Int64(b)}; }
+
+TEST(BTreeTest, InsertAndScanSorted) {
+  BTree tree(8);
+  for (int i = 99; i >= 0; --i) tree.Insert(K(i), i * 10);
+  EXPECT_EQ(tree.size(), 100u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  std::vector<int64_t> ids;
+  tree.Scan(nullptr, true, nullptr, true, &ids);
+  ASSERT_EQ(ids.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ids[static_cast<size_t>(i)], i * 10);
+}
+
+TEST(BTreeTest, RangeBounds) {
+  BTree tree(8);
+  for (int i = 0; i < 50; ++i) tree.Insert(K(i), i);
+  std::vector<int64_t> ids;
+  IndexKey lo = K(10), hi = K(20);
+  tree.Scan(&lo, true, &hi, false, &ids);
+  ASSERT_EQ(ids.size(), 10u);
+  EXPECT_EQ(ids.front(), 10);
+  EXPECT_EQ(ids.back(), 19);
+
+  ids.clear();
+  tree.Scan(&lo, false, &hi, true, &ids);
+  EXPECT_EQ(ids.front(), 11);
+  EXPECT_EQ(ids.back(), 20);
+}
+
+TEST(BTreeTest, DuplicatesSpanningLeaves) {
+  // Small order forces duplicate runs across several leaves; scans must
+  // find the leftmost occurrence (regression: FindLeaf used to branch right
+  // of equal separators).
+  BTree tree(4);
+  for (int i = 0; i < 60; ++i) tree.Insert(K(i % 3), i);
+  std::vector<int64_t> ids;
+  IndexKey key = K(1);
+  tree.Scan(&key, true, &key, true, &ids);
+  EXPECT_EQ(ids.size(), 20u);
+  for (int64_t id : ids) EXPECT_EQ(id % 3, 1);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BTreeTest, CompositeKeyPrefixScan) {
+  BTree tree(8);
+  for (int a = 0; a < 10; ++a) {
+    for (int b = 0; b < 10; ++b) tree.Insert(K2(a, b), a * 100 + b);
+  }
+  // Prefix [4] matches all (4, *) entries.
+  std::vector<int64_t> ids;
+  IndexKey prefix = K(4);
+  tree.Scan(&prefix, true, &prefix, true, &ids);
+  ASSERT_EQ(ids.size(), 10u);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(ids[i], 400 + static_cast<int64_t>(i));
+  }
+  // Prefix + range on the second column.
+  ids.clear();
+  IndexKey lo = K2(4, 3), hi = K2(4, 6);
+  tree.Scan(&lo, true, &hi, true, &ids);
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+TEST(BTreeTest, EraseAndContains) {
+  BTree tree(4);
+  for (int i = 0; i < 30; ++i) tree.Insert(K(i), i);
+  EXPECT_TRUE(tree.Contains(K(17)));
+  EXPECT_TRUE(tree.Erase(K(17), 17));
+  EXPECT_FALSE(tree.Contains(K(17)));
+  EXPECT_FALSE(tree.Erase(K(17), 17));  // Already gone.
+  EXPECT_EQ(tree.size(), 29u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BTreeTest, MixedTypeKeys) {
+  BTree tree(8);
+  tree.Insert({Value::String("beta")}, 1);
+  tree.Insert({Value::String("alpha")}, 2);
+  tree.Insert({Value::String("gamma")}, 3);
+  std::vector<std::pair<IndexKey, int64_t>> entries;
+  tree.ScanEntries(nullptr, true, nullptr, true, &entries);
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].first[0].string_value(), "alpha");
+  EXPECT_EQ(entries[2].first[0].string_value(), "gamma");
+}
+
+// Property test against a reference multimap, across random operation mixes
+// and tree orders.
+class BTreePropertyTest
+    : public ::testing::TestWithParam<std::pair<int, uint64_t>> {};
+
+TEST_P(BTreePropertyTest, MatchesReferenceMultimap) {
+  auto [order, seed] = GetParam();
+  BTree tree(order);
+  std::multimap<int64_t, int64_t> reference;
+  Rng rng(seed);
+  for (int step = 0; step < 3000; ++step) {
+    int64_t key = rng.Uniform(0, 80);
+    if (rng.Uniform(0, 3) != 0 || reference.empty()) {
+      int64_t id = step;
+      tree.Insert(K(key), id);
+      reference.emplace(key, id);
+    } else {
+      auto it = reference.find(key);
+      bool expect_found = it != reference.end();
+      bool found = expect_found && tree.Erase(K(key), it->second);
+      if (expect_found) {
+        EXPECT_TRUE(found) << "erase failed for key " << key;
+        reference.erase(it);
+      }
+    }
+  }
+  EXPECT_EQ(tree.size(), reference.size());
+  ASSERT_TRUE(tree.CheckInvariants());
+  // Full scan matches the reference ordering by key.
+  std::vector<std::pair<IndexKey, int64_t>> entries;
+  tree.ScanEntries(nullptr, true, nullptr, true, &entries);
+  ASSERT_EQ(entries.size(), reference.size());
+  auto ref_it = reference.begin();
+  for (const auto& [key, id] : entries) {
+    EXPECT_EQ(key[0].int64_value(), ref_it->first);
+    ++ref_it;
+  }
+  // Random range scans match brute-force counting.
+  for (int trial = 0; trial < 20; ++trial) {
+    int64_t a = rng.Uniform(0, 80), b = rng.Uniform(0, 80);
+    if (a > b) std::swap(a, b);
+    std::vector<int64_t> ids;
+    IndexKey lo = K(a), hi = K(b);
+    tree.Scan(&lo, true, &hi, true, &ids);
+    size_t expected = 0;
+    for (const auto& [k, id] : reference) {
+      if (k >= a && k <= b) ++expected;
+    }
+    EXPECT_EQ(ids.size(), expected) << "range [" << a << "," << b << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OrdersAndSeeds, BTreePropertyTest,
+    ::testing::Values(std::make_pair(4, 1ull), std::make_pair(4, 2ull),
+                      std::make_pair(8, 3ull), std::make_pair(16, 4ull),
+                      std::make_pair(64, 5ull), std::make_pair(5, 6ull)));
+
+}  // namespace
+}  // namespace dhqp

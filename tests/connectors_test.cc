@@ -1,0 +1,199 @@
+// Heterogeneous provider tests: CSV, mail, sheets, capability presets,
+// dialect round trips, and the Table 1 / Table 2 introspection.
+
+#include "src/connectors/csv_provider.h"
+#include "src/connectors/mail_provider.h"
+#include "src/connectors/sheet_provider.h"
+#include "src/workloads/documents.h"
+#include "tests/test_util.h"
+
+namespace dhqp {
+namespace {
+
+TEST(CsvProviderTest, SniffsTypesAndScans) {
+  auto csv = std::make_shared<CsvDataSource>();
+  ASSERT_OK(csv->AddTable("people",
+                          "name,age,score,joined\n"
+                          "alice,30,9.5,2001-05-04\n"
+                          "bob,41,7.25,1999-12-31\n"));
+  auto session = csv->CreateSession();
+  ASSERT_TRUE(session.ok());
+  auto tables = (*session)->ListTables();
+  ASSERT_TRUE(tables.ok());
+  ASSERT_EQ(tables->size(), 1u);
+  const Schema& schema = (*tables)[0].schema;
+  EXPECT_EQ(schema.column(0).type, DataType::kString);
+  EXPECT_EQ(schema.column(1).type, DataType::kInt64);
+  EXPECT_EQ(schema.column(2).type, DataType::kDouble);
+  EXPECT_EQ(schema.column(3).type, DataType::kDate);
+}
+
+TEST(CsvProviderTest, QueryableThroughLinkedServer) {
+  Engine host;
+  auto csv = std::make_shared<CsvDataSource>();
+  ASSERT_OK(csv->AddTable("people",
+                          "name,age\nalice,30\nbob,41\ncarol,29\n"));
+  auto link = std::make_unique<net::Link>("csvsrv");
+  ASSERT_OK(host.AddLinkedServer(
+      "csvsrv", std::make_shared<LinkedDataSource>(csv, link.get())));
+  QueryResult r = MustExecute(
+      &host, "SELECT name FROM csvsrv.files.dbo.people WHERE age < 35 "
+             "ORDER BY name");
+  EXPECT_EQ(RowsToString(r), "(alice)(carol)");
+  // Simple provider: no remote query possible; the host filtered locally.
+  EXPECT_EQ(CountOps(r.plan, PhysicalOpKind::kRemoteQuery), 0);
+}
+
+TEST(MailProviderTest, SalesmanScenario) {
+  // §2.4: mail from Seattle customers within the last two days with no
+  // reply yet, joined against an Access-style Customers table.
+  Engine host;
+  int64_t today = DefaultCurrentDate();
+  std::vector<MailMessage> mailbox = {
+      {1, "ann@contoso.com", "smith@example.com", "order", "need pricing",
+       today - 1, -1},
+      {2, "li@fabrikam.com", "smith@example.com", "hello", "checking in",
+       today - 1, -1},
+      {3, "smith@example.com", "ann@contoso.com", "re: order", "sent!",
+       today - 1, 1},  // Reply to msg 1.
+      {4, "omar@northwind.com", "smith@example.com", "old", "stale mail",
+       today - 30, -1},
+  };
+  auto mail = std::make_shared<MailDataSource>(std::move(mailbox));
+  ASSERT_OK(host.AddLinkedServer("mailsrv", mail));
+
+  // The "Access" Customers table.
+  Engine access_db;
+  MustExecute(&access_db,
+              "CREATE TABLE Customers (Emailaddr VARCHAR(40), "
+              "City VARCHAR(20), Address VARCHAR(60))");
+  MustExecute(&access_db,
+              "INSERT INTO Customers VALUES "
+              "('ann@contoso.com','Seattle','1 Pine St'),"
+              "('li@fabrikam.com','Seattle','9 Oak Ave'),"
+              "('omar@northwind.com','Portland','4 Elm Rd')");
+  auto provider =
+      std::make_shared<EngineDataSource>(&access_db, AccessCapabilities());
+  ASSERT_OK(host.AddLinkedServer("accesssrv", provider));
+
+  QueryResult r = MustExecute(
+      &host,
+      "SELECT m1.MsgId, c.Address "
+      "FROM mailsrv.mmf.dbo.inbox m1, accesssrv.mdb.dbo.Customers c "
+      "WHERE m1.MsgDate >= DATE(TODAY(), -2) AND m1.FromAddr = c.Emailaddr "
+      "AND c.City = 'Seattle' AND NOT EXISTS "
+      "(SELECT * FROM mailsrv.mmf.dbo.inbox m2 WHERE m1.MsgId = m2.InReplyTo)"
+      " ORDER BY m1.MsgId");
+  // Msg 1 was replied to; msg 2 qualifies; msg 4 is too old.
+  EXPECT_EQ(RowsToString(r), "(2, 9 Oak Ave)");
+}
+
+TEST(SheetProviderTest, JoinsSheetWithLocalTable) {
+  Engine host;
+  auto sheets = std::make_shared<SheetDataSource>();
+  Schema schema;
+  schema.AddColumn(ColumnDef{"region", DataType::kString, true});
+  schema.AddColumn(ColumnDef{"target", DataType::kInt64, true});
+  ASSERT_OK(sheets->AddSheet("targets", schema,
+                             {{Value::String("west"), Value::Int64(100)},
+                              {Value::String("east"), Value::Int64(80)}}));
+  ASSERT_OK(host.AddLinkedServer("xlsrv", sheets));
+  MustExecute(&host, "CREATE TABLE sales (region VARCHAR(10), amount INT)");
+  MustExecute(&host, "INSERT INTO sales VALUES ('west', 120), ('east', 60)");
+  QueryResult r = MustExecute(
+      &host,
+      "SELECT s.region FROM sales s JOIN xlsrv.book.dbo.targets t "
+      "ON s.region = t.region WHERE s.amount > t.target");
+  EXPECT_EQ(RowsToString(r), "(west)");
+}
+
+TEST(DialectTest, AccessProviderGetsHashDates) {
+  // The decoder must phrase date literals per the provider's dialect
+  // (§4.1.3). Access-style: #1994-06-15#.
+  Engine host;
+  Engine access_db;
+  MustExecute(&access_db,
+              "CREATE TABLE Orders (id INT, odate DATE)");
+  MustExecute(&access_db,
+              "INSERT INTO Orders VALUES (1,'1994-06-15'),(2,'1995-01-01')");
+  ASSERT_OK(host.AddLinkedServer(
+      "acc", std::make_shared<EngineDataSource>(&access_db,
+                                                AccessCapabilities())));
+  QueryResult r = MustExecute(
+      &host, "SELECT id FROM acc.d.s.Orders WHERE odate = '1994-06-15'");
+  EXPECT_EQ(RowsToString(r), "(1)");
+  ASSERT_EQ(CountOps(r.plan, PhysicalOpKind::kRemoteQuery), 1);
+  PhysicalOpPtr node = r.plan;
+  while (node->kind != PhysicalOpKind::kRemoteQuery) node = node->children[0];
+  EXPECT_NE(node->remote_sql.find("#1994-06-15#"), std::string::npos)
+      << node->remote_sql;
+}
+
+TEST(DialectTest, Db2GetsNoNestedCapabilities) {
+  // DB2 preset: SQL-92 Entry — group-by can be remoted, but semi joins
+  // cannot (no nested selects); Oracle preset spells dates as DATE 'x'.
+  Engine host;
+  Engine oracle_db;
+  MustExecute(&oracle_db, "CREATE TABLE t (id INT, d DATE)");
+  MustExecute(&oracle_db, "INSERT INTO t VALUES (1,'2000-02-02')");
+  ASSERT_OK(host.AddLinkedServer(
+      "ora", std::make_shared<EngineDataSource>(&oracle_db,
+                                                OracleCapabilities())));
+  QueryResult r = MustExecute(
+      &host, "SELECT id FROM ora.d.s.t WHERE d = '2000-02-02'");
+  EXPECT_EQ(RowsToString(r), "(1)");
+  PhysicalOpPtr node = r.plan;
+  while (node != nullptr && node->kind != PhysicalOpKind::kRemoteQuery) {
+    node = node->children.empty() ? nullptr : node->children[0];
+  }
+  ASSERT_NE(node, nullptr);
+  EXPECT_NE(node->remote_sql.find("DATE '2000-02-02'"), std::string::npos)
+      << node->remote_sql;
+}
+
+TEST(CapabilityIntrospectionTest, Table1LanguagesAndTable2Interfaces) {
+  // Table 1: each provider reports its source type and query language.
+  ProviderCapabilities sql = SqlServerCapabilities();
+  EXPECT_EQ(sql.query_language, "Microsoft Transact-SQL");
+  CsvDataSource csv;
+  EXPECT_EQ(csv.capabilities().query_language, "none");
+
+  // Table 2: mandatory interfaces always present; optional ones follow the
+  // capability flags.
+  auto ifaces = sql.SupportedInterfaces();
+  auto has = [&](const char* name) {
+    return std::find(ifaces.begin(), ifaces.end(), name) != ifaces.end();
+  };
+  EXPECT_TRUE(has("IDBInitialize"));
+  EXPECT_TRUE(has("IDBCreateSession"));
+  EXPECT_TRUE(has("IOpenRowset"));
+  EXPECT_TRUE(has("IDBCreateCommand"));
+  EXPECT_TRUE(has("IRowsetIndex"));
+
+  auto csv_ifaces = csv.capabilities().SupportedInterfaces();
+  auto csv_has = [&](const char* name) {
+    return std::find(csv_ifaces.begin(), csv_ifaces.end(), name) !=
+           csv_ifaces.end();
+  };
+  EXPECT_TRUE(csv_has("IOpenRowset"));
+  EXPECT_FALSE(csv_has("IDBCreateCommand"));
+  EXPECT_FALSE(csv_has("IRowsetIndex"));
+}
+
+TEST(PassThroughTest, OpenQueryStyleExecution) {
+  // §3.3: pass-through queries against a query provider (OpenQuery).
+  Engine host;
+  Engine remote_db;
+  MustExecute(&remote_db, "CREATE TABLE r (a INT)");
+  MustExecute(&remote_db, "INSERT INTO r VALUES (1),(2),(3)");
+  ASSERT_OK(host.AddLinkedServer(
+      "rmt", std::make_shared<EngineDataSource>(&remote_db)));
+  auto rowset = host.ExecutePassThrough("rmt", "SELECT a FROM r WHERE a >= 2");
+  ASSERT_TRUE(rowset.ok()) << rowset.status().ToString();
+  auto rows = DrainRowset(rowset->get());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+}  // namespace
+}  // namespace dhqp

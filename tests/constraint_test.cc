@@ -1,0 +1,132 @@
+// Constraint property framework unit tests (§4.1.5): domain extraction from
+// predicates, contradiction detection, startup-predicate synthesis.
+
+#include <gtest/gtest.h>
+
+#include "src/optimizer/constraint.h"
+
+namespace dhqp {
+namespace {
+
+ScalarExprPtr Col(int id) {
+  return MakeColumn(id, DataType::kInt64, "c" + std::to_string(id));
+}
+ScalarExprPtr Lit(int64_t v) { return MakeLiteral(Value::Int64(v)); }
+
+TEST(ConstraintTest, ComparisonDomains) {
+  auto pred = MakeComparison(">", Col(1), Lit(50));
+  auto domains = ExtractPredicateDomains(pred);
+  ASSERT_EQ(domains.count(1), 1u);
+  EXPECT_FALSE(domains[1].Contains(Value::Int64(50)));
+  EXPECT_TRUE(domains[1].Contains(Value::Int64(51)));
+}
+
+TEST(ConstraintTest, ReversedOperandOrder) {
+  // 50 < c1 is the same as c1 > 50.
+  auto pred = MakeComparison("<", Lit(50), Col(1));
+  auto domains = ExtractPredicateDomains(pred);
+  ASSERT_EQ(domains.count(1), 1u);
+  EXPECT_TRUE(domains[1].Contains(Value::Int64(51)));
+  EXPECT_FALSE(domains[1].Contains(Value::Int64(49)));
+}
+
+TEST(ConstraintTest, AndIntersectsOrUnions) {
+  auto range = MakeAnd(MakeComparison(">=", Col(1), Lit(10)),
+                       MakeComparison("<=", Col(1), Lit(20)));
+  auto domains = ExtractPredicateDomains(range);
+  EXPECT_TRUE(domains[1].Contains(Value::Int64(15)));
+  EXPECT_FALSE(domains[1].Contains(Value::Int64(25)));
+
+  auto either = MakeOr(MakeComparison("=", Col(1), Lit(1)),
+                       MakeComparison("=", Col(1), Lit(5)));
+  domains = ExtractPredicateDomains(either);
+  EXPECT_TRUE(domains[1].Contains(Value::Int64(5)));
+  EXPECT_FALSE(domains[1].Contains(Value::Int64(3)));
+}
+
+TEST(ConstraintTest, OrWithUnconstrainedSideDropsRestriction) {
+  // c1 = 1 OR c2 = 2 restricts neither column individually.
+  auto pred = MakeOr(MakeComparison("=", Col(1), Lit(1)),
+                     MakeComparison("=", Col(2), Lit(2)));
+  auto domains = ExtractPredicateDomains(pred);
+  EXPECT_TRUE(domains.empty());
+}
+
+TEST(ConstraintTest, ParamsImposeNothingStatically) {
+  auto pred = MakeComparison("=", Col(1), MakeParam("@p", DataType::kInt64));
+  EXPECT_TRUE(ExtractPredicateDomains(pred).empty());
+}
+
+TEST(ConstraintTest, ContradictionDetection) {
+  std::map<int, IntervalSet> domains;
+  domains[1] = IntervalSet::FromComparison(">", Value::Int64(50));
+  IntersectDomains(&domains,
+                   ExtractPredicateDomains(MakeComparison("=", Col(1), Lit(20))));
+  EXPECT_TRUE(HasContradiction(domains));
+}
+
+TEST(ConstraintTest, StartupPredicateEquality) {
+  // Paper example: domain (50, +inf), predicate c1 = @p yields @p > 50.
+  std::map<int, IntervalSet> domains;
+  domains[1] = IntervalSet::FromComparison(">", Value::Int64(50));
+  auto conjunct = MakeComparison("=", Col(1), MakeParam("@customerId",
+                                                        DataType::kInt64));
+  ScalarExprPtr startup = BuildStartupPredicate(conjunct, domains);
+  ASSERT_NE(startup, nullptr);
+  EXPECT_TRUE(startup->IsColumnFree());
+  EXPECT_EQ(startup->ToString(), "(@customerId > 50)");
+}
+
+TEST(ConstraintTest, StartupPredicateRangeDomain) {
+  std::map<int, IntervalSet> domains;
+  domains[1] = IntervalSet::Range(Bound{Value::Int64(100), true},
+                                  Bound{Value::Int64(199), true});
+  auto eq = MakeComparison("=", Col(1), MakeParam("@p", DataType::kInt64));
+  ScalarExprPtr startup = BuildStartupPredicate(eq, domains);
+  ASSERT_NE(startup, nullptr);
+  EXPECT_EQ(startup->ToString(), "((@p >= 100) AND (@p <= 199))");
+
+  // Inequalities compare against the domain's extremes.
+  auto lt = MakeComparison("<", Col(1), MakeParam("@p", DataType::kInt64));
+  startup = BuildStartupPredicate(lt, domains);
+  ASSERT_NE(startup, nullptr);
+  EXPECT_EQ(startup->ToString(), "(@p > 100)");
+
+  auto ge = MakeComparison(">=", Col(1), MakeParam("@p", DataType::kInt64));
+  startup = BuildStartupPredicate(ge, domains);
+  ASSERT_NE(startup, nullptr);
+  EXPECT_EQ(startup->ToString(), "(@p <= 199)");
+}
+
+TEST(ConstraintTest, StartupPredicateUnboundedDomainSideIsNull) {
+  std::map<int, IntervalSet> domains;
+  domains[1] = IntervalSet::FromComparison(">", Value::Int64(50));
+  // c1 < @p over (50, +inf): can always match for large @p... prunable only
+  // if @p <= 51; conservative rule: @p > 50.
+  auto lt = MakeComparison("<", Col(1), MakeParam("@p", DataType::kInt64));
+  ScalarExprPtr startup = BuildStartupPredicate(lt, domains);
+  ASSERT_NE(startup, nullptr);
+  EXPECT_EQ(startup->ToString(), "(@p > 50)");
+  // c1 > @p over (50, +inf) cannot prune (unbounded above).
+  auto gt = MakeComparison(">", Col(1), MakeParam("@p", DataType::kInt64));
+  EXPECT_EQ(BuildStartupPredicate(gt, domains), nullptr);
+}
+
+TEST(ConstraintTest, PointDomainBecomesEquality) {
+  auto pred = IntervalSetToPredicate(MakeParam("@p", DataType::kInt64),
+                                     IntervalSet::Point(Value::Int64(7)));
+  ASSERT_NE(pred, nullptr);
+  EXPECT_EQ(pred->ToString(), "(@p = 7)");
+}
+
+TEST(ConstraintTest, DisjointDomainBecomesOr) {
+  IntervalSet set = IntervalSet::Point(Value::Int64(1))
+                        .Union(IntervalSet::Point(Value::Int64(5)));
+  auto pred =
+      IntervalSetToPredicate(MakeParam("@p", DataType::kInt64), set);
+  ASSERT_NE(pred, nullptr);
+  EXPECT_EQ(pred->ToString(), "((@p = 1) OR (@p = 5))");
+}
+
+}  // namespace
+}  // namespace dhqp

@@ -1,0 +1,184 @@
+// Decoder unit tests (§4.1.3): logical trees back to SQL text, dialect
+// awareness, capability clamping ("fully used while not overshooting").
+
+#include <gtest/gtest.h>
+
+#include "src/connectors/engine_provider.h"
+#include "src/optimizer/decoder.h"
+
+namespace dhqp {
+namespace {
+
+class DecoderTest : public ::testing::Test {
+ protected:
+  DecoderTest()
+      : storage_(), catalog_(&storage_), registry_(),
+        ctx_(&catalog_, &registry_, OptimizerOptions{}), decoder_(&ctx_) {}
+
+  // Builds a remote Get over a two-column table.
+  LogicalOpPtr MakeRemoteGet() {
+    ResolvedTable table;
+    table.source_id = 0;
+    table.server_name = "srv";
+    table.metadata.name = "items";
+    table.metadata.schema.AddColumn(ColumnDef{"id", DataType::kInt64, false});
+    table.metadata.schema.AddColumn(ColumnDef{"d", DataType::kDate, true});
+    table.metadata.cardinality = 100;
+    id_col_ = registry_.Add("i", "id", DataType::kInt64);
+    d_col_ = registry_.Add("i", "d", DataType::kDate);
+    return MakeGet(table, "i", {id_col_, d_col_});
+  }
+
+  StorageEngine storage_;
+  Catalog catalog_;
+  ColumnRegistry registry_;
+  OptimizerContext ctx_;
+  Decoder decoder_;
+  int id_col_ = -1;
+  int d_col_ = -1;
+};
+
+TEST_F(DecoderTest, SimpleScanSelect) {
+  auto caps = SqlServerCapabilities();
+  auto decoded = decoder_.Decode(MakeRemoteGet(), caps);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->sql,
+            "SELECT [i].[id] AS [c0], [i].[d] AS [c1] FROM [items] AS [i]");
+  EXPECT_EQ(decoded->output_cols.size(), 2u);
+}
+
+TEST_F(DecoderTest, FilterBecomesWhere) {
+  auto get = MakeRemoteGet();
+  auto tree = MakeFilter(get,
+                         MakeComparison(">", MakeColumn(id_col_, DataType::kInt64, "i.id"),
+                                        MakeLiteral(Value::Int64(5))));
+  auto decoded = decoder_.Decode(tree, SqlServerCapabilities());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_NE(decoded->sql.find("WHERE ([i].[id] > 5)"), std::string::npos)
+      << decoded->sql;
+}
+
+TEST_F(DecoderTest, DateLiteralStyles) {
+  auto make_tree = [&]() {
+    auto get = MakeRemoteGet();
+    return MakeFilter(get,
+                      MakeComparison("=", MakeColumn(d_col_, DataType::kDate, "i.d"),
+                                     MakeLiteral(Value::Date(
+                                         CivilToDays(1995, 3, 15)))));
+  };
+  auto sqlserver = decoder_.Decode(make_tree(), SqlServerCapabilities());
+  ASSERT_TRUE(sqlserver.ok());
+  EXPECT_NE(sqlserver->sql.find("'1995-03-15'"), std::string::npos);
+
+  auto oracle = decoder_.Decode(make_tree(), OracleCapabilities());
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_NE(oracle->sql.find("DATE '1995-03-15'"), std::string::npos);
+
+  auto access = decoder_.Decode(make_tree(), AccessCapabilities());
+  ASSERT_TRUE(access.ok());
+  EXPECT_NE(access->sql.find("#1995-03-15#"), std::string::npos);
+}
+
+TEST_F(DecoderTest, StringEscaping) {
+  auto get = MakeRemoteGet();
+  auto tree = MakeFilter(
+      get, MakeComparison("=", MakeColumn(id_col_, DataType::kInt64, "i.id"),
+                          MakeLiteral(Value::String("it's"))));
+  auto decoded = decoder_.Decode(tree, SqlServerCapabilities());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_NE(decoded->sql.find("'it''s'"), std::string::npos);
+}
+
+TEST_F(DecoderTest, AggregateNeedsSql92Entry) {
+  std::vector<AggregateItem> aggs;
+  AggregateItem count;
+  count.func = "COUNT*";
+  count.output_col = registry_.Add("", "count", DataType::kInt64);
+  count.type = DataType::kInt64;
+  aggs.push_back(count);
+  auto tree = MakeAggregate(MakeRemoteGet(), {}, aggs);
+
+  EXPECT_TRUE(decoder_.IsRemotable(tree, SqlServerCapabilities()));
+  EXPECT_TRUE(decoder_.IsRemotable(tree, Db2Capabilities()));
+  EXPECT_FALSE(decoder_.IsRemotable(tree, AccessCapabilities()));
+
+  auto decoded = decoder_.Decode(tree, SqlServerCapabilities());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_NE(decoded->sql.find("COUNT(*)"), std::string::npos);
+}
+
+TEST_F(DecoderTest, GroupByAndHaving) {
+  std::vector<AggregateItem> aggs;
+  AggregateItem count;
+  count.func = "COUNT*";
+  count.output_col = registry_.Add("", "count", DataType::kInt64);
+  count.type = DataType::kInt64;
+  aggs.push_back(count);
+  auto get = MakeRemoteGet();
+  auto agg = MakeAggregate(get, {id_col_}, aggs);
+  auto tree = MakeFilter(
+      agg, MakeComparison(">", MakeColumn(count.output_col, DataType::kInt64,
+                                          "count"),
+                          MakeLiteral(Value::Int64(2))));
+  auto decoded = decoder_.Decode(tree, SqlServerCapabilities());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_NE(decoded->sql.find("GROUP BY [i].[id]"), std::string::npos);
+  EXPECT_NE(decoded->sql.find("HAVING (COUNT(*) > 2)"), std::string::npos);
+}
+
+TEST_F(DecoderTest, SemiJoinNotRemotable) {
+  // §4.1.4: semi-join has no direct SQL corollary.
+  auto left = MakeRemoteGet();
+  auto right = MakeRemoteGet();
+  auto semi = MakeJoin(JoinType::kSemi, left, right,
+                       MakeLiteral(Value::Bool(true)));
+  EXPECT_FALSE(decoder_.IsRemotable(semi, SqlServerCapabilities()));
+}
+
+TEST_F(DecoderTest, ParametersRequireCapability) {
+  auto get = MakeRemoteGet();
+  auto tree = MakeFilter(get,
+                         MakeComparison("=", MakeColumn(id_col_, DataType::kInt64, "i.id"),
+                                        MakeParam("@p", DataType::kInt64)));
+  EXPECT_TRUE(decoder_.IsRemotable(tree, SqlServerCapabilities()));
+  EXPECT_FALSE(decoder_.IsRemotable(tree, OracleCapabilities()));
+  auto decoded = decoder_.Decode(tree, SqlServerCapabilities());
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->params.size(), 1u);
+  EXPECT_EQ(decoded->params[0], "@p");
+}
+
+TEST_F(DecoderTest, ContainsNeverRemoted) {
+  auto contains = std::make_shared<ScalarExpr>();
+  contains->kind = ScalarKind::kFunc;
+  contains->op = "CONTAINS";
+  contains->type = DataType::kBool;
+  auto get = MakeRemoteGet();
+  contains->args.push_back(MakeColumn(id_col_, DataType::kString, "i.id"));
+  contains->args.push_back(MakeLiteral(Value::String("word")));
+  auto tree = MakeFilter(get, contains);
+  EXPECT_FALSE(decoder_.IsRemotable(tree, SqlServerCapabilities()));
+}
+
+TEST_F(DecoderTest, MinimumLevelRejectsOrAndLike) {
+  ProviderCapabilities minimal = SqlServerCapabilities();
+  minimal.sql_support = SqlSupportLevel::kMinimum;
+  auto get = MakeRemoteGet();
+  auto col = MakeColumn(id_col_, DataType::kInt64, "i.id");
+  auto with_or = MakeFilter(
+      get, MakeOr(MakeComparison("=", col, MakeLiteral(Value::Int64(1))),
+                              MakeComparison("=", col, MakeLiteral(Value::Int64(2)))));
+  EXPECT_FALSE(decoder_.IsRemotable(with_or, minimal));
+  // Plain conjunctive comparisons are fine at minimum level.
+  auto with_and = MakeFilter(
+      get, MakeAnd(MakeComparison(">", col, MakeLiteral(Value::Int64(1))),
+                               MakeComparison("<", col, MakeLiteral(Value::Int64(9)))));
+  EXPECT_TRUE(decoder_.IsRemotable(with_and, minimal));
+  // Joins need ODBC Core.
+  auto join = MakeJoin(JoinType::kInner, MakeRemoteGet(), MakeRemoteGet(),
+                       nullptr);
+  EXPECT_FALSE(decoder_.IsRemotable(join, minimal));
+}
+
+}  // namespace
+}  // namespace dhqp

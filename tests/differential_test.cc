@@ -1,0 +1,166 @@
+// Differential property testing: randomly generated distributed queries are
+// executed twice — once with the full optimizer (pushdown, index paths,
+// parameterization, phases, caching) and once with every optimization
+// ablated — and must produce identical result multisets. This is the
+// broadest correctness net over the optimizer/executor/decoder stack:
+// whatever plan shape wins, the answer must not change.
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+#include "tests/test_util.h"
+
+namespace dhqp {
+namespace {
+
+class QueryGenerator {
+ public:
+  explicit QueryGenerator(uint64_t seed) : rng_(seed) {}
+
+  std::string Next() {
+    // FROM: one to three of {t1, t2 (local), rsrv...r (remote)}.
+    struct Src {
+      const char* sql;
+      const char* alias;
+    };
+    std::vector<Src> pool = {{"t1", "t1"}, {"t2", "t2"},
+                             {"rsrv.db.dbo.r", "r"}};
+    int n = static_cast<int>(rng_.Uniform(1, 3));
+    std::vector<Src> from;
+    for (int i = 0; i < n; ++i) {
+      from.push_back(pool[static_cast<size_t>(rng_.Uniform(0, 2))]);
+      // Deduplicate aliases.
+      for (int j = 0; j < i; ++j) {
+        if (std::string(from.back().alias) == from[static_cast<size_t>(j)].alias) {
+          from.pop_back();
+          --i;
+          break;
+        }
+      }
+      n = std::min<int>(n, 3);
+    }
+
+    std::string sql = "SELECT ";
+    bool aggregate = rng_.Uniform(0, 3) == 0;
+    std::string group_col = std::string(from[0].alias) + ".a";
+    if (aggregate) {
+      sql += group_col + ", COUNT(*), SUM(" + from[0].alias + ".a)";
+    } else {
+      sql += "*";
+    }
+    sql += " FROM ";
+    for (size_t i = 0; i < from.size(); ++i) {
+      if (i) sql += ", ";
+      sql += std::string(from[i].sql) + " " +
+             (std::string(from[i].alias) == from[i].sql ? "" : from[i].alias);
+    }
+    // WHERE: join conjuncts chaining on `a` plus random range predicates.
+    std::vector<std::string> conjuncts;
+    for (size_t i = 1; i < from.size(); ++i) {
+      conjuncts.push_back(std::string(from[i - 1].alias) + ".a = " +
+                          from[i].alias + ".a");
+    }
+    int preds = static_cast<int>(rng_.Uniform(0, 2));
+    for (int i = 0; i < preds; ++i) {
+      const Src& src = from[static_cast<size_t>(
+          rng_.Uniform(0, static_cast<int64_t>(from.size()) - 1))];
+      const char* ops[] = {"<", "<=", ">", ">=", "=", "<>"};
+      conjuncts.push_back(std::string(src.alias) + ".a " +
+                          ops[rng_.Uniform(0, 5)] + " " +
+                          std::to_string(rng_.Uniform(0, 120)));
+    }
+    if (!conjuncts.empty()) {
+      sql += " WHERE ";
+      for (size_t i = 0; i < conjuncts.size(); ++i) {
+        if (i) sql += " AND ";
+        sql += conjuncts[i];
+      }
+    }
+    if (aggregate) {
+      sql += " GROUP BY " + group_col;
+    }
+    return sql;
+  }
+
+ private:
+  Rng rng_;
+};
+
+// Sorted multiset fingerprint of a result.
+std::string Fingerprint(const QueryResult& r) {
+  std::vector<std::string> rows;
+  for (const Row& row : r.rowset->rows()) rows.push_back(RowToString(row));
+  std::sort(rows.begin(), rows.end());
+  std::string out;
+  for (const std::string& s : rows) out += s + "\n";
+  return out;
+}
+
+OptimizerOptions EverythingOff() {
+  OptimizerOptions off;
+  off.enable_join_reorder = false;
+  off.enable_remote_pushdown = false;
+  off.enable_parameterization = false;
+  off.enable_spool_enforcer = false;
+  off.enable_remote_statistics = false;
+  off.enable_startup_filters = false;
+  off.enable_static_pruning = false;
+  off.enable_index_paths = false;
+  off.enable_fulltext_index = false;
+  off.enable_locality_grouping = false;
+  off.multi_phase = false;
+  return off;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialTest, FullVsAblatedOptimizerAgree) {
+  Engine host;
+  RemoteServer remote = AttachRemoteEngine(&host, "rsrv");
+  Rng data_rng(GetParam() * 7919 + 13);
+
+  MustExecute(&host, "CREATE TABLE t1 (a INT PRIMARY KEY, b INT, c INT)");
+  MustExecute(&host, "CREATE TABLE t2 (a INT PRIMARY KEY, d INT)");
+  MustExecute(remote.engine.get(),
+              "CREATE TABLE r (a INT PRIMARY KEY, e INT)");
+  auto fill = [&](Engine* engine, const std::string& table, int rows,
+                  int cols) {
+    std::string sql = "INSERT INTO " + table + " VALUES ";
+    std::set<int64_t> used;
+    for (int i = 0; i < rows; ++i) {
+      int64_t key;
+      do {
+        key = data_rng.Uniform(0, 150);
+      } while (!used.insert(key).second);
+      if (i) sql += ",";
+      sql += "(" + std::to_string(key);
+      for (int c = 1; c < cols; ++c) {
+        sql += "," + std::to_string(data_rng.Uniform(-5, 40));
+      }
+      sql += ")";
+    }
+    MustExecute(engine, sql);
+  };
+  fill(&host, "t1", 60, 3);
+  fill(&host, "t2", 40, 2);
+  fill(remote.engine.get(), "r", 80, 2);
+
+  QueryGenerator generator(GetParam());
+  for (int q = 0; q < 25; ++q) {
+    std::string sql = generator.Next();
+    host.options()->optimizer = OptimizerOptions{};
+    QueryResult full = MustExecute(&host, sql);
+    host.options()->optimizer = EverythingOff();
+    QueryResult ablated = MustExecute(&host, sql);
+    EXPECT_EQ(Fingerprint(full), Fingerprint(ablated))
+        << sql << "\nfull plan:\n"
+        << full.plan->ToString() << "\nablated plan:\n"
+        << ablated.plan->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace dhqp

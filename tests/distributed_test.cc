@@ -1,0 +1,197 @@
+// Distributed query tests: two engines joined through a linked server,
+// exercising remote pushdown, access paths, parameterization and the Fig 4
+// plan choice.
+
+#include <functional>
+
+#include "src/workloads/tpch.h"
+#include "tests/test_util.h"
+
+namespace dhqp {
+namespace {
+
+class DistributedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    remote_ = AttachRemoteEngine(&host_, "remote0");
+    MustExecute(remote_.engine.get(),
+                "CREATE TABLE items (id INT PRIMARY KEY, category INT, "
+                "price FLOAT, label VARCHAR(20))");
+    std::string sql = "INSERT INTO items VALUES ";
+    for (int i = 1; i <= 500; ++i) {
+      if (i > 1) sql += ",";
+      sql += "(" + std::to_string(i) + "," + std::to_string(i % 10) + "," +
+             std::to_string(i * 1.5) + ",'item" + std::to_string(i) + "')";
+    }
+    MustExecute(remote_.engine.get(), sql);
+    MustExecute(remote_.engine.get(),
+                "CREATE INDEX idx_items_cat ON items (category)");
+
+    MustExecute(&host_,
+                "CREATE TABLE categories (cid INT PRIMARY KEY, "
+                "cname VARCHAR(20))");
+    MustExecute(&host_,
+                "INSERT INTO categories VALUES (1,'one'),(2,'two'),"
+                "(3,'three'),(4,'four'),(5,'five')");
+  }
+
+  Engine host_;
+  RemoteServer remote_;
+};
+
+TEST_F(DistributedTest, FourPartNameScan) {
+  QueryResult r = MustExecute(
+      &host_, "SELECT COUNT(*) FROM remote0.db.dbo.items");
+  EXPECT_EQ(RowsToString(r), "(500)");
+}
+
+TEST_F(DistributedTest, FilterPushedToRemote) {
+  QueryResult r = MustExecute(
+      &host_,
+      "SELECT id FROM remote0.db.dbo.items WHERE category = 3 AND price > 600 "
+      "ORDER BY id");
+  // category==3: ids 3,13,...,493; price > 600 means id > 400.
+  EXPECT_EQ(RowsToString(r), "(403)(413)(423)(433)(443)(453)(463)(473)(483)(493)");
+  // The filter ran remotely: a RemoteQuery node, and only qualifying rows
+  // crossed the link.
+  EXPECT_EQ(CountOps(r.plan, PhysicalOpKind::kRemoteQuery), 1);
+  EXPECT_EQ(r.exec_stats.rows_from_remote, 10);
+}
+
+TEST_F(DistributedTest, AggregatePushedToRemote) {
+  QueryResult r = MustExecute(
+      &host_,
+      "SELECT category, COUNT(*) FROM remote0.db.dbo.items "
+      "GROUP BY category ORDER BY category");
+  EXPECT_EQ(r.rowset->rows().size(), 10u);
+  EXPECT_EQ(CountOps(r.plan, PhysicalOpKind::kRemoteQuery), 1);
+  // 10 groups shipped, not 500 rows.
+  EXPECT_LE(r.exec_stats.rows_from_remote, 10);
+}
+
+TEST_F(DistributedTest, RemoteJoinLocalTable) {
+  QueryResult r = MustExecute(
+      &host_,
+      "SELECT c.cname, COUNT(*) FROM remote0.db.dbo.items i "
+      "JOIN categories c ON i.category = c.cid "
+      "WHERE i.price < 100 GROUP BY c.cname ORDER BY c.cname");
+  ASSERT_NE(r.rowset, nullptr);
+  EXPECT_GT(r.rowset->rows().size(), 0u);
+  // The remote filter must have been pushed; far fewer than 500 rows ship.
+  EXPECT_LT(r.exec_stats.rows_from_remote, 100);
+}
+
+TEST_F(DistributedTest, RemoteSqlIsDialectQuoted) {
+  QueryResult r = MustExecute(
+      &host_, "SELECT id FROM remote0.db.dbo.items WHERE id = 42");
+  ASSERT_EQ(CountOps(r.plan, PhysicalOpKind::kRemoteQuery), 1);
+  // Find the remote SQL text in the plan.
+  PhysicalOpPtr node = r.plan;
+  while (node->kind != PhysicalOpKind::kRemoteQuery) node = node->children[0];
+  EXPECT_NE(node->remote_sql.find("[items]"), std::string::npos)
+      << node->remote_sql;
+  EXPECT_NE(node->remote_sql.find("WHERE"), std::string::npos);
+}
+
+TEST_F(DistributedTest, PushdownDisabledShipsWholeTable) {
+  host_.options()->optimizer.enable_remote_pushdown = false;
+  host_.options()->optimizer.enable_index_paths = false;
+  host_.options()->optimizer.enable_parameterization = false;
+  QueryResult r = MustExecute(
+      &host_, "SELECT id FROM remote0.db.dbo.items WHERE category = 3 AND "
+              "price > 600 ORDER BY id");
+  EXPECT_EQ(r.rowset->rows().size(), 10u);
+  EXPECT_EQ(CountOps(r.plan, PhysicalOpKind::kRemoteQuery), 0);
+  EXPECT_EQ(r.exec_stats.rows_from_remote, 500);  // Whole table shipped.
+}
+
+TEST_F(DistributedTest, SimpleProviderGetsLocalFiltering) {
+  // A provider with no query capability: all filtering happens at the host.
+  RemoteServer simple = AttachRemoteEngine(&host_, "simplesrv", [] {
+    ProviderCapabilities caps = SqlServerCapabilities();
+    caps.supports_command = false;
+    caps.sql_support = SqlSupportLevel::kNone;
+    caps.supports_indexes = false;
+    caps.supports_bookmarks = false;
+    caps.provider_name = "DHQP.Simple";
+    return caps;
+  }());
+  MustExecute(simple.engine.get(),
+              "CREATE TABLE t (a INT PRIMARY KEY, b INT)");
+  MustExecute(simple.engine.get(),
+              "INSERT INTO t VALUES (1,10),(2,20),(3,30)");
+  QueryResult r = MustExecute(
+      &host_, "SELECT a FROM simplesrv.d.s.t WHERE b >= 20 ORDER BY a");
+  EXPECT_EQ(RowsToString(r), "(2)(3)");
+  EXPECT_EQ(CountOps(r.plan, PhysicalOpKind::kRemoteQuery), 0);
+  EXPECT_EQ(CountOps(r.plan, PhysicalOpKind::kRemoteScan), 1);
+}
+
+TEST_F(DistributedTest, OrderByRemotedWithQuery) {
+  // §2.1: sorts are pushable. The ORDER BY lands inside the remote
+  // statement; no local Sort remains.
+  QueryResult r = MustExecute(
+      &host_,
+      "SELECT id, price FROM remote0.db.dbo.items WHERE category = 3 "
+      "ORDER BY price DESC");
+  ASSERT_EQ(r.rowset->rows().size(), 50u);
+  EXPECT_EQ(r.rowset->rows()[0][0].int64_value(), 493);  // Highest price.
+  ASSERT_EQ(CountOps(r.plan, PhysicalOpKind::kRemoteQuery), 1);
+  EXPECT_EQ(CountOps(r.plan, PhysicalOpKind::kSort), 0) << r.plan->ToString();
+  PhysicalOpPtr node = r.plan;
+  while (node->kind != PhysicalOpKind::kRemoteQuery) node = node->children[0];
+  EXPECT_NE(node->remote_sql.find("ORDER BY"), std::string::npos)
+      << node->remote_sql;
+  EXPECT_NE(node->remote_sql.find("DESC"), std::string::npos);
+}
+
+TEST_F(DistributedTest, Figure4PlanChoice) {
+  // Example 1 (§4.1.2): customer and supplier live on remote0, nation is
+  // local. The optimizer should prefer joining supplier⋈nation before
+  // involving customer, rather than shipping customer⋈supplier (a near
+  // cross product on nationkey) across the network.
+  Engine host;
+  RemoteServer remote = AttachRemoteEngine(&host, "remote0");
+  workloads::TpchOptions topt;
+  topt.scale_factor = 0.01;
+  topt.include_orders = false;
+  ASSERT_OK(workloads::PopulateTpch(remote.engine.get(), topt));
+  // Local nation table.
+  MustExecute(&host,
+              "CREATE TABLE nation (n_nationkey INT PRIMARY KEY, "
+              "n_name VARCHAR(25), n_regionkey INT)");
+  {
+    QueryResult all = MustExecute(remote.engine.get(),
+                                  "SELECT * FROM nation");
+    for (const Row& row : all.rowset->rows()) {
+      MustExecute(&host, "INSERT INTO nation VALUES (" +
+                             row[0].ToString() + ",'" + row[1].ToString() +
+                             "'," + row[2].ToString() + ")");
+    }
+  }
+  QueryResult r = MustExecute(
+      &host,
+      "SELECT c.c_name, c.c_address, c.c_phone "
+      "FROM remote0.tpch10g.dbo.customer c, remote0.tpch10g.dbo.supplier s, "
+      "nation n "
+      "WHERE c.c_nationkey = n.n_nationkey AND n.n_nationkey = s.s_nationkey");
+  ASSERT_NE(r.rowset, nullptr);
+  // The chosen plan must NOT push the customer×supplier join to the remote
+  // server: no remote query containing both tables.
+  std::function<bool(const PhysicalOpPtr&)> has_cross_push =
+      [&](const PhysicalOpPtr& plan) {
+        if (plan->kind == PhysicalOpKind::kRemoteQuery &&
+            plan->remote_sql.find("customer") != std::string::npos &&
+            plan->remote_sql.find("supplier") != std::string::npos) {
+          return true;
+        }
+        for (const auto& c : plan->children) {
+          if (has_cross_push(c)) return true;
+        }
+        return false;
+      };
+  EXPECT_FALSE(has_cross_push(r.plan)) << r.plan->ToString();
+}
+
+}  // namespace
+}  // namespace dhqp

@@ -1,0 +1,135 @@
+// DELETE / UPDATE DML tests.
+
+#include "tests/test_util.h"
+
+namespace dhqp {
+namespace {
+
+class DmlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MustExecute(&engine_,
+                "CREATE TABLE emp (id INT PRIMARY KEY, dept INT, "
+                "salary FLOAT)");
+    MustExecute(&engine_,
+                "INSERT INTO emp VALUES (1,10,100.0),(2,10,80.0),"
+                "(3,20,120.0),(4,20,90.0),(5,30,70.0)");
+  }
+  Engine engine_;
+};
+
+TEST_F(DmlTest, DeleteWithPredicate) {
+  QueryResult r = MustExecute(&engine_, "DELETE FROM emp WHERE dept = 10");
+  EXPECT_EQ(r.rows_affected, 2);
+  QueryResult check = MustExecute(&engine_, "SELECT COUNT(*) FROM emp");
+  EXPECT_EQ(RowsToString(check), "(3)");
+  // Index consistency after delete.
+  QueryResult by_id = MustExecute(&engine_, "SELECT id FROM emp WHERE id = 1");
+  EXPECT_EQ(by_id.rowset->rows().size(), 0u);
+}
+
+TEST_F(DmlTest, DeleteAllRows) {
+  QueryResult r = MustExecute(&engine_, "DELETE FROM emp");
+  EXPECT_EQ(r.rows_affected, 5);
+  EXPECT_EQ(RowsToString(MustExecute(&engine_, "SELECT COUNT(*) FROM emp")),
+            "(0)");
+}
+
+TEST_F(DmlTest, DeleteWithParameter) {
+  QueryResult r = MustExecute(&engine_, "DELETE FROM emp WHERE salary < @s",
+                              {{"@s", Value::Double(85.0)}});
+  EXPECT_EQ(r.rows_affected, 2);  // 80 and 70.
+}
+
+TEST_F(DmlTest, UpdateSimple) {
+  QueryResult r = MustExecute(
+      &engine_, "UPDATE emp SET salary = salary * 2 WHERE dept = 10");
+  EXPECT_EQ(r.rows_affected, 2);
+  QueryResult check = MustExecute(
+      &engine_, "SELECT SUM(salary) FROM emp WHERE dept = 10");
+  EXPECT_EQ(RowsToString(check), "(360)");
+}
+
+TEST_F(DmlTest, UpdateMultipleColumns) {
+  QueryResult r = MustExecute(
+      &engine_, "UPDATE emp SET dept = 99, salary = 1.0 WHERE id = 5");
+  EXPECT_EQ(r.rows_affected, 1);
+  QueryResult check = MustExecute(
+      &engine_, "SELECT dept, salary FROM emp WHERE id = 5");
+  EXPECT_EQ(RowsToString(check), "(99, 1)");
+}
+
+TEST_F(DmlTest, UpdateUniqueViolationRestoresRow) {
+  auto bad = engine_.Execute("UPDATE emp SET id = 1 WHERE id = 2");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kConstraintViolation);
+  // Row 2 is still present and unchanged.
+  QueryResult check = MustExecute(
+      &engine_, "SELECT salary FROM emp WHERE id = 2");
+  EXPECT_EQ(RowsToString(check), "(80)");
+}
+
+TEST_F(DmlTest, UpdateRespectsCheckConstraints) {
+  MustExecute(&engine_,
+              "CREATE TABLE bounded (k INT NOT NULL CHECK (k BETWEEN 1 AND "
+              "10), tag VARCHAR(4))");
+  MustExecute(&engine_, "INSERT INTO bounded VALUES (5, 'a')");
+  auto bad = engine_.Execute("UPDATE bounded SET k = 50 WHERE tag = 'a'");
+  EXPECT_FALSE(bad.ok());
+  QueryResult check = MustExecute(&engine_, "SELECT k FROM bounded");
+  EXPECT_EQ(RowsToString(check), "(5)");
+}
+
+TEST_F(DmlTest, RemoteDmlRefused) {
+  Engine host;
+  RemoteServer remote = AttachRemoteEngine(&host, "r");
+  MustExecute(remote.engine.get(), "CREATE TABLE t (a INT)");
+  auto del = host.Execute("DELETE FROM r.d.s.t WHERE a = 1");
+  EXPECT_EQ(del.status().code(), StatusCode::kNotSupported);
+  auto upd = host.Execute("UPDATE r.d.s.t SET a = 2");
+  EXPECT_EQ(upd.status().code(), StatusCode::kNotSupported);
+  // But pass-through works.
+  MustExecute(remote.engine.get(), "INSERT INTO t VALUES (1)");
+  auto rowset = host.ExecutePassThrough("r", "DELETE FROM t WHERE a = 1");
+  EXPECT_TRUE(rowset.ok()) << rowset.status().ToString();
+  EXPECT_EQ(RowsToString(MustExecute(remote.engine.get(),
+                                     "SELECT COUNT(*) FROM t")),
+            "(0)");
+}
+
+TEST_F(DmlTest, DropTableAndView) {
+  MustExecute(&engine_, "CREATE VIEW ev AS SELECT id FROM emp");
+  MustExecute(&engine_, "DROP VIEW ev");
+  EXPECT_EQ(engine_.Execute("SELECT * FROM ev").status().code(),
+            StatusCode::kNotFound);
+  MustExecute(&engine_, "DROP TABLE emp");
+  EXPECT_EQ(engine_.Execute("SELECT * FROM emp").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(engine_.Execute("DROP TABLE emp").status().code(),
+            StatusCode::kNotFound);
+  // The name is reusable.
+  MustExecute(&engine_, "CREATE TABLE emp (id INT PRIMARY KEY)");
+}
+
+TEST_F(DmlTest, ExplainStatement) {
+  QueryResult r = MustExecute(&engine_, "EXPLAIN SELECT * FROM emp WHERE "
+                                        "id = 3");
+  ASSERT_NE(r.rowset, nullptr);
+  ASSERT_GT(r.rowset->rows().size(), 0u);
+  std::string all = RowsToString(r);
+  EXPECT_NE(all.find("rows="), std::string::npos);
+  // EXPLAIN does not execute: no runtime stats accumulate.
+  EXPECT_EQ(r.exec_stats.rows_output, 0);
+  EXPECT_FALSE(engine_.Execute("EXPLAIN DELETE FROM emp").ok());
+}
+
+TEST_F(DmlTest, DeleteSeenByCachedPlans) {
+  QueryResult before = MustExecute(&engine_, "SELECT COUNT(*) FROM emp");
+  EXPECT_EQ(RowsToString(before), "(5)");
+  MustExecute(&engine_, "DELETE FROM emp WHERE id = 1");
+  QueryResult after = MustExecute(&engine_, "SELECT COUNT(*) FROM emp");
+  EXPECT_EQ(RowsToString(after), "(4)");
+}
+
+}  // namespace
+}  // namespace dhqp

@@ -1,0 +1,138 @@
+// Distributed transaction coordinator (2PC) tests, including injected
+// prepare/commit failures (the MS DTC role of §2).
+
+#include "src/txn/dtc.h"
+#include "tests/test_util.h"
+
+namespace dhqp {
+namespace {
+
+class DtcTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 3; ++i) {
+      auto engine = std::make_unique<StorageEngine>();
+      Schema schema;
+      schema.AddColumn(ColumnDef{"id", DataType::kInt64, false});
+      schema.AddColumn(ColumnDef{"v", DataType::kString, true});
+      ASSERT_TRUE(engine->CreateTable("t", schema).ok());
+      sessions_.push_back(std::make_unique<StorageSession>(engine.get()));
+      engines_.push_back(std::move(engine));
+    }
+  }
+
+  int64_t CountRows(int i) {
+    Table* t = engines_[static_cast<size_t>(i)]->GetTable("t").value();
+    return static_cast<int64_t>(t->live_row_count());
+  }
+
+  Status InsertOn(int i, int64_t id) {
+    return sessions_[static_cast<size_t>(i)]
+        ->InsertRows("t", {{Value::Int64(id), Value::String("x")}})
+        .status();
+  }
+
+  std::vector<std::unique_ptr<StorageEngine>> engines_;
+  std::vector<std::unique_ptr<StorageSession>> sessions_;
+  TransactionCoordinator dtc_;
+};
+
+TEST_F(DtcTest, CommitAppliesEverywhere) {
+  int64_t txn = dtc_.Begin();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_OK(dtc_.Enlist(txn, sessions_[static_cast<size_t>(i)].get(),
+                          "p" + std::to_string(i)));
+    ASSERT_OK(InsertOn(i, 1));
+  }
+  ASSERT_OK(dtc_.Commit(txn));
+  EXPECT_EQ(dtc_.Outcome(txn), TxnOutcome::kCommitted);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(CountRows(i), 1);
+}
+
+TEST_F(DtcTest, AbortUndoesEverywhere) {
+  int64_t txn = dtc_.Begin();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_OK(dtc_.Enlist(txn, sessions_[static_cast<size_t>(i)].get(),
+                          "p" + std::to_string(i)));
+    ASSERT_OK(InsertOn(i, 2));
+  }
+  ASSERT_OK(dtc_.Abort(txn));
+  EXPECT_EQ(dtc_.Outcome(txn), TxnOutcome::kAborted);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(CountRows(i), 0);
+}
+
+TEST_F(DtcTest, PrepareFailureAbortsAll) {
+  engines_[1]->failure_injection().fail_on_prepare = true;
+  int64_t txn = dtc_.Begin();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_OK(dtc_.Enlist(txn, sessions_[static_cast<size_t>(i)].get(),
+                          "p" + std::to_string(i)));
+    ASSERT_OK(InsertOn(i, 3));
+  }
+  Status st = dtc_.Commit(txn);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kTransactionAborted);
+  EXPECT_EQ(dtc_.Outcome(txn), TxnOutcome::kAborted);
+  // Atomicity: no participant kept its write.
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(CountRows(i), 0) << "participant " << i;
+}
+
+TEST_F(DtcTest, CommitPhaseFailureRetries) {
+  // Votes are unanimous; participant 2 then fails during the commit phase.
+  // The decision is already logged as committed; the coordinator retries.
+  engines_[2]->failure_injection().fail_on_commit = true;
+  int64_t txn = dtc_.Begin();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_OK(dtc_.Enlist(txn, sessions_[static_cast<size_t>(i)].get(),
+                          "p" + std::to_string(i)));
+    ASSERT_OK(InsertOn(i, 4));
+  }
+  Status st = dtc_.Commit(txn);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(dtc_.Outcome(txn), TxnOutcome::kCommitted);  // Decision stands.
+  EXPECT_GT(dtc_.commit_retries(), 0);
+  // Healthy participants applied their writes.
+  EXPECT_EQ(CountRows(0), 1);
+  EXPECT_EQ(CountRows(1), 1);
+}
+
+TEST_F(DtcTest, CannotAbortAfterCommit) {
+  int64_t txn = dtc_.Begin();
+  ASSERT_OK(dtc_.Enlist(txn, sessions_[0].get(), "p0"));
+  ASSERT_OK(InsertOn(0, 5));
+  ASSERT_OK(dtc_.Commit(txn));
+  EXPECT_FALSE(dtc_.Abort(txn).ok());
+}
+
+TEST_F(DtcTest, NonTransactionalProviderCannotEnlist) {
+  // A session that rejects BeginTransaction cannot join (the DTC refuses to
+  // span non-transactional sources).
+  class NonTxnSession : public Session {
+   public:
+    Result<std::unique_ptr<Rowset>> OpenRowset(const std::string&) override {
+      return Status::NotFound("none");
+    }
+    Result<std::vector<TableMetadata>> ListTables() override {
+      return std::vector<TableMetadata>{};
+    }
+  };
+  NonTxnSession session;
+  int64_t txn = dtc_.Begin();
+  Status st = dtc_.Enlist(txn, &session, "plain");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotSupported);
+}
+
+TEST_F(DtcTest, UndoRestoresDeletes) {
+  // Deletes under an aborted transaction are restored from the saved image.
+  ASSERT_OK(InsertOn(0, 10));
+  int64_t txn = dtc_.Begin();
+  ASSERT_OK(dtc_.Enlist(txn, sessions_[0].get(), "p0"));
+  ASSERT_OK(engines_[0]->DeleteRow(txn, "t", 0));
+  EXPECT_EQ(CountRows(0), 0);
+  ASSERT_OK(dtc_.Abort(txn));
+  EXPECT_EQ(CountRows(0), 1);
+}
+
+}  // namespace
+}  // namespace dhqp

@@ -1,0 +1,229 @@
+// End-to-end smoke tests: SQL in, rows out, on a single local engine.
+
+#include "tests/test_util.h"
+
+namespace dhqp {
+namespace {
+
+class EngineSmokeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MustExecute(&engine_,
+                "CREATE TABLE emp (id INT PRIMARY KEY, name VARCHAR(40), "
+                "dept INT, salary FLOAT, hired DATE)");
+    MustExecute(&engine_,
+                "INSERT INTO emp VALUES "
+                "(1, 'alice', 10, 100.0, '2001-01-15'), "
+                "(2, 'bob', 10, 80.0, '2002-06-01'), "
+                "(3, 'carol', 20, 120.0, '2000-03-20'), "
+                "(4, 'dave', 20, 90.0, '2003-11-11'), "
+                "(5, 'erin', 30, 70.0, '2004-02-02')");
+    MustExecute(&engine_,
+                "CREATE TABLE dept (id INT PRIMARY KEY, dname VARCHAR(30))");
+    MustExecute(&engine_,
+                "INSERT INTO dept VALUES (10,'eng'),(20,'sales'),(30,'hr')");
+  }
+
+  Engine engine_;
+};
+
+TEST_F(EngineSmokeTest, SelectStar) {
+  QueryResult r = MustExecute(&engine_, "SELECT * FROM emp");
+  ASSERT_NE(r.rowset, nullptr);
+  EXPECT_EQ(r.rowset->rows().size(), 5u);
+  EXPECT_EQ(r.rowset->schema().num_columns(), 5u);
+}
+
+TEST_F(EngineSmokeTest, FilterAndProject) {
+  QueryResult r = MustExecute(
+      &engine_, "SELECT name, salary FROM emp WHERE salary >= 90 AND dept < 30");
+  EXPECT_EQ(RowsToString(r), "(alice, 100)(carol, 120)(dave, 90)");
+}
+
+TEST_F(EngineSmokeTest, OrderByDesc) {
+  QueryResult r = MustExecute(
+      &engine_, "SELECT name FROM emp ORDER BY salary DESC");
+  EXPECT_EQ(RowsToString(r), "(carol)(alice)(dave)(bob)(erin)");
+}
+
+TEST_F(EngineSmokeTest, TopWithOrder) {
+  QueryResult r = MustExecute(
+      &engine_, "SELECT TOP 2 name FROM emp ORDER BY salary DESC");
+  EXPECT_EQ(RowsToString(r), "(carol)(alice)");
+}
+
+TEST_F(EngineSmokeTest, Join) {
+  QueryResult r = MustExecute(
+      &engine_,
+      "SELECT e.name, d.dname FROM emp e JOIN dept d ON e.dept = d.id "
+      "WHERE d.dname = 'eng' ORDER BY e.name");
+  EXPECT_EQ(RowsToString(r), "(alice, eng)(bob, eng)");
+}
+
+TEST_F(EngineSmokeTest, CommaJoinWithWhere) {
+  QueryResult r = MustExecute(
+      &engine_,
+      "SELECT e.name FROM emp e, dept d "
+      "WHERE e.dept = d.id AND d.dname = 'hr'");
+  EXPECT_EQ(RowsToString(r), "(erin)");
+}
+
+TEST_F(EngineSmokeTest, GroupByAggregates) {
+  QueryResult r = MustExecute(
+      &engine_,
+      "SELECT dept, COUNT(*), SUM(salary), MIN(name) FROM emp "
+      "GROUP BY dept ORDER BY dept");
+  EXPECT_EQ(RowsToString(r),
+            "(10, 2, 180, alice)(20, 2, 210, carol)(30, 1, 70, erin)");
+}
+
+TEST_F(EngineSmokeTest, ScalarAggregate) {
+  QueryResult r = MustExecute(&engine_, "SELECT COUNT(*), AVG(salary) FROM emp");
+  EXPECT_EQ(RowsToString(r), "(5, 92)");
+}
+
+TEST_F(EngineSmokeTest, Having) {
+  QueryResult r = MustExecute(
+      &engine_,
+      "SELECT dept FROM emp GROUP BY dept HAVING COUNT(*) >= 2 ORDER BY dept");
+  EXPECT_EQ(RowsToString(r), "(10)(20)");
+}
+
+TEST_F(EngineSmokeTest, Distinct) {
+  QueryResult r = MustExecute(
+      &engine_, "SELECT DISTINCT dept FROM emp ORDER BY dept");
+  EXPECT_EQ(RowsToString(r), "(10)(20)(30)");
+}
+
+TEST_F(EngineSmokeTest, InListBetweenLike) {
+  QueryResult r = MustExecute(
+      &engine_,
+      "SELECT name FROM emp WHERE dept IN (10, 30) AND salary BETWEEN 60 AND 90"
+      " AND name LIKE '%b%' ORDER BY name");
+  EXPECT_EQ(RowsToString(r), "(bob)");
+}
+
+TEST_F(EngineSmokeTest, ExistsSubquery) {
+  QueryResult r = MustExecute(
+      &engine_,
+      "SELECT d.dname FROM dept d WHERE EXISTS "
+      "(SELECT * FROM emp e WHERE e.dept = d.id AND e.salary > 100) "
+      "ORDER BY d.dname");
+  EXPECT_EQ(RowsToString(r), "(sales)");
+}
+
+TEST_F(EngineSmokeTest, NotExistsSubquery) {
+  MustExecute(&engine_, "INSERT INTO dept VALUES (40, 'empty')");
+  QueryResult r = MustExecute(
+      &engine_,
+      "SELECT d.dname FROM dept d WHERE NOT EXISTS "
+      "(SELECT * FROM emp e WHERE e.dept = d.id)");
+  EXPECT_EQ(RowsToString(r), "(empty)");
+}
+
+TEST_F(EngineSmokeTest, InSubquery) {
+  QueryResult r = MustExecute(
+      &engine_,
+      "SELECT dname FROM dept WHERE id IN "
+      "(SELECT dept FROM emp WHERE salary < 80) ORDER BY dname");
+  EXPECT_EQ(RowsToString(r), "(hr)");
+}
+
+TEST_F(EngineSmokeTest, DateComparisonAndFunctions) {
+  QueryResult r = MustExecute(
+      &engine_,
+      "SELECT name, YEAR(hired) FROM emp WHERE hired >= '2002-01-01' "
+      "ORDER BY hired");
+  EXPECT_EQ(RowsToString(r), "(bob, 2002)(dave, 2003)(erin, 2004)");
+}
+
+TEST_F(EngineSmokeTest, Parameters) {
+  QueryResult r = MustExecute(
+      &engine_, "SELECT name FROM emp WHERE dept = @d AND salary > @s",
+      {{"@d", Value::Int64(20)}, {"@s", Value::Int64(100)}});
+  EXPECT_EQ(RowsToString(r), "(carol)");
+}
+
+TEST_F(EngineSmokeTest, CaseExpression) {
+  QueryResult r = MustExecute(
+      &engine_,
+      "SELECT name, CASE WHEN salary >= 100 THEN 'high' ELSE 'low' END "
+      "FROM emp WHERE dept = 10 ORDER BY name");
+  EXPECT_EQ(RowsToString(r), "(alice, high)(bob, low)");
+}
+
+TEST_F(EngineSmokeTest, UnionAll) {
+  QueryResult r = MustExecute(
+      &engine_,
+      "SELECT name FROM emp WHERE dept = 10 UNION ALL "
+      "SELECT name FROM emp WHERE dept = 30");
+  EXPECT_EQ(r.rowset->rows().size(), 3u);
+}
+
+TEST_F(EngineSmokeTest, LeftOuterJoin) {
+  MustExecute(&engine_, "INSERT INTO dept VALUES (50, 'lab')");
+  QueryResult r = MustExecute(
+      &engine_,
+      "SELECT d.dname, e.name FROM dept d LEFT JOIN emp e ON e.dept = d.id "
+      "WHERE d.id >= 30 ORDER BY d.dname");
+  EXPECT_EQ(RowsToString(r), "(hr, erin)(lab, NULL)");
+}
+
+TEST_F(EngineSmokeTest, RightOuterJoin) {
+  MustExecute(&engine_, "INSERT INTO dept VALUES (60, 'ops')");
+  // RIGHT JOIN preserves dept (the right side).
+  QueryResult r = MustExecute(
+      &engine_,
+      "SELECT d.dname, e.name FROM emp e RIGHT JOIN dept d ON e.dept = d.id "
+      "WHERE d.id >= 30 ORDER BY d.dname");
+  EXPECT_EQ(RowsToString(r), "(hr, erin)(ops, NULL)");
+}
+
+TEST_F(EngineSmokeTest, ViewExpansion) {
+  MustExecute(&engine_,
+              "CREATE VIEW rich AS SELECT name, salary FROM emp "
+              "WHERE salary >= 100");
+  QueryResult r = MustExecute(&engine_, "SELECT name FROM rich ORDER BY name");
+  EXPECT_EQ(RowsToString(r), "(alice)(carol)");
+}
+
+TEST_F(EngineSmokeTest, ArithmeticInSelect) {
+  QueryResult r = MustExecute(
+      &engine_, "SELECT name, salary * 2 + 1 AS double_pay FROM emp "
+                "WHERE id = 1");
+  EXPECT_EQ(RowsToString(r), "(alice, 201)");
+}
+
+TEST_F(EngineSmokeTest, ExplainProducesPlan) {
+  auto text = engine_.Explain("SELECT * FROM emp WHERE id = 3");
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("est cost"), std::string::npos);
+}
+
+TEST_F(EngineSmokeTest, IndexSeekOnPrimaryKey) {
+  // A table large enough that a seek beats a scan (at 5 rows a scan wins,
+  // correctly).
+  MustExecute(&engine_, "CREATE TABLE big (id INT PRIMARY KEY, v INT)");
+  for (int batch = 0; batch < 10; ++batch) {
+    std::string sql = "INSERT INTO big VALUES ";
+    for (int i = 0; i < 50; ++i) {
+      int id = batch * 50 + i;
+      if (i) sql += ",";
+      sql += "(" + std::to_string(id) + "," + std::to_string(id * 7) + ")";
+    }
+    MustExecute(&engine_, sql);
+  }
+  QueryResult r = MustExecute(&engine_, "SELECT v FROM big WHERE id = 123");
+  EXPECT_EQ(RowsToString(r), "(861)");
+  EXPECT_EQ(CountOps(r.plan, PhysicalOpKind::kIndexRange), 1);
+  EXPECT_EQ(CountOps(r.plan, PhysicalOpKind::kTableScan), 0);
+}
+
+TEST_F(EngineSmokeTest, ErrorsAreStatuses) {
+  EXPECT_FALSE(engine_.Execute("SELECT * FROM nope").ok());
+  EXPECT_FALSE(engine_.Execute("SELECT bad syntax FROM FROM").ok());
+  EXPECT_FALSE(engine_.Execute("SELECT nocol FROM emp").ok());
+}
+
+}  // namespace
+}  // namespace dhqp

@@ -1,0 +1,154 @@
+// Execution semantics: SQL three-valued logic, NULL handling in joins and
+// aggregates, DISTINCT aggregates, empty inputs, LIKE patterns.
+
+#include "tests/test_util.h"
+
+namespace dhqp {
+namespace {
+
+class ExecSemanticsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MustExecute(&engine_,
+                "CREATE TABLE t (id INT PRIMARY KEY, v INT, s VARCHAR(10))");
+    MustExecute(&engine_,
+                "INSERT INTO t VALUES (1, 10, 'abc'), (2, NULL, 'abd'), "
+                "(3, 30, NULL), (4, NULL, NULL)");
+  }
+  Engine engine_;
+};
+
+TEST_F(ExecSemanticsTest, NullComparisonsAreUnknown) {
+  // NULL = NULL is unknown, never true.
+  QueryResult r = MustExecute(&engine_, "SELECT id FROM t WHERE v = NULL");
+  EXPECT_EQ(r.rowset->rows().size(), 0u);
+  r = MustExecute(&engine_, "SELECT id FROM t WHERE v <> 10");
+  EXPECT_EQ(RowsToString(r), "(3)");  // NULL rows excluded.
+}
+
+TEST_F(ExecSemanticsTest, IsNullPredicates) {
+  QueryResult r = MustExecute(
+      &engine_, "SELECT id FROM t WHERE v IS NULL ORDER BY id");
+  EXPECT_EQ(RowsToString(r), "(2)(4)");
+  r = MustExecute(
+      &engine_, "SELECT id FROM t WHERE v IS NOT NULL AND s IS NULL");
+  EXPECT_EQ(RowsToString(r), "(3)");
+}
+
+TEST_F(ExecSemanticsTest, ThreeValuedOrAnd) {
+  // v > 5 OR s = 'abc': row 2 (v NULL, s='abd') -> unknown OR false -> no.
+  // Row 4 (both NULL) -> unknown. Rows 1, 3 qualify.
+  QueryResult r = MustExecute(
+      &engine_, "SELECT id FROM t WHERE v > 5 OR s = 'abc' ORDER BY id");
+  EXPECT_EQ(RowsToString(r), "(1)(3)");
+  // NOT over unknown stays unknown (filtered out).
+  r = MustExecute(&engine_, "SELECT id FROM t WHERE NOT (v > 5) ORDER BY id");
+  EXPECT_EQ(r.rowset->rows().size(), 0u);
+}
+
+TEST_F(ExecSemanticsTest, AggregatesIgnoreNulls) {
+  QueryResult r = MustExecute(
+      &engine_,
+      "SELECT COUNT(*), COUNT(v), SUM(v), AVG(v), MIN(v), MAX(v) FROM t");
+  EXPECT_EQ(RowsToString(r), "(4, 2, 40, 20, 10, 30)");
+}
+
+TEST_F(ExecSemanticsTest, AggregatesOverEmptyInput) {
+  QueryResult r = MustExecute(
+      &engine_,
+      "SELECT COUNT(*), SUM(v), MIN(v) FROM t WHERE id > 100");
+  EXPECT_EQ(RowsToString(r), "(0, NULL, NULL)");
+  // Grouped aggregate over empty input yields no rows.
+  r = MustExecute(
+      &engine_, "SELECT v, COUNT(*) FROM t WHERE id > 100 GROUP BY v");
+  EXPECT_EQ(r.rowset->rows().size(), 0u);
+}
+
+TEST_F(ExecSemanticsTest, DistinctAggregates) {
+  MustExecute(&engine_, "INSERT INTO t VALUES (5, 10, 'abc')");
+  QueryResult r = MustExecute(
+      &engine_, "SELECT COUNT(v), COUNT(DISTINCT v), SUM(DISTINCT v) FROM t");
+  EXPECT_EQ(RowsToString(r), "(3, 2, 40)");
+}
+
+TEST_F(ExecSemanticsTest, GroupByNullFormsOneGroup) {
+  QueryResult r = MustExecute(
+      &engine_, "SELECT v, COUNT(*) FROM t GROUP BY v ORDER BY v");
+  // NULL group first (NULL sorts low), then 10, 30.
+  EXPECT_EQ(RowsToString(r), "(NULL, 2)(10, 1)(30, 1)");
+}
+
+TEST_F(ExecSemanticsTest, JoinsNeverMatchNullKeys) {
+  MustExecute(&engine_, "CREATE TABLE u (v INT, tag VARCHAR(4))");
+  MustExecute(&engine_, "INSERT INTO u VALUES (10, 'x'), (NULL, 'n')");
+  QueryResult r = MustExecute(
+      &engine_, "SELECT t.id, u.tag FROM t JOIN u ON t.v = u.v");
+  EXPECT_EQ(RowsToString(r), "(1, x)");
+}
+
+TEST_F(ExecSemanticsTest, LeftJoinNullPadding) {
+  MustExecute(&engine_, "CREATE TABLE u (v INT, tag VARCHAR(4))");
+  MustExecute(&engine_, "INSERT INTO u VALUES (10, 'x')");
+  QueryResult r = MustExecute(
+      &engine_,
+      "SELECT t.id, u.tag FROM t LEFT JOIN u ON t.v = u.v ORDER BY t.id");
+  EXPECT_EQ(RowsToString(r), "(1, x)(2, NULL)(3, NULL)(4, NULL)");
+}
+
+TEST_F(ExecSemanticsTest, LikePatterns) {
+  QueryResult r = MustExecute(
+      &engine_, "SELECT id FROM t WHERE s LIKE 'ab%' ORDER BY id");
+  EXPECT_EQ(RowsToString(r), "(1)(2)");
+  r = MustExecute(&engine_, "SELECT id FROM t WHERE s LIKE 'ab_' ORDER BY id");
+  EXPECT_EQ(RowsToString(r), "(1)(2)");
+  r = MustExecute(&engine_, "SELECT id FROM t WHERE s LIKE '%c'");
+  EXPECT_EQ(RowsToString(r), "(1)");
+  r = MustExecute(&engine_, "SELECT id FROM t WHERE s NOT LIKE 'ab%'");
+  EXPECT_EQ(r.rowset->rows().size(), 0u);  // NULL s rows are unknown.
+}
+
+TEST_F(ExecSemanticsTest, DivisionByZeroIsError) {
+  auto r = engine_.Execute("SELECT 1 / 0");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kExecutionError);
+}
+
+TEST_F(ExecSemanticsTest, ArithmeticWithNullYieldsNull) {
+  QueryResult r = MustExecute(
+      &engine_, "SELECT id, v + 1 FROM t WHERE id = 2");
+  EXPECT_EQ(RowsToString(r), "(2, NULL)");
+}
+
+TEST_F(ExecSemanticsTest, TopZeroAndBeyondCardinality) {
+  QueryResult r = MustExecute(&engine_, "SELECT TOP 0 id FROM t");
+  EXPECT_EQ(r.rowset->rows().size(), 0u);
+  r = MustExecute(&engine_, "SELECT TOP 100 id FROM t");
+  EXPECT_EQ(r.rowset->rows().size(), 4u);
+}
+
+TEST_F(ExecSemanticsTest, InListWithNullSemantics) {
+  // 10 IN (10, NULL) -> true; 20 IN (10, NULL) -> unknown (not emitted);
+  // NOT IN with NULL in the list never matches.
+  QueryResult r = MustExecute(
+      &engine_, "SELECT id FROM t WHERE v IN (10, NULL)");
+  EXPECT_EQ(RowsToString(r), "(1)");
+  r = MustExecute(&engine_, "SELECT id FROM t WHERE v NOT IN (10, NULL)");
+  EXPECT_EQ(r.rowset->rows().size(), 0u);
+}
+
+TEST_F(ExecSemanticsTest, StringConcatenationAndFunctions) {
+  QueryResult r = MustExecute(
+      &engine_,
+      "SELECT UPPER(s) + '!' , LEN(s) FROM t WHERE id = 1");
+  EXPECT_EQ(RowsToString(r), "(ABC!, 3)");
+}
+
+TEST_F(ExecSemanticsTest, OrderByNullsFirstAscending) {
+  QueryResult r = MustExecute(&engine_, "SELECT id FROM t ORDER BY v, id");
+  EXPECT_EQ(RowsToString(r), "(2)(4)(1)(3)");
+  r = MustExecute(&engine_, "SELECT id FROM t ORDER BY v DESC, id");
+  EXPECT_EQ(RowsToString(r), "(3)(1)(2)(4)");
+}
+
+}  // namespace
+}  // namespace dhqp

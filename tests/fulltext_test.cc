@@ -1,0 +1,198 @@
+// Full-text search service tests: stemming, CONTAINS query language,
+// inverted index, IFilters, and the SQL integration of §2.3 / Fig 2.
+
+#include "src/fulltext/contains_query.h"
+#include "src/fulltext/inverted_index.h"
+#include "src/fulltext/stemmer.h"
+#include "src/workloads/documents.h"
+#include "tests/test_util.h"
+
+namespace dhqp {
+namespace {
+
+using fulltext::Document;
+using fulltext::IFilterRegistry;
+using fulltext::InvertedIndex;
+using fulltext::MatchesTextQuery;
+using fulltext::ParseContainsQuery;
+using fulltext::Stem;
+using fulltext::TokenizeText;
+
+TEST(StemmerTest, InflectionalForms) {
+  // §2.3: "'runner', 'run', and 'ran' can all be equivalent".
+  EXPECT_EQ(Stem("run"), "run");
+  EXPECT_EQ(Stem("ran"), "run");
+  EXPECT_EQ(Stem("runner"), "run");
+  EXPECT_EQ(Stem("running"), "run");
+  EXPECT_EQ(Stem("Databases"), "database");
+  EXPECT_EQ(Stem("queries"), "query");
+  EXPECT_EQ(Stem("wrote"), "write");
+  EXPECT_EQ(Stem("written"), "write");
+}
+
+TEST(StemmerTest, TokenizeLowercasesAndSplits) {
+  auto tokens = TokenizeText("The Quick-Brown FOX, 42 jumps!");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0], "the");
+  EXPECT_EQ(tokens[1], "quick");
+  EXPECT_EQ(tokens[4], "42");
+}
+
+TEST(ContainsQueryTest, ParsesBooleanAndPhrase) {
+  auto q = ParseContainsQuery("\"Parallel database\" OR \"heterogeneous query\"");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ((*q)->kind, fulltext::ContainsNode::Kind::kOr);
+}
+
+TEST(ContainsQueryTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseContainsQuery("\"unterminated").ok());
+  EXPECT_FALSE(ParseContainsQuery("AND").ok());
+  EXPECT_FALSE(ParseContainsQuery("(a OR b").ok());
+}
+
+TEST(ContainsQueryTest, DirectTextMatching) {
+  const std::string text =
+      "we built a parallel database engine for heterogeneous queries";
+  EXPECT_TRUE(MatchesTextQuery(text, "\"parallel database\""));
+  EXPECT_TRUE(MatchesTextQuery(text, "heterogeneous AND engine"));
+  EXPECT_FALSE(MatchesTextQuery(text, "\"database parallel\""));
+  EXPECT_TRUE(MatchesTextQuery(text, "missing OR engine"));
+  EXPECT_FALSE(MatchesTextQuery(text, "engine AND NOT database"));
+  // Inflectional: text says "queries", the query says "query".
+  EXPECT_TRUE(MatchesTextQuery(text, "query"));
+  // Proximity.
+  EXPECT_TRUE(MatchesTextQuery(text, "parallel NEAR engine"));
+}
+
+TEST(InvertedIndexTest, RankingPrefersHigherTf) {
+  InvertedIndex index;
+  index.AddDocument(1, "database database database optimization");
+  index.AddDocument(2, "database once, other words entirely here");
+  index.AddDocument(3, "nothing relevant at all");
+  auto q = ParseContainsQuery("database");
+  ASSERT_TRUE(q.ok());
+  auto matches = index.Query(**q);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].doc_id, 1);
+  EXPECT_GT(matches[0].rank, matches[1].rank);
+}
+
+TEST(InvertedIndexTest, PhraseAndNear) {
+  InvertedIndex index;
+  index.AddDocument(1, "parallel database systems are fast");
+  index.AddDocument(2, "database with parallel hardware");
+  auto phrase = ParseContainsQuery("\"parallel database\"");
+  ASSERT_TRUE(phrase.ok());
+  auto matches = index.Query(**phrase);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].doc_id, 1);
+
+  auto near = ParseContainsQuery("parallel NEAR hardware");
+  ASSERT_TRUE(near.ok());
+  matches = index.Query(**near);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].doc_id, 2);
+}
+
+TEST(IFilterTest, ExtractsPerFormat) {
+  IFilterRegistry filters;
+  Document txt{"a.txt", "txt", "plain words", 0, 0};
+  Document html{"b.html", "html", fulltext::EncodeHtml("inside markup"), 0, 0};
+  Document doc{"c.doc", "doc", fulltext::EncodeDoc("word text"), 0, 0};
+  Document pdf{"d.pdf", "pdf", fulltext::EncodePdf("pdf text"), 0, 0};
+  Document zip{"e.zip", "zip", "PK...", 0, 0};
+  EXPECT_EQ(*filters.Extract(txt), "plain words");
+  EXPECT_NE(filters.Extract(html)->find("inside markup"), std::string::npos);
+  EXPECT_NE(filters.Extract(doc)->find("word text"), std::string::npos);
+  EXPECT_NE(filters.Extract(pdf)->find("pdf text"), std::string::npos);
+  EXPECT_FALSE(filters.Extract(zip).ok());  // No IFilter installed (§2.2).
+}
+
+TEST(FullTextServiceTest, FileSystemCatalog) {
+  // §2.2: a catalog over a document repository; un-filterable formats are
+  // skipped.
+  fulltext::FullTextService service;
+  ASSERT_OK(service.CreateCatalog("DQLiterature", "SCOPE()", "Path", "body"));
+  workloads::CorpusOptions copt;
+  copt.num_documents = 200;
+  auto docs = workloads::GenerateCorpus(copt);
+  int skipped = 0;
+  ASSERT_OK(service.IndexDocuments("DQLiterature", docs, &skipped));
+  EXPECT_GT(skipped, 0);  // zip files have no IFilter.
+  auto matches = service.QueryCatalog(
+      "DQLiterature", "\"parallel database\" OR \"heterogeneous query\"");
+  ASSERT_TRUE(matches.ok()) << matches.status().ToString();
+  EXPECT_GT(matches->size(), 0u);
+  // Ranks descend.
+  for (size_t i = 1; i < matches->size(); ++i) {
+    EXPECT_GE((*matches)[i - 1].second, (*matches)[i].second);
+  }
+}
+
+// §2.3 / Fig 2: CONTAINS in SQL answered via the full-text index, joined
+// back to the base table.
+class FullTextSqlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MustExecute(&engine_,
+                "CREATE TABLE articles (id INT PRIMARY KEY, "
+                "title VARCHAR(60), body TEXT)");
+    MustExecute(
+        &engine_,
+        "INSERT INTO articles VALUES "
+        "(1, 'dbms', 'parallel database systems run distributed queries'), "
+        "(2, 'cooking', 'how to run a kitchen with parallel pans'), "
+        "(3, 'search', 'heterogeneous query processing over providers'), "
+        "(4, 'sports', 'the runner ran a marathon')");
+  }
+
+  Engine engine_;
+};
+
+TEST_F(FullTextSqlTest, ContainsWithoutIndexEvaluatesDirectly) {
+  QueryResult r = MustExecute(
+      &engine_,
+      "SELECT id FROM articles WHERE CONTAINS(body, '\"parallel database\"')");
+  EXPECT_EQ(RowsToString(r), "(1)");
+  EXPECT_EQ(CountOps(r.plan, PhysicalOpKind::kFullTextLookup), 0);
+}
+
+TEST_F(FullTextSqlTest, ContainsUsesFullTextIndexWhenPresent) {
+  // Enough rows that scanning + matching text per row costs more than the
+  // index lookup (on the 4-row table the naive scan correctly wins).
+  for (int i = 0; i < 60; ++i) {
+    MustExecute(&engine_, "INSERT INTO articles VALUES (" +
+                              std::to_string(100 + i) +
+                              ", 'filler', 'unrelated filler words here')");
+  }
+  ASSERT_OK(engine_.CreateFullTextIndex("ft_articles", "articles", "id",
+                                        "body"));
+  QueryResult r = MustExecute(
+      &engine_,
+      "SELECT id FROM articles WHERE "
+      "CONTAINS(body, '\"parallel database\" OR \"heterogeneous query\"') "
+      "ORDER BY id");
+  EXPECT_EQ(RowsToString(r), "(1)(3)");
+  EXPECT_EQ(CountOps(r.plan, PhysicalOpKind::kFullTextLookup), 1)
+      << r.plan->ToString();
+}
+
+TEST_F(FullTextSqlTest, InflectionalSqlQuery) {
+  ASSERT_OK(engine_.CreateFullTextIndex("ft2", "articles", "id", "body"));
+  QueryResult r = MustExecute(
+      &engine_,
+      "SELECT id FROM articles WHERE CONTAINS(body, 'running') ORDER BY id");
+  // 'run' appears in 1 and 2; 'runner'/'ran' in 4 — all stem to 'run'.
+  EXPECT_EQ(RowsToString(r), "(1)(2)(4)");
+}
+
+TEST_F(FullTextSqlTest, ContainsCombinedWithRelationalPredicates) {
+  ASSERT_OK(engine_.CreateFullTextIndex("ft3", "articles", "id", "body"));
+  QueryResult r = MustExecute(
+      &engine_,
+      "SELECT id FROM articles WHERE CONTAINS(body, 'parallel') AND id > 1");
+  EXPECT_EQ(RowsToString(r), "(2)");
+}
+
+}  // namespace
+}  // namespace dhqp

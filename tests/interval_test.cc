@@ -1,0 +1,121 @@
+// Interval-set algebra tests — the foundation of the constraint property
+// framework (§4.1.5), including the paper's worked examples.
+
+#include <gtest/gtest.h>
+
+#include "src/common/interval.h"
+#include "src/common/rng.h"
+
+namespace dhqp {
+namespace {
+
+Value V(int64_t x) { return Value::Int64(x); }
+
+TEST(IntervalSetTest, PaperFilterExample) {
+  // "CustomerId > 50" narrows [-inf,+inf] to (50,+inf].
+  IntervalSet domain = IntervalSet::All();
+  domain = domain.Intersect(IntervalSet::FromComparison(">", V(50)));
+  EXPECT_FALSE(domain.Contains(V(50)));
+  EXPECT_TRUE(domain.Contains(V(51)));
+  EXPECT_EQ(domain.ToString(), "(50, +inf)");
+}
+
+TEST(IntervalSetTest, PaperDisjointExample) {
+  // "CustomerId IN (1, 5) OR CustomerId BETWEEN 50 AND 100" derives
+  // [1,1] U [5,5] U [50,100].
+  IntervalSet in_list = IntervalSet::Point(V(1)).Union(IntervalSet::Point(V(5)));
+  IntervalSet between = IntervalSet::Range(Bound{V(50), true}, Bound{V(100), true});
+  IntervalSet domain = in_list.Union(between);
+  EXPECT_EQ(domain.ToString(), "[1, 1] U [5, 5] U [50, 100]");
+  EXPECT_TRUE(domain.Contains(V(5)));
+  EXPECT_FALSE(domain.Contains(V(6)));
+  EXPECT_TRUE(domain.Contains(V(77)));
+}
+
+TEST(IntervalSetTest, PaperPruningExample) {
+  // Domain (50,+inf] intersected with [20,20] is empty -> constant false.
+  IntervalSet domain = IntervalSet::FromComparison(">", V(50));
+  IntervalSet probe = IntervalSet::Point(V(20));
+  EXPECT_FALSE(domain.Intersects(probe));
+  EXPECT_TRUE(domain.Intersect(probe).IsEmpty());
+}
+
+TEST(IntervalSetTest, NotEquals) {
+  IntervalSet ne = IntervalSet::FromComparison("<>", V(3));
+  EXPECT_FALSE(ne.Contains(V(3)));
+  EXPECT_TRUE(ne.Contains(V(2)));
+  EXPECT_TRUE(ne.Contains(V(4)));
+  // Complement of a point does not merge back into "all".
+  EXPECT_FALSE(ne.IsAll());
+}
+
+TEST(IntervalSetTest, MergeAdjacentOnUnion) {
+  IntervalSet a = IntervalSet::Range(Bound{V(1), true}, Bound{V(5), true});
+  IntervalSet b = IntervalSet::Range(Bound{V(5), true}, Bound{V(9), true});
+  EXPECT_EQ(a.Union(b).intervals().size(), 1u);
+  // Touching at an excluded endpoint stays split.
+  IntervalSet c = IntervalSet::Range(Bound{V(1), true}, Bound{V(5), false});
+  IntervalSet d = IntervalSet::Range(Bound{V(5), false}, Bound{V(9), true});
+  EXPECT_EQ(c.Union(d).intervals().size(), 2u);
+  EXPECT_FALSE(c.Union(d).Contains(V(5)));
+}
+
+TEST(IntervalSetTest, EmptyIntervalRejected) {
+  EXPECT_TRUE(IntervalSet::Range(Bound{V(5), false}, Bound{V(5), false})
+                  .IsEmpty());
+  EXPECT_TRUE(IntervalSet::Range(Bound{V(7), true}, Bound{V(3), true})
+                  .IsEmpty());
+  EXPECT_FALSE(IntervalSet::Point(V(5)).IsEmpty());
+}
+
+TEST(IntervalSetTest, StringsAndDates) {
+  IntervalSet names = IntervalSet::Range(Bound{Value::String("b"), true},
+                                         Bound{Value::String("f"), false});
+  EXPECT_TRUE(names.Contains(Value::String("cat")));
+  EXPECT_FALSE(names.Contains(Value::String("f")));
+  EXPECT_FALSE(names.Contains(Value::String("apple")));
+}
+
+// Property test: set semantics of Intersect/Union/Contains agree with brute
+// force over randomly generated interval sets.
+class IntervalPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntervalPropertyTest, IntersectUnionAgreeWithMembership) {
+  Rng rng(GetParam());
+  auto random_set = [&]() {
+    IntervalSet set = IntervalSet::None();
+    int n = static_cast<int>(rng.Uniform(1, 4));
+    for (int i = 0; i < n; ++i) {
+      int64_t a = rng.Uniform(0, 40);
+      int64_t b = rng.Uniform(0, 40);
+      if (a > b) std::swap(a, b);
+      set = set.Union(IntervalSet::Range(Bound{V(a), rng.Uniform(0, 1) == 0},
+                                         Bound{V(b), rng.Uniform(0, 1) == 0}));
+    }
+    return set;
+  };
+  for (int trial = 0; trial < 50; ++trial) {
+    IntervalSet x = random_set();
+    IntervalSet y = random_set();
+    IntervalSet inter = x.Intersect(y);
+    IntervalSet uni = x.Union(y);
+    for (int64_t v = -1; v <= 41; ++v) {
+      bool in_x = x.Contains(V(v));
+      bool in_y = y.Contains(V(v));
+      EXPECT_EQ(inter.Contains(V(v)), in_x && in_y) << "v=" << v;
+      EXPECT_EQ(uni.Contains(V(v)), in_x || in_y) << "v=" << v;
+    }
+    // Normalization: intervals disjoint and sorted.
+    const auto& ivs = inter.intervals();
+    for (size_t i = 1; i < ivs.size(); ++i) {
+      ASSERT_TRUE(ivs[i - 1].hi.value && ivs[i].lo.value);
+      EXPECT_LE(ivs[i - 1].hi.value->Compare(*ivs[i].lo.value), 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace dhqp

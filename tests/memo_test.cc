@@ -1,0 +1,116 @@
+// Memo unit tests (§4.1.1): structural deduplication, group properties
+// (cardinality, locality, constraint domains, contradiction).
+
+#include <gtest/gtest.h>
+
+#include "src/optimizer/memo.h"
+#include "tests/test_util.h"
+
+namespace dhqp {
+namespace {
+
+class MemoTest : public ::testing::Test {
+ protected:
+  MemoTest() : catalog_(&storage_) {}
+
+  void SetUp() override {
+    Schema schema;
+    schema.AddColumn(ColumnDef{"k", DataType::kInt64, false});
+    schema.AddColumn(ColumnDef{"v", DataType::kInt64, true});
+    Table* t = storage_.CreateTable("t", schema).value();
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(t->Insert({Value::Int64(i), Value::Int64(i % 7)}).ok());
+    }
+    ctx_ = std::make_unique<OptimizerContext>(&catalog_, &registry_,
+                                              OptimizerOptions{});
+  }
+
+  // A fresh Get over table t with new column ids.
+  LogicalOpPtr NewGet(const std::string& alias, int source_id = kLocalSource) {
+    ObjectName name;
+    name.table = "t";
+    ResolvedTable resolved = catalog_.ResolveTable(name).value();
+    resolved.source_id = source_id;
+    std::vector<int> ids = {
+        registry_.Add(alias, "k", DataType::kInt64),
+        registry_.Add(alias, "v", DataType::kInt64)};
+    last_cols_ = ids;
+    return MakeGet(resolved, alias, ids);
+  }
+
+  StorageEngine storage_;
+  Catalog catalog_;
+  ColumnRegistry registry_;
+  std::unique_ptr<OptimizerContext> ctx_;
+  std::vector<int> last_cols_;
+};
+
+TEST_F(MemoTest, IdenticalTreesShareGroups) {
+  Memo memo(ctx_.get());
+  LogicalOpPtr get = NewGet("a");
+  LogicalOpPtr f1 = MakeFilter(get, MakeComparison(">", MakeColumn(last_cols_[0], DataType::kInt64, "a.k"), MakeLiteral(Value::Int64(10))));
+  int g1 = memo.InsertTree(f1);
+  int g2 = memo.InsertTree(f1);
+  EXPECT_EQ(g1, g2);
+  EXPECT_EQ(memo.num_exprs(), 2);  // One Get, one Filter.
+}
+
+TEST_F(MemoTest, DistinctInstancesOfSameTableDoNotMerge) {
+  Memo memo(ctx_.get());
+  int g1 = memo.InsertTree(NewGet("a"));
+  int g2 = memo.InsertTree(NewGet("a"));  // Fresh column ids = new instance.
+  EXPECT_NE(g1, g2);
+}
+
+TEST_F(MemoTest, GroupCardinalityFromTable) {
+  Memo memo(ctx_.get());
+  int gid = memo.InsertTree(NewGet("a"));
+  EXPECT_DOUBLE_EQ(memo.group(gid).props.cardinality, 100.0);
+  EXPECT_EQ(memo.group(gid).props.locality, kLocalSource);
+}
+
+TEST_F(MemoTest, FilterDomainsAndContradiction) {
+  Memo memo(ctx_.get());
+  LogicalOpPtr get = NewGet("a");
+  int k = last_cols_[0];
+  // k > 50 AND k < 20 contradicts.
+  LogicalOpPtr filter = MakeFilter(
+      get, MakeAnd(MakeComparison(">", MakeColumn(k, DataType::kInt64, "k"),
+                                  MakeLiteral(Value::Int64(50))),
+                   MakeComparison("<", MakeColumn(k, DataType::kInt64, "k"),
+                                  MakeLiteral(Value::Int64(20)))));
+  int gid = memo.InsertTree(filter);
+  EXPECT_TRUE(memo.group(gid).props.contradiction);
+  EXPECT_DOUBLE_EQ(memo.group(gid).props.cardinality, 0.0);
+}
+
+TEST_F(MemoTest, JoinLocalityCombines) {
+  Memo memo(ctx_.get());
+  LogicalOpPtr local = NewGet("a");
+  LogicalOpPtr remote = NewGet("b", /*source_id=*/0);
+  int mixed = memo.InsertTree(
+      MakeJoin(JoinType::kCross, local, remote, nullptr));
+  EXPECT_EQ(memo.group(mixed).props.locality, kMixedLocality);
+
+  LogicalOpPtr r1 = NewGet("c", 0);
+  LogicalOpPtr r2 = NewGet("d", 0);
+  int pure = memo.InsertTree(MakeJoin(JoinType::kCross, r1, r2, nullptr));
+  EXPECT_EQ(memo.group(pure).props.locality, 0);
+}
+
+TEST_F(MemoTest, ExtractTreeRoundTrips) {
+  Memo memo(ctx_.get());
+  LogicalOpPtr get = NewGet("a");
+  LogicalOpPtr filter = MakeFilter(
+      get, MakeComparison("=", MakeColumn(last_cols_[1], DataType::kInt64, "v"),
+                          MakeLiteral(Value::Int64(3))));
+  int gid = memo.InsertTree(filter);
+  LogicalOpPtr extracted = memo.ExtractTree(gid);
+  ASSERT_EQ(extracted->kind, LogicalOpKind::kFilter);
+  ASSERT_EQ(extracted->children.size(), 1u);
+  EXPECT_EQ(extracted->children[0]->kind, LogicalOpKind::kGet);
+  EXPECT_EQ(extracted->LocalFingerprint(), filter->LocalFingerprint());
+}
+
+}  // namespace
+}  // namespace dhqp

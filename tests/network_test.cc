@@ -1,0 +1,93 @@
+// Network simulation tests: link accounting, batch charging, and the
+// federation workload harness (TPC-C-lite over 2PC).
+
+#include "src/workloads/tpcc.h"
+#include "tests/test_util.h"
+
+namespace dhqp {
+namespace {
+
+TEST(LinkTest, MessageAndRowAccounting) {
+  net::Link link("test");
+  link.ChargeMessage(100);
+  link.ChargeRows(10, 250);
+  EXPECT_EQ(link.stats().messages, 1);
+  EXPECT_EQ(link.stats().rows, 10);
+  EXPECT_EQ(link.stats().bytes, 350);
+  link.ResetStats();
+  EXPECT_EQ(link.stats().messages, 0);
+}
+
+TEST(LinkTest, EnforcedDelayIsMeasurable) {
+  net::Link link("slow", /*latency_us=*/200, /*us_per_kb=*/0,
+                 /*enforce_delays=*/true);
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 5; ++i) link.ChargeMessage(10);
+  auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  EXPECT_GE(elapsed, 5 * 200);
+}
+
+TEST(LinkTest, LinkedRowsetChargesBatches) {
+  Schema schema;
+  schema.AddColumn(ColumnDef{"a", DataType::kInt64, false});
+  std::vector<Row> rows;
+  for (int i = 0; i < 200; ++i) rows.push_back({Value::Int64(i)});
+  net::Link link("l");
+  net::LinkedRowset rowset(
+      std::make_unique<VectorRowset>(schema, rows), &link, /*batch_rows=*/64);
+  auto drained = DrainRowset(&rowset);
+  ASSERT_TRUE(drained.ok());
+  EXPECT_EQ(drained->size(), 200u);
+  EXPECT_EQ(link.stats().rows, 200);
+  // 200 rows at batch 64 -> 4 messages (3 full + 1 final partial).
+  EXPECT_EQ(link.stats().messages, 4);
+  EXPECT_GT(link.stats().bytes, 0);
+}
+
+TEST(TpccFederationTest, NewOrderRoutesAndCommits) {
+  workloads::TpccOptions options;
+  options.num_members = 3;
+  options.warehouses_per_member = 2;
+  options.customers_per_warehouse = 20;
+  auto fed = workloads::BuildTpccFederation(options);
+  ASSERT_TRUE(fed.ok()) << fed.status().ToString();
+
+  TransactionCoordinator dtc;
+  // Warehouse 3 lives on member 1 ((3-1)/2 = 1).
+  auto order = (*fed)->NewOrder(&dtc, /*warehouse=*/3, /*customer=*/7,
+                                /*order_id=*/500);
+  ASSERT_TRUE(order.ok()) << order.status().ToString();
+
+  QueryResult check = MustExecute(
+      (*fed)->members[1].get(),
+      "SELECT COUNT(*) FROM orders WHERE o_id = 500 AND w_id = 3");
+  EXPECT_EQ(RowsToString(check), "(1)");
+  // Other members untouched.
+  check = MustExecute((*fed)->members[0].get(),
+                      "SELECT COUNT(*) FROM orders");
+  EXPECT_EQ(RowsToString(check), "(0)");
+
+  // The partitioned-view read pruned the other members at startup.
+  QueryResult lookup = MustExecute(
+      (*fed)->coordinator.get(),
+      "SELECT c_balance FROM customers_all WHERE w_id = @w AND c_id = @c",
+      {{"@w", Value::Int64(3)}, {"@c", Value::Int64(7)}});
+  EXPECT_EQ(lookup.exec_stats.startup_skips, 2);
+}
+
+TEST(TpccFederationTest, UnknownCustomerFails) {
+  workloads::TpccOptions options;
+  options.num_members = 2;
+  options.customers_per_warehouse = 5;
+  auto fed = workloads::BuildTpccFederation(options);
+  ASSERT_TRUE(fed.ok());
+  TransactionCoordinator dtc;
+  auto missing = (*fed)->NewOrder(&dtc, 1, 9999, 1);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace dhqp

@@ -1,0 +1,186 @@
+// Partitioned views (§4.1.5): static pruning via the constraint property
+// framework, runtime pruning via startup filters, and INSERT routing.
+
+#include "src/workloads/tpch.h"
+#include "tests/test_util.h"
+
+namespace dhqp {
+namespace {
+
+// Local partitioned view over three CHECK-partitioned member tables.
+class LocalPartitionedViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int p = 0; p < 3; ++p) {
+      int lo = p * 100 + 1, hi = (p + 1) * 100;
+      MustExecute(&engine_, "CREATE TABLE orders_p" + std::to_string(p) +
+                                " (id INT NOT NULL CHECK (id BETWEEN " +
+                                std::to_string(lo) + " AND " +
+                                std::to_string(hi) + "), amount INT)");
+      std::string sql =
+          "INSERT INTO orders_p" + std::to_string(p) + " VALUES ";
+      for (int i = lo; i <= hi; ++i) {
+        if (i > lo) sql += ",";
+        sql += "(" + std::to_string(i) + "," + std::to_string(i * 2) + ")";
+      }
+      MustExecute(&engine_, sql);
+    }
+    MustExecute(&engine_,
+                "CREATE VIEW orders_all AS "
+                "SELECT * FROM orders_p0 UNION ALL "
+                "SELECT * FROM orders_p1 UNION ALL "
+                "SELECT * FROM orders_p2");
+  }
+
+  Engine engine_;
+};
+
+TEST_F(LocalPartitionedViewTest, QueriesAllPartitions) {
+  QueryResult r = MustExecute(&engine_, "SELECT COUNT(*) FROM orders_all");
+  EXPECT_EQ(RowsToString(r), "(300)");
+}
+
+TEST_F(LocalPartitionedViewTest, StaticPruningWithConstant) {
+  // id = 150 can only live in partition 1: the other branches reduce to
+  // empty tables at compile time.
+  QueryResult r = MustExecute(
+      &engine_, "SELECT amount FROM orders_all WHERE id = 150");
+  EXPECT_EQ(RowsToString(r), "(300)");
+  EXPECT_EQ(CountOps(r.plan, PhysicalOpKind::kEmptyTable), 2)
+      << r.plan->ToString();
+}
+
+TEST_F(LocalPartitionedViewTest, StaticPruningRange) {
+  QueryResult r = MustExecute(
+      &engine_, "SELECT COUNT(*) FROM orders_all WHERE id > 250");
+  EXPECT_EQ(RowsToString(r), "(50)");
+  EXPECT_EQ(CountOps(r.plan, PhysicalOpKind::kEmptyTable), 2);
+}
+
+TEST_F(LocalPartitionedViewTest, ContradictionYieldsEmpty) {
+  QueryResult r = MustExecute(
+      &engine_, "SELECT COUNT(*) FROM orders_all WHERE id > 300 AND id < 100");
+  EXPECT_EQ(RowsToString(r), "(0)");
+  // All branches contradict, so the whole union collapses to one empty
+  // table (the Concat itself is pruned).
+  EXPECT_GE(CountOps(r.plan, PhysicalOpKind::kEmptyTable), 1);
+  EXPECT_EQ(CountOps(r.plan, PhysicalOpKind::kConcat), 0);
+}
+
+TEST_F(LocalPartitionedViewTest, StartupFilterRuntimePruning) {
+  // With a parameter the domain is unknown at compile time: each branch
+  // gets a startup filter like STARTUP(@id >= lo AND @id <= hi), and at run
+  // time two of the three subtrees are skipped (§4.1.5's example).
+  QueryResult r = MustExecute(&engine_,
+                              "SELECT amount FROM orders_all WHERE id = @id",
+                              {{"@id", Value::Int64(217)}});
+  EXPECT_EQ(RowsToString(r), "(434)");
+  EXPECT_EQ(CountOps(r.plan, PhysicalOpKind::kStartupFilter), 3)
+      << r.plan->ToString();
+  EXPECT_EQ(r.exec_stats.startup_skips, 2);
+}
+
+TEST_F(LocalPartitionedViewTest, StartupFiltersDisabledAblation) {
+  engine_.options()->optimizer.enable_startup_filters = false;
+  QueryResult r = MustExecute(&engine_,
+                              "SELECT amount FROM orders_all WHERE id = @id",
+                              {{"@id", Value::Int64(217)}});
+  EXPECT_EQ(RowsToString(r), "(434)");
+  EXPECT_EQ(CountOps(r.plan, PhysicalOpKind::kStartupFilter), 0);
+  EXPECT_EQ(r.exec_stats.startup_skips, 0);
+}
+
+TEST_F(LocalPartitionedViewTest, InsertRoutedToMember) {
+  // 300 rows exist; ids 301+ violate every partition.
+  QueryResult ins = MustExecute(
+      &engine_, "INSERT INTO orders_all (id, amount) VALUES (50, 7)");
+  EXPECT_EQ(ins.rows_affected, 1);
+  QueryResult check = MustExecute(
+      &engine_, "SELECT COUNT(*) FROM orders_p0 WHERE amount = 7");
+  EXPECT_EQ(RowsToString(check), "(1)");
+
+  auto bad = engine_.Execute("INSERT INTO orders_all (id, amount) VALUES "
+                             "(999, 1)");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kConstraintViolation);
+}
+
+// Distributed partitioned view: members on separate engines (§4.1.5's
+// lineitem-by-year federation).
+class DistributedPartitionedViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workloads::TpchOptions topt;
+    topt.scale_factor = 0.002;
+    for (int year = 1992; year <= 1994; ++year) {
+      RemoteServer server =
+          AttachRemoteEngine(&host_, "srv" + std::to_string(year));
+      ASSERT_OK(workloads::PopulateLineitemPartition(
+          server.engine.get(), topt, "lineitem_" + std::to_string(year), year,
+          year));
+      servers_.push_back(std::move(server));
+    }
+    MustExecute(&host_,
+                "CREATE VIEW lineitem AS "
+                "SELECT * FROM srv1992.tpch.dbo.lineitem_1992 UNION ALL "
+                "SELECT * FROM srv1993.tpch.dbo.lineitem_1993 UNION ALL "
+                "SELECT * FROM srv1994.tpch.dbo.lineitem_1994");
+  }
+
+  int64_t TotalMessages() const {
+    int64_t total = 0;
+    for (const RemoteServer& s : servers_) total += s.link->stats().messages;
+    return total;
+  }
+
+  Engine host_;
+  std::vector<RemoteServer> servers_;
+};
+
+TEST_F(DistributedPartitionedViewTest, PruningSkipsRemoteServers) {
+  QueryResult all = MustExecute(&host_, "SELECT COUNT(*) FROM lineitem");
+  int64_t total = all.rowset->rows()[0][0].int64_value();
+  EXPECT_GT(total, 0);
+
+  // A single-year query must touch exactly one server.
+  for (RemoteServer& s : servers_) s.link->ResetStats();
+  QueryResult r = MustExecute(
+      &host_,
+      "SELECT COUNT(*) FROM lineitem "
+      "WHERE l_commitdate BETWEEN '1993-02-01' AND '1993-03-01'");
+  EXPECT_EQ(CountOps(r.plan, PhysicalOpKind::kEmptyTable), 2)
+      << r.plan->ToString();
+  EXPECT_EQ(servers_[0].link->stats().messages, 0);
+  EXPECT_GT(servers_[1].link->stats().messages, 0);
+  EXPECT_EQ(servers_[2].link->stats().messages, 0);
+}
+
+TEST_F(DistributedPartitionedViewTest, ParameterizedDatePrunesAtStartup) {
+  // Warm-up run populates metadata/statistics caches so the measured run's
+  // traffic is execution-only.
+  MustExecute(&host_, "SELECT COUNT(*) FROM lineitem WHERE l_commitdate = @d",
+              {{"@d", Value::Date(CivilToDays(1994, 6, 15))}});
+  for (RemoteServer& s : servers_) s.link->ResetStats();
+  QueryResult r = MustExecute(
+      &host_, "SELECT COUNT(*) FROM lineitem WHERE l_commitdate = @d",
+      {{"@d", Value::Date(CivilToDays(1994, 6, 15))}});
+  EXPECT_EQ(r.exec_stats.startup_skips, 2) << r.plan->ToString();
+  EXPECT_EQ(servers_[0].link->stats().messages, 0);
+  EXPECT_EQ(servers_[1].link->stats().messages, 0);
+  EXPECT_GT(servers_[2].link->stats().messages, 0);
+}
+
+TEST_F(DistributedPartitionedViewTest, InsertRoutesToRemoteMember) {
+  QueryResult ins = MustExecute(
+      &host_,
+      "INSERT INTO lineitem VALUES (999999, 1, 1, 5, 100.0, '1992-07-04', "
+      "'1992-07-10')");
+  EXPECT_EQ(ins.rows_affected, 1);
+  QueryResult check = MustExecute(
+      servers_[0].engine.get(),
+      "SELECT COUNT(*) FROM lineitem_1992 WHERE l_orderkey = 999999");
+  EXPECT_EQ(RowsToString(check), "(1)");
+}
+
+}  // namespace
+}  // namespace dhqp

@@ -1,0 +1,136 @@
+// Lexer/parser unit tests: token forms, statement coverage, error paths.
+
+#include <gtest/gtest.h>
+
+#include "src/sql/lexer.h"
+#include "src/sql/parser.h"
+
+namespace dhqp {
+namespace {
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Tokenize(
+      "SELECT x.a, 'it''s', 3.5e2, 42, @p1, [quoted id], \"also quoted\", "
+      "#1999-01-02# <= >= <> !=");
+  ASSERT_TRUE(tokens.ok()) << tokens.status().ToString();
+  std::vector<TokenType> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.type);
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[0].type, TokenType::kKeyword);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[2].type, TokenType::kDot);
+  EXPECT_EQ((*tokens)[5].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[5].text, "it's");
+  EXPECT_EQ((*tokens)[7].type, TokenType::kFloat);
+  EXPECT_EQ((*tokens)[9].type, TokenType::kInteger);
+  EXPECT_EQ((*tokens)[11].type, TokenType::kParameter);
+  EXPECT_EQ((*tokens)[11].text, "@p1");
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = Tokenize("SELECT 1 -- trailing comment\n, 2");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens).size(), 5u);  // SELECT 1 , 2 EOF
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("[unterminated").ok());
+  EXPECT_FALSE(Tokenize("SELECT ~").ok());
+  EXPECT_FALSE(Tokenize("@").ok());
+}
+
+TEST(ParserTest, FourPartNames) {
+  auto stmt = Parser::Parse("SELECT * FROM DeptSQLSrvr.Northwind.dbo.Employees");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const TableRef& ref = *(*stmt)->select->cores[0]->from;
+  EXPECT_EQ(ref.name.server, "DeptSQLSrvr");
+  EXPECT_EQ(ref.name.catalog, "Northwind");
+  EXPECT_EQ(ref.name.schema, "dbo");
+  EXPECT_EQ(ref.name.table, "Employees");
+}
+
+TEST(ParserTest, JoinShapes) {
+  EXPECT_TRUE(Parser::Parse("SELECT * FROM a JOIN b ON a.x = b.y").ok());
+  EXPECT_TRUE(Parser::Parse("SELECT * FROM a INNER JOIN b ON a.x = b.y").ok());
+  EXPECT_TRUE(Parser::Parse("SELECT * FROM a LEFT JOIN b ON a.x = b.y").ok());
+  EXPECT_TRUE(
+      Parser::Parse("SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.y").ok());
+  EXPECT_TRUE(Parser::Parse("SELECT * FROM a CROSS JOIN b").ok());
+  EXPECT_TRUE(Parser::Parse("SELECT * FROM a, b, c WHERE a.x = b.y").ok());
+  EXPECT_TRUE(Parser::Parse("SELECT * FROM (a JOIN b ON a.x = b.y) JOIN c "
+                            "ON b.z = c.z").ok());
+}
+
+TEST(ParserTest, ExpressionForms) {
+  const char* queries[] = {
+      "SELECT 1 + 2 * 3 - 4 / 5 % 6",
+      "SELECT -x FROM t",
+      "SELECT * FROM t WHERE a BETWEEN 1 AND 10",
+      "SELECT * FROM t WHERE a NOT BETWEEN 1 AND 10",
+      "SELECT * FROM t WHERE s LIKE 'a%' AND s NOT LIKE '%b'",
+      "SELECT * FROM t WHERE a IN (1, 2, 3)",
+      "SELECT * FROM t WHERE a NOT IN (SELECT b FROM u)",
+      "SELECT * FROM t WHERE a IS NULL OR b IS NOT NULL",
+      "SELECT * FROM t WHERE NOT (a = 1)",
+      "SELECT * FROM t WHERE EXISTS (SELECT * FROM u WHERE u.x = t.x)",
+      "SELECT * FROM t WHERE NOT EXISTS (SELECT * FROM u)",
+      "SELECT CAST(a AS FLOAT) FROM t",
+      "SELECT CASE WHEN a > 0 THEN 'pos' WHEN a < 0 THEN 'neg' ELSE 'z' END "
+      "FROM t",
+      "SELECT * FROM t WHERE CONTAINS(body, '\"full text\" OR other')",
+      "SELECT COUNT(*), COUNT(DISTINCT a), SUM(a), AVG(a), MIN(a), MAX(a) "
+      "FROM t",
+      "SELECT DATE '1995-06-07'",
+      "SELECT UPPER(name), ABS(x), YEAR(d) FROM t",
+      "SELECT TOP 5 * FROM t ORDER BY a DESC, b",
+      "SELECT DISTINCT a FROM t",
+      "SELECT a FROM t GROUP BY a HAVING COUNT(*) > 1",
+      "SELECT a FROM t UNION ALL SELECT b FROM u ORDER BY 1",
+      "SELECT * FROM OPENQUERY(srv, 'select 1') AS q",
+  };
+  for (const char* q : queries) {
+    EXPECT_TRUE(Parser::Parse(q).ok())
+        << q << " -> " << Parser::Parse(q).status().ToString();
+  }
+}
+
+TEST(ParserTest, DdlAndDml) {
+  auto create = Parser::Parse(
+      "CREATE TABLE lineitem_92 (l_commitdate DATETIME NOT NULL CHECK "
+      "(l_commitdate >= '1992-01-01' AND l_commitdate <= '1992-12-31'), "
+      "qty INT PRIMARY KEY, note VARCHAR(40))");
+  ASSERT_TRUE(create.ok()) << create.status().ToString();
+  EXPECT_EQ((*create)->create_table->columns.size(), 3u);
+  EXPECT_EQ((*create)->create_table->checks.size(), 1u);
+
+  EXPECT_TRUE(Parser::Parse("CREATE UNIQUE INDEX i ON t (a, b)").ok());
+  EXPECT_TRUE(Parser::Parse("CREATE VIEW v AS SELECT a FROM t").ok());
+  auto insert = Parser::Parse(
+      "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+  ASSERT_TRUE(insert.ok());
+  EXPECT_EQ((*insert)->insert->rows.size(), 2u);
+}
+
+TEST(ParserTest, ErrorsMentionLocation) {
+  auto bad = Parser::Parse("SELECT FROM");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("near"), std::string::npos);
+
+  EXPECT_FALSE(Parser::Parse("SELECT * FROM t WHERE").ok());
+  EXPECT_FALSE(Parser::Parse("SELECT * FROM t GROUP").ok());
+  EXPECT_FALSE(Parser::Parse("SELECT * FROM a.b.c.d.e").ok());
+  EXPECT_FALSE(Parser::Parse("INSERT INTO t VALUES").ok());
+  EXPECT_FALSE(Parser::Parse("CREATE TABLE t (a NOTATYPE)").ok());
+  EXPECT_FALSE(Parser::Parse("SELECT 1; SELECT 2").ok());  // One statement.
+}
+
+TEST(ParserTest, ViewBodyCapturedVerbatim) {
+  auto stmt = Parser::Parse(
+      "CREATE VIEW v AS SELECT a, b FROM t WHERE a > 3");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->create_view->body_sql, "SELECT a, b FROM t WHERE a > 3");
+}
+
+}  // namespace
+}  // namespace dhqp

@@ -1,0 +1,85 @@
+#ifndef DHQP_TESTS_TEST_UTIL_H_
+#define DHQP_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/connectors/engine_provider.h"
+#include "src/connectors/linked_provider.h"
+#include "src/core/engine.h"
+#include "src/net/network.h"
+
+namespace dhqp {
+
+#define ASSERT_OK(expr)                                     \
+  do {                                                      \
+    ::dhqp::Status _st = (expr);                            \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                \
+  } while (0)
+
+#define EXPECT_OK(expr)                                     \
+  do {                                                      \
+    ::dhqp::Status _st = (expr);                            \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                \
+  } while (0)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, expr)                      \
+  DHQP_ASSIGN_OR_RETURN_IMPL(                                \
+      DHQP_ASSIGN_OR_RETURN_CONCAT(_assert_or_, __LINE__), lhs, expr)
+
+/// Runs a query and asserts success, returning the result.
+inline QueryResult MustExecute(Engine* engine, const std::string& sql,
+                               const std::map<std::string, Value>& params = {}) {
+  auto result = engine->Execute(sql, params);
+  EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+  if (!result.ok()) return QueryResult{};
+  return std::move(result).value();
+}
+
+/// Renders result rows as "(a, b)(c, d)" for compact expectations.
+inline std::string RowsToString(const QueryResult& result) {
+  if (result.rowset == nullptr) return "";
+  std::string out;
+  for (const Row& row : result.rowset->rows()) {
+    out += RowToString(row);
+  }
+  return out;
+}
+
+/// A remote engine attached to a host through a traffic-counting link.
+struct RemoteServer {
+  std::unique_ptr<Engine> engine;
+  std::unique_ptr<net::Link> link;
+};
+
+/// Creates `name` as a linked server on `host`, backed by a fresh Engine
+/// reachable through a counting (non-delaying) link.
+inline RemoteServer AttachRemoteEngine(
+    Engine* host, const std::string& name,
+    ProviderCapabilities caps = SqlServerCapabilities()) {
+  RemoteServer server;
+  EngineOptions options;
+  options.name = name;
+  server.engine = std::make_unique<Engine>(options);
+  server.link = std::make_unique<net::Link>(name);
+  auto inner =
+      std::make_shared<EngineDataSource>(server.engine.get(), std::move(caps));
+  auto linked = std::make_shared<LinkedDataSource>(inner, server.link.get());
+  EXPECT_OK(host->AddLinkedServer(name, linked));
+  return server;
+}
+
+/// Counts physical operators of a kind in a plan tree.
+inline int CountOps(const PhysicalOpPtr& plan, PhysicalOpKind kind) {
+  if (plan == nullptr) return 0;
+  int n = plan->kind == kind ? 1 : 0;
+  for (const auto& child : plan->children) n += CountOps(child, kind);
+  return n;
+}
+
+}  // namespace dhqp
+
+#endif  // DHQP_TESTS_TEST_UTIL_H_
