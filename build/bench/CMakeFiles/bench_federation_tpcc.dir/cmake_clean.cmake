@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_federation_tpcc.dir/bench_federation_tpcc.cc.o"
+  "CMakeFiles/bench_federation_tpcc.dir/bench_federation_tpcc.cc.o.d"
+  "bench_federation_tpcc"
+  "bench_federation_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_federation_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

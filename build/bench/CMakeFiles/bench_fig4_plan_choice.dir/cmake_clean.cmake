@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_plan_choice.dir/bench_fig4_plan_choice.cc.o"
+  "CMakeFiles/bench_fig4_plan_choice.dir/bench_fig4_plan_choice.cc.o.d"
+  "bench_fig4_plan_choice"
+  "bench_fig4_plan_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_plan_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

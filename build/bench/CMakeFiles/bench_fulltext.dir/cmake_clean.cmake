@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fulltext.dir/bench_fulltext.cc.o"
+  "CMakeFiles/bench_fulltext.dir/bench_fulltext.cc.o.d"
+  "bench_fulltext"
+  "bench_fulltext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fulltext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

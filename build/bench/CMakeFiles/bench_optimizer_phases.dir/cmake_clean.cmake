@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimizer_phases.dir/bench_optimizer_phases.cc.o"
+  "CMakeFiles/bench_optimizer_phases.dir/bench_optimizer_phases.cc.o.d"
+  "bench_optimizer_phases"
+  "bench_optimizer_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimizer_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

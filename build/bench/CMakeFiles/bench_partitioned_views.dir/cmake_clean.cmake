@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partitioned_views.dir/bench_partitioned_views.cc.o"
+  "CMakeFiles/bench_partitioned_views.dir/bench_partitioned_views.cc.o.d"
+  "bench_partitioned_views"
+  "bench_partitioned_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partitioned_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

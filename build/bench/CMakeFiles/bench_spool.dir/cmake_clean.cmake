@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spool.dir/bench_spool.cc.o"
+  "CMakeFiles/bench_spool.dir/bench_spool.cc.o.d"
+  "bench_spool"
+  "bench_spool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

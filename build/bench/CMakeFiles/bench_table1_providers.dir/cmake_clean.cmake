@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_providers.dir/bench_table1_providers.cc.o"
+  "CMakeFiles/bench_table1_providers.dir/bench_table1_providers.cc.o.d"
+  "bench_table1_providers"
+  "bench_table1_providers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_providers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_interfaces.dir/bench_table2_interfaces.cc.o"
+  "CMakeFiles/bench_table2_interfaces.dir/bench_table2_interfaces.cc.o.d"
+  "bench_table2_interfaces"
+  "bench_table2_interfaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_interfaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_tpch.dir/federated_tpch.cc.o"
+  "CMakeFiles/federated_tpch.dir/federated_tpch.cc.o.d"
+  "federated_tpch"
+  "federated_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

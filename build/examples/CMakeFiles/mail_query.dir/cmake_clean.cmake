@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mail_query.dir/mail_query.cc.o"
+  "CMakeFiles/mail_query.dir/mail_query.cc.o.d"
+  "mail_query"
+  "mail_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mail_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

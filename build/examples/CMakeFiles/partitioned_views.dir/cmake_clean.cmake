@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitioned_views.dir/partitioned_views.cc.o"
+  "CMakeFiles/partitioned_views.dir/partitioned_views.cc.o.d"
+  "partitioned_views"
+  "partitioned_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitioned_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

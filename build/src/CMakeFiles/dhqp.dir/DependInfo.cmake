@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/dhqp.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/common/date.cc" "src/CMakeFiles/dhqp.dir/common/date.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/common/date.cc.o.d"
+  "/root/repo/src/common/interval.cc" "src/CMakeFiles/dhqp.dir/common/interval.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/common/interval.cc.o.d"
+  "/root/repo/src/common/schema.cc" "src/CMakeFiles/dhqp.dir/common/schema.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/common/schema.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/dhqp.dir/common/status.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/common/status.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/dhqp.dir/common/value.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/common/value.cc.o.d"
+  "/root/repo/src/connectors/csv_provider.cc" "src/CMakeFiles/dhqp.dir/connectors/csv_provider.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/connectors/csv_provider.cc.o.d"
+  "/root/repo/src/connectors/engine_provider.cc" "src/CMakeFiles/dhqp.dir/connectors/engine_provider.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/connectors/engine_provider.cc.o.d"
+  "/root/repo/src/connectors/linked_provider.cc" "src/CMakeFiles/dhqp.dir/connectors/linked_provider.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/connectors/linked_provider.cc.o.d"
+  "/root/repo/src/connectors/mail_provider.cc" "src/CMakeFiles/dhqp.dir/connectors/mail_provider.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/connectors/mail_provider.cc.o.d"
+  "/root/repo/src/connectors/sheet_provider.cc" "src/CMakeFiles/dhqp.dir/connectors/sheet_provider.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/connectors/sheet_provider.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/dhqp.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/core/engine.cc.o.d"
+  "/root/repo/src/executor/eval.cc" "src/CMakeFiles/dhqp.dir/executor/eval.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/executor/eval.cc.o.d"
+  "/root/repo/src/executor/exec.cc" "src/CMakeFiles/dhqp.dir/executor/exec.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/executor/exec.cc.o.d"
+  "/root/repo/src/fulltext/contains_query.cc" "src/CMakeFiles/dhqp.dir/fulltext/contains_query.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/fulltext/contains_query.cc.o.d"
+  "/root/repo/src/fulltext/ifilter.cc" "src/CMakeFiles/dhqp.dir/fulltext/ifilter.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/fulltext/ifilter.cc.o.d"
+  "/root/repo/src/fulltext/inverted_index.cc" "src/CMakeFiles/dhqp.dir/fulltext/inverted_index.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/fulltext/inverted_index.cc.o.d"
+  "/root/repo/src/fulltext/service.cc" "src/CMakeFiles/dhqp.dir/fulltext/service.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/fulltext/service.cc.o.d"
+  "/root/repo/src/fulltext/stemmer.cc" "src/CMakeFiles/dhqp.dir/fulltext/stemmer.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/fulltext/stemmer.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/dhqp.dir/net/network.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/net/network.cc.o.d"
+  "/root/repo/src/optimizer/cardinality.cc" "src/CMakeFiles/dhqp.dir/optimizer/cardinality.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/optimizer/cardinality.cc.o.d"
+  "/root/repo/src/optimizer/constraint.cc" "src/CMakeFiles/dhqp.dir/optimizer/constraint.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/optimizer/constraint.cc.o.d"
+  "/root/repo/src/optimizer/context.cc" "src/CMakeFiles/dhqp.dir/optimizer/context.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/optimizer/context.cc.o.d"
+  "/root/repo/src/optimizer/cost.cc" "src/CMakeFiles/dhqp.dir/optimizer/cost.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/optimizer/cost.cc.o.d"
+  "/root/repo/src/optimizer/decoder.cc" "src/CMakeFiles/dhqp.dir/optimizer/decoder.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/optimizer/decoder.cc.o.d"
+  "/root/repo/src/optimizer/logical.cc" "src/CMakeFiles/dhqp.dir/optimizer/logical.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/optimizer/logical.cc.o.d"
+  "/root/repo/src/optimizer/memo.cc" "src/CMakeFiles/dhqp.dir/optimizer/memo.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/optimizer/memo.cc.o.d"
+  "/root/repo/src/optimizer/normalize.cc" "src/CMakeFiles/dhqp.dir/optimizer/normalize.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/optimizer/normalize.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/dhqp.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/physical.cc" "src/CMakeFiles/dhqp.dir/optimizer/physical.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/optimizer/physical.cc.o.d"
+  "/root/repo/src/optimizer/rules.cc" "src/CMakeFiles/dhqp.dir/optimizer/rules.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/optimizer/rules.cc.o.d"
+  "/root/repo/src/provider/capabilities.cc" "src/CMakeFiles/dhqp.dir/provider/capabilities.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/provider/capabilities.cc.o.d"
+  "/root/repo/src/provider/metadata.cc" "src/CMakeFiles/dhqp.dir/provider/metadata.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/provider/metadata.cc.o.d"
+  "/root/repo/src/provider/provider.cc" "src/CMakeFiles/dhqp.dir/provider/provider.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/provider/provider.cc.o.d"
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/dhqp.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/binder.cc" "src/CMakeFiles/dhqp.dir/sql/binder.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/sql/binder.cc.o.d"
+  "/root/repo/src/sql/bound_expr.cc" "src/CMakeFiles/dhqp.dir/sql/bound_expr.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/sql/bound_expr.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/dhqp.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/dhqp.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/sql/parser.cc.o.d"
+  "/root/repo/src/storage/btree.cc" "src/CMakeFiles/dhqp.dir/storage/btree.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/storage/btree.cc.o.d"
+  "/root/repo/src/storage/histogram.cc" "src/CMakeFiles/dhqp.dir/storage/histogram.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/storage/histogram.cc.o.d"
+  "/root/repo/src/storage/storage_engine.cc" "src/CMakeFiles/dhqp.dir/storage/storage_engine.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/storage/storage_engine.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/dhqp.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/storage/table.cc.o.d"
+  "/root/repo/src/txn/dtc.cc" "src/CMakeFiles/dhqp.dir/txn/dtc.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/txn/dtc.cc.o.d"
+  "/root/repo/src/workloads/documents.cc" "src/CMakeFiles/dhqp.dir/workloads/documents.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/workloads/documents.cc.o.d"
+  "/root/repo/src/workloads/tpcc.cc" "src/CMakeFiles/dhqp.dir/workloads/tpcc.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/workloads/tpcc.cc.o.d"
+  "/root/repo/src/workloads/tpch.cc" "src/CMakeFiles/dhqp.dir/workloads/tpch.cc.o" "gcc" "src/CMakeFiles/dhqp.dir/workloads/tpch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/binder_edge_test.cc" "tests/CMakeFiles/dhqp_tests.dir/binder_edge_test.cc.o" "gcc" "tests/CMakeFiles/dhqp_tests.dir/binder_edge_test.cc.o.d"
+  "/root/repo/tests/btree_test.cc" "tests/CMakeFiles/dhqp_tests.dir/btree_test.cc.o" "gcc" "tests/CMakeFiles/dhqp_tests.dir/btree_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/dhqp_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/dhqp_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/connectors_test.cc" "tests/CMakeFiles/dhqp_tests.dir/connectors_test.cc.o" "gcc" "tests/CMakeFiles/dhqp_tests.dir/connectors_test.cc.o.d"
+  "/root/repo/tests/constraint_test.cc" "tests/CMakeFiles/dhqp_tests.dir/constraint_test.cc.o" "gcc" "tests/CMakeFiles/dhqp_tests.dir/constraint_test.cc.o.d"
+  "/root/repo/tests/decoder_test.cc" "tests/CMakeFiles/dhqp_tests.dir/decoder_test.cc.o" "gcc" "tests/CMakeFiles/dhqp_tests.dir/decoder_test.cc.o.d"
+  "/root/repo/tests/differential_test.cc" "tests/CMakeFiles/dhqp_tests.dir/differential_test.cc.o" "gcc" "tests/CMakeFiles/dhqp_tests.dir/differential_test.cc.o.d"
+  "/root/repo/tests/distributed_test.cc" "tests/CMakeFiles/dhqp_tests.dir/distributed_test.cc.o" "gcc" "tests/CMakeFiles/dhqp_tests.dir/distributed_test.cc.o.d"
+  "/root/repo/tests/dml_test.cc" "tests/CMakeFiles/dhqp_tests.dir/dml_test.cc.o" "gcc" "tests/CMakeFiles/dhqp_tests.dir/dml_test.cc.o.d"
+  "/root/repo/tests/dtc_test.cc" "tests/CMakeFiles/dhqp_tests.dir/dtc_test.cc.o" "gcc" "tests/CMakeFiles/dhqp_tests.dir/dtc_test.cc.o.d"
+  "/root/repo/tests/engine_smoke_test.cc" "tests/CMakeFiles/dhqp_tests.dir/engine_smoke_test.cc.o" "gcc" "tests/CMakeFiles/dhqp_tests.dir/engine_smoke_test.cc.o.d"
+  "/root/repo/tests/exec_nodes_test.cc" "tests/CMakeFiles/dhqp_tests.dir/exec_nodes_test.cc.o" "gcc" "tests/CMakeFiles/dhqp_tests.dir/exec_nodes_test.cc.o.d"
+  "/root/repo/tests/exec_semantics_test.cc" "tests/CMakeFiles/dhqp_tests.dir/exec_semantics_test.cc.o" "gcc" "tests/CMakeFiles/dhqp_tests.dir/exec_semantics_test.cc.o.d"
+  "/root/repo/tests/fulltext_test.cc" "tests/CMakeFiles/dhqp_tests.dir/fulltext_test.cc.o" "gcc" "tests/CMakeFiles/dhqp_tests.dir/fulltext_test.cc.o.d"
+  "/root/repo/tests/heterogeneous_integration_test.cc" "tests/CMakeFiles/dhqp_tests.dir/heterogeneous_integration_test.cc.o" "gcc" "tests/CMakeFiles/dhqp_tests.dir/heterogeneous_integration_test.cc.o.d"
+  "/root/repo/tests/histogram_test.cc" "tests/CMakeFiles/dhqp_tests.dir/histogram_test.cc.o" "gcc" "tests/CMakeFiles/dhqp_tests.dir/histogram_test.cc.o.d"
+  "/root/repo/tests/interval_test.cc" "tests/CMakeFiles/dhqp_tests.dir/interval_test.cc.o" "gcc" "tests/CMakeFiles/dhqp_tests.dir/interval_test.cc.o.d"
+  "/root/repo/tests/memo_test.cc" "tests/CMakeFiles/dhqp_tests.dir/memo_test.cc.o" "gcc" "tests/CMakeFiles/dhqp_tests.dir/memo_test.cc.o.d"
+  "/root/repo/tests/network_test.cc" "tests/CMakeFiles/dhqp_tests.dir/network_test.cc.o" "gcc" "tests/CMakeFiles/dhqp_tests.dir/network_test.cc.o.d"
+  "/root/repo/tests/normalize_test.cc" "tests/CMakeFiles/dhqp_tests.dir/normalize_test.cc.o" "gcc" "tests/CMakeFiles/dhqp_tests.dir/normalize_test.cc.o.d"
+  "/root/repo/tests/optimizer_features_test.cc" "tests/CMakeFiles/dhqp_tests.dir/optimizer_features_test.cc.o" "gcc" "tests/CMakeFiles/dhqp_tests.dir/optimizer_features_test.cc.o.d"
+  "/root/repo/tests/partitioned_view_test.cc" "tests/CMakeFiles/dhqp_tests.dir/partitioned_view_test.cc.o" "gcc" "tests/CMakeFiles/dhqp_tests.dir/partitioned_view_test.cc.o.d"
+  "/root/repo/tests/plan_cache_test.cc" "tests/CMakeFiles/dhqp_tests.dir/plan_cache_test.cc.o" "gcc" "tests/CMakeFiles/dhqp_tests.dir/plan_cache_test.cc.o.d"
+  "/root/repo/tests/sql_frontend_test.cc" "tests/CMakeFiles/dhqp_tests.dir/sql_frontend_test.cc.o" "gcc" "tests/CMakeFiles/dhqp_tests.dir/sql_frontend_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/dhqp_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/dhqp_tests.dir/storage_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dhqp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
