@@ -54,7 +54,7 @@ void BM_Tpcc_CustomerLookup(benchmark::State& state) {
   auto* fed = bench::CachedFixture<TpccFederation>(std::to_string(members),
                                                    BuildFed);
   Rng rng(99);
-  int64_t skips = 0;
+  int64_t skips = 0, batches = 0, parallel_branches = 0;
   for (auto _ : state) {
     int64_t warehouse = rng.Uniform(1, members * 2);
     int64_t customer = rng.Uniform(1, 200);
@@ -64,9 +64,13 @@ void BM_Tpcc_CustomerLookup(benchmark::State& state) {
         {{"@w", Value::Int64(warehouse)}, {"@c", Value::Int64(customer)}});
     if (!r.ok()) std::abort();
     skips = r->exec_stats.startup_skips;
+    batches = r->exec_stats.remote_batches;
+    parallel_branches = r->exec_stats.parallel_branches;
     benchmark::DoNotOptimize(*r);
   }
   state.counters["members_skipped"] = static_cast<double>(skips);
+  state.counters["remote_batches"] = static_cast<double>(batches);
+  state.counters["parallel_branches"] = static_cast<double>(parallel_branches);
 }
 BENCHMARK(BM_Tpcc_CustomerLookup)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMicrosecond);

@@ -5,6 +5,8 @@
 //   / startup filters (parameterized predicates)
 // with partitions-touched and link traffic as the primary series.
 
+#include <chrono>
+
 #include "bench/bench_util.h"
 #include "src/workloads/tpch.h"
 
@@ -27,11 +29,14 @@ struct Federation {
   }
 };
 
-std::unique_ptr<Federation> BuildFederation(const std::string&) {
+std::unique_ptr<Federation> BuildFederation(const std::string& kind) {
   auto fed = std::make_unique<Federation>();
   fed->host = std::make_unique<Engine>();
   workloads::TpchOptions options;
-  options.scale_factor = 0.002;
+  // "wan": a bigger federation over slower links, for the data-movement
+  // pipeline experiment (row shipping rather than pruning).
+  options.scale_factor = kind == "wan" ? 0.01 : 0.002;
+  double latency_us = kind == "wan" ? 150 : 40;
   std::string view = "CREATE VIEW lineitem AS ";
   for (int year = 1992; year <= 1998; ++year) {
     auto member = std::make_unique<Engine>();
@@ -40,7 +45,7 @@ std::unique_ptr<Federation> BuildFederation(const std::string&) {
                                                      table, year, year);
     if (!st.ok()) std::abort();
     std::string server = "srv" + std::to_string(year);
-    auto link = std::make_unique<net::Link>(server, /*latency_us=*/40,
+    auto link = std::make_unique<net::Link>(server, latency_us,
                                             /*us_per_kb=*/1.0, true);
     auto provider = std::make_shared<LinkedDataSource>(
         std::make_shared<EngineDataSource>(member.get()), link.get());
@@ -116,6 +121,60 @@ void BM_Dpv_FullViewAggregate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Dpv_FullViewAggregate)->Unit(benchmark::kMillisecond);
+
+// Tentpole experiment: shipping the whole view's rows to the host (a
+// data-movement query — no aggregate pushdown, no pruning) across a 7-member
+// WAN-ish federation, under three data-movement regimes:
+//   0: row-at-a-time   — prefetch off, sequential members (the seed's path),
+//   1: block+prefetch  — async block fetch per member, sequential members,
+//   2: block+parallel  — block fetch plus members drained at DOP 4.
+// Rows shipped are identical across regimes; messages and wall clock drop.
+void BM_Dpv_FanoutPipeline(benchmark::State& state) {
+  auto* fed = bench::CachedFixture<Federation>("wan", BuildFederation);
+  int mode = static_cast<int>(state.range(0));
+  ExecOptions& exec = fed->host->options()->execution;
+  exec.enable_remote_prefetch = mode >= 1;
+  exec.concat_dop = mode == 2 ? 4 : 1;
+  int64_t parallel_branches = 0, stalls = 0, batches = 0, rows = 0;
+  double wall_ms = 0;
+  net::LinkStats total{};
+  for (auto _ : state) {
+    fed->ResetLinks();
+    auto start = std::chrono::steady_clock::now();
+    QueryResult r = MustRun(fed->host.get(),
+                            "SELECT l_orderkey, l_extendedprice "
+                            "FROM lineitem WHERE l_quantity >= 1");
+    wall_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+    rows = static_cast<int64_t>(r.rowset->rows().size());
+    parallel_branches = r.exec_stats.parallel_branches;
+    stalls = r.exec_stats.prefetch_stalls;
+    batches = r.exec_stats.remote_batches;
+    total = net::LinkStats{};
+    for (const auto& link : fed->links) {
+      net::LinkStats s = link->stats();
+      total.messages += s.messages;
+      total.rows += s.rows;
+      total.bytes += s.bytes;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["link_messages"] = static_cast<double>(total.messages);
+  state.counters["remote_batches"] = static_cast<double>(batches);
+  state.counters["prefetch_stalls"] = static_cast<double>(stalls);
+  state.counters["parallel_branches"] = static_cast<double>(parallel_branches);
+  const char* label = mode == 0   ? "row-at-a-time"
+                      : mode == 1 ? "block+prefetch"
+                                  : "block+parallel(dop4)";
+  state.SetLabel(label);
+  bench::AppendBenchRecord("partitioned_views",
+                           std::string("fanout_") + label, wall_ms, total);
+  exec = ExecOptions{};
+}
+BENCHMARK(BM_Dpv_FanoutPipeline)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
 
 // INSERT routing throughput through the view.
 void BM_Dpv_InsertRouting(benchmark::State& state) {

@@ -7,6 +7,8 @@
 // Expected shape: index paths win at low selectivity; the scan price is flat;
 // all converge as selectivity -> 1.
 
+#include <chrono>
+
 #include "bench/bench_util.h"
 
 namespace dhqp {
@@ -22,14 +24,17 @@ std::unique_ptr<HostWithRemote> BuildPaths(const std::string& kind) {
     caps.supports_command = false;
     caps.sql_support = SqlSupportLevel::kNone;
     caps.provider_name = "DHQP.IndexProvider";
-  } else if (kind == "simple") {
+  } else if (kind == "simple" || kind == "pipeline") {
     caps.supports_command = false;
     caps.sql_support = SqlSupportLevel::kNone;
     caps.supports_indexes = false;
     caps.supports_bookmarks = false;
     caps.provider_name = "DHQP.SimpleProvider";
   }
-  auto pair = bench::MakeHostWithRemote("rsrv", /*latency_us=*/30, caps);
+  // The pipeline experiment runs over a slower (WAN-ish) link, where
+  // per-message latency dominates and overlapping it matters most.
+  double latency_us = kind == "pipeline" ? 100 : 30;
+  auto pair = bench::MakeHostWithRemote("rsrv", latency_us, caps);
   MustRun(pair->remote.get(), "CREATE TABLE t (k INT PRIMARY KEY, pay VARCHAR(40))");
   for (int base = 0; base < kRows; base += 1000) {
     std::string sql = "INSERT INTO t VALUES ";
@@ -74,6 +79,102 @@ BENCHMARK(BM_Path_IndexProvider)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Path_SimpleProvider)
     ->Arg(10)->Arg(200)->Arg(2000)->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+
+// Block fetch vs row-at-a-time at the rowset layer: the same 5000 rows
+// drained through a LinkedRowset pacing one message per row (the OLE DB
+// consumer that never asks for more than one row) vs through NextBatch.
+// Message counts drop by ~the batch size; on an enforced-latency link the
+// wall clock follows.
+void BM_Path_BlockFetchMicro(benchmark::State& state) {
+  constexpr int kMicroRows = 5000;
+  const bool block = state.range(0) != 0;
+  const int batch_rows = 256;
+  Schema schema;
+  schema.AddColumn(ColumnDef{"a", DataType::kInt64, false});
+  std::vector<Row> rows;
+  for (int i = 0; i < kMicroRows; ++i) rows.push_back({Value::Int64(i)});
+  net::Link link("micro", /*latency_us=*/30, /*us_per_kb=*/1.0,
+                 /*enforce_delays=*/true);
+  auto inner = std::make_unique<VectorRowset>(schema, rows);
+  VectorRowset* source = inner.get();
+  net::LinkedRowset rowset(std::move(inner), &link,
+                           /*batch_rows=*/block ? batch_rows : 1);
+  double wall_ms = 0;
+  for (auto _ : state) {
+    if (!source->Restart().ok()) std::abort();
+    link.ResetStats();
+    auto start = std::chrono::steady_clock::now();
+    int64_t n = 0;
+    if (block) {
+      RowBatch batch;
+      while (true) {
+        auto has = rowset.NextBatch(&batch, batch_rows);
+        if (!has.ok()) std::abort();
+        if (!*has) break;
+        n += static_cast<int64_t>(batch.size());
+      }
+    } else {
+      Row row;
+      while (true) {
+        auto has = rowset.Next(&row);
+        if (!has.ok()) std::abort();
+        if (!*has) break;
+        ++n;
+      }
+    }
+    if (n != kMicroRows) std::abort();
+    wall_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+    benchmark::DoNotOptimize(n);
+  }
+  state.counters["link_messages"] =
+      static_cast<double>(link.stats().messages);
+  state.SetLabel(block ? "block-fetch-256" : "row-at-a-time");
+  bench::AppendBenchRecord("remote_access_paths",
+                           block ? "micro_block_fetch" : "micro_row_at_a_time",
+                           wall_ms, link.stats());
+}
+BENCHMARK(BM_Path_BlockFetchMicro)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Tentpole experiment: a large remote scan (simple provider -> RemoteScan of
+// all 20k rows) with the async block-fetch pipeline off vs on. Off pays the
+// link inline per pacing batch; on overlaps the link with local processing
+// and ships fewer, bigger messages.
+void BM_Path_LargeScanPipeline(benchmark::State& state) {
+  auto* pair = bench::CachedFixture<HostWithRemote>("pipeline", BuildPaths);
+  const bool prefetch = state.range(0) != 0;
+  pair->host->options()->execution.enable_remote_prefetch = prefetch;
+  int64_t msgs = 0, batches = 0, stalls = 0, rows_shipped = 0;
+  double wall_ms = 0;
+  for (auto _ : state) {
+    pair->link->ResetStats();
+    auto start = std::chrono::steady_clock::now();
+    QueryResult r = MustRun(pair->host.get(),
+                            "SELECT COUNT(*), SUM(k) FROM rsrv.d.s.t");
+    wall_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+    msgs = pair->link->stats().messages;
+    batches = r.exec_stats.remote_batches;
+    stalls = r.exec_stats.prefetch_stalls;
+    rows_shipped = r.exec_stats.rows_from_remote;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["link_messages"] = static_cast<double>(msgs);
+  state.counters["remote_batches"] = static_cast<double>(batches);
+  state.counters["prefetch_stalls"] = static_cast<double>(stalls);
+  state.counters["rows_shipped"] = static_cast<double>(rows_shipped);
+  state.SetLabel(prefetch ? "async-prefetch" : "inline");
+  bench::AppendBenchRecord("remote_access_paths",
+                           prefetch ? "large_scan_prefetch"
+                                    : "large_scan_inline",
+                           wall_ms, pair->link->stats());
+  pair->host->options()->execution = ExecOptions{};
+}
+BENCHMARK(BM_Path_LargeScanPipeline)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 // Point lookups, where "remote fetch" style access shines: one indexed row

@@ -53,6 +53,27 @@ inline QueryResult MustRun(Engine* engine, const std::string& sql,
   return std::move(result).value();
 }
 
+/// Appends one JSON-lines record to BENCH_remote.json in the working
+/// directory, so bench results (wall clock + link traffic) survive the run
+/// and can be diffed across revisions:
+///   {"bench":"...","case":"...","wall_ms":1.23,
+///    "link_stats":{"messages":N,"rows":N,"bytes":N}}
+inline void AppendBenchRecord(const std::string& bench,
+                              const std::string& case_name, double wall_ms,
+                              const net::LinkStats& stats) {
+  std::FILE* f = std::fopen("BENCH_remote.json", "a");
+  if (f == nullptr) return;
+  std::fprintf(f,
+               "{\"bench\":\"%s\",\"case\":\"%s\",\"wall_ms\":%.3f,"
+               "\"link_stats\":{\"messages\":%lld,\"rows\":%lld,"
+               "\"bytes\":%lld}}\n",
+               bench.c_str(), case_name.c_str(), wall_ms,
+               static_cast<long long>(stats.messages),
+               static_cast<long long>(stats.rows),
+               static_cast<long long>(stats.bytes));
+  std::fclose(f);
+}
+
 /// Fixture cache: benchmarks with Args() re-enter the same function; heavy
 /// setup is built once per key and reused across iterations.
 template <typename T>

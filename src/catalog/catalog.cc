@@ -56,6 +56,7 @@ std::vector<std::string> Catalog::LinkedServerNames() const {
 }
 
 Result<Session*> Catalog::GetSession(int source_id) {
+  std::lock_guard<std::mutex> lock(session_mu_);
   if (source_id == kLocalSource) {
     if (local_session_ == nullptr) {
       DHQP_ASSIGN_OR_RETURN(local_session_, local_source_->CreateSession());

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -74,6 +75,8 @@ class Catalog {
   ///@}
 
   /// A reusable session on the given source (lazily created, cached).
+  /// Thread-safe: parallel partitioned-view branches create their member
+  /// sessions concurrently.
   Result<Session*> GetSession(int source_id);
 
   /// @name Views.
@@ -113,6 +116,7 @@ class Catalog {
   };
   std::vector<ServerEntry> servers_;
   std::map<std::string, int> server_ids_;  // Lower-cased name -> ordinal.
+  std::mutex session_mu_;  // Guards lazy session creation in GetSession.
 
   std::map<std::string, ViewDef> views_;  // Lower-cased name.
 

@@ -98,9 +98,13 @@ class LinkedSession : public Session {
 
   Result<int64_t> InsertRows(const std::string& table,
                              const std::vector<Row>& rows) override {
-    size_t bytes = 64;
+    // One round trip for the command envelope; the row payload is charged
+    // through ChargeRows so bulk inserts pay bandwidth like result streams
+    // do (and show up in LinkStats.rows).
+    link_->ChargeMessage(64 + table.size());
+    size_t bytes = 0;
     for (const Row& row : rows) bytes += RowWireSize(row);
-    link_->ChargeMessage(bytes);
+    link_->ChargeRows(static_cast<int64_t>(rows.size()), bytes);
     return inner_->InsertRows(table, rows);
   }
 

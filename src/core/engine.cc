@@ -300,6 +300,7 @@ Result<QueryResult> Engine::RunCachedPlan(
   ectx.fulltext = &fulltext_;
   ectx.params = params;
   ectx.current_date = options_.current_date;
+  ectx.options = options_.execution;
   DHQP_ASSIGN_OR_RETURN(auto rowset, ExecutePlan(cached.plan, &ectx));
 
   // Align output columns with the statement's select-list order/names (the

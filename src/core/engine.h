@@ -32,6 +32,8 @@ struct EngineOptions {
   /// parameterized plans correct for every parameter value.
   bool enable_plan_cache = true;
   size_t plan_cache_capacity = 256;
+  /// Remote data-movement knobs (block fetch size, prefetch, Concat DOP).
+  ExecOptions execution;
 };
 
 /// Result of one query execution.

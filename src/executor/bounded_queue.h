@@ -1,0 +1,84 @@
+#ifndef DHQP_EXECUTOR_BOUNDED_QUEUE_H_
+#define DHQP_EXECUTOR_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace dhqp {
+
+/// A bounded blocking queue connecting asynchronous rowset producers
+/// (prefetch threads, parallel partitioned-view branches) to the Volcano
+/// consumer. Closing wakes everyone: producers see Push fail and stop;
+/// consumers drain the remaining items and then see Pop fail.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  /// Blocks while full. Returns false (item dropped) if the queue closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty and open. Returns false once closed and drained.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking Pop; false when nothing is immediately available.
+  bool TryPop(T* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// No more Pushes will succeed; Pops drain what is buffered.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  /// Reopens an empty state. Callers must have joined all producers and
+  /// consumers first; this is single-threaded by contract.
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    items_.clear();
+    closed_ = false;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_, not_empty_;
+  std::deque<T> items_;
+  size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace dhqp
+
+#endif  // DHQP_EXECUTOR_BOUNDED_QUEUE_H_

@@ -1,8 +1,13 @@
 #include "src/executor/exec.h"
 
 #include <algorithm>
+#include <atomic>
 #include <set>
+#include <thread>
+#include <vector>
 
+#include "src/executor/bounded_queue.h"
+#include "src/executor/prefetch.h"
 #include "src/storage/btree.h"
 
 namespace dhqp {
@@ -36,6 +41,16 @@ Result<IndexRange> EvalRangeSpec(const RangeSpec& spec, ExecContext* ctx) {
   return range;
 }
 
+// Wraps a remote result stream in the async block-fetch pipeline when the
+// context enables it: the producer thread pays the link's latency while the
+// consumer keeps working on earlier batches.
+std::unique_ptr<Rowset> MaybePrefetch(std::unique_ptr<Rowset> rowset,
+                                      ExecContext* ctx) {
+  if (!ctx->options.enable_remote_prefetch) return rowset;
+  return std::make_unique<PrefetchingRowset>(std::move(rowset), ctx->options,
+                                             &ctx->stats);
+}
+
 // ---------------------------------------------------------------------------
 // Scans (local + remote) and leaves.
 // ---------------------------------------------------------------------------
@@ -50,7 +65,10 @@ class ScanNode : public ExecNode {
                           ctx_->catalog->GetSession(op_->table.source_id));
     DHQP_ASSIGN_OR_RETURN(rowset_,
                           session->OpenRowset(op_->table.metadata.name));
-    if (op_->kind == PhysicalOpKind::kRemoteScan) ctx_->stats.remote_opens++;
+    if (op_->kind == PhysicalOpKind::kRemoteScan) {
+      ctx_->stats.remote_opens++;
+      rowset_ = MaybePrefetch(std::move(rowset_), ctx_);
+    }
     return Status::OK();
   }
 
@@ -241,6 +259,13 @@ class RemoteQueryNode : public ExecNode {
     }
     DHQP_ASSIGN_OR_RETURN(rowset_, command->Execute());
     ctx_->stats.remote_commands++;
+    // Bulk (unparameterized) remote results flow through the prefetch
+    // pipeline. Parameterized dispatch stays inline: each rescan returns a
+    // handful of rows, so a producer thread per rescan would cost more
+    // than the latency it hides.
+    if (op_->remote_param_names.empty()) {
+      rowset_ = MaybePrefetch(std::move(rowset_), ctx_);
+    }
     return Status::OK();
   }
 
@@ -499,19 +524,75 @@ class SpoolNode : public ExecNode {
   size_t pos_ = 0;
 };
 
+// What a Concat branch touches, for deciding whether branches may be
+// drained concurrently (partitioned views over multiple linked servers,
+// §4.2 / Fig 4): branches must not write shared context (correlation
+// parameters) and must not share a provider session with another branch.
+struct BranchProfile {
+  bool safe = true;        ///< No ctx->params writes, no full-text service.
+  bool has_remote = false;
+  std::set<int> sources;   ///< Source ids (kLocalSource for local tables).
+};
+
+void ProfileSubtree(const PhysicalOp& op, BranchProfile* profile) {
+  if (!op.remote_params.empty()) profile->safe = false;
+  switch (op.kind) {
+    case PhysicalOpKind::kRemoteQuery:
+      profile->has_remote = true;
+      profile->sources.insert(op.source_id);
+      break;
+    case PhysicalOpKind::kRemoteScan:
+    case PhysicalOpKind::kRemoteRange:
+    case PhysicalOpKind::kRemoteFetch:
+      profile->has_remote = true;
+      profile->sources.insert(op.table.source_id);
+      break;
+    case PhysicalOpKind::kTableScan:
+    case PhysicalOpKind::kIndexRange:
+      profile->sources.insert(kLocalSource);
+      break;
+    case PhysicalOpKind::kFullTextLookup:
+      profile->safe = false;  // Service is not vetted for concurrent use.
+      break;
+    default:
+      break;
+  }
+  for (const PhysicalOpPtr& child : op.children) {
+    ProfileSubtree(*child, profile);
+  }
+}
+
+// UNION ALL / partitioned-view concatenation. Remote branches over distinct
+// linked servers are opened and drained concurrently up to
+// ExecOptions::concat_dop (the paper's multi-member fan-out, §4.1.5), so
+// member links pay their latency in parallel; otherwise branches run
+// strictly sequentially as before.
 class ConcatNode : public ExecNode {
  public:
   ConcatNode(PhysicalOpPtr op, std::vector<std::unique_ptr<ExecNode>> children,
              ExecContext* ctx)
-      : ExecNode(std::move(op)), children_(std::move(children)), ctx_(ctx) {}
+      : ExecNode(std::move(op)),
+        children_(std::move(children)),
+        ctx_(ctx),
+        queue_(static_cast<size_t>(ctx->options.prefetch_queue_depth > 0
+                                       ? ctx->options.prefetch_queue_depth
+                                       : 2)) {}
+
+  ~ConcatNode() override { StopWorkers(); }
 
   Status Open() override {
+    StopWorkers();
     current_ = 0;
     opened_current_ = false;
+    launched_ = false;
+    batch_.clear();
+    batch_pos_ = 0;
+    parallel_ = DecideParallel();
     return Status::OK();
   }
 
   Result<bool> Next(Row* out) override {
+    if (parallel_) return ParallelNext(out);
     while (current_ < children_.size()) {
       if (!opened_current_) {
         if (children_[current_]->op().kind != PhysicalOpKind::kEmptyTable) {
@@ -536,10 +617,146 @@ class ConcatNode : public ExecNode {
   Status Restart() override { return Open(); }
 
  private:
+  /// Rows a worker buffers locally before publishing, to keep queue
+  /// synchronization off the per-row path.
+  static constexpr size_t kWorkerBatchRows = 64;
+
+  bool DecideParallel() const {
+    int dop = ctx_->options.concat_dop;
+    if (dop <= 1 || children_.size() < 2) return false;
+    size_t total_sources = 0;
+    std::set<int> all_sources;
+    int remote_branches = 0;
+    for (const auto& child : children_) {
+      BranchProfile profile;
+      ProfileSubtree(child->op(), &profile);
+      if (!profile.safe) return false;
+      if (profile.has_remote) ++remote_branches;
+      total_sources += profile.sources.size();
+      all_sources.insert(profile.sources.begin(), profile.sources.end());
+    }
+    // Two branches hitting the same source would share one provider
+    // session across threads; keep those sequential.
+    if (all_sources.size() != total_sources) return false;
+    return remote_branches >= 2;
+  }
+
+  void LaunchWorkers() {
+    launched_ = true;
+    next_branch_.store(0);
+    first_error_ = Status::OK();
+    queue_.Reset();
+    size_t dop = std::min<size_t>(
+        static_cast<size_t>(ctx_->options.concat_dop), children_.size());
+    active_workers_.store(static_cast<int>(dop));
+    workers_.reserve(dop);
+    for (size_t i = 0; i < dop; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  void WorkerLoop() {
+    size_t i;
+    bool aborted = false;
+    while (!aborted &&
+           (i = next_branch_.fetch_add(1)) < children_.size()) {
+      ExecNode* child = children_[i].get();
+      if (child->op().kind != PhysicalOpKind::kEmptyTable) {
+        ctx_->stats.partitions_opened++;
+      }
+      ctx_->stats.parallel_branches++;
+      Status st = child->Open();
+      if (!st.ok()) {
+        RecordError(st);
+        break;
+      }
+      RowBatch batch;
+      while (true) {
+        Row row;
+        Result<bool> has = child->Next(&row);
+        if (!has.ok()) {
+          RecordError(has.status());
+          aborted = true;
+          break;
+        }
+        if (!*has) break;
+        batch.rows.push_back(std::move(row));
+        if (batch.rows.size() >= kWorkerBatchRows) {
+          if (!queue_.Push(std::move(batch))) {
+            aborted = true;
+            break;
+          }
+          batch = RowBatch{};
+        }
+      }
+      if (!aborted && !batch.empty() && !queue_.Push(std::move(batch))) {
+        aborted = true;
+      }
+    }
+    if (active_workers_.fetch_sub(1) == 1) queue_.Close();
+  }
+
+  void RecordError(Status st) {
+    {
+      std::lock_guard<std::mutex> lock(error_mu_);
+      if (first_error_.ok()) first_error_ = std::move(st);
+    }
+    queue_.Close();  // Fail fast: wake the consumer and the other workers.
+  }
+
+  Result<bool> ParallelNext(Row* out) {
+    if (!launched_) LaunchWorkers();
+    if (batch_pos_ >= batch_.rows.size()) {
+      RowBatch batch;
+      bool got = queue_.TryPop(&batch);
+      if (!got) {
+        got = queue_.Pop(&batch);
+        if (got) ctx_->stats.prefetch_stalls++;
+      }
+      if (!got) {
+        JoinWorkers();
+        std::lock_guard<std::mutex> lock(error_mu_);
+        if (!first_error_.ok()) return first_error_;
+        return false;
+      }
+      batch_ = std::move(batch);
+      batch_pos_ = 0;
+    }
+    *out = std::move(batch_.rows[batch_pos_++]);
+    return true;
+  }
+
+  void JoinWorkers() {
+    for (std::thread& t : workers_) {
+      if (t.joinable()) t.join();
+    }
+    workers_.clear();
+  }
+
+  void StopWorkers() {
+    if (workers_.empty()) return;
+    queue_.Close();
+    JoinWorkers();
+  }
+
   std::vector<std::unique_ptr<ExecNode>> children_;
   ExecContext* ctx_;
+
+  // Sequential mode.
   size_t current_ = 0;
   bool opened_current_ = false;
+
+  // Parallel mode.
+  bool parallel_ = false;
+  bool launched_ = false;
+  BoundedQueue<RowBatch> queue_;
+  std::vector<std::thread> workers_;
+  std::atomic<size_t> next_branch_{0};
+  std::atomic<int> active_workers_{0};
+  std::mutex error_mu_;
+  Status first_error_;
+  RowBatch batch_;
+  size_t batch_pos_ = 0;
 };
 
 // ---------------------------------------------------------------------------

@@ -1,6 +1,7 @@
 #ifndef DHQP_EXECUTOR_EXEC_H_
 #define DHQP_EXECUTOR_EXEC_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -13,15 +14,57 @@
 namespace dhqp {
 
 /// Runtime counters surfaced to benches and EXPLAIN ANALYZE-style output.
+/// Fields are atomic because prefetch threads and parallel partitioned-view
+/// branches update them concurrently with the consumer; reads convert
+/// implicitly to int64_t.
 struct ExecStats {
-  int64_t remote_commands = 0;    ///< Remote ICommand executions.
-  int64_t remote_opens = 0;       ///< Remote rowset/index opens.
-  int64_t remote_fetches = 0;     ///< Remote bookmark fetches.
-  int64_t rows_from_remote = 0;   ///< Rows received from linked servers.
-  int64_t startup_skips = 0;      ///< Subtrees skipped by startup filters.
-  int64_t partitions_opened = 0;  ///< Concat branches actually executed.
-  int64_t spool_rescans = 0;      ///< Rescans served from spools.
-  int64_t rows_output = 0;
+  std::atomic<int64_t> remote_commands{0};   ///< Remote ICommand executions.
+  std::atomic<int64_t> remote_opens{0};      ///< Remote rowset/index opens.
+  std::atomic<int64_t> remote_fetches{0};    ///< Remote bookmark fetches.
+  std::atomic<int64_t> rows_from_remote{0};  ///< Rows from linked servers.
+  std::atomic<int64_t> remote_batches{0};    ///< Block fetches from remotes.
+  std::atomic<int64_t> prefetch_stalls{0};   ///< Consumer waits on an async
+                                             ///< producer (empty queue).
+  std::atomic<int64_t> startup_skips{0};     ///< Subtrees skipped by startup
+                                             ///< filters.
+  std::atomic<int64_t> partitions_opened{0};  ///< Concat branches executed.
+  std::atomic<int64_t> parallel_branches{0};  ///< Concat branches drained on
+                                              ///< worker threads.
+  std::atomic<int64_t> spool_rescans{0};  ///< Rescans served from spools.
+  std::atomic<int64_t> rows_output{0};
+
+  ExecStats() = default;
+  ExecStats(const ExecStats& other) { *this = other; }
+  ExecStats& operator=(const ExecStats& other) {
+    remote_commands = other.remote_commands.load();
+    remote_opens = other.remote_opens.load();
+    remote_fetches = other.remote_fetches.load();
+    rows_from_remote = other.rows_from_remote.load();
+    remote_batches = other.remote_batches.load();
+    prefetch_stalls = other.prefetch_stalls.load();
+    startup_skips = other.startup_skips.load();
+    partitions_opened = other.partitions_opened.load();
+    parallel_branches = other.parallel_branches.load();
+    spool_rescans = other.spool_rescans.load();
+    rows_output = other.rows_output.load();
+    return *this;
+  }
+};
+
+/// Runtime knobs for remote data movement (independent of plan choice, so
+/// not part of the plan-cache key).
+struct ExecOptions {
+  /// Drain remote scans / remote queries through a background prefetch
+  /// thread so link latency overlaps with local processing.
+  bool enable_remote_prefetch = true;
+  /// Rows per block fetch (Rowset::NextBatch) on remote streams — the
+  /// IRowset::GetNextRows cRows argument.
+  int remote_batch_rows = 512;
+  /// Batches buffered ahead of the consumer (double buffering and beyond).
+  int prefetch_queue_depth = 4;
+  /// Max Concat branches (partitioned-view members) drained concurrently;
+  /// <= 1 keeps the strictly sequential executor.
+  int concat_dop = 4;
 };
 
 /// Shared execution state for one query.
@@ -30,6 +73,7 @@ struct ExecContext {
   fulltext::FullTextService* fulltext = nullptr;
   std::map<std::string, Value> params;  ///< User + correlation parameters.
   int64_t current_date = 0;
+  ExecOptions options;
   ExecStats stats;
 };
 

@@ -1,0 +1,121 @@
+#include "src/executor/prefetch.h"
+
+namespace dhqp {
+
+PrefetchingRowset::PrefetchingRowset(std::unique_ptr<Rowset> inner,
+                                     const ExecOptions& options,
+                                     ExecStats* stats)
+    : inner_(std::move(inner)),
+      schema_(inner_->schema()),
+      batch_rows_(options.remote_batch_rows > 0 ? options.remote_batch_rows
+                                                : 256),
+      stats_(stats),
+      queue_(static_cast<size_t>(
+          options.prefetch_queue_depth > 0 ? options.prefetch_queue_depth
+                                           : 2)) {
+  Start();
+}
+
+PrefetchingRowset::~PrefetchingRowset() { Stop(); }
+
+void PrefetchingRowset::Start() {
+  producer_ = std::thread([this] { ProducerLoop(); });
+}
+
+void PrefetchingRowset::Stop() {
+  queue_.Close();
+  if (producer_.joinable()) producer_.join();
+}
+
+void PrefetchingRowset::ProducerLoop() {
+  while (true) {
+    RowBatch batch;
+    Result<bool> has = inner_->NextBatch(&batch, batch_rows_);
+    if (!has.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(status_mu_);
+        producer_status_ = has.status();
+      }
+      break;
+    }
+    if (!*has) break;
+    if (stats_ != nullptr) stats_->remote_batches++;
+    if (!queue_.Push(std::move(batch))) break;  // Consumer went away.
+  }
+  queue_.Close();
+}
+
+Result<bool> PrefetchingRowset::Advance() {
+  if (done_) {
+    // Sticky: repeated Next() after an error keeps reporting it.
+    std::lock_guard<std::mutex> lock(status_mu_);
+    if (!producer_status_.ok()) return producer_status_;
+    return false;
+  }
+  RowBatch batch;
+  bool got = queue_.TryPop(&batch);
+  if (!got) {
+    got = queue_.Pop(&batch);
+    // A blocking wait that produced a batch means the consumer outran the
+    // producer — the pipeline stalled on the network.
+    if (got && stats_ != nullptr) stats_->prefetch_stalls++;
+  }
+  if (!got) {
+    done_ = true;
+    std::lock_guard<std::mutex> lock(status_mu_);
+    if (!producer_status_.ok()) return producer_status_;
+    return false;
+  }
+  current_ = std::move(batch);
+  pos_ = 0;
+  return true;
+}
+
+Result<bool> PrefetchingRowset::Next(Row* out) {
+  if (pos_ >= current_.rows.size()) {
+    DHQP_ASSIGN_OR_RETURN(bool has, Advance());
+    if (!has) return false;
+  }
+  *out = std::move(current_.rows[pos_++]);
+  return true;
+}
+
+Result<bool> PrefetchingRowset::NextBatch(RowBatch* out, int max_rows) {
+  out->clear();
+  if (pos_ >= current_.rows.size()) {
+    DHQP_ASSIGN_OR_RETURN(bool has, Advance());
+    if (!has) return false;
+  }
+  // Hand over the buffered batch (or its unconsumed tail) wholesale; the
+  // producer's batch size bounds it, so max_rows is only a hint here.
+  (void)max_rows;
+  if (pos_ == 0) {
+    *out = std::move(current_);
+  } else {
+    out->rows.assign(
+        std::make_move_iterator(current_.rows.begin() +
+                                static_cast<ptrdiff_t>(pos_)),
+        std::make_move_iterator(current_.rows.end()));
+  }
+  current_.clear();
+  pos_ = 0;
+  return true;
+}
+
+Status PrefetchingRowset::Restart() {
+  Stop();
+  Status st = inner_->Restart();
+  if (!st.ok()) return st;  // Caller reopens the source instead.
+  {
+    std::lock_guard<std::mutex> lock(status_mu_);
+    producer_status_ = Status::OK();
+  }
+  queue_.Reset();
+  current_.clear();
+  pos_ = 0;
+  done_ = false;
+  Start();
+  return Status::OK();
+}
+
+}  // namespace dhqp

@@ -1,0 +1,72 @@
+#ifndef DHQP_EXECUTOR_PREFETCH_H_
+#define DHQP_EXECUTOR_PREFETCH_H_
+
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "src/executor/bounded_queue.h"
+#include "src/executor/exec.h"
+#include "src/provider/provider.h"
+
+namespace dhqp {
+
+/// Asynchronous block-fetch pipeline over a (remote) rowset: a background
+/// producer thread drains the inner rowset through NextBatch() into a
+/// bounded queue while the consumer processes earlier batches — so the
+/// link's per-message latency overlaps with local join/aggregate work
+/// instead of being paid inline (§4.1.3's network-cost story, executed).
+///
+/// Threading contract: Next/NextBatch/Restart are called by one consumer
+/// thread; the inner rowset is touched only by the producer thread while it
+/// runs (Restart joins the producer before rewinding the inner rowset).
+/// Producer errors are carried across the queue and surface as the
+/// consumer's Result<> once buffered batches are drained.
+class PrefetchingRowset : public Rowset {
+ public:
+  /// `stats` may be null (no counter reporting). Starts the producer
+  /// immediately; the first batches are usually in flight before the
+  /// consumer asks for the first row.
+  PrefetchingRowset(std::unique_ptr<Rowset> inner, const ExecOptions& options,
+                    ExecStats* stats);
+  ~PrefetchingRowset() override;
+
+  PrefetchingRowset(const PrefetchingRowset&) = delete;
+  PrefetchingRowset& operator=(const PrefetchingRowset&) = delete;
+
+  const Schema& schema() const override { return schema_; }
+
+  Result<bool> Next(Row* out) override;
+  Result<bool> NextBatch(RowBatch* out, int max_rows) override;
+
+  /// Tears the producer down, rewinds the inner rowset and relaunches —
+  /// the rescan path for prefetching nodes. Fails (NotSupported) when the
+  /// inner rowset cannot rewind; callers fall back to reopening.
+  Status Restart() override;
+
+ private:
+  void Start();
+  void Stop();
+  void ProducerLoop();
+  /// Pops the next batch into `current_`; false at end of stream or error.
+  Result<bool> Advance();
+
+  std::unique_ptr<Rowset> inner_;
+  Schema schema_;  ///< Copied: schema() must not race with the producer.
+  int batch_rows_;
+  ExecStats* stats_;
+
+  BoundedQueue<RowBatch> queue_;
+  std::thread producer_;
+
+  std::mutex status_mu_;
+  Status producer_status_;  ///< First producer error; guarded by status_mu_.
+
+  RowBatch current_;
+  size_t pos_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace dhqp
+
+#endif  // DHQP_EXECUTOR_PREFETCH_H_

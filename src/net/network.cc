@@ -1,5 +1,7 @@
 #include "src/net/network.h"
 
+#include <thread>
+
 namespace dhqp {
 namespace net {
 
@@ -7,21 +9,25 @@ void Link::Delay(double microseconds) {
   if (!enforce_ || microseconds <= 0) return;
   auto until = std::chrono::steady_clock::now() +
                std::chrono::nanoseconds(static_cast<int64_t>(microseconds * 1e3));
-  // Spin-wait: sleep_for cannot hit microsecond targets reliably and the
-  // benches need stable per-message costs.
+  // Deadline-based spin with yield: sleep_for cannot hit microsecond targets
+  // reliably, while a pure spin monopolizes a core — which would make link
+  // waits on prefetch/parallel-branch threads block the consumer's progress
+  // instead of overlapping with it. Yielding keeps the delay accurate (the
+  // deadline is re-checked) and lets other runnable threads use the core.
   while (std::chrono::steady_clock::now() < until) {
+    std::this_thread::yield();
   }
 }
 
 void Link::ChargeMessage(size_t bytes) {
-  stats_.messages += 1;
-  stats_.bytes += static_cast<int64_t>(bytes);
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(static_cast<int64_t>(bytes), std::memory_order_relaxed);
   Delay(latency_us_ + us_per_kb_ * static_cast<double>(bytes) / 1024.0);
 }
 
 void Link::ChargeRows(int64_t n, size_t bytes) {
-  stats_.rows += n;
-  stats_.bytes += static_cast<int64_t>(bytes);
+  rows_.fetch_add(n, std::memory_order_relaxed);
+  bytes_.fetch_add(static_cast<int64_t>(bytes), std::memory_order_relaxed);
   Delay(us_per_kb_ * static_cast<double>(bytes) / 1024.0);
 }
 
@@ -43,6 +49,24 @@ Result<bool> LinkedRowset::Next(Row* out) {
     in_batch_ = 0;
     batch_bytes_ = 0;
   }
+  return true;
+}
+
+Result<bool> LinkedRowset::NextBatch(RowBatch* out, int max_rows) {
+  // Switching to block fetch settles any rows pulled incrementally through
+  // Next() first, so every shipped row lands in exactly one message.
+  if (in_batch_ > 0) {
+    link_->ChargeMessage(batch_bytes_);
+    link_->ChargeRows(in_batch_, 0);
+    in_batch_ = 0;
+    batch_bytes_ = 0;
+  }
+  DHQP_ASSIGN_OR_RETURN(bool has, inner_->NextBatch(out, max_rows));
+  if (!has) return false;
+  size_t bytes = 0;
+  for (const Row& row : out->rows) bytes += RowWireSize(row);
+  link_->ChargeMessage(bytes);
+  link_->ChargeRows(static_cast<int64_t>(out->rows.size()), 0);
   return true;
 }
 

@@ -1,6 +1,7 @@
 #ifndef DHQP_NET_NETWORK_H_
 #define DHQP_NET_NETWORK_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -23,7 +24,8 @@ struct LinkStats {
 /// A simulated network link between the DHQP host and one linked server.
 /// Counts traffic, and optionally enforces real delays (spin-wait with
 /// microsecond resolution) so wall-clock benchmarks reflect network shape at
-/// laptop scale.
+/// laptop scale. Counters are atomic: prefetch threads and parallel
+/// partitioned-view branches charge links concurrently with the consumer.
 class Link {
  public:
   /// `latency_us` — per-message round-trip cost; `us_per_kb` — serialization
@@ -36,8 +38,19 @@ class Link {
         enforce_(enforce_delays) {}
 
   const std::string& name() const { return name_; }
-  const LinkStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = LinkStats{}; }
+  /// Snapshot of the counters (the link may be charged concurrently).
+  LinkStats stats() const {
+    LinkStats s;
+    s.messages = messages_.load(std::memory_order_relaxed);
+    s.rows = rows_.load(std::memory_order_relaxed);
+    s.bytes = bytes_.load(std::memory_order_relaxed);
+    return s;
+  }
+  void ResetStats() {
+    messages_.store(0, std::memory_order_relaxed);
+    rows_.store(0, std::memory_order_relaxed);
+    bytes_.store(0, std::memory_order_relaxed);
+  }
 
   double latency_us() const { return latency_us_; }
   void set_enforce_delays(bool enforce) { enforce_ = enforce; }
@@ -55,8 +68,10 @@ class Link {
   std::string name_;
   double latency_us_;
   double us_per_kb_;
-  bool enforce_;
-  LinkStats stats_;
+  std::atomic<bool> enforce_;
+  std::atomic<int64_t> messages_{0};
+  std::atomic<int64_t> rows_{0};
+  std::atomic<int64_t> bytes_{0};
 };
 
 /// Wraps a rowset so that rows streaming through it are charged to a link
@@ -73,7 +88,16 @@ class LinkedRowset : public Rowset {
 
   Result<bool> Next(Row* out) override;
 
-  Status Restart() override { return inner_->Restart(); }
+  /// Block fetch: one batch costs exactly one round trip (ChargeMessage)
+  /// plus one ChargeRows — this is where batching beats row-at-a-time
+  /// streaming on a high-latency link.
+  Result<bool> NextBatch(RowBatch* out, int max_rows) override;
+
+  Status Restart() override {
+    in_batch_ = 0;
+    batch_bytes_ = 0;
+    return inner_->Restart();
+  }
 
  private:
   std::unique_ptr<Rowset> inner_;

@@ -2,6 +2,17 @@
 
 namespace dhqp {
 
+Result<bool> Rowset::NextBatch(RowBatch* out, int max_rows) {
+  out->clear();
+  Row row;
+  while (static_cast<int>(out->rows.size()) < max_rows) {
+    DHQP_ASSIGN_OR_RETURN(bool has, Next(&row));
+    if (!has) break;
+    out->rows.push_back(std::move(row));
+  }
+  return !out->rows.empty();
+}
+
 Result<std::vector<Row>> DrainRowset(Rowset* rowset) {
   std::vector<Row> rows;
   Row row;

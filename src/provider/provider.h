@@ -15,6 +15,17 @@
 
 namespace dhqp {
 
+/// A block of rows fetched in one provider round trip. Models the row-handle
+/// arrays that OLE DB's IRowset::GetNextRows returns: consumers that fetch
+/// blocks instead of single rows pay one round trip per block.
+struct RowBatch {
+  std::vector<Row> rows;
+
+  size_t size() const { return rows.size(); }
+  bool empty() const { return rows.empty(); }
+  void clear() { rows.clear(); }
+};
+
 /// Tabular data stream — the paper's Rowset abstraction (§3.1.2): "a
 /// unifying abstraction that enables OLE DB data providers to expose data in
 /// tabular form". Base tables, query results, index ranges, full-text rank
@@ -29,6 +40,14 @@ class Rowset {
   /// Advances to the next row. Returns true and fills `out` when a row is
   /// available, false at end of data.
   virtual Result<bool> Next(Row* out) = 0;
+
+  /// Fetches up to `max_rows` rows into `out` (cleared first) — the OLE DB
+  /// IRowset::GetNextRows block-fetch surface. Returns false only at end of
+  /// data (out left empty); a partial batch is returned as true and the
+  /// following call reports the end. The base implementation loops Next(),
+  /// so every rowset supports block fetch; sources with contiguous storage
+  /// override it to hand out slices.
+  virtual Result<bool> NextBatch(RowBatch* out, int max_rows);
 
   /// Repositions before the first row, if the rowset supports rewinding.
   /// Streaming rowsets (e.g. remote query results) do not; the executor
@@ -50,6 +69,17 @@ class VectorRowset : public Rowset {
   Result<bool> Next(Row* out) override {
     if (pos_ >= rows_.size()) return false;
     *out = rows_[pos_++];
+    return true;
+  }
+
+  Result<bool> NextBatch(RowBatch* out, int max_rows) override {
+    out->clear();
+    if (pos_ >= rows_.size() || max_rows <= 0) return false;
+    size_t n = rows_.size() - pos_;
+    if (n > static_cast<size_t>(max_rows)) n = static_cast<size_t>(max_rows);
+    out->rows.assign(rows_.begin() + static_cast<ptrdiff_t>(pos_),
+                     rows_.begin() + static_cast<ptrdiff_t>(pos_ + n));
+    pos_ += n;
     return true;
   }
 

@@ -46,6 +46,94 @@ TEST(LinkTest, LinkedRowsetChargesBatches) {
   EXPECT_GT(link.stats().bytes, 0);
 }
 
+TEST(LinkTest, NextBatchChargesOneMessagePerBatch) {
+  Schema schema;
+  schema.AddColumn(ColumnDef{"a", DataType::kInt64, false});
+  std::vector<Row> rows;
+  for (int i = 0; i < 200; ++i) rows.push_back({Value::Int64(i)});
+  net::Link link("l");
+  net::LinkedRowset rowset(
+      std::make_unique<VectorRowset>(schema, rows), &link, /*batch_rows=*/64);
+
+  RowBatch batch;
+  int batches = 0;
+  int64_t total_rows = 0;
+  while (true) {
+    auto has = rowset.NextBatch(&batch, 64);
+    ASSERT_TRUE(has.ok()) << has.status().ToString();
+    if (!*has) break;
+    ++batches;
+    total_rows += static_cast<int64_t>(batch.size());
+    // One block fetch == exactly one round trip.
+    EXPECT_EQ(link.stats().messages, batches);
+  }
+  // 200 rows at batch 64 -> 3 full + 1 final partial batch.
+  EXPECT_EQ(batches, 4);
+  EXPECT_EQ(total_rows, 200);
+  EXPECT_EQ(link.stats().rows, 200);
+  EXPECT_EQ(link.stats().messages, 4);
+}
+
+TEST(LinkTest, NextBatchByteAccountingMatchesWireSize) {
+  Schema schema;
+  schema.AddColumn(ColumnDef{"a", DataType::kInt64, false});
+  schema.AddColumn(ColumnDef{"s", DataType::kString, false});
+  std::vector<Row> rows;
+  size_t expected_bytes = 0;
+  for (int i = 0; i < 10; ++i) {
+    Row row{Value::Int64(i), Value::String("payload-" + std::to_string(i))};
+    expected_bytes += RowWireSize(row);
+    rows.push_back(std::move(row));
+  }
+  net::Link link("l");
+  net::LinkedRowset rowset(
+      std::make_unique<VectorRowset>(schema, rows), &link, /*batch_rows=*/64);
+
+  RowBatch batch;
+  auto has = rowset.NextBatch(&batch, 100);
+  ASSERT_TRUE(has.ok());
+  ASSERT_TRUE(*has);
+  EXPECT_EQ(batch.size(), 10u);
+  EXPECT_EQ(link.stats().bytes, static_cast<int64_t>(expected_bytes));
+  has = rowset.NextBatch(&batch, 100);
+  ASSERT_TRUE(has.ok());
+  EXPECT_FALSE(*has);
+  // End of stream adds no extra message.
+  EXPECT_EQ(link.stats().messages, 1);
+}
+
+TEST(LinkTest, MixedNextAndNextBatchSettlesPartialBatch) {
+  Schema schema;
+  schema.AddColumn(ColumnDef{"a", DataType::kInt64, false});
+  std::vector<Row> rows;
+  for (int i = 0; i < 10; ++i) rows.push_back({Value::Int64(i)});
+  net::Link link("l");
+  net::LinkedRowset rowset(
+      std::make_unique<VectorRowset>(schema, rows), &link, /*batch_rows=*/64);
+
+  // Row-at-a-time pulls accumulate into an open (uncharged) batch...
+  Row row;
+  for (int i = 0; i < 3; ++i) {
+    auto has = rowset.Next(&row);
+    ASSERT_TRUE(has.ok());
+    ASSERT_TRUE(*has);
+  }
+  EXPECT_EQ(link.stats().messages, 0);
+  // ...then the first block fetch settles the open batch before charging
+  // its own round trip, so no pulled row goes unaccounted.
+  RowBatch batch;
+  auto has = rowset.NextBatch(&batch, 100);
+  ASSERT_TRUE(has.ok());
+  ASSERT_TRUE(*has);
+  EXPECT_EQ(batch.size(), 7u);
+  EXPECT_EQ(link.stats().messages, 2);  // Settled tail + the block fetch.
+  has = rowset.NextBatch(&batch, 100);
+  ASSERT_TRUE(has.ok());
+  EXPECT_FALSE(*has);
+  EXPECT_EQ(link.stats().rows, 10);
+  EXPECT_EQ(link.stats().messages, 2);  // End of stream adds nothing.
+}
+
 TEST(TpccFederationTest, NewOrderRoutesAndCommits) {
   workloads::TpccOptions options;
   options.num_members = 3;
