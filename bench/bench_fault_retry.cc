@@ -1,0 +1,110 @@
+// Experiment E11 — fault-injection harness and retry-path overhead. Three
+// questions, same remote-scan workload on a latency-enforcing link:
+//   1. What does the retry machinery cost when no injector is attached?
+//      (`Link::SendMessage` fast path — this is what production pays.)
+//   2. What does an attached-but-inert injector add? (The chaos harness's
+//      fixed cost; the acceptance bar is <10% over the no-injector run.)
+//   3. What does recovering from one transient mid-stream fault cost?
+//      (One resend + one backoff sleep amortized over the whole query.)
+
+#include <chrono>
+
+#include "bench/bench_util.h"
+#include "src/net/fault.h"
+
+namespace dhqp {
+
+namespace {
+
+struct FaultBenchFixture {
+  std::unique_ptr<Engine> host;
+  std::unique_ptr<Engine> remote;
+  std::unique_ptr<net::Link> link;
+  std::unique_ptr<net::FaultInjector> injector;
+};
+
+std::unique_ptr<FaultBenchFixture> BuildFaultBench(const std::string&) {
+  auto fx = std::make_unique<FaultBenchFixture>();
+  fx->host = std::make_unique<Engine>();
+  fx->remote = std::make_unique<Engine>();
+  // Enforced latency so message delays (and retry backoff) are real time.
+  fx->link = std::make_unique<net::Link>("rsrv", /*latency_us=*/40,
+                                         /*us_per_kb=*/1.0, /*enforce=*/true);
+  fx->injector = std::make_unique<net::FaultInjector>();
+  auto provider = std::make_shared<LinkedDataSource>(
+      std::make_shared<EngineDataSource>(fx->remote.get(),
+                                         SqlServerCapabilities()),
+      fx->link.get());
+  if (!fx->host->AddLinkedServer("rsrv", provider).ok()) std::abort();
+  bench::MustRun(fx->remote.get(), "CREATE TABLE t (id INT PRIMARY KEY, v INT)");
+  std::string sql = "INSERT INTO t VALUES ";
+  for (int i = 0; i < 5000; ++i) {
+    if (i) sql += ",";
+    sql += "(" + std::to_string(i) + "," + std::to_string(i % 97) + ")";
+  }
+  bench::MustRun(fx->remote.get(), sql);
+  return fx;
+}
+
+// Ships all 5000 rows (a plain scan is not aggregated away by pushdown), so
+// the per-message retry fast path runs once per result block.
+constexpr const char* kQuery = "SELECT id, v FROM rsrv.d.s.t";
+
+enum class Mode { kNoInjector, kInertInjector, kTransientFault };
+
+void RunFaultBench(benchmark::State& state, Mode mode) {
+  auto* fx =
+      bench::CachedFixture<FaultBenchFixture>("fault_retry", BuildFaultBench);
+  fx->link->set_fault_injector(mode == Mode::kNoInjector ? nullptr
+                                                         : fx->injector.get());
+  int64_t retries = 0, faults = 0;
+  double wall_ms = 0;
+  for (auto _ : state) {
+    if (mode == Mode::kTransientFault) {
+      state.PauseTiming();
+      fx->injector->Reset();
+      // Ordinal 0 is the remote command; ordinal 1 the first result-block
+      // settle — a mid-stream transient the retry loop must absorb.
+      fx->injector->FailMessages(/*after=*/1, /*count=*/1);
+      state.ResumeTiming();
+    }
+    fx->link->ResetStats();  // Between queries: no concurrent charger.
+    auto start = std::chrono::steady_clock::now();
+    QueryResult r = bench::MustRun(fx->host.get(), kQuery);
+    wall_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+    retries = r.exec_stats.remote_retries;
+    faults = r.exec_stats.faults_injected;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["remote_retries"] = static_cast<double>(retries);
+  state.counters["faults_injected"] = static_cast<double>(faults);
+
+  const char* case_name = mode == Mode::kNoInjector      ? "no_injector"
+                          : mode == Mode::kInertInjector ? "inert_injector"
+                                                         : "transient_fault";
+  bench::AppendBenchRecord("fault_retry", case_name, wall_ms,
+                           fx->link->stats());
+  fx->link->set_fault_injector(nullptr);
+  fx->injector->Reset();
+}
+
+void BM_FaultRetry_NoInjector(benchmark::State& state) {
+  RunFaultBench(state, Mode::kNoInjector);
+}
+void BM_FaultRetry_InertInjector(benchmark::State& state) {
+  RunFaultBench(state, Mode::kInertInjector);
+}
+void BM_FaultRetry_TransientFault(benchmark::State& state) {
+  RunFaultBench(state, Mode::kTransientFault);
+}
+
+BENCHMARK(BM_FaultRetry_NoInjector)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FaultRetry_InertInjector)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FaultRetry_TransientFault)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dhqp
+
+BENCHMARK_MAIN();

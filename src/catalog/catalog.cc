@@ -74,6 +74,19 @@ Result<Session*> Catalog::GetSession(int source_id) {
   return entry.session.get();
 }
 
+void Catalog::DropSession(int source_id) {
+  std::lock_guard<std::mutex> lock(session_mu_);
+  if (source_id < 0 || static_cast<size_t>(source_id) >= servers_.size()) {
+    return;
+  }
+  servers_[static_cast<size_t>(source_id)].session.reset();
+}
+
+void Catalog::DropRemoteSessions() {
+  std::lock_guard<std::mutex> lock(session_mu_);
+  for (ServerEntry& entry : servers_) entry.session.reset();
+}
+
 Status Catalog::CreateView(const std::string& name, const std::string& sql) {
   std::string key = ToLowerCopy(name);
   if (views_.count(key) > 0 || storage_->HasTable(name)) {

@@ -79,6 +79,16 @@ class Catalog {
   /// sessions concurrently.
   Result<Session*> GetSession(int source_id);
 
+  /// Tears down the cached session for one remote source: the next
+  /// GetSession reconnects through the provider. The link-down recovery
+  /// path (§4.2) — a session over a dead link is useless even after the
+  /// link comes back. Must only be called between queries: executor nodes
+  /// hold raw Session pointers while a query runs. No-op for kLocalSource.
+  void DropSession(int source_id);
+  /// DropSession for every linked server (Engine calls this after an
+  /// execution fails with a network error).
+  void DropRemoteSessions();
+
   /// @name Views.
   ///@{
   Status CreateView(const std::string& name, const std::string& sql);

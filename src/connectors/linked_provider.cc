@@ -19,14 +19,14 @@ class LinkedCommand : public Command {
   }
 
   Result<std::unique_ptr<Rowset>> Execute() override {
-    link_->ChargeMessage(64 + text_size_);
+    DHQP_RETURN_NOT_OK(link_->SendMessage(64 + text_size_));
     DHQP_ASSIGN_OR_RETURN(auto rowset, inner_->Execute());
     return std::unique_ptr<Rowset>(
         new net::LinkedRowset(std::move(rowset), link_));
   }
 
   Result<int64_t> ExecuteNonQuery() override {
-    link_->ChargeMessage(64 + text_size_);
+    DHQP_RETURN_NOT_OK(link_->SendMessage(64 + text_size_));
     return inner_->ExecuteNonQuery();
   }
 
@@ -42,7 +42,7 @@ class LinkedSession : public Session {
       : inner_(std::move(inner)), link_(link) {}
 
   Result<std::unique_ptr<Rowset>> OpenRowset(const std::string& table) override {
-    link_->ChargeMessage(64 + table.size());
+    DHQP_RETURN_NOT_OK(link_->SendMessage(64 + table.size()));
     DHQP_ASSIGN_OR_RETURN(auto rowset, inner_->OpenRowset(table));
     return std::unique_ptr<Rowset>(
         new net::LinkedRowset(std::move(rowset), link_));
@@ -55,21 +55,21 @@ class LinkedSession : public Session {
   }
 
   Result<std::vector<TableMetadata>> ListTables() override {
-    link_->ChargeMessage(64);
+    DHQP_RETURN_NOT_OK(link_->SendMessage(64));
     return inner_->ListTables();
   }
 
   Result<ColumnStatistics> GetStatistics(const std::string& table,
                                          const std::string& column) override {
     // Histogram rowsets are small; one round trip.
-    link_->ChargeMessage(256);
+    DHQP_RETURN_NOT_OK(link_->SendMessage(256));
     return inner_->GetStatistics(table, column);
   }
 
   Result<std::unique_ptr<Rowset>> OpenIndexRange(
       const std::string& table, const std::string& index,
       const IndexRange& range) override {
-    link_->ChargeMessage(96 + table.size() + index.size());
+    DHQP_RETURN_NOT_OK(link_->SendMessage(96 + table.size() + index.size()));
     DHQP_ASSIGN_OR_RETURN(auto rowset,
                           inner_->OpenIndexRange(table, index, range));
     return std::unique_ptr<Rowset>(
@@ -79,7 +79,7 @@ class LinkedSession : public Session {
   Result<std::unique_ptr<Rowset>> OpenIndexKeys(
       const std::string& table, const std::string& index,
       const IndexRange& range) override {
-    link_->ChargeMessage(96 + table.size() + index.size());
+    DHQP_RETURN_NOT_OK(link_->SendMessage(96 + table.size() + index.size()));
     DHQP_ASSIGN_OR_RETURN(auto rowset,
                           inner_->OpenIndexKeys(table, index, range));
     return std::unique_ptr<Rowset>(
@@ -90,7 +90,7 @@ class LinkedSession : public Session {
                                              const Value& bookmark) override {
     // Each bookmark fetch is its own round trip — what makes "remote fetch"
     // expensive per row and only worthwhile at high selectivity.
-    link_->ChargeMessage(48);
+    DHQP_RETURN_NOT_OK(link_->SendMessage(48));
     DHQP_ASSIGN_OR_RETURN(auto row, inner_->FetchByBookmark(table, bookmark));
     if (row.has_value()) link_->ChargeRows(1, RowWireSize(*row));
     return row;
@@ -101,7 +101,7 @@ class LinkedSession : public Session {
     // One round trip for the command envelope; the row payload is charged
     // through ChargeRows so bulk inserts pay bandwidth like result streams
     // do (and show up in LinkStats.rows).
-    link_->ChargeMessage(64 + table.size());
+    DHQP_RETURN_NOT_OK(link_->SendMessage(64 + table.size()));
     size_t bytes = 0;
     for (const Row& row : rows) bytes += RowWireSize(row);
     link_->ChargeRows(static_cast<int64_t>(rows.size()), bytes);
@@ -109,19 +109,19 @@ class LinkedSession : public Session {
   }
 
   Status BeginTransaction(int64_t txn_id) override {
-    link_->ChargeMessage(32);
+    DHQP_RETURN_NOT_OK(link_->SendMessage(32));
     return inner_->BeginTransaction(txn_id);
   }
   Status PrepareTransaction(int64_t txn_id) override {
-    link_->ChargeMessage(32);
+    DHQP_RETURN_NOT_OK(link_->SendMessage(32));
     return inner_->PrepareTransaction(txn_id);
   }
   Status CommitTransaction(int64_t txn_id) override {
-    link_->ChargeMessage(32);
+    DHQP_RETURN_NOT_OK(link_->SendMessage(32));
     return inner_->CommitTransaction(txn_id);
   }
   Status AbortTransaction(int64_t txn_id) override {
-    link_->ChargeMessage(32);
+    DHQP_RETURN_NOT_OK(link_->SendMessage(32));
     return inner_->AbortTransaction(txn_id);
   }
 
@@ -133,7 +133,7 @@ class LinkedSession : public Session {
 }  // namespace
 
 Result<std::unique_ptr<Session>> LinkedDataSource::CreateSession() {
-  link_->ChargeMessage(48);
+  DHQP_RETURN_NOT_OK(link_->SendMessage(48));
   DHQP_ASSIGN_OR_RETURN(auto session, inner_->CreateSession());
   return std::unique_ptr<Session>(
       new LinkedSession(std::move(session), link_));

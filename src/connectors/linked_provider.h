@@ -21,7 +21,8 @@ class LinkedDataSource : public DataSource {
 
   Status Initialize(
       const std::map<std::string, std::string>& properties) override {
-    link_->ChargeMessage(64);  // Connection handshake.
+    // Connection handshake (fallible: a down link refuses new connections).
+    DHQP_RETURN_NOT_OK(link_->SendMessage(64));
     return inner_->Initialize(properties);
   }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/connectors/linked_provider.h"
 #include "src/optimizer/normalize.h"
 #include "src/optimizer/optimizer.h"
 #include "src/sql/binder.h"
@@ -60,6 +61,30 @@ Result<std::vector<Row>> ShapeRows(const Schema& schema,
   return out;
 }
 
+// Sums the fault-related link counters over every linked server reachable
+// through a LinkedDataSource. Links are shared across queries, so per-query
+// ExecStats are computed as before/after deltas around ExecutePlan.
+struct LinkFaultTotals {
+  int64_t retries = 0;
+  int64_t timeouts = 0;
+  int64_t faults = 0;
+};
+
+LinkFaultTotals SumLinkFaults(Catalog* catalog) {
+  LinkFaultTotals totals;
+  const size_t n = catalog->LinkedServerNames().size();
+  for (size_t i = 0; i < n; ++i) {
+    auto* linked =
+        dynamic_cast<LinkedDataSource*>(catalog->ServerSource(static_cast<int>(i)));
+    if (linked == nullptr) continue;
+    net::LinkStats stats = linked->link()->stats();
+    totals.retries += stats.retries;
+    totals.timeouts += stats.timeouts;
+    totals.faults += stats.faults;
+  }
+  return totals;
+}
+
 }  // namespace
 
 int64_t DefaultCurrentDate() { return CivilToDays(2004, 11, 15); }
@@ -113,6 +138,20 @@ OptimizerContext Engine::MakeOptimizerContext(ColumnRegistry* registry) {
 }
 
 Result<QueryResult> Engine::Execute(
+    const std::string& sql, const std::map<std::string, Value>& params) {
+  Result<QueryResult> result = ExecuteInternal(sql, params);
+  if (!result.ok() && result.status().code() == StatusCode::kNetworkError) {
+    // Link-down teardown (§4.2): a cached session over a dead link is
+    // useless even once the link recovers — drop them all so the next
+    // statement reconnects. Safe here: the executor joins every prefetch /
+    // parallel-branch thread before ExecutePlan returns, so nothing still
+    // holds a raw Session pointer.
+    catalog_->DropRemoteSessions();
+  }
+  return result;
+}
+
+Result<QueryResult> Engine::ExecuteInternal(
     const std::string& sql, const std::map<std::string, Value>& params) {
   DHQP_ASSIGN_OR_RETURN(auto stmt, Parser::Parse(sql));
   switch (stmt->kind) {
@@ -301,7 +340,17 @@ Result<QueryResult> Engine::RunCachedPlan(
   ectx.params = params;
   ectx.current_date = options_.current_date;
   ectx.options = options_.execution;
+  const LinkFaultTotals before = SumLinkFaults(catalog_.get());
   DHQP_ASSIGN_OR_RETURN(auto rowset, ExecutePlan(cached.plan, &ectx));
+  // Per-query fault accounting: links are charged below the executor (and
+  // shared across queries), so the deltas land here. Exact because
+  // ExecutePlan joins all worker threads before returning; clamped in case
+  // a bench reset the link counters mid-delta.
+  const LinkFaultTotals after = SumLinkFaults(catalog_.get());
+  ectx.stats.remote_retries = std::max<int64_t>(0, after.retries - before.retries);
+  ectx.stats.remote_timeouts =
+      std::max<int64_t>(0, after.timeouts - before.timeouts);
+  ectx.stats.faults_injected = std::max<int64_t>(0, after.faults - before.faults);
 
   // Align output columns with the statement's select-list order/names (the
   // plan may carry extra hidden columns or a different physical order).
@@ -340,6 +389,7 @@ Result<QueryResult> Engine::RunCachedPlan(
         std::make_unique<VectorRowset>(std::move(schema), std::move(rows));
   }
   result.exec_stats = ectx.stats;
+  result.warnings = std::move(ectx.warnings);
   return std::move(result);
 }
 
@@ -369,6 +419,13 @@ Result<QueryResult> Engine::ExecuteSelect(
       if (it->second.schema_version == schema_version_) {
         auto result = RunCachedPlan(it->second, params);
         if (result.ok()) return result;
+        // A link failure is not plan staleness: the retry policy already
+        // ran at the link layer, recompiling cannot reach an unreachable
+        // server, and silently re-executing could turn a mid-stream member
+        // failure into a clean-looking skip. Surface it as-is.
+        if (result.status().code() == StatusCode::kNetworkError) {
+          return result;
+        }
         // A cached plan can go stale in ways version bumps don't cover
         // (e.g. a remote server changed behind its provider): drop it and
         // recompile below.

@@ -43,6 +43,9 @@ struct QueryResult {
   PhysicalOpPtr plan;                    ///< Null for DDL/DML.
   ExecStats exec_stats;
   OptimizerRunStats opt_stats;
+  /// Non-fatal notices (e.g. partitioned-view members skipped under
+  /// ExecOptions::skip_unreachable_members). Empty on a clean run.
+  std::vector<std::string> warnings;
 };
 
 /// One engine instance: "SQL Server" in miniature — local storage engine,
@@ -90,6 +93,12 @@ class Engine {
                                                      const std::string& query);
 
  private:
+  /// Execute() minus the failure hook: on a network error the wrapper tears
+  /// down cached remote sessions (Catalog::DropRemoteSessions) so the next
+  /// statement reconnects instead of reusing a session over a dead link.
+  Result<QueryResult> ExecuteInternal(
+      const std::string& sql, const std::map<std::string, Value>& params);
+
   /// Compiles (and optionally executes) a SELECT. `cache_key` is the raw
   /// statement text for plan-cache lookup; empty disables caching.
   Result<QueryResult> ExecuteSelect(const SelectStatement& stmt,

@@ -598,13 +598,31 @@ class ConcatNode : public ExecNode {
         if (children_[current_]->op().kind != PhysicalOpKind::kEmptyTable) {
           ctx_->stats.partitions_opened++;
         }
-        DHQP_RETURN_NOT_OK(children_[current_]->Open());
+        Status st = children_[current_]->Open();
+        if (!st.ok()) {
+          if (MaybeSkipMember(*children_[current_], st, /*rows_emitted=*/0)) {
+            ++current_;
+            continue;
+          }
+          return st;
+        }
         opened_current_ = true;
+        current_rows_ = 0;
       }
       Row in;
-      DHQP_ASSIGN_OR_RETURN(bool has, children_[current_]->Next(&in));
-      if (has) {
+      Result<bool> has = children_[current_]->Next(&in);
+      if (!has.ok()) {
+        if (MaybeSkipMember(*children_[current_], has.status(),
+                            current_rows_)) {
+          ++current_;
+          opened_current_ = false;
+          continue;
+        }
+        return has.status();
+      }
+      if (*has) {
         // Align branch columns to the concat's output positionally.
+        ++current_rows_;
         *out = std::move(in);
         return true;
       }
@@ -667,14 +685,24 @@ class ConcatNode : public ExecNode {
       ctx_->stats.parallel_branches++;
       Status st = child->Open();
       if (!st.ok()) {
+        if (MaybeSkipMember(*child, st, /*rows_emitted=*/0)) continue;
         RecordError(st);
         break;
       }
       RowBatch batch;
+      bool pushed_any = false;
       while (true) {
         Row row;
         Result<bool> has = child->Next(&row);
         if (!has.ok()) {
+          // Skippable only while the branch's rows are all still local to
+          // this worker: once a batch is published it cannot be retracted,
+          // so a partially-consumed member must fail the whole query.
+          if (!pushed_any &&
+              MaybeSkipMember(*child, has.status(), /*rows_emitted=*/0)) {
+            batch.clear();
+            break;
+          }
           RecordError(has.status());
           aborted = true;
           break;
@@ -686,6 +714,7 @@ class ConcatNode : public ExecNode {
             aborted = true;
             break;
           }
+          pushed_any = true;
           batch = RowBatch{};
         }
       }
@@ -702,6 +731,30 @@ class ConcatNode : public ExecNode {
       if (first_error_.ok()) first_error_ = std::move(st);
     }
     queue_.Close();  // Fail fast: wake the consumer and the other workers.
+  }
+
+  /// Graceful degradation (ExecOptions::skip_unreachable_members): returns
+  /// true when a member's network failure should drop the member instead of
+  /// failing the query — only if the member has not surfaced any row yet.
+  bool MaybeSkipMember(const ExecNode& child, const Status& st,
+                       int64_t rows_emitted) {
+    if (!ctx_->options.skip_unreachable_members) return false;
+    if (st.code() != StatusCode::kNetworkError) return false;
+    if (rows_emitted > 0) return false;
+    ctx_->stats.members_skipped++;
+    BranchProfile profile;
+    ProfileSubtree(child.op(), &profile);
+    std::string member = "local";
+    for (int source : profile.sources) {
+      if (source != kLocalSource && ctx_->catalog != nullptr) {
+        member = "server '" + ctx_->catalog->ServerName(source) + "'";
+        break;
+      }
+    }
+    std::lock_guard<std::mutex> lock(ctx_->warnings_mu);
+    ctx_->warnings.push_back("partitioned view: skipped unreachable member on " +
+                             member + ": " + st.message());
+    return true;
   }
 
   Result<bool> ParallelNext(Row* out) {
@@ -745,6 +798,7 @@ class ConcatNode : public ExecNode {
   // Sequential mode.
   size_t current_ = 0;
   bool opened_current_ = false;
+  int64_t current_rows_ = 0;  ///< Rows the current branch has emitted.
 
   // Parallel mode.
   bool parallel_ = false;

@@ -4,7 +4,9 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "src/catalog/catalog.h"
 #include "src/executor/eval.h"
@@ -32,6 +34,13 @@ struct ExecStats {
                                               ///< worker threads.
   std::atomic<int64_t> spool_rescans{0};  ///< Rescans served from spools.
   std::atomic<int64_t> rows_output{0};
+  std::atomic<int64_t> remote_retries{0};   ///< Link message resends.
+  std::atomic<int64_t> remote_timeouts{0};  ///< Per-message deadline misses.
+  std::atomic<int64_t> faults_injected{0};  ///< Attempts failed by the fault
+                                            ///< injector (tests/chaos only).
+  std::atomic<int64_t> members_skipped{0};  ///< Unreachable partitioned-view
+                                            ///< members skipped by the
+                                            ///< degradation knob.
 
   ExecStats() = default;
   ExecStats(const ExecStats& other) { *this = other; }
@@ -47,6 +56,10 @@ struct ExecStats {
     parallel_branches = other.parallel_branches.load();
     spool_rescans = other.spool_rescans.load();
     rows_output = other.rows_output.load();
+    remote_retries = other.remote_retries.load();
+    remote_timeouts = other.remote_timeouts.load();
+    faults_injected = other.faults_injected.load();
+    members_skipped = other.members_skipped.load();
     return *this;
   }
 };
@@ -65,9 +78,17 @@ struct ExecOptions {
   /// Max Concat branches (partitioned-view members) drained concurrently;
   /// <= 1 keeps the strictly sequential executor.
   int concat_dop = 4;
+  /// Graceful degradation for partitioned views: when a member fails with a
+  /// network error *before contributing any row*, drop that member from the
+  /// result (counted in ExecStats::members_skipped, reported through
+  /// ExecContext::warnings) instead of failing the query. A member that
+  /// already emitted rows still fails the query — never a silent partial
+  /// member. Off by default: partial answers must be opted into.
+  bool skip_unreachable_members = false;
 };
 
-/// Shared execution state for one query.
+/// Shared execution state for one query. Not copyable (warnings_mu);
+/// constructed per execution and outlives the exec tree.
 struct ExecContext {
   Catalog* catalog = nullptr;
   fulltext::FullTextService* fulltext = nullptr;
@@ -75,6 +96,11 @@ struct ExecContext {
   int64_t current_date = 0;
   ExecOptions options;
   ExecStats stats;
+  /// Non-fatal execution notices (e.g. members skipped by
+  /// skip_unreachable_members). Guarded by warnings_mu: parallel Concat
+  /// workers append concurrently.
+  std::mutex warnings_mu;
+  std::vector<std::string> warnings;
 };
 
 /// A Volcano-style executor node: Open() prepares, Next() streams rows,

@@ -1,6 +1,17 @@
 #include "src/executor/prefetch.h"
 
+#include <atomic>
+
 namespace dhqp {
+
+namespace {
+// Incremented for the lifetime of each ProducerLoop; see live_producers().
+std::atomic<int64_t> g_live_producers{0};
+}  // namespace
+
+int64_t PrefetchingRowset::live_producers() {
+  return g_live_producers.load(std::memory_order_acquire);
+}
 
 PrefetchingRowset::PrefetchingRowset(std::unique_ptr<Rowset> inner,
                                      const ExecOptions& options,
@@ -19,12 +30,22 @@ PrefetchingRowset::PrefetchingRowset(std::unique_ptr<Rowset> inner,
 PrefetchingRowset::~PrefetchingRowset() { Stop(); }
 
 void PrefetchingRowset::Start() {
+  // Counts launched-but-not-yet-joined producers; the decrement is tied to
+  // the join itself so a leaked thread stays visible to live_producers().
+  g_live_producers.fetch_add(1, std::memory_order_acq_rel);
   producer_ = std::thread([this] { ProducerLoop(); });
 }
 
 void PrefetchingRowset::Stop() {
+  // Closing the queue wakes a producer blocked in Push(); a producer blocked
+  // inside inner_->NextBatch() finishes that (bounded) call, sees the closed
+  // queue and exits. Either way the join below terminates: this is the path
+  // that makes abandoning a rowset early (consumer error before drain) safe.
   queue_.Close();
-  if (producer_.joinable()) producer_.join();
+  if (producer_.joinable()) {
+    producer_.join();
+    g_live_producers.fetch_sub(1, std::memory_order_acq_rel);
+  }
 }
 
 void PrefetchingRowset::ProducerLoop() {

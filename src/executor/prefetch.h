@@ -41,8 +41,16 @@ class PrefetchingRowset : public Rowset {
 
   /// Tears the producer down, rewinds the inner rowset and relaunches —
   /// the rescan path for prefetching nodes. Fails (NotSupported) when the
-  /// inner rowset cannot rewind; callers fall back to reopening.
+  /// inner rowset cannot rewind; callers fall back to reopening. Works after
+  /// a transient producer fault: the sticky error is cleared and the new
+  /// producer re-drains from the start.
   Status Restart() override;
+
+  /// Number of producer threads currently alive across all instances. The
+  /// chaos suite asserts this returns to zero after every query: a consumer
+  /// abandoning a rowset mid-stream (error, LIMIT, cancelled sibling) must
+  /// never leak its producer.
+  static int64_t live_producers();
 
  private:
   void Start();

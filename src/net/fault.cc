@@ -1,0 +1,92 @@
+#include "src/net/fault.h"
+
+#include <limits>
+
+namespace dhqp {
+namespace net {
+
+namespace {
+
+// splitmix64 finalizer: the per-ordinal hash behind SetDropProbability.
+uint64_t Mix(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void FaultInjector::FailMessages(int64_t after, int64_t count,
+                                 FaultKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  windows_.push_back(Window{after, count, kind, 0});
+}
+
+void FaultInjector::LinkDownAfter(int64_t after) {
+  std::lock_guard<std::mutex> lock(mu_);
+  windows_.push_back(
+      Window{after, std::numeric_limits<int64_t>::max(), FaultKind::kLinkDown,
+             0});
+}
+
+void FaultInjector::AddLatencySpike(int64_t after, int64_t count,
+                                    double extra_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  windows_.push_back(Window{after, count, FaultKind::kLatency, extra_us});
+}
+
+void FaultInjector::SetDropProbability(double p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  drop_probability_ = p;
+}
+
+void FaultInjector::Reset(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+  next_ordinal_ = 0;
+  windows_.clear();
+  drop_probability_ = 0;
+  faults_injected_.store(0, std::memory_order_relaxed);
+  messages_seen_.store(0, std::memory_order_relaxed);
+}
+
+FaultInjector::Decision FaultInjector::OnMessage() {
+  Decision decision;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    int64_t ordinal = next_ordinal_++;
+    messages_seen_.fetch_add(1, std::memory_order_relaxed);
+    // Link-down wins over everything; otherwise the first matching window.
+    bool in_window = false;
+    for (const Window& w : windows_) {
+      if (ordinal < w.after || ordinal - w.after >= w.count) continue;
+      if (w.kind == FaultKind::kLinkDown) {
+        decision.kind = FaultKind::kLinkDown;
+        decision.extra_latency_us = 0;
+        in_window = true;
+        break;
+      }
+      if (!in_window) {
+        decision.kind = w.kind;
+        decision.extra_latency_us = w.extra_us;
+        in_window = true;
+      }
+    }
+    if (!in_window && drop_probability_ > 0) {
+      // Pure function of (seed, ordinal): the drop set replays exactly.
+      double u = static_cast<double>(
+                     Mix(seed_ ^ (static_cast<uint64_t>(ordinal) *
+                                  0x9e3779b97f4a7c15ULL)) >>
+                     11) *
+                 (1.0 / 9007199254740992.0);
+      if (u < drop_probability_) decision.kind = FaultKind::kTransient;
+    }
+  }
+  if (decision.kind != FaultKind::kNone) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return decision;
+}
+
+}  // namespace net
+}  // namespace dhqp

@@ -1,0 +1,115 @@
+#ifndef DHQP_NET_FAULT_H_
+#define DHQP_NET_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace dhqp {
+namespace net {
+
+/// What a scripted fault does to one message attempt. The taxonomy mirrors
+/// the ways a real linked server misbehaves (DESIGN.md §7): transient loss
+/// that an immediate resend absorbs, latency spikes that become timeouts
+/// under a per-message deadline, and permanent link-down where retrying is
+/// pointless and the session must be torn down.
+enum class FaultKind {
+  kNone = 0,
+  kTransient,  ///< The message is lost; a resend may succeed.
+  kLatency,    ///< Delivered late; may exceed the caller's deadline.
+  kLinkDown,   ///< The link is gone; every attempt fails until cleared.
+};
+
+/// Retry/backoff/deadline configuration for one link's message sends,
+/// honored by Link::SendMessage. Exponential backoff:
+/// wait(i) = min(backoff_us * backoff_multiplier^(i-1), max_backoff_us)
+/// after the i-th failed attempt. Backoff waits (like all link delays) are
+/// only realized when the link enforces delays; counters advance either way.
+struct RetryPolicy {
+  int max_attempts = 3;            ///< Total attempts (1 = no retry).
+  double backoff_us = 100;         ///< Backoff after the first failure.
+  double backoff_multiplier = 2.0; ///< Growth factor per failure.
+  double max_backoff_us = 5000;    ///< Backoff cap.
+  /// Per-message deadline: an attempt whose simulated round-trip latency
+  /// (link latency + injected spike) exceeds this counts as a timeout and
+  /// is retried like a transient loss. 0 disables deadlines.
+  double deadline_us = 0;
+};
+
+/// A scriptable fault source attached to one net::Link. Every send attempt
+/// consumes one message ordinal (0-based, counted since the last Reset) and
+/// receives a Decision. Scripts compose: an explicit window wins over the
+/// probabilistic drop, and link-down wins over everything.
+///
+/// Determinism contract: decisions are a pure function of (seed, schedule,
+/// ordinal). With a single-threaded consumer the ordinal sequence — and so
+/// the whole fault pattern — replays exactly; with prefetch threads or
+/// parallel branches the *set* of faulted ordinals is still deterministic,
+/// but which logical operation draws which ordinal depends on interleaving.
+/// Thread-safe; Reset/scripting calls must be quiesced (no query running).
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 0) : seed_(seed) {}
+
+  struct Decision {
+    FaultKind kind = FaultKind::kNone;
+    double extra_latency_us = 0;
+  };
+
+  /// Message ordinals [after, after+count) fail with `kind`.
+  void FailMessages(int64_t after, int64_t count,
+                    FaultKind kind = FaultKind::kTransient);
+
+  /// The link goes down permanently at ordinal `after` (0 = immediately):
+  /// shorthand for an unbounded kLinkDown window.
+  void LinkDownAfter(int64_t after);
+
+  /// Message ordinals [after, after+count) are delivered `extra_us` late.
+  void AddLatencySpike(int64_t after, int64_t count, double extra_us);
+
+  /// Every message outside an explicit window is independently dropped with
+  /// probability `p`, decided by a hash of (seed, ordinal): the same seed
+  /// always drops the same ordinals.
+  void SetDropProbability(double p);
+
+  /// Clears the schedule, rewinds the ordinal counter and the fault count,
+  /// and reseeds the probabilistic drops. Reset(0)/default state injects
+  /// nothing.
+  void Reset(uint64_t seed = 0);
+
+  /// Faulting decisions handed out (kTransient/kLatency/kLinkDown) since
+  /// the last Reset.
+  int64_t faults_injected() const {
+    return faults_injected_.load(std::memory_order_relaxed);
+  }
+  /// Message ordinals consumed since the last Reset.
+  int64_t messages_seen() const {
+    return messages_seen_.load(std::memory_order_relaxed);
+  }
+
+  /// Consumes one message ordinal and returns the scripted outcome.
+  /// Called by Link for every send attempt, including retries.
+  Decision OnMessage();
+
+ private:
+  struct Window {
+    int64_t after = 0;
+    int64_t count = 0;
+    FaultKind kind = FaultKind::kTransient;
+    double extra_us = 0;
+  };
+
+  mutable std::mutex mu_;
+  uint64_t seed_;
+  int64_t next_ordinal_ = 0;          ///< Guarded by mu_.
+  std::vector<Window> windows_;       ///< Guarded by mu_.
+  double drop_probability_ = 0;       ///< Guarded by mu_.
+  std::atomic<int64_t> faults_injected_{0};
+  std::atomic<int64_t> messages_seen_{0};
+};
+
+}  // namespace net
+}  // namespace dhqp
+
+#endif  // DHQP_NET_FAULT_H_

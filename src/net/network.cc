@@ -25,29 +25,97 @@ void Link::ChargeMessage(size_t bytes) {
   Delay(latency_us_ + us_per_kb_ * static_cast<double>(bytes) / 1024.0);
 }
 
+Status Link::SendMessage(size_t bytes) {
+  FaultInjector* injector = injector_.load(std::memory_order_acquire);
+  if (injector == nullptr) {
+    // Happy path without a fault model: identical cost to ChargeMessage.
+    ChargeMessage(bytes);
+    return Status::OK();
+  }
+  const RetryPolicy policy = retry_policy_;
+  const int max_attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  const double wire_us =
+      latency_us_ + us_per_kb_ * static_cast<double>(bytes) / 1024.0;
+  double backoff_us = policy.backoff_us;
+  Status last = Status::OK();
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    FaultInjector::Decision d = injector->OnMessage();
+    // Every attempt is a round trip on the wire, delivered or not.
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(static_cast<int64_t>(bytes), std::memory_order_relaxed);
+    switch (d.kind) {
+      case FaultKind::kNone:
+      case FaultKind::kLatency: {
+        const double total_us = wire_us + d.extra_latency_us;
+        if (d.kind == FaultKind::kLatency && policy.deadline_us > 0 &&
+            total_us > policy.deadline_us) {
+          // The response would arrive past the deadline: the consumer gives
+          // up at deadline_us and treats the message as lost.
+          Delay(policy.deadline_us);
+          timeouts_.fetch_add(1, std::memory_order_relaxed);
+          faults_.fetch_add(1, std::memory_order_relaxed);
+          last = Status::NetworkError("linked server '" + name_ +
+                                      "': message timed out");
+          break;
+        }
+        Delay(total_us);
+        return Status::OK();
+      }
+      case FaultKind::kTransient:
+        // A dropped message still costs the full round trip before the
+        // sender concludes it was lost.
+        Delay(wire_us);
+        faults_.fetch_add(1, std::memory_order_relaxed);
+        last = Status::NetworkError("linked server '" + name_ +
+                                    "': message dropped");
+        break;
+      case FaultKind::kLinkDown:
+        // Permanent failure: retrying cannot help, fail fast so the caller
+        // can tear the session down.
+        faults_.fetch_add(1, std::memory_order_relaxed);
+        return Status::NetworkError("linked server '" + name_ +
+                                    "' is unreachable (link down)");
+    }
+    if (attempt < max_attempts) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      Delay(backoff_us);
+      backoff_us *= policy.backoff_multiplier;
+      if (backoff_us > policy.max_backoff_us) backoff_us = policy.max_backoff_us;
+    }
+  }
+  return Status::NetworkError(last.message() + " (" +
+                              std::to_string(max_attempts) +
+                              " attempts exhausted)");
+}
+
 void Link::ChargeRows(int64_t n, size_t bytes) {
   rows_.fetch_add(n, std::memory_order_relaxed);
   bytes_.fetch_add(static_cast<int64_t>(bytes), std::memory_order_relaxed);
   Delay(us_per_kb_ * static_cast<double>(bytes) / 1024.0);
 }
 
+Status LinkedRowset::SettlePending() {
+  if (in_batch_ == 0) return Status::OK();
+  // Rows are charged only after the settle message succeeds: a failed
+  // (retries-exhausted) settle leaves the rows pending, so a later retry or
+  // Restart never double-counts them — messages per attempt, rows per
+  // successful drain.
+  DHQP_RETURN_NOT_OK(link_->SendMessage(batch_bytes_));
+  link_->ChargeRows(in_batch_, 0);
+  in_batch_ = 0;
+  batch_bytes_ = 0;
+  return Status::OK();
+}
+
 Result<bool> LinkedRowset::Next(Row* out) {
   DHQP_ASSIGN_OR_RETURN(bool has, inner_->Next(out));
   if (!has) {
-    if (in_batch_ > 0) {
-      link_->ChargeMessage(batch_bytes_);
-      link_->ChargeRows(in_batch_, 0);
-      in_batch_ = 0;
-      batch_bytes_ = 0;
-    }
+    DHQP_RETURN_NOT_OK(SettlePending());
     return false;
   }
   batch_bytes_ += RowWireSize(*out);
   if (++in_batch_ >= batch_rows_) {
-    link_->ChargeMessage(batch_bytes_);
-    link_->ChargeRows(in_batch_, 0);
-    in_batch_ = 0;
-    batch_bytes_ = 0;
+    DHQP_RETURN_NOT_OK(SettlePending());
   }
   return true;
 }
@@ -55,17 +123,12 @@ Result<bool> LinkedRowset::Next(Row* out) {
 Result<bool> LinkedRowset::NextBatch(RowBatch* out, int max_rows) {
   // Switching to block fetch settles any rows pulled incrementally through
   // Next() first, so every shipped row lands in exactly one message.
-  if (in_batch_ > 0) {
-    link_->ChargeMessage(batch_bytes_);
-    link_->ChargeRows(in_batch_, 0);
-    in_batch_ = 0;
-    batch_bytes_ = 0;
-  }
+  DHQP_RETURN_NOT_OK(SettlePending());
   DHQP_ASSIGN_OR_RETURN(bool has, inner_->NextBatch(out, max_rows));
   if (!has) return false;
   size_t bytes = 0;
   for (const Row& row : out->rows) bytes += RowWireSize(row);
-  link_->ChargeMessage(bytes);
+  DHQP_RETURN_NOT_OK(link_->SendMessage(bytes));
   link_->ChargeRows(static_cast<int64_t>(out->rows.size()), 0);
   return true;
 }

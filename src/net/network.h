@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 
+#include "src/net/fault.h"
 #include "src/provider/provider.h"
 
 namespace dhqp {
@@ -16,9 +17,12 @@ namespace net {
 /// alongside wall time: the paper's remote cost model is about minimizing
 /// exactly this (§4.1.3: "finding plans with minimal network traffic").
 struct LinkStats {
-  int64_t messages = 0;  ///< Round trips (commands, fetches, batches).
+  int64_t messages = 0;  ///< Round trips, including failed/retried attempts.
   int64_t rows = 0;      ///< Rows shipped to the consumer.
   int64_t bytes = 0;     ///< Approximate payload bytes.
+  int64_t retries = 0;   ///< Resends after a failed attempt (SendMessage).
+  int64_t timeouts = 0;  ///< Attempts that exceeded RetryPolicy::deadline_us.
+  int64_t faults = 0;    ///< Attempts that failed due to an injected fault.
 };
 
 /// A simulated network link between the DHQP host and one linked server.
@@ -38,24 +42,65 @@ class Link {
         enforce_(enforce_delays) {}
 
   const std::string& name() const { return name_; }
-  /// Snapshot of the counters (the link may be charged concurrently).
+  /// Per-counter-atomic snapshot. Each field is read atomically, but the
+  /// struct is NOT a consistent cross-counter snapshot: a concurrent charger
+  /// can land between the loads, so e.g. `messages` may already include a
+  /// batch whose `rows` are not yet visible. Totals are exact once the query
+  /// has finished (the executor joins its threads before returning).
   LinkStats stats() const {
     LinkStats s;
     s.messages = messages_.load(std::memory_order_relaxed);
     s.rows = rows_.load(std::memory_order_relaxed);
     s.bytes = bytes_.load(std::memory_order_relaxed);
+    s.retries = retries_.load(std::memory_order_relaxed);
+    s.timeouts = timeouts_.load(std::memory_order_relaxed);
+    s.faults = faults_.load(std::memory_order_relaxed);
     return s;
   }
+  /// Zeroes the counters one at a time — NOT atomically as a group. Calling
+  /// this while prefetch threads or parallel branches are still charging the
+  /// link interleaves the stores with their increments and yields torn,
+  /// meaningless numbers. Benches and tests must only reset between queries,
+  /// after the executor has returned (all worker threads joined).
   void ResetStats() {
     messages_.store(0, std::memory_order_relaxed);
     rows_.store(0, std::memory_order_relaxed);
     bytes_.store(0, std::memory_order_relaxed);
+    retries_.store(0, std::memory_order_relaxed);
+    timeouts_.store(0, std::memory_order_relaxed);
+    faults_.store(0, std::memory_order_relaxed);
   }
 
   double latency_us() const { return latency_us_; }
   void set_enforce_delays(bool enforce) { enforce_ = enforce; }
 
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+  /// Set between queries only (plain struct, read by SendMessage callers on
+  /// prefetch/worker threads; thread-launch ordering makes it visible).
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
+
+  /// Attaches (or detaches, with nullptr) a fault injector. Not owned. Safe
+  /// to flip between queries; SendMessage loads it with acquire ordering.
+  void set_fault_injector(FaultInjector* injector) {
+    injector_.store(injector, std::memory_order_release);
+  }
+  FaultInjector* fault_injector() const {
+    return injector_.load(std::memory_order_acquire);
+  }
+
+  /// Sends one request/response round trip carrying `bytes` of payload,
+  /// consulting the fault injector and retrying per the link's RetryPolicy.
+  /// Every attempt — including failed ones — charges one message (the bytes
+  /// went out on the wire either way), so retries are visible in `messages`.
+  /// Exhausted retries and link-down both surface as kNetworkError with the
+  /// link (= linked server) name in the message; link-down fails fast
+  /// without retrying. With no injector attached this degrades to
+  /// ChargeMessage plus an OK status.
+  Status SendMessage(size_t bytes);
+
   /// Records one request/response round trip carrying `bytes` of payload.
+  /// Infallible accounting path, bypasses the fault model; remote execution
+  /// paths should use SendMessage instead.
   void ChargeMessage(size_t bytes);
 
   /// Records `n` result rows of `bytes` total shipped (as part of the
@@ -69,9 +114,14 @@ class Link {
   double latency_us_;
   double us_per_kb_;
   std::atomic<bool> enforce_;
+  RetryPolicy retry_policy_;
+  std::atomic<FaultInjector*> injector_{nullptr};
   std::atomic<int64_t> messages_{0};
   std::atomic<int64_t> rows_{0};
   std::atomic<int64_t> bytes_{0};
+  std::atomic<int64_t> retries_{0};
+  std::atomic<int64_t> timeouts_{0};
+  std::atomic<int64_t> faults_{0};
 };
 
 /// Wraps a rowset so that rows streaming through it are charged to a link
@@ -100,6 +150,9 @@ class LinkedRowset : public Rowset {
   }
 
  private:
+  /// Charges any rows pulled incrementally through Next() as one message.
+  Status SettlePending();
+
   std::unique_ptr<Rowset> inner_;
   Link* link_;
   int batch_rows_;

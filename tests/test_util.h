@@ -7,9 +7,11 @@
 #include <string>
 #include <vector>
 
+#include "src/common/rng.h"
 #include "src/connectors/engine_provider.h"
 #include "src/connectors/linked_provider.h"
 #include "src/core/engine.h"
+#include "src/net/fault.h"
 #include "src/net/network.h"
 
 namespace dhqp {
@@ -49,10 +51,25 @@ inline std::string RowsToString(const QueryResult& result) {
   return out;
 }
 
+/// Single source of determinism for the fault/chaos suites: folds a suite
+/// tag and a schedule index into one 64-bit seed (splitmix-style finalizer),
+/// so every schedule derives all of its randomness — fault windows, drop
+/// probabilities, retry budgets — from (tag, index) via common/rng.h's Rng.
+/// Replaying the same pair reproduces the same schedule bit-for-bit.
+inline uint64_t ChaosSeed(uint64_t suite_tag, uint64_t index) {
+  uint64_t z = suite_tag * 0x9e3779b97f4a7c15ULL + index + 0x853c49e6748fea9bULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 /// A remote engine attached to a host through a traffic-counting link.
+/// The link carries an (initially inert) fault injector so tests can script
+/// failures without re-wiring the topology.
 struct RemoteServer {
   std::unique_ptr<Engine> engine;
   std::unique_ptr<net::Link> link;
+  std::unique_ptr<net::FaultInjector> injector;
 };
 
 /// Creates `name` as a linked server on `host`, backed by a fresh Engine
@@ -65,6 +82,8 @@ inline RemoteServer AttachRemoteEngine(
   options.name = name;
   server.engine = std::make_unique<Engine>(options);
   server.link = std::make_unique<net::Link>(name);
+  server.injector = std::make_unique<net::FaultInjector>();
+  server.link->set_fault_injector(server.injector.get());
   auto inner =
       std::make_shared<EngineDataSource>(server.engine.get(), std::move(caps));
   auto linked = std::make_shared<LinkedDataSource>(inner, server.link.get());
