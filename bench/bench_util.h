@@ -8,6 +8,7 @@
 #include <memory>
 #include <string>
 
+#include "src/common/metrics.h"
 #include "src/connectors/engine_provider.h"
 #include "src/connectors/linked_provider.h"
 #include "src/core/engine.h"
@@ -53,25 +54,47 @@ inline QueryResult MustRun(Engine* engine, const std::string& sql,
   return std::move(result).value();
 }
 
-/// Appends one JSON-lines record to BENCH_remote.json in the working
-/// directory, so bench results (wall clock + link traffic) survive the run
-/// and can be diffed across revisions:
-///   {"bench":"...","case":"...","wall_ms":1.23,
-///    "link_stats":{"messages":N,"rows":N,"bytes":N}}
+/// Shared JSON-lines record writer: every bench result file is a sequence of
+///   {"bench":"...","case":"...","wall_ms":1.23,<extra_json>}
+/// records appended to `file` in the working directory, so results survive
+/// the run and can be diffed across revisions. `extra_json` is a
+/// pre-rendered fragment (e.g. "\"key\":{...}"); empty means no extra field.
+inline void AppendJsonRecord(const std::string& file, const std::string& bench,
+                             const std::string& case_name, double wall_ms,
+                             const std::string& extra_json = "") {
+  std::FILE* f = std::fopen(file.c_str(), "a");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\"bench\":\"%s\",\"case\":\"%s\",\"wall_ms\":%.3f",
+               bench.c_str(), case_name.c_str(), wall_ms);
+  if (!extra_json.empty()) std::fprintf(f, ",%s", extra_json.c_str());
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+/// Link-traffic record (historical shape, kept for cross-revision diffs):
+/// appends to BENCH_remote.json with a "link_stats" extra field.
 inline void AppendBenchRecord(const std::string& bench,
                               const std::string& case_name, double wall_ms,
                               const net::LinkStats& stats) {
-  std::FILE* f = std::fopen("BENCH_remote.json", "a");
-  if (f == nullptr) return;
-  std::fprintf(f,
-               "{\"bench\":\"%s\",\"case\":\"%s\",\"wall_ms\":%.3f,"
-               "\"link_stats\":{\"messages\":%lld,\"rows\":%lld,"
-               "\"bytes\":%lld}}\n",
-               bench.c_str(), case_name.c_str(), wall_ms,
-               static_cast<long long>(stats.messages),
-               static_cast<long long>(stats.rows),
-               static_cast<long long>(stats.bytes));
-  std::fclose(f);
+  char extra[160];
+  std::snprintf(extra, sizeof(extra),
+                "\"link_stats\":{\"messages\":%lld,\"rows\":%lld,"
+                "\"bytes\":%lld}",
+                static_cast<long long>(stats.messages),
+                static_cast<long long>(stats.rows),
+                static_cast<long long>(stats.bytes));
+  AppendJsonRecord("BENCH_remote.json", bench, case_name, wall_ms, extra);
+}
+
+/// Metrics-backed record: embeds a full metrics::Registry snapshot so a
+/// bench case's counters/histograms (exec.*, link.*, engine.*) land in the
+/// same record as its wall time. Call metrics::Registry::Global().ResetAll()
+/// before the measured section for a per-case snapshot.
+inline void AppendMetricsRecord(const std::string& file,
+                                const std::string& bench,
+                                const std::string& case_name, double wall_ms) {
+  AppendJsonRecord(file, bench, case_name, wall_ms,
+                   "\"metrics\":" + metrics::Registry::Global().SnapshotJson());
 }
 
 /// Fixture cache: benchmarks with Args() re-enter the same function; heavy

@@ -1,0 +1,52 @@
+#include "src/common/fastclock.h"
+
+#include <atomic>
+
+namespace dhqp {
+namespace fastclock {
+
+#ifdef DHQP_FASTCLOCK_RDTSC
+
+namespace {
+
+struct Anchor {
+  int64_t ticks;
+  int64_t ns;
+  Anchor() : ticks(Ticks()), ns(NowNs()) {}
+};
+
+// Captured at static-init time so the calibration window spans the whole
+// process lifetime by the first conversion.
+const Anchor g_anchor;
+
+// ns-per-tick as a 44.20 fixed-point ratio; 0 = not yet calibrated.
+std::atomic<int64_t> g_ratio_fp{0};
+constexpr int kFpShift = 20;
+
+}  // namespace
+
+int64_t ToNs(int64_t ticks) {
+  if (ticks <= 0) return 0;
+  int64_t ratio = g_ratio_fp.load(std::memory_order_relaxed);
+  if (ratio == 0) {
+    const int64_t dt = Ticks() - g_anchor.ticks;
+    const int64_t dns = NowNs() - g_anchor.ns;
+    if (dt <= 0 || dns <= 0) return ticks;  // Clock misbehaving; give up.
+    ratio = (dns << kFpShift) / dt;
+    if (ratio <= 0) ratio = 1;
+    // Cache only once the window is wide enough to be accurate; earlier
+    // calls recompute (racing stores all write nearly the same value).
+    if (dns >= 100000) g_ratio_fp.store(ratio, std::memory_order_relaxed);
+  }
+  return static_cast<int64_t>(
+      (static_cast<__int128>(ticks) * ratio) >> kFpShift);
+}
+
+#else  // !DHQP_FASTCLOCK_RDTSC
+
+int64_t ToNs(int64_t ticks) { return ticks; }
+
+#endif
+
+}  // namespace fastclock
+}  // namespace dhqp

@@ -1,0 +1,179 @@
+#include "src/common/metrics.h"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+
+namespace dhqp {
+namespace metrics {
+
+namespace {
+
+// Bucket index for v: 0 for v < 1, else 1 + floor(log2(v)) clamped to the
+// last bucket. bit_width(1)=1 -> bucket 1 (range [1,2)), bit_width(2)=2 ->
+// bucket 2 (range [2,4)), etc.
+inline int BucketIndex(int64_t v) {
+  if (v < 1) return 0;
+  int w = std::bit_width(static_cast<uint64_t>(v));
+  return w < Histogram::kBuckets ? w : Histogram::kBuckets - 1;
+}
+
+template <typename T>
+void AtomicStoreMin(std::atomic<T>* a, T v) {
+  T cur = a->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+template <typename T>
+void AtomicStoreMax(std::atomic<T>* a, T v) {
+  T cur = a->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::Observe(int64_t v) {
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  AtomicStoreMin(&min_, v);
+  AtomicStoreMax(&max_, v);
+}
+
+int64_t Histogram::Min() const {
+  int64_t m = min_.load(std::memory_order_relaxed);
+  return m == INT64_MAX ? 0 : m;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(INT64_MAX, std::memory_order_relaxed);
+  max_.store(INT64_MIN, std::memory_order_relaxed);
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // Never destroyed: worker
+  return *registry;                            // threads may outlive main.
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot.reset(new Counter());
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot.reset(new Gauge());
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot.reset(new Histogram());
+  return slot.get();
+}
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out->push_back(c);
+    }
+  }
+}
+
+void AppendKey(std::string* out, const std::string& name) {
+  out->push_back('"');
+  AppendEscaped(out, name);
+  out->append("\":");
+}
+
+void AppendInt(std::string* out, int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string Registry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(1024);
+  out += "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    AppendKey(&out, name);
+    AppendInt(&out, c->Value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    AppendKey(&out, name);
+    AppendInt(&out, g->Value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    AppendKey(&out, name);
+    out += "{\"count\":";
+    AppendInt(&out, h->Count());
+    out += ",\"sum\":";
+    AppendInt(&out, h->Sum());
+    out += ",\"min\":";
+    AppendInt(&out, h->Min());
+    out += ",\"max\":";
+    AppendInt(&out, h->Max() == INT64_MIN ? 0 : h->Max());
+    out += ",\"buckets\":{";
+    bool bfirst = true;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      int64_t n = h->BucketCount(i);
+      if (n == 0) continue;
+      if (!bfirst) out += ",";
+      bfirst = false;
+      // Key is the bucket's exclusive upper bound 2^i ("1" for the v<1
+      // bucket); the last bucket is open-ended, keyed "inf".
+      out.push_back('"');
+      if (i == Histogram::kBuckets - 1) {
+        out += "inf";
+      } else {
+        AppendInt(&out, int64_t{1} << i);
+      }
+      out += "\":";
+      AppendInt(&out, n);
+    }
+    out += "}}";
+  }
+  out += "}}";
+  return out;
+}
+
+void Registry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace metrics
+}  // namespace dhqp

@@ -1,0 +1,100 @@
+#ifndef DHQP_COMMON_METRICS_H_
+#define DHQP_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dhqp {
+namespace metrics {
+
+/// Monotonic counter. Thread-safe; updates are relaxed atomics.
+class Counter {
+ public:
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Histogram with fixed log2 buckets: bucket i counts observations v with
+/// 2^(i-1) <= v < 2^i (bucket 0 takes v <= 0 and v == 1's lower edge, i.e.
+/// v < 1). 64 buckets cover the whole int64 range, so there is no overflow
+/// bucket. Also tracks count/sum/min/max for cheap summary stats.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Observe(int64_t v);
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t Min() const;
+  int64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  int64_t BucketCount(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void Reset();
+
+ private:
+  std::atomic<int64_t> buckets_[kBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> min_{INT64_MAX};
+  std::atomic<int64_t> max_{INT64_MIN};
+};
+
+/// Process-wide registry of named metrics. Get* registers on first use and
+/// returns a stable pointer (instruments are never deallocated while the
+/// registry lives), so hot paths should cache the pointer and touch the
+/// instrument lock-free. Names are conventionally dotted lowercase, e.g.
+/// "link.rsrv.messages", "engine.plan_cache.hit", "exec.rows_from_remote".
+class Registry {
+ public:
+  static Registry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// JSON object with sorted keys:
+  ///   {"counters":{name:value,...},
+  ///    "gauges":{name:value,...},
+  ///    "histograms":{name:{"count":..,"sum":..,"min":..,"max":..,
+  ///                        "buckets":{"<upper>":count,...}},...}}
+  /// Deterministic for a deterministic workload (sorted maps, no
+  /// timestamps).
+  std::string SnapshotJson() const;
+
+  /// Zeroes every instrument but keeps registrations, so cached pointers
+  /// stay valid. For tests/benches that need a clean slate.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace metrics
+}  // namespace dhqp
+
+#endif  // DHQP_COMMON_METRICS_H_

@@ -1,0 +1,156 @@
+#include "src/common/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace dhqp {
+namespace trace {
+
+namespace {
+
+std::atomic<uint32_t> g_next_tid{0};
+thread_local uint32_t t_tid = 0;
+thread_local uint32_t t_depth = 0;
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // Never destroyed: threads may
+  return *tracer;                        // record during static teardown.
+}
+
+uint32_t Tracer::CurrentThreadId() {
+  if (t_tid == 0) {
+    t_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  return t_tid;
+}
+
+uint32_t Tracer::EnterDepth() { return t_depth++; }
+
+void Tracer::LeaveDepth() {
+  if (t_depth > 0) --t_depth;
+}
+
+void Tracer::Enable(size_t capacity) {
+  if (capacity == 0) capacity = kDefaultCapacity;
+  if (capacity != capacity_) {
+    slots_.reset(new SpanRecord[capacity]);
+    committed_.reset(new std::atomic<bool>[capacity]);
+    capacity_ = capacity;
+  }
+  for (size_t i = 0; i < capacity_; ++i) {
+    committed_[i].store(false, std::memory_order_relaxed);
+  }
+  next_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_release); }
+
+void Tracer::Record(const char* name, const char* detail, int64_t start_ns,
+                    int64_t dur_ns, uint32_t depth) {
+  if (capacity_ == 0) return;
+  size_t slot = next_.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    // Park next_ so it cannot wrap around to a valid slot after ~2^64
+    // increments; benign race, every writer stores the same idea.
+    if (slot > capacity_ * 2 + 1024) {
+      next_.store(capacity_, std::memory_order_relaxed);
+    }
+    return;
+  }
+  SpanRecord& rec = slots_[slot];
+  rec.name = name;
+  size_t n = 0;
+  if (detail != nullptr) {
+    while (n < sizeof(rec.detail) - 1 && detail[n] != '\0') {
+      rec.detail[n] = detail[n];
+      ++n;
+    }
+  }
+  rec.detail[n] = '\0';
+  rec.start_ns = start_ns;
+  rec.dur_ns = dur_ns;
+  rec.tid = CurrentThreadId();
+  rec.depth = depth;
+  committed_[slot].store(true, std::memory_order_release);
+}
+
+size_t Tracer::size() const {
+  size_t claimed = next_.load(std::memory_order_relaxed);
+  size_t limit = claimed < capacity_ ? claimed : capacity_;
+  size_t n = 0;
+  for (size_t i = 0; i < limit; ++i) {
+    if (committed_[i].load(std::memory_order_acquire)) ++n;
+  }
+  return n;
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::vector<SpanRecord> out;
+  size_t claimed = next_.load(std::memory_order_relaxed);
+  size_t limit = claimed < capacity_ ? claimed : capacity_;
+  out.reserve(limit);
+  for (size_t i = 0; i < limit; ++i) {
+    if (committed_[i].load(std::memory_order_acquire)) out.push_back(slots_[i]);
+  }
+  return out;
+}
+
+void Tracer::Clear() {
+  for (size_t i = 0; i < capacity_; ++i) {
+    committed_[i].store(false, std::memory_order_relaxed);
+  }
+  next_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+void AppendEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    char c = *s;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+std::string Tracer::DumpChromeJson() const {
+  std::vector<SpanRecord> spans = Snapshot();
+  std::string out;
+  out.reserve(spans.size() * 128 + 64);
+  out += "{\"traceEvents\":[";
+  char buf[160];
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    AppendEscaped(&out, s.name);
+    out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    std::snprintf(buf, sizeof(buf),
+                  "%" PRIu32 ",\"ts\":%.3f,\"dur\":%.3f", s.tid,
+                  s.start_ns / 1000.0, s.dur_ns / 1000.0);
+    out += buf;
+    if (s.detail[0] != '\0') {
+      out += ",\"args\":{\"detail\":\"";
+      AppendEscaped(&out, s.detail);
+      out += "\"}";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace trace
+}  // namespace dhqp

@@ -1,0 +1,139 @@
+#ifndef DHQP_COMMON_TRACE_H_
+#define DHQP_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/fastclock.h"
+
+namespace dhqp {
+namespace trace {
+
+/// One completed span. `name` must point at static-storage text (a string
+/// literal or an OptPhaseName-style table entry): recording stores the
+/// pointer, never copies it. `detail` is a truncated inline copy, so the
+/// hot path stays allocation-free.
+struct SpanRecord {
+  const char* name = "";
+  char detail[48] = {0};
+  int64_t start_ns = 0;
+  int64_t dur_ns = 0;
+  uint32_t tid = 0;    ///< Small per-thread id (assigned on first span).
+  uint32_t depth = 0;  ///< Nesting depth on that thread (0 = top level).
+};
+
+/// Process-wide structured-trace collector: a fixed-capacity span buffer
+/// with a lock-free, zero-allocation record path. Disabled by default; when
+/// disabled a Span costs one relaxed atomic load. When the buffer fills,
+/// further spans are dropped (and counted) rather than wrapping, so slots
+/// are written exactly once — readers can snapshot concurrently with
+/// writers (per-slot release/acquire commit flags keep it race-free).
+///
+/// Enable/Clear re-arm the buffer and must only be called while no spans
+/// are in flight (between queries); Snapshot/DumpChromeJson may run any
+/// time.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  /// Allocates (or re-arms) the buffer and starts recording.
+  void Enable(size_t capacity = kDefaultCapacity);
+  /// Stops recording. The buffer is kept: spans already begun may still
+  /// record safely, and Snapshot/Dump keep working.
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Records one completed span; called by Span's destructor.
+  void Record(const char* name, const char* detail, int64_t start_ns,
+              int64_t dur_ns, uint32_t depth);
+
+  /// Copies out every committed span (unsorted arrival order).
+  std::vector<SpanRecord> Snapshot() const;
+  /// Chrome trace_event JSON ("complete" events, ts/dur in microseconds):
+  /// load the string into chrome://tracing or Perfetto.
+  std::string DumpChromeJson() const;
+
+  int64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  /// Committed span count (may trail in-flight recordings).
+  size_t size() const;
+  /// Forgets all recorded spans; callers must be quiescent (no in-flight
+  /// Span on any thread).
+  void Clear();
+
+  /// Small dense id for the calling thread (1-based, assigned on demand).
+  static uint32_t CurrentThreadId();
+  /// Thread-local nesting depth bookkeeping for Span.
+  static uint32_t EnterDepth();
+  static void LeaveDepth();
+
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<int64_t> dropped_{0};
+  std::atomic<size_t> next_{0};
+  size_t capacity_ = 0;
+  std::unique_ptr<SpanRecord[]> slots_;
+  std::unique_ptr<std::atomic<bool>[]> committed_;
+};
+
+/// RAII span: construction stamps the start, destruction records the
+/// elapsed interval into the global tracer. Near-free when tracing is off.
+/// The name must be a string literal (see SpanRecord); detail is optional
+/// and copied (truncated) only when tracing is on.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (Tracer::Global().enabled()) Begin(name, nullptr, 0);
+  }
+  Span(const char* name, const char* detail) {
+    if (Tracer::Global().enabled()) {
+      Begin(name, detail, detail == nullptr ? 0 : std::strlen(detail));
+    }
+  }
+  Span(const char* name, const std::string& detail) {
+    if (Tracer::Global().enabled()) Begin(name, detail.data(), detail.size());
+  }
+  ~Span() {
+    if (!active_) return;
+    Tracer::LeaveDepth();
+    Tracer::Global().Record(name_, detail_, start_ns_,
+                            fastclock::NowNs() - start_ns_, depth_);
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Renames the span before it records — used to tag an outcome decided
+  /// mid-flight (e.g. "link.attempt" -> "link.attempt.fault").
+  void set_name(const char* name) {
+    if (active_) name_ = name;
+  }
+
+ private:
+  void Begin(const char* name, const char* detail, size_t len) {
+    active_ = true;
+    name_ = name;
+    size_t n = len < sizeof(detail_) - 1 ? len : sizeof(detail_) - 1;
+    if (detail != nullptr && n > 0) std::memcpy(detail_, detail, n);
+    detail_[n] = '\0';
+    depth_ = Tracer::EnterDepth();
+    start_ns_ = fastclock::NowNs();
+  }
+
+  bool active_ = false;
+  const char* name_ = nullptr;
+  char detail_[48];
+  int64_t start_ns_ = 0;
+  uint32_t depth_ = 0;
+};
+
+}  // namespace trace
+}  // namespace dhqp
+
+#endif  // DHQP_COMMON_TRACE_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
 #include "src/connectors/linked_provider.h"
 #include "src/optimizer/normalize.h"
 #include "src/optimizer/optimizer.h"
@@ -153,18 +155,52 @@ Result<QueryResult> Engine::Execute(
 
 Result<QueryResult> Engine::ExecuteInternal(
     const std::string& sql, const std::map<std::string, Value>& params) {
-  DHQP_ASSIGN_OR_RETURN(auto stmt, Parser::Parse(sql));
+  std::unique_ptr<Statement> stmt;
+  {
+    trace::Span span("engine.parse");
+    DHQP_ASSIGN_OR_RETURN(stmt, Parser::Parse(sql));
+  }
   switch (stmt->kind) {
     case Statement::Kind::kSelect: {
+      if (stmt->explain_analyze) {
+        // EXPLAIN ANALYZE SELECT ...: execute with operator profiling
+        // forced on, then render estimated-vs-actual per operator.
+        const bool saved = options_.execution.collect_operator_stats;
+        options_.execution.collect_operator_stats = true;
+        Result<QueryResult> executed =
+            ExecuteSelect(*stmt->select, params, /*execute=*/true, sql);
+        options_.execution.collect_operator_stats = saved;
+        DHQP_RETURN_NOT_OK(executed.status());
+        QueryResult result = std::move(executed).value();
+        if (result.profile == nullptr) {
+          return Status::Internal("EXPLAIN ANALYZE produced no profile");
+        }
+        Schema schema;
+        schema.AddColumn(ColumnDef{"plan", DataType::kString, false});
+        std::vector<Row> rows;
+        std::string text = RenderOperatorProfile(*result.profile);
+        size_t start = 0;
+        while (start < text.size()) {
+          size_t end = text.find('\n', start);
+          if (end == std::string::npos) end = text.size();
+          rows.push_back({Value::String(text.substr(start, end - start))});
+          start = end + 1;
+        }
+        result.rowset = std::make_unique<VectorRowset>(std::move(schema),
+                                                       std::move(rows));
+        return std::move(result);
+      }
       if (stmt->explain) {
-        // EXPLAIN SELECT ...: compile only; the plan renders as text rows.
+        // EXPLAIN SELECT ...: compile only; the plan renders as text rows
+        // with the same pre-order operator ids EXPLAIN ANALYZE uses.
         DHQP_ASSIGN_OR_RETURN(
             QueryResult prepared,
             ExecuteSelect(*stmt->select, params, /*execute=*/false, ""));
         Schema schema;
         schema.AddColumn(ColumnDef{"plan", DataType::kString, false});
         std::vector<Row> rows;
-        std::string text = prepared.plan->ToString();
+        int next_id = 1;
+        std::string text = prepared.plan->ToStringWithIds(0, &next_id);
         size_t start = 0;
         while (start < text.size()) {
           size_t end = text.find('\n', start);
@@ -322,7 +358,8 @@ Result<QueryResult> Engine::Prepare(
 
 Result<std::string> Engine::Explain(const std::string& sql) {
   DHQP_ASSIGN_OR_RETURN(QueryResult prepared, Prepare(sql));
-  std::string out = prepared.plan->ToString();
+  int next_id = 1;
+  std::string out = prepared.plan->ToStringWithIds(0, &next_id);
   out += "phases: " + std::to_string(prepared.opt_stats.phases_run) +
          " (stopped after " + prepared.opt_stats.phase_name + ")";
   out += ", groups: " + std::to_string(prepared.opt_stats.groups);
@@ -332,8 +369,71 @@ Result<std::string> Engine::Explain(const std::string& sql) {
   return out;
 }
 
+// Publishes one query's ExecStats deltas into the process-wide metrics
+// registry ("exec.*"), plus the end-to-end latency histogram. Instrument
+// pointers are resolved once (registrations are permanent).
+static void PublishExecMetrics(const ExecStats& stats, int64_t query_ns) {
+  struct Instruments {
+    metrics::Counter* rows_output;
+    metrics::Counter* rows_from_remote;
+    metrics::Counter* remote_commands;
+    metrics::Counter* remote_opens;
+    metrics::Counter* remote_fetches;
+    metrics::Counter* remote_batches;
+    metrics::Counter* prefetch_stalls;
+    metrics::Counter* startup_skips;
+    metrics::Counter* partitions_opened;
+    metrics::Counter* parallel_branches;
+    metrics::Counter* spool_rescans;
+    metrics::Counter* remote_retries;
+    metrics::Counter* remote_timeouts;
+    metrics::Counter* faults_injected;
+    metrics::Counter* members_skipped;
+    metrics::Histogram* query_ns;
+  };
+  static const Instruments in = [] {
+    metrics::Registry& reg = metrics::Registry::Global();
+    Instruments i;
+    i.rows_output = reg.GetCounter("exec.rows_output");
+    i.rows_from_remote = reg.GetCounter("exec.rows_from_remote");
+    i.remote_commands = reg.GetCounter("exec.remote_commands");
+    i.remote_opens = reg.GetCounter("exec.remote_opens");
+    i.remote_fetches = reg.GetCounter("exec.remote_fetches");
+    i.remote_batches = reg.GetCounter("exec.remote_batches");
+    i.prefetch_stalls = reg.GetCounter("exec.prefetch_stalls");
+    i.startup_skips = reg.GetCounter("exec.startup_skips");
+    i.partitions_opened = reg.GetCounter("exec.partitions_opened");
+    i.parallel_branches = reg.GetCounter("exec.parallel_branches");
+    i.spool_rescans = reg.GetCounter("exec.spool_rescans");
+    i.remote_retries = reg.GetCounter("exec.remote_retries");
+    i.remote_timeouts = reg.GetCounter("exec.remote_timeouts");
+    i.faults_injected = reg.GetCounter("exec.faults_injected");
+    i.members_skipped = reg.GetCounter("exec.members_skipped");
+    i.query_ns = reg.GetHistogram("engine.query_ns");
+    return i;
+  }();
+  in.rows_output->Add(stats.rows_output);
+  in.rows_from_remote->Add(stats.rows_from_remote);
+  in.remote_commands->Add(stats.remote_commands);
+  in.remote_opens->Add(stats.remote_opens);
+  in.remote_fetches->Add(stats.remote_fetches);
+  in.remote_batches->Add(stats.remote_batches);
+  in.prefetch_stalls->Add(stats.prefetch_stalls);
+  in.startup_skips->Add(stats.startup_skips);
+  in.partitions_opened->Add(stats.partitions_opened);
+  in.parallel_branches->Add(stats.parallel_branches);
+  in.spool_rescans->Add(stats.spool_rescans);
+  in.remote_retries->Add(stats.remote_retries);
+  in.remote_timeouts->Add(stats.remote_timeouts);
+  in.faults_injected->Add(stats.faults_injected);
+  in.members_skipped->Add(stats.members_skipped);
+  in.query_ns->Observe(query_ns);
+}
+
 Result<QueryResult> Engine::RunCachedPlan(
     const CachedPlan& cached, const std::map<std::string, Value>& params) {
+  trace::Span span("engine.execute");
+  const int64_t start_ns = fastclock::NowNs();
   ExecContext ectx;
   ectx.catalog = catalog_.get();
   ectx.fulltext = &fulltext_;
@@ -351,6 +451,7 @@ Result<QueryResult> Engine::RunCachedPlan(
   ectx.stats.remote_timeouts =
       std::max<int64_t>(0, after.timeouts - before.timeouts);
   ectx.stats.faults_injected = std::max<int64_t>(0, after.faults - before.faults);
+  PublishExecMetrics(ectx.stats, fastclock::NowNs() - start_ns);
 
   // Align output columns with the statement's select-list order/names (the
   // plan may carry extra hidden columns or a different physical order).
@@ -390,6 +491,7 @@ Result<QueryResult> Engine::RunCachedPlan(
   }
   result.exec_stats = ectx.stats;
   result.warnings = std::move(ectx.warnings);
+  result.profile = std::move(ectx.profile);
   return std::move(result);
 }
 
@@ -417,6 +519,9 @@ Result<QueryResult> Engine::ExecuteSelect(
     auto it = plan_cache_.find(full_key);
     if (it != plan_cache_.end()) {
       if (it->second.schema_version == schema_version_) {
+        metrics::Registry::Global()
+            .GetCounter("engine.plan_cache.hit")
+            ->Increment();
         auto result = RunCachedPlan(it->second, params);
         if (result.ok()) return result;
         // A link failure is not plan staleness: the retry policy already
@@ -433,15 +538,28 @@ Result<QueryResult> Engine::ExecuteSelect(
       plan_cache_.erase(it);
     }
   }
+  if (use_cache) {
+    metrics::Registry::Global()
+        .GetCounter("engine.plan_cache.miss")
+        ->Increment();
+  }
 
   for (int attempt = 0;; ++attempt) {
     Binder binder(catalog_.get());
-    DHQP_ASSIGN_OR_RETURN(BoundStatement bound, binder.BindSelect(stmt));
+    BoundStatement bound;
+    {
+      trace::Span span("engine.bind");
+      DHQP_ASSIGN_OR_RETURN(bound, binder.BindSelect(stmt));
+    }
     OptimizerContext octx = MakeOptimizerContext(bound.registry.get());
-    LogicalOpPtr normalized = Normalize(bound.root, &octx);
-    Optimizer optimizer(&octx);
-    DHQP_ASSIGN_OR_RETURN(OptimizeResult optimized,
-                          optimizer.Optimize(normalized, bound.order_by));
+    OptimizeResult optimized;
+    {
+      trace::Span span("engine.optimize");
+      LogicalOpPtr normalized = Normalize(bound.root, &octx);
+      Optimizer optimizer(&octx);
+      DHQP_ASSIGN_OR_RETURN(optimized,
+                            optimizer.Optimize(normalized, bound.order_by));
+    }
 
     if (!execute) {
       QueryResult result;

@@ -46,6 +46,10 @@ struct QueryResult {
   /// Non-fatal notices (e.g. partitioned-view members skipped under
   /// ExecOptions::skip_unreachable_members). Empty on a clean run.
   std::vector<std::string> warnings;
+  /// Per-operator actual execution stats (the STATISTICS PROFILE analog),
+  /// populated for executed SELECTs when
+  /// ExecOptions::collect_operator_stats is on. Null otherwise.
+  std::shared_ptr<OperatorProfile> profile;
 };
 
 /// One engine instance: "SQL Server" in miniature — local storage engine,

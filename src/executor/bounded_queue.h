@@ -63,6 +63,13 @@ class BoundedQueue {
     return closed_;
   }
 
+  /// Buffered item count — an instantaneous reading for metrics (queue
+  /// depth histograms); it can be stale by the time the caller uses it.
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
   /// Reopens an empty state. Callers must have joined all producers and
   /// consumers first; this is single-threaded by contract.
   void Reset() {

@@ -10,6 +10,7 @@
 
 #include "src/catalog/catalog.h"
 #include "src/executor/eval.h"
+#include "src/executor/profile.h"
 #include "src/fulltext/service.h"
 #include "src/optimizer/physical.h"
 
@@ -64,6 +65,15 @@ struct ExecStats {
   }
 };
 
+// ExecStats is copied field by field above because atomics are not
+// copyable. When adding or removing a counter, update BOTH the copy
+// ctor/operator= and the expected field count here — this guard is what
+// keeps a new counter from silently reading as zero in QueryResult
+// snapshots.
+static_assert(sizeof(ExecStats) == 15 * sizeof(std::atomic<int64_t>),
+              "ExecStats field list changed: update the hand-written copy "
+              "routine and this assert together");
+
 /// Runtime knobs for remote data movement (independent of plan choice, so
 /// not part of the plan-cache key).
 struct ExecOptions {
@@ -85,6 +95,11 @@ struct ExecOptions {
   /// already emitted rows still fails the query — never a silent partial
   /// member. Off by default: partial answers must be opted into.
   bool skip_unreachable_members = false;
+  /// Collect per-operator actual execution stats (rows, wall time, remote
+  /// traffic) into an OperatorProfile tree — the STATISTICS PROFILE analog
+  /// behind EXPLAIN ANALYZE. Cheap (RDTSC-based timing, relaxed atomics)
+  /// but not free; the observability bench measures the overhead.
+  bool collect_operator_stats = true;
 };
 
 /// Shared execution state for one query. Not copyable (warnings_mu);
@@ -101,6 +116,11 @@ struct ExecContext {
   /// workers append concurrently.
   std::mutex warnings_mu;
   std::vector<std::string> warnings;
+  /// Per-operator actual stats tree, populated by BuildExecTree when
+  /// options.collect_operator_stats is set. Shared so QueryResult can keep
+  /// it after the context dies; MUST outlive the exec tree (close times are
+  /// recorded as nodes destruct).
+  std::shared_ptr<OperatorProfile> profile;
 };
 
 /// A Volcano-style executor node: Open() prepares, Next() streams rows,
@@ -120,12 +140,20 @@ class ExecNode {
   virtual Status Restart() = 0;
 
   const PhysicalOp& op() const { return *op_; }
+  /// Shared plan node (the profiling wrapper shares its inner node's op).
+  const PhysicalOpPtr& op_ptr() const { return op_; }
   /// Column-id -> output position.
   const std::map<int, int>& col_pos() const { return col_pos_; }
+
+  /// Attaches this operator occurrence's profile (owned by the context's
+  /// profile tree); remote nodes attribute their link traffic through it.
+  void set_profile(OperatorProfile* profile) { profile_ = profile; }
+  OperatorProfile* profile() const { return profile_; }
 
  protected:
   PhysicalOpPtr op_;
   std::map<int, int> col_pos_;
+  OperatorProfile* profile_ = nullptr;
 };
 
 /// Builds an executable tree from a physical plan.

@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "src/common/metrics.h"
+
 namespace dhqp {
 
 namespace {
@@ -15,12 +17,14 @@ int64_t PrefetchingRowset::live_producers() {
 
 PrefetchingRowset::PrefetchingRowset(std::unique_ptr<Rowset> inner,
                                      const ExecOptions& options,
-                                     ExecStats* stats)
+                                     ExecStats* stats,
+                                     OperatorProfile* profile)
     : inner_(std::move(inner)),
       schema_(inner_->schema()),
       batch_rows_(options.remote_batch_rows > 0 ? options.remote_batch_rows
                                                 : 256),
       stats_(stats),
+      profile_(profile),
       queue_(static_cast<size_t>(
           options.prefetch_queue_depth > 0 ? options.prefetch_queue_depth
                                            : 2)) {
@@ -49,6 +53,12 @@ void PrefetchingRowset::Stop() {
 }
 
 void PrefetchingRowset::ProducerLoop() {
+  // Link traffic on this thread belongs to the operator that owns the
+  // prefetching rowset; the consumer thread's sink cannot see it.
+  net::ScopedChargeSink charge(
+      profile_ != nullptr ? &profile_->link_charges : nullptr);
+  metrics::Histogram* depth =
+      metrics::Registry::Global().GetHistogram("exec.prefetch.queue_depth");
   while (true) {
     RowBatch batch;
     Result<bool> has = inner_->NextBatch(&batch, batch_rows_);
@@ -61,6 +71,8 @@ void PrefetchingRowset::ProducerLoop() {
     }
     if (!*has) break;
     if (stats_ != nullptr) stats_->remote_batches++;
+    if (profile_ != nullptr) profile_->batches++;
+    depth->Observe(static_cast<int64_t>(queue_.size()));
     if (!queue_.Push(std::move(batch))) break;  // Consumer went away.
   }
   queue_.Close();

@@ -24,11 +24,14 @@ namespace dhqp {
 /// consumer's Result<> once buffered batches are drained.
 class PrefetchingRowset : public Rowset {
  public:
-  /// `stats` may be null (no counter reporting). Starts the producer
-  /// immediately; the first batches are usually in flight before the
-  /// consumer asks for the first row.
+  /// `stats` and `profile` may be null (no counter reporting / no operator
+  /// attribution). When `profile` is set, the producer thread installs its
+  /// link-charge sink — so remote traffic paid on the producer's behalf is
+  /// attributed to the owning operator — and counts batches into it. Starts
+  /// the producer immediately; the first batches are usually in flight
+  /// before the consumer asks for the first row.
   PrefetchingRowset(std::unique_ptr<Rowset> inner, const ExecOptions& options,
-                    ExecStats* stats);
+                    ExecStats* stats, OperatorProfile* profile = nullptr);
   ~PrefetchingRowset() override;
 
   PrefetchingRowset(const PrefetchingRowset&) = delete;
@@ -63,6 +66,7 @@ class PrefetchingRowset : public Rowset {
   Schema schema_;  ///< Copied: schema() must not race with the producer.
   int batch_rows_;
   ExecStats* stats_;
+  OperatorProfile* profile_;
 
   BoundedQueue<RowBatch> queue_;
   std::thread producer_;

@@ -1,0 +1,66 @@
+#include "src/executor/profile.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace dhqp {
+
+namespace {
+
+void RenderInto(const OperatorProfile& p, int indent, std::string* out) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "#%d ", p.id);
+  out->append(buf);
+  out->append(p.name);
+  std::snprintf(buf, sizeof(buf),
+                "  [est_rows=%.1f act_rows=%" PRId64 " time_ms=%.3f opens=%"
+                PRId64,
+                p.estimated_rows, p.rows_out.load(), p.total_ns() / 1e6,
+                p.opens.load());
+  out->append(buf);
+  if (int64_t r = p.restarts.load(); r > 0) {
+    std::snprintf(buf, sizeof(buf), " restarts=%" PRId64, r);
+    out->append(buf);
+  }
+  if (!p.link.empty()) {
+    const net::LinkChargeSink& c = p.link_charges;
+    std::snprintf(buf, sizeof(buf), " link=%s msgs=%" PRId64,
+                  p.link.c_str(), c.messages.load());
+    out->append(buf);
+    if (int64_t rows = c.rows.load(); rows > 0) {
+      std::snprintf(buf, sizeof(buf), " wire_rows=%" PRId64, rows);
+      out->append(buf);
+    }
+    if (int64_t b = p.batches.load(); b > 0) {
+      std::snprintf(buf, sizeof(buf), " batches=%" PRId64, b);
+      out->append(buf);
+    }
+    if (int64_t r = c.retries.load(); r > 0) {
+      std::snprintf(buf, sizeof(buf), " retries=%" PRId64, r);
+      out->append(buf);
+    }
+    if (int64_t t = c.timeouts.load(); t > 0) {
+      std::snprintf(buf, sizeof(buf), " timeouts=%" PRId64, t);
+      out->append(buf);
+    }
+    if (int64_t f = c.faults.load(); f > 0) {
+      std::snprintf(buf, sizeof(buf), " faults=%" PRId64, f);
+      out->append(buf);
+    }
+  }
+  out->append("]\n");
+  for (const auto& child : p.children) {
+    RenderInto(*child, indent + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string RenderOperatorProfile(const OperatorProfile& profile) {
+  std::string out;
+  RenderInto(profile, 0, &out);
+  return out;
+}
+
+}  // namespace dhqp

@@ -1,0 +1,65 @@
+#ifndef DHQP_EXECUTOR_PROFILE_H_
+#define DHQP_EXECUTOR_PROFILE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/fastclock.h"
+#include "src/net/network.h"
+
+namespace dhqp {
+
+/// Actual execution statistics for one operator occurrence in an exec tree
+/// — the SET STATISTICS PROFILE analog. The tree mirrors the physical plan
+/// (one node per operator occurrence; memo winners can share PhysicalOp
+/// subplans, so profiles hang off the exec tree, not the plan). Counters
+/// are atomic: parallel Concat branches and prefetch producer threads
+/// update an operator's profile concurrently with the consumer. Times are
+/// accumulated in fastclock ticks (cheap per-row) and converted to ns on
+/// read; they are *inclusive* — a parent's Next time contains its
+/// children's, like Showplan subtree costs. Next-call time is *sampled*
+/// (1-in-N calls timed, scaled back up at flush), so `next_ticks` is an
+/// estimate; row/open/restart counts are always exact.
+struct OperatorProfile {
+  int id = 0;                ///< Pre-order operator id; matches EXPLAIN.
+  std::string name;          ///< PhysicalOp::Describe() snapshot.
+  std::string link;          ///< Linked-server name for remote ops.
+  double estimated_rows = 0;
+  double estimated_cost = 0;
+
+  std::atomic<int64_t> rows_out{0};
+  std::atomic<int64_t> batches{0};   ///< Remote block fetches delivered here.
+  std::atomic<int64_t> opens{0};
+  std::atomic<int64_t> restarts{0};  ///< Rescans (rewinds) of this operator.
+  std::atomic<int64_t> open_ticks{0};
+  std::atomic<int64_t> next_ticks{0};
+  std::atomic<int64_t> close_ticks{0};
+
+  /// Link traffic attributed to this operator (installed as the calling
+  /// thread's charge sink around remote operator calls).
+  net::LinkChargeSink link_charges;
+
+  std::vector<std::unique_ptr<OperatorProfile>> children;
+
+  int64_t open_ns() const { return fastclock::ToNs(open_ticks.load()); }
+  int64_t next_ns() const { return fastclock::ToNs(next_ticks.load()); }
+  int64_t close_ns() const { return fastclock::ToNs(close_ticks.load()); }
+  /// Inclusive wall time across open + next + close.
+  int64_t total_ns() const {
+    return fastclock::ToNs(open_ticks.load() + next_ticks.load() +
+                           close_ticks.load());
+  }
+};
+
+/// EXPLAIN ANALYZE rendering: one line per operator,
+///   `#<id> <name>  [est_rows=.. act_rows=.. time_ms=.. opens=..]`
+/// plus restart, remote-link (link=/msgs=/batches=/retries=/timeouts=) and
+/// wire-row annotations where they apply.
+std::string RenderOperatorProfile(const OperatorProfile& profile);
+
+}  // namespace dhqp
+
+#endif  // DHQP_EXECUTOR_PROFILE_H_

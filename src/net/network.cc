@@ -2,8 +2,26 @@
 
 #include <thread>
 
+#include "src/common/trace.h"
+
 namespace dhqp {
 namespace net {
+
+namespace {
+// The calling thread's traffic-attribution target; see LinkChargeSink.
+thread_local LinkChargeSink* t_charge_sink = nullptr;
+}  // namespace
+
+ScopedChargeSink::ScopedChargeSink(LinkChargeSink* sink) {
+  if (sink == nullptr) return;
+  prev_ = t_charge_sink;
+  t_charge_sink = sink;
+  installed_ = true;
+}
+
+ScopedChargeSink::~ScopedChargeSink() {
+  if (installed_) t_charge_sink = prev_;
+}
 
 void Link::Delay(double microseconds) {
   if (!enforce_ || microseconds <= 0) return;
@@ -22,6 +40,13 @@ void Link::Delay(double microseconds) {
 void Link::ChargeMessage(size_t bytes) {
   messages_.fetch_add(1, std::memory_order_relaxed);
   bytes_.fetch_add(static_cast<int64_t>(bytes), std::memory_order_relaxed);
+  m_messages_->Increment();
+  m_bytes_->Add(static_cast<int64_t>(bytes));
+  if (LinkChargeSink* sink = t_charge_sink) {
+    sink->messages.fetch_add(1, std::memory_order_relaxed);
+    sink->bytes.fetch_add(static_cast<int64_t>(bytes),
+                          std::memory_order_relaxed);
+  }
   Delay(latency_us_ + us_per_kb_ * static_cast<double>(bytes) / 1024.0);
 }
 
@@ -29,55 +54,92 @@ Status Link::SendMessage(size_t bytes) {
   FaultInjector* injector = injector_.load(std::memory_order_acquire);
   if (injector == nullptr) {
     // Happy path without a fault model: identical cost to ChargeMessage.
+    trace::Span span("link.send", name_.c_str());
     ChargeMessage(bytes);
     return Status::OK();
   }
+  trace::Span send_span("link.send", name_.c_str());
   const RetryPolicy policy = retry_policy_;
   const int max_attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
   const double wire_us =
       latency_us_ + us_per_kb_ * static_cast<double>(bytes) / 1024.0;
   double backoff_us = policy.backoff_us;
+  LinkChargeSink* sink = t_charge_sink;
   Status last = Status::OK();
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     FaultInjector::Decision d = injector->OnMessage();
     // Every attempt is a round trip on the wire, delivered or not.
     messages_.fetch_add(1, std::memory_order_relaxed);
     bytes_.fetch_add(static_cast<int64_t>(bytes), std::memory_order_relaxed);
-    switch (d.kind) {
-      case FaultKind::kNone:
-      case FaultKind::kLatency: {
-        const double total_us = wire_us + d.extra_latency_us;
-        if (d.kind == FaultKind::kLatency && policy.deadline_us > 0 &&
-            total_us > policy.deadline_us) {
-          // The response would arrive past the deadline: the consumer gives
-          // up at deadline_us and treats the message as lost.
-          Delay(policy.deadline_us);
-          timeouts_.fetch_add(1, std::memory_order_relaxed);
-          faults_.fetch_add(1, std::memory_order_relaxed);
-          last = Status::NetworkError("linked server '" + name_ +
-                                      "': message timed out");
-          break;
+    m_messages_->Increment();
+    m_bytes_->Add(static_cast<int64_t>(bytes));
+    if (sink != nullptr) {
+      sink->messages.fetch_add(1, std::memory_order_relaxed);
+      sink->bytes.fetch_add(static_cast<int64_t>(bytes),
+                            std::memory_order_relaxed);
+    }
+    {
+      // Per-attempt span, renamed to carry the fault attribution when the
+      // attempt does not deliver ("link.attempt" -> timeout/fault/down).
+      trace::Span attempt_span("link.attempt", name_.c_str());
+      switch (d.kind) {
+        case FaultKind::kNone:
+        case FaultKind::kLatency: {
+          const double total_us = wire_us + d.extra_latency_us;
+          if (d.kind == FaultKind::kLatency && policy.deadline_us > 0 &&
+              total_us > policy.deadline_us) {
+            // The response would arrive past the deadline: the consumer
+            // gives up at deadline_us and treats the message as lost.
+            attempt_span.set_name("link.timeout");
+            Delay(policy.deadline_us);
+            timeouts_.fetch_add(1, std::memory_order_relaxed);
+            faults_.fetch_add(1, std::memory_order_relaxed);
+            m_timeouts_->Increment();
+            m_faults_->Increment();
+            if (sink != nullptr) {
+              sink->timeouts.fetch_add(1, std::memory_order_relaxed);
+              sink->faults.fetch_add(1, std::memory_order_relaxed);
+            }
+            last = Status::NetworkError("linked server '" + name_ +
+                                        "': message timed out");
+            break;
+          }
+          Delay(total_us);
+          return Status::OK();
         }
-        Delay(total_us);
-        return Status::OK();
+        case FaultKind::kTransient:
+          // A dropped message still costs the full round trip before the
+          // sender concludes it was lost.
+          attempt_span.set_name("link.fault");
+          Delay(wire_us);
+          faults_.fetch_add(1, std::memory_order_relaxed);
+          m_faults_->Increment();
+          if (sink != nullptr) {
+            sink->faults.fetch_add(1, std::memory_order_relaxed);
+          }
+          last = Status::NetworkError("linked server '" + name_ +
+                                      "': message dropped");
+          break;
+        case FaultKind::kLinkDown:
+          // Permanent failure: retrying cannot help, fail fast so the
+          // caller can tear the session down.
+          attempt_span.set_name("link.down");
+          faults_.fetch_add(1, std::memory_order_relaxed);
+          m_faults_->Increment();
+          if (sink != nullptr) {
+            sink->faults.fetch_add(1, std::memory_order_relaxed);
+          }
+          return Status::NetworkError("linked server '" + name_ +
+                                      "' is unreachable (link down)");
       }
-      case FaultKind::kTransient:
-        // A dropped message still costs the full round trip before the
-        // sender concludes it was lost.
-        Delay(wire_us);
-        faults_.fetch_add(1, std::memory_order_relaxed);
-        last = Status::NetworkError("linked server '" + name_ +
-                                    "': message dropped");
-        break;
-      case FaultKind::kLinkDown:
-        // Permanent failure: retrying cannot help, fail fast so the caller
-        // can tear the session down.
-        faults_.fetch_add(1, std::memory_order_relaxed);
-        return Status::NetworkError("linked server '" + name_ +
-                                    "' is unreachable (link down)");
     }
     if (attempt < max_attempts) {
       retries_.fetch_add(1, std::memory_order_relaxed);
+      m_retries_->Increment();
+      if (sink != nullptr) {
+        sink->retries.fetch_add(1, std::memory_order_relaxed);
+      }
+      trace::Span backoff_span("link.backoff", name_.c_str());
       Delay(backoff_us);
       backoff_us *= policy.backoff_multiplier;
       if (backoff_us > policy.max_backoff_us) backoff_us = policy.max_backoff_us;
@@ -91,6 +153,13 @@ Status Link::SendMessage(size_t bytes) {
 void Link::ChargeRows(int64_t n, size_t bytes) {
   rows_.fetch_add(n, std::memory_order_relaxed);
   bytes_.fetch_add(static_cast<int64_t>(bytes), std::memory_order_relaxed);
+  m_rows_->Add(n);
+  m_bytes_->Add(static_cast<int64_t>(bytes));
+  if (LinkChargeSink* sink = t_charge_sink) {
+    sink->rows.fetch_add(n, std::memory_order_relaxed);
+    sink->bytes.fetch_add(static_cast<int64_t>(bytes),
+                          std::memory_order_relaxed);
+  }
   Delay(us_per_kb_ * static_cast<double>(bytes) / 1024.0);
 }
 

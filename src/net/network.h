@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 
+#include "src/common/metrics.h"
 #include "src/net/fault.h"
 #include "src/provider/provider.h"
 
@@ -25,6 +26,39 @@ struct LinkStats {
   int64_t faults = 0;    ///< Attempts that failed due to an injected fault.
 };
 
+/// Attribution target for link traffic: whatever sink is installed on the
+/// *calling thread* when a Link charges a message/rows also receives the
+/// charge. The executor installs the owning operator's sink around remote
+/// operator calls (and the prefetch producer installs it for its loop), so
+/// per-operator profiles see exactly the traffic — including retries,
+/// timeouts, and injected faults — their subtree caused, even though links
+/// are shared across operators and queries. Atomics: several threads
+/// (consumer + producer) can charge the same operator's sink concurrently.
+struct LinkChargeSink {
+  std::atomic<int64_t> messages{0};
+  std::atomic<int64_t> rows{0};
+  std::atomic<int64_t> bytes{0};
+  std::atomic<int64_t> retries{0};
+  std::atomic<int64_t> timeouts{0};
+  std::atomic<int64_t> faults{0};
+};
+
+/// RAII installer for the calling thread's LinkChargeSink. Nesting works:
+/// the innermost installed sink wins (exactly the operator doing the remote
+/// call), and the previous sink is restored on destruction. A null sink is
+/// a no-op.
+class ScopedChargeSink {
+ public:
+  explicit ScopedChargeSink(LinkChargeSink* sink);
+  ~ScopedChargeSink();
+  ScopedChargeSink(const ScopedChargeSink&) = delete;
+  ScopedChargeSink& operator=(const ScopedChargeSink&) = delete;
+
+ private:
+  LinkChargeSink* prev_ = nullptr;
+  bool installed_ = false;
+};
+
 /// A simulated network link between the DHQP host and one linked server.
 /// Counts traffic, and optionally enforces real delays (spin-wait with
 /// microsecond resolution) so wall-clock benchmarks reflect network shape at
@@ -39,7 +73,17 @@ class Link {
       : name_(std::move(name)),
         latency_us_(latency_us),
         us_per_kb_(us_per_kb),
-        enforce_(enforce_delays) {}
+        enforce_(enforce_delays) {
+    // Mirror the per-link counters into the process-wide metrics registry
+    // ("link.<name>.*"); pointers are stable, so charging stays lock-free.
+    metrics::Registry& reg = metrics::Registry::Global();
+    m_messages_ = reg.GetCounter("link." + name_ + ".messages");
+    m_rows_ = reg.GetCounter("link." + name_ + ".rows");
+    m_bytes_ = reg.GetCounter("link." + name_ + ".bytes");
+    m_retries_ = reg.GetCounter("link." + name_ + ".retries");
+    m_timeouts_ = reg.GetCounter("link." + name_ + ".timeouts");
+    m_faults_ = reg.GetCounter("link." + name_ + ".faults");
+  }
 
   const std::string& name() const { return name_; }
   /// Per-counter-atomic snapshot. Each field is read atomically, but the
@@ -122,6 +166,12 @@ class Link {
   std::atomic<int64_t> retries_{0};
   std::atomic<int64_t> timeouts_{0};
   std::atomic<int64_t> faults_{0};
+  metrics::Counter* m_messages_ = nullptr;
+  metrics::Counter* m_rows_ = nullptr;
+  metrics::Counter* m_bytes_ = nullptr;
+  metrics::Counter* m_retries_ = nullptr;
+  metrics::Counter* m_timeouts_ = nullptr;
+  metrics::Counter* m_faults_ = nullptr;
 };
 
 /// Wraps a rowset so that rows streaming through it are charged to a link

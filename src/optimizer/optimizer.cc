@@ -4,6 +4,7 @@
 #include <optional>
 #include <set>
 
+#include "src/common/trace.h"
 #include "src/optimizer/cardinality.h"
 
 namespace dhqp {
@@ -170,6 +171,8 @@ Result<OptimizeResult> Optimizer::Optimize(
   OptimizeResult result;
   Winner final;
   for (OptPhase phase : phases) {
+    // Per-phase span (OptPhaseName returns static storage, safe to keep).
+    trace::Span phase_span("optimizer.phase", OptPhaseName(phase));
     phase_ = phase;
     remotable_cache_.clear();
     // Winners found with a smaller rule set are re-derived so new

@@ -125,6 +125,23 @@ std::string PhysicalOp::ToString(int indent) const {
   return out;
 }
 
+std::string PhysicalOp::ToStringWithIds(int indent, int* next_id) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "#%d ", (*next_id)++);
+  std::string out = pad + buf + Describe();
+  std::snprintf(buf, sizeof(buf), "  [rows=%.1f cost=%.1f]", estimated_rows,
+                estimated_cost);
+  out += buf;
+  out += "\n";
+  // Pre-order ids: a shared subplan (memo winner reused under two parents)
+  // gets a distinct id per occurrence, matching the exec-tree profiles.
+  for (const PhysicalOpPtr& child : children) {
+    out += child->ToStringWithIds(indent + 1, next_id);
+  }
+  return out;
+}
+
 PhysicalOpBuilder NewPhysicalOp(PhysicalOpKind kind) {
   auto op = std::make_shared<PhysicalOp>();
   op->kind = kind;

@@ -121,6 +121,12 @@ struct PhysicalOp {
   /// Indented EXPLAIN-style rendering with row/cost annotations.
   std::string ToString(int indent = 0) const;
 
+  /// Like ToString, prefixed with stable pre-order operator ids ("#1 ...")
+  /// that match the ids EXPLAIN ANALYZE assigns to its profile tree, so
+  /// estimated and actual renderings line up operator by operator.
+  /// `next_id` is advanced in pre-order (pass an int initialized to 1).
+  std::string ToStringWithIds(int indent, int* next_id) const;
+
   /// Single-line operator description (payload summary).
   std::string Describe() const;
 };

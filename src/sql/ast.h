@@ -179,6 +179,10 @@ struct Statement {
   std::unique_ptr<DropStatement> drop;
   /// EXPLAIN prefix: compile the SELECT and return its plan as text.
   bool explain = false;
+  /// EXPLAIN ANALYZE: execute the SELECT and return the plan annotated
+  /// with per-operator actual stats (estimated vs actual rows, wall time,
+  /// remote traffic). Implies `explain`.
+  bool explain_analyze = false;
 };
 
 }  // namespace dhqp

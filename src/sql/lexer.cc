@@ -23,7 +23,7 @@ const std::unordered_set<std::string>& Keywords() {
       "COUNT",  "SUM",      "AVG",      "MIN",      "MAX",      "CASE",
       "WHEN",   "THEN",     "ELSE",     "END",      "CAST",     "CROSS",
       "OPENQUERY", "DELETE", "UPDATE",  "SET",      "DROP",     "SEMI",
-      "EXPLAIN",
+      "EXPLAIN", "ANALYZE",
       "ANTI",
   };
   return *kKeywords;

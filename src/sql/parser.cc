@@ -117,12 +117,15 @@ Status Parser::ErrorHere(const std::string& message) const {
 Result<std::unique_ptr<Statement>> Parser::ParseStatement() {
   if (Peek().IsKeyword("EXPLAIN")) {
     Advance();
+    const bool analyze = MatchKeyword("ANALYZE");
     if (!Peek().IsKeyword("SELECT")) {
-      return ErrorHere("EXPLAIN supports SELECT statements");
+      return ErrorHere(analyze ? "EXPLAIN ANALYZE supports SELECT statements"
+                               : "EXPLAIN supports SELECT statements");
     }
     auto stmt = std::make_unique<Statement>();
     stmt->kind = Statement::Kind::kSelect;
     stmt->explain = true;
+    stmt->explain_analyze = analyze;
     DHQP_ASSIGN_OR_RETURN(stmt->select, ParseSelectStatement());
     return std::move(stmt);
   }
