@@ -1,0 +1,145 @@
+// Experiment E13 companion — what does the query store cost, and what does
+// reading the DMVs cost? Reuses the observability workload (large remote
+// scan, zero link latency so wall time is pure engine CPU):
+//   1. store_off — EngineOptions::enable_query_store = false. The floor.
+//   2. store_on — the default production shape: every statement is
+//      fingerprinted and recorded into the ring + aggregates. Acceptance
+//      bar: <=5% over the floor; the binary EXITS NON-ZERO above it, so the
+//      ctest wiring turns a regression into a test failure.
+//   3. dmv_scan — scanning sys..dm_exec_query_stats with a saturated store
+//      (capacity-full ring), the introspection read path itself.
+// Each case appends a metrics-snapshot-backed record to BENCH_dmv.json via
+// the shared bench_util writer.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "src/common/metrics.h"
+
+namespace dhqp {
+
+namespace {
+
+std::unique_ptr<bench::HostWithRemote> BuildDmvBench(const std::string&) {
+  auto fx = bench::MakeHostWithRemote("rsrv", /*latency_us=*/0);
+  bench::MustRun(fx->remote.get(),
+                 "CREATE TABLE t (id INT PRIMARY KEY, v INT)");
+  for (int base = 0; base < 20000; base += 5000) {
+    std::string sql = "INSERT INTO t VALUES ";
+    for (int i = base; i < base + 5000; ++i) {
+      if (i != base) sql += ",";
+      sql += "(" + std::to_string(i) + "," + std::to_string(i % 97) + ")";
+    }
+    bench::MustRun(fx->remote.get(), sql);
+  }
+  return fx;
+}
+
+constexpr const char* kQuery = "SELECT id, v FROM rsrv.d.s.t";
+constexpr double kMaxOverheadPct = 5.0;
+
+double OneRunMs(Engine* host, const char* sql) {
+  auto start = std::chrono::steady_clock::now();
+  QueryResult r = bench::MustRun(host, sql);
+  double ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  benchmark::DoNotOptimize(r);
+  return ms;
+}
+
+// Min-of-N wall time with store-on and store-off interleaved run-by-run, so
+// machine-load drift hits both sides equally (same paired-minima estimator
+// bench_observability uses for its instrumentation gate).
+void MeasureStorePairMs(bench::HostWithRemote* fx, double* on_ms,
+                        double* off_ms, int reps = 20) {
+  *on_ms = 1e300;
+  *off_ms = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    fx->host->options()->enable_query_store = true;
+    *on_ms = std::min(*on_ms, OneRunMs(fx->host.get(), kQuery));
+    fx->host->options()->enable_query_store = false;
+    *off_ms = std::min(*off_ms, OneRunMs(fx->host.get(), kQuery));
+  }
+  fx->host->options()->enable_query_store = true;
+}
+
+void BM_Dmv_QueryStoreOff(benchmark::State& state) {
+  auto* fx = bench::CachedFixture<bench::HostWithRemote>("dmv", BuildDmvBench);
+  fx->host->options()->enable_query_store = false;
+  for (auto _ : state) {
+    QueryResult r = bench::MustRun(fx->host.get(), kQuery);
+    benchmark::DoNotOptimize(r);
+  }
+  fx->host->options()->enable_query_store = true;
+
+  metrics::Registry::Global().ResetAll();
+  double on_ms, off_ms;
+  MeasureStorePairMs(fx, &on_ms, &off_ms);
+  bench::AppendMetricsRecord("BENCH_dmv.json", "dmv", "store_off", off_ms);
+}
+
+void BM_Dmv_QueryStoreOn(benchmark::State& state) {
+  auto* fx = bench::CachedFixture<bench::HostWithRemote>("dmv", BuildDmvBench);
+  for (auto _ : state) {
+    QueryResult r = bench::MustRun(fx->host.get(), kQuery);
+    benchmark::DoNotOptimize(r);
+  }
+
+  metrics::Registry::Global().ResetAll();
+  double on_ms, off_ms;
+  MeasureStorePairMs(fx, &on_ms, &off_ms);
+  double overhead_pct =
+      off_ms > 0 ? (on_ms - off_ms) / off_ms * 100.0 : 0.0;
+  state.counters["overhead_pct"] = overhead_pct;
+  bench::AppendMetricsRecord("BENCH_dmv.json", "dmv", "store_on", on_ms);
+
+  // The acceptance gate: recording every statement must stay within 5% of
+  // the uninstrumented floor on a workload whose statements actually move
+  // data. Exit hard so the ctest entry fails loudly on a regression.
+  if (overhead_pct > kMaxOverheadPct) {
+    std::fprintf(stderr,
+                 "FAIL: query-store overhead %.2f%% exceeds %.2f%% "
+                 "(store_on %.3f ms vs store_off %.3f ms)\n",
+                 overhead_pct, kMaxOverheadPct, on_ms, off_ms);
+    std::exit(1);
+  }
+}
+
+// The read path: one full scan of dm_exec_query_stats + dm_link_stats with
+// the ring saturated (capacity defaults to 256; the fixture has run far
+// more statements than that by the time this case executes).
+void BM_Dmv_ScanQueryStats(benchmark::State& state) {
+  auto* fx = bench::CachedFixture<bench::HostWithRemote>("dmv", BuildDmvBench);
+  // Saturate the ring with distinct-literal statements (one fingerprint
+  // family, 300 records) so the scan pays full-ring cost.
+  for (int i = 0; i < 300; ++i) {
+    bench::MustRun(fx->host.get(),
+                   "SELECT id FROM rsrv.d.s.t WHERE id = " + std::to_string(i));
+  }
+  const char* scan =
+      "SELECT fingerprint, executions, rows FROM sys..dm_exec_query_stats";
+  for (auto _ : state) {
+    QueryResult r = bench::MustRun(fx->host.get(), scan);
+    benchmark::DoNotOptimize(r);
+  }
+
+  metrics::Registry::Global().ResetAll();
+  double best = 1e300;
+  for (int i = 0; i < 20; ++i) {
+    best = std::min(best, OneRunMs(fx->host.get(), scan));
+  }
+  bench::AppendMetricsRecord("BENCH_dmv.json", "dmv", "dmv_scan", best);
+}
+
+BENCHMARK(BM_Dmv_QueryStoreOff)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Dmv_QueryStoreOn)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Dmv_ScanQueryStats)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dhqp
+
+BENCHMARK_MAIN();

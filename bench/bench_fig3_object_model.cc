@@ -22,7 +22,7 @@ std::unique_ptr<HostWithRemote> BuildPair(const std::string&) {
 // CoCreateInstance through IRowset).
 void BM_Fig3_FullLifecycle(benchmark::State& state) {
   auto* pair = bench::CachedFixture<HostWithRemote>("pair", BuildPair);
-  DataSource* source = pair->host->catalog()->ServerSource(0);
+  DataSource* source = *pair->host->catalog()->GetLinkedServer("rsrv");
   for (auto _ : state) {
     auto session = source->CreateSession();
     auto command = (*session)->CreateCommand();
@@ -38,7 +38,7 @@ BENCHMARK(BM_Fig3_FullLifecycle);
 // simple providers offer).
 void BM_Fig3_OpenRowset(benchmark::State& state) {
   auto* pair = bench::CachedFixture<HostWithRemote>("pair", BuildPair);
-  DataSource* source = pair->host->catalog()->ServerSource(0);
+  DataSource* source = *pair->host->catalog()->GetLinkedServer("rsrv");
   auto session = source->CreateSession();
   for (auto _ : state) {
     auto rowset = (*session)->OpenRowset("t");

@@ -16,14 +16,19 @@ Catalog::Catalog(StorageEngine* storage) : storage_(storage) {
 }
 
 Status Catalog::AddLinkedServer(const std::string& name,
-                                std::shared_ptr<DataSource> source) {
+                                std::shared_ptr<DataSource> source,
+                                bool reserved) {
   std::string key = ToLowerCopy(name);
+  if (!reserved && key == kSysServerName) {
+    return Status::InvalidArgument(
+        "linked server name 'sys' is reserved for the engine's system views");
+  }
   if (server_ids_.count(key) > 0) {
     return Status::AlreadyExists("linked server '" + name +
                                  "' already exists");
   }
   server_ids_[key] = static_cast<int>(servers_.size());
-  servers_.push_back(ServerEntry{name, std::move(source), nullptr});
+  servers_.push_back(ServerEntry{name, std::move(source), nullptr, reserved});
   return Status::OK();
 }
 
@@ -84,7 +89,19 @@ void Catalog::DropSession(int source_id) {
 
 void Catalog::DropRemoteSessions() {
   std::lock_guard<std::mutex> lock(session_mu_);
-  for (ServerEntry& entry : servers_) entry.session.reset();
+  // The reserved system source is in-process (no link to tear down), and a
+  // concurrent DMV scan may be holding its session — leave it alone.
+  for (ServerEntry& entry : servers_) {
+    if (!entry.reserved) entry.session.reset();
+  }
+}
+
+Result<Session*> Catalog::SystemSession() {
+  auto it = server_ids_.find(kSysServerName);
+  if (it == server_ids_.end()) {
+    return Status::NotFound("no system-view source registered");
+  }
+  return GetSession(it->second);
 }
 
 Status Catalog::CreateView(const std::string& name, const std::string& sql) {
@@ -110,15 +127,45 @@ Status Catalog::DropView(const std::string& name) {
 
 Result<ResolvedTable> Catalog::ResolveTable(const ObjectName& name,
                                             bool refresh) {
-  ResolvedTable out;
   if (!name.has_server()) {
-    DHQP_ASSIGN_OR_RETURN(Table * t, storage_->GetTable(name.table));
-    out.source_id = kLocalSource;
-    out.metadata = t->Metadata();
-    out.caps = local_source_->capabilities();
-    out.checks = out.metadata.checks;
-    return out;
+    // `sys..dm_x` / `sys.dm_x`: a catalog or schema part naming the
+    // reserved system source routes there directly — SQL Server's sys
+    // schema spelled through the provider model.
+    const bool sys_qualified = EqualsIgnoreCase(name.catalog, kSysServerName) ||
+                               EqualsIgnoreCase(name.schema, kSysServerName);
+    if (sys_qualified) return ResolveViaSystemSource(name.table, refresh);
+    auto local = storage_->GetTable(name.table);
+    if (local.ok()) {
+      ResolvedTable out;
+      out.source_id = kLocalSource;
+      out.metadata = (*local)->Metadata();
+      out.caps = local_source_->capabilities();
+      out.checks = out.metadata.checks;
+      return out;
+    }
+    // Not a local table: a bare DMV name (the shape decoded remote sys
+    // queries arrive in) still resolves if the system source exposes it.
+    auto via_sys = ResolveViaSystemSource(name.table, refresh);
+    if (via_sys.ok()) return via_sys;
+    return local.status();
   }
+  return ResolveRemote(name, refresh);
+}
+
+Result<ResolvedTable> Catalog::ResolveViaSystemSource(const std::string& table,
+                                                      bool refresh) {
+  if (server_ids_.count(kSysServerName) == 0) {
+    return Status::NotFound("no system-view source registered");
+  }
+  ObjectName sys_name;
+  sys_name.server = kSysServerName;
+  sys_name.table = table;
+  return ResolveRemote(sys_name, refresh);
+}
+
+Result<ResolvedTable> Catalog::ResolveRemote(const ObjectName& name,
+                                             bool refresh) {
+  ResolvedTable out;
   DHQP_ASSIGN_OR_RETURN(int id, GetLinkedServerId(name.server));
   out.source_id = id;
   out.server_name = ServerName(id);

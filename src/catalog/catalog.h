@@ -39,6 +39,12 @@ struct ViewDef {
 /// engine, otherwise the linked-server ordinal.
 constexpr int kLocalSource = -1;
 
+/// Reserved linked-server name under which every Engine auto-registers its
+/// system-view (DMV) provider. `sys..dm_link_stats` — or, through a
+/// four-part name, `shard1.sys..dm_link_stats` — resolves here; user
+/// AddLinkedServer calls may not claim the name.
+inline constexpr const char kSysServerName[] = "sys";
+
 /// Everything the binder/optimizer need to know about a resolved table:
 /// where it lives, its shape/cardinality/indexes, CHECK-constraint domains,
 /// and the owning provider's capabilities.
@@ -64,8 +70,11 @@ class Catalog {
 
   /// @name Linked servers (§2.1).
   ///@{
+  /// `reserved` is only set by the engine's own system-source registration;
+  /// user registrations of reserved names (kSysServerName) are rejected.
   Status AddLinkedServer(const std::string& name,
-                         std::shared_ptr<DataSource> source);
+                         std::shared_ptr<DataSource> source,
+                         bool reserved = false);
   Result<DataSource*> GetLinkedServer(const std::string& name) const;
   Result<int> GetLinkedServerId(const std::string& name) const;
   /// Server name for a source id; precondition: valid remote id.
@@ -78,6 +87,12 @@ class Catalog {
   /// Thread-safe: parallel partitioned-view branches create their member
   /// sessions concurrently.
   Result<Session*> GetSession(int source_id);
+
+  /// Session on the reserved `sys` system-view source — the session-state
+  /// accessor DMV consumers (including remote EngineSessions answering
+  /// four-part sys scans) go through. NotFound when no system source is
+  /// registered.
+  Result<Session*> SystemSession();
 
   /// Tears down the cached session for one remote source: the next
   /// GetSession reconnects through the provider. The link-down recovery
@@ -119,10 +134,18 @@ class Catalog {
   std::unique_ptr<StorageDataSource> local_source_;
   std::unique_ptr<Session> local_session_;
 
+  /// Resolution against a linked server (the name must carry a server part).
+  Result<ResolvedTable> ResolveRemote(const ObjectName& name, bool refresh);
+  /// Resolution against the reserved system source, if one is registered and
+  /// exposes `table`.
+  Result<ResolvedTable> ResolveViaSystemSource(const std::string& table,
+                                               bool refresh);
+
   struct ServerEntry {
     std::string name;
     std::shared_ptr<DataSource> source;
     std::unique_ptr<Session> session;  // Lazily created.
+    bool reserved = false;  // System source: survives DropRemoteSessions.
   };
   std::vector<ServerEntry> servers_;
   std::map<std::string, int> server_ids_;  // Lower-cased name -> ordinal.

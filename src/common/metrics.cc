@@ -168,6 +168,39 @@ std::string Registry::SnapshotJson() const {
   return out;
 }
 
+std::vector<Sample> Registry::Samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Sample> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    Sample s;
+    s.kind = "counter";
+    s.name = name;
+    s.value = c->Value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : gauges_) {
+    Sample s;
+    s.kind = "gauge";
+    s.name = name;
+    s.value = g->Value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : histograms_) {
+    Sample s;
+    s.kind = "histogram";
+    s.name = name;
+    s.count = h->Count();
+    s.sum = h->Sum();
+    s.value = s.sum;
+    s.min = h->Min();
+    int64_t max = h->Max();
+    s.max = max == INT64_MIN ? 0 : max;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
 void Registry::ResetAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();

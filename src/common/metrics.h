@@ -61,6 +61,19 @@ class Histogram {
   std::atomic<int64_t> max_{INT64_MIN};
 };
 
+/// One instrument's state at snapshot time, in row form for the dm_metrics
+/// system view. `value` is the counter/gauge reading; histogram rows carry
+/// the summary stats instead (value mirrors `sum` there for convenience).
+struct Sample {
+  std::string kind;  ///< "counter", "gauge" or "histogram".
+  std::string name;
+  int64_t value = 0;
+  int64_t count = 0;  ///< Histograms only; 0 otherwise.
+  int64_t sum = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+};
+
 /// Process-wide registry of named metrics. Get* registers on first use and
 /// returns a stable pointer (instruments are never deallocated while the
 /// registry lives), so hot paths should cache the pointer and touch the
@@ -82,6 +95,11 @@ class Registry {
   /// Deterministic for a deterministic workload (sorted maps, no
   /// timestamps).
   std::string SnapshotJson() const;
+
+  /// Structured snapshot: one Sample per instrument, counters first, then
+  /// gauges, then histograms, each group sorted by name (the registry's map
+  /// order). Backs the dm_metrics system view.
+  std::vector<Sample> Samples() const;
 
   /// Zeroes every instrument but keeps registrations, so cached pointers
   /// stay valid. For tests/benches that need a clean slate.

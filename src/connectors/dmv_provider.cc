@@ -1,0 +1,256 @@
+#include "src/connectors/dmv_provider.h"
+
+#include <utility>
+
+#include "src/catalog/catalog.h"
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
+#include "src/connectors/linked_provider.h"
+#include "src/core/engine.h"
+#include "src/executor/profile.h"
+#include "src/sysview/query_store.h"
+
+namespace dhqp {
+
+namespace {
+
+Value I(int64_t v) { return Value::Int64(v); }
+Value S(std::string v) { return Value::String(std::move(v)); }
+Value D(double v) { return Value::Double(v); }
+
+ColumnDef IntCol(const char* name) {
+  return ColumnDef{name, DataType::kInt64, false};
+}
+ColumnDef StrCol(const char* name) {
+  return ColumnDef{name, DataType::kString, false};
+}
+ColumnDef DblCol(const char* name) {
+  return ColumnDef{name, DataType::kDouble, false};
+}
+
+Schema QueryStatsSchema() {
+  return Schema({StrCol("fingerprint"), StrCol("statement_type"),
+                 StrCol("sample_statement"), IntCol("executions"),
+                 IntCol("failures"), IntCol("cache_hits"),
+                 IntCol("cache_misses"), IntCol("total_duration_ns"),
+                 IntCol("min_duration_ns"), IntCol("max_duration_ns"),
+                 IntCol("rows"), IntCol("retries"), IntCol("timeouts"),
+                 IntCol("faults"), IntCol("warnings"),
+                 IntCol("last_execution_id")});
+}
+
+Schema OperatorStatsSchema() {
+  return Schema({IntCol("query_id"), IntCol("op_id"), IntCol("parent_op_id"),
+                 StrCol("operator"), StrCol("link"), DblCol("est_rows"),
+                 IntCol("act_rows"), IntCol("opens"), IntCol("restarts"),
+                 IntCol("batches"), IntCol("total_ns"),
+                 IntCol("link_messages"), IntCol("wire_rows"),
+                 IntCol("link_bytes"), IntCol("retries"), IntCol("timeouts"),
+                 IntCol("faults")});
+}
+
+Schema LinkStatsSchema() {
+  return Schema({StrCol("server"), StrCol("link"), IntCol("messages"),
+                 IntCol("wire_rows"), IntCol("bytes"), IntCol("retries"),
+                 IntCol("timeouts"), IntCol("faults")});
+}
+
+Schema PlanCacheSchema() {
+  return Schema({StrCol("statement"), IntCol("schema_version"),
+                 IntCol("hits"), DblCol("est_cost"), IntCol("valid")});
+}
+
+Schema MetricsSchema() {
+  return Schema({StrCol("kind"), StrCol("name"), IntCol("value"),
+                 IntCol("count"), IntCol("sum"), IntCol("min"),
+                 IntCol("max")});
+}
+
+Schema TraceSpansSchema() {
+  return Schema({StrCol("name"), StrCol("detail"), IntCol("start_ns"),
+                 IntCol("dur_ns"), IntCol("tid"), IntCol("depth")});
+}
+
+std::vector<Row> FillQueryStats(Engine* engine) {
+  std::vector<Row> rows;
+  for (const sysview::FingerprintStats& f :
+       engine->query_store()->AggregateSnapshot()) {
+    rows.push_back(Row{S(sysview::FingerprintToString(f.fingerprint)),
+                S(f.statement_type),
+                S(f.sample_statement),
+                I(f.executions),
+                I(f.failures),
+                I(f.cache_hits),
+                I(f.cache_misses),
+                I(f.total_duration_ns),
+                I(f.min_duration_ns),
+                I(f.max_duration_ns),
+                I(f.rows),
+                I(f.retries),
+                I(f.timeouts),
+                I(f.faults),
+                I(f.warnings),
+                I(f.last_execution_id)});
+  }
+  return rows;
+}
+
+std::vector<Row> FillOperatorStats(Engine* engine) {
+  std::vector<Row> rows;
+  for (const sysview::ExecutionRecord& rec :
+       engine->query_store()->Snapshot()) {
+    if (rec.profile == nullptr) continue;
+    // Profiles in the store are quiescent (the executor joined its threads
+    // before the record was appended), so relaxed loads read final values.
+    for (const FlatOperator& f : FlattenOperatorProfile(*rec.profile)) {
+      const OperatorProfile& op = *f.op;
+      rows.push_back(Row{I(rec.execution_id),
+                  I(op.id),
+                  I(f.parent_id),
+                  S(op.name),
+                  S(op.link),
+                  D(op.estimated_rows),
+                  I(op.rows_out.load(std::memory_order_relaxed)),
+                  I(op.opens.load(std::memory_order_relaxed)),
+                  I(op.restarts.load(std::memory_order_relaxed)),
+                  I(op.batches.load(std::memory_order_relaxed)),
+                  I(op.total_ns()),
+                  I(op.link_charges.messages.load(std::memory_order_relaxed)),
+                  I(op.link_charges.rows.load(std::memory_order_relaxed)),
+                  I(op.link_charges.bytes.load(std::memory_order_relaxed)),
+                  I(op.link_charges.retries.load(std::memory_order_relaxed)),
+                  I(op.link_charges.timeouts.load(std::memory_order_relaxed)),
+                  I(op.link_charges.faults.load(std::memory_order_relaxed))});
+    }
+  }
+  return rows;
+}
+
+std::vector<Row> FillLinkStats(Engine* engine) {
+  std::vector<Row> rows;
+  Catalog* catalog = engine->catalog();
+  for (const std::string& server : catalog->LinkedServerNames()) {
+    auto source = catalog->GetLinkedServer(server);
+    if (!source.ok()) continue;
+    auto* linked = dynamic_cast<LinkedDataSource*>(*source);
+    if (linked == nullptr) continue;  // In-process source: no link.
+    net::LinkStats s = linked->link()->stats();
+    rows.push_back(Row{S(server),     S(linked->link()->name()),
+                I(s.messages), I(s.rows),
+                I(s.bytes),    I(s.retries),
+                I(s.timeouts), I(s.faults)});
+  }
+  return rows;
+}
+
+std::vector<Row> FillPlanCache(Engine* engine) {
+  std::vector<Row> rows;
+  for (const Engine::PlanCacheEntry& e : engine->PlanCacheSnapshot()) {
+    rows.push_back(Row{S(e.statement), I(static_cast<int64_t>(e.schema_version)),
+                I(e.hits), D(e.est_cost), I(e.valid ? 1 : 0)});
+  }
+  return rows;
+}
+
+std::vector<Row> FillMetrics() {
+  std::vector<Row> rows;
+  for (const metrics::Sample& s : metrics::Registry::Global().Samples()) {
+    rows.push_back(Row{S(s.kind), S(s.name), I(s.value), I(s.count),
+                I(s.sum),  I(s.min),  I(s.max)});
+  }
+  return rows;
+}
+
+std::vector<Row> FillTraceSpans() {
+  std::vector<Row> rows;
+  for (const trace::SpanRecord& s : trace::Tracer::Global().Snapshot()) {
+    rows.push_back(Row{S(s.name),
+                S(s.detail),
+                I(s.start_ns),
+                I(s.dur_ns),
+                I(static_cast<int64_t>(s.tid)),
+                I(static_cast<int64_t>(s.depth))});
+  }
+  return rows;
+}
+
+struct DmvTableDef {
+  const char* name;
+  Schema (*schema)();
+};
+
+constexpr int kNumTables = 6;
+const DmvTableDef kTables[kNumTables] = {
+    {"dm_exec_query_stats", QueryStatsSchema},
+    {"dm_exec_operator_stats", OperatorStatsSchema},
+    {"dm_link_stats", LinkStatsSchema},
+    {"dm_plan_cache", PlanCacheSchema},
+    {"dm_metrics", MetricsSchema},
+    {"dm_trace_spans", TraceSpansSchema},
+};
+
+/// Session over the DMVs. Stateless (every OpenRowset snapshots afresh), so
+/// one cached catalog session serves concurrent scans.
+class DmvSession : public Session {
+ public:
+  explicit DmvSession(Engine* engine) : engine_(engine) {}
+
+  Result<std::unique_ptr<Rowset>> OpenRowset(
+      const std::string& table) override {
+    for (const DmvTableDef& def : kTables) {
+      if (!EqualsIgnoreCase(table, def.name)) continue;
+      return std::unique_ptr<Rowset>(
+          new VectorRowset(def.schema(), FillTable(def.name)));
+    }
+    return Status::NotFound("system view '" + table + "' not found");
+  }
+
+  Result<std::vector<TableMetadata>> ListTables() override {
+    std::vector<TableMetadata> out;
+    out.reserve(kNumTables);
+    for (const DmvTableDef& def : kTables) {
+      TableMetadata meta;
+      meta.name = def.name;
+      meta.schema = def.schema();
+      // Snapshot tables have no stable cardinality; a small constant keeps
+      // the optimizer's costing sane without claiming precision.
+      meta.cardinality = 64;
+      out.push_back(std::move(meta));
+    }
+    return out;
+  }
+
+ private:
+  std::vector<Row> FillTable(const std::string& name) {
+    if (name == "dm_exec_query_stats") return FillQueryStats(engine_);
+    if (name == "dm_exec_operator_stats") return FillOperatorStats(engine_);
+    if (name == "dm_link_stats") return FillLinkStats(engine_);
+    if (name == "dm_plan_cache") return FillPlanCache(engine_);
+    if (name == "dm_metrics") return FillMetrics();
+    return FillTraceSpans();
+  }
+
+  Engine* engine_;
+};
+
+}  // namespace
+
+ProviderCapabilities DmvCapabilities() {
+  ProviderCapabilities caps;
+  caps.provider_name = "DHQP-DMV";
+  caps.source_type = "System views";
+  caps.query_language = "none";
+  caps.sql_support = SqlSupportLevel::kNone;
+  caps.supports_command = false;
+  caps.supports_schema_rowset = true;
+  return caps;
+}
+
+DmvDataSource::DmvDataSource(Engine* engine)
+    : engine_(engine), caps_(DmvCapabilities()) {}
+
+Result<std::unique_ptr<Session>> DmvDataSource::CreateSession() {
+  return std::unique_ptr<Session>(new DmvSession(engine_));
+}
+
+}  // namespace dhqp

@@ -1,0 +1,56 @@
+#ifndef DHQP_CONNECTORS_DMV_PROVIDER_H_
+#define DHQP_CONNECTORS_DMV_PROVIDER_H_
+
+#include <memory>
+
+#include "src/provider/provider.h"
+
+namespace dhqp {
+
+class Engine;
+
+/// Capabilities of the system-view provider: a "simple provider" in the
+/// paper's §3.3 taxonomy — connect and retrieve named rowsets, nothing more.
+/// No SQL, no indexes, no histograms: the DHQP supplies all querying
+/// (WHERE/ORDER BY/joins) on top of the scan, exactly as it does for CSV or
+/// mail stores.
+ProviderCapabilities DmvCapabilities();
+
+/// Dynamic-management-view provider: exposes one Engine's internals —
+/// query store, operator profiles, link counters, plan cache, metrics
+/// registry, trace spans — as scan-only virtual tables. Every Engine
+/// registers one of these as the reserved linked server `sys`, so the
+/// observability layer is itself a heterogeneous data source: local queries
+/// (`sys..dm_link_stats`) and federation-wide ones
+/// (`shard1.sys..dm_link_stats`) both flow through the provider model under
+/// study.
+///
+/// Virtual tables:
+///   dm_exec_query_stats     per-fingerprint query-store aggregates
+///   dm_exec_operator_stats  flattened operator profiles of the last-N
+///                           executions (pre-order ids match EXPLAIN)
+///   dm_link_stats           per-link traffic/retry/timeout/fault counters
+///   dm_plan_cache           compiled-plan cache entries with hit counts
+///   dm_metrics              process-wide metrics registry snapshot
+///   dm_trace_spans          tracer span buffer snapshot
+///
+/// Rowsets are point-in-time snapshots built at OpenRowset; scans are safe
+/// concurrently with query execution on the owning engine (each underlying
+/// store is internally synchronized).
+class DmvDataSource : public DataSource {
+ public:
+  explicit DmvDataSource(Engine* engine);
+
+  const ProviderCapabilities& capabilities() const override { return caps_; }
+  Result<std::unique_ptr<Session>> CreateSession() override;
+
+  Engine* engine() const { return engine_; }
+
+ private:
+  Engine* engine_;
+  ProviderCapabilities caps_;
+};
+
+}  // namespace dhqp
+
+#endif  // DHQP_CONNECTORS_DMV_PROVIDER_H_

@@ -129,7 +129,32 @@ class EngineSession : public Session {
   }
 
   Result<std::unique_ptr<Rowset>> OpenRowset(const std::string& table) override {
-    return storage_session_->OpenRowset(table);
+    auto rowset = storage_session_->OpenRowset(table);
+    if (!rowset.ok() && rowset.status().code() == StatusCode::kNotFound) {
+      // Not a storage table: the name may be one of the engine's system
+      // views (a host scanning `shard.sys..dm_x` resolves the bare DMV name
+      // through this session). User tables shadow DMV names.
+      auto sys = engine_->catalog()->SystemSession();
+      if (sys.ok()) {
+        auto via_sys = (*sys)->OpenRowset(table);
+        if (via_sys.ok()) return via_sys;
+      }
+    }
+    return rowset;
+  }
+
+  Result<TableMetadata> GetTableMetadata(const std::string& table) override {
+    auto meta = storage_session_->GetTableMetadata(table);
+    if (meta.ok() || meta.status().code() != StatusCode::kNotFound) {
+      if (meta.ok() && !caps_->supports_indexes) meta.value().indexes.clear();
+      return meta;
+    }
+    auto sys = engine_->catalog()->SystemSession();
+    if (sys.ok()) {
+      auto via_sys = (*sys)->GetTableMetadata(table);
+      if (via_sys.ok()) return via_sys;
+    }
+    return meta;
   }
 
   Result<std::unique_ptr<Command>> CreateCommand() override {

@@ -59,6 +59,15 @@ class LinkedSession : public Session {
     return inner_->ListTables();
   }
 
+  Result<TableMetadata> GetTableMetadata(const std::string& table) override {
+    // Forward to the inner session rather than inheriting the default
+    // ListTables scan: providers that resolve names beyond their base-table
+    // list (e.g. an engine answering for its system views) must see the
+    // request.
+    DHQP_RETURN_NOT_OK(link_->SendMessage(64 + table.size()));
+    return inner_->GetTableMetadata(table);
+  }
+
   Result<ColumnStatistics> GetStatistics(const std::string& table,
                                          const std::string& column) override {
     // Histogram rowsets are small; one round trip.

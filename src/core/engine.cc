@@ -1,9 +1,11 @@
 #include "src/core/engine.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "src/common/metrics.h"
 #include "src/common/trace.h"
+#include "src/connectors/dmv_provider.h"
 #include "src/connectors/linked_provider.h"
 #include "src/optimizer/normalize.h"
 #include "src/optimizer/optimizer.h"
@@ -13,6 +15,45 @@
 namespace dhqp {
 
 namespace {
+
+// True if any table reference in the FROM tree names the reserved system
+// source (as server part, or as catalog/schema shorthand: sys..dm_x).
+bool TableRefTouchesSys(const TableRef* ref) {
+  if (ref == nullptr) return false;
+  switch (ref->kind) {
+    case TableRef::Kind::kNamed:
+      return EqualsIgnoreCase(ref->name.server, kSysServerName) ||
+             EqualsIgnoreCase(ref->name.catalog, kSysServerName) ||
+             EqualsIgnoreCase(ref->name.schema, kSysServerName);
+    case TableRef::Kind::kJoin:
+      return TableRefTouchesSys(ref->left.get()) ||
+             TableRefTouchesSys(ref->right.get());
+    case TableRef::Kind::kOpenQuery:
+      return EqualsIgnoreCase(ref->server, kSysServerName);
+  }
+  return false;
+}
+
+// AST-level DMV detection: catches explicitly sys-qualified statements
+// before any plan-cache counter can tick. Bare DMV names (resolved through
+// the catalog's fallback) are caught later by PlanTouchesSys.
+bool StatementTouchesSys(const SelectStatement& stmt) {
+  for (const auto& core : stmt.cores) {
+    if (TableRefTouchesSys(core->from.get())) return true;
+  }
+  return false;
+}
+
+// Post-bind DMV detection: authoritative — any scan in the physical plan
+// resolved to the reserved system source (however the name was spelled).
+bool PlanTouchesSys(const PhysicalOpPtr& plan) {
+  if (plan == nullptr) return false;
+  if (EqualsIgnoreCase(plan->table.server_name, kSysServerName)) return true;
+  for (const PhysicalOpPtr& child : plan->children) {
+    if (PlanTouchesSys(child)) return true;
+  }
+  return false;
+}
 
 // Evaluates one VALUES expression (constants, @params, scalar functions).
 Result<Value> EvalInsertExpr(const Expr& expr, Catalog* catalog,
@@ -91,11 +132,19 @@ LinkFaultTotals SumLinkFaults(Catalog* catalog) {
 
 int64_t DefaultCurrentDate() { return CivilToDays(2004, 11, 15); }
 
-Engine::Engine(EngineOptions options) : options_(std::move(options)) {
+Engine::Engine(EngineOptions options)
+    : options_(std::move(options)),
+      query_store_(options_.query_store_capacity) {
   if (options_.current_date == 0) {
     options_.current_date = DefaultCurrentDate();
   }
   catalog_ = std::make_unique<Catalog>(&storage_);
+  // Every engine carries its system views as a linked server: the DMVs are
+  // just another provider, so the same SELECT machinery (and the same
+  // four-part names, from a remote host) reads them.
+  (void)catalog_->AddLinkedServer(kSysServerName,
+                                  std::make_shared<DmvDataSource>(this),
+                                  /*reserved=*/true);
 }
 
 Status Engine::AddLinkedServer(const std::string& server_name,
@@ -141,7 +190,9 @@ OptimizerContext Engine::MakeOptimizerContext(ColumnRegistry* registry) {
 
 Result<QueryResult> Engine::Execute(
     const std::string& sql, const std::map<std::string, Value>& params) {
-  Result<QueryResult> result = ExecuteInternal(sql, params);
+  StatementInfo info;
+  const int64_t start_ns = fastclock::NowNs();
+  Result<QueryResult> result = ExecuteInternal(sql, params, &info);
   if (!result.ok() && result.status().code() == StatusCode::kNetworkError) {
     // Link-down teardown (§4.2): a cached session over a dead link is
     // useless even once the link recovers — drop them all so the next
@@ -150,11 +201,107 @@ Result<QueryResult> Engine::Execute(
     // holds a raw Session pointer.
     catalog_->DropRemoteSessions();
   }
+  FinishStatement(sql, fastclock::NowNs() - start_ns, info, &result);
   return result;
 }
 
+void Engine::FinishStatement(const std::string& sql, int64_t duration_ns,
+                             const StatementInfo& info,
+                             Result<QueryResult>* result) {
+  struct Instruments {
+    metrics::Counter* statements;
+    metrics::Counter* failures;
+    metrics::Counter* warnings;
+    metrics::Counter* slow_queries;
+    metrics::Counter* dml_statements;
+    metrics::Counter* dml_rows_affected;
+    metrics::Histogram* query_ns;
+  };
+  static const Instruments in = [] {
+    metrics::Registry& reg = metrics::Registry::Global();
+    Instruments i;
+    i.statements = reg.GetCounter("exec.statements");
+    i.failures = reg.GetCounter("exec.failed_statements");
+    i.warnings = reg.GetCounter("exec.warnings");
+    i.slow_queries = reg.GetCounter("exec.slow_queries");
+    i.dml_statements = reg.GetCounter("exec.dml_statements");
+    i.dml_rows_affected = reg.GetCounter("exec.dml_rows_affected");
+    i.query_ns = reg.GetHistogram("engine.query_ns");
+    return i;
+  }();
+
+  const bool ok = result->ok();
+  QueryResult* qr = ok ? &result->value() : nullptr;
+  // Self-exclusion: a statement that read the DMVs must not itself show up
+  // in the query store, the slow log, or the statement counters — otherwise
+  // observing the system grows what it observes. The AST check catches
+  // sys-qualified names; the plan walk catches bare DMV names resolved
+  // through the catalog fallback (the shape decoded remote scans take).
+  const bool exclude = info.exclude_from_store ||
+                       (qr != nullptr && PlanTouchesSys(qr->plan));
+  if (exclude) return;
+
+  in.statements->Increment();
+  if (!ok) in.failures->Increment();
+
+  const bool is_dml = info.statement_type == "insert" ||
+                      info.statement_type == "update" ||
+                      info.statement_type == "delete";
+  if (qr != nullptr && is_dml) {
+    // PR 3 only instrumented SELECT (via RunCachedPlan); DML latency and
+    // volume land here so exec.* covers every statement shape.
+    in.dml_statements->Increment();
+    in.dml_rows_affected->Add(qr->rows_affected);
+    in.query_ns->Observe(duration_ns);
+  }
+
+  if (qr != nullptr && options_.slow_query_ns > 0 &&
+      duration_ns >= options_.slow_query_ns) {
+    char head[96];
+    std::snprintf(head, sizeof(head),
+                  "slow query: %.3f ms (threshold %.3f ms)",
+                  static_cast<double>(duration_ns) / 1e6,
+                  static_cast<double>(options_.slow_query_ns) / 1e6);
+    std::string warning(head);
+    if (qr->profile != nullptr) {
+      // The est-vs-actual profile is the first thing a slow-query
+      // investigation wants; append it when the execution collected one.
+      warning += "\n" + RenderOperatorProfile(*qr->profile);
+    }
+    qr->warnings.push_back(std::move(warning));
+    in.slow_queries->Increment();
+  }
+  if (qr != nullptr) {
+    in.warnings->Add(static_cast<int64_t>(qr->warnings.size()));
+  }
+
+  if (!options_.enable_query_store) return;
+  sysview::ExecutionRecord rec;
+  rec.fingerprint = sysview::FingerprintStatement(sql);
+  rec.statement = sql.substr(0, sysview::ExecutionRecord::kMaxStatementLen);
+  rec.statement_type =
+      info.statement_type.empty() ? "invalid" : info.statement_type;
+  rec.duration_ns = duration_ns;
+  rec.ok = ok;
+  if (!ok) rec.error = StatusCodeName(result->status().code());
+  rec.plan_cache_hit = info.plan_cache_hit;
+  rec.plan_cacheable = info.plan_cacheable;
+  if (qr != nullptr) {
+    rec.rows = qr->rowset != nullptr
+                   ? static_cast<int64_t>(qr->rowset->rows().size())
+                   : qr->rows_affected;
+    rec.retries = qr->exec_stats.remote_retries;
+    rec.timeouts = qr->exec_stats.remote_timeouts;
+    rec.faults = qr->exec_stats.faults_injected;
+    rec.warnings = static_cast<int64_t>(qr->warnings.size());
+    rec.profile = qr->profile;
+  }
+  query_store_.Record(std::move(rec));
+}
+
 Result<QueryResult> Engine::ExecuteInternal(
-    const std::string& sql, const std::map<std::string, Value>& params) {
+    const std::string& sql, const std::map<std::string, Value>& params,
+    StatementInfo* info) {
   std::unique_ptr<Statement> stmt;
   {
     trace::Span span("engine.parse");
@@ -162,13 +309,22 @@ Result<QueryResult> Engine::ExecuteInternal(
   }
   switch (stmt->kind) {
     case Statement::Kind::kSelect: {
+      info->statement_type = stmt->explain_analyze ? "explain analyze"
+                             : stmt->explain       ? "explain"
+                                                   : "select";
+      // Sys-qualified statements bypass the plan cache entirely (empty
+      // cache key), so DMV reads never pollute hit/miss counters or show up
+      // in dm_plan_cache.
+      const bool sys = StatementTouchesSys(*stmt->select);
+      if (sys) info->exclude_from_store = true;
+      const std::string cache_key = sys ? "" : sql;
       if (stmt->explain_analyze) {
         // EXPLAIN ANALYZE SELECT ...: execute with operator profiling
         // forced on, then render estimated-vs-actual per operator.
         const bool saved = options_.execution.collect_operator_stats;
         options_.execution.collect_operator_stats = true;
-        Result<QueryResult> executed =
-            ExecuteSelect(*stmt->select, params, /*execute=*/true, sql);
+        Result<QueryResult> executed = ExecuteSelect(
+            *stmt->select, params, /*execute=*/true, cache_key, info);
         options_.execution.collect_operator_stats = saved;
         DHQP_RETURN_NOT_OK(executed.status());
         QueryResult result = std::move(executed).value();
@@ -191,11 +347,13 @@ Result<QueryResult> Engine::ExecuteInternal(
         return std::move(result);
       }
       if (stmt->explain) {
-        // EXPLAIN SELECT ...: compile only; the plan renders as text rows
-        // with the same pre-order operator ids EXPLAIN ANALYZE uses.
+        // EXPLAIN SELECT ...: compile only; nothing executed, so the query
+        // store skips it. The plan renders as text rows with the same
+        // pre-order operator ids EXPLAIN ANALYZE uses.
+        info->exclude_from_store = true;
         DHQP_ASSIGN_OR_RETURN(
             QueryResult prepared,
-            ExecuteSelect(*stmt->select, params, /*execute=*/false, ""));
+            ExecuteSelect(*stmt->select, params, /*execute=*/false, "", info));
         Schema schema;
         schema.AddColumn(ColumnDef{"plan", DataType::kString, false});
         std::vector<Row> rows;
@@ -212,21 +370,29 @@ Result<QueryResult> Engine::ExecuteInternal(
                                                          std::move(rows));
         return std::move(prepared);
       }
-      return ExecuteSelect(*stmt->select, params, /*execute=*/true, sql);
+      return ExecuteSelect(*stmt->select, params, /*execute=*/true, cache_key,
+                           info);
     }
     case Statement::Kind::kCreateTable:
+      info->statement_type = "create table";
       return ExecuteCreateTable(*stmt->create_table);
     case Statement::Kind::kCreateIndex:
+      info->statement_type = "create index";
       return ExecuteCreateIndex(*stmt->create_index);
     case Statement::Kind::kCreateView:
+      info->statement_type = "create view";
       return ExecuteCreateView(*stmt->create_view);
     case Statement::Kind::kInsert:
+      info->statement_type = "insert";
       return ExecuteInsert(*stmt->insert, params);
     case Statement::Kind::kDelete:
+      info->statement_type = "delete";
       return ExecuteDelete(*stmt->delete_stmt, params);
     case Statement::Kind::kUpdate:
+      info->statement_type = "update";
       return ExecuteUpdate(*stmt->update, params);
     case Statement::Kind::kDrop: {
+      info->statement_type = "drop";
       ++schema_version_;
       if (stmt->drop->target == DropStatement::Target::kTable) {
         DHQP_RETURN_NOT_OK(storage_.DropTable(stmt->drop->name));
@@ -353,11 +519,12 @@ Result<QueryResult> Engine::Prepare(
   if (stmt->kind != Statement::Kind::kSelect) {
     return Status::InvalidArgument("Prepare supports SELECT statements");
   }
-  return ExecuteSelect(*stmt->select, params, /*execute=*/false, "");
+  return ExecuteSelect(*stmt->select, params, /*execute=*/false, "", nullptr);
 }
 
-Result<std::string> Engine::Explain(const std::string& sql) {
-  DHQP_ASSIGN_OR_RETURN(QueryResult prepared, Prepare(sql));
+Result<std::string> Engine::Explain(const std::string& sql,
+                                    const std::map<std::string, Value>& params) {
+  DHQP_ASSIGN_OR_RETURN(QueryResult prepared, Prepare(sql, params));
   int next_id = 1;
   std::string out = prepared.plan->ToStringWithIds(0, &next_id);
   out += "phases: " + std::to_string(prepared.opt_stats.phases_run) +
@@ -497,12 +664,13 @@ Result<QueryResult> Engine::RunCachedPlan(
 
 Result<QueryResult> Engine::ExecuteSelect(
     const SelectStatement& stmt, const std::map<std::string, Value>& params,
-    bool execute, const std::string& cache_key) {
+    bool execute, const std::string& cache_key, StatementInfo* info) {
   // Plan-cache hit: re-execute the compiled plan with fresh parameters.
   // Startup filters keep parameterized plans correct for any value (§4.1.5).
   // Optimizer toggles are part of the key: a plan compiled under different
   // options (the ablation benches flip them) must not be reused.
   bool use_cache = execute && options_.enable_plan_cache && !cache_key.empty();
+  if (info != nullptr) info->plan_cacheable = use_cache;
   std::string full_key;
   if (use_cache) {
     const OptimizerOptions& oo = options_.optimizer;
@@ -516,26 +684,47 @@ Result<QueryResult> Engine::ExecuteSelect(
     full_key = std::string(opts_fp) + cache_key;
   }
   if (use_cache) {
-    auto it = plan_cache_.find(full_key);
-    if (it != plan_cache_.end()) {
-      if (it->second.schema_version == schema_version_) {
-        metrics::Registry::Global()
-            .GetCounter("engine.plan_cache.hit")
-            ->Increment();
-        auto result = RunCachedPlan(it->second, params);
-        if (result.ok()) return result;
-        // A link failure is not plan staleness: the retry policy already
-        // ran at the link layer, recompiling cannot reach an unreachable
-        // server, and silently re-executing could turn a mid-stream member
-        // failure into a clean-looking skip. Surface it as-is.
-        if (result.status().code() == StatusCode::kNetworkError) {
-          return result;
+    // The entry is copied out under the lock (the members are shared_ptrs
+    // and small vectors) so a concurrent DMV snapshot — or a capacity
+    // flush on another statement — cannot invalidate what we execute.
+    bool hit = false;
+    CachedPlan cached;
+    {
+      std::lock_guard<std::mutex> lock(plan_cache_mu_);
+      auto it = plan_cache_.find(full_key);
+      if (it != plan_cache_.end()) {
+        if (it->second.schema_version ==
+            schema_version_.load(std::memory_order_relaxed)) {
+          ++it->second.hits;
+          cached = it->second;
+          hit = true;
+        } else {
+          plan_cache_.erase(it);
         }
-        // A cached plan can go stale in ways version bumps don't cover
-        // (e.g. a remote server changed behind its provider): drop it and
-        // recompile below.
       }
-      plan_cache_.erase(it);
+    }
+    if (hit) {
+      metrics::Registry::Global()
+          .GetCounter("engine.plan_cache.hit")
+          ->Increment();
+      auto result = RunCachedPlan(cached, params);
+      if (result.ok()) {
+        if (info != nullptr) info->plan_cache_hit = true;
+        result.value().plan_cache_hit = true;
+        return result;
+      }
+      // A link failure is not plan staleness: the retry policy already
+      // ran at the link layer, recompiling cannot reach an unreachable
+      // server, and silently re-executing could turn a mid-stream member
+      // failure into a clean-looking skip. Surface it as-is.
+      if (result.status().code() == StatusCode::kNetworkError) {
+        return result;
+      }
+      // A cached plan can go stale in ways version bumps don't cover
+      // (e.g. a remote server changed behind its provider): drop it and
+      // recompile below.
+      std::lock_guard<std::mutex> lock(plan_cache_mu_);
+      plan_cache_.erase(full_key);
     }
   }
   if (use_cache) {
@@ -584,10 +773,15 @@ Result<QueryResult> Engine::ExecuteSelect(
     compiled.output_names = bound.output_names;
     compiled.registry = bound.registry;
     compiled.opt_stats = optimized.stats;
-    compiled.schema_version = schema_version_;
+    compiled.schema_version = schema_version_.load(std::memory_order_relaxed);
+    compiled.statement = cache_key;
     DHQP_ASSIGN_OR_RETURN(QueryResult result,
                           RunCachedPlan(compiled, params));
-    if (use_cache) {
+    // A plan that reads the system views is never cached: a bare DMV name
+    // (resolved through the catalog's sys fallback) slips past the AST
+    // check, and caching it would let observation pollute dm_plan_cache.
+    if (use_cache && !PlanTouchesSys(compiled.plan)) {
+      std::lock_guard<std::mutex> lock(plan_cache_mu_);
       if (plan_cache_.size() >= options_.plan_cache_capacity) {
         plan_cache_.clear();  // Crude but bounded; capacity is generous.
       }
@@ -595,6 +789,23 @@ Result<QueryResult> Engine::ExecuteSelect(
     }
     return std::move(result);
   }
+}
+
+std::vector<Engine::PlanCacheEntry> Engine::PlanCacheSnapshot() const {
+  std::vector<PlanCacheEntry> out;
+  const uint64_t current = schema_version_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(plan_cache_mu_);
+  out.reserve(plan_cache_.size());
+  for (const auto& [key, cached] : plan_cache_) {
+    PlanCacheEntry e;
+    e.statement = cached.statement;
+    e.schema_version = cached.schema_version;
+    e.hits = cached.hits;
+    e.est_cost = cached.opt_stats.best_cost;
+    e.valid = cached.schema_version == current;
+    out.push_back(std::move(e));
+  }
+  return out;
 }
 
 Result<bool> Engine::ValidateRemoteSchemas(const PhysicalOpPtr& plan) {

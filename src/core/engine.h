@@ -1,8 +1,10 @@
 #ifndef DHQP_CORE_ENGINE_H_
 #define DHQP_CORE_ENGINE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -14,6 +16,7 @@
 #include "src/optimizer/physical.h"
 #include "src/sql/ast.h"
 #include "src/storage/storage_engine.h"
+#include "src/sysview/query_store.h"
 
 namespace dhqp {
 
@@ -32,6 +35,16 @@ struct EngineOptions {
   /// parameterized plans correct for every parameter value.
   bool enable_plan_cache = true;
   size_t plan_cache_capacity = 256;
+  /// Query Store: every completed statement is recorded (per-execution ring
+  /// + per-fingerprint aggregates) and exposed through the sys DMVs.
+  /// Queries against the DMVs themselves are never recorded.
+  bool enable_query_store = true;
+  size_t query_store_capacity = 256;
+  /// Slow-query log threshold: a statement whose end-to-end time reaches
+  /// this gets a warning appended to its QueryResult (with the
+  /// estimated-vs-actual operator profile when collected) and counts toward
+  /// exec.slow_queries. 0 disables.
+  int64_t slow_query_ns = 0;
   /// Remote data-movement knobs (block fetch size, prefetch, Concat DOP).
   ExecOptions execution;
 };
@@ -43,8 +56,11 @@ struct QueryResult {
   PhysicalOpPtr plan;                    ///< Null for DDL/DML.
   ExecStats exec_stats;
   OptimizerRunStats opt_stats;
+  /// True when this execution reused a compiled plan from the plan cache.
+  bool plan_cache_hit = false;
   /// Non-fatal notices (e.g. partitioned-view members skipped under
-  /// ExecOptions::skip_unreachable_members). Empty on a clean run.
+  /// ExecOptions::skip_unreachable_members, or the slow-query log entry).
+  /// Empty on a clean run.
   std::vector<std::string> warnings;
   /// Per-operator actual execution stats (the STATISTICS PROFILE analog),
   /// populated for executed SELECTs when
@@ -66,6 +82,9 @@ class Engine {
   Catalog* catalog() { return catalog_.get(); }
   fulltext::FullTextService* fulltext() { return &fulltext_; }
   EngineOptions* options() { return &options_; }
+  /// This engine's Query Store (always present; empty when
+  /// EngineOptions::enable_query_store is off).
+  sysview::QueryStore* query_store() { return &query_store_; }
 
   /// Registers a linked server (§2.1): `source` becomes addressable in
   /// four-part names as server.catalog.schema.table.
@@ -90,25 +109,60 @@ class Engine {
                               const std::map<std::string, Value>& params = {});
 
   /// EXPLAIN-style rendering: physical plan tree + optimizer statistics.
-  Result<std::string> Explain(const std::string& sql);
+  /// Parameters flow through the same bind path as Prepare, so a
+  /// parameterized statement explains exactly as it would execute.
+  Result<std::string> Explain(const std::string& sql,
+                              const std::map<std::string, Value>& params = {});
 
   /// Pass-through execution on a linked server (the OPENQUERY path, §3.3).
   Result<std::unique_ptr<Rowset>> ExecutePassThrough(const std::string& server,
                                                      const std::string& query);
 
+  /// One compiled-plan-cache entry as dm_plan_cache exposes it.
+  struct PlanCacheEntry {
+    std::string statement;  ///< Raw statement text the plan was compiled from.
+    uint64_t schema_version = 0;
+    int64_t hits = 0;       ///< Executions served from this entry.
+    double est_cost = 0;    ///< Optimizer's best cost at compile time.
+    bool valid = false;     ///< Compiled under the current schema version.
+  };
+  /// Point-in-time snapshot of the plan cache, in cache-key order.
+  std::vector<PlanCacheEntry> PlanCacheSnapshot() const;
+
  private:
-  /// Execute() minus the failure hook: on a network error the wrapper tears
-  /// down cached remote sessions (Catalog::DropRemoteSessions) so the next
-  /// statement reconnects instead of reusing a session over a dead link.
-  Result<QueryResult> ExecuteInternal(
-      const std::string& sql, const std::map<std::string, Value>& params);
+  /// Bookkeeping one statement execution hands back to the Execute wrapper
+  /// so it can record the query store / slow log / metrics.
+  struct StatementInfo {
+    std::string statement_type;  ///< "select", "insert", ... "" = no parse.
+    /// DMV self-exclusion: sys-touching statements and compile-only EXPLAIN
+    /// never enter the query store (or the slow log).
+    bool exclude_from_store = false;
+    bool plan_cacheable = false;
+    bool plan_cache_hit = false;
+  };
+
+  /// Execute() minus the bookkeeping hooks: on a network error the wrapper
+  /// tears down cached remote sessions (Catalog::DropRemoteSessions) so the
+  /// next statement reconnects instead of reusing a session over a dead
+  /// link; on every completion it records the statement (query store, slow
+  /// log, metrics).
+  Result<QueryResult> ExecuteInternal(const std::string& sql,
+                                      const std::map<std::string, Value>& params,
+                                      StatementInfo* info);
+
+  /// Post-execution hook: slow-query warning, exec.* metrics (warnings, DML
+  /// counters, DML latency), and the query-store record. DMV-touching
+  /// statements are excluded — observing the store must not grow it.
+  void FinishStatement(const std::string& sql, int64_t duration_ns,
+                       const StatementInfo& info, Result<QueryResult>* result);
 
   /// Compiles (and optionally executes) a SELECT. `cache_key` is the raw
-  /// statement text for plan-cache lookup; empty disables caching.
+  /// statement text for plan-cache lookup; empty disables caching. `info`
+  /// (nullable) receives plan-cache bookkeeping.
   Result<QueryResult> ExecuteSelect(const SelectStatement& stmt,
                                     const std::map<std::string, Value>& params,
-                                    bool execute,
-                                    const std::string& cache_key);
+                                    bool execute, const std::string& cache_key,
+                                    StatementInfo* info);
   Result<QueryResult> ExecuteCreateTable(const CreateTableStatement& stmt);
   Result<QueryResult> ExecuteCreateIndex(const CreateIndexStatement& stmt);
   Result<QueryResult> ExecuteCreateView(const CreateViewStatement& stmt);
@@ -145,6 +199,8 @@ class Engine {
     std::shared_ptr<ColumnRegistry> registry;
     OptimizerRunStats opt_stats;
     uint64_t schema_version = 0;
+    std::string statement;  ///< Raw text, for dm_plan_cache.
+    int64_t hits = 0;       ///< Guarded by plan_cache_mu_.
   };
 
   /// Runs a compiled plan and shapes the result rowset.
@@ -157,9 +213,14 @@ class Engine {
   fulltext::FullTextService fulltext_;
   std::vector<FullTextCatalogInfo> fulltext_catalogs_;
   /// Bumped by any DDL / linked-server / full-text change; cached plans
-  /// compiled under an older version are discarded.
-  uint64_t schema_version_ = 0;
+  /// compiled under an older version are discarded. Atomic: DMV snapshots
+  /// read it concurrently with DDL on the owning thread.
+  std::atomic<uint64_t> schema_version_{0};
+  /// Guards plan_cache_ (and entry hit counts): executions mutate it while
+  /// a concurrent DMV scan snapshots it.
+  mutable std::mutex plan_cache_mu_;
   std::map<std::string, CachedPlan> plan_cache_;
+  sysview::QueryStore query_store_;
 };
 
 /// Default deterministic "today" (2004-11-15, the paper's era).

@@ -63,4 +63,22 @@ std::string RenderOperatorProfile(const OperatorProfile& profile) {
   return out;
 }
 
+namespace {
+
+void FlattenInto(const OperatorProfile& p, int parent_id,
+                 std::vector<FlatOperator>* out) {
+  out->push_back(FlatOperator{&p, parent_id});
+  for (const auto& child : p.children) {
+    FlattenInto(*child, p.id, out);
+  }
+}
+
+}  // namespace
+
+std::vector<FlatOperator> FlattenOperatorProfile(const OperatorProfile& root) {
+  std::vector<FlatOperator> out;
+  FlattenInto(root, 0, &out);
+  return out;
+}
+
 }  // namespace dhqp

@@ -60,6 +60,20 @@ struct OperatorProfile {
 /// wire-row annotations where they apply.
 std::string RenderOperatorProfile(const OperatorProfile& profile);
 
+/// One operator occurrence of a flattened profile tree: the node plus its
+/// parent's pre-order id (0 for the root). The profile must outlive the
+/// flattened view (dm_exec_operator_stats flattens profiles it holds via
+/// shared_ptr, so this is guaranteed there).
+struct FlatOperator {
+  const OperatorProfile* op = nullptr;
+  int parent_id = 0;
+};
+
+/// Flattens a profile tree in pre-order — the same visit order that assigns
+/// the ids EXPLAIN prints, so row i of the result carries id matching the
+/// EXPLAIN line i.
+std::vector<FlatOperator> FlattenOperatorProfile(const OperatorProfile& root);
+
 }  // namespace dhqp
 
 #endif  // DHQP_EXECUTOR_PROFILE_H_

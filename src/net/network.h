@@ -24,6 +24,29 @@ struct LinkStats {
   int64_t retries = 0;   ///< Resends after a failed attempt (SendMessage).
   int64_t timeouts = 0;  ///< Attempts that exceeded RetryPolicy::deadline_us.
   int64_t faults = 0;    ///< Attempts that failed due to an injected fault.
+
+  /// Counter-snapshot arithmetic: per-query (and per-operator) accounting
+  /// works on before/after deltas of shared link counters — links outlive
+  /// queries — so snapshots compose with += and difference with -.
+  LinkStats& operator+=(const LinkStats& o) {
+    messages += o.messages;
+    rows += o.rows;
+    bytes += o.bytes;
+    retries += o.retries;
+    timeouts += o.timeouts;
+    faults += o.faults;
+    return *this;
+  }
+  LinkStats operator-(const LinkStats& o) const {
+    LinkStats d;
+    d.messages = messages - o.messages;
+    d.rows = rows - o.rows;
+    d.bytes = bytes - o.bytes;
+    d.retries = retries - o.retries;
+    d.timeouts = timeouts - o.timeouts;
+    d.faults = faults - o.faults;
+    return d;
+  }
 };
 
 /// Attribution target for link traffic: whatever sink is installed on the

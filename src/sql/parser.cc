@@ -368,11 +368,19 @@ Result<ObjectName> Parser::ParseObjectName() {
   parts.push_back(Advance().text);
   while (Peek().type == TokenType::kDot) {
     Advance();
-    if (Peek().type != TokenType::kIdentifier) {
+    // T-SQL allows omitted middle parts: `sys..dm_x`, `server..t`. A dot
+    // (or end of name) right after a dot contributes an empty part.
+    if (Peek().type == TokenType::kDot) {
+      parts.push_back("");
+    } else if (Peek().type == TokenType::kIdentifier) {
+      parts.push_back(Advance().text);
+    } else {
       return ErrorHere("expected identifier after '.'");
     }
-    parts.push_back(Advance().text);
     if (parts.size() > 4) return ErrorHere("too many name parts (max 4)");
+  }
+  if (parts.back().empty()) {
+    return ErrorHere("expected identifier after '.'");
   }
   ObjectName name;
   // Right-align: table is always last; four-part = server.catalog.schema.table.

@@ -1,0 +1,479 @@
+// Query store + system views (DMVs): the engine's own observability read
+// back through the provider model. Covers statement fingerprinting, the
+// execution ring and per-fingerprint aggregates, the six sys.dm_* views
+// (locally and through a linked engine), DMV self-exclusion, the slow-query
+// log, DML metrics, and concurrent DMV scans during execution.
+
+#include <atomic>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
+#include "src/connectors/dmv_provider.h"
+#include "src/executor/profile.h"
+#include "src/sysview/query_store.h"
+#include "tests/test_util.h"
+
+namespace dhqp {
+namespace {
+
+using sysview::ExecutionRecord;
+using sysview::FingerprintStatement;
+using sysview::FingerprintStats;
+using sysview::NormalizeStatement;
+
+int64_t CounterValue(const char* name) {
+  return metrics::Registry::Global().GetCounter(name)->Value();
+}
+
+// Column accessors for DMV scan results, looked up by output name so the
+// tests don't hard-code ordinals.
+int64_t GetI(const QueryResult& r, size_t row, const char* col) {
+  int ord = r.rowset->schema().FindColumn(col);
+  EXPECT_GE(ord, 0) << "column " << col;
+  return r.rowset->rows()[row][static_cast<size_t>(ord)].int64_value();
+}
+
+std::string GetS(const QueryResult& r, size_t row, const char* col) {
+  int ord = r.rowset->schema().FindColumn(col);
+  EXPECT_GE(ord, 0) << "column " << col;
+  return r.rowset->rows()[row][static_cast<size_t>(ord)].string_value();
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprinting.
+
+TEST(QueryFingerprintTest, NormalizeFoldsLiteralsCaseAndWhitespace) {
+  EXPECT_EQ(NormalizeStatement("SELECT a FROM t WHERE a = 10"),
+            "select a from t where a = ?");
+  EXPECT_EQ(NormalizeStatement("select   a\nFROM t   WHERE a =  99"),
+            "select a from t where a = ?");
+  // String literals (with doubled-quote escapes) collapse to one marker.
+  EXPECT_EQ(NormalizeStatement("SELECT a FROM t WHERE b = 'x''y'"),
+            "select a from t where b = ?");
+  // Digits inside identifiers are not literals.
+  EXPECT_EQ(NormalizeStatement("SELECT c1 FROM t2"), "select c1 from t2");
+
+  EXPECT_EQ(FingerprintStatement("SELECT a FROM t WHERE a = 1"),
+            FingerprintStatement("select  a  from t where a = 2"));
+  EXPECT_NE(FingerprintStatement("SELECT a FROM t"),
+            FingerprintStatement("SELECT b FROM t"));
+}
+
+// ---------------------------------------------------------------------------
+// Query store: ring wraparound + per-fingerprint aggregation.
+
+TEST(QueryStoreTest, RingWrapsAndAggregatesAcrossLiteralVariants) {
+  EngineOptions options;
+  options.query_store_capacity = 4;
+  Engine engine(options);
+  MustExecute(&engine, "CREATE TABLE t (a INT PRIMARY KEY, b INT)");
+  MustExecute(&engine, "INSERT INTO t VALUES (1,10),(2,20),(3,30)");
+
+  // Ten executions that differ only in the literal: one fingerprint.
+  int64_t expected_rows = 0;
+  for (int i = 0; i < 10; ++i) {
+    QueryResult r = MustExecute(
+        &engine, "SELECT a, b FROM t WHERE a >= " + std::to_string(i % 3));
+    expected_rows += static_cast<int64_t>(r.rowset->rows().size());
+  }
+
+  sysview::QueryStore* store = engine.query_store();
+  // CREATE + INSERT + 10 SELECTs recorded; the ring keeps the last 4.
+  EXPECT_EQ(store->total_recorded(), 12);
+  std::vector<ExecutionRecord> ring = store->Snapshot();
+  ASSERT_EQ(ring.size(), 4u);
+  for (const ExecutionRecord& rec : ring) {
+    EXPECT_EQ(rec.statement_type, "select");
+  }
+  // Execution ids are assigned in order and survive eviction.
+  EXPECT_EQ(ring.back().execution_id, 12);
+
+  // Aggregates are keyed by fingerprint, not by raw text, and outlive the
+  // ring: create, insert, and the folded select family.
+  std::vector<FingerprintStats> aggs = store->AggregateSnapshot();
+  ASSERT_EQ(aggs.size(), 3u);
+  const FingerprintStats& sel = aggs[2];
+  EXPECT_EQ(sel.statement_type, "select");
+  EXPECT_EQ(sel.executions, 10);
+  EXPECT_EQ(sel.failures, 0);
+  EXPECT_EQ(sel.rows, expected_rows);
+  // Plan-cache keys are raw text: 3 distinct literals compile once each,
+  // the other 7 executions hit — yet all fold into one fingerprint.
+  EXPECT_EQ(sel.cache_hits, 7);
+  EXPECT_EQ(sel.cache_misses, 3);
+  EXPECT_GE(sel.max_duration_ns, sel.min_duration_ns);
+  EXPECT_GE(sel.total_duration_ns, sel.max_duration_ns);
+  EXPECT_EQ(sel.last_execution_id, 12);
+}
+
+// ---------------------------------------------------------------------------
+// sys..dm_link_stats: local scan matches the live link counters.
+
+class SysViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    remote_ = AttachRemoteEngine(&host_, "rsrv");
+    MustExecute(remote_.engine.get(),
+                "CREATE TABLE t (a INT PRIMARY KEY, b INT)");
+    MustExecute(remote_.engine.get(),
+                "INSERT INTO t VALUES (1,10),(2,20),(3,30),(4,40)");
+  }
+
+  Engine host_;
+  RemoteServer remote_;
+};
+
+TEST_F(SysViewTest, LocalLinkStatsMatchLinkCounters) {
+  MustExecute(&host_, "SELECT a, b FROM rsrv.d.s.t WHERE a >= 2");
+  net::LinkStats expected = remote_.link->stats();
+  EXPECT_GT(expected.messages, 0);
+
+  // The DMV scan itself must not touch the rsrv link (sys is in-process).
+  QueryResult r = MustExecute(
+      &host_,
+      "SELECT server, link, messages, wire_rows, bytes, retries, timeouts, "
+      "faults FROM sys..dm_link_stats");
+  ASSERT_EQ(r.rowset->rows().size(), 1u);  // sys itself is not a link.
+  EXPECT_EQ(GetS(r, 0, "server"), "rsrv");
+  EXPECT_EQ(GetS(r, 0, "link"), "rsrv");
+  EXPECT_EQ(GetI(r, 0, "messages"), expected.messages);
+  EXPECT_EQ(GetI(r, 0, "wire_rows"), expected.rows);
+  EXPECT_EQ(GetI(r, 0, "bytes"), expected.bytes);
+  EXPECT_EQ(GetI(r, 0, "retries"), expected.retries);
+  EXPECT_EQ(GetI(r, 0, "timeouts"), expected.timeouts);
+  EXPECT_EQ(GetI(r, 0, "faults"), expected.faults);
+  EXPECT_EQ(remote_.link->stats().messages, expected.messages);
+}
+
+// Federation-wide introspection: a host reads another engine's DMVs through
+// the ordinary linked-server machinery (`mid.sys..dm_link_stats`), so the
+// whole topology is diagnosable from one seat.
+TEST(SysViewRemoteTest, RemoteDmvScanThroughLinkedEngine) {
+  Engine host;
+  RemoteServer mid = AttachRemoteEngine(&host, "mid");
+  RemoteServer leaf = AttachRemoteEngine(mid.engine.get(), "leaf");
+  MustExecute(leaf.engine.get(), "CREATE TABLE t (a INT PRIMARY KEY, b INT)");
+  MustExecute(leaf.engine.get(), "INSERT INTO t VALUES (1,10),(2,20)");
+
+  // Traffic on mid's link to leaf, invisible to the host's own links.
+  MustExecute(mid.engine.get(), "SELECT a, b FROM leaf.d.s.t");
+  net::LinkStats expected = leaf.link->stats();
+  EXPECT_GT(expected.messages, 0);
+
+  QueryResult r = MustExecute(
+      &host,
+      "SELECT server, messages, wire_rows, bytes FROM mid.sys..dm_link_stats");
+  ASSERT_EQ(r.rowset->rows().size(), 1u);
+  EXPECT_EQ(GetS(r, 0, "server"), "leaf");
+  EXPECT_EQ(GetI(r, 0, "messages"), expected.messages);
+  EXPECT_EQ(GetI(r, 0, "wire_rows"), expected.rows);
+  EXPECT_EQ(GetI(r, 0, "bytes"), expected.bytes);
+
+  // The mid engine's query store does not record the scans it answered for
+  // the host: they resolve to sys and are excluded on the serving side too.
+  for (const ExecutionRecord& rec : mid.engine->query_store()->Snapshot()) {
+    EXPECT_EQ(rec.statement.find("dm_link_stats"), std::string::npos)
+        << rec.statement;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// dm_exec_query_stats vs per-result ExecStats under a seeded fault schedule.
+
+TEST_F(SysViewTest, QueryStatsAggregateMatchesExecStatsUnderChaos) {
+  remote_.injector->Reset(ChaosSeed(/*suite_tag=*/41, /*index=*/7));
+  remote_.injector->SetDropProbability(0.15);
+
+  const std::string sql = "SELECT a, b FROM rsrv.d.s.t WHERE a >= @lo";
+  const int kRuns = 20;
+  int64_t ok_runs = 0, failed_runs = 0;
+  int64_t sum_rows = 0, sum_retries = 0, sum_timeouts = 0, sum_faults = 0;
+  int64_t cache_hits = 0;
+  for (int i = 0; i < kRuns; ++i) {
+    auto result = host_.Execute(sql, {{"@lo", Value::Int64(i % 4)}});
+    if (!result.ok()) {
+      ++failed_runs;
+      continue;
+    }
+    ++ok_runs;
+    const QueryResult& qr = result.value();
+    sum_rows += static_cast<int64_t>(qr.rowset->rows().size());
+    sum_retries += qr.exec_stats.remote_retries;
+    sum_timeouts += qr.exec_stats.remote_timeouts;
+    sum_faults += qr.exec_stats.faults_injected;
+    if (qr.plan_cache_hit) ++cache_hits;
+  }
+  ASSERT_GT(ok_runs, 0);
+  remote_.injector->Reset();  // Quiesce before reading the views.
+
+  // The parameterized text is one fingerprint; the store's aggregate must
+  // agree with what the per-execution results reported.
+  QueryResult r = MustExecute(
+      &host_,
+      "SELECT sample_statement, executions, failures, cache_hits, "
+      "cache_misses, rows, retries, timeouts, faults "
+      "FROM sys..dm_exec_query_stats WHERE statement_type = 'select'");
+  ASSERT_EQ(r.rowset->rows().size(), 1u);
+  EXPECT_EQ(GetS(r, 0, "sample_statement"), sql);
+  EXPECT_EQ(GetI(r, 0, "executions"), kRuns);
+  EXPECT_EQ(GetI(r, 0, "failures"), failed_runs);
+  EXPECT_EQ(GetI(r, 0, "rows"), sum_rows);
+  EXPECT_EQ(GetI(r, 0, "retries"), sum_retries);
+  EXPECT_EQ(GetI(r, 0, "timeouts"), sum_timeouts);
+  EXPECT_EQ(GetI(r, 0, "faults"), sum_faults);
+  // Every run was cacheable: hits + misses account for all executions.
+  EXPECT_EQ(GetI(r, 0, "cache_hits"), cache_hits);
+  EXPECT_EQ(GetI(r, 0, "cache_hits") + GetI(r, 0, "cache_misses"), kRuns);
+}
+
+// ---------------------------------------------------------------------------
+// Self-exclusion: observing the store must not grow it.
+
+TEST_F(SysViewTest, DmvQueriesAreExcludedFromStoreCacheAndCounters) {
+  MustExecute(&host_, "SELECT a, b FROM rsrv.d.s.t");
+  sysview::QueryStore* store = host_.query_store();
+  const int64_t recorded_before = store->total_recorded();
+  const size_t cache_before = host_.PlanCacheSnapshot().size();
+  const int64_t statements_before = CounterValue("exec.statements");
+  const int64_t hits_before = CounterValue("engine.plan_cache.hit");
+  const int64_t misses_before = CounterValue("engine.plan_cache.miss");
+
+  // Every shape of DMV read: bare scan, filtered scan, projection, repeat.
+  MustExecute(&host_, "SELECT server, messages FROM sys..dm_link_stats");
+  QueryResult m = MustExecute(
+      &host_,
+      "SELECT name, value FROM sys..dm_metrics WHERE name = 'exec.statements'");
+  ASSERT_EQ(m.rowset->rows().size(), 1u);
+  EXPECT_GT(GetI(m, 0, "value"), 0);
+  MustExecute(&host_, "SELECT fingerprint FROM sys..dm_exec_query_stats");
+  MustExecute(&host_, "SELECT statement FROM sys..dm_plan_cache");
+  // Compile-only EXPLAIN is excluded too (nothing executed).
+  MustExecute(&host_, "EXPLAIN SELECT a FROM rsrv.d.s.t");
+
+  EXPECT_EQ(store->total_recorded(), recorded_before);
+  EXPECT_EQ(host_.PlanCacheSnapshot().size(), cache_before);
+  EXPECT_EQ(CounterValue("exec.statements"), statements_before);
+  EXPECT_EQ(CounterValue("engine.plan_cache.hit"), hits_before);
+  EXPECT_EQ(CounterValue("engine.plan_cache.miss"), misses_before);
+
+  // The store still records ordinary statements afterwards.
+  MustExecute(&host_, "SELECT b FROM rsrv.d.s.t WHERE a = 1");
+  EXPECT_EQ(store->total_recorded(), recorded_before + 1);
+}
+
+// ---------------------------------------------------------------------------
+// dm_exec_operator_stats mirrors the recorded operator profiles.
+
+TEST_F(SysViewTest, OperatorStatsMatchFlattenedProfile) {
+  QueryResult user = MustExecute(&host_, "SELECT a, b FROM rsrv.d.s.t");
+  ASSERT_NE(user.profile, nullptr);
+  std::vector<FlatOperator> flat = FlattenOperatorProfile(*user.profile);
+  ASSERT_FALSE(flat.empty());
+
+  QueryResult r = MustExecute(
+      &host_,
+      "SELECT query_id, op_id, parent_op_id, operator, act_rows, opens "
+      "FROM sys..dm_exec_operator_stats");
+  // SetUp ran no host-side statements, so the store holds exactly the one
+  // profiled select (the DMV scan itself is excluded).
+  ASSERT_EQ(r.rowset->rows().size(), flat.size());
+  for (size_t i = 0; i < flat.size(); ++i) {
+    const OperatorProfile& op = *flat[i].op;
+    EXPECT_EQ(GetI(r, i, "op_id"), op.id);
+    EXPECT_EQ(GetI(r, i, "parent_op_id"), flat[i].parent_id);
+    EXPECT_EQ(GetS(r, i, "operator"), op.name);
+    EXPECT_EQ(GetI(r, i, "act_rows"), op.rows_out.load());
+    EXPECT_EQ(GetI(r, i, "opens"), op.opens.load());
+    EXPECT_EQ(GetI(r, i, "query_id"), GetI(r, 0, "query_id"));
+  }
+  // Pre-order ids are 1..N with the root first, matching EXPLAIN lines.
+  EXPECT_EQ(GetI(r, 0, "op_id"), 1);
+  EXPECT_EQ(GetI(r, 0, "parent_op_id"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// dm_plan_cache: hits accumulate; DDL invalidates.
+
+TEST_F(SysViewTest, PlanCacheViewShowsHitsAndSchemaInvalidation) {
+  const std::string sql = "SELECT a FROM rsrv.d.s.t WHERE a >= @lo";
+  MustExecute(&host_, sql, {{"@lo", Value::Int64(1)}});
+  QueryResult second = MustExecute(&host_, sql, {{"@lo", Value::Int64(3)}});
+  EXPECT_TRUE(second.plan_cache_hit);
+
+  QueryResult r = MustExecute(
+      &host_,
+      "SELECT statement, hits, valid FROM sys..dm_plan_cache");
+  ASSERT_EQ(r.rowset->rows().size(), 1u);
+  EXPECT_EQ(GetS(r, 0, "statement"), sql);
+  EXPECT_EQ(GetI(r, 0, "hits"), 1);
+  EXPECT_EQ(GetI(r, 0, "valid"), 1);
+
+  // DDL bumps the schema version: the entry survives but reads as stale.
+  MustExecute(&host_, "CREATE TABLE scratch (x INT PRIMARY KEY)");
+  r = MustExecute(&host_,
+                  "SELECT statement, valid FROM sys..dm_plan_cache");
+  ASSERT_EQ(r.rowset->rows().size(), 1u);
+  EXPECT_EQ(GetI(r, 0, "valid"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// dm_trace_spans surfaces the global tracer.
+
+TEST_F(SysViewTest, TraceSpansViewExposesRecordedSpans) {
+  trace::Tracer::Global().Enable();
+  MustExecute(&host_, "SELECT a FROM rsrv.d.s.t");
+  QueryResult r = MustExecute(
+      &host_, "SELECT name, dur_ns FROM sys..dm_trace_spans");
+  trace::Tracer::Global().Disable();
+
+  ASSERT_GT(r.rowset->rows().size(), 0u);
+  bool saw_parse = false;
+  for (size_t i = 0; i < r.rowset->rows().size(); ++i) {
+    if (GetS(r, i, "name") == "engine.parse") saw_parse = true;
+    EXPECT_GE(GetI(r, i, "dur_ns"), 0);
+  }
+  EXPECT_TRUE(saw_parse);
+}
+
+// ---------------------------------------------------------------------------
+// Slow-query log.
+
+TEST(SlowQueryTest, ThresholdAppendsWarningWithProfileAndCounts) {
+  EngineOptions options;
+  options.slow_query_ns = 1;  // Everything is slow.
+  Engine engine(options);
+  MustExecute(&engine, "CREATE TABLE t (a INT PRIMARY KEY)");
+  MustExecute(&engine, "INSERT INTO t VALUES (1),(2),(3)");
+
+  const int64_t slow_before = CounterValue("exec.slow_queries");
+  const int64_t warn_before = CounterValue("exec.warnings");
+  QueryResult r = MustExecute(&engine, "SELECT a FROM t WHERE a >= 2");
+  ASSERT_EQ(r.warnings.size(), 1u);
+  EXPECT_NE(r.warnings[0].find("slow query:"), std::string::npos);
+  // collect_operator_stats defaults on, so the est-vs-actual profile rides
+  // along — the first thing a slow-query investigation wants.
+  EXPECT_NE(r.warnings[0].find("#1 "), std::string::npos);
+  EXPECT_EQ(CounterValue("exec.slow_queries"), slow_before + 1);
+  EXPECT_EQ(CounterValue("exec.warnings"), warn_before + 1);
+
+  // The warning is also visible in the query store record.
+  std::vector<ExecutionRecord> ring = engine.query_store()->Snapshot();
+  ASSERT_FALSE(ring.empty());
+  EXPECT_EQ(ring.back().warnings, 1);
+}
+
+// ---------------------------------------------------------------------------
+// DML metrics (PR 3 only instrumented SELECT).
+
+TEST(DmlMetricsTest, DmlStatementsAndRowsAffectedAreCounted) {
+  Engine engine;
+  MustExecute(&engine, "CREATE TABLE t (a INT PRIMARY KEY, b INT)");
+  const int64_t dml_before = CounterValue("exec.dml_statements");
+  const int64_t rows_before = CounterValue("exec.dml_rows_affected");
+
+  MustExecute(&engine, "INSERT INTO t VALUES (1,1),(2,2),(3,3)");
+  MustExecute(&engine, "UPDATE t SET b = 9 WHERE a >= 2");
+  MustExecute(&engine, "DELETE FROM t WHERE a = 1");
+
+  EXPECT_EQ(CounterValue("exec.dml_statements"), dml_before + 3);
+  // 3 inserted + 2 updated + 1 deleted.
+  EXPECT_EQ(CounterValue("exec.dml_rows_affected"), rows_before + 6);
+
+  // Statement types land in the store for per-shape aggregation.
+  std::set<std::string> types;
+  for (const FingerprintStats& f : engine.query_store()->AggregateSnapshot()) {
+    types.insert(f.statement_type);
+  }
+  EXPECT_TRUE(types.count("insert"));
+  EXPECT_TRUE(types.count("update"));
+  EXPECT_TRUE(types.count("delete"));
+}
+
+// ---------------------------------------------------------------------------
+// The sys name is reserved.
+
+TEST(SysViewReservedTest, UserCannotRebindSysServer) {
+  Engine engine;
+  auto source = std::make_shared<DmvDataSource>(&engine);
+  Status st = engine.AddLinkedServer("sys", source);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << st.ToString();
+  st = engine.AddLinkedServer("SYS", source);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << st.ToString();
+  // The engine's own registration is reachable.
+  ASSERT_OK(engine.catalog()->GetLinkedServer("sys").status());
+}
+
+// ---------------------------------------------------------------------------
+// Explain with parameters binds like Execute would.
+
+TEST_F(SysViewTest, ExplainAcceptsParameters) {
+  auto plan = host_.Explain("SELECT a FROM rsrv.d.s.t WHERE a >= @lo",
+                            {{"@lo", Value::Int64(2)}});
+  ASSERT_OK(plan.status());
+  EXPECT_FALSE(plan.value().empty());
+  // Unparameterized overload still works.
+  ASSERT_OK(host_.Explain("SELECT a, b FROM rsrv.d.s.t").status());
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent DMV scans while the engine executes (TSan coverage): a monitor
+// thread reads every view through the catalog's system session while the
+// owning thread runs remote queries and DDL.
+
+TEST_F(SysViewTest, ConcurrentDmvScansDuringExecution) {
+  // Prime cached sessions from the owning thread so the scan loop only
+  // reads shared state the engine mutates under its own locks/atomics.
+  MustExecute(&host_, "SELECT a FROM rsrv.d.s.t");
+  ASSERT_OK(host_.catalog()->SystemSession().status());
+
+  const char* kViews[] = {"dm_exec_query_stats", "dm_exec_operator_stats",
+                          "dm_link_stats",       "dm_plan_cache",
+                          "dm_metrics",          "dm_trace_spans"};
+  std::atomic<bool> stop{false};
+  std::vector<std::string> scan_errors;
+  std::thread monitor([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto session = host_.catalog()->SystemSession();
+      if (!session.ok()) {
+        scan_errors.push_back(session.status().ToString());
+        return;
+      }
+      for (const char* view : kViews) {
+        auto rowset = (*session)->OpenRowset(view);
+        if (!rowset.ok()) {
+          scan_errors.push_back(rowset.status().ToString());
+          return;
+        }
+        auto rows = DrainRowset(rowset->get());
+        if (!rows.ok()) {
+          scan_errors.push_back(rows.status().ToString());
+          return;
+        }
+      }
+    }
+  });
+
+  for (int i = 0; i < 30; ++i) {
+    MustExecute(&host_, "SELECT a, b FROM rsrv.d.s.t WHERE a >= @lo",
+                {{"@lo", Value::Int64(i % 4)}});
+    if (i % 10 == 4) {
+      // DDL bumps the schema version and invalidates cached plans while the
+      // monitor snapshots dm_plan_cache.
+      MustExecute(&host_,
+                  "CREATE TABLE c" + std::to_string(i) +
+                      " (x INT PRIMARY KEY)");
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  monitor.join();
+  EXPECT_TRUE(scan_errors.empty())
+      << "first scan error: " << scan_errors.front();
+}
+
+}  // namespace
+}  // namespace dhqp
