@@ -1,0 +1,202 @@
+// Experiment E14 companion — what does batch-at-a-time execution buy on the
+// hot local pipeline, and does the row path stay fast when it is off?
+//   1. row_mode   — exec_batch_rows=0: the classic Volcano row loop. This
+//      case's wall time is the cross-revision regression tracker: the
+//      acceptance bar is that it stays within 2% of the pre-batching
+//      baseline, which the BENCH_vectorized.json history makes diffable.
+//   2. batch_mode — exec_batch_rows=1024 on the same 1M-row local
+//      scan-filter-aggregate query. Acceptance gate: >=1.5x faster than
+//      row_mode (paired minima, interleaved); the binary EXITS NON-ZERO
+//      below that, so the ctest wiring turns a lost speedup into a failure.
+//   3. sweep_*    — batch-size sweep (1..4096) for the E14 curve.
+//   4. remote_*   — the same row-vs-batch pair on a remote-heavy plan,
+//      where block fetch already amortizes the link and the local batch
+//      win is expected to be smaller (recorded, not gated).
+// Each case appends a metrics-snapshot-backed record to
+// BENCH_vectorized.json via the shared bench_util writer.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/common/metrics.h"
+
+namespace dhqp {
+
+namespace {
+
+constexpr int kLocalRows = 1000000;
+constexpr double kMinSpeedup = 1.5;
+
+// 1M-row local table; v cycles 0..96 so `v < 40` keeps ~41% of rows.
+struct LocalFixture {
+  std::unique_ptr<Engine> host;
+};
+
+std::unique_ptr<LocalFixture> BuildLocal(const std::string&) {
+  auto fx = std::make_unique<LocalFixture>();
+  fx->host = std::make_unique<Engine>();
+  bench::MustRun(fx->host.get(),
+                 "CREATE TABLE big (id INT PRIMARY KEY, v INT)");
+  for (int base = 0; base < kLocalRows; base += 5000) {
+    std::string sql = "INSERT INTO big VALUES ";
+    for (int i = base; i < base + 5000; ++i) {
+      if (i != base) sql += ",";
+      sql += "(" + std::to_string(i) + "," + std::to_string(i % 97) + ")";
+    }
+    bench::MustRun(fx->host.get(), sql);
+  }
+  return fx;
+}
+
+std::unique_ptr<bench::HostWithRemote> BuildRemote(const std::string&) {
+  auto fx = bench::MakeHostWithRemote("rsrv", /*latency_us=*/0);
+  bench::MustRun(fx->remote.get(),
+                 "CREATE TABLE t (id INT PRIMARY KEY, v INT)");
+  for (int base = 0; base < 200000; base += 5000) {
+    std::string sql = "INSERT INTO t VALUES ";
+    for (int i = base; i < base + 5000; ++i) {
+      if (i != base) sql += ",";
+      sql += "(" + std::to_string(i) + "," + std::to_string(i % 97) + ")";
+    }
+    bench::MustRun(fx->remote.get(), sql);
+  }
+  return fx;
+}
+
+// The gated workload: scan 1M local rows, qualify ~41%, aggregate.
+constexpr const char* kLocalQuery =
+    "SELECT COUNT(*), SUM(v) FROM big WHERE v < 40";
+constexpr const char* kRemoteQuery =
+    "SELECT COUNT(*), SUM(v) FROM rsrv.d.s.t WHERE v < 40";
+
+double OneRunMs(Engine* host, const char* sql, int batch_rows) {
+  host->options()->execution.exec_batch_rows = batch_rows;
+  auto start = std::chrono::steady_clock::now();
+  QueryResult r = bench::MustRun(host, sql);
+  double ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  benchmark::DoNotOptimize(r);
+  return ms;
+}
+
+// Min-of-N wall time with row and batch mode interleaved run-by-run, so
+// machine-load drift hits both sides equally (the paired-minima estimator
+// the observability and DMV gates use).
+void MeasureRowBatchPairMs(Engine* host, const char* sql, double* row_ms,
+                           double* batch_ms, int reps = 12) {
+  *row_ms = 1e300;
+  *batch_ms = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    *row_ms = std::min(*row_ms, OneRunMs(host, sql, /*batch_rows=*/0));
+    *batch_ms = std::min(*batch_ms, OneRunMs(host, sql, /*batch_rows=*/1024));
+  }
+  host->options()->execution.exec_batch_rows = 1024;
+}
+
+void BM_Vectorized_RowMode(benchmark::State& state) {
+  auto* fx = bench::CachedFixture<LocalFixture>("vectorized", BuildLocal);
+  fx->host->options()->execution.exec_batch_rows = 0;
+  for (auto _ : state) {
+    QueryResult r = bench::MustRun(fx->host.get(), kLocalQuery);
+    benchmark::DoNotOptimize(r);
+  }
+
+  metrics::Registry::Global().ResetAll();
+  double row_ms, batch_ms;
+  MeasureRowBatchPairMs(fx->host.get(), kLocalQuery, &row_ms, &batch_ms);
+  bench::AppendMetricsRecord("BENCH_vectorized.json", "vectorized",
+                             "row_mode", row_ms);
+}
+
+void BM_Vectorized_BatchMode(benchmark::State& state) {
+  auto* fx = bench::CachedFixture<LocalFixture>("vectorized", BuildLocal);
+  fx->host->options()->execution.exec_batch_rows = 1024;
+  for (auto _ : state) {
+    QueryResult r = bench::MustRun(fx->host.get(), kLocalQuery);
+    benchmark::DoNotOptimize(r);
+  }
+
+  metrics::Registry::Global().ResetAll();
+  double row_ms, batch_ms;
+  MeasureRowBatchPairMs(fx->host.get(), kLocalQuery, &row_ms, &batch_ms);
+  double speedup = batch_ms > 0 ? row_ms / batch_ms : 0.0;
+  state.counters["speedup"] = speedup;
+  bench::AppendMetricsRecord("BENCH_vectorized.json", "vectorized",
+                             "batch_mode", batch_ms);
+
+  // The acceptance gate: batching must actually pay on the workload it was
+  // built for. Exit hard so the ctest entry fails loudly if the batch path
+  // decays into row-at-a-time with extra steps.
+  if (speedup < kMinSpeedup) {
+    std::fprintf(stderr,
+                 "FAIL: batch-mode speedup %.2fx below %.2fx "
+                 "(row %.3f ms vs batch %.3f ms)\n",
+                 speedup, kMinSpeedup, row_ms, batch_ms);
+    std::exit(1);
+  }
+}
+
+// Batch-size sweep for the E14 curve: how fast does the win saturate?
+void BM_Vectorized_Sweep(benchmark::State& state) {
+  auto* fx = bench::CachedFixture<LocalFixture>("vectorized", BuildLocal);
+  const int bs = static_cast<int>(state.range(0));
+  fx->host->options()->execution.exec_batch_rows = bs;
+  for (auto _ : state) {
+    QueryResult r = bench::MustRun(fx->host.get(), kLocalQuery);
+    benchmark::DoNotOptimize(r);
+  }
+
+  metrics::Registry::Global().ResetAll();
+  double best = 1e300;
+  for (int i = 0; i < 6; ++i) {
+    best = std::min(best, OneRunMs(fx->host.get(), kLocalQuery, bs));
+  }
+  char extra[64];
+  std::snprintf(extra, sizeof(extra), "\"exec_batch_rows\":%d", bs);
+  bench::AppendJsonRecord("BENCH_vectorized.json", "vectorized",
+                          "sweep_" + std::to_string(bs), best, extra);
+  fx->host->options()->execution.exec_batch_rows = 1024;
+}
+
+// Remote-heavy plan: rows arrive through block fetch + prefetch already, so
+// the local batch win is the residual row-loop overhead only. Recorded for
+// E14, not gated.
+void BM_Vectorized_Remote(benchmark::State& state) {
+  auto* fx =
+      bench::CachedFixture<bench::HostWithRemote>("vec_remote", BuildRemote);
+  fx->host->options()->execution.exec_batch_rows = 1024;
+  for (auto _ : state) {
+    QueryResult r = bench::MustRun(fx->host.get(), kRemoteQuery);
+    benchmark::DoNotOptimize(r);
+  }
+
+  metrics::Registry::Global().ResetAll();
+  double row_ms, batch_ms;
+  MeasureRowBatchPairMs(fx->host.get(), kRemoteQuery, &row_ms, &batch_ms);
+  state.counters["speedup"] = batch_ms > 0 ? row_ms / batch_ms : 0.0;
+  bench::AppendMetricsRecord("BENCH_vectorized.json", "vectorized",
+                             "remote_row", row_ms);
+  bench::AppendMetricsRecord("BENCH_vectorized.json", "vectorized",
+                             "remote_batch", batch_ms);
+}
+
+BENCHMARK(BM_Vectorized_RowMode)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Vectorized_BatchMode)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Vectorized_Sweep)
+    ->Arg(1)
+    ->Arg(32)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Vectorized_Remote)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dhqp
+
+BENCHMARK_MAIN();

@@ -43,7 +43,8 @@ Schema OperatorStatsSchema() {
   return Schema({IntCol("query_id"), IntCol("op_id"), IntCol("parent_op_id"),
                  StrCol("operator"), StrCol("link"), DblCol("est_rows"),
                  IntCol("act_rows"), IntCol("opens"), IntCol("restarts"),
-                 IntCol("batches"), IntCol("total_ns"),
+                 IntCol("batches"), IntCol("exec_batches"),
+                 IntCol("total_ns"),
                  IntCol("link_messages"), IntCol("wire_rows"),
                  IntCol("link_bytes"), IntCol("retries"), IntCol("timeouts"),
                  IntCol("faults")});
@@ -114,6 +115,7 @@ std::vector<Row> FillOperatorStats(Engine* engine) {
                   I(op.opens.load(std::memory_order_relaxed)),
                   I(op.restarts.load(std::memory_order_relaxed)),
                   I(op.batches.load(std::memory_order_relaxed)),
+                  I(op.exec_batches.load(std::memory_order_relaxed)),
                   I(op.total_ns()),
                   I(op.link_charges.messages.load(std::memory_order_relaxed)),
                   I(op.link_charges.rows.load(std::memory_order_relaxed)),

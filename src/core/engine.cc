@@ -552,6 +552,8 @@ static void PublishExecMetrics(const ExecStats& stats, int64_t query_ns) {
     metrics::Counter* partitions_opened;
     metrics::Counter* parallel_branches;
     metrics::Counter* spool_rescans;
+    metrics::Counter* exec_batches;
+    metrics::Counter* exec_batch_rows;
     metrics::Counter* remote_retries;
     metrics::Counter* remote_timeouts;
     metrics::Counter* faults_injected;
@@ -572,6 +574,8 @@ static void PublishExecMetrics(const ExecStats& stats, int64_t query_ns) {
     i.partitions_opened = reg.GetCounter("exec.partitions_opened");
     i.parallel_branches = reg.GetCounter("exec.parallel_branches");
     i.spool_rescans = reg.GetCounter("exec.spool_rescans");
+    i.exec_batches = reg.GetCounter("exec.batches");
+    i.exec_batch_rows = reg.GetCounter("exec.batch_rows");
     i.remote_retries = reg.GetCounter("exec.remote_retries");
     i.remote_timeouts = reg.GetCounter("exec.remote_timeouts");
     i.faults_injected = reg.GetCounter("exec.faults_injected");
@@ -590,6 +594,8 @@ static void PublishExecMetrics(const ExecStats& stats, int64_t query_ns) {
   in.partitions_opened->Add(stats.partitions_opened);
   in.parallel_branches->Add(stats.parallel_branches);
   in.spool_rescans->Add(stats.spool_rescans);
+  in.exec_batches->Add(stats.exec_batches);
+  in.exec_batch_rows->Add(stats.exec_batch_rows);
   in.remote_retries->Add(stats.remote_retries);
   in.remote_timeouts->Add(stats.remote_timeouts);
   in.faults_injected->Add(stats.faults_injected);

@@ -283,4 +283,148 @@ Result<bool> EvalPredicate(const ScalarExpr& expr, const EvalEnv& env) {
   return !v.is_null() && v.type() == DataType::kBool && v.bool_value();
 }
 
+namespace {
+
+// A conjunct of shape `column <cmp> literal`, compiled once per batch: the
+// column position is resolved and the operator is an enum, so qualifying a
+// row is a null check plus one Value::Compare — no tree walk, no map
+// lookup, no string-keyed operator dispatch.
+struct FastCmp {
+  enum Op { kEq, kNe, kLt, kLe, kGt, kGe };
+  size_t pos = 0;
+  Op op = kEq;
+  const Value* literal = nullptr;
+};
+
+bool CompileCmpOp(const std::string& op, bool flipped, FastCmp* out) {
+  if (op == "=") {
+    out->op = FastCmp::kEq;
+  } else if (op == "<>") {
+    out->op = FastCmp::kNe;
+  } else if (op == "<") {
+    out->op = flipped ? FastCmp::kGt : FastCmp::kLt;
+  } else if (op == "<=") {
+    out->op = flipped ? FastCmp::kGe : FastCmp::kLe;
+  } else if (op == ">") {
+    out->op = flipped ? FastCmp::kLt : FastCmp::kGt;
+  } else if (op == ">=") {
+    out->op = flipped ? FastCmp::kLe : FastCmp::kGe;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// Compiles `expr` into a conjunction of FastCmps when it is an AND tree of
+// column-vs-literal comparisons over the primary input. Predicate truth
+// (non-NULL true) decomposes over AND — the row passes iff every conjunct
+// is true — so evaluating conjuncts in sequence is exactly the
+// three-valued row semantics. Anything else falls back to the row loop.
+bool CompileFastPredicate(const ScalarExpr& expr, const EvalEnv& env,
+                          std::vector<FastCmp>* out) {
+  if (expr.kind != ScalarKind::kBinary) return false;
+  if (expr.op == "AND") {
+    return CompileFastPredicate(*expr.args[0], env, out) &&
+           CompileFastPredicate(*expr.args[1], env, out);
+  }
+  const ScalarExpr* col = expr.args[0].get();
+  const ScalarExpr* lit = expr.args[1].get();
+  bool flipped = false;
+  if (col->kind == ScalarKind::kLiteral && lit->kind == ScalarKind::kColumn) {
+    std::swap(col, lit);
+    flipped = true;
+  }
+  if (col->kind != ScalarKind::kColumn || lit->kind != ScalarKind::kLiteral) {
+    return false;
+  }
+  if (env.col_pos == nullptr) return false;
+  auto it = env.col_pos->find(col->column_id);
+  if (it == env.col_pos->end()) return false;
+  FastCmp cmp;
+  cmp.pos = static_cast<size_t>(it->second);
+  cmp.literal = &lit->literal;
+  if (!CompileCmpOp(expr.op, flipped, &cmp)) return false;
+  out->push_back(cmp);
+  return true;
+}
+
+inline bool PassesFastCmp(const Row& row, const FastCmp& cmp) {
+  const Value& v = row[cmp.pos];
+  if (v.is_null() || cmp.literal->is_null()) return false;  // Unknown.
+  int c = v.Compare(*cmp.literal);
+  switch (cmp.op) {
+    case FastCmp::kEq:
+      return c == 0;
+    case FastCmp::kNe:
+      return c != 0;
+    case FastCmp::kLt:
+      return c < 0;
+    case FastCmp::kLe:
+      return c <= 0;
+    case FastCmp::kGt:
+      return c > 0;
+    case FastCmp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status EvalPredicateBatch(const ScalarExpr& expr, EvalEnv env,
+                          const RowBatch& batch, SelectionVector* sel) {
+  sel->clear();
+  std::vector<FastCmp> fast;
+  if (CompileFastPredicate(expr, env, &fast)) {
+    for (size_t i = 0; i < batch.rows.size(); ++i) {
+      const Row& row = batch.rows[i];
+      bool pass = true;
+      for (const FastCmp& cmp : fast) {
+        if (!PassesFastCmp(row, cmp)) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) sel->push_back(static_cast<int>(i));
+    }
+    return Status::OK();
+  }
+  for (size_t i = 0; i < batch.rows.size(); ++i) {
+    env.row = &batch.rows[i];
+    DHQP_ASSIGN_OR_RETURN(bool pass, EvalPredicate(expr, env));
+    if (pass) sel->push_back(static_cast<int>(i));
+  }
+  return Status::OK();
+}
+
+Status EvalExprBatch(const ScalarExpr& expr, EvalEnv env,
+                     const RowBatch& batch, const SelectionVector* sel,
+                     std::vector<Value>* out) {
+  const size_t n = sel != nullptr ? sel->size() : batch.rows.size();
+  auto row_at = [&](size_t i) -> const Row& {
+    return batch.rows[sel != nullptr ? static_cast<size_t>((*sel)[i])
+                                     : i];
+  };
+  // Column reference: resolve the position once and copy values straight
+  // out of the rows.
+  if (expr.kind == ScalarKind::kColumn && env.col_pos != nullptr) {
+    auto it = env.col_pos->find(expr.column_id);
+    if (it != env.col_pos->end()) {
+      const size_t pos = static_cast<size_t>(it->second);
+      for (size_t i = 0; i < n; ++i) out->push_back(row_at(i)[pos]);
+      return Status::OK();
+    }
+  }
+  if (expr.kind == ScalarKind::kLiteral) {
+    for (size_t i = 0; i < n; ++i) out->push_back(expr.literal);
+    return Status::OK();
+  }
+  for (size_t i = 0; i < n; ++i) {
+    env.row = &row_at(i);
+    DHQP_ASSIGN_OR_RETURN(Value v, EvalExpr(expr, env));
+    out->push_back(std::move(v));
+  }
+  return Status::OK();
+}
+
 }  // namespace dhqp

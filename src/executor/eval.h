@@ -3,8 +3,10 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "src/common/row.h"
+#include "src/provider/provider.h"
 #include "src/sql/bound_expr.h"
 
 namespace dhqp {
@@ -32,6 +34,32 @@ Result<Value> EvalExpr(const ScalarExpr& expr, const EvalEnv& env);
 
 /// Predicate truth: non-NULL boolean true.
 Result<bool> EvalPredicate(const ScalarExpr& expr, const EvalEnv& env);
+
+/// Indices of selected rows within a RowBatch, ascending. The batch
+/// executor's qualification currency: filters produce one, downstream
+/// batch evaluation consumes one.
+using SelectionVector = std::vector<int>;
+
+/// Evaluates `expr` as a predicate over every row of `batch`, appending the
+/// indices of qualifying rows (non-NULL boolean true, exactly
+/// EvalPredicate's truth) to `sel`, which is cleared first. `env.row` is
+/// rebound internally; error semantics match the row loop — evaluation
+/// stops at the first failing row, in row order.
+///
+/// The batch entry amortizes what EvalPredicate pays per row: env setup,
+/// the operator-loop call overhead, and — for the common shapes
+/// (column-vs-literal comparisons and AND conjunctions of them) — the whole
+/// recursive expression walk, which collapses into a tight compare loop.
+Status EvalPredicateBatch(const ScalarExpr& expr, EvalEnv env,
+                          const RowBatch& batch, SelectionVector* sel);
+
+/// Evaluates a scalar over the rows of `batch` selected by `sel` (all rows
+/// when `sel` is null), appending one Value per selected row to `out` (not
+/// cleared: callers accumulate columns). Column and literal expressions
+/// skip the recursive walk entirely.
+Status EvalExprBatch(const ScalarExpr& expr, EvalEnv env,
+                     const RowBatch& batch, const SelectionVector* sel,
+                     std::vector<Value>* out);
 
 }  // namespace dhqp
 

@@ -12,11 +12,65 @@
 
 namespace dhqp {
 
+// Default batch pull: loops Next(). Every operator works under a batching
+// consumer without modification; operators with a cheaper bulk path
+// override this.
+Result<bool> ExecNode::NextBatch(RowBatch* out, int max_rows) {
+  out->clear();
+  if (!deferred_batch_status_.ok()) {
+    Status st = std::move(deferred_batch_status_);
+    deferred_batch_status_ = Status::OK();
+    return st;
+  }
+  if (max_rows <= 0) return false;
+  Row row;
+  for (int i = 0; i < max_rows; ++i) {
+    Result<bool> has = Next(&row);
+    if (!has.ok()) {
+      // Defer a mid-batch error behind the rows already collected: a
+      // row-at-a-time consumer would have seen those rows first, and
+      // consumers above make skip/abort decisions based on what has
+      // surfaced (so the decision must not depend on the batch size).
+      if (out->rows.empty()) return has.status();
+      deferred_batch_status_ = has.status();
+      return true;
+    }
+    if (!*has) break;
+    out->rows.push_back(std::move(row));
+  }
+  return !out->rows.empty();
+}
+
 namespace {
 
 // ---------------------------------------------------------------------------
 // Helpers.
 // ---------------------------------------------------------------------------
+
+// Hands out the next slice of a materialized row vector as a batch —
+// the bulk path shared by every operator that buffers its output (sort,
+// spool, hash aggregate, const table).
+bool SliceRows(const std::vector<Row>& rows, size_t* pos, int max_rows,
+               RowBatch* out) {
+  out->clear();
+  if (*pos >= rows.size() || max_rows <= 0) return false;
+  size_t n = rows.size() - *pos;
+  if (n > static_cast<size_t>(max_rows)) n = static_cast<size_t>(max_rows);
+  out->rows.assign(rows.begin() + static_cast<ptrdiff_t>(*pos),
+                   rows.begin() + static_cast<ptrdiff_t>(*pos + n));
+  *pos += n;
+  return true;
+}
+
+// Remote block-fetch granularity stays governed by remote_batch_rows no
+// matter what the local executor's batch size is, so wire-message counts
+// do not shift when exec_batch_rows changes.
+int ClampRemoteBatch(int max_rows, const ExecOptions& options) {
+  if (options.remote_batch_rows > 0 && max_rows > options.remote_batch_rows) {
+    return options.remote_batch_rows;
+  }
+  return max_rows;
+}
 
 // Evaluates a RangeSpec's bound expressions against the current parameters.
 Result<IndexRange> EvalRangeSpec(const RangeSpec& spec, ExecContext* ctx) {
@@ -83,6 +137,26 @@ class ScanNode : public ExecNode {
     return has;
   }
 
+  Result<bool> NextBatch(RowBatch* out, int max_rows) override {
+    // Forwards the rowset's own block fetch: one virtual call per batch
+    // instead of one per row, and contiguous sources hand out slices.
+    if (op_->kind == PhysicalOpKind::kRemoteScan) {
+      // Without the prefetch pipeline the rowset's wire granularity is the
+      // provider's own settle cadence, which only row-at-a-time pulls
+      // preserve — block-fetching here would merge wire messages and make
+      // fault ordinals depend on the local batch size.
+      if (!ctx_->options.enable_remote_prefetch) {
+        return ExecNode::NextBatch(out, max_rows);
+      }
+      max_rows = ClampRemoteBatch(max_rows, ctx_->options);
+    }
+    DHQP_ASSIGN_OR_RETURN(bool has, rowset_->NextBatch(out, max_rows));
+    if (has && op_->kind == PhysicalOpKind::kRemoteScan) {
+      ctx_->stats.rows_from_remote += static_cast<int64_t>(out->rows.size());
+    }
+    return has;
+  }
+
   Status Restart() override {
     // Rewinding a remote cursor is another round trip's worth of work on
     // the provider; account for it (the spool ablation measures this).
@@ -119,6 +193,16 @@ class IndexRangeNode : public ExecNode {
       ctx_->stats.rows_from_remote++;
     }
     return has;
+  }
+
+  Result<bool> NextBatch(RowBatch* out, int max_rows) override {
+    // Remote ranges are never prefetched: the raw linked rowset's settle
+    // cadence is the wire contract, so batch mode pulls row-at-a-time to
+    // keep message ordinals identical to row mode.
+    if (op_->kind == PhysicalOpKind::kRemoteRange) {
+      return ExecNode::NextBatch(out, max_rows);
+    }
+    return rowset_->NextBatch(out, max_rows);
   }
 
   Status Restart() override { return Open(); }  // Bounds may be parameters.
@@ -184,6 +268,9 @@ class ConstTableNode : public ExecNode {
     if (pos_ >= op_->const_rows.size()) return false;
     *out = op_->const_rows[pos_++];
     return true;
+  }
+  Result<bool> NextBatch(RowBatch* out, int max_rows) override {
+    return SliceRows(op_->const_rows, &pos_, max_rows, out);
   }
   Status Restart() override {
     pos_ = 0;
@@ -278,6 +365,23 @@ class RemoteQueryNode : public ExecNode {
     return has;
   }
 
+  Result<bool> NextBatch(RowBatch* out, int max_rows) override {
+    // Forwards the remote stream's block fetch instead of unbatching it
+    // into single rows only to re-batch above. Only the prefetched (bulk)
+    // path may block-fetch: its producer fixes the wire granularity at
+    // remote_batch_rows in both modes. Inline streams (parameterized
+    // dispatch, prefetch disabled) keep the provider's own settle cadence
+    // via row-at-a-time pulls, so fault ordinals are batch-size-invariant.
+    if (!op_->remote_param_names.empty() ||
+        !ctx_->options.enable_remote_prefetch) {
+      return ExecNode::NextBatch(out, max_rows);
+    }
+    max_rows = ClampRemoteBatch(max_rows, ctx_->options);
+    DHQP_ASSIGN_OR_RETURN(bool has, rowset_->NextBatch(out, max_rows));
+    if (has) ctx_->stats.rows_from_remote += static_cast<int64_t>(out->rows.size());
+    return has;
+  }
+
   Status Restart() override { return Open(); }  // Re-binds current params.
 
  private:
@@ -311,11 +415,36 @@ class FilterNode : public ExecNode {
     }
   }
 
+  Result<bool> NextBatch(RowBatch* out, int max_rows) override {
+    out->clear();
+    if (max_rows <= 0) return false;
+    EvalEnv env;
+    env.col_pos = &child_->col_pos();
+    env.params = &ctx_->params;
+    env.current_date = ctx_->current_date;
+    // Qualify whole child batches through the batched predicate (selection
+    // vector); loop until at least one row survives — an empty batch may
+    // only mean end of data.
+    while (out->rows.empty()) {
+      DHQP_ASSIGN_OR_RETURN(bool has, child_->NextBatch(&in_batch_, max_rows));
+      if (!has) return false;
+      DHQP_RETURN_NOT_OK(
+          EvalPredicateBatch(*op_->predicate, env, in_batch_, &sel_));
+      out->rows.reserve(sel_.size());
+      for (int idx : sel_) {
+        out->rows.push_back(std::move(in_batch_.rows[static_cast<size_t>(idx)]));
+      }
+    }
+    return true;
+  }
+
   Status Restart() override { return child_->Restart(); }
 
  private:
   std::unique_ptr<ExecNode> child_;
   ExecContext* ctx_;
+  RowBatch in_batch_;    ///< Reused (clear-and-refill) across batch pulls.
+  SelectionVector sel_;  ///< Reused qualification buffer.
 };
 
 // Startup filter (§4.1.5): evaluates its parameter-only predicate before
@@ -346,6 +475,14 @@ class StartupFilterNode : public ExecNode {
   Result<bool> Next(Row* out) override {
     if (!active_) return false;
     return child_->Next(out);
+  }
+
+  Result<bool> NextBatch(RowBatch* out, int max_rows) override {
+    if (!active_) {
+      out->clear();
+      return false;
+    }
+    return child_->NextBatch(out, max_rows);
   }
 
   Status Restart() override { return Open(); }
@@ -383,11 +520,45 @@ class ProjectNode : public ExecNode {
     return true;
   }
 
+  Result<bool> NextBatch(RowBatch* out, int max_rows) override {
+    out->clear();
+    if (max_rows <= 0) return false;
+    DHQP_ASSIGN_OR_RETURN(bool has, child_->NextBatch(&in_batch_, max_rows));
+    if (!has) return false;
+    EvalEnv env;
+    env.col_pos = &child_->col_pos();
+    env.params = &ctx_->params;
+    env.current_date = ctx_->current_date;
+    // Evaluate column-major — one expression over the whole batch — then
+    // assemble output rows; column/literal expressions never re-enter the
+    // recursive evaluator.
+    const size_t n = in_batch_.rows.size();
+    const size_t width = op_->exprs.size();
+    col_buf_.clear();
+    col_buf_.reserve(n * width);
+    for (const ScalarExprPtr& e : op_->exprs) {
+      DHQP_RETURN_NOT_OK(
+          EvalExprBatch(*e, env, in_batch_, /*sel=*/nullptr, &col_buf_));
+    }
+    out->rows.resize(n);
+    for (size_t r = 0; r < n; ++r) {
+      Row& row = out->rows[r];
+      row.clear();
+      row.reserve(width);
+      for (size_t c = 0; c < width; ++c) {
+        row.push_back(std::move(col_buf_[c * n + r]));
+      }
+    }
+    return true;
+  }
+
   Status Restart() override { return child_->Restart(); }
 
  private:
   std::unique_ptr<ExecNode> child_;
   ExecContext* ctx_;
+  RowBatch in_batch_;           ///< Reused across batch pulls.
+  std::vector<Value> col_buf_;  ///< Column-major eval scratch, reused.
 };
 
 class TopNode : public ExecNode {
@@ -408,6 +579,23 @@ class TopNode : public ExecNode {
     return true;
   }
 
+  Result<bool> NextBatch(RowBatch* out, int max_rows) override {
+    out->clear();
+    const int64_t left = op_->limit - emitted_;
+    if (left <= 0 || max_rows <= 0) return false;
+    const int ask = static_cast<int>(
+        std::min<int64_t>(left, static_cast<int64_t>(max_rows)));
+    DHQP_ASSIGN_OR_RETURN(bool has, child_->NextBatch(out, ask));
+    if (!has) return false;
+    // Defensive: a child handing out buffered batches wholesale could
+    // over-deliver; never emit past the limit.
+    if (static_cast<int64_t>(out->rows.size()) > left) {
+      out->rows.resize(static_cast<size_t>(left));
+    }
+    emitted_ += static_cast<int64_t>(out->rows.size());
+    return true;
+  }
+
   Status Restart() override {
     emitted_ = 0;
     return child_->Restart();
@@ -424,8 +612,8 @@ class TopNode : public ExecNode {
 
 class SortNode : public ExecNode {
  public:
-  SortNode(PhysicalOpPtr op, std::unique_ptr<ExecNode> child)
-      : ExecNode(std::move(op)), child_(std::move(child)) {}
+  SortNode(PhysicalOpPtr op, std::unique_ptr<ExecNode> child, ExecContext* ctx)
+      : ExecNode(std::move(op)), child_(std::move(child)), ctx_(ctx) {}
 
   Status Open() override {
     DHQP_RETURN_NOT_OK(child_->Open());
@@ -438,6 +626,10 @@ class SortNode : public ExecNode {
     return true;
   }
 
+  Result<bool> NextBatch(RowBatch* out, int max_rows) override {
+    return SliceRows(rows_, &pos_, max_rows, out);
+  }
+
   Status Restart() override {
     DHQP_RETURN_NOT_OK(child_->Restart());
     return Materialize();
@@ -447,11 +639,21 @@ class SortNode : public ExecNode {
   Status Materialize() {
     rows_.clear();
     pos_ = 0;
-    Row row;
-    while (true) {
-      DHQP_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
-      if (!has) break;
-      rows_.push_back(row);
+    const int bs = ctx_->options.exec_batch_rows;
+    if (bs > 0) {
+      RowBatch batch;
+      while (true) {
+        DHQP_ASSIGN_OR_RETURN(bool has, child_->NextBatch(&batch, bs));
+        if (!has) break;
+        for (Row& r : batch.rows) rows_.push_back(std::move(r));
+      }
+    } else {
+      Row row;
+      while (true) {
+        DHQP_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+        if (!has) break;
+        rows_.push_back(row);
+      }
     }
     const auto& positions = child_->col_pos();
     std::vector<std::pair<int, bool>> keys;
@@ -475,6 +677,7 @@ class SortNode : public ExecNode {
   }
 
   std::unique_ptr<ExecNode> child_;
+  ExecContext* ctx_;
   std::vector<Row> rows_;
   size_t pos_ = 0;
 };
@@ -496,18 +699,15 @@ class SpoolNode : public ExecNode {
   }
 
   Result<bool> Next(Row* out) override {
-    if (!filled_) {
-      Row row;
-      while (true) {
-        DHQP_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
-        if (!has) break;
-        rows_.push_back(row);
-      }
-      filled_ = true;
-    }
+    DHQP_RETURN_NOT_OK(Fill());
     if (pos_ >= rows_.size()) return false;
     *out = rows_[pos_++];
     return true;
+  }
+
+  Result<bool> NextBatch(RowBatch* out, int max_rows) override {
+    DHQP_RETURN_NOT_OK(Fill());
+    return SliceRows(rows_, &pos_, max_rows, out);
   }
 
   Status Restart() override {
@@ -520,6 +720,28 @@ class SpoolNode : public ExecNode {
   }
 
  private:
+  Status Fill() {
+    if (filled_) return Status::OK();
+    const int bs = ctx_->options.exec_batch_rows;
+    if (bs > 0) {
+      RowBatch batch;
+      while (true) {
+        DHQP_ASSIGN_OR_RETURN(bool has, child_->NextBatch(&batch, bs));
+        if (!has) break;
+        for (Row& r : batch.rows) rows_.push_back(std::move(r));
+      }
+    } else {
+      Row row;
+      while (true) {
+        DHQP_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+        if (!has) break;
+        rows_.push_back(row);
+      }
+    }
+    filled_ = true;
+    return Status::OK();
+  }
+
   std::unique_ptr<ExecNode> child_;
   ExecContext* ctx_;
   std::vector<Row> rows_;
@@ -635,12 +857,61 @@ class ConcatNode : public ExecNode {
     return false;
   }
 
+  Result<bool> NextBatch(RowBatch* out, int max_rows) override {
+    if (parallel_) return ParallelNextBatch(out, max_rows);
+    out->clear();
+    if (max_rows <= 0) return false;
+    while (current_ < children_.size()) {
+      if (!opened_current_) {
+        if (children_[current_]->op().kind != PhysicalOpKind::kEmptyTable) {
+          ctx_->stats.partitions_opened++;
+        }
+        Status st = children_[current_]->Open();
+        if (!st.ok()) {
+          if (MaybeSkipMember(*children_[current_], st, /*rows_emitted=*/0)) {
+            ++current_;
+            continue;
+          }
+          return st;
+        }
+        opened_current_ = true;
+        current_rows_ = 0;
+      }
+      Result<bool> has = children_[current_]->NextBatch(out, max_rows);
+      if (!has.ok()) {
+        // A failing NextBatch surfaces no rows (mid-batch errors are
+        // deferred behind their rows), so the member-skip accounting sees
+        // exactly the rows already handed out.
+        if (MaybeSkipMember(*children_[current_], has.status(),
+                            current_rows_)) {
+          ++current_;
+          opened_current_ = false;
+          out->clear();
+          continue;
+        }
+        return has.status();
+      }
+      if (*has) {
+        current_rows_ += static_cast<int64_t>(out->rows.size());
+        return true;
+      }
+      ++current_;
+      opened_current_ = false;
+    }
+    return false;
+  }
+
   Status Restart() override { return Open(); }
 
  private:
   /// Rows a worker buffers locally before publishing, to keep queue
-  /// synchronization off the per-row path.
-  static constexpr size_t kWorkerBatchRows = 64;
+  /// synchronization off the per-row path
+  /// (ExecOptions::concat_worker_batch_rows guards against <= 0).
+  size_t WorkerBatchRows() const {
+    return ctx_->options.concat_worker_batch_rows > 0
+               ? static_cast<size_t>(ctx_->options.concat_worker_batch_rows)
+               : 64;
+  }
 
   bool DecideParallel() const {
     int dop = ctx_->options.concat_dop;
@@ -692,11 +963,33 @@ class ConcatNode : public ExecNode {
         RecordError(st);
         break;
       }
+      const size_t worker_batch = WorkerBatchRows();
+      const bool batched = ctx_->options.exec_batch_rows > 0;
       RowBatch batch;
       bool pushed_any = false;
+      RowBatch pull;
       while (true) {
-        Row row;
-        Result<bool> has = child->Next(&row);
+        Result<bool> has(false);
+        if (batched) {
+          // Pull whole worker batches through the branch's batch path,
+          // accumulating to the same publish cadence row-at-a-time uses —
+          // so whether rows have been published when an error arrives (the
+          // member-skip decision below) does not depend on the mode.
+          has = child->NextBatch(&pull, static_cast<int>(worker_batch));
+          if (has.ok() && *has) {
+            if (batch.rows.empty()) {
+              std::swap(batch, pull);
+            } else {
+              std::move(pull.rows.begin(), pull.rows.end(),
+                        std::back_inserter(batch.rows));
+            }
+            pull.clear();
+          }
+        } else {
+          Row row;
+          has = child->Next(&row);
+          if (has.ok() && *has) batch.rows.push_back(std::move(row));
+        }
         if (!has.ok()) {
           // Skippable only while the branch's rows are all still local to
           // this worker: once a batch is published it cannot be retracted,
@@ -711,8 +1004,7 @@ class ConcatNode : public ExecNode {
           break;
         }
         if (!*has) break;
-        batch.rows.push_back(std::move(row));
-        if (batch.rows.size() >= kWorkerBatchRows) {
+        if (batch.rows.size() >= worker_batch) {
           if (!queue_.Push(std::move(batch))) {
             aborted = true;
             break;
@@ -782,6 +1074,43 @@ class ConcatNode : public ExecNode {
     return true;
   }
 
+  Result<bool> ParallelNextBatch(RowBatch* out, int max_rows) {
+    if (!launched_) LaunchWorkers();
+    out->clear();
+    if (max_rows <= 0) return false;
+    while (batch_pos_ >= batch_.rows.size()) {
+      RowBatch batch;
+      bool got = queue_.TryPop(&batch);
+      if (!got) {
+        got = queue_.Pop(&batch);
+        if (got) ctx_->stats.prefetch_stalls++;
+      }
+      if (!got) {
+        JoinWorkers();
+        std::lock_guard<std::mutex> lock(error_mu_);
+        if (!first_error_.ok()) return first_error_;
+        return false;
+      }
+      batch_ = std::move(batch);
+      batch_pos_ = 0;
+    }
+    if (batch_pos_ == 0 &&
+        batch_.rows.size() <= static_cast<size_t>(max_rows)) {
+      // Hand the worker's buffer out wholesale — no per-row copies.
+      *out = std::move(batch_);
+      batch_ = RowBatch{};
+      return true;
+    }
+    const size_t take = std::min(batch_.rows.size() - batch_pos_,
+                                 static_cast<size_t>(max_rows));
+    out->rows.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      out->rows.push_back(std::move(batch_.rows[batch_pos_ + i]));
+    }
+    batch_pos_ += take;
+    return true;
+  }
+
   void JoinWorkers() {
     for (std::thread& t : workers_) {
       if (t.joinable()) t.join();
@@ -841,6 +1170,29 @@ class HashJoinNode : public ExecNode {
     env.col_pos2 = &right_->col_pos();
     env.params = &ctx_->params;
     env.current_date = ctx_->current_date;
+    return Step(env, out, /*batched=*/false);
+  }
+
+  Result<bool> NextBatch(RowBatch* out, int max_rows) override {
+    out->clear();
+    if (max_rows <= 0) return false;
+    // One env setup per batch; probe input arrives through the batch path
+    // (Step refills probe_batch_ as needed).
+    EvalEnv env;
+    env.col_pos = &left_->col_pos();
+    env.col_pos2 = &right_->col_pos();
+    env.params = &ctx_->params;
+    env.current_date = ctx_->current_date;
+    Row row;
+    for (int i = 0; i < max_rows; ++i) {
+      DHQP_ASSIGN_OR_RETURN(bool has, Step(env, &row, /*batched=*/true));
+      if (!has) break;
+      out->rows.push_back(std::move(row));
+    }
+    return !out->rows.empty();
+  }
+
+  Result<bool> Step(EvalEnv& env, Row* out, bool batched) {
     while (true) {
       if (have_probe_) {
         env.row = &probe_;
@@ -890,8 +1242,19 @@ class HashJoinNode : public ExecNode {
         continue;
       }
       // Advance to the next probe row.
-      DHQP_ASSIGN_OR_RETURN(bool has, left_->Next(&probe_));
-      if (!has) return false;
+      if (batched) {
+        if (probe_pos_ >= probe_batch_.rows.size()) {
+          DHQP_ASSIGN_OR_RETURN(
+              bool more,
+              left_->NextBatch(&probe_batch_, ctx_->options.exec_batch_rows));
+          if (!more) return false;
+          probe_pos_ = 0;
+        }
+        probe_ = std::move(probe_batch_.rows[probe_pos_++]);
+      } else {
+        DHQP_ASSIGN_OR_RETURN(bool has, left_->Next(&probe_));
+        if (!has) return false;
+      }
       have_probe_ = true;
       any_emitted_ = false;
       match_pos_ = 0;
@@ -931,14 +1294,13 @@ class HashJoinNode : public ExecNode {
     matches_ = &kNone;
     have_probe_ = false;
     any_emitted_ = false;
+    probe_batch_.clear();
+    probe_pos_ = 0;
     EvalEnv env;
     env.col_pos = &right_->col_pos();
     env.params = &ctx_->params;
     env.current_date = ctx_->current_date;
-    Row row;
-    while (true) {
-      DHQP_ASSIGN_OR_RETURN(bool has, right_->Next(&row));
-      if (!has) break;
+    auto insert = [&](Row& row) -> Status {
       env.row = &row;
       IndexKey key;
       bool null_key = false;
@@ -950,7 +1312,24 @@ class HashJoinNode : public ExecNode {
         }
         key.push_back(std::move(v));
       }
-      if (!null_key) table_[key].push_back(row);
+      if (!null_key) table_[key].push_back(std::move(row));
+      return Status::OK();
+    };
+    const int bs = ctx_->options.exec_batch_rows;
+    if (bs > 0) {
+      RowBatch batch;
+      while (true) {
+        DHQP_ASSIGN_OR_RETURN(bool has, right_->NextBatch(&batch, bs));
+        if (!has) break;
+        for (Row& r : batch.rows) DHQP_RETURN_NOT_OK(insert(r));
+      }
+    } else {
+      Row row;
+      while (true) {
+        DHQP_ASSIGN_OR_RETURN(bool has, right_->Next(&row));
+        if (!has) break;
+        DHQP_RETURN_NOT_OK(insert(row));
+      }
     }
     return Status::OK();
   }
@@ -965,6 +1344,8 @@ class HashJoinNode : public ExecNode {
   ExecContext* ctx_;
   std::map<IndexKey, std::vector<Row>, KeyLess> table_;
   Row probe_;
+  RowBatch probe_batch_;  ///< Batched probe input, reused across pulls.
+  size_t probe_pos_ = 0;
   const std::vector<Row>* matches_ = nullptr;
   size_t match_pos_ = 0;
   bool have_probe_ = false;
@@ -1085,6 +1466,7 @@ class MergeJoinNode : public ExecNode {
     DHQP_RETURN_NOT_OK(left_->Open());
     DHQP_RETURN_NOT_OK(right_->Open());
     left_done_ = right_done_ = false;
+    done_ = false;
     have_left_ = false;
     group_.clear();
     group_pos_ = 0;
@@ -1093,6 +1475,10 @@ class MergeJoinNode : public ExecNode {
   }
 
   Result<bool> Next(Row* out) override {
+    // Sticky end-of-stream: merge join can terminate while one side still
+    // has rows (the other ran out), so a post-EOF call must not advance
+    // the surviving child — batched callers probe once past the end.
+    if (done_) return false;
     EvalEnv env;
     env.col_pos = &left_->col_pos();
     env.col_pos2 = &right_->col_pos();
@@ -1115,7 +1501,10 @@ class MergeJoinNode : public ExecNode {
       }
       // Advance left.
       DHQP_ASSIGN_OR_RETURN(bool has, left_->Next(&left_row_));
-      if (!has) return false;
+      if (!has) {
+        done_ = true;
+        return false;
+      }
       have_left_ = true;
       group_pos_ = 0;
       DHQP_ASSIGN_OR_RETURN(IndexKey lkey, KeyOf(left_row_, true, env));
@@ -1152,6 +1541,7 @@ class MergeJoinNode : public ExecNode {
         have_left_ = false;  // No right match for this left key.
         if (right_done_ && !right_ahead_) {
           // Right exhausted: remaining left rows cannot match.
+          done_ = true;
           return false;
         }
         have_left_ = false;
@@ -1165,6 +1555,7 @@ class MergeJoinNode : public ExecNode {
     DHQP_RETURN_NOT_OK(left_->Restart());
     DHQP_RETURN_NOT_OK(right_->Restart());
     left_done_ = right_done_ = false;
+    done_ = false;
     have_left_ = false;
     group_.clear();
     group_pos_ = 0;
@@ -1189,6 +1580,7 @@ class MergeJoinNode : public ExecNode {
   Row left_row_, right_row_;
   bool have_left_ = false, right_ahead_ = false;
   bool left_done_ = false, right_done_ = false;
+  bool done_ = false;  ///< Sticky EOF; post-EOF Next must not touch children.
   std::vector<Row> group_;
   IndexKey group_key_;
   size_t group_pos_ = 0;
@@ -1264,6 +1656,10 @@ class HashAggregateNode : public ExecNode {
     return true;
   }
 
+  Result<bool> NextBatch(RowBatch* out, int max_rows) override {
+    return SliceRows(results_, &pos_, max_rows, out);
+  }
+
   Status Restart() override {
     DHQP_RETURN_NOT_OK(child_->Restart());
     return Aggregate();
@@ -1284,24 +1680,72 @@ class HashAggregateNode : public ExecNode {
     env.col_pos = &child_->col_pos();
     env.params = &ctx_->params;
     env.current_date = ctx_->current_date;
-    Row row;
-    while (true) {
-      DHQP_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
-      if (!has) break;
-      env.row = &row;
-      IndexKey key;
-      for (int g : op_->group_by) {
-        key.push_back(row[static_cast<size_t>(child_->col_pos().at(g))]);
+    const int bs = ctx_->options.exec_batch_rows;
+    if (bs > 0) {
+      // Batched input: group positions are resolved once (the row loop pays
+      // a map lookup per group column per row), aggregate arguments are
+      // evaluated column-at-a-time, and the scalar (no GROUP BY) case keeps
+      // a direct pointer to its single accumulator group.
+      std::vector<int> gpos;
+      gpos.reserve(op_->group_by.size());
+      for (int g : op_->group_by) gpos.push_back(child_->col_pos().at(g));
+      std::vector<Accumulator>* scalar_accs = nullptr;
+      if (op_->group_by.empty()) {
+        auto [it, inserted] = groups.try_emplace(IndexKey{});
+        it->second.resize(op_->aggregates.size());
+        scalar_accs = &it->second;
       }
-      auto [it, inserted] = groups.try_emplace(std::move(key));
-      if (inserted) it->second.resize(op_->aggregates.size());
-      for (size_t i = 0; i < op_->aggregates.size(); ++i) {
-        const AggregateItem& item = op_->aggregates[i];
-        Value v = Value::Int64(1);  // Placeholder for COUNT(*).
-        if (item.arg != nullptr) {
-          DHQP_ASSIGN_OR_RETURN(v, EvalExpr(*item.arg, env));
+      const Value one = Value::Int64(1);  // Placeholder for COUNT(*).
+      RowBatch batch;
+      std::vector<std::vector<Value>> arg_cols(op_->aggregates.size());
+      IndexKey key;
+      while (true) {
+        DHQP_ASSIGN_OR_RETURN(bool has, child_->NextBatch(&batch, bs));
+        if (!has) break;
+        for (size_t i = 0; i < op_->aggregates.size(); ++i) {
+          if (op_->aggregates[i].arg == nullptr) continue;
+          arg_cols[i].clear();
+          DHQP_RETURN_NOT_OK(EvalExprBatch(*op_->aggregates[i].arg, env,
+                                           batch, /*sel=*/nullptr,
+                                           &arg_cols[i]));
         }
-        DHQP_RETURN_NOT_OK(Accumulate(item, v, &it->second[i]));
+        for (size_t r = 0; r < batch.rows.size(); ++r) {
+          std::vector<Accumulator>* accs = scalar_accs;
+          if (accs == nullptr) {
+            const Row& row = batch.rows[r];
+            key.clear();
+            for (int p : gpos) key.push_back(row[static_cast<size_t>(p)]);
+            auto [it, inserted] = groups.try_emplace(key);
+            if (inserted) it->second.resize(op_->aggregates.size());
+            accs = &it->second;
+          }
+          for (size_t i = 0; i < op_->aggregates.size(); ++i) {
+            const AggregateItem& item = op_->aggregates[i];
+            const Value& v = item.arg != nullptr ? arg_cols[i][r] : one;
+            DHQP_RETURN_NOT_OK(Accumulate(item, v, &(*accs)[i]));
+          }
+        }
+      }
+    } else {
+      Row row;
+      while (true) {
+        DHQP_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+        if (!has) break;
+        env.row = &row;
+        IndexKey key;
+        for (int g : op_->group_by) {
+          key.push_back(row[static_cast<size_t>(child_->col_pos().at(g))]);
+        }
+        auto [it, inserted] = groups.try_emplace(std::move(key));
+        if (inserted) it->second.resize(op_->aggregates.size());
+        for (size_t i = 0; i < op_->aggregates.size(); ++i) {
+          const AggregateItem& item = op_->aggregates[i];
+          Value v = Value::Int64(1);  // Placeholder for COUNT(*).
+          if (item.arg != nullptr) {
+            DHQP_ASSIGN_OR_RETURN(v, EvalExpr(*item.arg, env));
+          }
+          DHQP_RETURN_NOT_OK(Accumulate(item, v, &it->second[i]));
+        }
       }
     }
     // Scalar aggregate over an empty input still yields one row.
@@ -1337,6 +1781,8 @@ class StreamAggregateNode : public ExecNode {
     done_ = false;
     have_pending_ = false;
     emitted_scalar_ = false;
+    in_batch_.clear();
+    in_pos_ = 0;
     return Status::OK();
   }
 
@@ -1373,7 +1819,7 @@ class StreamAggregateNode : public ExecNode {
     }
     Row row;
     while (true) {
-      DHQP_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+      DHQP_ASSIGN_OR_RETURN(bool has, NextInputRow(&row));
       if (!has) {
         done_ = true;
         break;
@@ -1418,6 +1864,8 @@ class StreamAggregateNode : public ExecNode {
     done_ = false;
     have_pending_ = false;
     emitted_scalar_ = false;
+    in_batch_.clear();
+    in_pos_ = 0;
     return Status::OK();
   }
 
@@ -1430,9 +1878,28 @@ class StreamAggregateNode : public ExecNode {
     return key;
   }
 
+  /// Input pull: batched through in_batch_ when exec_batch_rows > 0 (one
+  /// child NextBatch per batch instead of one virtual Next per row),
+  /// otherwise the classic row pull.
+  Result<bool> NextInputRow(Row* out) {
+    const int bs = ctx_->options.exec_batch_rows;
+    if (bs > 0) {
+      if (in_pos_ >= in_batch_.rows.size()) {
+        DHQP_ASSIGN_OR_RETURN(bool has, child_->NextBatch(&in_batch_, bs));
+        if (!has) return false;
+        in_pos_ = 0;
+      }
+      *out = std::move(in_batch_.rows[in_pos_++]);
+      return true;
+    }
+    return child_->Next(out);
+  }
+
   std::unique_ptr<ExecNode> child_;
   ExecContext* ctx_;
   Row pending_;
+  RowBatch in_batch_;  ///< Batched input buffer, reused across pulls.
+  size_t in_pos_ = 0;
   bool have_pending_ = false;
   bool done_ = false;
   bool emitted_scalar_ = false;
@@ -1463,24 +1930,26 @@ bool IsRemoteOp(PhysicalOpKind kind) {
 // the profile's charge sink on the calling thread, so link traffic —
 // including retries and injected faults — lands on exactly this operator.
 //
-// The per-row path samples: Next is timed on 1 of every kSampleEvery calls
+// The per-row path samples: Next is timed on 1 of every
+// ExecOptions::profile_sample_every calls (rounded down to a power of two)
 // and the estimate is scaled up at flush time (like SQL Server's sampled
 // actual-plan CPU timing) — two RDTSC reads per row per operator would
-// alone blow the <=5% overhead budget on deep plans. Row counts are always
-// exact. Counts accumulate in plain members (each exec node is driven by
-// one thread at a time; parallel Concat branches are distinct nodes) and
-// flush into the shared profile atomics on destruction, which the executor
+// alone blow the <=5% overhead budget on deep plans. The batch path times
+// every NextBatch call instead: the batch amortizes the two clock reads, so
+// timing is exact there, not sampled. Row counts are always exact. Counts
+// accumulate in plain members (each exec node is driven by one thread at a
+// time; parallel Concat branches are distinct nodes) and flush into the
+// shared profile atomics on destruction, which the executor
 // joins/happens-before the profile being rendered.
 class ProfiledNode : public ExecNode {
  public:
-  /// Next-call timing sample rate (power of two).
-  static constexpr uint32_t kSampleEvery = 16;
-
-  ProfiledNode(std::unique_ptr<ExecNode> inner, OperatorProfile* profile)
+  ProfiledNode(std::unique_ptr<ExecNode> inner, OperatorProfile* profile,
+               int sample_every)
       : ExecNode(inner->op_ptr()),
         inner_(std::move(inner)),
         prof_(profile),
-        sink_(IsRemoteOp(op_->kind) ? &profile->link_charges : nullptr) {}
+        sink_(IsRemoteOp(op_->kind) ? &profile->link_charges : nullptr),
+        sample_mask_(FloorPow2(sample_every) - 1) {}
 
   ~ProfiledNode() override {
     // The profile tree (owned by ExecContext) outlives the exec tree, so
@@ -1490,6 +1959,7 @@ class ProfiledNode : public ExecNode {
     prof_->close_ticks.fetch_add(fastclock::Ticks() - t0,
                                  std::memory_order_relaxed);
     prof_->rows_out.fetch_add(rows_, std::memory_order_relaxed);
+    prof_->exec_batches.fetch_add(exec_batches_, std::memory_order_relaxed);
     if (timed_calls_ > 0) {
       // Scale the sampled interval sum to the full call count.
       prof_->next_ticks.fetch_add(
@@ -1511,7 +1981,7 @@ class ProfiledNode : public ExecNode {
 
   Result<bool> Next(Row* out) override {
     net::ScopedChargeSink charge(sink_);
-    if ((next_calls_++ & (kSampleEvery - 1)) == 0) {
+    if ((next_calls_++ & sample_mask_) == 0) {
       const int64_t t0 = fastclock::Ticks();
       Result<bool> result = inner_->Next(out);
       sampled_ticks_ += fastclock::Ticks() - t0;
@@ -1521,6 +1991,23 @@ class ProfiledNode : public ExecNode {
     }
     Result<bool> result = inner_->Next(out);
     if (result.ok() && result.value()) ++rows_;
+    return result;
+  }
+
+  Result<bool> NextBatch(RowBatch* out, int max_rows) override {
+    net::ScopedChargeSink charge(sink_);
+    // Every batch call is timed (no sampling): the clock reads amortize
+    // over the whole batch. next_calls_/timed_calls_ feed the same flush
+    // arithmetic, which degenerates to "sum of all intervals" here.
+    const int64_t t0 = fastclock::Ticks();
+    Result<bool> result = inner_->NextBatch(out, max_rows);
+    sampled_ticks_ += fastclock::Ticks() - t0;
+    ++next_calls_;
+    ++timed_calls_;
+    ++exec_batches_;
+    if (result.ok() && result.value()) {
+      rows_ += static_cast<int64_t>(out->rows.size());
+    }
     return result;
   }
 
@@ -1535,10 +2022,22 @@ class ProfiledNode : public ExecNode {
   }
 
  private:
+  /// Largest power of two <= n (1 for n <= 1): sampling uses a bitmask.
+  static uint32_t FloorPow2(int n) {
+    uint32_t p = 1;
+    while (n >= 2) {
+      n >>= 1;
+      p <<= 1;
+    }
+    return p;
+  }
+
   std::unique_ptr<ExecNode> inner_;
   OperatorProfile* prof_;
   net::LinkChargeSink* sink_;  ///< Non-null only for remote operators.
+  uint32_t sample_mask_;       ///< Row-mode Next timing: 1-in-(mask+1).
   int64_t rows_ = 0;
+  int64_t exec_batches_ = 0;  ///< NextBatch calls served to the consumer.
   uint32_t next_calls_ = 0;
   uint32_t timed_calls_ = 0;
   int64_t sampled_ticks_ = 0;
@@ -1580,7 +2079,7 @@ Result<std::unique_ptr<ExecNode>> BuildNode(
           new TopNode(plan, std::move(children[0])));
     case PhysicalOpKind::kSort:
       return std::unique_ptr<ExecNode>(
-          new SortNode(plan, std::move(children[0])));
+          new SortNode(plan, std::move(children[0]), ctx));
     case PhysicalOpKind::kSpool:
       return std::unique_ptr<ExecNode>(
           new SpoolNode(plan, std::move(children[0]), ctx));
@@ -1639,7 +2138,8 @@ Result<std::unique_ptr<ExecNode>> BuildTreeRec(
   DHQP_ASSIGN_OR_RETURN(auto node, BuildNode(plan, std::move(children), ctx));
   if (prof != nullptr) {
     node->set_profile(prof);
-    return std::unique_ptr<ExecNode>(new ProfiledNode(std::move(node), prof));
+    return std::unique_ptr<ExecNode>(new ProfiledNode(
+        std::move(node), prof, ctx->options.profile_sample_every));
   }
   return node;
 }
@@ -1672,12 +2172,27 @@ Result<std::unique_ptr<VectorRowset>> ExecutePlan(const PhysicalOpPtr& plan,
                                true});
   }
   std::vector<Row> rows;
-  Row row;
-  while (true) {
-    DHQP_ASSIGN_OR_RETURN(bool has, root->Next(&row));
-    if (!has) break;
-    rows.push_back(row);
-    ctx->stats.rows_output++;
+  const int bs = ctx->options.exec_batch_rows;
+  if (bs > 0) {
+    // Batch sink: one virtual call per batch; the buffer is reused
+    // (clear-and-refill) across pulls, rows move out of it.
+    RowBatch batch;
+    while (true) {
+      DHQP_ASSIGN_OR_RETURN(bool has, root->NextBatch(&batch, bs));
+      if (!has) break;
+      ctx->stats.exec_batches++;
+      ctx->stats.exec_batch_rows += static_cast<int64_t>(batch.rows.size());
+      ctx->stats.rows_output += static_cast<int64_t>(batch.rows.size());
+      for (Row& r : batch.rows) rows.push_back(std::move(r));
+    }
+  } else {
+    Row row;
+    while (true) {
+      DHQP_ASSIGN_OR_RETURN(bool has, root->Next(&row));
+      if (!has) break;
+      rows.push_back(row);
+      ctx->stats.rows_output++;
+    }
   }
   return std::make_unique<VectorRowset>(std::move(schema), std::move(rows));
 }

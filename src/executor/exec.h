@@ -35,6 +35,13 @@ struct ExecStats {
                                               ///< worker threads.
   std::atomic<int64_t> spool_rescans{0};  ///< Rescans served from spools.
   std::atomic<int64_t> rows_output{0};
+  std::atomic<int64_t> exec_batches{0};    ///< Batches the top-level sink
+                                           ///< pulled (0 in row-at-a-time
+                                           ///< mode).
+  std::atomic<int64_t> exec_batch_rows{0};  ///< Rows delivered through those
+                                            ///< batches; ratio to
+                                            ///< exec_batches gives the
+                                            ///< effective batch size.
   std::atomic<int64_t> remote_retries{0};   ///< Link message resends.
   std::atomic<int64_t> remote_timeouts{0};  ///< Per-message deadline misses.
   std::atomic<int64_t> faults_injected{0};  ///< Attempts failed by the fault
@@ -57,6 +64,8 @@ struct ExecStats {
     parallel_branches = other.parallel_branches.load();
     spool_rescans = other.spool_rescans.load();
     rows_output = other.rows_output.load();
+    exec_batches = other.exec_batches.load();
+    exec_batch_rows = other.exec_batch_rows.load();
     remote_retries = other.remote_retries.load();
     remote_timeouts = other.remote_timeouts.load();
     faults_injected = other.faults_injected.load();
@@ -70,7 +79,7 @@ struct ExecStats {
 // ctor/operator= and the expected field count here — this guard is what
 // keeps a new counter from silently reading as zero in QueryResult
 // snapshots.
-static_assert(sizeof(ExecStats) == 15 * sizeof(std::atomic<int64_t>),
+static_assert(sizeof(ExecStats) == 17 * sizeof(std::atomic<int64_t>),
               "ExecStats field list changed: update the hand-written copy "
               "routine and this assert together");
 
@@ -83,6 +92,22 @@ struct ExecOptions {
   /// Rows per block fetch (Rowset::NextBatch) on remote streams — the
   /// IRowset::GetNextRows cRows argument.
   int remote_batch_rows = 512;
+  /// Rows per batch in the *local* executor: when > 0 every operator with a
+  /// native batch path streams RowBatches through ExecNode::NextBatch and
+  /// predicates/scalars evaluate over whole batches (selection vectors),
+  /// amortizing the per-row virtual dispatch the Volcano model pays.
+  /// 0 = classic row-at-a-time Next(), preserved bit-for-bit for A/B runs.
+  /// Results are identical either way (the batch differential suite holds
+  /// this); remote block-fetch granularity stays remote_batch_rows.
+  int exec_batch_rows = 1024;
+  /// Rows a parallel Concat worker buffers locally before publishing to the
+  /// consumer queue, keeping queue synchronization off the per-row path.
+  int concat_worker_batch_rows = 64;
+  /// Sample rate for per-operator Next()-call timing in row-at-a-time mode
+  /// (1 of every N calls is RDTSC-timed and scaled back up); rounded down
+  /// to a power of two. Batch mode times every NextBatch call instead —
+  /// the batch amortizes the clock reads. Must be >= 1.
+  int profile_sample_every = 16;
   /// Batches buffered ahead of the consumer (double buffering and beyond).
   int prefetch_queue_depth = 4;
   /// Max Concat branches (partitioned-view members) drained concurrently;
@@ -139,6 +164,20 @@ class ExecNode {
   virtual Result<bool> Next(Row* out) = 0;
   virtual Status Restart() = 0;
 
+  /// Batch-at-a-time pull: fills `out` (cleared first) with up to `max_rows`
+  /// rows. Same contract as Rowset::NextBatch — false only at end of data
+  /// (out left empty); a partial batch returns true. The default loops
+  /// Next(), so every operator works unmodified under a batching consumer;
+  /// hot operators override it with native batch paths. A consumer must
+  /// drive a given child through either Next or NextBatch between rewinds,
+  /// not both interleaved (Open/Restart reset any internal batch buffers).
+  /// A mid-batch error from Next() is deferred: the rows collected so far
+  /// are returned and the error surfaces on the following call — exactly
+  /// the order a row-at-a-time consumer observes it in, which is what keeps
+  /// error-handling decisions (e.g. Concat's member-skip rule) independent
+  /// of the batch size.
+  virtual Result<bool> NextBatch(RowBatch* out, int max_rows);
+
   const PhysicalOp& op() const { return *op_; }
   /// Shared plan node (the profiling wrapper shares its inner node's op).
   const PhysicalOpPtr& op_ptr() const { return op_; }
@@ -154,6 +193,11 @@ class ExecNode {
   PhysicalOpPtr op_;
   std::map<int, int> col_pos_;
   OperatorProfile* profile_ = nullptr;
+
+ private:
+  /// Error raised by Next() mid-way through a default NextBatch fill,
+  /// surfaced on the following call (see NextBatch).
+  Status deferred_batch_status_;
 };
 
 /// Builds an executable tree from a physical plan.

@@ -60,7 +60,7 @@ void PrefetchingRowset::ProducerLoop() {
   metrics::Histogram* depth =
       metrics::Registry::Global().GetHistogram("exec.prefetch.queue_depth");
   while (true) {
-    RowBatch batch;
+    RowBatch batch = TakeRecycled();
     Result<bool> has = inner_->NextBatch(&batch, batch_rows_);
     if (!has.ok()) {
       {
@@ -99,9 +99,26 @@ Result<bool> PrefetchingRowset::Advance() {
     if (!producer_status_.ok()) return producer_status_;
     return false;
   }
+  Recycle(std::move(current_));  // Drained buffer re-enters the cycle.
   current_ = std::move(batch);
   pos_ = 0;
   return true;
+}
+
+void PrefetchingRowset::Recycle(RowBatch&& batch) {
+  batch.clear();  // Keeps the row vector's capacity for the refill.
+  std::lock_guard<std::mutex> lock(recycle_mu_);
+  // Bounded: queue depth + in-flight covers the steady state; anything
+  // beyond that would just pin memory.
+  if (recycle_.size() < 8) recycle_.push_back(std::move(batch));
+}
+
+RowBatch PrefetchingRowset::TakeRecycled() {
+  std::lock_guard<std::mutex> lock(recycle_mu_);
+  if (recycle_.empty()) return RowBatch{};
+  RowBatch batch = std::move(recycle_.back());
+  recycle_.pop_back();
+  return batch;
 }
 
 Result<bool> PrefetchingRowset::Next(Row* out) {
@@ -115,23 +132,27 @@ Result<bool> PrefetchingRowset::Next(Row* out) {
 
 Result<bool> PrefetchingRowset::NextBatch(RowBatch* out, int max_rows) {
   out->clear();
+  if (max_rows <= 0) return false;
   if (pos_ >= current_.rows.size()) {
     DHQP_ASSIGN_OR_RETURN(bool has, Advance());
     if (!has) return false;
   }
-  // Hand over the buffered batch (or its unconsumed tail) wholesale; the
-  // producer's batch size bounds it, so max_rows is only a hint here.
-  (void)max_rows;
-  if (pos_ == 0) {
-    *out = std::move(current_);
-  } else {
-    out->rows.assign(
-        std::make_move_iterator(current_.rows.begin() +
-                                static_cast<ptrdiff_t>(pos_)),
-        std::make_move_iterator(current_.rows.end()));
+  const size_t avail = current_.rows.size() - pos_;
+  if (pos_ == 0 && avail <= static_cast<size_t>(max_rows)) {
+    // Wholesale handoff — swapped, not moved, so the caller's (cleared)
+    // buffer enters the recycle cycle on the next Advance().
+    std::swap(*out, current_);
+    current_.clear();
+    return true;
   }
-  current_.clear();
-  pos_ = 0;
+  // The consumer asked for less than is buffered (or resumes mid-batch
+  // after a row-mode pull): hand out exactly max_rows and keep the tail.
+  const size_t take = std::min(avail, static_cast<size_t>(max_rows));
+  out->rows.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    out->rows.push_back(std::move(current_.rows[pos_ + i]));
+  }
+  pos_ += take;
   return true;
 }
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "src/executor/bounded_queue.h"
 #include "src/executor/exec.h"
@@ -61,6 +62,14 @@ class PrefetchingRowset : public Rowset {
   void ProducerLoop();
   /// Pops the next batch into `current_`; false at end of stream or error.
   Result<bool> Advance();
+  /// Returns a drained batch's storage to the producer (bounded stash), so
+  /// the pipeline cycles a fixed set of RowBatch buffers instead of
+  /// allocating one per batch: consumer -> recycle stash -> producer ->
+  /// queue -> consumer.
+  void Recycle(RowBatch&& batch);
+  /// Producer side of the cycle: a recycled buffer, or a fresh one while
+  /// the cycle is still filling.
+  RowBatch TakeRecycled();
 
   std::unique_ptr<Rowset> inner_;
   Schema schema_;  ///< Copied: schema() must not race with the producer.
@@ -73,6 +82,9 @@ class PrefetchingRowset : public Rowset {
 
   std::mutex status_mu_;
   Status producer_status_;  ///< First producer error; guarded by status_mu_.
+
+  std::mutex recycle_mu_;
+  std::vector<RowBatch> recycle_;  ///< Guarded by recycle_mu_.
 
   RowBatch current_;
   size_t pos_ = 0;

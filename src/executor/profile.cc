@@ -23,6 +23,10 @@ void RenderInto(const OperatorProfile& p, int indent, std::string* out) {
     std::snprintf(buf, sizeof(buf), " restarts=%" PRId64, r);
     out->append(buf);
   }
+  if (int64_t eb = p.exec_batches.load(); eb > 0) {
+    std::snprintf(buf, sizeof(buf), " ebatches=%" PRId64, eb);
+    out->append(buf);
+  }
   if (!p.link.empty()) {
     const net::LinkChargeSink& c = p.link_charges;
     std::snprintf(buf, sizeof(buf), " link=%s msgs=%" PRId64,

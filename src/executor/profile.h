@@ -32,6 +32,11 @@ struct OperatorProfile {
 
   std::atomic<int64_t> rows_out{0};
   std::atomic<int64_t> batches{0};   ///< Remote block fetches delivered here.
+  std::atomic<int64_t> exec_batches{0};  ///< Local executor NextBatch calls
+                                         ///< served (0 in row-at-a-time
+                                         ///< mode); distinct from `batches`,
+                                         ///< which counts remote wire
+                                         ///< blocks.
   std::atomic<int64_t> opens{0};
   std::atomic<int64_t> restarts{0};  ///< Rescans (rewinds) of this operator.
   std::atomic<int64_t> open_ticks{0};

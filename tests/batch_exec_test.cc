@@ -1,0 +1,384 @@
+// Differential coverage for batch-at-a-time execution: every query runs
+// under exec_batch_rows in {0, 1, 3, 1024} — classic row-at-a-time, the
+// degenerate one-row batch, a deliberately awkward size that never aligns
+// with operator buffers, and the production default — and must produce
+// identical result multisets, warnings, and ExecStats row counts. Covers a
+// fixed semantics corpus (NULL logic, aggregates, DISTINCT, joins, LIKE,
+// TOP, subqueries with Restart mid-batch), randomly generated distributed
+// queries, and a seeded fault schedule on the remote link.
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "tests/test_util.h"
+
+namespace dhqp {
+namespace {
+
+const int kBatchSizes[] = {0, 1, 3, 1024};
+
+// Sorted multiset fingerprint of a result.
+std::string Fingerprint(const QueryResult& r) {
+  std::vector<std::string> rows;
+  if (r.rowset != nullptr) {
+    for (const Row& row : r.rowset->rows()) rows.push_back(RowToString(row));
+  }
+  std::sort(rows.begin(), rows.end());
+  std::string out;
+  for (const std::string& s : rows) out += s + "\n";
+  return out;
+}
+
+std::string JoinWarnings(const QueryResult& r) {
+  std::string out;
+  for (const std::string& w : r.warnings) out += w + "\n";
+  return out;
+}
+
+// One execution's comparable surface: result multiset, warnings, and the
+// stats that must be mode-invariant.
+struct Observation {
+  bool ok = false;
+  StatusCode code = StatusCode::kOk;
+  std::string fingerprint;
+  std::string warnings;
+  int64_t rows_output = 0;
+  int64_t rows_from_remote = 0;
+  int64_t exec_batches = 0;
+  int64_t exec_batch_rows = 0;
+};
+
+Observation Observe(Engine* host, const std::string& sql, int batch_rows) {
+  host->options()->execution.exec_batch_rows = batch_rows;
+  Observation obs;
+  auto result = host->Execute(sql);
+  obs.ok = result.ok();
+  if (!result.ok()) {
+    obs.code = result.status().code();
+    return obs;
+  }
+  obs.fingerprint = Fingerprint(*result);
+  obs.warnings = JoinWarnings(*result);
+  obs.rows_output = result->exec_stats.rows_output;
+  obs.rows_from_remote = result->exec_stats.rows_from_remote;
+  obs.exec_batches = result->exec_stats.exec_batches;
+  obs.exec_batch_rows = result->exec_stats.exec_batch_rows;
+  return obs;
+}
+
+// Asserts the mode-invariant parts of two observations agree.
+void ExpectEquivalent(const Observation& base, const Observation& obs,
+                      const std::string& sql, int batch_rows,
+                      bool compare_remote_rows = true) {
+  EXPECT_EQ(base.ok, obs.ok) << sql << " (exec_batch_rows=" << batch_rows
+                             << ")";
+  if (!base.ok || !obs.ok) {
+    EXPECT_EQ(base.code, obs.code) << sql;
+    return;
+  }
+  EXPECT_EQ(base.fingerprint, obs.fingerprint)
+      << sql << " (exec_batch_rows=" << batch_rows << ")";
+  EXPECT_EQ(base.warnings, obs.warnings) << sql;
+  EXPECT_EQ(base.rows_output, obs.rows_output) << sql;
+  if (compare_remote_rows) {
+    EXPECT_EQ(base.rows_from_remote, obs.rows_from_remote) << sql;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fixed semantics corpus over a local + remote topology.
+// ---------------------------------------------------------------------------
+
+class BatchExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    remote_ = AttachRemoteEngine(&host_, "rsrv");
+    MustExecute(&host_,
+                "CREATE TABLE t (id INT PRIMARY KEY, v INT, s VARCHAR(8))");
+    MustExecute(&host_,
+                "INSERT INTO t VALUES (1, 10, 'abc'), (2, NULL, 'abd'), "
+                "(3, 7, NULL), (4, 10, 'xyz'), (5, -3, 'ab'), "
+                "(110, 4, 'q'), (120, NULL, NULL)");
+    MustExecute(&host_, "CREATE TABLE u (v INT, tag VARCHAR(4))");
+    MustExecute(&host_, "INSERT INTO u VALUES (10, 'x'), (NULL, 'n'), "
+                        "(7, 'y'), (7, 'z')");
+    MustExecute(remote_.engine.get(),
+                "CREATE TABLE r (a INT PRIMARY KEY, e INT)");
+    MustExecute(remote_.engine.get(),
+                "INSERT INTO r VALUES (1, 100), (3, 300), (5, 500), "
+                "(7, 700), (110, 110), (9, 900)");
+  }
+
+  Engine host_;
+  RemoteServer remote_;
+};
+
+TEST_F(BatchExecTest, SemanticsCorpusIsBatchSizeInvariant) {
+  const char* kCorpus[] = {
+      "SELECT id FROM t WHERE v = NULL",
+      "SELECT id FROM t WHERE v <> 10",
+      "SELECT id FROM t WHERE v IS NULL ORDER BY id",
+      "SELECT id FROM t WHERE v IS NOT NULL AND s IS NULL",
+      "SELECT id FROM t WHERE v > 5 OR s = 'abc' ORDER BY id",
+      "SELECT id FROM t WHERE NOT (v > 5) ORDER BY id",
+      "SELECT id FROM t WHERE v > 5 AND id < 100 AND s <> 'abc'",
+      "SELECT COUNT(*), COUNT(v), SUM(v), AVG(v), MIN(v), MAX(v) FROM t",
+      "SELECT COUNT(*), SUM(v), MIN(v) FROM t WHERE id > 1000",
+      "SELECT v, COUNT(*) FROM t WHERE id > 100 GROUP BY v",
+      "SELECT COUNT(v), COUNT(DISTINCT v), SUM(DISTINCT v) FROM t",
+      "SELECT v, COUNT(*) FROM t GROUP BY v ORDER BY v",
+      "SELECT t.id, u.tag FROM t JOIN u ON t.v = u.v",
+      "SELECT t.id, u.tag FROM t LEFT JOIN u ON t.v = u.v ORDER BY t.id",
+      "SELECT id FROM t WHERE s LIKE 'ab%' ORDER BY id",
+      "SELECT id, v + 1 FROM t WHERE id = 2",
+      "SELECT TOP 3 id FROM t ORDER BY id",
+      "SELECT TOP 100 id FROM t ORDER BY id DESC",
+      "SELECT id FROM t WHERE v IN (10, NULL)",
+      "SELECT id FROM t WHERE v NOT IN (10, NULL)",
+      "SELECT UPPER(s), LEN(s) FROM t WHERE id = 1",
+      "SELECT id FROM t ORDER BY v DESC, id",
+      "SELECT t.id, r.e FROM t, rsrv.db.dbo.r r WHERE t.id = r.a",
+      "SELECT t.id, r.e FROM t, rsrv.db.dbo.r r "
+      "WHERE t.id = r.a AND r.e > 150 ORDER BY t.id",
+      "SELECT 1 / 0",  // Errors must be batch-size-invariant too.
+  };
+  for (const char* sql : kCorpus) {
+    Observation base = Observe(&host_, sql, /*batch_rows=*/0);
+    EXPECT_EQ(base.exec_batches, 0) << sql;  // Row mode never counts batches.
+    for (int bs : kBatchSizes) {
+      if (bs == 0) continue;
+      Observation obs = Observe(&host_, sql, bs);
+      ExpectEquivalent(base, obs, sql, bs);
+      if (obs.ok && obs.rows_output > 0) {
+        // The sink pulled real batches and they add up to the output.
+        EXPECT_GT(obs.exec_batches, 0) << sql;
+        EXPECT_EQ(obs.exec_batch_rows, obs.rows_output) << sql;
+      }
+    }
+  }
+}
+
+// Subqueries drive Restart() on the inner side while the outer side streams
+// in batches — the Restart-mid-batch interleaving. The correlated variant
+// parameterizes a remote query that rebinds per outer row.
+TEST_F(BatchExecTest, SubqueryRestartMidBatchIsBatchSizeInvariant) {
+  const char* kSubqueries[] = {
+      "SELECT id FROM t WHERE EXISTS (SELECT * FROM u WHERE u.v = t.v)",
+      "SELECT id FROM t WHERE NOT EXISTS (SELECT * FROM u WHERE u.v = t.v)",
+      "SELECT id FROM t WHERE id IN (SELECT a FROM rsrv.db.dbo.r)",
+      "SELECT id FROM t WHERE id NOT IN (SELECT a FROM rsrv.db.dbo.r)",
+      "SELECT id FROM t WHERE EXISTS "
+      "(SELECT * FROM rsrv.db.dbo.r WHERE r.a = t.id AND r.e > 200)",
+  };
+  for (const char* sql : kSubqueries) {
+    Observation base = Observe(&host_, sql, /*batch_rows=*/0);
+    for (int bs : kBatchSizes) {
+      if (bs == 0) continue;
+      Observation obs = Observe(&host_, sql, bs);
+      // Semi-join early termination can legitimately pull a different
+      // number of remote rows per mode; the answer may not change.
+      ExpectEquivalent(base, obs, sql, bs, /*compare_remote_rows=*/false);
+    }
+  }
+}
+
+// exec.batches / exec.batch_rows are queryable through sys..dm_metrics.
+TEST_F(BatchExecTest, BatchCountersVisibleInMetricsDmv) {
+  host_.options()->execution.exec_batch_rows = 1024;
+  MustExecute(&host_, "SELECT id FROM t WHERE v IS NOT NULL");
+  QueryResult m = MustExecute(
+      &host_,
+      "SELECT name, value FROM sys..dm_metrics WHERE name = 'exec.batches'");
+  ASSERT_NE(m.rowset, nullptr);
+  ASSERT_EQ(m.rowset->rows().size(), 1u);
+  EXPECT_GT(m.rowset->rows()[0][1].int64_value(), 0);
+  m = MustExecute(&host_,
+                  "SELECT name, value FROM sys..dm_metrics "
+                  "WHERE name = 'exec.batch_rows'");
+  ASSERT_EQ(m.rowset->rows().size(), 1u);
+  EXPECT_GT(m.rowset->rows()[0][1].int64_value(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Random distributed queries, all batch sizes.
+// ---------------------------------------------------------------------------
+
+// Seeded generator over two local tables and one remote (same shape as the
+// optimizer differential suite): joins on `a`, random range predicates,
+// occasional GROUP BY aggregates.
+class BatchQueryGenerator {
+ public:
+  explicit BatchQueryGenerator(uint64_t seed) : rng_(seed) {}
+
+  std::string Next() {
+    struct Src {
+      const char* sql;
+      const char* alias;
+    };
+    std::vector<Src> pool = {{"t1", "t1"}, {"t2", "t2"},
+                             {"rsrv.db.dbo.r", "r"}};
+    int n = static_cast<int>(rng_.Uniform(1, 3));
+    std::vector<Src> from;
+    for (int i = 0; i < n; ++i) {
+      from.push_back(pool[static_cast<size_t>(rng_.Uniform(0, 2))]);
+      for (int j = 0; j < i; ++j) {
+        if (std::string(from.back().alias) ==
+            from[static_cast<size_t>(j)].alias) {
+          from.pop_back();
+          --i;
+          break;
+        }
+      }
+    }
+
+    std::string sql = "SELECT ";
+    bool aggregate = rng_.Uniform(0, 3) == 0;
+    std::string group_col = std::string(from[0].alias) + ".a";
+    if (aggregate) {
+      sql += group_col + ", COUNT(*), SUM(" + from[0].alias + ".a)";
+    } else {
+      sql += "*";
+    }
+    sql += " FROM ";
+    for (size_t i = 0; i < from.size(); ++i) {
+      if (i) sql += ", ";
+      sql += std::string(from[i].sql) + " " +
+             (std::string(from[i].alias) == from[i].sql ? "" : from[i].alias);
+    }
+    std::vector<std::string> conjuncts;
+    for (size_t i = 1; i < from.size(); ++i) {
+      conjuncts.push_back(std::string(from[i - 1].alias) + ".a = " +
+                          from[i].alias + ".a");
+    }
+    int preds = static_cast<int>(rng_.Uniform(0, 2));
+    for (int i = 0; i < preds; ++i) {
+      const Src& src = from[static_cast<size_t>(
+          rng_.Uniform(0, static_cast<int64_t>(from.size()) - 1))];
+      const char* ops[] = {"<", "<=", ">", ">=", "=", "<>"};
+      conjuncts.push_back(std::string(src.alias) + ".a " +
+                          ops[rng_.Uniform(0, 5)] + " " +
+                          std::to_string(rng_.Uniform(0, 120)));
+    }
+    if (!conjuncts.empty()) {
+      sql += " WHERE ";
+      for (size_t i = 0; i < conjuncts.size(); ++i) {
+        if (i) sql += " AND ";
+        sql += conjuncts[i];
+      }
+    }
+    if (aggregate) sql += " GROUP BY " + group_col;
+    return sql;
+  }
+
+ private:
+  Rng rng_;
+};
+
+class BatchDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BatchDifferentialTest, RandomQueriesAgreeAcrossBatchSizes) {
+  Engine host;
+  RemoteServer remote = AttachRemoteEngine(&host, "rsrv");
+  Rng data_rng(GetParam() * 6271 + 17);
+
+  MustExecute(&host, "CREATE TABLE t1 (a INT PRIMARY KEY, b INT, c INT)");
+  MustExecute(&host, "CREATE TABLE t2 (a INT PRIMARY KEY, d INT)");
+  MustExecute(remote.engine.get(),
+              "CREATE TABLE r (a INT PRIMARY KEY, e INT)");
+  auto fill = [&](Engine* engine, const std::string& table, int rows,
+                  int cols) {
+    std::string sql = "INSERT INTO " + table + " VALUES ";
+    std::set<int64_t> used;
+    for (int i = 0; i < rows; ++i) {
+      int64_t key;
+      do {
+        key = data_rng.Uniform(0, 150);
+      } while (!used.insert(key).second);
+      if (i) sql += ",";
+      sql += "(" + std::to_string(key);
+      for (int c = 1; c < cols; ++c) {
+        sql += "," + std::to_string(data_rng.Uniform(-5, 40));
+      }
+      sql += ")";
+    }
+    MustExecute(engine, sql);
+  };
+  fill(&host, "t1", 60, 3);
+  fill(&host, "t2", 40, 2);
+  fill(remote.engine.get(), "r", 80, 2);
+
+  BatchQueryGenerator generator(GetParam());
+  for (int q = 0; q < 20; ++q) {
+    std::string sql = generator.Next();
+    Observation base = Observe(&host, sql, /*batch_rows=*/0);
+    for (int bs : kBatchSizes) {
+      if (bs == 0) continue;
+      Observation obs = Observe(&host, sql, bs);
+      ExpectEquivalent(base, obs, sql, bs);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchDifferentialTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+// ---------------------------------------------------------------------------
+// Seeded fault schedules: the outcome (success fingerprint or error code)
+// must not depend on the local batch size, because remote block-fetch
+// granularity — and with it the wire-message ordinals the injector scripts
+// against — stays clamped to remote_batch_rows in every mode.
+// ---------------------------------------------------------------------------
+
+TEST(BatchExecFaultTest, FaultScheduleOutcomesAreBatchSizeInvariant) {
+  Engine host;
+  RemoteServer remote = AttachRemoteEngine(&host, "rsrv");
+  MustExecute(remote.engine.get(),
+              "CREATE TABLE r (a INT PRIMARY KEY, e INT)");
+  std::string insert = "INSERT INTO r VALUES ";
+  for (int i = 0; i < 600; ++i) {
+    if (i) insert += ",";
+    insert += "(" + std::to_string(i) + "," + std::to_string(i % 23) + ")";
+  }
+  MustExecute(remote.engine.get(), insert);
+
+  const std::string sql =
+      "SELECT e, COUNT(*) FROM rsrv.db.dbo.r WHERE a < 500 GROUP BY e";
+  // Warm the plan cache with the injector inert so compile-time traffic
+  // (schema/statistics fetches) does not consume scripted ordinals.
+  MustExecute(&host, sql);
+
+  for (uint64_t schedule = 0; schedule < 6; ++schedule) {
+    const uint64_t seed = ChaosSeed(/*suite_tag=*/0xBA7C4, schedule);
+    Rng rng(seed);
+    const int64_t after = rng.Uniform(0, 6);
+    const int64_t count = rng.Uniform(1, 4);
+    const bool down = rng.Uniform(0, 3) == 0;
+
+    Observation base;
+    bool first = true;
+    for (int bs : kBatchSizes) {
+      remote.injector->Reset(seed);
+      if (down) {
+        remote.injector->LinkDownAfter(after);
+      } else {
+        remote.injector->FailMessages(after, count);
+      }
+      Observation obs = Observe(&host, sql, bs);
+      remote.injector->Reset();
+      if (first) {
+        base = obs;
+        first = false;
+        continue;
+      }
+      ExpectEquivalent(base, obs, sql + " [schedule " +
+                                      std::to_string(schedule) + "]",
+                       bs);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dhqp
