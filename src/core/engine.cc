@@ -181,7 +181,11 @@ Status Engine::CreateFullTextIndex(const std::string& catalog_name,
 }
 
 OptimizerContext Engine::MakeOptimizerContext(ColumnRegistry* registry) {
-  OptimizerContext ctx(catalog_.get(), registry, options_.optimizer);
+  OptimizerOptions opts = options_.optimizer;
+  // dop is the one exec knob the optimizer sees: it gates the exchange
+  // enforcer, so it must flow into compilation (and the plan-cache key).
+  opts.max_dop = options_.execution.dop;
+  OptimizerContext ctx(catalog_.get(), registry, opts);
   for (const FullTextCatalogInfo& info : fulltext_catalogs_) {
     ctx.AddFullTextCatalog(info);
   }
@@ -551,6 +555,7 @@ static void PublishExecMetrics(const ExecStats& stats, int64_t query_ns) {
     metrics::Counter* startup_skips;
     metrics::Counter* partitions_opened;
     metrics::Counter* parallel_branches;
+    metrics::Counter* exchange_batches;
     metrics::Counter* spool_rescans;
     metrics::Counter* exec_batches;
     metrics::Counter* exec_batch_rows;
@@ -573,6 +578,7 @@ static void PublishExecMetrics(const ExecStats& stats, int64_t query_ns) {
     i.startup_skips = reg.GetCounter("exec.startup_skips");
     i.partitions_opened = reg.GetCounter("exec.partitions_opened");
     i.parallel_branches = reg.GetCounter("exec.parallel_branches");
+    i.exchange_batches = reg.GetCounter("exec.exchange_batches");
     i.spool_rescans = reg.GetCounter("exec.spool_rescans");
     i.exec_batches = reg.GetCounter("exec.batches");
     i.exec_batch_rows = reg.GetCounter("exec.batch_rows");
@@ -593,6 +599,7 @@ static void PublishExecMetrics(const ExecStats& stats, int64_t query_ns) {
   in.startup_skips->Add(stats.startup_skips);
   in.partitions_opened->Add(stats.partitions_opened);
   in.parallel_branches->Add(stats.parallel_branches);
+  in.exchange_batches->Add(stats.exchange_batches);
   in.spool_rescans->Add(stats.spool_rescans);
   in.exec_batches->Add(stats.exec_batches);
   in.exec_batch_rows->Add(stats.exec_batch_rows);
@@ -680,13 +687,14 @@ Result<QueryResult> Engine::ExecuteSelect(
   std::string full_key;
   if (use_cache) {
     const OptimizerOptions& oo = options_.optimizer;
-    char opts_fp[16];
-    std::snprintf(opts_fp, sizeof(opts_fp), "%d%d%d%d%d%d%d%d%d%d|",
+    char opts_fp[32];
+    std::snprintf(opts_fp, sizeof(opts_fp), "%d%d%d%d%d%d%d%d%d%d.%d|",
                   oo.enable_join_reorder, oo.enable_remote_pushdown,
                   oo.enable_parameterization, oo.enable_spool_enforcer,
                   oo.enable_remote_statistics, oo.enable_startup_filters,
                   oo.enable_static_pruning, oo.enable_index_paths,
-                  oo.enable_fulltext_index, oo.multi_phase);
+                  oo.enable_fulltext_index, oo.multi_phase,
+                  options_.execution.dop);
     full_key = std::string(opts_fp) + cache_key;
   }
   if (use_cache) {

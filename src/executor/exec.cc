@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/executor/bounded_queue.h"
+#include "src/executor/exchange.h"
 #include "src/executor/prefetch.h"
 #include "src/storage/btree.h"
 
@@ -114,8 +115,15 @@ std::unique_ptr<Rowset> MaybePrefetch(std::unique_ptr<Rowset> rowset,
 
 class ScanNode : public ExecNode {
  public:
-  ScanNode(PhysicalOpPtr op, ExecContext* ctx)
-      : ExecNode(std::move(op)), ctx_(ctx) {}
+  /// `partition`/`partitions`: block-cyclic slice of the table this instance
+  /// reads (worker p of P owns every P-th kPartitionBlockRows-row block).
+  /// The default 0/1 reads everything — the serial scan, unchanged.
+  ScanNode(PhysicalOpPtr op, ExecContext* ctx, int partition = 0,
+           int partitions = 1)
+      : ExecNode(std::move(op)),
+        ctx_(ctx),
+        partition_(partition),
+        partitions_(partitions) {}
 
   Status Open() override {
     DHQP_ASSIGN_OR_RETURN(Session * session,
@@ -126,10 +134,19 @@ class ScanNode : public ExecNode {
       ctx_->stats.remote_opens++;
       rowset_ = MaybePrefetch(std::move(rowset_), ctx_, profile_);
     }
+    block_ = 0;
+    buf_.clear();
+    buf_pos_ = 0;
     return Status::OK();
   }
 
   Result<bool> Next(Row* out) override {
+    if (partitions_ > 1) {
+      DHQP_ASSIGN_OR_RETURN(bool has, FillBlock());
+      if (!has) return false;
+      *out = std::move(buf_.rows[buf_pos_++]);
+      return true;
+    }
     DHQP_ASSIGN_OR_RETURN(bool has, rowset_->Next(out));
     if (has && op_->kind == PhysicalOpKind::kRemoteScan) {
       ctx_->stats.rows_from_remote++;
@@ -138,6 +155,20 @@ class ScanNode : public ExecNode {
   }
 
   Result<bool> NextBatch(RowBatch* out, int max_rows) override {
+    if (partitions_ > 1) {
+      out->clear();
+      if (max_rows <= 0) return false;
+      DHQP_ASSIGN_OR_RETURN(bool has, FillBlock());
+      if (!has) return false;
+      size_t n = buf_.rows.size() - buf_pos_;
+      if (n > static_cast<size_t>(max_rows)) n = static_cast<size_t>(max_rows);
+      out->rows.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        out->rows.push_back(std::move(buf_.rows[buf_pos_ + i]));
+      }
+      buf_pos_ += n;
+      return true;
+    }
     // Forwards the rowset's own block fetch: one virtual call per batch
     // instead of one per row, and contiguous sources hand out slices.
     if (op_->kind == PhysicalOpKind::kRemoteScan) {
@@ -161,14 +192,49 @@ class ScanNode : public ExecNode {
     // Rewinding a remote cursor is another round trip's worth of work on
     // the provider; account for it (the spool ablation measures this).
     if (op_->kind == PhysicalOpKind::kRemoteScan) ctx_->stats.remote_opens++;
+    block_ = 0;
+    buf_.clear();
+    buf_pos_ = 0;
     Status st = rowset_->Restart();
     if (st.ok()) return st;
     return Open();
   }
 
  private:
+  /// The partitioned-scan block size is a fixed constant — NOT
+  /// exec_batch_rows — so each worker's row set is invariant to the
+  /// batch-size knob (the DOP-differential suite crosses the two).
+  static constexpr int64_t kPartitionBlockRows = 1024;
+
+  /// Ensures buf_ holds unserved rows of an owned block, skipping unowned
+  /// blocks in place (SkipRows — positional rowsets advance without
+  /// copying). False at end of data.
+  Result<bool> FillBlock() {
+    while (buf_pos_ >= buf_.rows.size()) {
+      while (block_ % partitions_ != partition_) {
+        DHQP_ASSIGN_OR_RETURN(int64_t skipped,
+                              rowset_->SkipRows(kPartitionBlockRows));
+        ++block_;
+        if (skipped < kPartitionBlockRows) return false;
+      }
+      buf_.clear();
+      buf_pos_ = 0;
+      DHQP_ASSIGN_OR_RETURN(
+          bool has,
+          rowset_->NextBatch(&buf_, static_cast<int>(kPartitionBlockRows)));
+      ++block_;
+      if (!has) return false;
+    }
+    return true;
+  }
+
   ExecContext* ctx_;
+  int partition_;
+  int partitions_;
   std::unique_ptr<Rowset> rowset_;
+  int64_t block_ = 0;   ///< Next block ordinal to consider.
+  RowBatch buf_;        ///< Current owned block (partitioned mode only).
+  size_t buf_pos_ = 0;  ///< Next unserved row in buf_.
 };
 
 class IndexRangeNode : public ExecNode {
@@ -2044,12 +2110,19 @@ class ProfiledNode : public ExecNode {
 };
 
 // Constructs the bare node for `plan` from already-built children (the
-// former BuildExecTree switch).
+// former BuildExecTree switch). `frag` is non-null when building one
+// worker's instance of an exchange fragment: a parallel table scan then
+// reads only this worker's block-cyclic slice.
 Result<std::unique_ptr<ExecNode>> BuildNode(
     const PhysicalOpPtr& plan, std::vector<std::unique_ptr<ExecNode>> children,
-    ExecContext* ctx) {
+    ExecContext* ctx, const FragmentContext* frag) {
   switch (plan->kind) {
     case PhysicalOpKind::kTableScan:
+      if (frag != nullptr && frag->dop > 1 && plan->dop > 1) {
+        return std::unique_ptr<ExecNode>(
+            new ScanNode(plan, ctx, frag->partition, frag->dop));
+      }
+      return std::unique_ptr<ExecNode>(new ScanNode(plan, ctx));
     case PhysicalOpKind::kRemoteScan:
       return std::unique_ptr<ExecNode>(new ScanNode(plan, ctx));
     case PhysicalOpKind::kIndexRange:
@@ -2101,26 +2174,76 @@ Result<std::unique_ptr<ExecNode>> BuildNode(
     case PhysicalOpKind::kStreamAggregate:
       return std::unique_ptr<ExecNode>(
           new StreamAggregateNode(plan, std::move(children[0]), ctx));
+    case PhysicalOpKind::kExchange:
+      // Exchanges are built by the tree walkers below (they need the child
+      // subtree NOT built — it runs on producer threads instead).
+      return Status::Internal("exchange reached BuildNode");
   }
   return Status::Internal("unknown physical operator");
 }
 
+/// Allocates a profile slot for one operator occurrence, assigning the next
+/// pre-order id (matching the EXPLAIN rendering).
+std::unique_ptr<OperatorProfile> MakeProfileSlot(const PhysicalOpPtr& plan,
+                                                 int* next_id) {
+  auto p = std::make_unique<OperatorProfile>();
+  p->id = (*next_id)++;
+  p->name = plan->Describe();
+  p->estimated_rows = plan->estimated_rows;
+  p->estimated_cost = plan->estimated_cost;
+  if (IsRemoteOp(plan->kind)) p->link = plan->table.server_name;
+  return p;
+}
+
+// Grows profile slots (pre-order ids matching EXPLAIN) for a whole subtree
+// WITHOUT building exec nodes: the consumer-side pass over an exchange's
+// child, whose exec instances are created later — one per producer thread —
+// against these same shared slots.
+void BuildProfileRec(const PhysicalOpPtr& plan, int* next_id,
+                     std::unique_ptr<OperatorProfile>* slot) {
+  *slot = MakeProfileSlot(plan, next_id);
+  OperatorProfile* prof = slot->get();
+  for (const PhysicalOpPtr& child : plan->children) {
+    prof->children.emplace_back();
+    BuildProfileRec(child, next_id, &prof->children.back());
+  }
+}
+
 // Recursive builder: assigns pre-order operator ids (matching the EXPLAIN
 // rendering), grows the profile tree in `slot` when profiling is on, and
-// wraps every node in a ProfiledNode.
+// wraps every node in a ProfiledNode. Runs in the serial region of the
+// plan; an exchange ends the recursion — its child subtree gets profile
+// slots only (BuildProfileRec) and executes on the segment's producers.
 Result<std::unique_ptr<ExecNode>> BuildTreeRec(
     const PhysicalOpPtr& plan, ExecContext* ctx, int* next_id,
     std::unique_ptr<OperatorProfile>* slot) {
   OperatorProfile* prof = nullptr;
   if (slot != nullptr) {
-    auto p = std::make_unique<OperatorProfile>();
-    p->id = (*next_id)++;
-    p->name = plan->Describe();
-    p->estimated_rows = plan->estimated_rows;
-    p->estimated_cost = plan->estimated_cost;
-    if (IsRemoteOp(plan->kind)) p->link = plan->table.server_name;
-    prof = p.get();
-    *slot = std::move(p);
+    *slot = MakeProfileSlot(plan, next_id);
+    prof = slot->get();
+  }
+  if (plan->kind == PhysicalOpKind::kExchange) {
+    if (plan->dop > 1) {
+      // A multi-consumer exchange only makes sense inside a fragment where
+      // every partition has a worker draining it; the serial region drains
+      // partition 0 only and the rest would wedge the producers.
+      return Status::Internal("multi-consumer exchange in serial plan region");
+    }
+    OperatorProfile* child_prof = nullptr;
+    if (prof != nullptr) {
+      prof->children.emplace_back();
+      BuildProfileRec(plan->children[0], next_id, &prof->children.back());
+      child_prof = prof->children.back().get();
+    }
+    std::unique_ptr<ExecNode> node(new ExchangeNode(
+        plan, ctx, child_prof, /*registry=*/nullptr, /*ordinal=*/0,
+        /*partition=*/0));
+    if (prof != nullptr) {
+      node->set_profile(prof);
+      return std::unique_ptr<ExecNode>(new ProfiledNode(
+          std::move(node), prof, ctx->options.profile_sample_every));
+    }
+    return node;
   }
   std::vector<std::unique_ptr<ExecNode>> children;
   for (const PhysicalOpPtr& child : plan->children) {
@@ -2135,7 +2258,50 @@ Result<std::unique_ptr<ExecNode>> BuildTreeRec(
                           BuildTreeRec(child, ctx, next_id, child_slot));
     children.push_back(std::move(node));
   }
-  DHQP_ASSIGN_OR_RETURN(auto node, BuildNode(plan, std::move(children), ctx));
+  DHQP_ASSIGN_OR_RETURN(
+      auto node, BuildNode(plan, std::move(children), ctx, /*frag=*/nullptr));
+  if (prof != nullptr) {
+    node->set_profile(prof);
+    return std::unique_ptr<ExecNode>(new ProfiledNode(
+        std::move(node), prof, ctx->options.profile_sample_every));
+  }
+  return node;
+}
+
+// Builds one worker's exec-node instance of a fragment subtree, walking the
+// plan and the consumer-built profile tree (BuildProfileRec) in lockstep so
+// every worker's instance of an operator attaches to that operator's ONE
+// shared profile slot — per-instance counters flush additively, and each
+// instance scales its own sampled Next timings by its own call counts
+// before flushing, so the merge never double-counts. `next_exchange`
+// numbers kExchange occurrences in walk order: the registry key under
+// which sibling workers attach to one shared nested segment (every worker
+// walks the same plan in the same order, so ordinals agree). The walk does
+// NOT descend through a nested exchange — its child belongs to that
+// segment's own producers, which number their exchanges from zero again.
+Result<std::unique_ptr<ExecNode>> BuildWorkerRec(
+    const PhysicalOpPtr& plan, ExecContext* ctx, OperatorProfile* prof,
+    const FragmentContext& frag, int* next_exchange) {
+  std::unique_ptr<ExecNode> node;
+  if (plan->kind == PhysicalOpKind::kExchange) {
+    const int ordinal = (*next_exchange)++;
+    OperatorProfile* child_prof =
+        prof != nullptr ? prof->children[0].get() : nullptr;
+    node.reset(new ExchangeNode(plan, ctx, child_prof, frag.exchanges,
+                                ordinal, frag.partition));
+  } else {
+    std::vector<std::unique_ptr<ExecNode>> children;
+    for (size_t i = 0; i < plan->children.size(); ++i) {
+      OperatorProfile* child_prof =
+          prof != nullptr ? prof->children[i].get() : nullptr;
+      DHQP_ASSIGN_OR_RETURN(
+          auto child, BuildWorkerRec(plan->children[i], ctx, child_prof, frag,
+                                     next_exchange));
+      children.push_back(std::move(child));
+    }
+    DHQP_ASSIGN_OR_RETURN(node,
+                          BuildNode(plan, std::move(children), ctx, &frag));
+  }
   if (prof != nullptr) {
     node->set_profile(prof);
     return std::unique_ptr<ExecNode>(new ProfiledNode(
@@ -2160,6 +2326,13 @@ Result<std::unique_ptr<ExecNode>> BuildExecTree(const PhysicalOpPtr& plan,
   DHQP_ASSIGN_OR_RETURN(auto tree, BuildTreeRec(plan, ctx, &next_id, &root));
   ctx->profile = std::shared_ptr<OperatorProfile>(std::move(root));
   return tree;
+}
+
+Result<std::unique_ptr<ExecNode>> BuildFragmentTree(
+    const PhysicalOpPtr& plan, ExecContext* ctx, OperatorProfile* profile,
+    const FragmentContext& frag) {
+  int next_exchange = 0;
+  return BuildWorkerRec(plan, ctx, profile, frag, &next_exchange);
 }
 
 Result<std::unique_ptr<VectorRowset>> ExecutePlan(const PhysicalOpPtr& plan,

@@ -31,8 +31,13 @@ struct ExecStats {
   std::atomic<int64_t> startup_skips{0};     ///< Subtrees skipped by startup
                                              ///< filters.
   std::atomic<int64_t> partitions_opened{0};  ///< Concat branches executed.
-  std::atomic<int64_t> parallel_branches{0};  ///< Concat branches drained on
-                                              ///< worker threads.
+  std::atomic<int64_t> parallel_branches{0};  ///< Subtrees drained on worker
+                                              ///< threads: parallel Concat
+                                              ///< branches AND exchange
+                                              ///< workers (see
+                                              ///< parallel_workers()).
+  std::atomic<int64_t> exchange_batches{0};   ///< RowBatches moved through
+                                              ///< exchange queues.
   std::atomic<int64_t> spool_rescans{0};  ///< Rescans served from spools.
   std::atomic<int64_t> rows_output{0};
   std::atomic<int64_t> exec_batches{0};    ///< Batches the top-level sink
@@ -62,6 +67,7 @@ struct ExecStats {
     startup_skips = other.startup_skips.load();
     partitions_opened = other.partitions_opened.load();
     parallel_branches = other.parallel_branches.load();
+    exchange_batches = other.exchange_batches.load();
     spool_rescans = other.spool_rescans.load();
     rows_output = other.rows_output.load();
     exec_batches = other.exec_batches.load();
@@ -72,6 +78,12 @@ struct ExecStats {
     members_skipped = other.members_skipped.load();
     return *this;
   }
+
+  /// Total subtrees drained on worker threads this execution — parallel
+  /// Concat branches plus exchange producer workers. Historically named
+  /// parallel_branches (kept for compatibility); this accessor is the
+  /// preferred spelling now that exchange workers count too.
+  int64_t parallel_workers() const { return parallel_branches.load(); }
 };
 
 // ExecStats is copied field by field above because atomics are not
@@ -79,13 +91,20 @@ struct ExecStats {
 // ctor/operator= and the expected field count here — this guard is what
 // keeps a new counter from silently reading as zero in QueryResult
 // snapshots.
-static_assert(sizeof(ExecStats) == 17 * sizeof(std::atomic<int64_t>),
+static_assert(sizeof(ExecStats) == 18 * sizeof(std::atomic<int64_t>),
               "ExecStats field list changed: update the hand-written copy "
               "routine and this assert together");
 
-/// Runtime knobs for remote data movement (independent of plan choice, so
-/// not part of the plan-cache key).
+/// Runtime knobs for remote data movement. Independent of plan choice —
+/// and so excluded from the plan-cache key — with one exception: `dop`
+/// feeds the optimizer (OptimizerOptions::max_dop) and is part of the key.
 struct ExecOptions {
+  /// Max degree of intra-query parallelism: worker threads a parallel
+  /// region (between exchange operators) may use. 1 = serial plans only
+  /// (exact pre-PR behavior). The optimizer decides per query whether
+  /// parallelism pays (exchange startup + per-row transfer vs divided
+  /// operator work); remote subtrees always stay serial.
+  int dop = 1;
   /// Drain remote scans / remote queries through a background prefetch
   /// thread so link latency overlaps with local processing.
   bool enable_remote_prefetch = true;
@@ -203,6 +222,28 @@ class ExecNode {
 /// Builds an executable tree from a physical plan.
 Result<std::unique_ptr<ExecNode>> BuildExecTree(const PhysicalOpPtr& plan,
                                                 ExecContext* ctx);
+
+class ExchangeSegmentRegistry;  // exchange.h
+
+/// Per-worker context for building one exchange-fragment instance: which
+/// partition this worker owns, the fragment's total worker count, and the
+/// registry that lets sibling workers share nested exchange segments.
+struct FragmentContext {
+  int partition = 0;
+  int dop = 1;
+  ExchangeSegmentRegistry* exchanges = nullptr;
+};
+
+/// Builds an executable tree for one worker of an exchange fragment.
+/// Unlike BuildExecTree, exec nodes attach to the EXISTING profile subtree
+/// `profile` (created by the consumer-side build; may be null when stats
+/// collection is off) instead of creating new slots — per-worker instances
+/// of an operator aggregate additively into one shared OperatorProfile, so
+/// EXPLAIN ANALYZE totals stay truthful at any dop. Called by
+/// ExchangeSegment from its producer threads.
+Result<std::unique_ptr<ExecNode>> BuildFragmentTree(
+    const PhysicalOpPtr& plan, ExecContext* ctx, OperatorProfile* profile,
+    const FragmentContext& frag);
 
 /// Runs a plan to completion, returning the materialized result with a
 /// schema derived from the plan's output names/types.

@@ -51,6 +51,13 @@ struct OptimizerOptions {
 
   int max_exploration_rounds = 12;  ///< Fixpoint guard per group.
 
+  /// Maximum degree of parallelism for intra-query parallel plans. The
+  /// engine plumbs ExecOptions::dop here (making dop part of the plan-cache
+  /// key); <= 1 disables the exchange enforcer entirely. Only fully-local
+  /// subtrees parallelize — remote subtrees stay serial so wire-message
+  /// ordering (and fault ordinals) are identical at every dop.
+  int max_dop = 1;
+
   /// Hard cap on memo size: once the memo holds this many expressions,
   /// exploration stops adding alternatives (implementation still covers
   /// everything present). Guards the full phase against combinatorial

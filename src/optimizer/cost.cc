@@ -98,6 +98,16 @@ double LocalCost(const PhysicalOp& op, const CostParams& p) {
       return p.remote_request + out * p.remote_fetch;
     case PhysicalOpKind::kFullTextLookup:
       return p.remote_request * 0.2 + out * 2.0;
+    case PhysicalOpKind::kExchange: {
+      // Startup per stream on both sides plus every row crossing a queue.
+      // Not divided by dop (see Optimizer::CostNode): the transfer itself is
+      // the serialization point.
+      double producers =
+          op.children.empty() ? 1.0 : std::max(op.children[0]->dop, 1);
+      double consumers = std::max(op.dop, 1);
+      return p.exchange_startup * (producers + consumers) +
+             ChildRows(op, 0) * p.exchange_row;
+    }
   }
   return out;
 }

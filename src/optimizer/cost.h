@@ -29,6 +29,14 @@ struct CostParams {
   double remote_request = 1000.0;  ///< Per remote command / open (latency).
   double remote_row = 8.0;         ///< Per row shipped over the network.
   double remote_fetch = 60.0;      ///< Per bookmark fetch round trip.
+
+  /// Exchange (intra-query parallelism): per-stream thread startup/teardown
+  /// plus per-row queue transfer. These are what keep small queries serial —
+  /// a parallel plan only wins when the per-row work it divides across
+  /// workers outweighs startup + data movement (break-even lands around a
+  /// few thousand rows for a scan-filter pipeline).
+  double exchange_startup = 500.0;  ///< Per producer + per consumer stream.
+  double exchange_row = 0.3;        ///< Per row moved through the exchange.
 };
 
 /// Local (non-cumulative) cost of `op`, given children already annotated

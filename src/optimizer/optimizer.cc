@@ -243,6 +243,26 @@ void Optimizer::ExploreGroup(int gid) {
 
 Result<Winner> Optimizer::OptimizeGroup(int gid,
                                         const PhysicalProps& required) {
+  // Cycle guard for parallel requirements: the serial-fallback and gather
+  // paths can re-enter this (group, requirement); failing the re-entrant
+  // call (treated as "no parallel plan") breaks the loop.
+  struct CycleGuard {
+    std::set<std::string>* set = nullptr;
+    std::string key;
+    ~CycleGuard() {
+      if (set != nullptr) set->erase(key);
+    }
+  } cycle_guard;
+  if (required.dop > 1) {
+    std::string key = std::to_string(gid) + "|" + required.Fingerprint();
+    if (parallel_in_progress_.count(key) > 0) {
+      return Status::Internal("optimizer: parallel plan search cycle");
+    }
+    parallel_in_progress_.insert(key);
+    cycle_guard.set = &parallel_in_progress_;
+    cycle_guard.key = std::move(key);
+  }
+
   {
     Group& g = memo_.group(gid);
     auto it = g.winners.find(required.Fingerprint());
@@ -272,11 +292,43 @@ Result<Winner> Optimizer::OptimizeGroup(int gid,
   }
   DHQP_RETURN_NOT_OK(TryBuildRemoteQuery(gid, required, &best));
 
+  // Serial fallback under a parallel requirement: operators without a
+  // native parallel implementation run once and fan out through a
+  // Distribute (or hash-repartition, when alignment is demanded) exchange.
+  if (required.dop > 1) {
+    // Strip ONLY the parallel fields: a sort (or any future semantic
+    // requirement) must keep flowing down — a Top group's meaning depends
+    // on the sort requirement it receives (see TryParallelPlan).
+    PhysicalProps serial_req = required;
+    serial_req.dop = 1;
+    serial_req.partition_cols.clear();
+    auto serial = OptimizeGroup(gid, serial_req);
+    if (serial.ok() && ParallelSafe(serial->plan)) {
+      auto ex = NewPhysicalOp(PhysicalOpKind::kExchange);
+      ex->exchange = required.partition_cols.empty()
+                         ? ExchangeKind::kDistribute
+                         : ExchangeKind::kRepartitionHash;
+      ex->exchange_keys = required.partition_cols;
+      ex->dop = required.dop;
+      ex->partition_cols = required.partition_cols;
+      ex->children.push_back(serial->plan);
+      ex->estimated_rows = serial->plan->estimated_rows;
+      AnnotateColumns(ex, serial->plan->output_cols);
+      Consider(ex, gid, required, &best);
+    }
+  }
+
   if (!best.valid) {
     return Status::Internal(
         "optimizer: no physical plan for group rooted at " +
         memo_.group(gid).exprs.front().op->LocalFingerprint());
   }
+  memo_.group(gid).winners[required.Fingerprint()] = best;
+
+  // The parallelism enforcer: a serial requirement may be answered by
+  // Gather over a parallel subplan; cheaper alternative replaces the
+  // cached winner.
+  DHQP_RETURN_NOT_OK(TryParallelPlan(gid, required, &best));
   memo_.group(gid).winners[required.Fingerprint()] = best;
   return best;
 }
@@ -311,7 +363,14 @@ void Optimizer::AnnotateColumns(PhysicalOpBuilder& op,
 }
 
 void Optimizer::CostNode(PhysicalOpBuilder& op) {
-  double cost = LocalCost(*op, costs_);
+  double local = LocalCost(*op, costs_);
+  // Parallel instances divide the operator's work across dop streams; the
+  // exchange itself is excluded — the transfer is the serialization point
+  // and its LocalCost already models both sides.
+  if (op->dop > 1 && op->kind != PhysicalOpKind::kExchange) {
+    local /= op->dop;
+  }
+  double cost = local;
   for (const PhysicalOpPtr& c : op->children) cost += c->estimated_cost;
   op->estimated_cost = cost;
 }
@@ -323,6 +382,8 @@ bool Optimizer::IsRescannable(const PhysicalOpPtr& plan) {
     case PhysicalOpKind::kRemoteRange:
     case PhysicalOpKind::kRemoteFetch:
       return false;
+    case PhysicalOpKind::kExchange:
+      return false;  // Worker threads run once; Restart is unsupported.
     case PhysicalOpKind::kSpool:
       return true;  // Materialized: rescans never reach the child (§4.1.4).
     default:
@@ -338,7 +399,27 @@ PhysicalProps Optimizer::Delivered(const PhysicalOpPtr& plan) {
   PhysicalProps props;
   props.sort = plan->sort_keys;
   props.rescannable = IsRescannable(plan);
+  props.dop = std::max(plan->dop, 1);
+  props.partition_cols = plan->partition_cols;
   return props;
+}
+
+bool Optimizer::ParallelSafe(const PhysicalOpPtr& plan) {
+  switch (plan->kind) {
+    case PhysicalOpKind::kRemoteQuery:
+    case PhysicalOpKind::kRemoteScan:
+    case PhysicalOpKind::kRemoteRange:
+    case PhysicalOpKind::kRemoteFetch:
+    case PhysicalOpKind::kFullTextLookup:
+      return false;
+    default:
+      break;
+  }
+  if (!plan->remote_params.empty()) return false;
+  for (const PhysicalOpPtr& c : plan->children) {
+    if (!ParallelSafe(c)) return false;
+  }
+  return true;
 }
 
 namespace {
@@ -391,6 +472,34 @@ void Optimizer::Consider(PhysicalOpBuilder plan, int gid,
 
   PhysicalProps delivered = Delivered(final);
   if (!delivered.Satisfies(required)) {
+    // Partitioning enforcer: a dop requirement the plan misses is delivered
+    // by an exchange — Distribute fans a serial stream out round-robin;
+    // RepartitionHash aligns streams on the required hash columns (what
+    // partition-local hash join / aggregate need). Only ParallelSafe
+    // subtrees qualify: remote subtrees stay serial (fault-ordinal
+    // invariance across dop).
+    if (required.dop > 1 &&
+        (delivered.dop == 1 || delivered.dop == required.dop) &&
+        ParallelSafe(final)) {
+      bool dop_miss = delivered.dop != required.dop;
+      bool cols_miss = !required.partition_cols.empty() &&
+                       delivered.partition_cols != required.partition_cols;
+      if (dop_miss || cols_miss) {
+        auto ex = NewPhysicalOp(PhysicalOpKind::kExchange);
+        ex->exchange = required.partition_cols.empty()
+                           ? ExchangeKind::kDistribute
+                           : ExchangeKind::kRepartitionHash;
+        ex->exchange_keys = required.partition_cols;
+        ex->dop = required.dop;
+        ex->partition_cols = required.partition_cols;
+        ex->children.push_back(final);
+        ex->estimated_rows = final->estimated_rows;
+        AnnotateColumns(ex, final->output_cols);
+        CostNode(ex);
+        final = ex;
+        delivered = Delivered(final);
+      }
+    }
     // Enforcer rules (§4.1.1: "for sort, an enforcer can insert a physical
     // sort operation"; §4.1.4 adds the remote spool).
     PhysicalProps sort_only;
@@ -431,6 +540,10 @@ void Optimizer::Consider(PhysicalOpBuilder plan, int gid,
 
 Status Optimizer::ImplementExpr(int gid, const GroupExpr& expr,
                                 const PhysicalProps& required, Winner* best) {
+  // Parallel requirements use the dedicated (narrower) implementation set;
+  // everything it cannot cover falls back to Distribute(serial winner) at
+  // the group level.
+  if (required.dop > 1) return ImplementParallel(gid, expr, required, best);
   switch (expr.op->kind) {
     case LogicalOpKind::kGet:
       return ImplementGet(gid, expr, required, best);
@@ -525,6 +638,209 @@ Status Optimizer::ImplementExpr(int gid, const GroupExpr& expr,
       return Status::OK();
     }
   }
+  return Status::OK();
+}
+
+Status Optimizer::ImplementParallel(int gid, const GroupExpr& expr,
+                                    const PhysicalProps& required,
+                                    Winner* best) {
+  const int dop = required.dop;
+  switch (expr.op->kind) {
+    case LogicalOpKind::kGet: {
+      const LogicalOp& get = *expr.op;
+      if (get.table.source_id != kLocalSource) return Status::OK();
+      // Partitioned scan: dop instances share the table block-cyclically.
+      // Delivered partitioning is arbitrary (no hash columns); a
+      // repartition enforcer aligns it when the parent demands keys.
+      auto scan = NewPhysicalOp(PhysicalOpKind::kTableScan);
+      scan->table = get.table;
+      scan->alias = get.alias;
+      scan->dop = dop;
+      AnnotateFromGroup(scan, gid);
+      scan->estimated_rows = std::max(get.table.metadata.cardinality, 0.0);
+      Consider(scan, gid, required, best);
+      return Status::OK();
+    }
+    case LogicalOpKind::kFilter: {
+      const LogicalOp& filter = *expr.op;
+      bool column_free =
+          filter.predicate != nullptr && filter.predicate->IsColumnFree();
+      auto make = [&](const Winner& child) {
+        auto op = NewPhysicalOp(column_free ? PhysicalOpKind::kStartupFilter
+                                            : PhysicalOpKind::kFilter);
+        op->predicate = filter.predicate;
+        op->dop = dop;
+        op->children.push_back(child.plan);
+        op->partition_cols = child.plan->partition_cols;
+        AnnotateFromChild(op, gid);
+        Consider(op, gid, required, best);
+      };
+      PhysicalProps child_req;
+      child_req.dop = dop;
+      child_req.partition_cols = required.partition_cols;
+      auto aligned = OptimizeGroup(expr.children[0], child_req);
+      if (aligned.ok()) make(*aligned);
+      if (!required.partition_cols.empty()) {
+        // Repartitioning *above* the filter moves only surviving rows.
+        child_req.partition_cols.clear();
+        auto any = OptimizeGroup(expr.children[0], child_req);
+        if (any.ok()) make(*any);
+      }
+      return Status::OK();
+    }
+    case LogicalOpKind::kProject: {
+      const std::vector<int>& child_cols =
+          memo_.group(expr.children[0]).props.output_cols;
+      auto in_child = [&](int col) {
+        return std::find(child_cols.begin(), child_cols.end(), col) !=
+               child_cols.end();
+      };
+      PhysicalProps child_req;
+      child_req.dop = dop;
+      bool covered = !required.partition_cols.empty();
+      for (int col : required.partition_cols) {
+        if (!in_child(col)) {
+          covered = false;
+          break;
+        }
+      }
+      if (covered) child_req.partition_cols = required.partition_cols;
+      auto child = OptimizeGroup(expr.children[0], child_req);
+      if (child.ok()) {
+        auto op = NewPhysicalOp(PhysicalOpKind::kProject);
+        op->exprs = expr.op->exprs;
+        op->dop = dop;
+        op->children.push_back(child->plan);
+        // Partitioning survives projection only when every hash column is
+        // still in the output.
+        const std::vector<int>& out_cols = memo_.group(gid).props.output_cols;
+        bool kept = !child->plan->partition_cols.empty();
+        for (int col : child->plan->partition_cols) {
+          if (std::find(out_cols.begin(), out_cols.end(), col) ==
+              out_cols.end()) {
+            kept = false;
+            break;
+          }
+        }
+        if (kept) op->partition_cols = child->plan->partition_cols;
+        AnnotateFromGroup(op, gid);
+        Consider(op, gid, required, best);
+      }
+      return Status::OK();
+    }
+    case LogicalOpKind::kJoin: {
+      const LogicalOp& join = *expr.op;
+      int left_gid = expr.children[0];
+      int right_gid = expr.children[1];
+      std::vector<std::pair<ScalarExprPtr, ScalarExprPtr>> pairs;
+      std::vector<ScalarExprPtr> residual;
+      SplitJoinPredicate(join.predicate,
+                         memo_.group(left_gid).props.output_cols,
+                         memo_.group(right_gid).props.output_cols, &pairs,
+                         &residual);
+      if (pairs.empty()) return Status::OK();
+      // Hash-aligned partitioned hash join: both inputs repartitioned on
+      // the (column-only, same-type) equi keys, so every key group is
+      // complete within one partition-local build/probe table. Same-type
+      // keys keep hash(left) == hash(right) for matching values.
+      PhysicalProps lreq, rreq;
+      lreq.dop = rreq.dop = dop;
+      for (const auto& [l, r] : pairs) {
+        if (l->kind != ScalarKind::kColumn || r->kind != ScalarKind::kColumn ||
+            l->type != r->type) {
+          return Status::OK();
+        }
+        lreq.partition_cols.push_back(l->column_id);
+        rreq.partition_cols.push_back(r->column_id);
+      }
+      auto left = OptimizeGroup(left_gid, lreq);
+      auto right = OptimizeGroup(right_gid, rreq);
+      if (left.ok() && right.ok()) {
+        auto op = NewPhysicalOp(PhysicalOpKind::kHashJoin);
+        op->join_type = join.join_type;
+        op->key_pairs = pairs;
+        op->predicate = MergeConjuncts(residual);
+        op->dop = dop;
+        op->children.push_back(left->plan);
+        op->children.push_back(right->plan);
+        // Output rows carry genuine left-key values (hence the left-key
+        // partitioning) for every type whose output preserves left rows.
+        if (join.join_type == JoinType::kInner ||
+            join.join_type == JoinType::kLeftOuter ||
+            join.join_type == JoinType::kSemi ||
+            join.join_type == JoinType::kAnti) {
+          op->partition_cols = lreq.partition_cols;
+        }
+        std::vector<int> cols = op->children[0]->output_cols;
+        if (join.join_type != JoinType::kSemi &&
+            join.join_type != JoinType::kAnti) {
+          cols.insert(cols.end(), op->children[1]->output_cols.begin(),
+                      op->children[1]->output_cols.end());
+        }
+        op->estimated_rows = memo_.group(gid).props.cardinality;
+        AnnotateColumns(op, cols);
+        Consider(op, gid, required, best);
+      }
+      return Status::OK();
+    }
+    case LogicalOpKind::kAggregate: {
+      const LogicalOp& agg = *expr.op;
+      // Scalar aggregates need a global merge; they stay serial. Grouped
+      // hash aggregation partitioned on the full group-by key set sees
+      // complete groups per partition — the gather above is the merge
+      // phase, a pure concatenation of disjoint partial results.
+      if (agg.group_by.empty()) return Status::OK();
+      PhysicalProps child_req;
+      child_req.dop = dop;
+      child_req.partition_cols = agg.group_by;
+      auto child = OptimizeGroup(expr.children[0], child_req);
+      if (child.ok()) {
+        auto op = NewPhysicalOp(PhysicalOpKind::kHashAggregate);
+        op->group_by = agg.group_by;
+        op->aggregates = agg.aggregates;
+        op->dop = dop;
+        op->partition_cols = agg.group_by;
+        op->children.push_back(child->plan);
+        AnnotateFromGroup(op, gid);
+        Consider(op, gid, required, best);
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::OK();
+  }
+}
+
+Status Optimizer::TryParallelPlan(int gid, const PhysicalProps& required,
+                                  Winner* best) {
+  int dop = ctx_->options().max_dop;
+  if (dop <= 1 || required.dop != 1) return Status::OK();
+  // An ordering requirement never crosses a gather: arrival order is
+  // nondeterministic, and re-sorting above it is only equivalent when the
+  // group's RESULT is order-independent — which a Top inside the group
+  // breaks (TOP n ORDER BY means truncate-after-sort; the sort requirement
+  // reaching the Top group is what carries that semantics). So
+  // sort-requiring groups stay serial; parallelism applies below ordering
+  // boundaries, where the requirement is empty.
+  if (required.HasSort()) return Status::OK();
+  const Group& g = memo_.group(gid);
+  // Serial-remote-subtree rule: only fully-local groups parallelize.
+  if (g.props.locality != kLocalSource) return Status::OK();
+  if (g.props.contradiction && ctx_->options().enable_static_pruning) {
+    return Status::OK();
+  }
+  PhysicalProps preq;
+  preq.dop = dop;
+  auto par = OptimizeGroup(gid, preq);
+  if (!par.ok()) return Status::OK();  // No parallel implementation.
+  if (!ParallelSafe(par->plan)) return Status::OK();
+  auto gather = NewPhysicalOp(PhysicalOpKind::kExchange);
+  gather->exchange = ExchangeKind::kGather;
+  gather->dop = 1;
+  gather->children.push_back(par->plan);
+  gather->estimated_rows = par->plan->estimated_rows;
+  AnnotateColumns(gather, par->plan->output_cols);
+  Consider(gather, gid, required, best);
   return Status::OK();
 }
 

@@ -48,6 +48,20 @@ const char* PhysicalOpKindName(PhysicalOpKind kind) {
       return "RemoteFetch";
     case PhysicalOpKind::kFullTextLookup:
       return "FullTextLookup";
+    case PhysicalOpKind::kExchange:
+      return "Exchange";
+  }
+  return "?";
+}
+
+const char* ExchangeKindName(ExchangeKind kind) {
+  switch (kind) {
+    case ExchangeKind::kGather:
+      return "gather";
+    case ExchangeKind::kRepartitionHash:
+      return "repartition";
+    case ExchangeKind::kDistribute:
+      return "distribute";
   }
   return "?";
 }
@@ -107,8 +121,26 @@ std::string PhysicalOp::Describe() const {
     case PhysicalOpKind::kFullTextLookup:
       out += "(" + ft_table + ": '" + ft_query + "')";
       break;
+    case PhysicalOpKind::kExchange: {
+      out += std::string("(") + ExchangeKindName(exchange);
+      int producers = children.empty() ? 1 : children[0]->dop;
+      out += ", " + std::to_string(producers > 0 ? producers : 1) + "->" +
+             std::to_string(dop > 0 ? dop : 1);
+      if (!exchange_keys.empty()) {
+        out += ", keys:";
+        for (size_t i = 0; i < exchange_keys.size(); ++i) {
+          if (i) out += ",";
+          out += "#" + std::to_string(exchange_keys[i]);
+        }
+      }
+      out += ")";
+      break;
+    }
     default:
       break;
+  }
+  if (dop > 1 && kind != PhysicalOpKind::kExchange) {
+    out += " [dop=" + std::to_string(dop) + "]";
   }
   return out;
 }

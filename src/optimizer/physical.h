@@ -41,9 +41,22 @@ enum class PhysicalOpKind {
   kRemoteRange,      ///< Remote index range via IRowsetIndex.
   kRemoteFetch,      ///< Remote bookmark lookups via IRowsetLocate.
   kFullTextLookup,   ///< (key, rank) rowset from the full-text service.
+  kExchange,         ///< Parallelism enforcer: moves RowBatches between
+                     ///< producer and consumer partition streams (gather /
+                     ///< repartition-by-hash / round-robin distribute).
 };
 
 const char* PhysicalOpKindName(PhysicalOpKind kind);
+
+/// Data-movement flavor of a kExchange operator.
+enum class ExchangeKind {
+  kGather,           ///< N producer streams -> 1 consumer stream.
+  kRepartitionHash,  ///< N (or 1) streams -> N streams hashed on
+                     ///< exchange_keys.
+  kDistribute,       ///< 1 stream -> N streams, round-robin batches.
+};
+
+const char* ExchangeKindName(ExchangeKind kind);
 
 struct PhysicalOp;
 using PhysicalOpPtr = std::shared_ptr<const PhysicalOp>;
@@ -117,6 +130,20 @@ struct PhysicalOp {
   // kFullTextLookup.
   std::string ft_table;
   std::string ft_query;
+
+  /// @name Parallelism (see PhysicalProps::dop).
+  ///@{
+  /// Instances of this operator that run concurrently (= partition streams
+  /// it produces). For kExchange this is the *consumer* side; the producer
+  /// side is children[0]->dop.
+  int dop = 1;
+  /// Column ids the delivered streams are hash-partitioned on (empty =
+  /// arbitrary partitioning). Meaningful when dop > 1.
+  std::vector<int> partition_cols;
+  // kExchange only.
+  ExchangeKind exchange = ExchangeKind::kGather;
+  std::vector<int> exchange_keys;  ///< Hash columns for kRepartitionHash.
+  ///@}
 
   /// Indented EXPLAIN-style rendering with row/cost annotations.
   std::string ToString(int indent = 0) const;

@@ -41,10 +41,29 @@ struct PhysicalProps {
   std::vector<std::pair<int, bool>> sort;  ///< (column id, ascending).
   bool rescannable = false;
 
+  /// Degree of parallelism: the number of independent partition streams the
+  /// plan produces (1 = the classic serial stream). Parallelism is a
+  /// *physical* property in the Cascades sense — the exchange enforcer
+  /// converts between degrees, exactly like Sort converts between orders.
+  int dop = 1;
+
+  /// When dop > 1: column ids the streams are hash-partitioned on. Empty
+  /// means "partitioned arbitrarily" (e.g. a block-cyclic parallel scan).
+  /// As a *requirement*, empty accepts any partitioning while a non-empty
+  /// list demands that exact hash partitioning (what hash join / hash
+  /// aggregate need so partition-local tables see complete key groups).
+  std::vector<int> partition_cols;
+
   bool HasSort() const { return !sort.empty(); }
+  bool Parallel() const { return dop > 1; }
 
   /// True if a plan delivering `*this` satisfies `required`.
   bool Satisfies(const PhysicalProps& required) const {
+    if (required.dop != dop) return false;
+    if (required.dop > 1 && !required.partition_cols.empty() &&
+        partition_cols != required.partition_cols) {
+      return false;
+    }
     if (required.rescannable && !rescannable) return false;
     if (required.sort.size() > sort.size()) return false;
     for (size_t i = 0; i < required.sort.size(); ++i) {
@@ -58,6 +77,10 @@ struct PhysicalProps {
     std::string fp = rescannable ? "R" : "-";
     for (const auto& [col, asc] : sort) {
       fp += ":" + std::to_string(col) + (asc ? "a" : "d");
+    }
+    if (dop > 1) {
+      fp += "|D" + std::to_string(dop);
+      for (int col : partition_cols) fp += "." + std::to_string(col);
     }
     return fp;
   }

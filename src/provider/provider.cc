@@ -13,6 +13,17 @@ Result<bool> Rowset::NextBatch(RowBatch* out, int max_rows) {
   return !out->rows.empty();
 }
 
+Result<int64_t> Rowset::SkipRows(int64_t n) {
+  Row discard;
+  int64_t skipped = 0;
+  while (skipped < n) {
+    DHQP_ASSIGN_OR_RETURN(bool has, Next(&discard));
+    if (!has) break;
+    ++skipped;
+  }
+  return skipped;
+}
+
 Result<std::vector<Row>> DrainRowset(Rowset* rowset) {
   std::vector<Row> rows;
   Row row;

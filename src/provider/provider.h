@@ -55,6 +55,13 @@ class Rowset {
   virtual Status Restart() {
     return Status::NotSupported("rowset does not support Restart");
   }
+
+  /// Skips up to `n` rows, returning the number actually skipped (< n only
+  /// at end of data). The base implementation discards rows through Next();
+  /// positional rowsets override it to advance without copying — what makes
+  /// block-cyclic partitioned scans cheap (each of `dop` workers reads every
+  /// dop-th block and skips the rest).
+  virtual Result<int64_t> SkipRows(int64_t n);
 };
 
 /// A rowset fully materialized in memory. Supports Restart. Also the
@@ -86,6 +93,14 @@ class VectorRowset : public Rowset {
   Status Restart() override {
     pos_ = 0;
     return Status::OK();
+  }
+
+  Result<int64_t> SkipRows(int64_t n) override {
+    if (n <= 0 || pos_ >= rows_.size()) return static_cast<int64_t>(0);
+    int64_t remaining = static_cast<int64_t>(rows_.size() - pos_);
+    int64_t skipped = n < remaining ? n : remaining;
+    pos_ += static_cast<size_t>(skipped);
+    return skipped;
   }
 
   const std::vector<Row>& rows() const { return rows_; }

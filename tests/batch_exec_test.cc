@@ -7,12 +7,12 @@
 // TOP, subqueries with Restart mid-batch), randomly generated distributed
 // queries, and a seeded fault schedule on the remote link.
 
-#include <algorithm>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "src/common/rng.h"
+#include "tests/differential_harness.h"
 #include "tests/test_util.h"
 
 namespace dhqp {
@@ -20,72 +20,13 @@ namespace {
 
 const int kBatchSizes[] = {0, 1, 3, 1024};
 
-// Sorted multiset fingerprint of a result.
-std::string Fingerprint(const QueryResult& r) {
-  std::vector<std::string> rows;
-  if (r.rowset != nullptr) {
-    for (const Row& row : r.rowset->rows()) rows.push_back(RowToString(row));
-  }
-  std::sort(rows.begin(), rows.end());
-  std::string out;
-  for (const std::string& s : rows) out += s + "\n";
-  return out;
-}
-
-std::string JoinWarnings(const QueryResult& r) {
-  std::string out;
-  for (const std::string& w : r.warnings) out += w + "\n";
-  return out;
-}
-
-// One execution's comparable surface: result multiset, warnings, and the
-// stats that must be mode-invariant.
-struct Observation {
-  bool ok = false;
-  StatusCode code = StatusCode::kOk;
-  std::string fingerprint;
-  std::string warnings;
-  int64_t rows_output = 0;
-  int64_t rows_from_remote = 0;
-  int64_t exec_batches = 0;
-  int64_t exec_batch_rows = 0;
-};
-
-Observation Observe(Engine* host, const std::string& sql, int batch_rows) {
-  host->options()->execution.exec_batch_rows = batch_rows;
-  Observation obs;
-  auto result = host->Execute(sql);
-  obs.ok = result.ok();
-  if (!result.ok()) {
-    obs.code = result.status().code();
-    return obs;
-  }
-  obs.fingerprint = Fingerprint(*result);
-  obs.warnings = JoinWarnings(*result);
-  obs.rows_output = result->exec_stats.rows_output;
-  obs.rows_from_remote = result->exec_stats.rows_from_remote;
-  obs.exec_batches = result->exec_stats.exec_batches;
-  obs.exec_batch_rows = result->exec_stats.exec_batch_rows;
-  return obs;
-}
-
-// Asserts the mode-invariant parts of two observations agree.
+// Failure-message label and comparison via the shared harness.
 void ExpectEquivalent(const Observation& base, const Observation& obs,
                       const std::string& sql, int batch_rows,
                       bool compare_remote_rows = true) {
-  EXPECT_EQ(base.ok, obs.ok) << sql << " (exec_batch_rows=" << batch_rows
-                             << ")";
-  if (!base.ok || !obs.ok) {
-    EXPECT_EQ(base.code, obs.code) << sql;
-    return;
-  }
-  EXPECT_EQ(base.fingerprint, obs.fingerprint)
-      << sql << " (exec_batch_rows=" << batch_rows << ")";
-  EXPECT_EQ(base.warnings, obs.warnings) << sql;
-  EXPECT_EQ(base.rows_output, obs.rows_output) << sql;
-  if (compare_remote_rows) {
-    EXPECT_EQ(base.rows_from_remote, obs.rows_from_remote) << sql;
-  }
+  dhqp::ExpectEquivalent(base, obs, sql,
+                         "exec_batch_rows=" + std::to_string(batch_rows),
+                         compare_remote_rows);
 }
 
 // ---------------------------------------------------------------------------
@@ -206,77 +147,6 @@ TEST_F(BatchExecTest, BatchCountersVisibleInMetricsDmv) {
 // Random distributed queries, all batch sizes.
 // ---------------------------------------------------------------------------
 
-// Seeded generator over two local tables and one remote (same shape as the
-// optimizer differential suite): joins on `a`, random range predicates,
-// occasional GROUP BY aggregates.
-class BatchQueryGenerator {
- public:
-  explicit BatchQueryGenerator(uint64_t seed) : rng_(seed) {}
-
-  std::string Next() {
-    struct Src {
-      const char* sql;
-      const char* alias;
-    };
-    std::vector<Src> pool = {{"t1", "t1"}, {"t2", "t2"},
-                             {"rsrv.db.dbo.r", "r"}};
-    int n = static_cast<int>(rng_.Uniform(1, 3));
-    std::vector<Src> from;
-    for (int i = 0; i < n; ++i) {
-      from.push_back(pool[static_cast<size_t>(rng_.Uniform(0, 2))]);
-      for (int j = 0; j < i; ++j) {
-        if (std::string(from.back().alias) ==
-            from[static_cast<size_t>(j)].alias) {
-          from.pop_back();
-          --i;
-          break;
-        }
-      }
-    }
-
-    std::string sql = "SELECT ";
-    bool aggregate = rng_.Uniform(0, 3) == 0;
-    std::string group_col = std::string(from[0].alias) + ".a";
-    if (aggregate) {
-      sql += group_col + ", COUNT(*), SUM(" + from[0].alias + ".a)";
-    } else {
-      sql += "*";
-    }
-    sql += " FROM ";
-    for (size_t i = 0; i < from.size(); ++i) {
-      if (i) sql += ", ";
-      sql += std::string(from[i].sql) + " " +
-             (std::string(from[i].alias) == from[i].sql ? "" : from[i].alias);
-    }
-    std::vector<std::string> conjuncts;
-    for (size_t i = 1; i < from.size(); ++i) {
-      conjuncts.push_back(std::string(from[i - 1].alias) + ".a = " +
-                          from[i].alias + ".a");
-    }
-    int preds = static_cast<int>(rng_.Uniform(0, 2));
-    for (int i = 0; i < preds; ++i) {
-      const Src& src = from[static_cast<size_t>(
-          rng_.Uniform(0, static_cast<int64_t>(from.size()) - 1))];
-      const char* ops[] = {"<", "<=", ">", ">=", "=", "<>"};
-      conjuncts.push_back(std::string(src.alias) + ".a " +
-                          ops[rng_.Uniform(0, 5)] + " " +
-                          std::to_string(rng_.Uniform(0, 120)));
-    }
-    if (!conjuncts.empty()) {
-      sql += " WHERE ";
-      for (size_t i = 0; i < conjuncts.size(); ++i) {
-        if (i) sql += " AND ";
-        sql += conjuncts[i];
-      }
-    }
-    if (aggregate) sql += " GROUP BY " + group_col;
-    return sql;
-  }
-
- private:
-  Rng rng_;
-};
-
 class BatchDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(BatchDifferentialTest, RandomQueriesAgreeAcrossBatchSizes) {
@@ -310,7 +180,10 @@ TEST_P(BatchDifferentialTest, RandomQueriesAgreeAcrossBatchSizes) {
   fill(&host, "t2", 40, 2);
   fill(remote.engine.get(), "r", 80, 2);
 
-  BatchQueryGenerator generator(GetParam());
+  // Same generator shape (and seed behavior) as before the harness
+  // extraction: two local tables and one remote, joined on `a`.
+  DifferentialQueryGenerator generator(
+      GetParam(), {{"t1", "t1"}, {"t2", "t2"}, {"rsrv.db.dbo.r", "r"}});
   for (int q = 0; q < 20; ++q) {
     std::string sql = generator.Next();
     Observation base = Observe(&host, sql, /*batch_rows=*/0);

@@ -214,6 +214,43 @@ TEST(ChaosSchedulesTest, EveryScheduleYieldsExactResultOrCleanError) {
   Normalize(&fed);
 }
 
+// Intra-query parallelism must not perturb chaos determinism: the exchange
+// enforcer applies only to fully-local subtrees, so every remote-involving
+// workload query keeps a serial (exchange-free) plan — and with it the
+// wire-message ordinal sequence the injectors script against — at any dop.
+// Same seed, same outcome, whether the host runs with dop=1 or dop=4.
+TEST(ChaosSchedulesTest, SameSeedSameOutcomeUnderDop) {
+  Federation fed = BuildFederation();
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    SCOPED_TRACE("schedule seed " + std::to_string(seed));
+    std::string outcomes[2];
+    const int dops[2] = {1, 4};
+    for (int i = 0; i < 2; ++i) {
+      // dop set BEFORE Normalize: the fault-free warmup (re)compiles the
+      // workload under this dop (the plan cache keys on it), so no
+      // compile-time remote traffic consumes scripted ordinals during the
+      // armed run.
+      fed.host->options()->execution.dop = dops[i];
+      Normalize(&fed);
+      if (::testing::Test::HasFatalFailure()) return;
+      ArmSchedule(&fed, seed, /*sequential_config=*/true);
+      outcomes[i] = RunArmed(&fed);
+    }
+    EXPECT_EQ(outcomes[0], outcomes[1])
+        << "seed " << seed << " outcome depends on dop";
+  }
+  // The serial-remote-subtree rule, checked structurally: even at dop=4 the
+  // remote-involving workload plans contain no exchange operator.
+  fed.host->options()->execution.dop = 4;
+  Normalize(&fed);
+  for (const std::string& sql : Workload()) {
+    auto result = fed.host->Execute(sql);
+    ASSERT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+    EXPECT_EQ(CountOps(result->plan, PhysicalOpKind::kExchange), 0) << sql;
+  }
+  fed.host->options()->execution.dop = 1;
+}
+
 TEST(ChaosSchedulesTest, SameSeedReproducesSameOutcome) {
   Federation fed = BuildFederation();
   for (uint64_t seed = 0; seed < kSchedules; ++seed) {
