@@ -1,0 +1,31 @@
+#include "src/common/activity.h"
+
+#include <atomic>
+#include <utility>
+
+namespace dhqp {
+namespace activity {
+
+namespace {
+
+thread_local std::string t_activity_id;
+
+std::atomic<int64_t> g_next_seq{1};
+
+}  // namespace
+
+const std::string& Current() { return t_activity_id; }
+
+std::string Generate(const std::string& engine_name) {
+  return engine_name + "#" +
+         std::to_string(g_next_seq.fetch_add(1, std::memory_order_relaxed));
+}
+
+Scope::Scope(std::string id) : prev_(std::move(t_activity_id)) {
+  t_activity_id = std::move(id);
+}
+
+Scope::~Scope() { t_activity_id = std::move(prev_); }
+
+}  // namespace activity
+}  // namespace dhqp

@@ -1,0 +1,55 @@
+#ifndef DHQP_COMMON_ACTIVITY_H_
+#define DHQP_COMMON_ACTIVITY_H_
+
+#include <string>
+
+namespace dhqp {
+namespace activity {
+
+/// Distributed-request correlation ids — the paper's coordinator/member
+/// split made traceable. The *coordinator* (the engine a client hands a
+/// statement to) originates an activity id `<engine>#<seq>` for the
+/// statement; every piece of work that statement causes — link messages to
+/// providers, pass-through commands, member-engine executions — runs under
+/// that id, and each member engine stamps it onto its own QueryStore record
+/// and trace spans. sys..dm_exec_distributed_requests joins coordinator
+/// executions to member records on it.
+///
+/// Wire format: the id rides in the (simulated) message envelope — the
+/// fixed per-message header already charged by every connector send
+/// includes a 16-byte activity slot, so propagating it adds no bytes to the
+/// existing link accounting. In-process the envelope slot is realized as a
+/// thread-local: a provider command executes on the coordinator's calling
+/// thread (or on a worker that re-installed the id captured at launch), so
+/// the member engine reads the caller's id directly.
+
+/// The calling thread's current activity id; empty when no distributed
+/// request is in flight on this thread.
+const std::string& Current();
+
+/// Fresh coordinator-side id, `<engine_name>#<seq>` with a process-wide
+/// monotonic sequence (ids stay unique across engines in one process even
+/// when engines share a name).
+std::string Generate(const std::string& engine_name);
+
+/// Installs `id` as the thread's current activity id for the scope's
+/// lifetime; restores the previous id on exit. Engine::Execute originates a
+/// Scope when no id is present (it is the coordinator) and leaves an
+/// incoming id alone (it is a member serving a coordinator's command);
+/// worker threads re-install the id captured at launch.
+class Scope {
+ public:
+  explicit Scope(std::string id);
+  ~Scope();
+
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  std::string prev_;
+};
+
+}  // namespace activity
+}  // namespace dhqp
+
+#endif  // DHQP_COMMON_ACTIVITY_H_

@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <map>
 
 namespace dhqp {
 namespace trace {
@@ -11,6 +12,20 @@ namespace {
 std::atomic<uint32_t> g_next_tid{0};
 thread_local uint32_t t_tid = 0;
 thread_local uint32_t t_depth = 0;
+
+// tid -> human-readable track name; read only at dump time, so one mutex
+// keeps SetCurrentThreadName off the span hot path entirely. Leaked like
+// the Tracer: worker threads may name themselves during static teardown.
+std::mutex& ThreadNameMu() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::map<uint32_t, std::string>& ThreadNameMap() {
+  static std::map<uint32_t, std::string>* names =
+      new std::map<uint32_t, std::string>();
+  return *names;
+}
 
 }  // namespace
 
@@ -24,6 +39,18 @@ uint32_t Tracer::CurrentThreadId() {
     t_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed) + 1;
   }
   return t_tid;
+}
+
+void Tracer::SetCurrentThreadName(const std::string& name) {
+  const uint32_t tid = CurrentThreadId();
+  std::lock_guard<std::mutex> lock(ThreadNameMu());
+  ThreadNameMap()[tid] = name;
+}
+
+std::vector<std::pair<uint32_t, std::string>> Tracer::ThreadNames() {
+  std::lock_guard<std::mutex> lock(ThreadNameMu());
+  return std::vector<std::pair<uint32_t, std::string>>(ThreadNameMap().begin(),
+                                                       ThreadNameMap().end());
 }
 
 uint32_t Tracer::EnterDepth() { return t_depth++; }
@@ -131,6 +158,19 @@ std::string Tracer::DumpChromeJson() const {
   out += "{\"traceEvents\":[";
   char buf[160];
   bool first = true;
+  // Chrome "M" metadata events label each named worker track; emitted
+  // first so viewers apply the names before laying out the spans.
+  for (const auto& [tid, name] : ThreadNames()) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%" PRIu32 ",\"args\":{\"name\":\"",
+                  tid);
+    out += buf;
+    AppendEscaped(&out, name.c_str());
+    out += "\"}}";
+  }
   for (const SpanRecord& s : spans) {
     if (!first) out += ",";
     first = false;

@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/fastclock.h"
@@ -67,6 +68,14 @@ class Tracer {
 
   /// Small dense id for the calling thread (1-based, assigned on demand).
   static uint32_t CurrentThreadId();
+  /// Names the calling thread's track in trace dumps: DumpChromeJson emits
+  /// one Chrome "thread_name" metadata event per named tid, so exchange /
+  /// prefetch / Concat worker spans render on labeled tracks instead of
+  /// anonymous numbered ones. Last write wins for a reused tid; safe to
+  /// call whether or not tracing is enabled (names survive Clear()).
+  static void SetCurrentThreadName(const std::string& name);
+  /// Snapshot of tid -> name assignments, sorted by tid.
+  static std::vector<std::pair<uint32_t, std::string>> ThreadNames();
   /// Thread-local nesting depth bookkeeping for Span.
   static uint32_t EnterDepth();
   static void LeaveDepth();

@@ -1,10 +1,13 @@
 #include "src/connectors/dmv_provider.h"
 
+#include <set>
 #include <utility>
 
 #include "src/catalog/catalog.h"
 #include "src/common/metrics.h"
 #include "src/common/trace.h"
+#include "src/common/waits.h"
+#include "src/connectors/engine_provider.h"
 #include "src/connectors/linked_provider.h"
 #include "src/core/engine.h"
 #include "src/executor/profile.h"
@@ -35,8 +38,8 @@ Schema QueryStatsSchema() {
                  IntCol("cache_misses"), IntCol("total_duration_ns"),
                  IntCol("min_duration_ns"), IntCol("max_duration_ns"),
                  IntCol("rows"), IntCol("retries"), IntCol("timeouts"),
-                 IntCol("faults"), IntCol("warnings"),
-                 IntCol("last_execution_id")});
+                 IntCol("faults"), IntCol("warnings"), IntCol("wait_count"),
+                 IntCol("total_wait_ns"), IntCol("last_execution_id")});
 }
 
 Schema OperatorStatsSchema() {
@@ -47,7 +50,19 @@ Schema OperatorStatsSchema() {
                  IntCol("total_ns"),
                  IntCol("link_messages"), IntCol("wire_rows"),
                  IntCol("link_bytes"), IntCol("retries"), IntCol("timeouts"),
-                 IntCol("faults")});
+                 IntCol("faults"), IntCol("waits"), IntCol("wait_ns")});
+}
+
+Schema WaitStatsSchema() {
+  return Schema({StrCol("wait_type"), IntCol("waiting_tasks_count"),
+                 IntCol("wait_time_ns"), IntCol("max_wait_time_ns")});
+}
+
+Schema DistributedRequestsSchema() {
+  return Schema({StrCol("activity_id"), StrCol("server"), StrCol("role"),
+                 IntCol("execution_id"), StrCol("statement_type"),
+                 StrCol("statement"), IntCol("duration_ns"), IntCol("ok"),
+                 IntCol("rows"), IntCol("wait_ns"), StrCol("top_wait_type")});
 }
 
 Schema LinkStatsSchema() {
@@ -91,6 +106,8 @@ std::vector<Row> FillQueryStats(Engine* engine) {
                 I(f.timeouts),
                 I(f.faults),
                 I(f.warnings),
+                I(f.wait_count),
+                I(f.total_wait_ns),
                 I(f.last_execution_id)});
   }
   return rows;
@@ -122,7 +139,9 @@ std::vector<Row> FillOperatorStats(Engine* engine) {
                   I(op.link_charges.bytes.load(std::memory_order_relaxed)),
                   I(op.link_charges.retries.load(std::memory_order_relaxed)),
                   I(op.link_charges.timeouts.load(std::memory_order_relaxed)),
-                  I(op.link_charges.faults.load(std::memory_order_relaxed))});
+                  I(op.link_charges.faults.load(std::memory_order_relaxed)),
+                  I(op.wait_tally.total_count()),
+                  I(op.wait_tally.total_ns())});
     }
   }
   return rows;
@@ -176,18 +195,86 @@ std::vector<Row> FillTraceSpans() {
   return rows;
 }
 
+std::vector<Row> FillWaitStats() {
+  std::vector<Row> rows;
+  for (const waits::WaitStatRow& w : waits::GlobalSnapshot()) {
+    rows.push_back(Row{S(w.wait_type), I(w.waiting_tasks_count),
+                I(w.wait_time_ns), I(w.max_wait_time_ns)});
+  }
+  return rows;
+}
+
+Row DistributedRequestRow(const sysview::ExecutionRecord& rec,
+                          const std::string& server, const char* role) {
+  return Row{S(rec.activity_id),
+             S(server),
+             S(role),
+             I(rec.execution_id),
+             S(rec.statement_type),
+             S(rec.statement),
+             I(rec.duration_ns),
+             I(rec.ok ? 1 : 0),
+             I(rec.rows),
+             I(rec.waits.total_ns()),
+             S(rec.waits.TopType())};
+}
+
+/// The member Engine behind a linked-server source, if there is one:
+/// either a bare in-process EngineDataSource or one wrapped by the
+/// LinkedDataSource network decorator. Null for foreign providers.
+Engine* MemberEngine(DataSource* source) {
+  if (auto* linked = dynamic_cast<LinkedDataSource*>(source)) {
+    source = linked->inner();
+  }
+  if (auto* es = dynamic_cast<EngineDataSource*>(source)) {
+    return es->engine();
+  }
+  return nullptr;
+}
+
+/// Cross-engine correlation view: one "coordinator" row per execution this
+/// engine recorded, plus one "member" row for every execution a linked
+/// engine's query store recorded under the same activity id (i.e. work it
+/// performed on this engine's behalf). Join key: activity_id.
+std::vector<Row> FillDistributedRequests(Engine* engine) {
+  std::vector<Row> rows;
+  std::set<std::string> activities;
+  for (const sysview::ExecutionRecord& rec :
+       engine->query_store()->Snapshot()) {
+    if (rec.activity_id.empty()) continue;
+    activities.insert(rec.activity_id);
+    rows.push_back(DistributedRequestRow(rec, "(local)", "coordinator"));
+  }
+  Catalog* catalog = engine->catalog();
+  for (const std::string& server : catalog->LinkedServerNames()) {
+    if (server == kSysServerName) continue;  // The DMV source itself.
+    auto source = catalog->GetLinkedServer(server);
+    if (!source.ok()) continue;
+    Engine* member = MemberEngine(*source);
+    if (member == nullptr || member == engine) continue;
+    for (const sysview::ExecutionRecord& rec :
+         member->query_store()->Snapshot()) {
+      if (activities.count(rec.activity_id) == 0) continue;
+      rows.push_back(DistributedRequestRow(rec, server, "member"));
+    }
+  }
+  return rows;
+}
+
 struct DmvTableDef {
   const char* name;
   Schema (*schema)();
 };
 
-constexpr int kNumTables = 6;
+constexpr int kNumTables = 8;
 const DmvTableDef kTables[kNumTables] = {
     {"dm_exec_query_stats", QueryStatsSchema},
     {"dm_exec_operator_stats", OperatorStatsSchema},
+    {"dm_exec_distributed_requests", DistributedRequestsSchema},
     {"dm_link_stats", LinkStatsSchema},
     {"dm_plan_cache", PlanCacheSchema},
     {"dm_metrics", MetricsSchema},
+    {"dm_os_wait_stats", WaitStatsSchema},
     {"dm_trace_spans", TraceSpansSchema},
 };
 
@@ -226,9 +313,13 @@ class DmvSession : public Session {
   std::vector<Row> FillTable(const std::string& name) {
     if (name == "dm_exec_query_stats") return FillQueryStats(engine_);
     if (name == "dm_exec_operator_stats") return FillOperatorStats(engine_);
+    if (name == "dm_exec_distributed_requests") {
+      return FillDistributedRequests(engine_);
+    }
     if (name == "dm_link_stats") return FillLinkStats(engine_);
     if (name == "dm_plan_cache") return FillPlanCache(engine_);
     if (name == "dm_metrics") return FillMetrics();
+    if (name == "dm_os_wait_stats") return FillWaitStats();
     return FillTraceSpans();
   }
 

@@ -27,11 +27,21 @@ ProviderCapabilities DmvCapabilities();
 ///
 /// Virtual tables:
 ///   dm_exec_query_stats     per-fingerprint query-store aggregates
+///                           (incl. cumulative wait counts/time)
 ///   dm_exec_operator_stats  flattened operator profiles of the last-N
-///                           executions (pre-order ids match EXPLAIN)
+///                           executions (pre-order ids match EXPLAIN),
+///                           with per-operator wait totals
+///   dm_exec_distributed_requests
+///                           cross-engine correlation: this engine's
+///                           executions ("coordinator" rows) joined by
+///                           activity id to the work linked member engines
+///                           recorded on their behalf ("member" rows)
 ///   dm_link_stats           per-link traffic/retry/timeout/fault counters
 ///   dm_plan_cache           compiled-plan cache entries with hit counts
 ///   dm_metrics              process-wide metrics registry snapshot
+///   dm_os_wait_stats        process-wide wait statistics by wait type
+///                           (waiting_tasks_count / wait_time_ns /
+///                           max_wait_time_ns; reset via waits::ResetGlobal)
 ///   dm_trace_spans          tracer span buffer snapshot
 ///
 /// Rowsets are point-in-time snapshots built at OpenRowset; scans are safe

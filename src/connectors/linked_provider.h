@@ -33,6 +33,9 @@ class LinkedDataSource : public DataSource {
   Result<std::unique_ptr<Session>> CreateSession() override;
 
   net::Link* link() const { return link_; }
+  /// The wrapped provider — lets diagnostics (e.g. the distributed-request
+  /// DMV) reach through the link decorator to the member engine behind it.
+  DataSource* inner() const { return inner_.get(); }
 
  private:
   std::shared_ptr<DataSource> inner_;

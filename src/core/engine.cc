@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "src/common/activity.h"
 #include "src/common/metrics.h"
 #include "src/common/trace.h"
+#include "src/common/waits.h"
 #include "src/connectors/dmv_provider.h"
 #include "src/connectors/linked_provider.h"
 #include "src/optimizer/normalize.h"
@@ -113,6 +115,20 @@ struct LinkFaultTotals {
   int64_t faults = 0;
 };
 
+// Locks `mu`, charging contention to the wait-statistics subsystem as
+// `type`. Uncontended acquisition — the overwhelmingly common case — takes
+// the try_lock fast path and records nothing.
+std::unique_lock<std::mutex> LockRecordingWait(std::mutex& mu,
+                                               waits::WaitType type) {
+  std::unique_lock<std::mutex> lock(mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    waits::BlockTimer timer;
+    lock.lock();
+    waits::RecordWait(type, timer.Elapsed());
+  }
+  return lock;
+}
+
 LinkFaultTotals SumLinkFaults(Catalog* catalog) {
   LinkFaultTotals totals;
   const size_t n = catalog->LinkedServerNames().size();
@@ -195,8 +211,24 @@ OptimizerContext Engine::MakeOptimizerContext(ColumnRegistry* registry) {
 Result<QueryResult> Engine::Execute(
     const std::string& sql, const std::map<std::string, Value>& params) {
   StatementInfo info;
+  // Distributed-request correlation: with no id on the thread this engine
+  // is the coordinator and originates one; with an incoming id (a member
+  // engine serving another engine's provider command, or a worker thread
+  // that re-installed its query's id) the statement runs — and is recorded
+  // — under the coordinator's id.
+  const std::string& incoming = activity::Current();
+  activity::Scope act(incoming.empty() ? activity::Generate(options_.name)
+                                       : incoming);
+  // Per-query wait accounting: installed thread-locally for the statement's
+  // whole execution; worker threads (prefetch, exchange, Concat) capture
+  // and re-install it, so every blocked interval on the statement's behalf
+  // rolls up here.
+  waits::WaitTally wait_tally;
   const int64_t start_ns = fastclock::NowNs();
-  Result<QueryResult> result = ExecuteInternal(sql, params, &info);
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    waits::ScopedQueryTally tally(&wait_tally);
+    return ExecuteInternal(sql, params, &info);
+  }();
   if (!result.ok() && result.status().code() == StatusCode::kNetworkError) {
     // Link-down teardown (§4.2): a cached session over a dead link is
     // useless even once the link recovers — drop them all so the next
@@ -205,12 +237,20 @@ Result<QueryResult> Engine::Execute(
     // holds a raw Session pointer.
     catalog_->DropRemoteSessions();
   }
-  FinishStatement(sql, fastclock::NowNs() - start_ns, info, &result);
+  const waits::WaitTotals wait_totals = waits::Snapshot(wait_tally);
+  if (result.ok()) {
+    result->wait_totals = wait_totals;
+    result->activity_id = activity::Current();
+  }
+  FinishStatement(sql, fastclock::NowNs() - start_ns, info, wait_totals,
+                  activity::Current(), &result);
   return result;
 }
 
 void Engine::FinishStatement(const std::string& sql, int64_t duration_ns,
                              const StatementInfo& info,
+                             const waits::WaitTotals& wait_totals,
+                             const std::string& activity_id,
                              Result<QueryResult>* result) {
   struct Instruments {
     metrics::Counter* statements;
@@ -290,6 +330,8 @@ void Engine::FinishStatement(const std::string& sql, int64_t duration_ns,
   if (!ok) rec.error = StatusCodeName(result->status().code());
   rec.plan_cache_hit = info.plan_cache_hit;
   rec.plan_cacheable = info.plan_cacheable;
+  rec.activity_id = activity_id;
+  rec.waits = wait_totals;
   if (qr != nullptr) {
     rec.rows = qr->rowset != nullptr
                    ? static_cast<int64_t>(qr->rowset->rows().size())
@@ -704,7 +746,8 @@ Result<QueryResult> Engine::ExecuteSelect(
     bool hit = false;
     CachedPlan cached;
     {
-      std::lock_guard<std::mutex> lock(plan_cache_mu_);
+      auto lock =
+          LockRecordingWait(plan_cache_mu_, waits::WaitType::kPlanCacheMutex);
       auto it = plan_cache_.find(full_key);
       if (it != plan_cache_.end()) {
         if (it->second.schema_version ==
@@ -737,7 +780,8 @@ Result<QueryResult> Engine::ExecuteSelect(
       // A cached plan can go stale in ways version bumps don't cover
       // (e.g. a remote server changed behind its provider): drop it and
       // recompile below.
-      std::lock_guard<std::mutex> lock(plan_cache_mu_);
+      auto lock =
+          LockRecordingWait(plan_cache_mu_, waits::WaitType::kPlanCacheMutex);
       plan_cache_.erase(full_key);
     }
   }
@@ -795,7 +839,8 @@ Result<QueryResult> Engine::ExecuteSelect(
     // (resolved through the catalog's sys fallback) slips past the AST
     // check, and caching it would let observation pollute dm_plan_cache.
     if (use_cache && !PlanTouchesSys(compiled.plan)) {
-      std::lock_guard<std::mutex> lock(plan_cache_mu_);
+      auto lock =
+          LockRecordingWait(plan_cache_mu_, waits::WaitType::kPlanCacheMutex);
       if (plan_cache_.size() >= options_.plan_cache_capacity) {
         plan_cache_.clear();  // Crude but bounded; capacity is generous.
       }
@@ -808,7 +853,8 @@ Result<QueryResult> Engine::ExecuteSelect(
 std::vector<Engine::PlanCacheEntry> Engine::PlanCacheSnapshot() const {
   std::vector<PlanCacheEntry> out;
   const uint64_t current = schema_version_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(plan_cache_mu_);
+  auto lock =
+      LockRecordingWait(plan_cache_mu_, waits::WaitType::kPlanCacheMutex);
   out.reserve(plan_cache_.size());
   for (const auto& [key, cached] : plan_cache_) {
     PlanCacheEntry e;

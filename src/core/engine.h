@@ -10,6 +10,7 @@
 
 #include "src/catalog/catalog.h"
 #include "src/common/date.h"
+#include "src/common/waits.h"
 #include "src/executor/exec.h"
 #include "src/fulltext/service.h"
 #include "src/optimizer/context.h"
@@ -66,6 +67,14 @@ struct QueryResult {
   /// populated for executed SELECTs when
   /// ExecOptions::collect_operator_stats is on. Null otherwise.
   std::shared_ptr<OperatorProfile> profile;
+  /// Per-query wait accounting: every blocked interval any thread spent on
+  /// this statement's behalf (queue stalls, link wire time, retry backoff,
+  /// engine mutexes), by type. Disjoint types — totals never double-count.
+  waits::WaitTotals wait_totals;
+  /// The distributed-request correlation id this statement ran under. When
+  /// this engine was the coordinator it generated the id ("<engine>#<seq>");
+  /// when it served another engine's command it carries the coordinator's.
+  std::string activity_id;
 };
 
 /// One engine instance: "SQL Server" in miniature — local storage engine,
@@ -151,10 +160,14 @@ class Engine {
                                       StatementInfo* info);
 
   /// Post-execution hook: slow-query warning, exec.* metrics (warnings, DML
-  /// counters, DML latency), and the query-store record. DMV-touching
-  /// statements are excluded — observing the store must not grow it.
+  /// counters, DML latency), and the query-store record (stamped with the
+  /// statement's activity id and wait totals). DMV-touching statements are
+  /// excluded — observing the store must not grow it.
   void FinishStatement(const std::string& sql, int64_t duration_ns,
-                       const StatementInfo& info, Result<QueryResult>* result);
+                       const StatementInfo& info,
+                       const waits::WaitTotals& wait_totals,
+                       const std::string& activity_id,
+                       Result<QueryResult>* result);
 
   /// Compiles (and optionally executes) a SELECT. `cache_key` is the raw
   /// statement text for plan-cache lookup; empty disables caching. `info`

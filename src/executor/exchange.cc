@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/common/activity.h"
 #include "src/common/row.h"
+#include "src/common/trace.h"
+#include "src/common/waits.h"
 
 namespace dhqp {
 
@@ -36,8 +39,12 @@ void ExchangeSegmentRegistry::Clear() {
 // ---------------------------------------------------------------------------
 
 ExchangeSegment::ExchangeSegment(PhysicalOpPtr op, ExecContext* ctx,
-                                 OperatorProfile* child_profile)
-    : op_(std::move(op)), ctx_(ctx), child_profile_(child_profile) {
+                                 OperatorProfile* child_profile,
+                                 OperatorProfile* exchange_profile)
+    : op_(std::move(op)),
+      ctx_(ctx),
+      child_profile_(child_profile),
+      exchange_profile_(exchange_profile) {
   const PhysicalOp& child = *op_->children[0];
   producers_ = std::max(child.dop, 1);
   consumers_ = std::max(op_->dop, 1);
@@ -66,8 +73,19 @@ void ExchangeSegment::Start() {
   started_ = true;
   active_.store(producers_);
   threads_.reserve(static_cast<size_t>(producers_));
+  // Producers run on the launching query's behalf: its wait tally and
+  // activity id (installed on the thread calling Start — the consumer, or
+  // an enclosing fragment's producer for nested segments) transfer to each
+  // worker.
   for (int p = 0; p < producers_; ++p) {
-    threads_.emplace_back([this, p] { ProducerLoop(p); });
+    threads_.emplace_back([this, p, query_waits = waits::CurrentQueryTally(),
+                           aid = activity::Current()] {
+      trace::Tracer::SetCurrentThreadName("exchange.worker" +
+                                          std::to_string(p));
+      waits::ScopedQueryTally tally(query_waits);
+      activity::Scope act(aid);
+      ProducerLoop(p);
+    });
   }
 }
 
@@ -165,7 +183,12 @@ Result<bool> ExchangeSegment::Pop(int partition, RowBatch* out) {
   bool got = queue.TryPop(out);
   if (!got) {
     ctx_->stats.prefetch_stalls.fetch_add(1, std::memory_order_relaxed);
-    got = queue.Pop(out);
+    got = queue.Pop(out, [this](int64_t ticks) {
+      waits::RecordWait(waits::WaitType::kExchangeQueuePop, ticks,
+                        exchange_profile_ != nullptr
+                            ? &exchange_profile_->wait_tally
+                            : nullptr);
+    });
   }
   if (got) return true;
   // Closed and drained: settle the producers, then surface any error —
@@ -191,9 +214,14 @@ RowBatch ExchangeSegment::TakeRecycled() {
 }
 
 bool ExchangeSegment::PushBatch(int queue, RowBatch&& batch) {
-  if (!queues_[static_cast<size_t>(queue)]->Push(std::move(batch))) {
-    return false;
-  }
+  const bool pushed = queues_[static_cast<size_t>(queue)]->Push(
+      std::move(batch), [this](int64_t ticks) {
+        waits::RecordWait(waits::WaitType::kExchangeQueuePush, ticks,
+                          exchange_profile_ != nullptr
+                              ? &exchange_profile_->wait_tally
+                              : nullptr);
+      });
+  if (!pushed) return false;
   ctx_->stats.exchange_batches.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
@@ -242,7 +270,8 @@ ExchangeNode::ExchangeNode(PhysicalOpPtr op, ExecContext* ctx,
 Status ExchangeNode::Open() {
   if (segment_ == nullptr) {
     auto factory = [this] {
-      return std::make_shared<ExchangeSegment>(op_, ctx_, child_profile_);
+      return std::make_shared<ExchangeSegment>(op_, ctx_, child_profile_,
+                                               profile());
     };
     segment_ =
         registry_ != nullptr ? registry_->GetOrCreate(ordinal_, factory)

@@ -50,8 +50,12 @@ class ExchangeSegment {
   /// `op` is the kExchange plan node; `child_profile` is the profile slot
   /// of op->children[0] (null when stats collection is off), shared by
   /// every producer's tree so per-worker stats merge additively.
+  /// `exchange_profile` is the exchange operator's own slot: queue waits on
+  /// either side of the segment (producer full-stalls, consumer
+  /// empty-stalls) are attributed to the exchange itself.
   ExchangeSegment(PhysicalOpPtr op, ExecContext* ctx,
-                  OperatorProfile* child_profile);
+                  OperatorProfile* child_profile,
+                  OperatorProfile* exchange_profile = nullptr);
   ~ExchangeSegment();
 
   ExchangeSegment(const ExchangeSegment&) = delete;
@@ -96,6 +100,7 @@ class ExchangeSegment {
   PhysicalOpPtr op_;
   ExecContext* ctx_;
   OperatorProfile* child_profile_;
+  OperatorProfile* exchange_profile_;
   int producers_;
   int consumers_;
   std::vector<int> key_pos_;  ///< exchange_keys positions in child output.

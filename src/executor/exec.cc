@@ -6,6 +6,9 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/activity.h"
+#include "src/common/trace.h"
+#include "src/common/waits.h"
 #include "src/executor/bounded_queue.h"
 #include "src/executor/exchange.h"
 #include "src/executor/prefetch.h"
@@ -1008,9 +1011,25 @@ class ConcatNode : public ExecNode {
         static_cast<size_t>(ctx_->options.concat_dop), children_.size());
     active_workers_.store(static_cast<int>(dop));
     workers_.reserve(dop);
+    // Workers inherit the launching query's wait tally and activity id
+    // (both thread-local on the consumer thread running this).
     for (size_t i = 0; i < dop; ++i) {
-      workers_.emplace_back([this] { WorkerLoop(); });
+      workers_.emplace_back([this, i, query_waits = waits::CurrentQueryTally(),
+                             aid = activity::Current()] {
+        trace::Tracer::SetCurrentThreadName("concat.worker" +
+                                            std::to_string(i));
+        waits::ScopedQueryTally tally(query_waits);
+        activity::Scope act(aid);
+        WorkerLoop();
+      });
     }
+  }
+
+  /// Charges one blocked Concat-queue interval to the query and this
+  /// operator.
+  void ChargeQueueWait(int64_t ticks) {
+    waits::RecordWait(waits::WaitType::kConcatQueue, ticks,
+                      profile_ != nullptr ? &profile_->wait_tally : nullptr);
   }
 
   void WorkerLoop() {
@@ -1071,7 +1090,8 @@ class ConcatNode : public ExecNode {
         }
         if (!*has) break;
         if (batch.rows.size() >= worker_batch) {
-          if (!queue_.Push(std::move(batch))) {
+          if (!queue_.Push(std::move(batch),
+                           [this](int64_t t) { ChargeQueueWait(t); })) {
             aborted = true;
             break;
           }
@@ -1079,7 +1099,9 @@ class ConcatNode : public ExecNode {
           batch = RowBatch{};
         }
       }
-      if (!aborted && !batch.empty() && !queue_.Push(std::move(batch))) {
+      if (!aborted && !batch.empty() &&
+          !queue_.Push(std::move(batch),
+                       [this](int64_t t) { ChargeQueueWait(t); })) {
         aborted = true;
       }
     }
@@ -1124,7 +1146,7 @@ class ConcatNode : public ExecNode {
       RowBatch batch;
       bool got = queue_.TryPop(&batch);
       if (!got) {
-        got = queue_.Pop(&batch);
+        got = queue_.Pop(&batch, [this](int64_t t) { ChargeQueueWait(t); });
         if (got) ctx_->stats.prefetch_stalls++;
       }
       if (!got) {
@@ -1148,7 +1170,7 @@ class ConcatNode : public ExecNode {
       RowBatch batch;
       bool got = queue_.TryPop(&batch);
       if (!got) {
-        got = queue_.Pop(&batch);
+        got = queue_.Pop(&batch, [this](int64_t t) { ChargeQueueWait(t); });
         if (got) ctx_->stats.prefetch_stalls++;
       }
       if (!got) {
@@ -2015,6 +2037,7 @@ class ProfiledNode : public ExecNode {
         inner_(std::move(inner)),
         prof_(profile),
         sink_(IsRemoteOp(op_->kind) ? &profile->link_charges : nullptr),
+        wait_sink_(IsRemoteOp(op_->kind) ? &profile->wait_tally : nullptr),
         sample_mask_(FloorPow2(sample_every) - 1) {}
 
   ~ProfiledNode() override {
@@ -2038,6 +2061,7 @@ class ProfiledNode : public ExecNode {
   Status Open() override {
     prof_->opens.fetch_add(1, std::memory_order_relaxed);
     net::ScopedChargeSink charge(sink_);
+    waits::ScopedOperatorTally waits(wait_sink_);
     const int64_t t0 = fastclock::Ticks();
     Status st = inner_->Open();
     prof_->open_ticks.fetch_add(fastclock::Ticks() - t0,
@@ -2047,6 +2071,7 @@ class ProfiledNode : public ExecNode {
 
   Result<bool> Next(Row* out) override {
     net::ScopedChargeSink charge(sink_);
+    waits::ScopedOperatorTally waits(wait_sink_);
     if ((next_calls_++ & sample_mask_) == 0) {
       const int64_t t0 = fastclock::Ticks();
       Result<bool> result = inner_->Next(out);
@@ -2062,6 +2087,7 @@ class ProfiledNode : public ExecNode {
 
   Result<bool> NextBatch(RowBatch* out, int max_rows) override {
     net::ScopedChargeSink charge(sink_);
+    waits::ScopedOperatorTally waits(wait_sink_);
     // Every batch call is timed (no sampling): the clock reads amortize
     // over the whole batch. next_calls_/timed_calls_ feed the same flush
     // arithmetic, which degenerates to "sum of all intervals" here.
@@ -2080,6 +2106,7 @@ class ProfiledNode : public ExecNode {
   Status Restart() override {
     prof_->restarts.fetch_add(1, std::memory_order_relaxed);
     net::ScopedChargeSink charge(sink_);
+    waits::ScopedOperatorTally waits(wait_sink_);
     const int64_t t0 = fastclock::Ticks();
     Status st = inner_->Restart();
     prof_->open_ticks.fetch_add(fastclock::Ticks() - t0,
@@ -2101,6 +2128,7 @@ class ProfiledNode : public ExecNode {
   std::unique_ptr<ExecNode> inner_;
   OperatorProfile* prof_;
   net::LinkChargeSink* sink_;  ///< Non-null only for remote operators.
+  waits::WaitTally* wait_sink_;  ///< Ditto: link waits land on this operator.
   uint32_t sample_mask_;       ///< Row-mode Next timing: 1-in-(mask+1).
   int64_t rows_ = 0;
   int64_t exec_batches_ = 0;  ///< NextBatch calls served to the consumer.

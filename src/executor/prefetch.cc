@@ -2,7 +2,10 @@
 
 #include <atomic>
 
+#include "src/common/activity.h"
 #include "src/common/metrics.h"
+#include "src/common/trace.h"
+#include "src/common/waits.h"
 
 namespace dhqp {
 
@@ -37,7 +40,15 @@ void PrefetchingRowset::Start() {
   // Counts launched-but-not-yet-joined producers; the decrement is tied to
   // the join itself so a leaked thread stays visible to live_producers().
   g_live_producers.fetch_add(1, std::memory_order_acq_rel);
-  producer_ = std::thread([this] { ProducerLoop(); });
+  // The producer works on the launching query's behalf: capture its wait
+  // tally and activity id here (the consumer thread has them installed)
+  // and re-install both inside the loop.
+  producer_ = std::thread([this, query_waits = waits::CurrentQueryTally(),
+                           aid = activity::Current()] {
+    waits::ScopedQueryTally tally(query_waits);
+    activity::Scope act(aid);
+    ProducerLoop();
+  });
 }
 
 void PrefetchingRowset::Stop() {
@@ -53,10 +64,14 @@ void PrefetchingRowset::Stop() {
 }
 
 void PrefetchingRowset::ProducerLoop() {
+  trace::Tracer::SetCurrentThreadName("prefetch");
   // Link traffic on this thread belongs to the operator that owns the
-  // prefetching rowset; the consumer thread's sink cannot see it.
+  // prefetching rowset; the consumer thread's sink cannot see it. Same for
+  // link waits (wire time, retry backoff) paid inside inner_->NextBatch.
   net::ScopedChargeSink charge(
       profile_ != nullptr ? &profile_->link_charges : nullptr);
+  waits::ScopedOperatorTally op_tally(
+      profile_ != nullptr ? &profile_->wait_tally : nullptr);
   metrics::Histogram* depth =
       metrics::Registry::Global().GetHistogram("exec.prefetch.queue_depth");
   while (true) {
@@ -73,7 +88,13 @@ void PrefetchingRowset::ProducerLoop() {
     if (stats_ != nullptr) stats_->remote_batches++;
     if (profile_ != nullptr) profile_->batches++;
     depth->Observe(static_cast<int64_t>(queue_.size()));
-    if (!queue_.Push(std::move(batch))) break;  // Consumer went away.
+    const bool pushed = queue_.Push(std::move(batch), [this](int64_t ticks) {
+      // Producer outran the consumer: the remote stream is ahead and the
+      // bounded buffer is what applied backpressure.
+      waits::RecordWait(waits::WaitType::kPrefetchQueue, ticks,
+                        profile_ != nullptr ? &profile_->wait_tally : nullptr);
+    });
+    if (!pushed) break;  // Consumer went away.
   }
   queue_.Close();
 }
@@ -88,7 +109,10 @@ Result<bool> PrefetchingRowset::Advance() {
   RowBatch batch;
   bool got = queue_.TryPop(&batch);
   if (!got) {
-    got = queue_.Pop(&batch);
+    got = queue_.Pop(&batch, [this](int64_t ticks) {
+      waits::RecordWait(waits::WaitType::kPrefetchQueue, ticks,
+                        profile_ != nullptr ? &profile_->wait_tally : nullptr);
+    });
     // A blocking wait that produced a batch means the consumer outran the
     // producer — the pipeline stalled on the network.
     if (got && stats_ != nullptr) stats_->prefetch_stalls++;

@@ -53,6 +53,17 @@ void RenderInto(const OperatorProfile& p, int indent, std::string* out) {
       out->append(buf);
     }
   }
+  bool first_wait = true;
+  for (int i = 0; i < waits::kNumWaitTypes; ++i) {
+    const auto type = static_cast<waits::WaitType>(i);
+    const int64_t n = p.wait_tally.CountFor(type);
+    if (n == 0) continue;
+    std::snprintf(buf, sizeof(buf), "%s%s:%.3fms(%" PRId64 ")",
+                  first_wait ? " wait=" : ",", waits::Name(type),
+                  p.wait_tally.NsFor(type) / 1e6, n);
+    out->append(buf);
+    first_wait = false;
+  }
   out->append("]\n");
   for (const auto& child : p.children) {
     RenderInto(*child, indent + 1, out);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/common/fastclock.h"
+#include "src/common/waits.h"
 #include "src/net/network.h"
 
 namespace dhqp {
@@ -46,6 +47,13 @@ struct OperatorProfile {
   /// Link traffic attributed to this operator (installed as the calling
   /// thread's charge sink around remote operator calls).
   net::LinkChargeSink link_charges;
+
+  /// Blocked time attributed to this operator, per wait type: queue stalls
+  /// inside this operator's Next/producer threads, link wire time + retry
+  /// backoff of its remote calls. Unlike open/next/close ticks these are
+  /// *exclusive* — one blocked interval lands in exactly one operator — so
+  /// summing wait_tally across the tree never double-counts.
+  waits::WaitTally wait_tally;
 
   std::vector<std::unique_ptr<OperatorProfile>> children;
 

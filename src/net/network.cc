@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "src/common/trace.h"
+#include "src/common/waits.h"
 
 namespace dhqp {
 namespace net {
@@ -55,6 +56,8 @@ Status Link::SendMessage(size_t bytes) {
   if (injector == nullptr) {
     // Happy path without a fault model: identical cost to ChargeMessage.
     trace::Span span("link.send", name_.c_str());
+    waits::WaitScope wait(waits::WaitType::kLinkSend,
+                          waits::CurrentOperatorTally());
     ChargeMessage(bytes);
     return Status::OK();
   }
@@ -81,7 +84,12 @@ Status Link::SendMessage(size_t bytes) {
     {
       // Per-attempt span, renamed to carry the fault attribution when the
       // attempt does not deliver ("link.attempt" -> timeout/fault/down).
+      // Every attempt is one LINK_SEND wait (its wire/deadline time);
+      // backoff sleeps between attempts are RETRY_BACKOFF — disjoint, so
+      // the two never double-count one blocked interval.
       trace::Span attempt_span("link.attempt", name_.c_str());
+      waits::WaitScope attempt_wait(waits::WaitType::kLinkSend,
+                                    waits::CurrentOperatorTally());
       switch (d.kind) {
         case FaultKind::kNone:
         case FaultKind::kLatency: {
@@ -140,6 +148,8 @@ Status Link::SendMessage(size_t bytes) {
         sink->retries.fetch_add(1, std::memory_order_relaxed);
       }
       trace::Span backoff_span("link.backoff", name_.c_str());
+      waits::WaitScope backoff_wait(waits::WaitType::kRetryBackoff,
+                                    waits::CurrentOperatorTally());
       Delay(backoff_us);
       backoff_us *= policy.backoff_multiplier;
       if (backoff_us > policy.max_backoff_us) backoff_us = policy.max_backoff_us;

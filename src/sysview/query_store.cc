@@ -6,6 +6,22 @@
 namespace dhqp {
 namespace sysview {
 
+namespace {
+
+// Locks the store mutex, charging contention as QUERY_STORE_MUTEX wait.
+// Uncontended acquisition takes the try_lock fast path and records nothing.
+std::unique_lock<std::mutex> LockStore(std::mutex& mu) {
+  std::unique_lock<std::mutex> lock(mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    waits::BlockTimer timer;
+    lock.lock();
+    waits::RecordWait(waits::WaitType::kQueryStoreMutex, timer.Elapsed());
+  }
+  return lock;
+}
+
+}  // namespace
+
 std::string NormalizeStatement(const std::string& sql) {
   std::string out;
   out.reserve(sql.size());
@@ -81,7 +97,7 @@ void QueryStore::Record(ExecutionRecord record) {
   if (record.statement.size() > ExecutionRecord::kMaxStatementLen) {
     record.statement.resize(ExecutionRecord::kMaxStatementLen);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = LockStore(mu_);
   record.execution_id = next_execution_id_++;
 
   auto [it, inserted] = aggregates_.try_emplace(record.fingerprint);
@@ -114,6 +130,8 @@ void QueryStore::Record(ExecutionRecord record) {
   agg.timeouts += record.timeouts;
   agg.faults += record.faults;
   agg.warnings += record.warnings;
+  agg.wait_count += record.waits.total_count();
+  agg.total_wait_ns += record.waits.total_ns();
   agg.last_execution_id = record.execution_id;
 
   ring_.push_back(std::move(record));
@@ -121,12 +139,12 @@ void QueryStore::Record(ExecutionRecord record) {
 }
 
 std::vector<ExecutionRecord> QueryStore::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = LockStore(mu_);
   return std::vector<ExecutionRecord>(ring_.begin(), ring_.end());
 }
 
 std::vector<FingerprintStats> QueryStore::AggregateSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = LockStore(mu_);
   std::vector<FingerprintStats> out;
   out.reserve(aggregate_order_.size());
   for (uint64_t fp : aggregate_order_) {

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/waits.h"
 #include "src/executor/profile.h"
 
 namespace dhqp {
@@ -45,6 +46,13 @@ struct ExecutionRecord {
   int64_t timeouts = 0;
   int64_t faults = 0;
   int64_t warnings = 0;
+  /// Correlation id of the distributed request this execution belonged to
+  /// (see src/common/activity.h); the join key of
+  /// sys..dm_exec_distributed_requests. Empty only for executions recorded
+  /// before the id existed.
+  std::string activity_id;
+  /// Per-type wait accounting snapshotted at record time.
+  waits::WaitTotals waits;
   /// Operator profile of the execution when collected; shared with
   /// QueryResult. Quiescent once recorded (the executor joined its threads),
   /// so readers may load its atomics freely.
@@ -71,6 +79,8 @@ struct FingerprintStats {
   int64_t timeouts = 0;
   int64_t faults = 0;
   int64_t warnings = 0;
+  int64_t wait_count = 0;     ///< Blocked intervals across all executions.
+  int64_t total_wait_ns = 0;  ///< Blocked time across all executions.
   int64_t last_execution_id = 0;
 };
 

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/waits.h"
+#include "src/executor/profile.h"
 #include "tests/test_util.h"
 
 namespace dhqp {
@@ -63,7 +65,19 @@ struct Observation {
   int64_t exec_batch_rows = 0;
   int64_t parallel_workers = 0;  ///< Exchange workers + Concat branches.
   int exchange_ops = 0;          ///< Exchange operators in the chosen plan.
+  waits::WaitTotals wait_totals;          ///< Per-query wait accounting.
+  waits::WaitTotals profile_wait_totals;  ///< Sum over the operator tree.
 };
+
+/// Per-type sum of the wait tallies across an operator profile tree.
+inline void SumProfileWaits(const OperatorProfile& p, waits::WaitTotals* out) {
+  for (int i = 0; i < waits::kNumWaitTypes; ++i) {
+    const auto type = static_cast<waits::WaitType>(i);
+    out->count[i] += p.wait_tally.CountFor(type);
+    out->ns[i] += p.wait_tally.NsFor(type);
+  }
+  for (const auto& child : p.children) SumProfileWaits(*child, out);
+}
 
 inline Observation Observe(Engine* host, const std::string& sql,
                            const ExecMode& mode) {
@@ -84,6 +98,10 @@ inline Observation Observe(Engine* host, const std::string& sql,
   obs.exec_batch_rows = result->exec_stats.exec_batch_rows;
   obs.parallel_workers = result->exec_stats.parallel_workers();
   obs.exchange_ops = CountOps(result->plan, PhysicalOpKind::kExchange);
+  obs.wait_totals = result->wait_totals;
+  if (result->profile != nullptr) {
+    SumProfileWaits(*result->profile, &obs.profile_wait_totals);
+  }
   return obs;
 }
 
@@ -110,6 +128,40 @@ inline void ExpectEquivalent(const Observation& base, const Observation& obs,
   EXPECT_EQ(base.rows_output, obs.rows_output) << sql << " (" << mode << ")";
   if (compare_remote_rows) {
     EXPECT_EQ(base.rows_from_remote, obs.rows_from_remote)
+        << sql << " (" << mode << ")";
+  }
+}
+
+/// Asserts one observation's wait accounting is internally sane. Wait
+/// *amounts* are never part of the mode-invariant surface (they measure how
+/// the plan was driven, which is exactly what varies across modes); what
+/// must hold in every mode:
+///   - no wait type went negative,
+///   - operator-tree attribution never exceeds the per-query total for any
+///     type (each blocked interval is charged to at most one operator and
+///     exactly once to the query — double counting would break this),
+///   - serial executions (no exchange in the plan) report zero
+///     exchange-queue waits.
+inline void ExpectWaitsSane(const Observation& obs, const std::string& sql,
+                            const std::string& mode) {
+  for (int i = 0; i < waits::kNumWaitTypes; ++i) {
+    const auto type = static_cast<waits::WaitType>(i);
+    EXPECT_GE(obs.wait_totals.count[i], 0)
+        << sql << " (" << mode << ") " << waits::Name(type);
+    EXPECT_GE(obs.wait_totals.ns[i], 0)
+        << sql << " (" << mode << ") " << waits::Name(type);
+    EXPECT_LE(obs.profile_wait_totals.count[i], obs.wait_totals.count[i])
+        << sql << " (" << mode << ") " << waits::Name(type)
+        << ": operator tree charged more waits than the query recorded";
+  }
+  if (obs.exchange_ops == 0) {
+    EXPECT_EQ(obs.wait_totals.count[static_cast<int>(
+                  waits::WaitType::kExchangeQueuePush)],
+              0)
+        << sql << " (" << mode << ")";
+    EXPECT_EQ(obs.wait_totals.count[static_cast<int>(
+                  waits::WaitType::kExchangeQueuePop)],
+              0)
         << sql << " (" << mode << ")";
   }
 }

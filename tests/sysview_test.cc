@@ -432,8 +432,10 @@ TEST_F(SysViewTest, ConcurrentDmvScansDuringExecution) {
   ASSERT_OK(host_.catalog()->SystemSession().status());
 
   const char* kViews[] = {"dm_exec_query_stats", "dm_exec_operator_stats",
+                          "dm_exec_distributed_requests",
                           "dm_link_stats",       "dm_plan_cache",
-                          "dm_metrics",          "dm_trace_spans"};
+                          "dm_metrics",          "dm_os_wait_stats",
+                          "dm_trace_spans"};
   std::atomic<bool> stop{false};
   std::vector<std::string> scan_errors;
   std::thread monitor([&] {
