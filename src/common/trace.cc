@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <map>
 
+#include "src/common/activity.h"
+
 namespace dhqp {
 namespace trace {
 
@@ -12,6 +14,23 @@ namespace {
 std::atomic<uint32_t> g_next_tid{0};
 thread_local uint32_t t_tid = 0;
 thread_local uint32_t t_depth = 0;
+
+// The thread's engine tag lives behind a function-local so first use on a
+// worker thread never races static init; empty string = untagged.
+std::string& MutableEngineTag() {
+  thread_local std::string tag;
+  return tag;
+}
+
+// Bounded inline copy for SpanRecord's fixed char fields.
+void CopyTruncated(char* dst, size_t cap, const char* src) {
+  size_t n = 0;
+  while (n < cap - 1 && src[n] != '\0') {
+    dst[n] = src[n];
+    ++n;
+  }
+  dst[n] = '\0';
+}
 
 // tid -> human-readable track name; read only at dump time, so one mutex
 // keeps SetCurrentThreadName off the span hot path entirely. Leaked like
@@ -53,6 +72,15 @@ std::vector<std::pair<uint32_t, std::string>> Tracer::ThreadNames() {
                                                        ThreadNameMap().end());
 }
 
+EngineTagScope::EngineTagScope(std::string tag)
+    : prev_(std::move(MutableEngineTag())) {
+  MutableEngineTag() = std::move(tag);
+}
+
+EngineTagScope::~EngineTagScope() { MutableEngineTag() = std::move(prev_); }
+
+const std::string& CurrentEngineTag() { return MutableEngineTag(); }
+
 uint32_t Tracer::EnterDepth() { return t_depth++; }
 
 void Tracer::LeaveDepth() {
@@ -91,14 +119,11 @@ void Tracer::Record(const char* name, const char* detail, int64_t start_ns,
   }
   SpanRecord& rec = slots_[slot];
   rec.name = name;
-  size_t n = 0;
-  if (detail != nullptr) {
-    while (n < sizeof(rec.detail) - 1 && detail[n] != '\0') {
-      rec.detail[n] = detail[n];
-      ++n;
-    }
-  }
-  rec.detail[n] = '\0';
+  CopyTruncated(rec.detail, sizeof(rec.detail),
+                detail != nullptr ? detail : "");
+  CopyTruncated(rec.engine, sizeof(rec.engine), MutableEngineTag().c_str());
+  CopyTruncated(rec.activity, sizeof(rec.activity),
+                activity::Current().c_str());
   rec.start_ns = start_ns;
   rec.dur_ns = dur_ns;
   rec.tid = CurrentThreadId();
@@ -181,12 +206,81 @@ std::string Tracer::DumpChromeJson() const {
                   "%" PRIu32 ",\"ts\":%.3f,\"dur\":%.3f", s.tid,
                   s.start_ns / 1000.0, s.dur_ns / 1000.0);
     out += buf;
-    if (s.detail[0] != '\0') {
-      out += ",\"args\":{\"detail\":\"";
-      AppendEscaped(&out, s.detail);
-      out += "\"}";
+    if (s.detail[0] != '\0' || s.activity[0] != '\0') {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      if (s.detail[0] != '\0') {
+        out += "\"detail\":\"";
+        AppendEscaped(&out, s.detail);
+        out += "\"";
+        first_arg = false;
+      }
+      if (s.activity[0] != '\0') {
+        if (!first_arg) out += ",";
+        out += "\"activity\":\"";
+        AppendEscaped(&out, s.activity);
+        out += "\"";
+      }
+      out += "}";
     }
     out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Tracer::DumpMergedChromeTrace(const std::vector<MergedSpan>& spans) {
+  // One Chrome pid per engine tag: assign ids in first-appearance order so
+  // the coordinator (whose spans arrive first) renders as the top process.
+  std::vector<std::string> engines;
+  auto pid_of = [&engines](const std::string& engine) -> size_t {
+    const std::string& key = engine.empty() ? std::string("(untagged)")
+                                            : engine;
+    for (size_t i = 0; i < engines.size(); ++i) {
+      if (engines[i] == key) return i + 1;
+    }
+    engines.push_back(key);
+    return engines.size();
+  };
+  for (const MergedSpan& s : spans) pid_of(s.engine);
+
+  std::string out;
+  out.reserve(spans.size() * 160 + 64);
+  out += "{\"traceEvents\":[";
+  char buf[160];
+  bool first = true;
+  for (size_t i = 0; i < engines.size(); ++i) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%zu,"
+                  "\"tid\":0,\"args\":{\"name\":\"",
+                  i + 1);
+    out += buf;
+    AppendEscaped(&out, engines[i].c_str());
+    out += "\"}}";
+  }
+  for (const MergedSpan& s : spans) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    AppendEscaped(&out, s.name.c_str());
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ph\":\"X\",\"pid\":%zu,\"tid\":%" PRId64
+                  ",\"ts\":%.3f,\"dur\":%.3f",
+                  pid_of(s.engine), s.tid, s.start_ns / 1000.0,
+                  s.dur_ns / 1000.0);
+    out += buf;
+    out += ",\"args\":{";
+    out += "\"activity\":\"";
+    AppendEscaped(&out, s.activity_id.c_str());
+    out += "\"";
+    if (!s.detail.empty()) {
+      out += ",\"detail\":\"";
+      AppendEscaped(&out, s.detail.c_str());
+      out += "\"";
+    }
+    out += "}}";
   }
   out += "]}";
   return out;

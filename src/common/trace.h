@@ -17,15 +17,32 @@ namespace trace {
 
 /// One completed span. `name` must point at static-storage text (a string
 /// literal or an OptPhaseName-style table entry): recording stores the
-/// pointer, never copies it. `detail` is a truncated inline copy, so the
-/// hot path stays allocation-free.
+/// pointer, never copies it. `detail`, `engine`, and `activity` are
+/// truncated inline copies, so the hot path stays allocation-free.
 struct SpanRecord {
   const char* name = "";
   char detail[48] = {0};
+  char engine[16] = {0};    ///< EngineTagScope tag active at record time.
+  char activity[40] = {0};  ///< activity::Current() at record time — keys
+                            ///< spans to their owning query in dumps.
   int64_t start_ns = 0;
   int64_t dur_ns = 0;
   uint32_t tid = 0;    ///< Small per-thread id (assigned on first span).
   uint32_t depth = 0;  ///< Nesting depth on that thread (0 = top level).
+};
+
+/// One span of a *merged* multi-engine trace, with owned strings: what
+/// Engine::MergedChromeTrace assembles from local and remote
+/// dm_trace_spans rows before rendering.
+struct MergedSpan {
+  std::string engine;
+  std::string name;
+  std::string detail;
+  std::string activity_id;
+  int64_t start_ns = 0;
+  int64_t dur_ns = 0;
+  int64_t tid = 0;
+  int64_t depth = 0;
 };
 
 /// Process-wide structured-trace collector: a fixed-capacity span buffer
@@ -56,8 +73,16 @@ class Tracer {
   /// Copies out every committed span (unsorted arrival order).
   std::vector<SpanRecord> Snapshot() const;
   /// Chrome trace_event JSON ("complete" events, ts/dur in microseconds):
-  /// load the string into chrome://tracing or Perfetto.
+  /// load the string into chrome://tracing or Perfetto. Spans carry their
+  /// activity id in args, so the viewer's filter box isolates one query
+  /// even when concurrent queries interleave on shared worker tracks.
   std::string DumpChromeJson() const;
+  /// Renders stitched multi-engine spans as one Chrome trace: each engine
+  /// becomes its own process track (pid per distinct engine tag, labeled
+  /// with a "process_name" metadata event), so a member's retry storm lines
+  /// up on the same timeline as the coordinator's exchange stalls.
+  static std::string DumpMergedChromeTrace(
+      const std::vector<MergedSpan>& spans);
 
   int64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
   /// Committed span count (may trail in-flight recordings).
@@ -90,6 +115,28 @@ class Tracer {
   std::unique_ptr<SpanRecord[]> slots_;
   std::unique_ptr<std::atomic<bool>[]> committed_;
 };
+
+/// Installs `tag` (an engine name) as the calling thread's span engine tag
+/// for the scope's lifetime, restoring the previous tag on exit — the same
+/// save/restore idiom as activity::Scope. Engine::Execute installs one per
+/// statement, so an in-process member engine executing on the
+/// coordinator's thread tags its spans with its own name; worker threads
+/// (exchange, prefetch, Concat) re-install the tag captured at launch.
+class EngineTagScope {
+ public:
+  explicit EngineTagScope(std::string tag);
+  ~EngineTagScope();
+
+  EngineTagScope(const EngineTagScope&) = delete;
+  EngineTagScope& operator=(const EngineTagScope&) = delete;
+
+ private:
+  std::string prev_;
+};
+
+/// The calling thread's installed engine tag ("" when none) — what a
+/// thread spawner captures to hand to its workers.
+const std::string& CurrentEngineTag();
 
 /// RAII span: construction stamps the start, destruction records the
 /// elapsed interval into the global tracer. Near-free when tracing is off.

@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "src/catalog/catalog.h"
+#include "src/common/activity.h"
+#include "src/common/fastclock.h"
 #include "src/common/metrics.h"
 #include "src/common/trace.h"
 #include "src/common/waits.h"
@@ -12,6 +14,7 @@
 #include "src/core/engine.h"
 #include "src/executor/profile.h"
 #include "src/sysview/query_store.h"
+#include "src/sysview/requests.h"
 
 namespace dhqp {
 
@@ -50,7 +53,17 @@ Schema OperatorStatsSchema() {
                  IntCol("total_ns"),
                  IntCol("link_messages"), IntCol("wire_rows"),
                  IntCol("link_bytes"), IntCol("retries"), IntCol("timeouts"),
-                 IntCol("faults"), IntCol("waits"), IntCol("wait_ns")});
+                 IntCol("faults"), IntCol("waits"), IntCol("wait_ns"),
+                 IntCol("memory_bytes")});
+}
+
+Schema RequestsSchema() {
+  return Schema({IntCol("request_id"), StrCol("engine"), StrCol("activity_id"),
+                 StrCol("statement"), StrCol("phase"), IntCol("elapsed_ns"),
+                 IntCol("dop"), IntCol("rows_processed"), IntCol("batches"),
+                 IntCol("wait_count"), IntCol("wait_ns"),
+                 StrCol("top_wait_type"), IntCol("memory_bytes"),
+                 IntCol("percent_complete")});
 }
 
 Schema WaitStatsSchema() {
@@ -83,8 +96,9 @@ Schema MetricsSchema() {
 }
 
 Schema TraceSpansSchema() {
-  return Schema({StrCol("name"), StrCol("detail"), IntCol("start_ns"),
-                 IntCol("dur_ns"), IntCol("tid"), IntCol("depth")});
+  return Schema({StrCol("engine"), StrCol("activity_id"), StrCol("name"),
+                 StrCol("detail"), IntCol("start_ns"), IntCol("dur_ns"),
+                 IntCol("tid"), IntCol("depth")});
 }
 
 std::vector<Row> FillQueryStats(Engine* engine) {
@@ -141,7 +155,8 @@ std::vector<Row> FillOperatorStats(Engine* engine) {
                   I(op.link_charges.timeouts.load(std::memory_order_relaxed)),
                   I(op.link_charges.faults.load(std::memory_order_relaxed)),
                   I(op.wait_tally.total_count()),
-                  I(op.wait_tally.total_ns())});
+                  I(op.wait_tally.total_ns()),
+                  I(op.mem.peak())});
     }
   }
   return rows;
@@ -185,12 +200,57 @@ std::vector<Row> FillMetrics() {
 std::vector<Row> FillTraceSpans() {
   std::vector<Row> rows;
   for (const trace::SpanRecord& s : trace::Tracer::Global().Snapshot()) {
-    rows.push_back(Row{S(s.name),
+    rows.push_back(Row{S(s.engine),
+                S(s.activity),
+                S(s.name),
                 S(s.detail),
                 I(s.start_ns),
                 I(s.dur_ns),
                 I(static_cast<int64_t>(s.tid)),
                 I(static_cast<int64_t>(s.depth))});
+  }
+  return rows;
+}
+
+/// Live in-flight statements (the sys.dm_exec_requests analog). Snapshots
+/// the process-wide registry and filters to this engine's requests,
+/// skipping self-excluded (sys-touching) statements and — belt on top of
+/// that suspender — anything running under the scanning thread's own
+/// activity id, so a DMV scan never lists itself even mid-registration.
+/// A request completing mid-snapshot is fine: the shared_ptr keeps its
+/// final counters readable.
+std::vector<Row> FillRequests(Engine* engine) {
+  std::vector<Row> rows;
+  const std::string self_activity = activity::Current();
+  const int64_t now_ns = fastclock::NowNs();
+  for (const std::shared_ptr<sysview::RequestState>& req :
+       sysview::RequestRegistry::Global().Snapshot()) {
+    if (req->exclude.load(std::memory_order_relaxed)) continue;
+    if (!self_activity.empty() && req->activity_id == self_activity) continue;
+    if (req->engine != engine->name()) continue;
+    int64_t rows_processed = 0;
+    int64_t batches = 0;
+    int percent = 0;
+    if (std::shared_ptr<const OperatorProfile> profile = req->profile()) {
+      rows_processed = sysview::RowsProcessed(*profile);
+      batches = sysview::BatchesProcessed(*profile);
+      percent = sysview::PercentComplete(*profile);
+    }
+    const waits::WaitTotals wait_totals = waits::Snapshot(req->waits);
+    rows.push_back(Row{I(req->request_id),
+                S(req->engine),
+                S(req->activity_id),
+                S(req->statement),
+                S(sysview::PhaseName(req->Phase())),
+                I(now_ns - req->start_ns),
+                I(req->dop),
+                I(rows_processed),
+                I(batches),
+                I(wait_totals.total_count()),
+                I(wait_totals.total_ns()),
+                S(wait_totals.TopType()),
+                I(req->memory.current()),
+                I(percent)});
   }
   return rows;
 }
@@ -266,10 +326,11 @@ struct DmvTableDef {
   Schema (*schema)();
 };
 
-constexpr int kNumTables = 8;
+constexpr int kNumTables = 9;
 const DmvTableDef kTables[kNumTables] = {
     {"dm_exec_query_stats", QueryStatsSchema},
     {"dm_exec_operator_stats", OperatorStatsSchema},
+    {"dm_exec_requests", RequestsSchema},
     {"dm_exec_distributed_requests", DistributedRequestsSchema},
     {"dm_link_stats", LinkStatsSchema},
     {"dm_plan_cache", PlanCacheSchema},
@@ -313,6 +374,7 @@ class DmvSession : public Session {
   std::vector<Row> FillTable(const std::string& name) {
     if (name == "dm_exec_query_stats") return FillQueryStats(engine_);
     if (name == "dm_exec_operator_stats") return FillOperatorStats(engine_);
+    if (name == "dm_exec_requests") return FillRequests(engine_);
     if (name == "dm_exec_distributed_requests") {
       return FillDistributedRequests(engine_);
     }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <set>
 
 #include "src/common/activity.h"
 #include "src/common/metrics.h"
@@ -13,6 +14,7 @@
 #include "src/optimizer/optimizer.h"
 #include "src/sql/binder.h"
 #include "src/sql/parser.h"
+#include "src/sysview/requests.h"
 
 namespace dhqp {
 
@@ -219,14 +221,22 @@ Result<QueryResult> Engine::Execute(
   const std::string& incoming = activity::Current();
   activity::Scope act(incoming.empty() ? activity::Generate(options_.name)
                                        : incoming);
-  // Per-query wait accounting: installed thread-locally for the statement's
-  // whole execution; worker threads (prefetch, exchange, Concat) capture
-  // and re-install it, so every blocked interval on the statement's behalf
-  // rolls up here.
-  waits::WaitTally wait_tally;
+  // Spans recorded while this statement runs — including on an in-process
+  // member engine serving a provider command on this same thread — carry
+  // the executing engine's name, so stitched traces attribute each span to
+  // its engine.
+  trace::EngineTagScope engine_tag(options_.name);
+  // Live monitoring: the statement is visible in sys..dm_exec_requests for
+  // its whole lifetime. The request state owns the per-query wait tally
+  // (worker threads — prefetch, exchange, Concat — capture and re-install
+  // it, so every blocked interval on the statement's behalf rolls up here
+  // and is readable mid-flight); when monitoring is disabled the scope
+  // degrades to an inline tally and registers nothing.
+  sysview::RequestScope request(options_.name, activity::Current(), sql,
+                                options_.execution.dop);
   const int64_t start_ns = fastclock::NowNs();
   Result<QueryResult> result = [&]() -> Result<QueryResult> {
-    waits::ScopedQueryTally tally(&wait_tally);
+    waits::ScopedQueryTally tally(request.wait_tally());
     return ExecuteInternal(sql, params, &info);
   }();
   if (!result.ok() && result.status().code() == StatusCode::kNetworkError) {
@@ -237,7 +247,7 @@ Result<QueryResult> Engine::Execute(
     // holds a raw Session pointer.
     catalog_->DropRemoteSessions();
   }
-  const waits::WaitTotals wait_totals = waits::Snapshot(wait_tally);
+  const waits::WaitTotals wait_totals = waits::Snapshot(*request.wait_tally());
   if (result.ok()) {
     result->wait_totals = wait_totals;
     result->activity_id = activity::Current();
@@ -362,7 +372,13 @@ Result<QueryResult> Engine::ExecuteInternal(
       // cache key), so DMV reads never pollute hit/miss counters or show up
       // in dm_plan_cache.
       const bool sys = StatementTouchesSys(*stmt->select);
-      if (sys) info->exclude_from_store = true;
+      if (sys) {
+        info->exclude_from_store = true;
+        // Same two-layer gating for live monitoring: a dm_exec_requests
+        // scan must not list itself. The post-bind PlanTouchesSys layer in
+        // ExecuteSelect catches bare DMV names.
+        sysview::MarkCurrentRequestExcluded();
+      }
       const std::string cache_key = sys ? "" : sql;
       if (stmt->explain_analyze) {
         // EXPLAIN ANALYZE SELECT ...: execute with operator profiling
@@ -655,6 +671,7 @@ static void PublishExecMetrics(const ExecStats& stats, int64_t query_ns) {
 Result<QueryResult> Engine::RunCachedPlan(
     const CachedPlan& cached, const std::map<std::string, Value>& params) {
   trace::Span span("engine.execute");
+  sysview::SetCurrentPhase(sysview::RequestPhase::kExecute);
   const int64_t start_ns = fastclock::NowNs();
   ExecContext ectx;
   ectx.catalog = catalog_.get();
@@ -662,6 +679,9 @@ Result<QueryResult> Engine::RunCachedPlan(
   ectx.params = params;
   ectx.current_date = options_.current_date;
   ectx.options = options_.execution;
+  // Buffering operators and queue stashes charge the request's query-wide
+  // tracker, so dm_exec_requests reports one live memory_bytes per query.
+  ectx.memory = sysview::CurrentRequestMemory();
   const LinkFaultTotals before = SumLinkFaults(catalog_.get());
   DHQP_ASSIGN_OR_RETURN(auto rowset, ExecutePlan(cached.plan, &ectx));
   // Per-query fault accounting: links are charged below the executor (and
@@ -674,6 +694,14 @@ Result<QueryResult> Engine::RunCachedPlan(
       std::max<int64_t>(0, after.timeouts - before.timeouts);
   ectx.stats.faults_injected = std::max<int64_t>(0, after.faults - before.faults);
   PublishExecMetrics(ectx.stats, fastclock::NowNs() - start_ns);
+  // Peak query memory: visible as exec.memory_bytes after the statement
+  // (the live view is dm_exec_requests). Last-writer-wins is the usual
+  // gauge semantic; skipped for non-monitored statements.
+  if (sysview::RequestState* req = sysview::CurrentRequest()) {
+    static metrics::Gauge* mem_gauge =
+        metrics::Registry::Global().GetGauge("exec.memory_bytes");
+    mem_gauge->Set(req->memory.peak());
+  }
 
   // Align output columns with the statement's select-list order/names (the
   // plan may carry extra hidden columns or a different physical order).
@@ -796,16 +824,24 @@ Result<QueryResult> Engine::ExecuteSelect(
     BoundStatement bound;
     {
       trace::Span span("engine.bind");
+      sysview::SetCurrentPhase(sysview::RequestPhase::kBind);
       DHQP_ASSIGN_OR_RETURN(bound, binder.BindSelect(stmt));
     }
     OptimizerContext octx = MakeOptimizerContext(bound.registry.get());
     OptimizeResult optimized;
     {
       trace::Span span("engine.optimize");
+      sysview::SetCurrentPhase(sysview::RequestPhase::kOptimize);
       LogicalOpPtr normalized = Normalize(bound.root, &octx);
       Optimizer optimizer(&octx);
       DHQP_ASSIGN_OR_RETURN(optimized,
                             optimizer.Optimize(normalized, bound.order_by));
+    }
+    // Post-bind self-exclusion layer: a bare DMV name resolved through the
+    // catalog's sys fallback slips past the AST check; the plan walk is
+    // authoritative.
+    if (PlanTouchesSys(optimized.plan)) {
+      sysview::MarkCurrentRequestExcluded();
     }
 
     if (!execute) {
@@ -1077,6 +1113,51 @@ Result<std::unique_ptr<Rowset>> Engine::ExecutePassThrough(
   DHQP_ASSIGN_OR_RETURN(auto command, session->CreateCommand());
   DHQP_RETURN_NOT_OK(command->SetText(query));
   return command->Execute();
+}
+
+Result<std::string> Engine::MergedChromeTrace(const std::string& activity_id) {
+  std::vector<trace::MergedSpan> spans;
+  // In-process engines share ONE global tracer, so the same span arrives
+  // once from the local read and once per member whose sys path reaches
+  // the same buffer — dedupe by identity fields.
+  std::set<std::string> seen;
+  const std::map<std::string, Value> params = {
+      {"@aid", Value::String(activity_id)}};
+  auto collect = [&](const std::string& prefix) -> Status {
+    const std::string sql =
+        "SELECT engine, activity_id, name, detail, start_ns, dur_ns, tid, "
+        "depth FROM " +
+        prefix + "sys..dm_trace_spans WHERE activity_id = @aid";
+    DHQP_ASSIGN_OR_RETURN(QueryResult result, Execute(sql, params));
+    if (result.rowset == nullptr) return Status::OK();
+    for (const Row& row : result.rowset->rows()) {
+      trace::MergedSpan s;
+      s.engine = row[0].string_value();
+      s.activity_id = row[1].string_value();
+      s.name = row[2].string_value();
+      s.detail = row[3].string_value();
+      s.start_ns = row[4].int64_value();
+      s.dur_ns = row[5].int64_value();
+      s.tid = row[6].int64_value();
+      s.depth = row[7].int64_value();
+      std::string key = s.engine + "|" + std::to_string(s.tid) + "|" +
+                        std::to_string(s.start_ns) + "|" +
+                        std::to_string(s.dur_ns) + "|" + s.name;
+      if (!seen.insert(std::move(key)).second) continue;
+      spans.push_back(std::move(s));
+    }
+    return Status::OK();
+  };
+  // The coordinator's own spans must be readable; member pulls are
+  // best-effort (a foreign provider with no sys path, or a member behind a
+  // downed link, contributes nothing rather than failing the stitch).
+  DHQP_RETURN_NOT_OK(collect(""));
+  for (const std::string& server : catalog_->LinkedServerNames()) {
+    if (EqualsIgnoreCase(server, kSysServerName)) continue;
+    Status ignored = collect(server + ".");
+    (void)ignored;
+  }
+  return trace::Tracer::DumpMergedChromeTrace(spans);
 }
 
 }  // namespace dhqp

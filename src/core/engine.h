@@ -127,6 +127,14 @@ class Engine {
   Result<std::unique_ptr<Rowset>> ExecutePassThrough(const std::string& server,
                                                      const std::string& query);
 
+  /// Stitched distributed trace for one activity id: reads
+  /// sys..dm_trace_spans locally and through every linked server's sys
+  /// path (members that expose no sys source simply contribute nothing),
+  /// dedupes spans engines may share through one in-process tracer, and
+  /// renders a single Chrome trace with one process track per engine.
+  /// Tracing must have been enabled while the query ran.
+  Result<std::string> MergedChromeTrace(const std::string& activity_id);
+
   /// One compiled-plan-cache entry as dm_plan_cache exposes it.
   struct PlanCacheEntry {
     std::string statement;  ///< Raw statement text the plan was compiled from.

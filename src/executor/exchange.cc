@@ -10,6 +10,16 @@
 
 namespace dhqp {
 
+namespace {
+
+int64_t BatchMemBytes(const RowBatch& batch) {
+  int64_t bytes = 0;
+  for (const Row& row : batch.rows) bytes += RowMemBytes(row);
+  return bytes;
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // ExchangeSegmentRegistry.
 // ---------------------------------------------------------------------------
@@ -65,7 +75,30 @@ ExchangeSegment::ExchangeSegment(PhysicalOpPtr op, ExecContext* ctx,
                  depth * static_cast<size_t>(consumers_);
 }
 
-ExchangeSegment::~ExchangeSegment() { Stop(); }
+ExchangeSegment::~ExchangeSegment() {
+  Stop();
+  // Batches still parked in closed queues (early-abandoned segment, e.g.
+  // under Top) die with the queues — settle their charge.
+  const int64_t leftover = queued_bytes_.exchange(0, std::memory_order_relaxed);
+  if (leftover > 0) {
+    if (exchange_profile_ != nullptr) exchange_profile_->mem.Release(leftover);
+    if (ctx_->memory != nullptr) ctx_->memory->Release(leftover);
+  }
+}
+
+void ExchangeSegment::ChargeQueueMem(int64_t bytes) {
+  if (bytes <= 0) return;
+  queued_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  if (exchange_profile_ != nullptr) exchange_profile_->mem.Add(bytes);
+  if (ctx_->memory != nullptr) ctx_->memory->Add(bytes);
+}
+
+void ExchangeSegment::ReleaseQueueMem(int64_t bytes) {
+  if (bytes <= 0) return;
+  queued_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  if (exchange_profile_ != nullptr) exchange_profile_->mem.Release(bytes);
+  if (ctx_->memory != nullptr) ctx_->memory->Release(bytes);
+}
 
 void ExchangeSegment::Start() {
   std::lock_guard<std::mutex> lock(start_mu_);
@@ -79,11 +112,13 @@ void ExchangeSegment::Start() {
   // worker.
   for (int p = 0; p < producers_; ++p) {
     threads_.emplace_back([this, p, query_waits = waits::CurrentQueryTally(),
-                           aid = activity::Current()] {
+                           aid = activity::Current(),
+                           etag = trace::CurrentEngineTag()] {
       trace::Tracer::SetCurrentThreadName("exchange.worker" +
                                           std::to_string(p));
       waits::ScopedQueryTally tally(query_waits);
       activity::Scope act(aid);
+      trace::EngineTagScope engine_tag(etag);
       ProducerLoop(p);
     });
   }
@@ -190,7 +225,10 @@ Result<bool> ExchangeSegment::Pop(int partition, RowBatch* out) {
                             : nullptr);
     });
   }
-  if (got) return true;
+  if (got) {
+    ReleaseQueueMem(BatchMemBytes(*out));
+    return true;
+  }
   // Closed and drained: settle the producers, then surface any error —
   // after the buffered rows, exactly where a serial consumer sees it.
   JoinAll();
@@ -214,6 +252,10 @@ RowBatch ExchangeSegment::TakeRecycled() {
 }
 
 bool ExchangeSegment::PushBatch(int queue, RowBatch&& batch) {
+  // Charge before the push so the consumer's release (which may run the
+  // instant the push lands) never observes an uncharged batch.
+  const int64_t bytes = BatchMemBytes(batch);
+  ChargeQueueMem(bytes);
   const bool pushed = queues_[static_cast<size_t>(queue)]->Push(
       std::move(batch), [this](int64_t ticks) {
         waits::RecordWait(waits::WaitType::kExchangeQueuePush, ticks,
@@ -221,7 +263,10 @@ bool ExchangeSegment::PushBatch(int queue, RowBatch&& batch) {
                               ? &exchange_profile_->wait_tally
                               : nullptr);
       });
-  if (!pushed) return false;
+  if (!pushed) {
+    ReleaseQueueMem(bytes);
+    return false;
+  }
   ctx_->stats.exchange_batches.fetch_add(1, std::memory_order_relaxed);
   return true;
 }

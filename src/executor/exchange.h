@@ -96,6 +96,12 @@ class ExchangeSegment {
   RowBatch TakeRecycled();
   /// False when the queue closed (consumer gone or a peer errored).
   bool PushBatch(int queue, RowBatch&& batch);
+  /// Memory accounting for rows parked in the queues: producers charge on
+  /// push, consumers release on pop, the destructor releases whatever a
+  /// closed queue still held. Charged to the exchange operator's profile
+  /// slot and the query tracker.
+  void ChargeQueueMem(int64_t bytes);
+  void ReleaseQueueMem(int64_t bytes);
 
   PhysicalOpPtr op_;
   ExecContext* ctx_;
@@ -117,6 +123,9 @@ class ExchangeSegment {
   std::mutex recycle_mu_;
   std::vector<RowBatch> recycle_;
   size_t recycle_cap_;
+  /// Bytes currently parked in the queues (not yet popped); what the
+  /// destructor must release for abandoned segments.
+  std::atomic<int64_t> queued_bytes_{0};
 };
 
 /// Consumer-side exchange operator: one instance per consumer stream,

@@ -13,6 +13,7 @@
 #include "src/executor/exchange.h"
 #include "src/executor/prefetch.h"
 #include "src/storage/btree.h"
+#include "src/sysview/requests.h"
 
 namespace dhqp {
 
@@ -109,8 +110,50 @@ std::unique_ptr<Rowset> MaybePrefetch(std::unique_ptr<Rowset> rowset,
                                       OperatorProfile* profile) {
   if (!ctx->options.enable_remote_prefetch) return rowset;
   return std::make_unique<PrefetchingRowset>(std::move(rowset), ctx->options,
-                                             &ctx->stats, profile);
+                                             &ctx->stats, profile,
+                                             ctx->memory);
 }
+
+// Memory-charge bookkeeping for one buffering operator: accumulates bytes
+// and flushes them in chunks to the operator's profile slot and the query
+// tracker (two atomic adds per 64KB, not per row), releasing everything it
+// charged on destruction or re-materialization. Bind targets must outlive
+// the node — the profile tree and ExecContext both do.
+class OperatorMem {
+ public:
+  ~OperatorMem() { ReleaseAll(); }
+
+  void Bind(OperatorProfile* profile, MemTracker* query) {
+    op_ = profile != nullptr ? &profile->mem : nullptr;
+    query_ = query;
+  }
+  void Add(int64_t bytes) {
+    pending_ += bytes;
+    if (pending_ >= kFlushBytes) Flush();
+  }
+  void Flush() {
+    if (pending_ == 0) return;
+    if (op_ != nullptr) op_->Add(pending_);
+    if (query_ != nullptr) query_->Add(pending_);
+    held_ += pending_;
+    pending_ = 0;
+  }
+  void ReleaseAll() {
+    pending_ = 0;
+    if (held_ == 0) return;
+    if (op_ != nullptr) op_->Release(held_);
+    if (query_ != nullptr) query_->Release(held_);
+    held_ = 0;
+  }
+
+ private:
+  static constexpr int64_t kFlushBytes = 64 * 1024;
+
+  MemTracker* op_ = nullptr;
+  MemTracker* query_ = nullptr;
+  int64_t pending_ = 0;
+  int64_t held_ = 0;
+};
 
 // ---------------------------------------------------------------------------
 // Scans (local + remote) and leaves.
@@ -708,22 +751,29 @@ class SortNode : public ExecNode {
   Status Materialize() {
     rows_.clear();
     pos_ = 0;
+    mem_.ReleaseAll();
+    mem_.Bind(profile_, ctx_->memory);
     const int bs = ctx_->options.exec_batch_rows;
     if (bs > 0) {
       RowBatch batch;
       while (true) {
         DHQP_ASSIGN_OR_RETURN(bool has, child_->NextBatch(&batch, bs));
         if (!has) break;
-        for (Row& r : batch.rows) rows_.push_back(std::move(r));
+        for (Row& r : batch.rows) {
+          mem_.Add(RowMemBytes(r));
+          rows_.push_back(std::move(r));
+        }
       }
     } else {
       Row row;
       while (true) {
         DHQP_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
         if (!has) break;
+        mem_.Add(RowMemBytes(row));
         rows_.push_back(row);
       }
     }
+    mem_.Flush();
     const auto& positions = child_->col_pos();
     std::vector<std::pair<int, bool>> keys;
     for (const auto& [col, asc] : op_->sort_keys) {
@@ -748,6 +798,7 @@ class SortNode : public ExecNode {
   std::unique_ptr<ExecNode> child_;
   ExecContext* ctx_;
   std::vector<Row> rows_;
+  OperatorMem mem_;
   size_t pos_ = 0;
 };
 
@@ -762,6 +813,7 @@ class SpoolNode : public ExecNode {
   Status Open() override {
     DHQP_RETURN_NOT_OK(child_->Open());
     rows_.clear();
+    mem_.ReleaseAll();
     filled_ = false;
     pos_ = 0;
     return Status::OK();
@@ -791,22 +843,28 @@ class SpoolNode : public ExecNode {
  private:
   Status Fill() {
     if (filled_) return Status::OK();
+    mem_.Bind(profile_, ctx_->memory);
     const int bs = ctx_->options.exec_batch_rows;
     if (bs > 0) {
       RowBatch batch;
       while (true) {
         DHQP_ASSIGN_OR_RETURN(bool has, child_->NextBatch(&batch, bs));
         if (!has) break;
-        for (Row& r : batch.rows) rows_.push_back(std::move(r));
+        for (Row& r : batch.rows) {
+          mem_.Add(RowMemBytes(r));
+          rows_.push_back(std::move(r));
+        }
       }
     } else {
       Row row;
       while (true) {
         DHQP_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
         if (!has) break;
+        mem_.Add(RowMemBytes(row));
         rows_.push_back(row);
       }
     }
+    mem_.Flush();
     filled_ = true;
     return Status::OK();
   }
@@ -814,6 +872,7 @@ class SpoolNode : public ExecNode {
   std::unique_ptr<ExecNode> child_;
   ExecContext* ctx_;
   std::vector<Row> rows_;
+  OperatorMem mem_;
   bool filled_ = false;
   size_t pos_ = 0;
 };
@@ -1015,11 +1074,13 @@ class ConcatNode : public ExecNode {
     // (both thread-local on the consumer thread running this).
     for (size_t i = 0; i < dop; ++i) {
       workers_.emplace_back([this, i, query_waits = waits::CurrentQueryTally(),
-                             aid = activity::Current()] {
+                             aid = activity::Current(),
+                             etag = trace::CurrentEngineTag()] {
         trace::Tracer::SetCurrentThreadName("concat.worker" +
                                             std::to_string(i));
         waits::ScopedQueryTally tally(query_waits);
         activity::Scope act(aid);
+        trace::EngineTagScope engine_tag(etag);
         WorkerLoop();
       });
     }
@@ -1377,6 +1438,8 @@ class HashJoinNode : public ExecNode {
  private:
   Status Build() {
     table_.clear();
+    mem_.ReleaseAll();
+    mem_.Bind(profile_, ctx_->memory);
     match_pos_ = 0;
     static const std::vector<Row>& kNone = *new std::vector<Row>();
     matches_ = &kNone;
@@ -1400,7 +1463,12 @@ class HashJoinNode : public ExecNode {
         }
         key.push_back(std::move(v));
       }
-      if (!null_key) table_[key].push_back(std::move(row));
+      if (!null_key) {
+        // Key values duplicate row values; RowMemBytes(key) covers the
+        // map-node side of the entry well enough for accounting.
+        mem_.Add(RowMemBytes(row) + RowMemBytes(key));
+        table_[key].push_back(std::move(row));
+      }
       return Status::OK();
     };
     const int bs = ctx_->options.exec_batch_rows;
@@ -1419,6 +1487,7 @@ class HashJoinNode : public ExecNode {
         DHQP_RETURN_NOT_OK(insert(row));
       }
     }
+    mem_.Flush();
     return Status::OK();
   }
 
@@ -1431,6 +1500,7 @@ class HashJoinNode : public ExecNode {
   std::unique_ptr<ExecNode> left_, right_;
   ExecContext* ctx_;
   std::map<IndexKey, std::vector<Row>, KeyLess> table_;
+  OperatorMem mem_;
   Row probe_;
   RowBatch probe_batch_;  ///< Batched probe input, reused across pulls.
   size_t probe_pos_ = 0;
@@ -1763,6 +1833,10 @@ class HashAggregateNode : public ExecNode {
   Status Aggregate() {
     results_.clear();
     pos_ = 0;
+    mem_.ReleaseAll();
+    mem_.Bind(profile_, ctx_->memory);
+    const int64_t acc_bytes = static_cast<int64_t>(
+        sizeof(Accumulator) * op_->aggregates.size());
     std::map<IndexKey, std::vector<Accumulator>, KeyLess> groups;
     EvalEnv env;
     env.col_pos = &child_->col_pos();
@@ -1804,7 +1878,10 @@ class HashAggregateNode : public ExecNode {
             key.clear();
             for (int p : gpos) key.push_back(row[static_cast<size_t>(p)]);
             auto [it, inserted] = groups.try_emplace(key);
-            if (inserted) it->second.resize(op_->aggregates.size());
+            if (inserted) {
+              it->second.resize(op_->aggregates.size());
+              mem_.Add(RowMemBytes(it->first) + acc_bytes);
+            }
             accs = &it->second;
           }
           for (size_t i = 0; i < op_->aggregates.size(); ++i) {
@@ -1825,7 +1902,10 @@ class HashAggregateNode : public ExecNode {
           key.push_back(row[static_cast<size_t>(child_->col_pos().at(g))]);
         }
         auto [it, inserted] = groups.try_emplace(std::move(key));
-        if (inserted) it->second.resize(op_->aggregates.size());
+        if (inserted) {
+          it->second.resize(op_->aggregates.size());
+          mem_.Add(RowMemBytes(it->first) + acc_bytes);
+        }
         for (size_t i = 0; i < op_->aggregates.size(); ++i) {
           const AggregateItem& item = op_->aggregates[i];
           Value v = Value::Int64(1);  // Placeholder for COUNT(*).
@@ -1848,12 +1928,18 @@ class HashAggregateNode : public ExecNode {
       }
       results_.push_back(std::move(out));
     }
+    // The groups map dies here; what the operator holds from now on is
+    // results_, so swap the accounting over to it.
+    mem_.ReleaseAll();
+    for (const Row& r : results_) mem_.Add(RowMemBytes(r));
+    mem_.Flush();
     return Status::OK();
   }
 
   std::unique_ptr<ExecNode> child_;
   ExecContext* ctx_;
   std::vector<Row> results_;
+  OperatorMem mem_;
   size_t pos_ = 0;
 };
 
@@ -2027,8 +2113,11 @@ bool IsRemoteOp(PhysicalOpKind kind) {
 // timing is exact there, not sampled. Row counts are always exact. Counts
 // accumulate in plain members (each exec node is driven by one thread at a
 // time; parallel Concat branches are distinct nodes) and flush into the
-// shared profile atomics on destruction, which the executor
-// joins/happens-before the profile being rendered.
+// shared profile atomics periodically — every NextBatch call, every 64th
+// Next call — so dm_exec_requests reads live, monotonically non-decreasing
+// row counts mid-query; the destructor flushes the remainder plus the
+// sampled-time estimate, which the executor joins/happens-before the
+// profile being rendered.
 class ProfiledNode : public ExecNode {
  public:
   ProfiledNode(std::unique_ptr<ExecNode> inner, OperatorProfile* profile,
@@ -2047,8 +2136,7 @@ class ProfiledNode : public ExecNode {
     inner_.reset();
     prof_->close_ticks.fetch_add(fastclock::Ticks() - t0,
                                  std::memory_order_relaxed);
-    prof_->rows_out.fetch_add(rows_, std::memory_order_relaxed);
-    prof_->exec_batches.fetch_add(exec_batches_, std::memory_order_relaxed);
+    FlushLiveCounts();
     if (timed_calls_ > 0) {
       // Scale the sampled interval sum to the full call count.
       prof_->next_ticks.fetch_add(
@@ -2078,10 +2166,12 @@ class ProfiledNode : public ExecNode {
       sampled_ticks_ += fastclock::Ticks() - t0;
       ++timed_calls_;
       if (result.ok() && result.value()) ++rows_;
+      if ((next_calls_ & kLiveFlushMask) == 0) FlushLiveCounts();
       return result;
     }
     Result<bool> result = inner_->Next(out);
     if (result.ok() && result.value()) ++rows_;
+    if ((next_calls_ & kLiveFlushMask) == 0) FlushLiveCounts();
     return result;
   }
 
@@ -2100,6 +2190,7 @@ class ProfiledNode : public ExecNode {
     if (result.ok() && result.value()) {
       rows_ += static_cast<int64_t>(out->rows.size());
     }
+    FlushLiveCounts();
     return result;
   }
 
@@ -2115,6 +2206,22 @@ class ProfiledNode : public ExecNode {
   }
 
  private:
+  /// Live-monitoring flush cadence for the row-at-a-time path: one pair of
+  /// fetch_adds per 64 rows keeps dm_exec_requests at most 64 rows stale
+  /// per operator without measurable per-row cost.
+  static constexpr uint32_t kLiveFlushMask = 63;
+
+  void FlushLiveCounts() {
+    if (rows_ != 0) {
+      prof_->rows_out.fetch_add(rows_, std::memory_order_relaxed);
+      rows_ = 0;
+    }
+    if (exec_batches_ != 0) {
+      prof_->exec_batches.fetch_add(exec_batches_, std::memory_order_relaxed);
+      exec_batches_ = 0;
+    }
+  }
+
   /// Largest power of two <= n (1 for n <= 1): sampling uses a bitmask.
   static uint32_t FloorPow2(int n) {
     uint32_t p = 1;
@@ -2366,6 +2473,11 @@ Result<std::unique_ptr<ExecNode>> BuildFragmentTree(
 Result<std::unique_ptr<VectorRowset>> ExecutePlan(const PhysicalOpPtr& plan,
                                                   ExecContext* ctx) {
   DHQP_ASSIGN_OR_RETURN(auto root, BuildExecTree(plan, ctx));
+  // Publish the profile tree to the in-flight request *before* Open so
+  // dm_exec_requests sees live row counts from the first batch onward.
+  if (ctx->profile != nullptr) {
+    sysview::PublishCurrentRequestProfile(ctx->profile);
+  }
   DHQP_RETURN_NOT_OK(root->Open());
   Schema schema;
   for (size_t i = 0; i < plan->output_cols.size(); ++i) {

@@ -165,6 +165,12 @@ struct ExecContext {
   /// it after the context dies; MUST outlive the exec tree (close times are
   /// recorded as nodes destruct).
   std::shared_ptr<OperatorProfile> profile;
+  /// Query-wide memory tracker (the current request's, wired by
+  /// RunCachedPlan; null when monitoring is off). Buffering operators and
+  /// queue stashes charge it alongside their per-operator slot so
+  /// dm_exec_requests can report one live memory_bytes per query. Must
+  /// outlive the exec tree — releases happen as nodes destruct.
+  MemTracker* memory = nullptr;
 };
 
 /// A Volcano-style executor node: Open() prepares, Next() streams rows,

@@ -12,6 +12,12 @@ namespace dhqp {
 namespace {
 // Incremented for the lifetime of each ProducerLoop; see live_producers().
 std::atomic<int64_t> g_live_producers{0};
+
+int64_t BatchMemBytes(const RowBatch& batch) {
+  int64_t bytes = 0;
+  for (const Row& row : batch.rows) bytes += RowMemBytes(row);
+  return bytes;
+}
 }  // namespace
 
 int64_t PrefetchingRowset::live_producers() {
@@ -21,13 +27,15 @@ int64_t PrefetchingRowset::live_producers() {
 PrefetchingRowset::PrefetchingRowset(std::unique_ptr<Rowset> inner,
                                      const ExecOptions& options,
                                      ExecStats* stats,
-                                     OperatorProfile* profile)
+                                     OperatorProfile* profile,
+                                     MemTracker* query_mem)
     : inner_(std::move(inner)),
       schema_(inner_->schema()),
       batch_rows_(options.remote_batch_rows > 0 ? options.remote_batch_rows
                                                 : 256),
       stats_(stats),
       profile_(profile),
+      query_mem_(query_mem),
       queue_(static_cast<size_t>(
           options.prefetch_queue_depth > 0 ? options.prefetch_queue_depth
                                            : 2)) {
@@ -44,11 +52,27 @@ void PrefetchingRowset::Start() {
   // tally and activity id here (the consumer thread has them installed)
   // and re-install both inside the loop.
   producer_ = std::thread([this, query_waits = waits::CurrentQueryTally(),
-                           aid = activity::Current()] {
+                           aid = activity::Current(),
+                           etag = trace::CurrentEngineTag()] {
     waits::ScopedQueryTally tally(query_waits);
     activity::Scope act(aid);
+    trace::EngineTagScope engine_tag(etag);
     ProducerLoop();
   });
+}
+
+void PrefetchingRowset::ChargeQueueMem(int64_t bytes) {
+  if (bytes <= 0) return;
+  queued_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  if (profile_ != nullptr) profile_->mem.Add(bytes);
+  if (query_mem_ != nullptr) query_mem_->Add(bytes);
+}
+
+void PrefetchingRowset::ReleaseQueueMem(int64_t bytes) {
+  if (bytes <= 0) return;
+  queued_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  if (profile_ != nullptr) profile_->mem.Release(bytes);
+  if (query_mem_ != nullptr) query_mem_->Release(bytes);
 }
 
 void PrefetchingRowset::Stop() {
@@ -61,6 +85,9 @@ void PrefetchingRowset::Stop() {
     producer_.join();
     g_live_producers.fetch_sub(1, std::memory_order_acq_rel);
   }
+  // Batches still parked in the closed queue will never be popped (early
+  // abandon or restart discards them) — settle their charge.
+  ReleaseQueueMem(queued_bytes_.load(std::memory_order_relaxed));
 }
 
 void PrefetchingRowset::ProducerLoop() {
@@ -88,13 +115,20 @@ void PrefetchingRowset::ProducerLoop() {
     if (stats_ != nullptr) stats_->remote_batches++;
     if (profile_ != nullptr) profile_->batches++;
     depth->Observe(static_cast<int64_t>(queue_.size()));
+    // Charged before the push so the consumer's release never observes an
+    // uncharged batch.
+    const int64_t bytes = BatchMemBytes(batch);
+    ChargeQueueMem(bytes);
     const bool pushed = queue_.Push(std::move(batch), [this](int64_t ticks) {
       // Producer outran the consumer: the remote stream is ahead and the
       // bounded buffer is what applied backpressure.
       waits::RecordWait(waits::WaitType::kPrefetchQueue, ticks,
                         profile_ != nullptr ? &profile_->wait_tally : nullptr);
     });
-    if (!pushed) break;  // Consumer went away.
+    if (!pushed) {
+      ReleaseQueueMem(bytes);
+      break;  // Consumer went away.
+    }
   }
   queue_.Close();
 }
@@ -123,6 +157,7 @@ Result<bool> PrefetchingRowset::Advance() {
     if (!producer_status_.ok()) return producer_status_;
     return false;
   }
+  ReleaseQueueMem(BatchMemBytes(batch));
   Recycle(std::move(current_));  // Drained buffer re-enters the cycle.
   current_ = std::move(batch);
   pos_ = 0;

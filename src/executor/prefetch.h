@@ -1,6 +1,7 @@
 #ifndef DHQP_EXECUTOR_PREFETCH_H_
 #define DHQP_EXECUTOR_PREFETCH_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -28,11 +29,14 @@ class PrefetchingRowset : public Rowset {
   /// `stats` and `profile` may be null (no counter reporting / no operator
   /// attribution). When `profile` is set, the producer thread installs its
   /// link-charge sink — so remote traffic paid on the producer's behalf is
-  /// attributed to the owning operator — and counts batches into it. Starts
-  /// the producer immediately; the first batches are usually in flight
-  /// before the consumer asks for the first row.
+  /// attributed to the owning operator — and counts batches into it;
+  /// batches parked in the queue charge the profile's memory tracker and
+  /// `query_mem` (the query-wide tracker, also nullable). Starts the
+  /// producer immediately; the first batches are usually in flight before
+  /// the consumer asks for the first row.
   PrefetchingRowset(std::unique_ptr<Rowset> inner, const ExecOptions& options,
-                    ExecStats* stats, OperatorProfile* profile = nullptr);
+                    ExecStats* stats, OperatorProfile* profile = nullptr,
+                    MemTracker* query_mem = nullptr);
   ~PrefetchingRowset() override;
 
   PrefetchingRowset(const PrefetchingRowset&) = delete;
@@ -70,12 +74,21 @@ class PrefetchingRowset : public Rowset {
   /// Producer side of the cycle: a recycled buffer, or a fresh one while
   /// the cycle is still filling.
   RowBatch TakeRecycled();
+  /// Queue-residency memory accounting: the producer charges each batch
+  /// before pushing, the consumer releases on pop, Stop() settles whatever
+  /// a torn-down pipeline still held.
+  void ChargeQueueMem(int64_t bytes);
+  void ReleaseQueueMem(int64_t bytes);
 
   std::unique_ptr<Rowset> inner_;
   Schema schema_;  ///< Copied: schema() must not race with the producer.
   int batch_rows_;
   ExecStats* stats_;
   OperatorProfile* profile_;
+  MemTracker* query_mem_;
+  /// Bytes currently parked in the queue; settled by Stop() for batches no
+  /// consumer will pop.
+  std::atomic<int64_t> queued_bytes_{0};
 
   BoundedQueue<RowBatch> queue_;
   std::thread producer_;

@@ -53,6 +53,10 @@ void RenderInto(const OperatorProfile& p, int indent, std::string* out) {
       out->append(buf);
     }
   }
+  if (int64_t m = p.mem.peak(); m > 0) {
+    std::snprintf(buf, sizeof(buf), " mem=%" PRId64 "B", m);
+    out->append(buf);
+  }
   bool first_wait = true;
   for (int i = 0; i < waits::kNumWaitTypes; ++i) {
     const auto type = static_cast<waits::WaitType>(i);

@@ -8,10 +8,53 @@
 #include <vector>
 
 #include "src/common/fastclock.h"
+#include "src/common/row.h"
 #include "src/common/waits.h"
 #include "src/net/network.h"
 
 namespace dhqp {
+
+/// Memory accounting for bytes a component is currently holding: buffering
+/// operators (hash-join tables, aggregate hash tables, sort/spool buffers)
+/// and queue stashes (exchange, prefetch) charge on materialization and
+/// release on teardown. `current` is live-readable (dm_exec_requests shows
+/// in-flight footprint); `peak` is the high-water mark that survives the
+/// query (dm_exec_operator_stats, EXPLAIN ANALYZE `mem=`). Atomic because
+/// exchange producers and prefetch threads charge concurrently with the
+/// consumer, and DMV scans read mid-flight.
+struct MemTracker {
+  std::atomic<int64_t> current_{0};
+  std::atomic<int64_t> peak_{0};
+
+  void Add(int64_t bytes) {
+    const int64_t now =
+        current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    int64_t prev = peak_.load(std::memory_order_relaxed);
+    while (now > prev &&
+           !peak_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+    }
+  }
+  void Release(int64_t bytes) {
+    current_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+  int64_t current() const { return current_.load(std::memory_order_relaxed); }
+  int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+};
+
+/// Cheap estimate of the heap footprint of one materialized row: the value
+/// vector's capacity plus owned string payloads. An accounting estimate (no
+/// allocator introspection), consistent across operators so relative sizes
+/// compare.
+inline int64_t RowMemBytes(const Row& row) {
+  int64_t bytes = static_cast<int64_t>(sizeof(Row)) +
+                  static_cast<int64_t>(row.capacity() * sizeof(Value));
+  for (const Value& v : row) {
+    if (!v.is_null() && v.type() == DataType::kString) {
+      bytes += static_cast<int64_t>(v.string_value().capacity());
+    }
+  }
+  return bytes;
+}
 
 /// Actual execution statistics for one operator occurrence in an exec tree
 /// — the SET STATISTICS PROFILE analog. The tree mirrors the physical plan
@@ -55,6 +98,12 @@ struct OperatorProfile {
   /// summing wait_tally across the tree never double-counts.
   waits::WaitTally wait_tally;
 
+  /// Bytes this operator is holding (hash tables, sort buffers, queue
+  /// stashes). `mem.current()` is the live footprint dm_exec_requests sums;
+  /// `mem.peak()` survives completion for dm_exec_operator_stats and the
+  /// EXPLAIN ANALYZE `mem=` annotation.
+  MemTracker mem;
+
   std::vector<std::unique_ptr<OperatorProfile>> children;
 
   int64_t open_ns() const { return fastclock::ToNs(open_ticks.load()); }
@@ -69,8 +118,8 @@ struct OperatorProfile {
 
 /// EXPLAIN ANALYZE rendering: one line per operator,
 ///   `#<id> <name>  [est_rows=.. act_rows=.. time_ms=.. opens=..]`
-/// plus restart, remote-link (link=/msgs=/batches=/retries=/timeouts=) and
-/// wire-row annotations where they apply.
+/// plus restart, remote-link (link=/msgs=/batches=/retries=/timeouts=),
+/// wire-row, peak-memory (mem=) and wait annotations where they apply.
 std::string RenderOperatorProfile(const OperatorProfile& profile);
 
 /// One operator occurrence of a flattened profile tree: the node plus its

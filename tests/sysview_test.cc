@@ -432,6 +432,7 @@ TEST_F(SysViewTest, ConcurrentDmvScansDuringExecution) {
   ASSERT_OK(host_.catalog()->SystemSession().status());
 
   const char* kViews[] = {"dm_exec_query_stats", "dm_exec_operator_stats",
+                          "dm_exec_requests",
                           "dm_exec_distributed_requests",
                           "dm_link_stats",       "dm_plan_cache",
                           "dm_metrics",          "dm_os_wait_stats",
