@@ -14,7 +14,8 @@ namespace {
 constexpr const char* kNames[kNumWaitTypes] = {
     "EXCHANGE_QUEUE_PUSH", "EXCHANGE_QUEUE_POP", "PREFETCH_QUEUE",
     "CONCAT_QUEUE",        "LINK_SEND",          "RETRY_BACKOFF",
-    "PLAN_CACHE_MUTEX",    "QUERY_STORE_MUTEX",
+    "PLAN_CACHE_MUTEX",    "QUERY_STORE_MUTEX",  "RESOURCE_SEMAPHORE",
+    "SPILL_IO",
 };
 
 std::atomic<bool> g_enabled{true};

@@ -30,9 +30,13 @@ enum class WaitType : int {
   kRetryBackoff,           ///< Sleeps between link retry attempts.
   kPlanCacheMutex,         ///< Contended acquisition of the plan-cache lock.
   kQueryStoreMutex,        ///< Contended acquisition of the query-store lock.
+  kResourceSemaphore,      ///< Statement queued in the workload governor
+                           ///< waiting for its memory grant.
+  kSpillIo,                ///< Spill file reads/writes (Grace partitions,
+                           ///< external sort runs) under a tight grant.
 };
 
-constexpr int kNumWaitTypes = 8;
+constexpr int kNumWaitTypes = 10;
 
 /// Canonical upper-snake name, as dm_os_wait_stats spells it
 /// ("EXCHANGE_QUEUE_PUSH", "RETRY_BACKOFF", ...).

@@ -1,5 +1,6 @@
 #include "src/connectors/dmv_provider.h"
 
+#include <map>
 #include <set>
 #include <utility>
 
@@ -12,6 +13,7 @@
 #include "src/connectors/engine_provider.h"
 #include "src/connectors/linked_provider.h"
 #include "src/core/engine.h"
+#include "src/core/governor.h"
 #include "src/executor/profile.h"
 #include "src/sysview/query_store.h"
 #include "src/sysview/requests.h"
@@ -54,7 +56,8 @@ Schema OperatorStatsSchema() {
                  IntCol("link_messages"), IntCol("wire_rows"),
                  IntCol("link_bytes"), IntCol("retries"), IntCol("timeouts"),
                  IntCol("faults"), IntCol("waits"), IntCol("wait_ns"),
-                 IntCol("memory_bytes")});
+                 IntCol("memory_bytes"), IntCol("spills"),
+                 IntCol("spill_bytes")});
 }
 
 Schema RequestsSchema() {
@@ -63,7 +66,17 @@ Schema RequestsSchema() {
                  IntCol("dop"), IntCol("rows_processed"), IntCol("batches"),
                  IntCol("wait_count"), IntCol("wait_ns"),
                  StrCol("top_wait_type"), IntCol("memory_bytes"),
-                 IntCol("percent_complete")});
+                 IntCol("percent_complete"),
+                 IntCol("requested_memory_bytes"),
+                 IntCol("granted_memory_bytes"), IntCol("spills")});
+}
+
+Schema MemoryGrantsSchema() {
+  return Schema({IntCol("grant_id"), StrCol("engine"), StrCol("activity_id"),
+                 StrCol("statement"), IntCol("dop"), IntCol("is_queued"),
+                 IntCol("requested_bytes"), IntCol("granted_bytes"),
+                 IntCol("wait_ns"), IntCol("degraded"), IntCol("used_bytes"),
+                 IntCol("peak_bytes")});
 }
 
 Schema WaitStatsSchema() {
@@ -156,7 +169,9 @@ std::vector<Row> FillOperatorStats(Engine* engine) {
                   I(op.link_charges.faults.load(std::memory_order_relaxed)),
                   I(op.wait_tally.total_count()),
                   I(op.wait_tally.total_ns()),
-                  I(op.mem.peak())});
+                  I(op.mem.peak()),
+                  I(op.spills.load(std::memory_order_relaxed)),
+                  I(op.spill_bytes.load(std::memory_order_relaxed))});
     }
   }
   return rows;
@@ -212,6 +227,13 @@ std::vector<Row> FillTraceSpans() {
   return rows;
 }
 
+/// Total spill files written so far across an operator tree.
+int64_t SpillsOf(const OperatorProfile& p) {
+  int64_t n = p.spills.load(std::memory_order_relaxed);
+  for (const auto& child : p.children) n += SpillsOf(*child);
+  return n;
+}
+
 /// Live in-flight statements (the sys.dm_exec_requests analog). Snapshots
 /// the process-wide registry and filters to this engine's requests,
 /// skipping self-excluded (sys-touching) statements and — belt on top of
@@ -230,10 +252,12 @@ std::vector<Row> FillRequests(Engine* engine) {
     if (req->engine != engine->name()) continue;
     int64_t rows_processed = 0;
     int64_t batches = 0;
+    int64_t spills = 0;
     int percent = 0;
     if (std::shared_ptr<const OperatorProfile> profile = req->profile()) {
       rows_processed = sysview::RowsProcessed(*profile);
       batches = sysview::BatchesProcessed(*profile);
+      spills = SpillsOf(*profile);
       percent = sysview::PercentComplete(*profile);
     }
     const waits::WaitTotals wait_totals = waits::Snapshot(req->waits);
@@ -250,7 +274,49 @@ std::vector<Row> FillRequests(Engine* engine) {
                 I(wait_totals.total_ns()),
                 S(wait_totals.TopType()),
                 I(req->memory.current()),
-                I(percent)});
+                I(percent),
+                I(req->requested_grant_bytes.load(std::memory_order_relaxed)),
+                I(req->granted_bytes.load(std::memory_order_relaxed)),
+                I(spills)});
+  }
+  return rows;
+}
+
+/// Point-in-time memory grants (the sys.dm_exec_query_memory_grants
+/// analog): every statement of this engine currently holding a grant or
+/// queued in the resource semaphore, with live used/peak memory joined in
+/// from the request registry by activity id. The scanning statement itself
+/// is excluded (sys scans bypass admission and carry no grant anyway).
+std::vector<Row> FillMemoryGrants(Engine* engine) {
+  std::vector<Row> rows;
+  const std::string self_activity = activity::Current();
+  std::map<std::string, std::shared_ptr<sysview::RequestState>> reqs;
+  for (const std::shared_ptr<sysview::RequestState>& req :
+       sysview::RequestRegistry::Global().Snapshot()) {
+    reqs.emplace(req->activity_id, req);
+  }
+  for (const governor::GrantRow& g : governor::Governor::Global().Snapshot()) {
+    if (g.engine != engine->name()) continue;
+    if (!self_activity.empty() && g.activity_id == self_activity) continue;
+    int64_t used = 0;
+    int64_t peak = 0;
+    auto it = reqs.find(g.activity_id);
+    if (it != reqs.end()) {
+      used = it->second->memory.current();
+      peak = it->second->memory.peak();
+    }
+    rows.push_back(Row{I(g.grant_id),
+                S(g.engine),
+                S(g.activity_id),
+                S(g.statement),
+                I(g.dop),
+                I(g.is_queued ? 1 : 0),
+                I(g.requested_bytes),
+                I(g.granted_bytes),
+                I(g.wait_ns),
+                I(g.degraded ? 1 : 0),
+                I(used),
+                I(peak)});
   }
   return rows;
 }
@@ -326,11 +392,12 @@ struct DmvTableDef {
   Schema (*schema)();
 };
 
-constexpr int kNumTables = 9;
+constexpr int kNumTables = 10;
 const DmvTableDef kTables[kNumTables] = {
     {"dm_exec_query_stats", QueryStatsSchema},
     {"dm_exec_operator_stats", OperatorStatsSchema},
     {"dm_exec_requests", RequestsSchema},
+    {"dm_exec_query_memory_grants", MemoryGrantsSchema},
     {"dm_exec_distributed_requests", DistributedRequestsSchema},
     {"dm_link_stats", LinkStatsSchema},
     {"dm_plan_cache", PlanCacheSchema},
@@ -375,6 +442,9 @@ class DmvSession : public Session {
     if (name == "dm_exec_query_stats") return FillQueryStats(engine_);
     if (name == "dm_exec_operator_stats") return FillOperatorStats(engine_);
     if (name == "dm_exec_requests") return FillRequests(engine_);
+    if (name == "dm_exec_query_memory_grants") {
+      return FillMemoryGrants(engine_);
+    }
     if (name == "dm_exec_distributed_requests") {
       return FillDistributedRequests(engine_);
     }

@@ -30,7 +30,15 @@ ProviderCapabilities DmvCapabilities();
 ///                           (incl. cumulative wait counts/time)
 ///   dm_exec_operator_stats  flattened operator profiles of the last-N
 ///                           executions (pre-order ids match EXPLAIN),
-///                           with per-operator wait totals
+///                           with per-operator wait totals and spill
+///                           activity (spills / spill_bytes)
+///   dm_exec_requests        live in-flight statements (phase, waits, live
+///                           memory, memory grant, spills so far)
+///   dm_exec_query_memory_grants
+///                           workload-governor resource semaphore: every
+///                           statement holding or queued for a memory
+///                           grant (requested/granted bytes, queue wait,
+///                           degraded flag, live used/peak memory)
 ///   dm_exec_distributed_requests
 ///                           cross-engine correlation: this engine's
 ///                           executions ("coordinator" rows) joined by

@@ -10,6 +10,7 @@
 #include "src/common/waits.h"
 #include "src/connectors/dmv_provider.h"
 #include "src/connectors/linked_provider.h"
+#include "src/core/governor.h"
 #include "src/optimizer/normalize.h"
 #include "src/optimizer/optimizer.h"
 #include "src/sql/binder.h"
@@ -621,6 +622,8 @@ static void PublishExecMetrics(const ExecStats& stats, int64_t query_ns) {
     metrics::Counter* remote_timeouts;
     metrics::Counter* faults_injected;
     metrics::Counter* members_skipped;
+    metrics::Counter* spills;
+    metrics::Counter* spill_bytes;
     metrics::Histogram* query_ns;
   };
   static const Instruments in = [] {
@@ -644,6 +647,8 @@ static void PublishExecMetrics(const ExecStats& stats, int64_t query_ns) {
     i.remote_timeouts = reg.GetCounter("exec.remote_timeouts");
     i.faults_injected = reg.GetCounter("exec.faults_injected");
     i.members_skipped = reg.GetCounter("exec.members_skipped");
+    i.spills = reg.GetCounter("exec.spills");
+    i.spill_bytes = reg.GetCounter("exec.spill_bytes");
     i.query_ns = reg.GetHistogram("engine.query_ns");
     return i;
   }();
@@ -665,12 +670,52 @@ static void PublishExecMetrics(const ExecStats& stats, int64_t query_ns) {
   in.remote_timeouts->Add(stats.remote_timeouts);
   in.faults_injected->Add(stats.faults_injected);
   in.members_skipped->Add(stats.members_skipped);
+  in.spills->Add(stats.spills);
+  in.spill_bytes->Add(stats.spill_bytes);
   in.query_ns->Observe(query_ns);
 }
 
 Result<QueryResult> Engine::RunCachedPlan(
     const CachedPlan& cached, const std::map<std::string, Value>& params) {
   trace::Span span("engine.execute");
+  // Workload governor: admission control sits between optimize and execute.
+  // The statement queues (phase `queued`, RESOURCE_SEMAPHORE waits) until
+  // its estimated grant fits the memory budget; the grant is RAII-released
+  // exactly once on every exit path out of this function, including error
+  // returns and fault aborts mid-execution.
+  sysview::SetCurrentPhase(sysview::RequestPhase::kQueued);
+  governor::GovernorOptions gopts;
+  gopts.max_server_memory_bytes = options_.max_server_memory_bytes;
+  gopts.max_grant_per_query_bytes = options_.max_grant_per_query_bytes;
+  gopts.max_concurrent_grants = options_.max_concurrent_grants;
+  gopts.grant_timeout_ms = options_.grant_timeout_ms;
+  gopts.min_grant_bytes = options_.min_grant_bytes;
+  // System-view scans bypass admission (like DAC in SQL Server): the
+  // monitoring path must stay responsive when the semaphore is saturated
+  // with queued user statements.
+  governor::MemoryGrant grant;
+  if (!PlanTouchesSys(cached.plan)) {
+    grant = governor::Governor::Global().Acquire(
+        gopts, governor::EstimateGrantBytes(cached.plan, options_.execution),
+        options_.name, activity::Current(), cached.statement,
+        options_.execution.dop);
+  }
+  // Surface the grant on dm_exec_requests while the statement runs; cleared
+  // on every exit path (the row may outlive execution in the registry).
+  struct GrantFields {
+    sysview::RequestState* req;
+    ~GrantFields() {
+      if (req == nullptr) return;
+      req->requested_grant_bytes.store(0, std::memory_order_relaxed);
+      req->granted_bytes.store(0, std::memory_order_relaxed);
+    }
+  } grant_fields{sysview::CurrentRequest()};
+  if (grant_fields.req != nullptr && grant.active()) {
+    grant_fields.req->requested_grant_bytes.store(grant.requested_bytes(),
+                                                  std::memory_order_relaxed);
+    grant_fields.req->granted_bytes.store(grant.granted_bytes(),
+                                          std::memory_order_relaxed);
+  }
   sysview::SetCurrentPhase(sysview::RequestPhase::kExecute);
   const int64_t start_ns = fastclock::NowNs();
   ExecContext ectx;
@@ -682,6 +727,12 @@ Result<QueryResult> Engine::RunCachedPlan(
   // Buffering operators and queue stashes charge the request's query-wide
   // tracker, so dm_exec_requests reports one live memory_bytes per query.
   ectx.memory = sysview::CurrentRequestMemory();
+  // Grant enforcement reads the query tracker; when request monitoring is
+  // off, a statement-local tracker stands in so the governor still bites.
+  MemTracker local_mem;
+  if (ectx.memory == nullptr && grant.active()) ectx.memory = &local_mem;
+  ectx.grant_bytes = grant.active() ? grant.granted_bytes() : 0;
+  ectx.spill_dir = options_.spill_directory;
   const LinkFaultTotals before = SumLinkFaults(catalog_.get());
   DHQP_ASSIGN_OR_RETURN(auto rowset, ExecutePlan(cached.plan, &ectx));
   // Per-query fault accounting: links are charged below the executor (and

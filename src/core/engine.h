@@ -46,6 +46,27 @@ struct EngineOptions {
   /// estimated-vs-actual operator profile when collected) and counts toward
   /// exec.slow_queries. 0 disables.
   int64_t slow_query_ns = 0;
+  /// Workload governor: memory-grant admission control. A statement's grant
+  /// is estimated from optimizer cardinalities between optimize and execute;
+  /// it runs only once the grant fits under `max_server_memory_bytes`
+  /// (0 disables the governor — unlimited memory, no queueing, no spills).
+  /// While waiting it sits in the `queued` phase accumulating
+  /// RESOURCE_SEMAPHORE waits; once admitted, buffering operators that
+  /// breach the grant spill to disk instead of growing.
+  int64_t max_server_memory_bytes = 0;
+  /// Cap on any single statement's grant (0 = the whole budget). Large
+  /// estimates are clamped here, forcing them to spill rather than starve
+  /// the rest of the workload.
+  int64_t max_grant_per_query_bytes = 0;
+  /// Cap on concurrently admitted statements (0 = unlimited).
+  int max_concurrent_grants = 0;
+  /// How long a statement waits for its full grant before degrading to
+  /// `min_grant_bytes` (spilling heavily, but running).
+  int64_t grant_timeout_ms = 1000;
+  /// The floor every statement is guaranteed after a grant timeout.
+  int64_t min_grant_bytes = 64 * 1024;
+  /// Where spill files go; empty = the platform temp directory.
+  std::string spill_directory;
   /// Remote data-movement knobs (block fetch size, prefetch, Concat DOP).
   ExecOptions execution;
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <deque>
+#include <functional>
 #include <set>
 #include <thread>
 #include <vector>
@@ -12,6 +14,7 @@
 #include "src/executor/bounded_queue.h"
 #include "src/executor/exchange.h"
 #include "src/executor/prefetch.h"
+#include "src/executor/spill.h"
 #include "src/storage/btree.h"
 #include "src/sysview/requests.h"
 
@@ -145,6 +148,10 @@ class OperatorMem {
     if (query_ != nullptr) query_->Release(held_);
     held_ = 0;
   }
+  /// Accumulated bytes not yet flushed to the trackers — grant checks add
+  /// this to the query tracker's current() so chunked flushing cannot hide
+  /// up to kFlushBytes of growth from the spill trigger.
+  int64_t pending() const { return pending_; }
 
  private:
   static constexpr int64_t kFlushBytes = 64 * 1024;
@@ -154,6 +161,81 @@ class OperatorMem {
   int64_t pending_ = 0;
   int64_t held_ = 0;
 };
+
+// ---------------------------------------------------------------------------
+// Grant-enforced spilling (workload governor).
+// ---------------------------------------------------------------------------
+
+// True when charging `incoming` more bytes would push the query past its
+// memory grant — the signal that flips a buffering operator into spill
+// mode. Uses the query-wide tracker: whichever operator crosses the grant
+// first spills, regardless of which operators are holding the memory.
+bool GrantExceeded(const ExecContext* ctx, int64_t op_pending,
+                   int64_t incoming) {
+  return ctx->grant_bytes > 0 && ctx->memory != nullptr &&
+         ctx->memory->current() + op_pending + incoming > ctx->grant_bytes;
+}
+
+// One finished spill file: rolls its volume into the query stats and the
+// owning operator's profile slot. exec.spills counts files written (sort
+// runs, Grace partitions, spooled results).
+void RecordSpill(ExecContext* ctx, OperatorProfile* profile,
+                 const spill::SpillFile& file) {
+  ctx->stats.spills++;
+  ctx->stats.spill_bytes += file.bytes();
+  if (profile != nullptr) {
+    profile->spills++;
+    profile->spill_bytes += file.bytes();
+  }
+}
+
+// The operator wait slot spill I/O is attributed to (null when stats
+// collection is off).
+waits::WaitTally* SpillTally(OperatorProfile* profile) {
+  return profile != nullptr ? &profile->wait_tally : nullptr;
+}
+
+// Grace partitioning fanout per recursion level.
+constexpr int kSpillFanout = 8;
+
+// Hash of a join/group key for Grace partitioning. Numeric values hash by
+// numeric value — int64 1 and double 1.0 compare equal under CompareKeys,
+// so they must land in the same partition; strings hash by content; NULLs
+// (possible in GROUP BY keys) get a fixed bucket.
+size_t HashSpillKey(const IndexKey& key) {
+  size_t h = 0x345678;
+  for (const Value& v : key) {
+    size_t vh;
+    if (v.is_null()) {
+      vh = 0x9e3779b9;
+    } else if (v.type() == DataType::kString) {
+      vh = std::hash<std::string>{}(v.string_value());
+    } else {
+      vh = std::hash<double>{}(v.AsDouble());
+    }
+    h = h * 1000003 ^ vh;
+  }
+  return h;
+}
+
+// Partition index at a recursion depth: each level consumes a disjoint bit
+// range of the key hash, so recursive repartitions actually subdivide.
+int SpillPartOf(const IndexKey& key, int depth) {
+  return static_cast<int>((HashSpillKey(key) >> (3 * depth)) &
+                          (kSpillFanout - 1));
+}
+
+// One spill file per Grace fan-out slot.
+Status MakeSpillParts(ExecContext* ctx, OperatorProfile* profile,
+                      std::vector<std::unique_ptr<spill::SpillFile>>* parts) {
+  parts->clear();
+  for (int i = 0; i < kSpillFanout; ++i) {
+    DHQP_ASSIGN_OR_RETURN(
+        auto f, spill::SpillFile::Create(ctx->spill_dir, SpillTally(profile)));
+    parts->push_back(std::move(f));
+  }
+  return Status::OK();
+}
 
 // ---------------------------------------------------------------------------
 // Scans (local + remote) and leaves.
@@ -733,12 +815,14 @@ class SortNode : public ExecNode {
   }
 
   Result<bool> Next(Row* out) override {
+    if (spilled_) return MergeNext(out);
     if (pos_ >= rows_.size()) return false;
     *out = rows_[pos_++];
     return true;
   }
 
   Result<bool> NextBatch(RowBatch* out, int max_rows) override {
+    if (spilled_) return ExecNode::NextBatch(out, max_rows);
     return SliceRows(rows_, &pos_, max_rows, out);
   }
 
@@ -748,58 +832,152 @@ class SortNode : public ExecNode {
   }
 
  private:
+  Status ResolveKeys() {
+    keys_.clear();
+    const auto& positions = child_->col_pos();
+    for (const auto& [col, asc] : op_->sort_keys) {
+      auto it = positions.find(col);
+      if (it == positions.end()) {
+        return Status::Internal("sort key column not in input");
+      }
+      keys_.emplace_back(it->second, asc);
+    }
+    return Status::OK();
+  }
+
+  bool RowLess(const Row& a, const Row& b) const {
+    for (const auto& [pos, asc] : keys_) {
+      int c = a[static_cast<size_t>(pos)].Compare(b[static_cast<size_t>(pos)]);
+      if (c != 0) return asc ? c < 0 : c > 0;
+    }
+    return false;
+  }
+
+  void SortRows() {
+    std::stable_sort(
+        rows_.begin(), rows_.end(),
+        [this](const Row& a, const Row& b) { return RowLess(a, b); });
+  }
+
+  /// Sorts the buffered rows and writes them out as one external run,
+  /// releasing their memory.
+  Status SpillRun() {
+    SortRows();
+    DHQP_ASSIGN_OR_RETURN(
+        auto run, spill::SpillFile::Create(ctx_->spill_dir,
+                                           SpillTally(profile_)));
+    for (const Row& r : rows_) DHQP_RETURN_NOT_OK(run->Append(r));
+    DHQP_RETURN_NOT_OK(run->FinishWrite());
+    RecordSpill(ctx_, profile_, *run);
+    runs_.push_back(std::move(run));
+    rows_.clear();
+    mem_.ReleaseAll();
+    return Status::OK();
+  }
+
   Status Materialize() {
     rows_.clear();
     pos_ = 0;
+    runs_.clear();
+    heap_.clear();
+    spilled_ = false;
     mem_.ReleaseAll();
     mem_.Bind(profile_, ctx_->memory);
+    DHQP_RETURN_NOT_OK(ResolveKeys());
+    auto take = [&](Row& r) -> Status {
+      const int64_t rb = RowMemBytes(r);
+      if (!rows_.empty() && GrantExceeded(ctx_, mem_.pending(), rb)) {
+        DHQP_RETURN_NOT_OK(SpillRun());
+      }
+      mem_.Add(rb);
+      rows_.push_back(std::move(r));
+      return Status::OK();
+    };
     const int bs = ctx_->options.exec_batch_rows;
     if (bs > 0) {
       RowBatch batch;
       while (true) {
         DHQP_ASSIGN_OR_RETURN(bool has, child_->NextBatch(&batch, bs));
         if (!has) break;
-        for (Row& r : batch.rows) {
-          mem_.Add(RowMemBytes(r));
-          rows_.push_back(std::move(r));
-        }
+        for (Row& r : batch.rows) DHQP_RETURN_NOT_OK(take(r));
       }
     } else {
       Row row;
       while (true) {
         DHQP_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
         if (!has) break;
-        mem_.Add(RowMemBytes(row));
-        rows_.push_back(row);
+        Row copy = row;
+        DHQP_RETURN_NOT_OK(take(copy));
       }
     }
     mem_.Flush();
-    const auto& positions = child_->col_pos();
-    std::vector<std::pair<int, bool>> keys;
-    for (const auto& [col, asc] : op_->sort_keys) {
-      auto it = positions.find(col);
-      if (it == positions.end()) {
-        return Status::Internal("sort key column not in input");
-      }
-      keys.emplace_back(it->second, asc);
+    if (runs_.empty()) {
+      SortRows();
+      return Status::OK();
     }
-    std::stable_sort(rows_.begin(), rows_.end(),
-                     [&keys](const Row& a, const Row& b) {
-                       for (const auto& [pos, asc] : keys) {
-                         int c = a[static_cast<size_t>(pos)].Compare(
-                             b[static_cast<size_t>(pos)]);
-                         if (c != 0) return asc ? c < 0 : c > 0;
-                       }
-                       return false;
-                     });
+    // External path: the tail becomes the final run, then a k-way merge
+    // streams the runs back in order.
+    if (!rows_.empty()) DHQP_RETURN_NOT_OK(SpillRun());
+    spilled_ = true;
+    return OpenMerge();
+  }
+
+  struct MergeEntry {
+    Row row;
+    size_t run;
+  };
+
+  /// Heap order: true when `a` must come after `b`. Equal keys break by run
+  /// index — runs were written in arrival order and stable_sort'ed, so this
+  /// reproduces the in-memory stable sort exactly.
+  bool MergeAfter(const MergeEntry& a, const MergeEntry& b) const {
+    if (RowLess(b.row, a.row)) return true;
+    if (RowLess(a.row, b.row)) return false;
+    return a.run > b.run;
+  }
+
+  Status OpenMerge() {
+    heap_.clear();
+    Row row;
+    for (size_t i = 0; i < runs_.size(); ++i) {
+      DHQP_RETURN_NOT_OK(runs_[i]->Rewind());
+      DHQP_ASSIGN_OR_RETURN(bool has, runs_[i]->Next(&row));
+      if (has) heap_.push_back(MergeEntry{std::move(row), i});
+    }
+    auto after = [this](const MergeEntry& a, const MergeEntry& b) {
+      return MergeAfter(a, b);
+    };
+    std::make_heap(heap_.begin(), heap_.end(), after);
     return Status::OK();
+  }
+
+  Result<bool> MergeNext(Row* out) {
+    if (heap_.empty()) return false;
+    auto after = [this](const MergeEntry& a, const MergeEntry& b) {
+      return MergeAfter(a, b);
+    };
+    std::pop_heap(heap_.begin(), heap_.end(), after);
+    MergeEntry e = std::move(heap_.back());
+    heap_.pop_back();
+    *out = std::move(e.row);
+    DHQP_ASSIGN_OR_RETURN(bool has, runs_[e.run]->Next(&e.row));
+    if (has) {
+      heap_.push_back(std::move(e));
+      std::push_heap(heap_.begin(), heap_.end(), after);
+    }
+    return true;
   }
 
   std::unique_ptr<ExecNode> child_;
   ExecContext* ctx_;
   std::vector<Row> rows_;
+  std::vector<std::pair<int, bool>> keys_;  ///< (position, ascending).
   OperatorMem mem_;
   size_t pos_ = 0;
+  // External-merge state (grant-enforced spill).
+  bool spilled_ = false;
+  std::vector<std::unique_ptr<spill::SpillFile>> runs_;
+  std::vector<MergeEntry> heap_;
 };
 
 // Spool (§4.1.4): materializes the child once; rescans are served from the
@@ -814,6 +992,7 @@ class SpoolNode : public ExecNode {
     DHQP_RETURN_NOT_OK(child_->Open());
     rows_.clear();
     mem_.ReleaseAll();
+    file_.reset();
     filled_ = false;
     pos_ = 0;
     return Status::OK();
@@ -821,6 +1000,7 @@ class SpoolNode : public ExecNode {
 
   Result<bool> Next(Row* out) override {
     DHQP_RETURN_NOT_OK(Fill());
+    if (file_ != nullptr) return file_->Next(out);
     if (pos_ >= rows_.size()) return false;
     *out = rows_[pos_++];
     return true;
@@ -828,6 +1008,7 @@ class SpoolNode : public ExecNode {
 
   Result<bool> NextBatch(RowBatch* out, int max_rows) override {
     DHQP_RETURN_NOT_OK(Fill());
+    if (file_ != nullptr) return ExecNode::NextBatch(out, max_rows);
     return SliceRows(rows_, &pos_, max_rows, out);
   }
 
@@ -835,36 +1016,62 @@ class SpoolNode : public ExecNode {
     if (filled_) {
       ctx_->stats.spool_rescans++;
       pos_ = 0;
+      if (file_ != nullptr) return file_->Rewind();
       return Status::OK();
     }
     return Open();
   }
 
  private:
+  /// Moves the buffered rows to a spill file; later rows append directly.
+  /// Spool rescans reread the file (Rewind) instead of re-executing.
+  Status StartSpill() {
+    DHQP_ASSIGN_OR_RETURN(
+        file_, spill::SpillFile::Create(ctx_->spill_dir,
+                                        SpillTally(profile_)));
+    for (const Row& r : rows_) DHQP_RETURN_NOT_OK(file_->Append(r));
+    rows_.clear();
+    mem_.ReleaseAll();
+    return Status::OK();
+  }
+
   Status Fill() {
     if (filled_) return Status::OK();
     mem_.Bind(profile_, ctx_->memory);
+    auto take = [&](Row& r) -> Status {
+      if (file_ != nullptr) return file_->Append(r);
+      const int64_t rb = RowMemBytes(r);
+      if (!rows_.empty() && GrantExceeded(ctx_, mem_.pending(), rb)) {
+        DHQP_RETURN_NOT_OK(StartSpill());
+        return file_->Append(r);
+      }
+      mem_.Add(rb);
+      rows_.push_back(std::move(r));
+      return Status::OK();
+    };
     const int bs = ctx_->options.exec_batch_rows;
     if (bs > 0) {
       RowBatch batch;
       while (true) {
         DHQP_ASSIGN_OR_RETURN(bool has, child_->NextBatch(&batch, bs));
         if (!has) break;
-        for (Row& r : batch.rows) {
-          mem_.Add(RowMemBytes(r));
-          rows_.push_back(std::move(r));
-        }
+        for (Row& r : batch.rows) DHQP_RETURN_NOT_OK(take(r));
       }
     } else {
       Row row;
       while (true) {
         DHQP_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
         if (!has) break;
-        mem_.Add(RowMemBytes(row));
-        rows_.push_back(row);
+        Row copy = row;
+        DHQP_RETURN_NOT_OK(take(copy));
       }
     }
     mem_.Flush();
+    if (file_ != nullptr) {
+      DHQP_RETURN_NOT_OK(file_->FinishWrite());
+      RecordSpill(ctx_, profile_, *file_);
+      DHQP_RETURN_NOT_OK(file_->Rewind());
+    }
     filled_ = true;
     return Status::OK();
   }
@@ -873,6 +1080,7 @@ class SpoolNode : public ExecNode {
   ExecContext* ctx_;
   std::vector<Row> rows_;
   OperatorMem mem_;
+  std::unique_ptr<spill::SpillFile> file_;  ///< Set once the grant overflows.
   bool filled_ = false;
   size_t pos_ = 0;
 };
@@ -1390,8 +1598,13 @@ class HashJoinNode : public ExecNode {
         }
         continue;
       }
-      // Advance to the next probe row.
-      if (batched) {
+      // Advance to the next probe row. Once the build side spilled, probe
+      // input comes from the Grace partition files instead of left_ (which
+      // was fully drained into them).
+      if (probe_from_file_) {
+        DHQP_ASSIGN_OR_RETURN(bool has, NextSpilledProbe(&probe_));
+        if (!has) return false;
+      } else if (batched) {
         if (probe_pos_ >= probe_batch_.rows.size()) {
           DHQP_ASSIGN_OR_RETURN(
               bool more,
@@ -1447,6 +1660,11 @@ class HashJoinNode : public ExecNode {
     any_emitted_ = false;
     probe_batch_.clear();
     probe_pos_ = 0;
+    spilling_ = false;
+    probe_from_file_ = false;
+    build_parts_.clear();
+    worklist_.clear();
+    probe_reader_.reset();
     EvalEnv env;
     env.col_pos = &right_->col_pos();
     env.params = &ctx_->params;
@@ -1463,12 +1681,20 @@ class HashJoinNode : public ExecNode {
         }
         key.push_back(std::move(v));
       }
-      if (!null_key) {
-        // Key values duplicate row values; RowMemBytes(key) covers the
-        // map-node side of the entry well enough for accounting.
-        mem_.Add(RowMemBytes(row) + RowMemBytes(key));
-        table_[key].push_back(std::move(row));
+      if (null_key) return Status::OK();  // Build nulls never match.
+      // Key values duplicate row values; RowMemBytes(key) covers the
+      // map-node side of the entry well enough for accounting.
+      const int64_t add = RowMemBytes(row) + RowMemBytes(key);
+      if (!spilling_ && !table_.empty() &&
+          GrantExceeded(ctx_, mem_.pending(), add)) {
+        DHQP_RETURN_NOT_OK(StartBuildSpill());
       }
+      if (spilling_) {
+        return build_parts_[static_cast<size_t>(SpillPartOf(key, 0))]->Append(
+            row);
+      }
+      mem_.Add(add);
+      table_[key].push_back(std::move(row));
       return Status::OK();
     };
     const int bs = ctx_->options.exec_batch_rows;
@@ -1488,7 +1714,243 @@ class HashJoinNode : public ExecNode {
       }
     }
     mem_.Flush();
+    if (spilling_) return PartitionProbeInput();
     return Status::OK();
+  }
+
+  // -- Grace hash join (grant-enforced spill) ------------------------------
+  //
+  // When the build table breaches the grant, it is flushed to kSpillFanout
+  // partition files keyed by a hash of the join key; the probe input is
+  // then drained and partitioned the same way, and each (build, probe) pair
+  // is processed independently — load the build partition into table_,
+  // stream the probe partition through the normal Step logic. A build
+  // partition that still exceeds the grant is recursively repartitioned
+  // (disjoint hash bits per level) up to ctx_->spill_depth_cap, past which
+  // it loads regardless: correctness over enforcement.
+
+  struct PartPair {
+    std::unique_ptr<spill::SpillFile> build;
+    std::unique_ptr<spill::SpillFile> probe;
+    int depth = 0;
+  };
+
+  Status MakeParts(std::vector<std::unique_ptr<spill::SpillFile>>* parts) {
+    return MakeSpillParts(ctx_, profile_, parts);
+  }
+
+  /// Flushes the in-memory build table to depth-0 partition files;
+  /// subsequent build rows append straight to their partition.
+  Status StartBuildSpill() {
+    DHQP_RETURN_NOT_OK(MakeParts(&build_parts_));
+    for (const auto& [key, rows] : table_) {
+      auto* f = build_parts_[static_cast<size_t>(SpillPartOf(key, 0))].get();
+      for (const Row& r : rows) DHQP_RETURN_NOT_OK(f->Append(r));
+    }
+    table_.clear();
+    mem_.ReleaseAll();
+    spilling_ = true;
+    return Status::OK();
+  }
+
+  /// Evaluates this row's probe key (left side of each key pair). A NULL
+  /// component leaves the key partial — such rows never match, but anti /
+  /// left-outer joins must still emit them, so they are routed by the hash
+  /// of the prefix (deterministic at every recursion depth) rather than
+  /// dropped.
+  Status ProbeKeyOf(EvalEnv& env, const Row& row, IndexKey* key) {
+    key->clear();
+    env.row = &row;
+    for (const auto& [l, r] : op_->key_pairs) {
+      DHQP_ASSIGN_OR_RETURN(Value v, EvalExpr(*l, env));
+      if (v.is_null()) break;
+      key->push_back(std::move(v));
+    }
+    return Status::OK();
+  }
+
+  /// Drains left_ entirely into depth-0 probe partition files and queues
+  /// the (build, probe) pairs that can produce output.
+  Status PartitionProbeInput() {
+    for (auto& f : build_parts_) DHQP_RETURN_NOT_OK(f->FinishWrite());
+    std::vector<std::unique_ptr<spill::SpillFile>> probe_parts;
+    DHQP_RETURN_NOT_OK(MakeParts(&probe_parts));
+    EvalEnv env;
+    env.col_pos = &left_->col_pos();
+    env.params = &ctx_->params;
+    env.current_date = ctx_->current_date;
+    IndexKey key;
+    auto route = [&](const Row& row) -> Status {
+      DHQP_RETURN_NOT_OK(ProbeKeyOf(env, row, &key));
+      return probe_parts[static_cast<size_t>(SpillPartOf(key, 0))]->Append(
+          row);
+    };
+    const int bs = ctx_->options.exec_batch_rows;
+    if (bs > 0) {
+      RowBatch batch;
+      while (true) {
+        DHQP_ASSIGN_OR_RETURN(bool has, left_->NextBatch(&batch, bs));
+        if (!has) break;
+        for (const Row& r : batch.rows) DHQP_RETURN_NOT_OK(route(r));
+      }
+    } else {
+      Row row;
+      while (true) {
+        DHQP_ASSIGN_OR_RETURN(bool has, left_->Next(&row));
+        if (!has) break;
+        DHQP_RETURN_NOT_OK(route(row));
+      }
+    }
+    for (int i = 0; i < kSpillFanout; ++i) {
+      DHQP_RETURN_NOT_OK(probe_parts[static_cast<size_t>(i)]->FinishWrite());
+      auto& bp = build_parts_[static_cast<size_t>(i)];
+      auto& pp = probe_parts[static_cast<size_t>(i)];
+      if (bp->rows() > 0) RecordSpill(ctx_, profile_, *bp);
+      if (pp->rows() > 0) RecordSpill(ctx_, profile_, *pp);
+      // Probe rows drive all supported join types (inner/semi/anti/left
+      // outer emit at most per probe row), so an empty probe partition
+      // produces nothing; drop the pair (files delete themselves).
+      if (pp->rows() > 0) {
+        worklist_.push_back(PartPair{std::move(bp), std::move(pp), 0});
+      }
+    }
+    build_parts_.clear();
+    probe_from_file_ = true;
+    return Status::OK();
+  }
+
+  /// Splits a partition whose build side still exceeds the grant into
+  /// kSpillFanout sub-pairs at depth+1. table_ holds the partial load (and
+  /// `key`/`row` the entry that overflowed); pair.build is mid-read.
+  Status Repartition(PartPair pair, IndexKey key, Row row) {
+    const int depth = pair.depth + 1;
+    std::vector<std::unique_ptr<spill::SpillFile>> subs_b, subs_p;
+    DHQP_RETURN_NOT_OK(MakeParts(&subs_b));
+    DHQP_RETURN_NOT_OK(MakeParts(&subs_p));
+    for (const auto& [k, rows] : table_) {
+      auto* f = subs_b[static_cast<size_t>(SpillPartOf(k, depth))].get();
+      for (const Row& r : rows) DHQP_RETURN_NOT_OK(f->Append(r));
+    }
+    table_.clear();
+    mem_.ReleaseAll();
+    DHQP_RETURN_NOT_OK(
+        subs_b[static_cast<size_t>(SpillPartOf(key, depth))]->Append(row));
+    EvalEnv env;
+    env.col_pos = &right_->col_pos();
+    env.params = &ctx_->params;
+    env.current_date = ctx_->current_date;
+    Row r;
+    while (true) {
+      DHQP_ASSIGN_OR_RETURN(bool has, pair.build->Next(&r));
+      if (!has) break;
+      env.row = &r;
+      IndexKey k;
+      bool null_key = false;
+      for (const auto& [l, rt] : op_->key_pairs) {
+        DHQP_ASSIGN_OR_RETURN(Value v, EvalExpr(*rt, env));
+        if (v.is_null()) {
+          null_key = true;
+          break;
+        }
+        k.push_back(std::move(v));
+      }
+      if (null_key) continue;
+      DHQP_RETURN_NOT_OK(
+          subs_b[static_cast<size_t>(SpillPartOf(k, depth))]->Append(r));
+    }
+    DHQP_RETURN_NOT_OK(pair.probe->Rewind());
+    EvalEnv penv;
+    penv.col_pos = &left_->col_pos();
+    penv.params = &ctx_->params;
+    penv.current_date = ctx_->current_date;
+    IndexKey pk;
+    while (true) {
+      DHQP_ASSIGN_OR_RETURN(bool has, pair.probe->Next(&r));
+      if (!has) break;
+      DHQP_RETURN_NOT_OK(ProbeKeyOf(penv, r, &pk));
+      DHQP_RETURN_NOT_OK(
+          subs_p[static_cast<size_t>(SpillPartOf(pk, depth))]->Append(r));
+    }
+    for (int i = 0; i < kSpillFanout; ++i) {
+      auto& bp = subs_b[static_cast<size_t>(i)];
+      auto& pp = subs_p[static_cast<size_t>(i)];
+      DHQP_RETURN_NOT_OK(bp->FinishWrite());
+      DHQP_RETURN_NOT_OK(pp->FinishWrite());
+      if (bp->rows() > 0) RecordSpill(ctx_, profile_, *bp);
+      if (pp->rows() > 0) RecordSpill(ctx_, profile_, *pp);
+      if (pp->rows() > 0) {
+        worklist_.push_back(PartPair{std::move(bp), std::move(pp), depth});
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Loads the next worklist partition's build side into table_ and leaves
+  /// its probe file in probe_reader_ (null when the worklist is exhausted).
+  /// Repartitions instead when the build side overflows below the depth
+  /// cap; at the cap it loads regardless.
+  Status LoadNextPartition() {
+    while (!worklist_.empty()) {
+      PartPair pair = std::move(worklist_.front());
+      worklist_.pop_front();
+      table_.clear();
+      mem_.ReleaseAll();
+      DHQP_RETURN_NOT_OK(pair.build->Rewind());
+      EvalEnv env;
+      env.col_pos = &right_->col_pos();
+      env.params = &ctx_->params;
+      env.current_date = ctx_->current_date;
+      bool repartitioned = false;
+      Row row;
+      while (true) {
+        DHQP_ASSIGN_OR_RETURN(bool has, pair.build->Next(&row));
+        if (!has) break;
+        env.row = &row;
+        IndexKey key;
+        bool null_key = false;
+        for (const auto& [l, r] : op_->key_pairs) {
+          DHQP_ASSIGN_OR_RETURN(Value v, EvalExpr(*r, env));
+          if (v.is_null()) {
+            null_key = true;
+            break;
+          }
+          key.push_back(std::move(v));
+        }
+        if (null_key) continue;
+        const int64_t add = RowMemBytes(row) + RowMemBytes(key);
+        if (!table_.empty() && pair.depth < ctx_->spill_depth_cap &&
+            GrantExceeded(ctx_, mem_.pending(), add)) {
+          DHQP_RETURN_NOT_OK(
+              Repartition(std::move(pair), std::move(key), std::move(row)));
+          repartitioned = true;
+          break;
+        }
+        mem_.Add(add);
+        table_[std::move(key)].push_back(std::move(row));
+      }
+      if (repartitioned) continue;
+      mem_.Flush();
+      DHQP_RETURN_NOT_OK(pair.probe->Rewind());
+      probe_reader_ = std::move(pair.probe);
+      return Status::OK();
+    }
+    probe_reader_.reset();
+    return Status::OK();
+  }
+
+  /// Next probe row across partition files; advances to the next partition
+  /// (swapping in its build table) as each probe file drains.
+  Result<bool> NextSpilledProbe(Row* out) {
+    while (true) {
+      if (probe_reader_ != nullptr) {
+        DHQP_ASSIGN_OR_RETURN(bool has, probe_reader_->Next(out));
+        if (has) return true;
+        probe_reader_.reset();
+      }
+      if (worklist_.empty()) return false;
+      DHQP_RETURN_NOT_OK(LoadNextPartition());
+      if (probe_reader_ == nullptr) return false;
+    }
   }
 
   struct KeyLess {
@@ -1508,6 +1970,12 @@ class HashJoinNode : public ExecNode {
   size_t match_pos_ = 0;
   bool have_probe_ = false;
   bool any_emitted_ = false;
+  // Grace-spill state.
+  bool spilling_ = false;         ///< Build side overflowed the grant.
+  bool probe_from_file_ = false;  ///< left_ drained into partition files.
+  std::vector<std::unique_ptr<spill::SpillFile>> build_parts_;
+  std::deque<PartPair> worklist_;
+  std::unique_ptr<spill::SpillFile> probe_reader_;
 };
 
 class NestedLoopsJoinNode : public ExecNode {
@@ -1809,12 +2277,18 @@ class HashAggregateNode : public ExecNode {
   }
 
   Result<bool> Next(Row* out) override {
-    if (pos_ >= results_.size()) return false;
-    *out = results_[pos_++];
-    return true;
+    while (true) {
+      if (pos_ < results_.size()) {
+        *out = results_[pos_++];
+        return true;
+      }
+      if (pending_.empty()) return false;
+      DHQP_RETURN_NOT_OK(ProcessPendingPartition());
+    }
   }
 
   Result<bool> NextBatch(RowBatch* out, int max_rows) override {
+    if (spilled_) return ExecNode::NextBatch(out, max_rows);
     return SliceRows(results_, &pos_, max_rows, out);
   }
 
@@ -1830,18 +2304,63 @@ class HashAggregateNode : public ExecNode {
     }
   };
 
+  using GroupMap = std::map<IndexKey, std::vector<Accumulator>, KeyLess>;
+
+  struct PendingPart {
+    std::unique_ptr<spill::SpillFile> file;
+    int depth = 0;
+  };
+
   Status Aggregate() {
     results_.clear();
     pos_ = 0;
+    spilled_ = false;
+    pending_.clear();
     mem_.ReleaseAll();
     mem_.Bind(profile_, ctx_->memory);
     const int64_t acc_bytes = static_cast<int64_t>(
         sizeof(Accumulator) * op_->aggregates.size());
-    std::map<IndexKey, std::vector<Accumulator>, KeyLess> groups;
+    GroupMap groups;
+    // Grace-spill partitions for group keys first seen after the grant
+    // filled up. Keys already resident keep accumulating in memory, so a
+    // key lives either in `groups` or in exactly one partition file — the
+    // partitions need no accumulator merging, just a fresh aggregation
+    // pass each (ProcessPendingPartition).
+    std::vector<std::unique_ptr<spill::SpillFile>> parts;
     EvalEnv env;
     env.col_pos = &child_->col_pos();
     env.params = &ctx_->params;
     env.current_date = ctx_->current_date;
+    // Finds or creates the accumulator group for `key`; leaves *accs null
+    // after routing the row to a spill partition instead. Spill mode is
+    // STICKY: once the first partition file exists, every key missing from
+    // `groups` routes to a file even if the grant pressure has receded —
+    // the query-wide tracker moves under concurrent workers, and admitting
+    // a key to memory after some of its rows already went to a file would
+    // emit that group twice (once from memory, once from the partition's
+    // re-aggregation pass).
+    auto accs_for = [&](IndexKey& key, const Row& row,
+                        std::vector<Accumulator>** accs) -> Status {
+      *accs = nullptr;
+      auto it = groups.find(key);
+      if (it != groups.end()) {
+        *accs = &it->second;
+        return Status::OK();
+      }
+      const int64_t add = RowMemBytes(key) + acc_bytes;
+      if (parts.empty() &&
+          (groups.empty() || !GrantExceeded(ctx_, mem_.pending(), add))) {
+        auto [it2, inserted] = groups.try_emplace(std::move(key));
+        it2->second.resize(op_->aggregates.size());
+        mem_.Add(add);
+        *accs = &it2->second;
+        return Status::OK();
+      }
+      if (parts.empty()) {
+        DHQP_RETURN_NOT_OK(MakeSpillParts(ctx_, profile_, &parts));
+      }
+      return parts[static_cast<size_t>(SpillPartOf(key, 0))]->Append(row);
+    };
     const int bs = ctx_->options.exec_batch_rows;
     if (bs > 0) {
       // Batched input: group positions are resolved once (the row loop pays
@@ -1877,12 +2396,8 @@ class HashAggregateNode : public ExecNode {
             const Row& row = batch.rows[r];
             key.clear();
             for (int p : gpos) key.push_back(row[static_cast<size_t>(p)]);
-            auto [it, inserted] = groups.try_emplace(key);
-            if (inserted) {
-              it->second.resize(op_->aggregates.size());
-              mem_.Add(RowMemBytes(it->first) + acc_bytes);
-            }
-            accs = &it->second;
+            DHQP_RETURN_NOT_OK(accs_for(key, row, &accs));
+            if (accs == nullptr) continue;  // Routed to a spill partition.
           }
           for (size_t i = 0; i < op_->aggregates.size(); ++i) {
             const AggregateItem& item = op_->aggregates[i];
@@ -1901,18 +2416,16 @@ class HashAggregateNode : public ExecNode {
         for (int g : op_->group_by) {
           key.push_back(row[static_cast<size_t>(child_->col_pos().at(g))]);
         }
-        auto [it, inserted] = groups.try_emplace(std::move(key));
-        if (inserted) {
-          it->second.resize(op_->aggregates.size());
-          mem_.Add(RowMemBytes(it->first) + acc_bytes);
-        }
+        std::vector<Accumulator>* accs = nullptr;
+        DHQP_RETURN_NOT_OK(accs_for(key, row, &accs));
+        if (accs == nullptr) continue;  // Routed to a spill partition.
         for (size_t i = 0; i < op_->aggregates.size(); ++i) {
           const AggregateItem& item = op_->aggregates[i];
           Value v = Value::Int64(1);  // Placeholder for COUNT(*).
           if (item.arg != nullptr) {
             DHQP_ASSIGN_OR_RETURN(v, EvalExpr(*item.arg, env));
           }
-          DHQP_RETURN_NOT_OK(Accumulate(item, v, &it->second[i]));
+          DHQP_RETURN_NOT_OK(Accumulate(item, v, &(*accs)[i]));
         }
       }
     }
@@ -1921,18 +2434,105 @@ class HashAggregateNode : public ExecNode {
       groups.try_emplace(IndexKey{});
       groups.begin()->second.resize(op_->aggregates.size());
     }
-    for (auto& [key, accs] : groups) {
+    FinalizeGroups(&groups);
+    for (auto& p : parts) {
+      DHQP_RETURN_NOT_OK(p->FinishWrite());
+      if (p->rows() > 0) {
+        RecordSpill(ctx_, profile_, *p);
+        spilled_ = true;
+        pending_.push_back(PendingPart{std::move(p), 0});
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Converts a group map into served rows, swapping the memory accounting
+  /// over to results_ (the map dies in the caller).
+  void FinalizeGroups(GroupMap* groups) {
+    for (auto& [key, accs] : *groups) {
       Row out = key;
       for (size_t i = 0; i < op_->aggregates.size(); ++i) {
         out.push_back(Finalize(op_->aggregates[i], accs[i]));
       }
       results_.push_back(std::move(out));
     }
-    // The groups map dies here; what the operator holds from now on is
-    // results_, so swap the accounting over to it.
     mem_.ReleaseAll();
     for (const Row& r : results_) mem_.Add(RowMemBytes(r));
     mem_.Flush();
+  }
+
+  /// Re-aggregates one spilled partition into results_ (its keys are
+  /// disjoint from everything already served). A partition still too big
+  /// for the grant sheds its overflow keys into sub-partitions at the next
+  /// depth; at the depth cap it aggregates in memory regardless —
+  /// correctness over enforcement.
+  Status ProcessPendingPartition() {
+    PendingPart part = std::move(pending_.front());
+    pending_.pop_front();
+    results_.clear();
+    pos_ = 0;
+    mem_.ReleaseAll();
+    const int64_t acc_bytes = static_cast<int64_t>(
+        sizeof(Accumulator) * op_->aggregates.size());
+    GroupMap groups;
+    std::vector<std::unique_ptr<spill::SpillFile>> subs;
+    std::vector<int> gpos;
+    gpos.reserve(op_->group_by.size());
+    for (int g : op_->group_by) gpos.push_back(child_->col_pos().at(g));
+    EvalEnv env;
+    env.col_pos = &child_->col_pos();
+    env.params = &ctx_->params;
+    env.current_date = ctx_->current_date;
+    DHQP_RETURN_NOT_OK(part.file->Rewind());
+    Row row;
+    while (true) {
+      DHQP_ASSIGN_OR_RETURN(bool has, part.file->Next(&row));
+      if (!has) break;
+      env.row = &row;
+      IndexKey key;
+      for (int p : gpos) key.push_back(row[static_cast<size_t>(p)]);
+      std::vector<Accumulator>* accs = nullptr;
+      auto it = groups.find(key);
+      if (it != groups.end()) {
+        accs = &it->second;
+      } else {
+        // Sticky spill mode, as in Aggregate(): once sub-partitions exist,
+        // every missing key routes to them — never back into memory.
+        const int64_t add = RowMemBytes(key) + acc_bytes;
+        const bool can_shed = part.depth < ctx_->spill_depth_cap;
+        if (can_shed &&
+            (!subs.empty() ||
+             (!groups.empty() && GrantExceeded(ctx_, mem_.pending(), add)))) {
+          if (subs.empty()) {
+            DHQP_RETURN_NOT_OK(MakeSpillParts(ctx_, profile_, &subs));
+          }
+          DHQP_RETURN_NOT_OK(
+              subs[static_cast<size_t>(SpillPartOf(key, part.depth + 1))]
+                  ->Append(row));
+          continue;
+        }
+        auto [it2, inserted] = groups.try_emplace(std::move(key));
+        it2->second.resize(op_->aggregates.size());
+        mem_.Add(add);
+        accs = &it2->second;
+      }
+      for (size_t i = 0; i < op_->aggregates.size(); ++i) {
+        const AggregateItem& item = op_->aggregates[i];
+        Value v = Value::Int64(1);  // Placeholder for COUNT(*).
+        if (item.arg != nullptr) {
+          DHQP_ASSIGN_OR_RETURN(v, EvalExpr(*item.arg, env));
+        }
+        DHQP_RETURN_NOT_OK(Accumulate(item, v, &(*accs)[i]));
+      }
+    }
+    FinalizeGroups(&groups);
+    for (auto& s : subs) {
+      DHQP_RETURN_NOT_OK(s->FinishWrite());
+      if (s->rows() > 0) {
+        RecordSpill(ctx_, profile_, *s);
+        pending_.push_back(PendingPart{std::move(s), part.depth + 1});
+      }
+    }
     return Status::OK();
   }
 
@@ -1941,6 +2541,9 @@ class HashAggregateNode : public ExecNode {
   std::vector<Row> results_;
   OperatorMem mem_;
   size_t pos_ = 0;
+  // Grace-spill state.
+  bool spilled_ = false;
+  std::deque<PendingPart> pending_;
 };
 
 // Stream aggregation over input sorted by the group columns.

@@ -54,6 +54,11 @@ struct ExecStats {
   std::atomic<int64_t> members_skipped{0};  ///< Unreachable partitioned-view
                                             ///< members skipped by the
                                             ///< degradation knob.
+  std::atomic<int64_t> spills{0};       ///< Spill files written under a
+                                        ///< memory grant (sort runs, Grace
+                                        ///< partitions, spooled results).
+  std::atomic<int64_t> spill_bytes{0};  ///< Serialized bytes those files
+                                        ///< received.
 
   ExecStats() = default;
   ExecStats(const ExecStats& other) { *this = other; }
@@ -76,6 +81,8 @@ struct ExecStats {
     remote_timeouts = other.remote_timeouts.load();
     faults_injected = other.faults_injected.load();
     members_skipped = other.members_skipped.load();
+    spills = other.spills.load();
+    spill_bytes = other.spill_bytes.load();
     return *this;
   }
 
@@ -91,7 +98,7 @@ struct ExecStats {
 // ctor/operator= and the expected field count here — this guard is what
 // keeps a new counter from silently reading as zero in QueryResult
 // snapshots.
-static_assert(sizeof(ExecStats) == 18 * sizeof(std::atomic<int64_t>),
+static_assert(sizeof(ExecStats) == 20 * sizeof(std::atomic<int64_t>),
               "ExecStats field list changed: update the hand-written copy "
               "routine and this assert together");
 
@@ -171,6 +178,18 @@ struct ExecContext {
   /// dm_exec_requests can report one live memory_bytes per query. Must
   /// outlive the exec tree — releases happen as nodes destruct.
   MemTracker* memory = nullptr;
+  /// Workload-governor memory grant: when > 0, buffering operators spill
+  /// (Grace partitions, external merge runs) instead of letting `memory`
+  /// grow past this many bytes. Enforcement needs a non-null `memory`
+  /// tracker — RunCachedPlan wires a query-local fallback when request
+  /// monitoring is off. 0 = unlimited (exact pre-governor behavior).
+  int64_t grant_bytes = 0;
+  /// Directory for spill temp files; empty = the platform temp dir.
+  std::string spill_dir;
+  /// Max recursive Grace-repartition depth. A partition that still exceeds
+  /// the grant at the cap is processed in memory regardless — correctness
+  /// over enforcement (the classic hash-recursion bailout).
+  int spill_depth_cap = 4;
 };
 
 /// A Volcano-style executor node: Open() prepares, Next() streams rows,

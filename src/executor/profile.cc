@@ -57,6 +57,11 @@ void RenderInto(const OperatorProfile& p, int indent, std::string* out) {
     std::snprintf(buf, sizeof(buf), " mem=%" PRId64 "B", m);
     out->append(buf);
   }
+  if (int64_t s = p.spills.load(); s > 0) {
+    std::snprintf(buf, sizeof(buf), " spill=%" PRId64 "(%" PRId64 "B)", s,
+                  p.spill_bytes.load());
+    out->append(buf);
+  }
   bool first_wait = true;
   for (int i = 0; i < waits::kNumWaitTypes; ++i) {
     const auto type = static_cast<waits::WaitType>(i);

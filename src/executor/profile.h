@@ -104,6 +104,13 @@ struct OperatorProfile {
   /// EXPLAIN ANALYZE `mem=` annotation.
   MemTracker mem;
 
+  /// Spill activity under a memory grant: files this operator wrote (sort
+  /// runs, Grace partitions, spooled results) and the serialized bytes they
+  /// received. Surfaces as the EXPLAIN ANALYZE `spill=` annotation and the
+  /// dm_exec_operator_stats spill columns.
+  std::atomic<int64_t> spills{0};
+  std::atomic<int64_t> spill_bytes{0};
+
   std::vector<std::unique_ptr<OperatorProfile>> children;
 
   int64_t open_ns() const { return fastclock::ToNs(open_ticks.load()); }

@@ -1,0 +1,239 @@
+#include "src/executor/spill.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+namespace dhqp {
+namespace spill {
+
+namespace {
+
+/// Serialized value layout: one tag byte (DataType id, high bit = NULL),
+/// then the payload for non-null values. Host byte order — the file never
+/// leaves the process.
+constexpr uint8_t kNullBit = 0x80;
+
+void PutRaw(std::string* buf, const void* p, size_t n) {
+  buf->append(static_cast<const char*>(p), n);
+}
+
+void PutU32(std::string* buf, uint32_t v) { PutRaw(buf, &v, sizeof(v)); }
+
+void SerializeValue(const Value& v, std::string* buf) {
+  uint8_t tag = static_cast<uint8_t>(v.type());
+  if (v.is_null()) {
+    tag |= kNullBit;
+    buf->push_back(static_cast<char>(tag));
+    return;
+  }
+  buf->push_back(static_cast<char>(tag));
+  switch (v.type()) {
+    case DataType::kBool: {
+      const uint8_t b = v.bool_value() ? 1 : 0;
+      PutRaw(buf, &b, 1);
+      break;
+    }
+    case DataType::kInt64: {
+      const int64_t i = v.int64_value();
+      PutRaw(buf, &i, sizeof(i));
+      break;
+    }
+    case DataType::kDate: {
+      const int64_t d = v.date_value();
+      PutRaw(buf, &d, sizeof(d));
+      break;
+    }
+    case DataType::kDouble: {
+      const double d = v.double_value();
+      PutRaw(buf, &d, sizeof(d));
+      break;
+    }
+    case DataType::kString: {
+      const std::string& s = v.string_value();
+      PutU32(buf, static_cast<uint32_t>(s.size()));
+      PutRaw(buf, s.data(), s.size());
+      break;
+    }
+    case DataType::kNull:
+      break;
+  }
+}
+
+/// Per-process spill-file sequence. The sequence alone is NOT a unique
+/// name: every process counts from 1, and engine processes (or parallel
+/// test runners) share one temp directory — so file names also carry the
+/// pid, and creation is exclusive ('x') with a retry, never a truncating
+/// open of a path some other process may be reading.
+std::atomic<uint64_t> g_next_file{1};
+
+}  // namespace
+
+std::string DefaultSpillDir() {
+  std::error_code ec;
+  std::filesystem::path dir = std::filesystem::temp_directory_path(ec);
+  if (ec) return ".";
+  return dir.string();
+}
+
+Result<std::unique_ptr<SpillFile>> SpillFile::Create(
+    const std::string& dir, waits::WaitTally* op_tally) {
+  const std::string base = dir.empty() ? DefaultSpillDir() : dir;
+  std::error_code ec;
+  std::filesystem::create_directories(base, ec);  // Best effort.
+  const std::string pid = std::to_string(static_cast<long long>(::getpid()));
+  for (int attempt = 0; attempt < 1024; ++attempt) {
+    const uint64_t seq = g_next_file.fetch_add(1, std::memory_order_relaxed);
+    std::string path =
+        (std::filesystem::path(base) /
+         ("dhqp_spill_" + pid + "_" + std::to_string(seq) + ".tmp"))
+            .string();
+    // 'x' (C11 exclusive create): a leftover from a crashed process with a
+    // recycled pid fails the open and we move to the next sequence number
+    // instead of truncating a file another SpillFile may hold open.
+    std::FILE* file = std::fopen(path.c_str(), "wb+x");
+    if (file != nullptr) {
+      return std::unique_ptr<SpillFile>(
+          new SpillFile(file, std::move(path), op_tally));
+    }
+  }
+  return Status::ExecutionError("cannot create spill file in: " + base);
+}
+
+SpillFile::~SpillFile() {
+  if (file_ != nullptr) std::fclose(file_);
+  std::error_code ec;
+  std::filesystem::remove(path_, ec);  // Best effort.
+}
+
+Status SpillFile::FlushWriteBuffer() {
+  if (wbuf_.empty()) return Status::OK();
+  waits::WaitScope io(waits::WaitType::kSpillIo, op_tally_);
+  const size_t written = std::fwrite(wbuf_.data(), 1, wbuf_.size(), file_);
+  if (written != wbuf_.size()) {
+    return Status::ExecutionError("spill write failed: " + path_);
+  }
+  bytes_ += static_cast<int64_t>(wbuf_.size());
+  wbuf_.clear();
+  return Status::OK();
+}
+
+Status SpillFile::Append(const Row& row) {
+  if (finished_) return Status::Internal("spill append after FinishWrite");
+  PutU32(&wbuf_, static_cast<uint32_t>(row.size()));
+  for (const Value& v : row) SerializeValue(v, &wbuf_);
+  ++rows_;
+  if (wbuf_.size() >= kIoChunkBytes) return FlushWriteBuffer();
+  return Status::OK();
+}
+
+Status SpillFile::FinishWrite() {
+  if (finished_) return Status::OK();
+  DHQP_RETURN_NOT_OK(FlushWriteBuffer());
+  if (std::fflush(file_) != 0) {
+    return Status::ExecutionError("spill flush failed: " + path_);
+  }
+  finished_ = true;
+  return Status::OK();
+}
+
+Status SpillFile::Rewind() {
+  if (!finished_) return Status::Internal("spill rewind before FinishWrite");
+  if (std::fseek(file_, 0, SEEK_SET) != 0) {
+    return Status::ExecutionError("spill seek failed: " + path_);
+  }
+  rbuf_.clear();
+  rpos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> SpillFile::EnsureReadable(size_t n) {
+  if (rbuf_.size() - rpos_ >= n) return true;
+  // Compact the unread tail, then refill a chunk (at least n bytes).
+  rbuf_.erase(0, rpos_);
+  rpos_ = 0;
+  const size_t want = std::max(n, kIoChunkBytes);
+  const size_t old = rbuf_.size();
+  rbuf_.resize(old + want);
+  size_t got;
+  {
+    waits::WaitScope io(waits::WaitType::kSpillIo, op_tally_);
+    got = std::fread(rbuf_.data() + old, 1, want, file_);
+  }
+  rbuf_.resize(old + got);
+  if (rbuf_.size() >= n) return true;
+  if (rbuf_.empty()) return false;  // Clean end of file.
+  return Status::ExecutionError("truncated spill file: " + path_);
+}
+
+Status SpillFile::Need(size_t n) {
+  DHQP_ASSIGN_OR_RETURN(bool has, EnsureReadable(n));
+  if (!has) return Status::ExecutionError("truncated spill file: " + path_);
+  return Status::OK();
+}
+
+Result<bool> SpillFile::Next(Row* out) {
+  DHQP_ASSIGN_OR_RETURN(bool has, EnsureReadable(sizeof(uint32_t)));
+  if (!has) return false;
+  uint32_t count;
+  std::memcpy(&count, rbuf_.data() + rpos_, sizeof(count));
+  rpos_ += sizeof(count);
+  out->clear();
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    DHQP_RETURN_NOT_OK(Need(1));
+    const uint8_t tag = static_cast<uint8_t>(rbuf_[rpos_++]);
+    const DataType type = static_cast<DataType>(tag & ~kNullBit);
+    if ((tag & kNullBit) != 0) {
+      out->push_back(Value::Null(type));
+      continue;
+    }
+    switch (type) {
+      case DataType::kBool: {
+        DHQP_RETURN_NOT_OK(Need(1));
+        out->push_back(Value::Bool(rbuf_[rpos_++] != 0));
+        break;
+      }
+      case DataType::kInt64:
+      case DataType::kDate: {
+        DHQP_RETURN_NOT_OK(Need(sizeof(int64_t)));
+        int64_t v;
+        std::memcpy(&v, rbuf_.data() + rpos_, sizeof(v));
+        rpos_ += sizeof(v);
+        out->push_back(type == DataType::kInt64 ? Value::Int64(v)
+                                                : Value::Date(v));
+        break;
+      }
+      case DataType::kDouble: {
+        DHQP_RETURN_NOT_OK(Need(sizeof(double)));
+        double v;
+        std::memcpy(&v, rbuf_.data() + rpos_, sizeof(v));
+        rpos_ += sizeof(v);
+        out->push_back(Value::Double(v));
+        break;
+      }
+      case DataType::kString: {
+        DHQP_RETURN_NOT_OK(Need(sizeof(uint32_t)));
+        uint32_t len;
+        std::memcpy(&len, rbuf_.data() + rpos_, sizeof(len));
+        rpos_ += sizeof(len);
+        DHQP_RETURN_NOT_OK(Need(len));
+        out->push_back(
+            Value::String(std::string(rbuf_.data() + rpos_, len)));
+        rpos_ += len;
+        break;
+      }
+      case DataType::kNull:
+        out->push_back(Value());
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace spill
+}  // namespace dhqp

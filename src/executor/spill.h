@@ -1,0 +1,85 @@
+#ifndef DHQP_EXECUTOR_SPILL_H_
+#define DHQP_EXECUTOR_SPILL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/common/row.h"
+#include "src/common/status.h"
+#include "src/common/waits.h"
+
+namespace dhqp {
+namespace spill {
+
+/// The spill-file directory used when EngineOptions::spill_directory is
+/// empty: the platform temp directory.
+std::string DefaultSpillDir();
+
+/// One temp file of serialized rows — the unit the grant-enforced operators
+/// spill in: a sorted run of an external sort, one Grace partition of a
+/// hash join build/probe side or a hash aggregate's input, or an entire
+/// spooled result. Write-then-read: Append rows, FinishWrite once, then
+/// Rewind/Next any number of times (spools reread per rescan). The file is
+/// process-private (host byte order, no versioning) and deleted on
+/// destruction, so an abandoned spill — fault abort mid-query — leaves
+/// nothing behind.
+///
+/// I/O is buffered in kIoChunkBytes chunks; each physical read/write is
+/// charged as a SPILL_IO wait to the global histograms, the calling
+/// thread's query tally, and `op_tally` when provided (the owning
+/// operator's slot), so spill time shows up in dm_os_wait_stats and
+/// EXPLAIN ANALYZE like any other blocked interval.
+class SpillFile {
+ public:
+  /// Creates a uniquely named file under `dir` (empty = DefaultSpillDir()).
+  static Result<std::unique_ptr<SpillFile>> Create(
+      const std::string& dir, waits::WaitTally* op_tally = nullptr);
+  ~SpillFile();
+
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+
+  Status Append(const Row& row);
+  /// Flushes buffered writes; the file becomes readable. Append is invalid
+  /// afterwards.
+  Status FinishWrite();
+  /// (Re)starts reading from the first row. Requires FinishWrite.
+  Status Rewind();
+  /// Sequential read; false at end of data.
+  Result<bool> Next(Row* out);
+
+  int64_t rows() const { return rows_; }
+  /// Serialized bytes written (the exec.spill_bytes currency).
+  int64_t bytes() const { return bytes_; }
+
+ private:
+  SpillFile(std::FILE* file, std::string path, waits::WaitTally* op_tally)
+      : file_(file), path_(std::move(path)), op_tally_(op_tally) {}
+
+  Status FlushWriteBuffer();
+  /// Ensures >= `n` unread bytes are buffered; false (with OK status) at
+  /// clean end of file when zero bytes remain.
+  Result<bool> EnsureReadable(size_t n);
+  /// Like EnsureReadable, but mid-row: anything short of `n` bytes —
+  /// including a clean end of file — is a truncation error.
+  Status Need(size_t n);
+
+  static constexpr size_t kIoChunkBytes = 256 * 1024;
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  waits::WaitTally* op_tally_ = nullptr;
+  std::string wbuf_;
+  std::string rbuf_;
+  size_t rpos_ = 0;
+  int64_t rows_ = 0;
+  int64_t bytes_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace spill
+}  // namespace dhqp
+
+#endif  // DHQP_EXECUTOR_SPILL_H_

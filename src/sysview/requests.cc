@@ -29,6 +29,8 @@ const char* PhaseName(RequestPhase phase) {
       return "bind";
     case RequestPhase::kOptimize:
       return "optimize";
+    case RequestPhase::kQueued:
+      return "queued";
     case RequestPhase::kExecute:
       return "execute";
     case RequestPhase::kFinished:

@@ -22,6 +22,7 @@ enum class RequestPhase : int {
   kParse = 0,
   kBind,
   kOptimize,
+  kQueued,  ///< Waiting in the workload governor for a memory grant.
   kExecute,
   kFinished,
 };
@@ -56,6 +57,13 @@ struct RequestState {
   /// this tracker (via ExecContext::memory) alongside its per-operator
   /// slot. current() returns to zero once execution tears down.
   MemTracker memory;
+
+  /// Workload-governor grant accounting, written when the statement passes
+  /// admission and cleared on release. Zero while the governor is disabled
+  /// or before the statement reaches the grant gate; dm_exec_requests and
+  /// dm_exec_query_memory_grants read these mid-flight.
+  std::atomic<int64_t> requested_grant_bytes{0};
+  std::atomic<int64_t> granted_bytes{0};
 
   RequestPhase Phase() const {
     return static_cast<RequestPhase>(phase.load(std::memory_order_relaxed));

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/common/trace.h"
+#include "src/core/governor.h"
 #include "src/executor/profile.h"
 #include "src/sysview/requests.h"
 #include "tests/test_util.h"
@@ -206,6 +207,110 @@ TEST_F(RequestsTest, MergedChromeTraceStitchesCoordinatorAndMemberSpans) {
   EXPECT_NE(json.find("\"host\""), std::string::npos);
   EXPECT_NE(json.find("\"rsrv\""), std::string::npos);
   EXPECT_NE(json.find(r.activity_id), std::string::npos);
+}
+
+// Memory settles to zero for a statement that spilled: the spill files'
+// buffers and the survivors of each Grace partition all release, the
+// memory grant is returned, and the request's grant columns clear.
+TEST_F(RequestsTest, SpilledStatementMemorySettlesToZero) {
+  host_.options()->max_server_memory_bytes = int64_t{256} << 20;
+  host_.options()->max_grant_per_query_bytes = 64 << 10;
+
+  // Slow the remote stream down so the monitor can capture the request
+  // state mid-flight (the registry drops it at completion).
+  remote_.injector->AddLatencySpike(/*after=*/2, /*count=*/6,
+                                    /*extra_us=*/30000);
+  remote_.link->set_enforce_delays(true);
+
+  // Joining the local dimension pins the join + sort on the coordinator —
+  // a pure remote ORDER BY would be pushed down whole and spill nothing
+  // here.
+  QueryResult result;
+  std::thread worker([&] {
+    result = MustExecute(&host_,
+                         "SELECT big.a, big.b, dim.w FROM rsrv.d.s.big "
+                         "JOIN dim ON big.b = dim.v ORDER BY big.b, big.a");
+  });
+  std::shared_ptr<sysview::RequestState> observed;
+  while (observed == nullptr) {
+    for (const std::shared_ptr<sysview::RequestState>& state :
+         sysview::RequestRegistry::Global().Snapshot()) {
+      if (state->engine == "host" &&
+          !state->exclude.load(std::memory_order_relaxed)) {
+        observed = state;
+      }
+    }
+  }
+  worker.join();
+  remote_.link->set_enforce_delays(false);
+  remote_.injector->Reset(0);
+
+  EXPECT_GT(static_cast<int64_t>(result.exec_stats.spills), 0)
+      << "64 KiB grant did not force a spill";
+  EXPECT_EQ(observed->Phase(), sysview::RequestPhase::kFinished);
+  EXPECT_EQ(observed->memory.current(), 0);
+  EXPECT_GT(observed->memory.peak(), 0);
+  EXPECT_EQ(observed->requested_grant_bytes.load(std::memory_order_relaxed),
+            0);
+  EXPECT_EQ(observed->granted_bytes.load(std::memory_order_relaxed), 0);
+  EXPECT_EQ(governor::Governor::Global().active_grants(), 0);
+  EXPECT_EQ(governor::Governor::Global().total_granted_bytes(), 0);
+}
+
+// Memory settles to zero for a statement that queued for a grant and then
+// failed: the test holds the whole budget (forcing the worker statement
+// into the kQueued phase), releases it, and the admitted statement dies on
+// a downed link — the grant and every memory charge must still unwind.
+TEST_F(RequestsTest, QueuedThenFailedStatementSettlesToZero) {
+  const int64_t kBudget = int64_t{256} << 10;
+  host_.options()->max_server_memory_bytes = kBudget;
+  const std::string sql = "SELECT a, b FROM rsrv.d.s.big ORDER BY b, a";
+
+  // Prime the plan cache so the statement under test binds nothing over
+  // the link before admission — its first link traffic is execution-phase,
+  // strictly after the queued wait we script below.
+  MustExecute(&host_, sql);
+
+  governor::GovernorOptions gopts;
+  gopts.max_server_memory_bytes = kBudget;
+  governor::MemoryGrant held = governor::Governor::Global().Acquire(
+      gopts, /*estimate_bytes=*/64 << 20, "holder", "act-hold", "HOLD", 1);
+  ASSERT_TRUE(held.active());
+
+  remote_.injector->LinkDownAfter(/*after=*/0);
+  Status failure = Status::OK();
+  std::thread worker([&] {
+    auto result = host_.Execute(sql);
+    failure = result.status();
+  });
+
+  // Deterministically queued: the held grant owns the entire budget.
+  std::shared_ptr<sysview::RequestState> observed;
+  while (observed == nullptr) {
+    for (const std::shared_ptr<sysview::RequestState>& state :
+         sysview::RequestRegistry::Global().Snapshot()) {
+      if (state->engine == "host" &&
+          state->Phase() == sysview::RequestPhase::kQueued) {
+        observed = state;
+      }
+    }
+  }
+  held.Release();
+  worker.join();
+  remote_.injector->Reset(0);
+
+  EXPECT_FALSE(failure.ok()) << "link-down fault never fired";
+  EXPECT_EQ(observed->memory.current(), 0);
+  EXPECT_EQ(observed->requested_grant_bytes.load(std::memory_order_relaxed),
+            0);
+  EXPECT_EQ(observed->granted_bytes.load(std::memory_order_relaxed), 0);
+  EXPECT_EQ(governor::Governor::Global().active_grants(), 0);
+  EXPECT_EQ(governor::Governor::Global().total_granted_bytes(), 0);
+  EXPECT_EQ(governor::Governor::Global().queued_statements(), 0);
+
+  // The engine recovers once the link heals.
+  host_.options()->max_server_memory_bytes = 0;
+  MustExecute(&host_, "SELECT a, b FROM rsrv.d.s.big ORDER BY b, a");
 }
 
 }  // namespace
